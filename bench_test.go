@@ -1,0 +1,117 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation (§5)
+// plus one per ablation: each measures the wall-clock cost of
+// regenerating that artifact end-to-end (full federation simulation,
+// protocol included). Benchmarks run the reduced "quick" scale so the
+// whole suite stays fast; `go run ./cmd/hc3ibench` regenerates
+// everything at the paper's scale (100-node clusters, 10 virtual
+// hours) and prints the rows.
+
+import (
+	"testing"
+
+	"repro/hc3i"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := hc3i.RunExperiment(id, uint64(i+1), true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: application message counts per
+// cluster pair under the §5.2 code-coupling workload.
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "T1") }
+
+// BenchmarkFigure6 regenerates Figure 6: forced/unforced CLCs in
+// cluster 0 as its unforced-CLC timer sweeps (cluster 1 at infinity).
+func BenchmarkFigure6(b *testing.B) { benchExperiment(b, "F6") }
+
+// BenchmarkFigure7 regenerates Figure 7: the same sweep observed from
+// cluster 1 (only forced CLCs, proportional to cluster 0's).
+func BenchmarkFigure7(b *testing.B) { benchExperiment(b, "F7") }
+
+// BenchmarkFigure8 regenerates Figure 8: cluster 0's CLC count stays
+// flat as cluster 1's timer sweeps.
+func BenchmarkFigure8(b *testing.B) { benchExperiment(b, "F8") }
+
+// BenchmarkFigure9 regenerates Figure 9: forced CLCs vs the number of
+// cluster 1 -> cluster 0 messages.
+func BenchmarkFigure9(b *testing.B) { benchExperiment(b, "F9") }
+
+// BenchmarkTable2 regenerates Table 2: stored CLCs before/after each
+// garbage collection, two clusters.
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "T2") }
+
+// BenchmarkTable3 regenerates Table 3: garbage collection with three
+// clusters.
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "T3") }
+
+// BenchmarkAblationTransitiveDDV measures the §7 transitive-dependency
+// extension against the base protocol (A1).
+func BenchmarkAblationTransitiveDDV(b *testing.B) { benchExperiment(b, "A1") }
+
+// BenchmarkAblationForceAll measures HC3I against the force-on-every-
+// message strawman of Figure 4 (A2).
+func BenchmarkAblationForceAll(b *testing.B) { benchExperiment(b, "A2") }
+
+// BenchmarkAblationReplication measures stable-storage replication
+// degrees (A3).
+func BenchmarkAblationReplication(b *testing.B) { benchExperiment(b, "A3") }
+
+// BenchmarkAblationRollbackDepth measures rollback scope across the
+// five protocols (A4).
+func BenchmarkAblationRollbackDepth(b *testing.B) { benchExperiment(b, "A4") }
+
+// BenchmarkAblationDistributedGC measures the centralized vs ring
+// garbage collectors (A5).
+func BenchmarkAblationDistributedGC(b *testing.B) { benchExperiment(b, "A5") }
+
+// BenchmarkAblationMultiFault measures recovery under simultaneous
+// faults in different clusters (A6).
+func BenchmarkAblationMultiFault(b *testing.B) { benchExperiment(b, "A6") }
+
+// BenchmarkAblationFreezeWindow measures the checkpoint freeze window
+// vs state size and cluster size (A7).
+func BenchmarkAblationFreezeWindow(b *testing.B) { benchExperiment(b, "A7") }
+
+// BenchmarkAblationOverhead measures the protocol's byte overhead with
+// checkpointing disabled vs enabled (A8, the §5.2 cost claim).
+func BenchmarkAblationOverhead(b *testing.B) { benchExperiment(b, "A8") }
+
+// BenchmarkAblationMemory measures checkpoint memory under no GC,
+// periodic GC and the §3.5 saturation trigger (A9).
+func BenchmarkAblationMemory(b *testing.B) { benchExperiment(b, "A9") }
+
+// BenchmarkEndToEndSimulation measures raw simulator throughput on the
+// paper's base configuration: one full 2-cluster run per iteration.
+func BenchmarkEndToEndSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := hc3i.Run(hc3i.Config{
+			Clusters: []hc3i.Cluster{
+				{Name: "c0", Nodes: 8},
+				{Name: "c1", Nodes: 8},
+			},
+			TotalTime:    3600e9, // one virtual hour
+			RatesPerHour: [][]float64{{292, 14.5}, {1.1, 249.7}},
+			CLCPeriods:   nil, // defaults
+			StateSize:    256 << 10,
+			Seed:         uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Events == 0 {
+			b.Fatal("empty run")
+		}
+		b.ReportMetric(float64(res.Events), "events/run")
+	}
+}

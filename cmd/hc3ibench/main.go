@@ -1,0 +1,103 @@
+// Command hc3ibench regenerates the paper's evaluation: every table
+// and figure (T1, F6-F9, T2, T3) plus the ablations (A1-A6), printing
+// the same rows/series the paper reports.
+//
+// Usage:
+//
+//	hc3ibench                 # run everything at the paper's scale
+//	hc3ibench -quick          # reduced scale (seconds instead of minutes)
+//	hc3ibench -run F6,F7      # a subset
+//	hc3ibench -list           # list the registry
+//	hc3ibench -o results.txt  # also write the output to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/hc3i"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "reduced scale (8-node clusters, 3h runs)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		runID    = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		out      = flag.String("o", "", "also write results to this file")
+		csvDir   = flag.String("csv", "", "write one <ID>.csv per experiment into this directory")
+		markdown = flag.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range hc3i.Experiments() {
+			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Title, e.Description)
+		}
+		return
+	}
+
+	var ids []string
+	if *runID == "" {
+		for _, e := range hc3i.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		for _, id := range strings.Split(*runID, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		fh, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hc3ibench:", err)
+			os.Exit(1)
+		}
+		defer fh.Close()
+		w = io.MultiWriter(os.Stdout, fh)
+	}
+
+	mode := "paper scale (100-node clusters, 10h virtual)"
+	if *quick {
+		mode = "quick scale"
+	}
+	fmt.Fprintf(w, "HC3I evaluation harness — %s, seed %d\n\n", mode, *seed)
+
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		res, err := hc3i.RunExperiment(id, *seed, *quick)
+		if err != nil {
+			fmt.Fprintf(w, "== %s FAILED: %v ==\n\n", id, err)
+			failed++
+			continue
+		}
+		if *markdown {
+			fmt.Fprintln(w, res.Markdown())
+		} else {
+			fmt.Fprint(w, res.Render())
+			fmt.Fprintf(w, "(%.1fs wall)\n\n", time.Since(start).Seconds())
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "hc3ibench:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, res.ID+".csv")
+			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "hc3ibench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

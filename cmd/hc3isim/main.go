@@ -1,0 +1,181 @@
+// Command hc3isim runs one HC3I federation simulation from the three
+// configuration files of the paper's simulator (§5.1): a topology
+// file, an application file and a timers file.
+//
+// Usage:
+//
+//	hc3isim -topology topo.conf -application app.conf -timers timers.conf \
+//	        [-seed 1] [-protocol hc3i] [-trace info] [-mtbf-failures]
+//
+// With no flags it runs the paper's §5.2 configuration (2 clusters of
+// 100 nodes, Table 1 traffic, 30-minute CLC timers) and prints the
+// statistics the paper's simulator reports at its lowest trace level.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/app"
+	"repro/internal/baseline"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/federation"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		topoPath  = flag.String("topology", "", "topology file (default: paper §5.2)")
+		appPath   = flag.String("application", "", "application file (default: paper Table 1)")
+		timerPath = flag.String("timers", "", "timers file (default: 30m CLCs, no GC)")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		protoName = flag.String("protocol", "hc3i", "protocol: hc3i|force-all|independent|global-coordinated|hier-coordinated|pessimistic-log")
+		trace     = flag.String("trace", "off", "trace level: off|info|debug|all")
+		mtbf      = flag.Bool("mtbf-failures", false, "inject failures at the topology's MTBF")
+		transit   = flag.Bool("transitive", false, "piggyback whole DDVs (transitive dependency tracking)")
+		ringGC    = flag.Bool("ring-gc", false, "use the distributed ring garbage collector")
+		replicas  = flag.Int("replicas", 1, "stable-storage replication degree")
+		dumpStats = flag.Bool("stats", false, "dump every raw statistic")
+	)
+	flag.Parse()
+	if err := run(*topoPath, *appPath, *timerPath, *seed, *protoName, *trace,
+		*mtbf, *transit, *ringGC, *replicas, *dumpStats); err != nil {
+		fmt.Fprintln(os.Stderr, "hc3isim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topoPath, appPath, timerPath string, seed uint64, protoName, trace string,
+	mtbf, transit, ringGC bool, replicas int, dumpStats bool) error {
+
+	fed := topology.Paper2Clusters()
+	if topoPath != "" {
+		var err error
+		fed, err = config.LoadTopologyFile(topoPath)
+		if err != nil {
+			return err
+		}
+	}
+	wl := app.PaperTable1()
+	if appPath != "" {
+		var err error
+		wl, err = config.LoadWorkloadFile(appPath, fed.NumClusters())
+		if err != nil {
+			return err
+		}
+	}
+	timers := &config.Timers{GCPeriod: sim.Forever, DetectionDelay: 2 * sim.Second}
+	timers.CLCPeriods = make([]sim.Duration, fed.NumClusters())
+	for i := range timers.CLCPeriods {
+		timers.CLCPeriods[i] = 30 * sim.Minute
+	}
+	if timerPath != "" {
+		var err error
+		timers, err = config.LoadTimersFile(timerPath, fed.NumClusters())
+		if err != nil {
+			return err
+		}
+	}
+	level, err := sim.ParseTraceLevel(trace)
+	if err != nil {
+		return err
+	}
+
+	opts := federation.Options{
+		Topology:       fed,
+		Workload:       wl,
+		CLCPeriods:     timers.CLCPeriods,
+		GCPeriod:       timers.GCPeriod,
+		DetectionDelay: timers.DetectionDelay,
+		Seed:           seed,
+		MTBFFailures:   mtbf,
+		Transitive:     transit,
+		RingGC:         ringGC,
+		Replicas:       replicas,
+	}
+	if level > sim.TraceOff {
+		opts.TraceWriter = os.Stderr
+		opts.TraceLevel = level
+	}
+	switch protoName {
+	case "hc3i":
+	case "force-all":
+		opts.NodeFactory = modeFactory(core.ModeForceAll)
+	case "independent":
+		opts.NodeFactory = modeFactory(core.ModeIndependent)
+	case "global-coordinated":
+		opts.NodeFactory = func(c core.Config, e core.Env, h core.AppHooks) federation.ProtocolNode {
+			return baseline.NewGlobalCoordinated(c, e, h)
+		}
+	case "hier-coordinated":
+		opts.NodeFactory = func(c core.Config, e core.Env, h core.AppHooks) federation.ProtocolNode {
+			return baseline.NewHierCoord(c, e, h)
+		}
+	case "pessimistic-log":
+		opts.NodeFactory = func(c core.Config, e core.Env, h core.AppHooks) federation.ProtocolNode {
+			return baseline.NewPessimisticLog(c, e, h)
+		}
+	default:
+		return fmt.Errorf("unknown protocol %q", protoName)
+	}
+
+	f, err := federation.New(opts)
+	if err != nil {
+		return err
+	}
+	res, err := f.Run()
+	if err != nil {
+		return err
+	}
+	report(res, fed.NumClusters())
+	if dumpStats {
+		fmt.Println()
+		fmt.Print(res.Stats.Dump())
+	}
+	return nil
+}
+
+func modeFactory(m core.ProtocolMode) federation.NodeFactory {
+	return func(c core.Config, e core.Env, h core.AppHooks) federation.ProtocolNode {
+		c.Mode = m
+		return core.NewNode(c, e, h)
+	}
+}
+
+func report(res *federation.Result, clusters int) {
+	fmt.Printf("simulated %v of execution (%d events, %d failures)\n\n",
+		res.EndTime, res.Events, res.Failures)
+
+	fmt.Println("application messages (Table 1 format):")
+	fmt.Printf("  %-10s %-10s %s\n", "sender", "receiver", "count")
+	for i := 0; i < clusters; i++ {
+		for j := 0; j < clusters; j++ {
+			if res.AppMsgs[i][j] > 0 {
+				fmt.Printf("  cluster %-2d cluster %-2d %d\n", i, j, res.AppMsgs[i][j])
+			}
+		}
+	}
+
+	fmt.Println("\ncluster-level checkpoints:")
+	fmt.Printf("  %-10s %-9s %-9s %-7s %-8s %s\n",
+		"cluster", "unforced", "forced", "total", "stored", "rollbacks")
+	for _, c := range res.Clusters {
+		fmt.Printf("  cluster %-2d %-9d %-9d %-7d %-8d %d\n",
+			c.Cluster, c.Unforced, c.Forced, c.Total(), c.Stored, c.Rollbacks)
+	}
+
+	if len(res.GCRounds) > 0 {
+		fmt.Println("\ngarbage collections (stored CLCs before -> after):")
+		for _, r := range res.GCRounds {
+			fmt.Printf("  at %-12v", r.At)
+			for c := range r.Before {
+				fmt.Printf("  c%d: %d->%d", c, r.Before[c], r.After[c])
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("\nmax logged inter-cluster messages on any node: %d\n", res.MaxLoggedMessages)
+}

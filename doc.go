@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "A Hierarchical
+// Checkpointing Protocol for Parallel Applications in Cluster
+// Federations" (Monnet, Morin, Badrinath — 9th IEEE Workshop on
+// Fault-Tolerant Parallel, Distributed and Network-Centric Systems,
+// 2004): the HC3I protocol combining coordinated checkpointing inside
+// clusters with communication-induced checkpointing between clusters,
+// plus its discrete event simulator, baselines and the full evaluation.
+//
+// Start with the public API in repro/hc3i, the runnable examples under
+// examples/, or the tools:
+//
+//	go run ./cmd/hc3isim    # one simulation from the paper's config files
+//	go run ./cmd/hc3ibench  # regenerate every table and figure
+//	go run ./cmd/hc3itrace  # watch the protocol work, event by event
+//
+// The benchmarks in this package (bench_test.go) tie each paper
+// artifact to a `go test -bench` target.
+package repro

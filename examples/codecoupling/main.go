@@ -1,0 +1,64 @@
+// Code coupling: the paper's Figure 1 pipeline — simulation ->
+// treatment -> display across three clusters — showing how the
+// communication-induced mechanism places forced checkpoints exactly
+// where the inter-module dependencies are, and how the transitive
+// extension (§7) reduces them.
+//
+//	go run ./examples/codecoupling
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/hc3i"
+)
+
+func run(transitive bool) *hc3i.Result {
+	res, err := hc3i.Run(hc3i.Config{
+		Clusters: []hc3i.Cluster{
+			{Name: "simulation", Nodes: 12},
+			{Name: "treatment", Nodes: 12},
+			{Name: "display", Nodes: 12},
+		},
+		TotalTime: 4 * time.Hour,
+		// Heavy traffic inside each module; pipelined flows along the
+		// chain plus a thin direct simulation->display edge whose
+		// forced checkpoints the transitive variant can avoid.
+		RatesPerHour: [][]float64{
+			{900, 60, 20},
+			{0, 900, 60},
+			{0, 0, 900},
+		},
+		CLCPeriods: []time.Duration{
+			20 * time.Minute, 20 * time.Minute, 20 * time.Minute,
+		},
+		TransitiveDDV: transitive,
+		Seed:          7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	for _, transitive := range []bool{false, true} {
+		res := run(transitive)
+		label := "base protocol (SN piggybacking)"
+		if transitive {
+			label = "transitive extension (DDV piggybacking)"
+		}
+		fmt.Printf("-- %s --\n", label)
+		var forced uint64
+		for _, c := range res.Clusters {
+			fmt.Printf("  %-11s %2d unforced + %2d forced CLCs\n", c.Name, c.Unforced, c.Forced)
+			forced += c.Forced
+		}
+		fmt.Printf("  total forced: %d\n\n", forced)
+	}
+	fmt.Println("the pipeline forces checkpoints downstream at each new upstream")
+	fmt.Println("checkpoint; piggybacking whole DDVs teaches 'display' about")
+	fmt.Println("'simulation' checkpoints transitively, so the direct edge forces less")
+}

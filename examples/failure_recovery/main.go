@@ -1,0 +1,62 @@
+// Failure and recovery: watch a node crash take its cluster back to
+// the last CLC and a rollback alert cascade to a dependent cluster,
+// while an independent cluster keeps running — the paper's §4 sample
+// execution, live.
+//
+//	go run ./examples/failure_recovery
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/hc3i"
+)
+
+func main() {
+	fmt.Println("three clusters: 'source' feeds 'sink'; 'bystander' talks to nobody.")
+	fmt.Println("a node of 'source' crashes at t=50m — trace below:")
+	fmt.Println()
+
+	res, err := hc3i.Run(hc3i.Config{
+		Clusters: []hc3i.Cluster{
+			{Name: "source", Nodes: 8},
+			{Name: "sink", Nodes: 8},
+			{Name: "bystander", Nodes: 8},
+		},
+		TotalTime: 90 * time.Minute,
+		RatesPerHour: [][]float64{
+			{600, 60, 0},
+			{0, 600, 0},
+			{0, 0, 600},
+		},
+		CLCPeriods: []time.Duration{
+			15 * time.Minute, 15 * time.Minute, 15 * time.Minute,
+		},
+		Crashes:    []hc3i.Crash{{At: 50 * time.Minute, Cluster: 0, Node: 3}},
+		Trace:      os.Stdout,
+		TraceLevel: "info",
+		Seed:       11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	for _, c := range res.Clusters {
+		verdict := "unaffected"
+		if c.Rollbacks > 0 {
+			verdict = fmt.Sprintf("rolled back %d time(s)", c.Rollbacks)
+		}
+		fmt.Printf("  %-10s %s\n", c.Name, verdict)
+	}
+	fmt.Printf("\nrecovered states fetched from neighbour replicas: %d\n",
+		res.Counter("storage.recovered_states"))
+	fmt.Printf("logged messages resent to repair receiver state:   %d\n",
+		res.Counter("log.resent")+res.Counter("log.resent_after_recovery"))
+	fmt.Println("\n'sink' was dragged back because its DDV entry for 'source' was >=")
+	fmt.Println("the alerted SN (§3.4); 'bystander' exchanged no messages, so the")
+	fmt.Println("protocol behaved as independent checkpointing for it (§6).")
+}

@@ -1,0 +1,72 @@
+package hc3i
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+// ExperimentInfo describes one registered experiment.
+type ExperimentInfo struct {
+	ID          string
+	Title       string
+	Description string
+}
+
+// ExperimentResult is a rendered experiment table.
+type ExperimentResult struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render formats the result as aligned text.
+func (r *ExperimentResult) Render() string {
+	t := experiments.Table{
+		ID: r.ID, Title: r.Title, Headers: r.Headers, Rows: r.Rows, Notes: r.Notes,
+	}
+	return t.Render()
+}
+
+// CSV renders the result as comma-separated values for plotting.
+func (r *ExperimentResult) CSV() string {
+	t := experiments.Table{Headers: r.Headers, Rows: r.Rows}
+	return t.CSV()
+}
+
+// Markdown renders the result as a GitHub-flavoured markdown table.
+func (r *ExperimentResult) Markdown() string {
+	t := experiments.Table{
+		ID: r.ID, Title: r.Title, Headers: r.Headers, Rows: r.Rows, Notes: r.Notes,
+	}
+	return t.Markdown()
+}
+
+// Experiments lists every experiment of the registry: the paper's
+// Table 1, Figures 6-9 and Tables 2-3, then the ablations A1-A6.
+func Experiments() []ExperimentInfo {
+	var out []ExperimentInfo
+	for _, e := range experiments.All() {
+		out = append(out, ExperimentInfo{ID: e.ID, Title: e.Title, Description: e.Description})
+	}
+	return out
+}
+
+// RunExperiment executes one experiment. Quick mode shrinks scales so
+// the whole registry runs in seconds; full mode uses the paper's
+// parameters (100-node clusters, 10-hour virtual executions).
+func RunExperiment(id string, seed uint64, quick bool) (*ExperimentResult, error) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("hc3i: unknown experiment %q (have %v)", id, experiments.IDs())
+	}
+	tab, err := e.Run(experiments.Config{Seed: seed, Quick: quick})
+	if err != nil {
+		return nil, err
+	}
+	return &ExperimentResult{
+		ID: tab.ID, Title: tab.Title, Headers: tab.Headers, Rows: tab.Rows, Notes: tab.Notes,
+	}, nil
+}

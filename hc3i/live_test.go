@@ -1,0 +1,71 @@
+package hc3i_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/hc3i"
+)
+
+func TestLiveFacadeChannels(t *testing.T) {
+	fed, err := hc3i.StartLive(hc3i.LiveConfig{
+		Clusters:   []int{2, 2},
+		CLCPeriods: []time.Duration{30 * time.Millisecond, time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed.Send(0, 0, 1, 1, 128)
+	time.Sleep(150 * time.Millisecond)
+	fed.Quiesce()
+	fed.Stop()
+
+	if fed.Counter("clc.committed.c0") == 0 {
+		t.Fatal("no checkpoints committed live")
+	}
+	if fed.Counter("clc.committed.c1.forced") != 1 {
+		t.Fatalf("forced = %d", fed.Counter("clc.committed.c1.forced"))
+	}
+	if fed.SN(0, 0) != fed.SN(0, 1) {
+		t.Fatal("SN disagreement")
+	}
+	if fed.String() == "" {
+		t.Fatal("summary empty")
+	}
+}
+
+func TestLiveFacadeTCPCrash(t *testing.T) {
+	fed, err := hc3i.StartLive(hc3i.LiveConfig{
+		Clusters:   []int{3},
+		CLCPeriods: []time.Duration{30 * time.Millisecond},
+		UseTCP:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(120 * time.Millisecond)
+	fed.Crash(0, 2)
+	time.Sleep(30 * time.Millisecond)
+	if err := fed.Recover(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	fed.Quiesce()
+	fed.Stop()
+
+	if fed.Counter("rollback.count.c0") == 0 {
+		t.Fatal("no rollback")
+	}
+	if fed.Counter("storage.recovered_states") == 0 {
+		t.Fatal("no state recovery over TCP")
+	}
+	if fed.SN(0, 0) != fed.SN(0, 2) {
+		t.Fatal("post-recovery SN disagreement")
+	}
+}
+
+func TestLiveFacadeValidation(t *testing.T) {
+	if _, err := hc3i.StartLive(hc3i.LiveConfig{}); err == nil {
+		t.Fatal("empty live config accepted")
+	}
+}

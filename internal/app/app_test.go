@@ -1,0 +1,274 @@
+package app
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func testApp(t *testing.T, wl *Workload, seed uint64) *NodeApp {
+	t.Helper()
+	fed := topology.Small(2, 4)
+	if err := wl.Validate(fed); err != nil {
+		t.Fatal(err)
+	}
+	id := topology.NodeID{Cluster: 0, Index: 1}
+	return NewNodeApp(id, wl, fed, sim.NewRNG(seed))
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	fed := topology.Small(2, 2)
+	cases := map[string]*Workload{
+		"wrong rows":  {TotalTime: sim.Hour, MsgSize: 1, RatesPerHour: [][]float64{{1, 1}}},
+		"wrong cols":  {TotalTime: sim.Hour, MsgSize: 1, RatesPerHour: [][]float64{{1}, {1}}},
+		"negative":    {TotalTime: sim.Hour, MsgSize: 1, RatesPerHour: [][]float64{{-1, 0}, {0, 0}}},
+		"no time":     {TotalTime: 0, MsgSize: 1, RatesPerHour: [][]float64{{1, 1}, {1, 1}}},
+		"no msg size": {TotalTime: sim.Hour, MsgSize: 0, RatesPerHour: [][]float64{{1, 1}, {1, 1}}},
+	}
+	for name, wl := range cases {
+		if err := wl.Validate(fed); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := Uniform(2, 10, 1, sim.Hour).Validate(fed); err != nil {
+		t.Errorf("valid workload rejected: %v", err)
+	}
+}
+
+func TestPaperTable1Expectations(t *testing.T) {
+	wl := PaperTable1()
+	cases := []struct {
+		i, j int
+		want float64
+	}{
+		{0, 0, 2920}, {1, 1, 2497}, {0, 1, 145}, {1, 0, 11},
+	}
+	for _, c := range cases {
+		if got := wl.ExpectedMessages(c.i, c.j); math.Abs(got-c.want) > 0.5 {
+			t.Errorf("expected[%d][%d] = %v, want %v", c.i, c.j, got, c.want)
+		}
+	}
+}
+
+func TestPipelineShape(t *testing.T) {
+	wl := Pipeline(3, 100, 10, sim.Hour)
+	if wl.RatesPerHour[0][1] != 10 || wl.RatesPerHour[1][2] != 10 {
+		t.Fatal("pipeline flow missing")
+	}
+	if wl.RatesPerHour[1][0] != 0 || wl.RatesPerHour[2][0] != 0 {
+		t.Fatal("pipeline must be directed")
+	}
+	if wl.RatesPerHour[2][2] != 100 {
+		t.Fatal("intra traffic missing")
+	}
+}
+
+func TestScheduleDeterministicAndOrdered(t *testing.T) {
+	wl := Uniform(2, 100, 10, sim.Hour)
+	a := testApp(t, wl, 7)
+	b := testApp(t, wl, 7)
+	var prev sim.Duration
+	for k := 0; k < 50; k++ {
+		at1, ok1 := a.NextSend()
+		at2, ok2 := b.NextSend()
+		if ok1 != ok2 || at1 != at2 {
+			t.Fatalf("schedules diverge at %d", k)
+		}
+		if !ok1 {
+			break
+		}
+		if at1 < prev {
+			t.Fatalf("schedule not ordered: %v < %v", at1, prev)
+		}
+		prev = at1
+		d1, p1, _ := a.TakeSend()
+		d2, p2, _ := b.TakeSend()
+		if d1 != d2 || p1.ID != p2.ID {
+			t.Fatalf("sends diverge at %d", k)
+		}
+		if d1 == a.id {
+			t.Fatal("node sends to itself")
+		}
+	}
+}
+
+func TestScheduleRespectsTotalTime(t *testing.T) {
+	wl := Uniform(2, 50, 5, 30*sim.Minute)
+	a := testApp(t, wl, 9)
+	for {
+		at, ok := a.NextSend()
+		if !ok {
+			break
+		}
+		if at > wl.TotalTime {
+			t.Fatalf("send at %v past total time %v", at, wl.TotalTime)
+		}
+		a.TakeSend()
+	}
+	if a.SentCount() == 0 {
+		t.Fatal("no sends generated")
+	}
+}
+
+func TestSnapshotRestoreReplaysDeterministically(t *testing.T) {
+	wl := Uniform(2, 200, 20, sim.Hour)
+	a := testApp(t, wl, 11)
+	now := sim.Time(0)
+	a.Now = func() sim.Time { return now }
+	a.SyncClock(0, 0)
+
+	var taken []core.LogicalID
+	for k := 0; k < 10; k++ {
+		_, p, ok := a.TakeSend()
+		if !ok {
+			t.Fatal("schedule too short")
+		}
+		taken = append(taken, p.ID)
+	}
+	now = sim.Time(10 * sim.Minute)
+	snap, size := a.Snapshot()
+	if size != wl.StateSize {
+		t.Fatalf("state size = %d", size)
+	}
+	for k := 0; k < 5; k++ {
+		a.TakeSend()
+	}
+	a.Deliver(topology.NodeID{Cluster: 1, Index: 0}, core.AppPayload{ID: core.LogicalID{Seq: 99}})
+
+	now = sim.Time(20 * sim.Minute)
+	restored := false
+	a.Restored = func() { restored = true }
+	a.Restore(snap)
+	if !restored {
+		t.Fatal("Restored callback not invoked")
+	}
+	if a.SentCount() != 10 {
+		t.Fatalf("restored SentCount = %d", a.SentCount())
+	}
+	if a.DeliveredTimes(core.LogicalID{Seq: 99}) != 0 {
+		t.Fatal("post-snapshot delivery survived restore")
+	}
+	// Replay regenerates identical sends.
+	for k := 0; k < 5; k++ {
+		_, p, ok := a.TakeSend()
+		if !ok {
+			t.Fatal("replay too short")
+		}
+		want := uint64(10 + k + 1)
+		if p.ID.Seq != want {
+			t.Fatalf("replay send %d has seq %d", k, p.ID.Seq)
+		}
+	}
+	_ = taken
+}
+
+func TestClockMappingAcrossRestore(t *testing.T) {
+	wl := Uniform(2, 100, 0, sim.Hour)
+	a := testApp(t, wl, 13)
+	now := sim.Time(0)
+	a.Now = func() sim.Time { return now }
+	a.SyncClock(0, 0)
+
+	now = sim.Time(5 * sim.Minute)
+	snap, _ := a.Snapshot()
+
+	// 3 minutes later the node rolls back to the 5-minute snapshot:
+	// application time 5m now corresponds to sim time 8m.
+	now = sim.Time(8 * sim.Minute)
+	a.Restore(snap)
+	if got := a.AppClock(now); got != 5*sim.Minute {
+		t.Fatalf("app clock after restore = %v", got)
+	}
+	if got := a.SimTimeOf(6 * sim.Minute); got != sim.Time(9*sim.Minute) {
+		t.Fatalf("SimTimeOf(6m) = %v, want 9m", got)
+	}
+	if lost := LostWork(7*sim.Minute, 5*sim.Minute); lost != 2*sim.Minute {
+		t.Fatalf("LostWork = %v", lost)
+	}
+	if lost := LostWork(4*sim.Minute, 5*sim.Minute); lost != 0 {
+		t.Fatalf("LostWork negative case = %v", lost)
+	}
+}
+
+func TestNonDeterministicReplayDrawsFreshSchedule(t *testing.T) {
+	wl := Uniform(2, 500, 50, sim.Hour)
+	wl.Deterministic = false
+	a := testApp(t, wl, 17)
+	now := sim.Time(0)
+	a.Now = func() sim.Time { return now }
+	a.SyncClock(0, 0)
+
+	for k := 0; k < 5; k++ {
+		a.TakeSend()
+	}
+	snap, _ := a.Snapshot()
+	var origDst []topology.NodeID
+	var origAt []sim.Duration
+	for k := 0; k < 10; k++ {
+		at, _ := a.NextSend()
+		d, _, _ := a.TakeSend()
+		origDst = append(origDst, d)
+		origAt = append(origAt, at)
+	}
+	a.Restore(snap)
+	same := 0
+	for k := 0; k < 10; k++ {
+		at, ok := a.NextSend()
+		if !ok {
+			break
+		}
+		d, p, _ := a.TakeSend()
+		if d == origDst[k] && at == origAt[k] {
+			same++
+		}
+		// Fresh incarnations mint distinct logical identities.
+		if p.ID.Seq>>32 == 0 {
+			t.Fatal("non-deterministic replay reused logical identity space")
+		}
+	}
+	if same == 10 {
+		t.Fatal("non-deterministic replay reproduced the old schedule exactly")
+	}
+}
+
+func TestDeliveryAccounting(t *testing.T) {
+	wl := Uniform(2, 10, 1, sim.Hour)
+	a := testApp(t, wl, 19)
+	id := core.LogicalID{Src: topology.NodeID{Cluster: 1, Index: 0}, Seq: 1}
+	a.Deliver(id.Src, core.AppPayload{ID: id})
+	a.Deliver(id.Src, core.AppPayload{ID: id}) // duplicate (resend)
+	if a.DeliveredTimes(id) != 2 {
+		t.Fatalf("delivered times = %d", a.DeliveredTimes(id))
+	}
+	if a.DeliveredCount() != 1 {
+		t.Fatalf("distinct deliveries = %d", a.DeliveredCount())
+	}
+	if a.TotalDeliveries != 2 {
+		t.Fatalf("total deliveries = %d", a.TotalDeliveries)
+	}
+}
+
+func TestPoissonRateCalibration(t *testing.T) {
+	// The per-node thinning must reproduce the cluster-aggregate rate:
+	// sum the sends of all nodes of cluster 0 towards cluster 1.
+	fed := topology.Small(2, 4)
+	wl := Uniform(2, 0, 120, 10*sim.Hour) // 120 inter msgs/hour expected
+	total := 0
+	for i := 0; i < 4; i++ {
+		a := NewNodeApp(topology.NodeID{Cluster: 0, Index: i}, wl, fed, sim.NewRNG(uint64(100+i)))
+		for {
+			_, _, ok := a.TakeSend()
+			if !ok {
+				break
+			}
+			total++
+		}
+	}
+	want := 1200.0
+	if math.Abs(float64(total)-want) > 150 {
+		t.Fatalf("aggregate sends = %d, want ~%v", total, want)
+	}
+}

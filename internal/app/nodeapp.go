@@ -1,0 +1,307 @@
+package app
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// sendEvent is one scheduled application send on a node's private
+// application-time axis.
+type sendEvent struct {
+	At   sim.Duration // application time since the node's logical start
+	Dst  topology.NodeID
+	Size int
+}
+
+// State is a NodeApp snapshot handed to the checkpointing protocol. It
+// is intentionally tiny: the simulated application's "virtual memory"
+// is priced separately through Workload.StateSize.
+type State struct {
+	NextSend  int
+	AppClock  sim.Duration
+	Delivered map[core.LogicalID]int
+	Epoch     uint64 // increments at every restore; salts non-deterministic replay
+}
+
+// NodeApp is the simulated application process on one node: it draws a
+// Poisson send schedule from the workload's rate matrix and records
+// every delivery. It implements core.AppHooks so the protocol can
+// snapshot and restore it transparently.
+type NodeApp struct {
+	id  topology.NodeID
+	wl  *Workload
+	fed *topology.Federation
+	rng *sim.RNG
+
+	// schedule is the lazily generated, cached send timeline. With
+	// Deterministic replay the cache makes re-execution after a
+	// rollback reproduce exactly the same sends.
+	schedule []sendEvent
+	genState genCursor
+
+	next      int // index of the next send in schedule
+	appStart  sim.Duration
+	clockBase sim.Time // sim time corresponding to appStart of current incarnation
+	delivered map[core.LogicalID]int
+	epoch     uint64
+
+	// Now supplies the current simulation time; the harness must set it
+	// before the first snapshot so application clocks survive restores.
+	Now func() sim.Time
+	// Restored is invoked after every Restore so the harness can
+	// re-schedule the node's pending send timer.
+	Restored func()
+	// OnLost, when set, receives the application progress a restore
+	// discarded (the work to re-execute).
+	OnLost func(sim.Duration)
+
+	// TotalDeliveries counts every Deliver call, duplicates included.
+	TotalDeliveries uint64
+}
+
+// genCursor tracks the per-destination Poisson streams used to extend
+// the schedule.
+type genCursor struct {
+	nextAt []sim.Duration // per destination cluster
+	rngs   []*sim.RNG
+}
+
+// NewNodeApp builds the application of one node. rng must be a private
+// stream for this node.
+func NewNodeApp(id topology.NodeID, wl *Workload, fed *topology.Federation, rng *sim.RNG) *NodeApp {
+	a := &NodeApp{
+		id:        id,
+		wl:        wl,
+		fed:       fed,
+		rng:       rng,
+		delivered: make(map[core.LogicalID]int),
+	}
+	a.initCursor(rng)
+	return a
+}
+
+func (a *NodeApp) initCursor(rng *sim.RNG) {
+	n := a.fed.NumClusters()
+	a.genState = genCursor{
+		nextAt: make([]sim.Duration, n),
+		rngs:   make([]*sim.RNG, n),
+	}
+	for d := 0; d < n; d++ {
+		a.genState.rngs[d] = rng.StreamN("dst", d)
+		a.genState.nextAt[d] = a.drawGap(d)
+	}
+}
+
+// drawGap draws the next inter-send gap towards destination cluster d.
+func (a *NodeApp) drawGap(d int) sim.Duration {
+	rate := a.wl.RatesPerHour[a.id.Cluster][d] // cluster-aggregate msgs/hour
+	size := float64(a.fed.Clusters[a.id.Cluster].Nodes)
+	perNode := rate / size
+	if perNode <= 0 {
+		return sim.Forever
+	}
+	mean := sim.Duration(float64(sim.Hour) / perNode)
+	return a.genState.rngs[d].Exp(mean)
+}
+
+// extendTo grows the cached schedule until it covers index i or the
+// workload's end.
+func (a *NodeApp) extendTo(i int) {
+	for len(a.schedule) <= i {
+		// Pick the destination cluster with the earliest next event.
+		best := -1
+		at := sim.Duration(math.MaxInt64)
+		for d, t := range a.genState.nextAt {
+			if t < at {
+				best, at = d, t
+			}
+		}
+		if best == -1 || at > a.wl.TotalTime {
+			return // workload finished
+		}
+		dst := a.pickNode(topology.ClusterID(best))
+		a.schedule = append(a.schedule, sendEvent{At: at, Dst: dst, Size: a.wl.MsgSize})
+		a.genState.nextAt[best] = at + a.drawGap(best)
+	}
+}
+
+// pickNode selects a uniform destination node in cluster c (never the
+// sender itself).
+func (a *NodeApp) pickNode(c topology.ClusterID) topology.NodeID {
+	size := a.fed.Clusters[c].Nodes
+	r := a.genState.rngs[c]
+	if c == a.id.Cluster {
+		if size == 1 {
+			panic(fmt.Sprintf("app: node %v has intra-cluster traffic but no peer", a.id))
+		}
+		idx := r.Intn(size - 1)
+		if idx >= a.id.Index {
+			idx++
+		}
+		return topology.NodeID{Cluster: c, Index: idx}
+	}
+	return topology.NodeID{Cluster: c, Index: r.Intn(size)}
+}
+
+// NextSend returns the application time of the next send and whether
+// one remains.
+func (a *NodeApp) NextSend() (sim.Duration, bool) {
+	a.extendTo(a.next)
+	if a.next >= len(a.schedule) {
+		return 0, false
+	}
+	return a.schedule[a.next].At, true
+}
+
+// TakeSend consumes the next scheduled send, returning its destination
+// and payload. The logical ID embeds the schedule index and the replay
+// epoch: with deterministic replay the epoch stays 0 and re-executions
+// regenerate identical IDs.
+func (a *NodeApp) TakeSend() (topology.NodeID, core.AppPayload, bool) {
+	a.extendTo(a.next)
+	if a.next >= len(a.schedule) {
+		return topology.NodeID{}, core.AppPayload{}, false
+	}
+	ev := a.schedule[a.next]
+	seq := uint64(a.next + 1)
+	if !a.wl.Deterministic {
+		seq += a.epoch << 32 // distinct identity per incarnation
+	}
+	a.next++
+	return ev.Dst, core.AppPayload{
+		ID:   core.LogicalID{Src: a.id, Seq: seq},
+		Size: ev.Size,
+	}, true
+}
+
+// SimTimeOf maps an application time to the current simulation time
+// axis (it shifts at every restore).
+func (a *NodeApp) SimTimeOf(appAt sim.Duration) sim.Time {
+	return a.clockBase.Add(appAt - a.appStart)
+}
+
+// AppClock returns the node's application progress at sim time now.
+func (a *NodeApp) AppClock(now sim.Time) sim.Duration {
+	return a.appStart + now.Sub(a.clockBase)
+}
+
+// SyncClock records that application time appAt corresponds to sim time
+// now (called at start and at every restore).
+func (a *NodeApp) SyncClock(now sim.Time, appAt sim.Duration) {
+	a.clockBase = now
+	a.appStart = appAt
+}
+
+// LostWork returns how much application progress a restore to snapshot
+// clock c discards, given progress p at the failure.
+func LostWork(p, c sim.Duration) sim.Duration {
+	if p < c {
+		return 0
+	}
+	return p - c
+}
+
+// ---- core.AppHooks ----
+
+// Snapshot captures the application state; its reported size is the
+// workload's StateSize (the simulated process image).
+func (a *NodeApp) Snapshot() (any, int) {
+	d := make(map[core.LogicalID]int, len(a.delivered))
+	for k, v := range a.delivered {
+		d[k] = v
+	}
+	var clock sim.Duration
+	if a.Now != nil {
+		clock = a.AppClock(a.Now())
+	}
+	return State{
+		NextSend:  a.next,
+		AppClock:  clock,
+		Delivered: d,
+		Epoch:     a.epoch,
+	}, a.wl.StateSize
+}
+
+// Restore reinstalls a snapshot, rewinding the application clock; the
+// harness re-schedules the send timer through Restored.
+func (a *NodeApp) Restore(state any) {
+	s := state.(State)
+	a.next = s.NextSend
+	if a.Now != nil {
+		now := a.Now()
+		if a.OnLost != nil {
+			a.OnLost(LostWork(a.AppClock(now), s.AppClock))
+		}
+		a.SyncClock(now, s.AppClock)
+	}
+	a.delivered = make(map[core.LogicalID]int, len(s.Delivered))
+	for k, v := range s.Delivered {
+		a.delivered[k] = v
+	}
+	a.epoch++
+	if !a.wl.Deterministic {
+		// Forget the cached future: re-execution draws a fresh
+		// schedule beyond the restore point.
+		a.schedule = a.schedule[:a.next]
+		fresh := a.rng.StreamN("replay", int(a.epoch))
+		a.initCursor(fresh)
+		// Future events must not precede the restore point.
+		var base sim.Duration
+		if a.next > 0 {
+			base = a.schedule[a.next-1].At
+		}
+		for d := range a.genState.nextAt {
+			if a.genState.nextAt[d] != sim.Forever {
+				a.genState.nextAt[d] += base
+			}
+		}
+	}
+	if a.Restored != nil {
+		a.Restored()
+	}
+}
+
+// Deliver records a payload receipt.
+func (a *NodeApp) Deliver(from topology.NodeID, p core.AppPayload) {
+	a.delivered[p.ID]++
+	a.TotalDeliveries++
+}
+
+// DeliveredCount returns how many distinct logical messages this node
+// has received in its current state.
+func (a *NodeApp) DeliveredCount() int { return len(a.delivered) }
+
+// DeliveredTimes returns the delivery count of one logical message.
+func (a *NodeApp) DeliveredTimes(id core.LogicalID) int { return a.delivered[id] }
+
+// SentCount returns how many sends this node has performed in its
+// current incarnation's history.
+func (a *NodeApp) SentCount() int { return a.next }
+
+// ScheduleLen returns the number of generated schedule entries so far.
+func (a *NodeApp) ScheduleLen() int { return len(a.schedule) }
+
+// ScheduledIDs lists the logical IDs of all sends up to the node's
+// current progress, for end-of-run invariant checking.
+func (a *NodeApp) ScheduledIDs() []core.LogicalID {
+	ids := make([]core.LogicalID, 0, a.next)
+	for i := 0; i < a.next; i++ {
+		seq := uint64(i + 1)
+		if !a.wl.Deterministic {
+			seq += a.epoch << 32
+		}
+		ids = append(ids, core.LogicalID{Src: a.id, Seq: seq})
+	}
+	return ids
+}
+
+// DestinationOf returns the destination of the i-th scheduled send
+// (0-based), which is stable under deterministic replay.
+func (a *NodeApp) DestinationOf(i int) topology.NodeID {
+	a.extendTo(i)
+	return a.schedule[i].Dst
+}

@@ -1,0 +1,173 @@
+// Package app models the code-coupling applications the paper targets:
+// processes grouped into modules, each module pinned to one cluster,
+// heavy traffic inside modules and light traffic between them (§2.1).
+// It corresponds to the "application file" of the paper's simulator:
+// mean computation times, communication patterns and total time.
+package app
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Workload is a rate-based description of the application traffic.
+// Rates are expressed as aggregate messages per hour from cluster i to
+// cluster j, which maps directly onto the message counts the paper
+// reports (Table 1) for a given total execution time.
+type Workload struct {
+	// TotalTime is the application's execution time (10 h in §5.2).
+	TotalTime sim.Duration
+	// RatesPerHour[i][j] is the expected number of application
+	// messages per hour from cluster i to cluster j (i == j is
+	// intra-cluster traffic).
+	RatesPerHour [][]float64
+	// MsgSize is the application payload size in bytes.
+	MsgSize int
+	// StateSize is the per-node application state footprint in bytes;
+	// it prices checkpoint replication to stable storage.
+	StateSize int
+	// MeanCompute is the mean computation phase between protocol-visible
+	// steps; it only affects reported lost-work statistics.
+	MeanCompute sim.Duration
+	// Deterministic controls replay: when true (the default behaviour
+	// of code-coupling restarts), a node re-executes exactly the same
+	// sends after a rollback; when false every re-execution draws a
+	// fresh schedule — the protocol must stay consistent either way,
+	// since HC3I makes no PWD assumption (§2.2).
+	Deterministic bool
+}
+
+// Validate checks the workload against a federation.
+func (w *Workload) Validate(fed *topology.Federation) error {
+	n := fed.NumClusters()
+	if len(w.RatesPerHour) != n {
+		return fmt.Errorf("app: rate matrix has %d rows for %d clusters", len(w.RatesPerHour), n)
+	}
+	for i, row := range w.RatesPerHour {
+		if len(row) != n {
+			return fmt.Errorf("app: rate row %d has %d entries", i, len(row))
+		}
+		for j, r := range row {
+			if r < 0 {
+				return fmt.Errorf("app: negative rate [%d][%d]", i, j)
+			}
+		}
+		if row[i] > 0 && fed.Clusters[i].Nodes < 2 {
+			return fmt.Errorf("app: cluster %d has intra-cluster traffic but only one node", i)
+		}
+	}
+	if w.TotalTime <= 0 {
+		return fmt.Errorf("app: non-positive total time")
+	}
+	if w.MsgSize <= 0 {
+		return fmt.Errorf("app: non-positive message size")
+	}
+	return nil
+}
+
+// ExpectedMessages returns the expected message count from cluster i to
+// cluster j over the whole run.
+func (w *Workload) ExpectedMessages(i, j int) float64 {
+	return w.RatesPerHour[i][j] * w.TotalTime.Seconds() / 3600
+}
+
+// PaperTable1 builds the workload of §5.2, calibrated so the expected
+// counts over 10 hours match Table 1 of the paper:
+//
+//	cluster 0 -> cluster 0: 2920 messages
+//	cluster 1 -> cluster 1: 2497 messages
+//	cluster 0 -> cluster 1:  145 messages
+//	cluster 1 -> cluster 0:   11 messages
+//
+// ("lots of communications inside each cluster and few between them ...
+// a simulation running on cluster 0 and a trace processor on cluster 1").
+func PaperTable1() *Workload {
+	const hours = 10
+	return &Workload{
+		TotalTime: hours * sim.Hour,
+		RatesPerHour: [][]float64{
+			{2920.0 / hours, 145.0 / hours},
+			{11.0 / hours, 2497.0 / hours},
+		},
+		MsgSize:       4096,
+		StateSize:     4 << 20,
+		MeanCompute:   2 * sim.Second,
+		Deterministic: true,
+	}
+}
+
+// PaperTable1WithReverse returns the §5.3 variant: the same workload
+// with the cluster 1 -> cluster 0 message count raised to reverse
+// (Figure 9 sweeps it from ~10 to ~110).
+func PaperTable1WithReverse(reverse float64) *Workload {
+	w := PaperTable1()
+	w.RatesPerHour[1][0] = reverse / 10
+	return w
+}
+
+// Paper3Clusters builds the §5.4 three-cluster workload: clusters 1 and
+// 2 are clones, with roughly 200 messages leaving and arriving at each
+// cluster over the run.
+func Paper3Clusters() *Workload {
+	const hours = 10
+	return &Workload{
+		TotalTime: hours * sim.Hour,
+		RatesPerHour: [][]float64{
+			{2920.0 / hours, 100.0 / hours, 100.0 / hours},
+			{100.0 / hours, 2497.0 / hours, 100.0 / hours},
+			{100.0 / hours, 100.0 / hours, 2497.0 / hours},
+		},
+		MsgSize:       4096,
+		StateSize:     4 << 20,
+		MeanCompute:   2 * sim.Second,
+		Deterministic: true,
+	}
+}
+
+// Pipeline builds a code-coupling pipeline like Figure 1 of the paper
+// (simulation -> treatment -> display): heavy intra-cluster traffic and
+// a directed inter-cluster flow along the chain.
+func Pipeline(nClusters int, intraPerHour, flowPerHour float64, total sim.Duration) *Workload {
+	rates := make([][]float64, nClusters)
+	for i := range rates {
+		rates[i] = make([]float64, nClusters)
+		rates[i][i] = intraPerHour
+		if i+1 < nClusters {
+			rates[i][i+1] = flowPerHour
+		}
+	}
+	return &Workload{
+		TotalTime:     total,
+		RatesPerHour:  rates,
+		MsgSize:       4096,
+		StateSize:     4 << 20,
+		MeanCompute:   2 * sim.Second,
+		Deterministic: true,
+	}
+}
+
+// Uniform builds an all-to-all workload, used by stress tests and the
+// multi-fault ablation.
+func Uniform(nClusters int, intraPerHour, interPerHour float64, total sim.Duration) *Workload {
+	rates := make([][]float64, nClusters)
+	for i := range rates {
+		rates[i] = make([]float64, nClusters)
+		for j := range rates[i] {
+			if i == j {
+				rates[i][i] = intraPerHour
+			} else {
+				rates[i][j] = interPerHour
+			}
+		}
+	}
+	return &Workload{
+		TotalTime:     total,
+		RatesPerHour:  rates,
+		MsgSize:       4096,
+		StateSize:     4 << 20,
+		MeanCompute:   2 * sim.Second,
+		Deterministic: true,
+	}
+}

@@ -1,0 +1,109 @@
+// Package baseline implements the comparison protocols the paper
+// positions HC3I against (§2.2, §6), runnable under the same harness
+// and workloads:
+//
+//   - GlobalCoordinated: one two-phase commit spanning the whole
+//     federation — the approach §2.2 rules out because "the large
+//     number of nodes and network performance between clusters do not
+//     allow a global synchronization".
+//   - PessimisticLog: MPICH-V-style message logging ([3]): every
+//     message is logged, only the failed node rolls back, but the PWD
+//     (piecewise determinism) assumption is required.
+//   - HierCoord: the hierarchical *coordinated* protocol of [9]: every
+//     cluster checkpoints locally on a federation-wide cadence forming
+//     global lines, without communication-induced checkpoints.
+//
+// Two further baselines are modes of the core protocol itself
+// (core.ModeForceAll, core.ModeIndependent) since they share all of its
+// machinery.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// snapshotRec is one stored state on a baseline node.
+type snapshotRec struct {
+	Seq   core.SN
+	State any
+	Size  int
+	At    sim.Time
+	// Late holds application messages that crossed this snapshot's
+	// line (sent before, received after); re-delivered on restore.
+	Late []core.AppPayload
+}
+
+// wire wraps baseline payloads so they satisfy core.Msg.
+type wire struct {
+	Kind    string
+	Seq     core.SN
+	Epoch   core.Epoch
+	From    topology.NodeID
+	Dst     topology.NodeID
+	Payload core.AppPayload
+	SendSeq core.SN
+	State   any
+	Size    int
+	MsgID   uint64
+}
+
+// ProtocolMessage marks wire as a protocol message.
+func (wire) ProtocolMessage() {}
+
+func (w wire) size() int {
+	if w.State != nil {
+		return 32 + w.Size
+	}
+	if w.Kind == "app" {
+		return 24 + w.Payload.Size
+	}
+	return 32
+}
+
+// common holds what all baseline nodes share.
+type common struct {
+	cfg  core.Config
+	env  core.Env
+	app  core.AppHooks
+	id   topology.NodeID
+	size int // own cluster size
+
+	failed bool
+	epoch  core.Epoch
+}
+
+func newCommon(cfg core.Config, env core.Env, app core.AppHooks) common {
+	return common{
+		cfg:  cfg,
+		env:  env,
+		app:  app,
+		id:   cfg.ID,
+		size: cfg.ClusterSizes[cfg.ID.Cluster],
+	}
+}
+
+// Failed reports whether the node is crashed.
+func (c *common) Failed() bool { return c.failed }
+
+// allNodes enumerates every node of the federation.
+func (c *common) allNodes() []topology.NodeID {
+	var ids []topology.NodeID
+	for cl := 0; cl < c.cfg.Clusters; cl++ {
+		for i := 0; i < c.cfg.ClusterSizes[cl]; i++ {
+			ids = append(ids, topology.NodeID{Cluster: topology.ClusterID(cl), Index: i})
+		}
+	}
+	return ids
+}
+
+func (c *common) neighbour() topology.NodeID {
+	return topology.NodeID{Cluster: c.id.Cluster, Index: (c.id.Index + 1) % c.size}
+}
+
+func (c *common) statName(base string) string {
+	return fmt.Sprintf("%s.c%d", base, c.id.Cluster)
+}

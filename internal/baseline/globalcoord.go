@@ -1,0 +1,345 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// GlobalCoordinated checkpoints the entire federation with one
+// two-phase commit: the global initiator (cluster 0, node 0) freezes
+// every node — across WAN links — snapshots, then commits. It is
+// correct and simple, but the freeze window scales with the slowest
+// link and the node count, which is exactly why the paper rejects it
+// for federations (§2.2). A failure rolls back every node to the last
+// global checkpoint.
+type GlobalCoordinated struct {
+	common
+
+	seq    core.SN
+	frozen bool
+	sendQ  []core.AppPayloadTo
+	inbQ   []wire
+	snaps  []*snapshotRec
+
+	// sendLog keeps sent messages until acknowledged, standing in for
+	// transport-level reliability across restarts: at restore time
+	// unacknowledged messages whose send is part of the restored state
+	// are retransmitted.
+	sendLog   map[uint64]wire
+	nextMsgID uint64
+
+	// initiator state
+	inFlight  bool
+	acks      map[topology.NodeID]bool
+	reqAt     sim.Time
+	rbActive  bool
+	rbAcks    map[topology.NodeID]bool
+	provState any
+	provSize  int
+}
+
+// NewGlobalCoordinated builds one node of the global-coordinated
+// baseline; use it as a federation.NodeFactory.
+func NewGlobalCoordinated(cfg core.Config, env core.Env, app core.AppHooks) *GlobalCoordinated {
+	g := &GlobalCoordinated{
+		common:  newCommon(cfg, env, app),
+		sendLog: make(map[uint64]wire),
+	}
+	state, size := app.Snapshot()
+	g.seq = 1
+	g.snaps = append(g.snaps, &snapshotRec{Seq: 1, State: state, Size: size, At: env.Now()})
+	return g
+}
+
+func (g *GlobalCoordinated) initiator() bool {
+	return g.id.Cluster == 0 && g.id.Index == 0
+}
+
+// Start arms the global checkpoint timer on the initiator.
+func (g *GlobalCoordinated) Start() {
+	if g.initiator() {
+		g.env.SetTimer(core.TimerCLC, g.cfg.CLCPeriod)
+	}
+}
+
+// SN returns the node's global checkpoint sequence number.
+func (g *GlobalCoordinated) SN() core.SN { return g.seq }
+
+// StoredCount returns the stored global checkpoints (always pruned to
+// the newest: earlier ones can never be a rollback target).
+func (g *GlobalCoordinated) StoredCount() int { return len(g.snaps) }
+
+// Fail crashes the node.
+func (g *GlobalCoordinated) Fail() { g.failed = true }
+
+// Restart revives the node. For simplicity of the baseline, the state
+// survives on the neighbour implicitly: the next global rollback
+// restores everyone anyway.
+func (g *GlobalCoordinated) Restart() {
+	g.failed = false
+	g.frozen = false
+	g.sendQ = nil
+	g.inbQ = nil
+	g.inFlight = false
+	g.sendLog = make(map[uint64]wire)
+}
+
+// Send transmits or queues an application payload.
+func (g *GlobalCoordinated) Send(dst topology.NodeID, p core.AppPayload) {
+	if g.failed {
+		return
+	}
+	if g.frozen {
+		g.sendQ = append(g.sendQ, core.AppPayloadTo{Dst: dst, Payload: p})
+		return
+	}
+	g.nextMsgID++
+	m := wire{Kind: "app", Epoch: g.epoch, From: g.id, Dst: dst, Payload: p, SendSeq: g.seq, MsgID: g.nextMsgID}
+	g.sendLog[m.MsgID] = m
+	g.env.SendApp(dst, m.size(), m)
+}
+
+// OnTimer starts a global checkpoint on the initiator.
+func (g *GlobalCoordinated) OnTimer(k core.TimerKind) {
+	if g.failed || k != core.TimerCLC || !g.initiator() {
+		return
+	}
+	if g.inFlight || g.rbActive {
+		g.env.SetTimer(core.TimerCLC, g.cfg.CLCPeriod)
+		return
+	}
+	g.inFlight = true
+	g.acks = make(map[topology.NodeID]bool)
+	g.reqAt = g.env.Now()
+	req := wire{Kind: "prep", Seq: g.seq + 1, Epoch: g.epoch}
+	for _, id := range g.allNodes() {
+		if id != g.id {
+			g.env.Send(id, req.size(), req)
+		}
+	}
+	g.prepare(req)
+	g.acks[g.id] = true
+	g.maybeCommit()
+}
+
+func (g *GlobalCoordinated) prepare(m wire) {
+	g.frozen = true
+	g.provState, g.provSize = g.app.Snapshot()
+	// Stable storage: replicate the local state to the neighbour, like
+	// HC3I's §3.1 (priced, fire-and-forget in this baseline).
+	if g.size > 1 {
+		rep := wire{Kind: "replica", From: g.id, Seq: m.Seq, State: g.provState, Size: g.provSize}
+		g.env.Send(g.neighbour(), rep.size(), rep)
+	}
+}
+
+// OnMessage dispatches baseline wire messages.
+func (g *GlobalCoordinated) OnMessage(src topology.NodeID, msg core.Msg) {
+	if g.failed {
+		return
+	}
+	m, ok := msg.(wire)
+	if !ok {
+		return
+	}
+	switch m.Kind {
+	case "app":
+		if m.Epoch < g.epoch && m.SendSeq >= g.seq {
+			return // aborted-execution traffic (replay regenerates it)
+		}
+		if g.frozen {
+			g.inbQ = append(g.inbQ, m)
+			return
+		}
+		g.deliver(m)
+	case "app-ack":
+		delete(g.sendLog, m.MsgID)
+	case "prep":
+		if m.Epoch != g.epoch {
+			return
+		}
+		g.prepare(m)
+		ack := wire{Kind: "ack", Seq: m.Seq, Epoch: g.epoch, From: g.id}
+		g.env.Send(src, ack.size(), ack)
+	case "ack":
+		if !g.inFlight || m.Epoch != g.epoch {
+			return
+		}
+		g.acks[m.From] = true
+		g.maybeCommit()
+	case "commit":
+		if m.Epoch != g.epoch {
+			return
+		}
+		g.applyCommit(m.Seq)
+	case "rollback":
+		if m.Epoch <= g.epoch {
+			return
+		}
+		g.restore(m.Seq, m.Epoch)
+		ack := wire{Kind: "rback-ack", Seq: m.Seq, Epoch: m.Epoch, From: g.id}
+		g.env.Send(src, ack.size(), ack)
+	case "rback-ack":
+		if !g.rbActive || m.Epoch != g.epoch {
+			return
+		}
+		g.rbAcks[m.From] = true
+		if len(g.rbAcks) == len(g.allNodes()) {
+			g.rbActive = false
+			res := wire{Kind: "resume", Epoch: g.epoch}
+			for _, id := range g.allNodes() {
+				if id != g.id {
+					g.env.Send(id, res.size(), res)
+				}
+			}
+			g.resume()
+		}
+	case "resume":
+		if m.Epoch != g.epoch {
+			return
+		}
+		g.resume()
+	case "replica":
+		// Neighbour state received; stored implicitly (priced only).
+	}
+}
+
+func (g *GlobalCoordinated) deliver(m wire) {
+	if m.SendSeq < g.seq {
+		// Crossed one or more global lines: fold into those snapshots.
+		for _, s := range g.snaps {
+			if s.Seq > m.SendSeq && s.Seq <= g.seq {
+				s.Late = append(s.Late, m.Payload)
+			}
+		}
+	}
+	g.app.Deliver(m.From, m.Payload)
+	ack := wire{Kind: "app-ack", From: g.id, MsgID: m.MsgID}
+	g.env.Send(m.From, ack.size(), ack)
+}
+
+func (g *GlobalCoordinated) maybeCommit() {
+	if len(g.acks) < len(g.allNodes()) {
+		return
+	}
+	g.inFlight = false
+	seq := g.seq + 1
+	com := wire{Kind: "commit", Seq: seq, Epoch: g.epoch}
+	for _, id := range g.allNodes() {
+		if id != g.id {
+			g.env.Send(id, com.size(), com)
+		}
+	}
+	g.applyCommit(seq)
+	freeze := g.env.Now().Sub(g.reqAt)
+	g.env.Stat("gcoord.committed", 1)
+	g.env.Stat("gcoord.freeze_us_total", uint64(freeze/sim.Microsecond))
+	for c := 0; c < g.cfg.Clusters; c++ {
+		g.env.Stat(statCluster("clc.committed", c), 1)
+		g.env.Stat(statCluster("clc.committed", c)+".unforced", 1)
+	}
+	g.env.SetTimer(core.TimerCLC, g.cfg.CLCPeriod)
+}
+
+func statCluster(base string, c int) string {
+	return fmt.Sprintf("%s.c%d", base, c)
+}
+
+func (g *GlobalCoordinated) applyCommit(seq core.SN) {
+	g.seq = seq
+	// Only the newest global checkpoint can ever be restored: prune.
+	g.snaps = g.snaps[:0]
+	g.snaps = append(g.snaps, &snapshotRec{Seq: seq, State: g.provState, Size: g.provSize, At: g.env.Now()})
+	g.frozen = false
+	g.drain()
+}
+
+func (g *GlobalCoordinated) drain() {
+	sq := g.sendQ
+	g.sendQ = nil
+	for _, s := range sq {
+		g.Send(s.Dst, s.Payload)
+	}
+	iq := g.inbQ
+	g.inbQ = nil
+	for _, m := range iq {
+		if m.Epoch == g.epoch {
+			g.deliver(m)
+		}
+	}
+}
+
+// OnFailureDetected rolls the whole federation back to the last global
+// checkpoint; the notified survivor coordinates.
+func (g *GlobalCoordinated) OnFailureDetected(failed topology.NodeID) {
+	if g.failed || g.rbActive {
+		return
+	}
+	newEpoch := g.epoch + 1
+	g.rbActive = true
+	g.rbAcks = map[topology.NodeID]bool{g.id: true}
+	last := g.snaps[len(g.snaps)-1]
+	cmd := wire{Kind: "rollback", Seq: last.Seq, Epoch: newEpoch}
+	for _, id := range g.allNodes() {
+		if id != g.id {
+			g.env.Send(id, cmd.size(), cmd)
+		}
+	}
+	for c := 0; c < g.cfg.Clusters; c++ {
+		g.env.Stat(statCluster("rollback.count", c), 1)
+	}
+	g.env.Stat("gcoord.rollbacks", 1)
+	g.restore(last.Seq, newEpoch)
+}
+
+func (g *GlobalCoordinated) restore(seq core.SN, epoch core.Epoch) {
+	g.inFlight = false
+	g.sendQ = nil
+	g.inbQ = nil
+	var rec *snapshotRec
+	for _, s := range g.snaps {
+		if s.Seq == seq {
+			rec = s
+		}
+	}
+	if rec == nil {
+		// A restarted node lost its snapshot; re-adopt the initial
+		// application state via a fresh snapshot of whatever the app
+		// restored — in this simplified baseline the neighbour copy is
+		// modelled as always available.
+		state, size := g.app.Snapshot()
+		rec = &snapshotRec{Seq: seq, State: state, Size: size, At: g.env.Now()}
+		g.snaps = []*snapshotRec{rec}
+	}
+	g.app.Restore(rec.State)
+	for _, p := range rec.Late {
+		g.app.Deliver(g.id, p)
+	}
+	g.seq = seq
+	g.epoch = epoch
+	g.frozen = true // until resume
+}
+
+func (g *GlobalCoordinated) resume() {
+	g.frozen = false
+	g.drain()
+	// Transport-level reliability across the restart: retransmit every
+	// unacknowledged message whose send is part of the restored state
+	// (newer sends are regenerated by the application's re-execution).
+	for id, m := range g.sendLog {
+		if m.SendSeq >= g.seq {
+			delete(g.sendLog, id)
+			continue
+		}
+		m.Epoch = g.epoch
+		g.sendLog[id] = m
+		g.env.SendApp(m.Dst, m.size(), m)
+		g.env.Stat("gcoord.resent", 1)
+	}
+	if g.initiator() {
+		g.env.SetTimer(core.TimerCLC, g.cfg.CLCPeriod)
+	}
+}

@@ -1,0 +1,353 @@
+package baseline
+
+import (
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// HierCoord models the hierarchical *coordinated* protocol of Paul,
+// Gupta and Badrinath ([9] in the paper): checkpointing is coordinated
+// at both levels — each cluster runs its local two-phase commit, and a
+// federation initiator paces all clusters onto common checkpoint
+// *lines* with relaxed synchronization (no global freeze). Unlike
+// HC3I, every cluster checkpoints on every line whether it communicated
+// or not, and a failure rolls every cluster back to the last complete
+// line. "In [9] it is the coordinated checkpointing mechanism that is
+// relaxed between clusters. It is not a hybrid protocol like ours" (§6).
+type HierCoord struct {
+	common
+
+	line   core.SN // completed line number as known here
+	frozen bool
+	sendQ  []core.AppPayloadTo
+	inbQ   []wire
+	snaps  []*snapshotRec
+
+	// sendLog keeps sent messages until acknowledged (transport-level
+	// reliability across restarts, as in the global baseline).
+	sendLog   map[uint64]wire
+	nextMsgID uint64
+
+	// cluster-leader state
+	clusterInFlight bool
+	clusterAcks     map[int]bool
+	provState       any
+	provSize        int
+
+	// federation-initiator state
+	lineInFlight bool
+	lineReports  map[topology.ClusterID]bool
+
+	rbActive bool
+	rbAcks   map[int]bool
+}
+
+// NewHierCoord builds one node of the hierarchical-coordinated
+// baseline.
+func NewHierCoord(cfg core.Config, env core.Env, app core.AppHooks) *HierCoord {
+	h := &HierCoord{common: newCommon(cfg, env, app), sendLog: make(map[uint64]wire)}
+	state, size := app.Snapshot()
+	h.line = 1
+	h.snaps = append(h.snaps, &snapshotRec{Seq: 1, State: state, Size: size, At: env.Now()})
+	return h
+}
+
+func (h *HierCoord) leader() bool    { return h.id.Index == 0 }
+func (h *HierCoord) initiator() bool { return h.id.Cluster == 0 && h.id.Index == 0 }
+
+// Start arms the line timer on the federation initiator.
+func (h *HierCoord) Start() {
+	if h.initiator() {
+		h.env.SetTimer(core.TimerCLC, h.cfg.CLCPeriod)
+	}
+}
+
+// SN returns the last completed line number.
+func (h *HierCoord) SN() core.SN { return h.line }
+
+// StoredCount returns stored line snapshots.
+func (h *HierCoord) StoredCount() int { return len(h.snaps) }
+
+// Fail crashes the node.
+func (h *HierCoord) Fail() { h.failed = true }
+
+// Restart revives the node with its snapshots intact (the neighbour
+// copy is modelled implicitly in this baseline).
+func (h *HierCoord) Restart() {
+	h.failed = false
+	h.frozen = false
+	h.sendQ = nil
+	h.inbQ = nil
+	h.clusterInFlight = false
+	h.sendLog = make(map[uint64]wire)
+}
+
+// Send transmits or queues an application payload; messages carry the
+// sender's line number so stragglers fold into line snapshots.
+func (h *HierCoord) Send(dst topology.NodeID, p core.AppPayload) {
+	if h.failed {
+		return
+	}
+	if h.frozen {
+		h.sendQ = append(h.sendQ, core.AppPayloadTo{Dst: dst, Payload: p})
+		return
+	}
+	h.nextMsgID++
+	m := wire{Kind: "app", Epoch: h.epoch, From: h.id, Dst: dst, Payload: p, SendSeq: h.line, MsgID: h.nextMsgID}
+	h.sendLog[m.MsgID] = m
+	h.env.SendApp(dst, m.size(), m)
+}
+
+// OnTimer opens a new line on the initiator: one message per cluster
+// leader, each cluster checkpoints locally, no global freeze.
+func (h *HierCoord) OnTimer(k core.TimerKind) {
+	if h.failed || k != core.TimerCLC || !h.initiator() {
+		return
+	}
+	h.env.SetTimer(core.TimerCLC, h.cfg.CLCPeriod)
+	if h.lineInFlight || h.rbActive {
+		return
+	}
+	h.lineInFlight = true
+	h.lineReports = make(map[topology.ClusterID]bool)
+	next := h.line + 1
+	for c := 0; c < h.cfg.Clusters; c++ {
+		if c == 0 {
+			h.startClusterCLC(next)
+			continue
+		}
+		m := wire{Kind: "take", Seq: next, Epoch: h.epoch}
+		h.env.Send(topology.NodeID{Cluster: topology.ClusterID(c), Index: 0}, m.size(), m)
+	}
+}
+
+func (h *HierCoord) startClusterCLC(seq core.SN) {
+	if h.clusterInFlight {
+		return
+	}
+	h.clusterInFlight = true
+	h.clusterAcks = map[int]bool{}
+	req := wire{Kind: "prep", Seq: seq, Epoch: h.epoch}
+	for i := 1; i < h.size; i++ {
+		h.env.Send(topology.NodeID{Cluster: h.id.Cluster, Index: i}, req.size(), req)
+	}
+	h.prepare(seq)
+	h.clusterAcks[0] = true
+	h.maybeClusterCommit(seq)
+}
+
+func (h *HierCoord) prepare(seq core.SN) {
+	h.frozen = true
+	h.provState, h.provSize = h.app.Snapshot()
+	// Stable storage: replicate to the neighbour (priced).
+	if h.size > 1 {
+		rep := wire{Kind: "replica", From: h.id, Seq: seq, State: h.provState, Size: h.provSize}
+		h.env.Send(h.neighbour(), rep.size(), rep)
+	}
+}
+
+func (h *HierCoord) maybeClusterCommit(seq core.SN) {
+	if len(h.clusterAcks) < h.size {
+		return
+	}
+	h.clusterInFlight = false
+	com := wire{Kind: "commit", Seq: seq, Epoch: h.epoch}
+	for i := 1; i < h.size; i++ {
+		h.env.Send(topology.NodeID{Cluster: h.id.Cluster, Index: i}, com.size(), com)
+	}
+	h.applyCommit(seq)
+	h.env.Stat(h.statName("clc.committed"), 1)
+	h.env.Stat(h.statName("clc.committed")+".unforced", 1)
+	// Report line completion to the federation initiator.
+	if h.initiator() {
+		h.lineReports[0] = true
+		h.maybeLineDone()
+		return
+	}
+	m := wire{Kind: "done", Seq: seq, Epoch: h.epoch, From: h.id}
+	h.env.Send(topology.NodeID{Cluster: 0, Index: 0}, m.size(), m)
+}
+
+func (h *HierCoord) maybeLineDone() {
+	if !h.lineInFlight || len(h.lineReports) < h.cfg.Clusters {
+		return
+	}
+	h.lineInFlight = false
+	h.env.Stat("hiercoord.lines_completed", 1)
+}
+
+func (h *HierCoord) applyCommit(seq core.SN) {
+	h.line = seq
+	h.snaps = append(h.snaps, &snapshotRec{Seq: seq, State: h.provState, Size: h.provSize, At: h.env.Now()})
+	// Clusters are at most one line apart (the initiator opens line
+	// L+1 only once L completed everywhere), so keeping three lines
+	// guarantees that every node still holds any other node's
+	// second-newest line — the rollback target.
+	if len(h.snaps) > 3 {
+		h.snaps = h.snaps[len(h.snaps)-3:]
+	}
+	h.frozen = false
+	h.drain()
+}
+
+func (h *HierCoord) drain() {
+	sq := h.sendQ
+	h.sendQ = nil
+	for _, s := range sq {
+		h.Send(s.Dst, s.Payload)
+	}
+	iq := h.inbQ
+	h.inbQ = nil
+	for _, m := range iq {
+		if m.Epoch == h.epoch {
+			h.deliver(m)
+		}
+	}
+}
+
+func (h *HierCoord) deliver(m wire) {
+	if m.SendSeq < h.line {
+		for _, s := range h.snaps {
+			if s.Seq > m.SendSeq && s.Seq <= h.line {
+				s.Late = append(s.Late, m.Payload)
+			}
+		}
+	}
+	h.app.Deliver(m.From, m.Payload)
+	ack := wire{Kind: "app-ack", From: h.id, MsgID: m.MsgID}
+	h.env.Send(m.From, ack.size(), ack)
+}
+
+// OnMessage dispatches the baseline's wire messages.
+func (h *HierCoord) OnMessage(src topology.NodeID, msg core.Msg) {
+	if h.failed {
+		return
+	}
+	m, ok := msg.(wire)
+	if !ok {
+		return
+	}
+	switch m.Kind {
+	case "app":
+		if m.Epoch < h.epoch && m.SendSeq >= h.line {
+			return // aborted-execution traffic
+		}
+		if h.frozen {
+			h.inbQ = append(h.inbQ, m)
+			return
+		}
+		h.deliver(m)
+	case "app-ack":
+		delete(h.sendLog, m.MsgID)
+	case "replica":
+		// Neighbour state received; stored implicitly (priced only).
+	case "take":
+		if m.Epoch != h.epoch || !h.leader() {
+			return
+		}
+		h.startClusterCLC(m.Seq)
+	case "prep":
+		if m.Epoch != h.epoch {
+			return
+		}
+		h.prepare(m.Seq)
+		ack := wire{Kind: "ack", Seq: m.Seq, Epoch: h.epoch, From: h.id}
+		h.env.Send(src, ack.size(), ack)
+	case "ack":
+		if m.Epoch != h.epoch || !h.clusterInFlight {
+			return
+		}
+		h.clusterAcks[m.From.Index] = true
+		h.maybeClusterCommit(m.Seq)
+	case "commit":
+		if m.Epoch != h.epoch {
+			return
+		}
+		h.applyCommit(m.Seq)
+	case "done":
+		if m.Epoch != h.epoch || !h.initiator() {
+			return
+		}
+		h.lineReports[m.From.Cluster] = true
+		h.maybeLineDone()
+	case "rollback":
+		if m.Epoch <= h.epoch {
+			return
+		}
+		h.restore(m.Seq, m.Epoch)
+		if h.leader() && src.Cluster != h.id.Cluster {
+			// Forward the federation-wide rollback inside the cluster.
+			for i := 1; i < h.size; i++ {
+				h.env.Send(topology.NodeID{Cluster: h.id.Cluster, Index: i}, m.size(), m)
+			}
+		}
+	}
+}
+
+// OnFailureDetected rolls every cluster back to the last complete line.
+func (h *HierCoord) OnFailureDetected(failed topology.NodeID) {
+	if h.failed {
+		return
+	}
+	newEpoch := h.epoch + 1
+	// Restore the coordinator's second-newest line: its newest may
+	// still be forming in other clusters, while anything older might
+	// already be pruned elsewhere. With the at-most-one-line spread,
+	// every node is guaranteed to hold this one.
+	target := h.snaps[0].Seq
+	if len(h.snaps) >= 2 {
+		target = h.snaps[len(h.snaps)-2].Seq
+	}
+	cmd := wire{Kind: "rollback", Seq: target, Epoch: newEpoch}
+	for _, id := range h.allNodes() {
+		if id != h.id {
+			h.env.Send(id, cmd.size(), cmd)
+		}
+	}
+	for c := 0; c < h.cfg.Clusters; c++ {
+		h.env.Stat(statCluster("rollback.count", c), 1)
+	}
+	h.env.Stat("hiercoord.rollbacks", 1)
+	h.restore(target, newEpoch)
+}
+
+func (h *HierCoord) restore(seq core.SN, epoch core.Epoch) {
+	h.clusterInFlight = false
+	h.lineInFlight = false
+	h.sendQ = nil
+	h.inbQ = nil
+	var rec *snapshotRec
+	for _, s := range h.snaps {
+		if s.Seq == seq {
+			rec = s
+		}
+	}
+	if rec == nil {
+		// Should be unreachable given the one-line spread; falling
+		// back to the oldest held line is flagged loudly because the
+		// cut is then inconsistent.
+		h.env.Stat("hiercoord.inconsistent_restore", 1)
+		rec = h.snaps[0]
+		seq = rec.Seq
+	}
+	h.app.Restore(rec.State)
+	for _, p := range rec.Late {
+		h.app.Deliver(h.id, p)
+	}
+	h.line = seq
+	h.snaps = []*snapshotRec{rec}
+	h.epoch = epoch
+	h.frozen = false
+	// Retransmit unacknowledged messages whose send survives in the
+	// restored state; newer sends are regenerated by re-execution.
+	for id, m := range h.sendLog {
+		if m.SendSeq >= h.line {
+			delete(h.sendLog, id)
+			continue
+		}
+		m.Epoch = h.epoch
+		h.sendLog[id] = m
+		h.env.SendApp(m.Dst, m.size(), m)
+		h.env.Stat("hiercoord.resent", 1)
+	}
+}

@@ -1,0 +1,246 @@
+package baseline
+
+import (
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// PessimisticLog models an MPICH-V-style protocol ([3] in the paper):
+// every application message is logged so that "a faulty node will
+// rollback, but not the others". Each node takes uncoordinated local
+// snapshots; every received message is recorded (and mirrored to the
+// neighbour, standing in for MPICH-V's channel memories); recovery
+// restores the failed node's snapshot and replays its logged receipts
+// in order. This requires piecewise determinism (PWD) — the assumption
+// HC3I explicitly avoids (§2.2) — so it is only sound under
+// deterministic workloads.
+type PessimisticLog struct {
+	common
+
+	seq     core.SN // local snapshot sequence
+	snaps   []*snapshotRec
+	recvLog []loggedRecv // receipts since the last snapshot (in order)
+	// mirror holds the neighbour's snapshot + receive log (its channel
+	// memory), keyed by the owner.
+	mirrorSnap map[topology.NodeID]*snapshotRec
+	mirrorLog  map[topology.NodeID][]loggedRecv
+	// sendLog holds sent messages until the receiver confirms the
+	// receipt is safely logged; on a failure alert they are resent.
+	sendLog   map[uint64]pendingSend
+	nextMsgID uint64
+	recovered bool
+	// awaitingRecovery buffers application messages that arrive after a
+	// restart but before the snapshot+log replay: delivering them first
+	// would ack the sender and then lose the receipt when the snapshot
+	// restore rewinds the application state.
+	awaitingRecovery bool
+	pendingApp       []wire
+}
+
+type loggedRecv struct {
+	From    topology.NodeID
+	Payload core.AppPayload
+	AtSeq   core.SN
+}
+
+type pendingSend struct {
+	Dst     topology.NodeID
+	Payload core.AppPayload
+}
+
+// NewPessimisticLog builds one node of the message-logging baseline.
+func NewPessimisticLog(cfg core.Config, env core.Env, app core.AppHooks) *PessimisticLog {
+	p := &PessimisticLog{
+		common:     newCommon(cfg, env, app),
+		mirrorSnap: make(map[topology.NodeID]*snapshotRec),
+		mirrorLog:  make(map[topology.NodeID][]loggedRecv),
+		sendLog:    make(map[uint64]pendingSend),
+	}
+	state, size := app.Snapshot()
+	p.seq = 1
+	p.snaps = append(p.snaps, &snapshotRec{Seq: 1, State: state, Size: size, At: env.Now()})
+	return p
+}
+
+// Start arms the node's local snapshot timer (every node has one —
+// snapshots are uncoordinated).
+func (p *PessimisticLog) Start() {
+	p.env.SetTimer(core.TimerCLC, p.cfg.CLCPeriod)
+}
+
+// SN returns the local snapshot sequence number.
+func (p *PessimisticLog) SN() core.SN { return p.seq }
+
+// StoredCount returns stored snapshots (only the newest is kept).
+func (p *PessimisticLog) StoredCount() int { return len(p.snaps) }
+
+// LogBytes approximates the volatile memory consumed by message logs.
+func (p *PessimisticLog) LogBytes() int {
+	total := 0
+	for _, r := range p.recvLog {
+		total += r.Payload.Size
+	}
+	for _, l := range p.mirrorLog {
+		for _, r := range l {
+			total += r.Payload.Size
+		}
+	}
+	return total
+}
+
+// Fail crashes the node.
+func (p *PessimisticLog) Fail() { p.failed = true }
+
+// Restart revives the node; recovery happens on failure detection.
+func (p *PessimisticLog) Restart() {
+	p.failed = false
+	p.recovered = false
+	p.awaitingRecovery = true
+	p.snaps = nil
+	p.recvLog = nil
+	p.pendingApp = nil
+}
+
+// Send transmits a payload; a copy stays in the send log until the
+// receiver confirms it logged the receipt.
+func (p *PessimisticLog) Send(dst topology.NodeID, payload core.AppPayload) {
+	if p.failed {
+		return
+	}
+	p.nextMsgID++
+	p.sendLog[p.nextMsgID] = pendingSend{Dst: dst, Payload: payload}
+	m := wire{Kind: "app", From: p.id, Payload: payload, MsgID: p.nextMsgID}
+	p.env.SendApp(dst, m.size(), m)
+	p.env.Stat("plog.sent", 1)
+}
+
+// OnTimer takes a local snapshot: no coordination, no freeze — the
+// receive log makes the snapshot recoverable at any cut.
+func (p *PessimisticLog) OnTimer(k core.TimerKind) {
+	if p.failed || k != core.TimerCLC {
+		return
+	}
+	state, size := p.app.Snapshot()
+	p.seq++
+	p.snaps = []*snapshotRec{{Seq: p.seq, State: state, Size: size, At: p.env.Now()}}
+	p.recvLog = nil // receipts are inside the snapshot now
+	// Replicate snapshot to the neighbour (channel memory / stable
+	// storage) and let it truncate our mirrored receive log.
+	m := wire{Kind: "snap", Seq: p.seq, From: p.id, State: state, Size: size}
+	p.env.Send(p.neighbour(), m.size(), m)
+	p.env.Stat(p.statName("clc.committed"), 1)
+	p.env.Stat(p.statName("clc.committed")+".unforced", 1)
+	p.env.SetTimer(core.TimerCLC, p.cfg.CLCPeriod)
+}
+
+// OnMessage dispatches the baseline's wire messages.
+func (p *PessimisticLog) OnMessage(src topology.NodeID, msg core.Msg) {
+	if p.failed {
+		return
+	}
+	m, ok := msg.(wire)
+	if !ok {
+		return
+	}
+	switch m.Kind {
+	case "app":
+		if p.awaitingRecovery {
+			// Mid-recovery: hold the message; delivering (and acking)
+			// now would lose the receipt when the snapshot restores.
+			p.pendingApp = append(p.pendingApp, m)
+			return
+		}
+		p.deliverApp(m)
+	case "logcopy":
+		p.mirrorLog[src] = append(p.mirrorLog[src], loggedRecv{From: m.From, Payload: m.Payload, AtSeq: m.Seq})
+	case "logged":
+		delete(p.sendLog, m.MsgID)
+	case "snap":
+		p.mirrorSnap[m.From] = &snapshotRec{Seq: m.Seq, State: m.State, Size: m.Size, At: p.env.Now()}
+		p.mirrorLog[m.From] = nil
+	case "recover-req":
+		// m.From is the restarted node; ship it back its snapshot and
+		// replay its mirrored receive log in order.
+		snap := p.mirrorSnap[m.From]
+		resp := wire{Kind: "recover-resp", From: p.id}
+		if snap != nil {
+			resp.Seq = snap.Seq
+			resp.State = snap.State
+			resp.Size = snap.Size
+		}
+		p.env.Send(m.From, resp.size(), resp)
+		for _, r := range p.mirrorLog[m.From] {
+			rm := wire{Kind: "replay", From: r.From, Payload: r.Payload}
+			p.env.Send(m.From, rm.size(), rm)
+		}
+	case "recover-resp":
+		if m.State != nil {
+			p.app.Restore(m.State)
+			p.seq = m.Seq
+			p.snaps = []*snapshotRec{{Seq: m.Seq, State: m.State, Size: m.Size, At: p.env.Now()}}
+		}
+		p.recovered = true
+		p.awaitingRecovery = false
+		p.env.Stat("plog.recoveries", 1)
+		p.env.SetTimer(core.TimerCLC, p.cfg.CLCPeriod)
+		// Messages buffered during recovery now deliver normally; the
+		// mirrored-log replay entries precede them on the wire, so
+		// ordering per sender is preserved.
+		pend := p.pendingApp
+		p.pendingApp = nil
+		for _, pm := range pend {
+			p.deliverApp(pm)
+		}
+	case "replay":
+		// Re-delivery of a logged receipt (PWD: same order, same content).
+		p.recvLog = append(p.recvLog, loggedRecv{From: m.From, Payload: m.Payload, AtSeq: p.seq})
+		p.app.Deliver(m.From, m.Payload)
+		p.env.Stat("plog.replayed", 1)
+	case "alert":
+		// A node failed somewhere: resend every unconfirmed message
+		// addressed to it (its receive log may have missed them).
+		for id, s := range p.sendLog {
+			if s.Dst == m.From {
+				rm := wire{Kind: "app", From: p.id, Payload: s.Payload, MsgID: id}
+				p.env.SendApp(s.Dst, rm.size(), rm)
+				p.env.Stat("plog.resent", 1)
+			}
+		}
+	}
+}
+
+// deliverApp performs the pessimistic-logging receive: record, mirror
+// to the channel memory, deliver, then confirm to the sender.
+func (p *PessimisticLog) deliverApp(m wire) {
+	rec := loggedRecv{From: m.From, Payload: m.Payload, AtSeq: p.seq}
+	p.recvLog = append(p.recvLog, rec)
+	mir := wire{Kind: "logcopy", From: p.id, Payload: m.Payload, Seq: p.seq, MsgID: m.MsgID}
+	p.env.Send(p.neighbour(), mir.size(), mir)
+	p.app.Deliver(m.From, m.Payload)
+	ack := wire{Kind: "logged", From: p.id, MsgID: m.MsgID}
+	p.env.Send(m.From, ack.size(), ack)
+	p.env.Stat("plog.logged", 1)
+}
+
+// OnFailureDetected recovers the failed node alone: "a faulty node
+// will rollback, but not the others" (§6 on MPICH-V). The detector
+// notifies a survivor, which triggers the failed node's recovery and
+// alerts all nodes to resend unconfirmed traffic.
+func (p *PessimisticLog) OnFailureDetected(failed topology.NodeID) {
+	if p.failed {
+		return
+	}
+	p.env.Stat(statCluster("rollback.count", int(failed.Cluster)), 1)
+	// Tell the failed (now restarted) node to pull its state from its
+	// neighbour's channel memory.
+	req := wire{Kind: "recover-req", From: failed}
+	holder := topology.NodeID{Cluster: failed.Cluster, Index: (failed.Index + 1) % p.cfg.ClusterSizes[failed.Cluster]}
+	// Route the request as if issued by the failed node itself.
+	p.env.Send(holder, req.size(), req)
+	alert := wire{Kind: "alert", From: failed}
+	for _, id := range p.allNodes() {
+		if id != p.id {
+			p.env.Send(id, alert.size(), alert)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package config
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/app"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Timers carries the timers-file values (the paper's third input file).
+type Timers struct {
+	// CLCPeriods is the per-cluster delay between unforced CLCs.
+	CLCPeriods []sim.Duration
+	// GCPeriod is the garbage-collection period.
+	GCPeriod sim.Duration
+	// DetectionDelay is the failure detector latency.
+	DetectionDelay sim.Duration
+}
+
+// LoadTopology reads a topology file:
+//
+//	clusters = 2
+//	mtbf = forever
+//	[cluster 0]
+//	name = simulation
+//	nodes = 100
+//	latency = 10us
+//	bandwidth = 80Mbps
+//	[link 0 1]
+//	latency = 150us
+//	bandwidth = 100Mbps
+func LoadTopology(r io.Reader) (*topology.Federation, error) {
+	f, err := Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	top := f.Top()
+	nClusters, err := top.Int("clusters", 0)
+	if err != nil {
+		return nil, err
+	}
+	if nClusters <= 0 {
+		return nil, fmt.Errorf("config: topology needs clusters > 0")
+	}
+	mtbf, err := top.Duration("mtbf", sim.Forever)
+	if err != nil {
+		return nil, err
+	}
+
+	clusters := make([]topology.Cluster, nClusters)
+	seen := make([]bool, nClusters)
+	for _, s := range f.Find("cluster") {
+		if len(s.Args) != 1 {
+			return nil, fmt.Errorf("config: [cluster] needs an index")
+		}
+		idx, err := strconv.Atoi(s.Args[0])
+		if err != nil || idx < 0 || idx >= nClusters {
+			return nil, fmt.Errorf("config: bad cluster index %q", s.Args[0])
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("config: duplicate cluster %d", idx)
+		}
+		seen[idx] = true
+		nodes, err := s.Int("nodes", 0)
+		if err != nil {
+			return nil, err
+		}
+		lat, err := s.Duration("latency", 10*sim.Microsecond)
+		if err != nil {
+			return nil, err
+		}
+		bw, err := s.Bandwidth("bandwidth", topology.Mbps(80))
+		if err != nil {
+			return nil, err
+		}
+		name, _ := s.Get("name")
+		if name == "" {
+			name = fmt.Sprintf("cluster%d", idx)
+		}
+		clusters[idx] = topology.Cluster{
+			Name:  name,
+			Nodes: nodes,
+			Intra: topology.Link{Latency: lat, Bandwidth: bw},
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("config: missing [cluster %d]", i)
+		}
+	}
+
+	fed := topology.New(clusters...)
+	fed.MTBF = mtbf
+	if mtbf >= sim.Forever {
+		fed.MTBF = 0
+	}
+	for _, s := range f.Find("link") {
+		if len(s.Args) != 2 {
+			return nil, fmt.Errorf("config: [link] needs two cluster indices")
+		}
+		a, err1 := strconv.Atoi(s.Args[0])
+		b, err2 := strconv.Atoi(s.Args[1])
+		if err1 != nil || err2 != nil || a == b ||
+			a < 0 || b < 0 || a >= nClusters || b >= nClusters {
+			return nil, fmt.Errorf("config: bad link %v", s.Args)
+		}
+		lat, err := s.Duration("latency", 150*sim.Microsecond)
+		if err != nil {
+			return nil, err
+		}
+		bw, err := s.Bandwidth("bandwidth", topology.Mbps(100))
+		if err != nil {
+			return nil, err
+		}
+		fed.SetInterLink(topology.ClusterID(a), topology.ClusterID(b),
+			topology.Link{Latency: lat, Bandwidth: bw})
+	}
+	if err := fed.Validate(); err != nil {
+		return nil, err
+	}
+	return fed, nil
+}
+
+// LoadWorkload reads an application file:
+//
+//	total = 10h
+//	msgsize = 4KB
+//	statesize = 4MB
+//	compute = 2s
+//	deterministic = true
+//	[rates]
+//	0 = 292 14.5
+//	1 = 1.1 249.7
+//
+// Rate rows are messages per hour from the row's cluster to each
+// cluster.
+func LoadWorkload(r io.Reader, clusters int) (*app.Workload, error) {
+	f, err := Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	top := f.Top()
+	total, err := top.Duration("total", 10*sim.Hour)
+	if err != nil {
+		return nil, err
+	}
+	msgSize, err := top.Size("msgsize", 4096)
+	if err != nil {
+		return nil, err
+	}
+	stateSize, err := top.Size("statesize", 4<<20)
+	if err != nil {
+		return nil, err
+	}
+	compute, err := top.Duration("compute", 2*sim.Second)
+	if err != nil {
+		return nil, err
+	}
+	det, err := top.Bool("deterministic", true)
+	if err != nil {
+		return nil, err
+	}
+
+	rates := make([][]float64, clusters)
+	sections := f.Find("rates")
+	if len(sections) != 1 {
+		return nil, fmt.Errorf("config: application file needs exactly one [rates] section")
+	}
+	for i := range rates {
+		row, ok := sections[0].Get(strconv.Itoa(i))
+		if !ok {
+			return nil, fmt.Errorf("config: [rates] missing row %d", i)
+		}
+		vals, err := Floats(row)
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) != clusters {
+			return nil, fmt.Errorf("config: [rates] row %d has %d entries, want %d", i, len(vals), clusters)
+		}
+		rates[i] = vals
+	}
+	return &app.Workload{
+		TotalTime:     total,
+		RatesPerHour:  rates,
+		MsgSize:       msgSize,
+		StateSize:     stateSize,
+		MeanCompute:   compute,
+		Deterministic: det,
+	}, nil
+}
+
+// LoadTimers reads a timers file:
+//
+//	gc = 2h
+//	detection = 2s
+//	[clc]
+//	0 = 30m
+//	1 = forever
+func LoadTimers(r io.Reader, clusters int) (*Timers, error) {
+	f, err := Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	top := f.Top()
+	gc, err := top.Duration("gc", sim.Forever)
+	if err != nil {
+		return nil, err
+	}
+	det, err := top.Duration("detection", 2*sim.Second)
+	if err != nil {
+		return nil, err
+	}
+	t := &Timers{
+		CLCPeriods:     make([]sim.Duration, clusters),
+		GCPeriod:       gc,
+		DetectionDelay: det,
+	}
+	for i := range t.CLCPeriods {
+		t.CLCPeriods[i] = 30 * sim.Minute
+	}
+	for _, s := range f.Find("clc") {
+		for _, key := range s.Order {
+			idx, err := strconv.Atoi(key)
+			if err != nil || idx < 0 || idx >= clusters {
+				return nil, fmt.Errorf("config: [clc] bad cluster index %q", key)
+			}
+			d, err := sim.ParseDuration(s.Keys[key])
+			if err != nil {
+				return nil, err
+			}
+			t.CLCPeriods[idx] = d
+		}
+	}
+	return t, nil
+}
+
+// LoadTopologyFile, LoadWorkloadFile and LoadTimersFile are the
+// path-based conveniences used by the command-line tools.
+func LoadTopologyFile(path string) (*topology.Federation, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return LoadTopology(fh)
+}
+
+// LoadWorkloadFile reads an application file from disk.
+func LoadWorkloadFile(path string, clusters int) (*app.Workload, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return LoadWorkload(fh, clusters)
+}
+
+// LoadTimersFile reads a timers file from disk.
+func LoadTimersFile(path string, clusters int) (*Timers, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return LoadTimers(fh, clusters)
+}

@@ -1,0 +1,222 @@
+// Package config reads the simulator's three input files, mirroring the
+// paper's C++SIM simulator configuration (§5.1): a topology file (the
+// clusters, the latency/bandwidth matrix and the federation MTBF), an
+// application file (computation times, communication patterns, total
+// time) and a timers file (delays between CLCs, garbage collection).
+//
+// The format is line-oriented: `key = value` pairs grouped under
+// `[section]` headers, with `#` comments. Durations use Go syntax plus
+// the literal "forever"; bandwidths accept Mbps/Gbps/Kbps suffixes;
+// sizes accept KB/MB/GB suffixes.
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// File is a parsed configuration file: ordered sections of key/value
+// pairs. The unnamed leading section has an empty name.
+type File struct {
+	Sections []Section
+}
+
+// Section is one `[name arg...]` block.
+type Section struct {
+	Name string   // first word of the header, lowercased
+	Args []string // remaining header words
+	Keys map[string]string
+	// Order preserves key order for deterministic iteration.
+	Order []string
+}
+
+// Parse reads a config file.
+func Parse(r io.Reader) (*File, error) {
+	f := &File{Sections: []Section{{Keys: map[string]string{}}}}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("config: line %d: unterminated section header", lineNo)
+			}
+			words := strings.Fields(line[1 : len(line)-1])
+			if len(words) == 0 {
+				return nil, fmt.Errorf("config: line %d: empty section header", lineNo)
+			}
+			f.Sections = append(f.Sections, Section{
+				Name: strings.ToLower(words[0]),
+				Args: words[1:],
+				Keys: map[string]string{},
+			})
+			continue
+		}
+		eq := strings.IndexByte(line, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("config: line %d: expected key = value", lineNo)
+		}
+		key := strings.TrimSpace(line[:eq])
+		val := strings.TrimSpace(line[eq+1:])
+		if key == "" {
+			return nil, fmt.Errorf("config: line %d: empty key", lineNo)
+		}
+		sec := &f.Sections[len(f.Sections)-1]
+		if _, dup := sec.Keys[key]; dup {
+			return nil, fmt.Errorf("config: line %d: duplicate key %q", lineNo, key)
+		}
+		sec.Keys[key] = val
+		sec.Order = append(sec.Order, key)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return f, nil
+}
+
+// Find returns sections with the given name.
+func (f *File) Find(name string) []Section {
+	var out []Section
+	for _, s := range f.Sections {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Top returns the unnamed leading section.
+func (f *File) Top() Section { return f.Sections[0] }
+
+// Get returns a key's value and whether it exists.
+func (s Section) Get(key string) (string, bool) {
+	v, ok := s.Keys[key]
+	return v, ok
+}
+
+// Duration parses a duration key ("30m", "forever"); missing keys
+// return def.
+func (s Section) Duration(key string, def sim.Duration) (sim.Duration, error) {
+	v, ok := s.Keys[key]
+	if !ok {
+		return def, nil
+	}
+	d, err := sim.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("config: key %q: %w", key, err)
+	}
+	return d, nil
+}
+
+// Int parses an integer key; missing keys return def.
+func (s Section) Int(key string, def int) (int, error) {
+	v, ok := s.Keys[key]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("config: key %q: %w", key, err)
+	}
+	return n, nil
+}
+
+// Bool parses a boolean key; missing keys return def.
+func (s Section) Bool(key string, def bool) (bool, error) {
+	v, ok := s.Keys[key]
+	if !ok {
+		return def, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("config: key %q: %w", key, err)
+	}
+	return b, nil
+}
+
+// Bandwidth parses a bandwidth key ("80Mbps", "1Gbps", raw bits/s).
+func (s Section) Bandwidth(key string, def float64) (float64, error) {
+	v, ok := s.Keys[key]
+	if !ok {
+		return def, nil
+	}
+	return ParseBandwidth(v)
+}
+
+// Size parses a byte-size key ("4MB", "64KB", raw bytes).
+func (s Section) Size(key string, def int) (int, error) {
+	v, ok := s.Keys[key]
+	if !ok {
+		return def, nil
+	}
+	return ParseSize(v)
+}
+
+// ParseBandwidth converts "80Mbps"-style strings to bits per second.
+func ParseBandwidth(v string) (float64, error) {
+	lower := strings.ToLower(strings.TrimSpace(v))
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(lower, "gbps"):
+		mult, lower = 1e9, strings.TrimSuffix(lower, "gbps")
+	case strings.HasSuffix(lower, "mbps"):
+		mult, lower = 1e6, strings.TrimSuffix(lower, "mbps")
+	case strings.HasSuffix(lower, "kbps"):
+		mult, lower = 1e3, strings.TrimSuffix(lower, "kbps")
+	case strings.HasSuffix(lower, "bps"):
+		lower = strings.TrimSuffix(lower, "bps")
+	}
+	x, err := strconv.ParseFloat(strings.TrimSpace(lower), 64)
+	if err != nil || x <= 0 {
+		return 0, fmt.Errorf("config: bad bandwidth %q", v)
+	}
+	return x * mult, nil
+}
+
+// ParseSize converts "4MB"-style strings to bytes.
+func ParseSize(v string) (int, error) {
+	lower := strings.ToLower(strings.TrimSpace(v))
+	mult := 1
+	switch {
+	case strings.HasSuffix(lower, "gb"):
+		mult, lower = 1<<30, strings.TrimSuffix(lower, "gb")
+	case strings.HasSuffix(lower, "mb"):
+		mult, lower = 1<<20, strings.TrimSuffix(lower, "mb")
+	case strings.HasSuffix(lower, "kb"):
+		mult, lower = 1<<10, strings.TrimSuffix(lower, "kb")
+	case strings.HasSuffix(lower, "b"):
+		lower = strings.TrimSuffix(lower, "b")
+	}
+	x, err := strconv.ParseFloat(strings.TrimSpace(lower), 64)
+	if err != nil || x < 0 {
+		return 0, fmt.Errorf("config: bad size %q", v)
+	}
+	return int(x * float64(mult)), nil
+}
+
+// Floats parses a whitespace-separated float list.
+func Floats(v string) ([]float64, error) {
+	fields := strings.Fields(v)
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		x, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("config: bad float %q", f)
+		}
+		out[i] = x
+	}
+	return out, nil
+}

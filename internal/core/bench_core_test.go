@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// Micro-benchmarks of the protocol's hot paths: DDV operations, the
+// recovery-line fixpoint and the garbage collector's analysis.
+
+func benchHistory(nClusters, steps int) ([][]Meta, []DDV) {
+	f := newAbstractFederation(nClusters, 42)
+	for s := 0; s < steps; s++ {
+		f.step()
+	}
+	return f.lists, f.ddv
+}
+
+func BenchmarkDDVMerge(b *testing.B) {
+	a := DDV{5, 3, 9, 0, 2, 7, 1, 4}
+	c := DDV{4, 6, 8, 1, 3, 5, 2, 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := a.Clone()
+		d.Merge(c)
+	}
+}
+
+func BenchmarkOldestWith(b *testing.B) {
+	lists, _ := benchHistory(4, 400)
+	list := lists[1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OldestWith(list, 0, SN(i%50))
+	}
+}
+
+func BenchmarkSimulateFailure(b *testing.B) {
+	for _, size := range []struct {
+		name              string
+		clusters, history int
+	}{
+		{"3clusters/100clcs", 3, 300},
+		{"8clusters/400clcs", 8, 1200},
+	} {
+		b.Run(size.name, func(b *testing.B) {
+			lists, currents := benchHistory(size.clusters, size.history)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := SimulateFailure(lists, currents, topology.ClusterID(i%size.clusters)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSmallestSNs(b *testing.B) {
+	lists, currents := benchHistory(5, 600)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SmallestSNs(lists, currents); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterCheckpoint measures one full two-phase commit across
+// a cluster through the synchronous testbed (protocol cost without
+// network latency).
+func BenchmarkClusterCheckpoint(b *testing.B) {
+	for _, nodes := range []int{4, 16, 64} {
+		b.Run(map[int]string{4: "4nodes", 16: "16nodes", 64: "64nodes"}[nodes], func(b *testing.B) {
+			bed := newTestbed(&testing.T{}, []int{nodes}, 1, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bed.commitCLC(0)
+			}
+		})
+	}
+}

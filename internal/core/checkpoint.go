@@ -1,0 +1,331 @@
+package core
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// This file implements cluster-level checkpointing (§3.1): the
+// traditional two-phase commit run over the cluster's SAN. The leader
+// (node 0 of each cluster) is the initiator; application messages are
+// frozen between the request and the commit; each node stores its local
+// state and replicates it to neighbour memory (stable storage) before
+// acknowledging.
+
+// onCLCTimer fires on the cluster leader when the unforced-CLC delay
+// elapses ("each cluster takes its CLC periodically, independently from
+// the others").
+func (n *Node) onCLCTimer() {
+	if !n.leader() {
+		return
+	}
+	if n.inFlight || n.rbActive || n.lostState || n.phase != cpIdle {
+		// Busy: skip this tick; commit/resume will re-arm the timer.
+		n.env.SetTimer(TimerCLC, n.cfg.CLCPeriod)
+		return
+	}
+	n.startCLC(false, nil)
+}
+
+// requestForce routes a forced-CLC demand to the cluster leader. target
+// is the full DDV the cluster must reach (element-wise max semantics).
+func (n *Node) requestForce(target DDV) {
+	n.sendForce(target, false)
+}
+
+// requestForceAlways demands an unconditional forced CLC (ModeForceAll).
+func (n *Node) requestForceAlways(target DDV) {
+	n.sendForce(target, true)
+}
+
+func (n *Node) sendForce(target DDV, always bool) {
+	n.env.Stat("cic.force_requested", 1)
+	if n.leader() {
+		n.absorbForce(target, always)
+		return
+	}
+	msg := ForceCLC{Epoch: n.epoch, NewDDV: target, Always: always}
+	n.env.Send(n.leaderOf(n.cluster), controlSize(msg), msg)
+}
+
+// onForceCLC handles a forced-CLC demand at the leader.
+func (n *Node) onForceCLC(src topology.NodeID, m ForceCLC) {
+	if !n.leader() || m.Epoch != n.epoch {
+		return
+	}
+	n.absorbForce(m.NewDDV, m.Always)
+}
+
+// absorbForce merges a force target into the pending set and starts a
+// forced CLC if none is in flight.
+func (n *Node) absorbForce(target DDV, always bool) {
+	if n.pendingForce == nil {
+		n.pendingForce = NewDDV(n.cfg.Clusters)
+	}
+	n.pendingForce.Merge(target)
+	if always {
+		n.pendingAlways = true
+	}
+	n.tryStartForced()
+}
+
+// tryStartForced starts a forced CLC for any pending entries still
+// above the committed DDV (or unconditionally, when one is owed).
+func (n *Node) tryStartForced() {
+	if n.inFlight || n.rbActive || n.lostState || n.phase != cpIdle || (n.pendingForce == nil && !n.pendingAlways) {
+		return
+	}
+	update := NewDDV(n.cfg.Clusters)
+	needed := false
+	if n.pendingForce != nil {
+		for i, v := range n.pendingForce {
+			if v > n.ddv[i] {
+				update[i] = v
+				needed = true
+			}
+		}
+	}
+	if !needed && !n.pendingAlways {
+		n.pendingForce = nil
+		return
+	}
+	n.pendingAlways = false
+	n.startCLC(true, update)
+}
+
+// startCLC opens the two-phase commit for the next checkpoint. Runs on
+// the leader only.
+func (n *Node) startCLC(forced bool, update DDV) {
+	seq := n.sn + 1
+	n.inFlight = true
+	n.inFlightForced = forced
+	n.inFlightSeq = seq
+	n.inFlightSince = n.env.Now()
+	n.ackedNodes = make(map[int]bool, n.size)
+	n.env.Trace(sim.TraceDebug, "CLC %d request (forced=%v update=%v)", seq, forced, update)
+	n.env.Stat(n.statName("clc.requested"), 1)
+
+	req := CLCRequest{Seq: seq, Epoch: n.epoch, Forced: forced, DDVUpdate: update}
+	for i := 0; i < n.size; i++ {
+		if i == n.id.Index {
+			continue
+		}
+		n.env.Send(topology.NodeID{Cluster: n.cluster, Index: i}, controlSize(req), req)
+	}
+	n.prepareLocal(seq, forced)
+}
+
+// onCLCRequest is the participant side: freeze application traffic,
+// snapshot local state, replicate it, then acknowledge.
+func (n *Node) onCLCRequest(src topology.NodeID, m CLCRequest) {
+	if m.Epoch != n.epoch || n.lostState {
+		return
+	}
+	if n.phase != cpIdle {
+		// The leader serializes CLCs, so this indicates a stale
+		// retransmission; ignore.
+		n.env.Trace(sim.TraceDebug, "ignoring CLC request %d while in phase %d", m.Seq, n.phase)
+		return
+	}
+	if m.Seq != n.sn+1 {
+		n.env.Trace(sim.TraceDebug, "ignoring out-of-sequence CLC request %d (sn=%d)", m.Seq, n.sn)
+		return
+	}
+	n.prepareLocal(m.Seq, m.Forced)
+}
+
+// prepareLocal performs the participant prepare step on this node
+// (leader included).
+func (n *Node) prepareLocal(seq SN, forced bool) {
+	n.phase = cpPrepared
+	n.prepSeq = seq
+	n.frozenSends = true
+	n.frozenDelivs = true
+	state, size := n.app.Snapshot()
+	n.provisional = &clcRecord{
+		meta:      Meta{SN: seq},
+		forced:    forced,
+		at:        n.env.Now(),
+		state:     state,
+		stateSize: size,
+	}
+	targets := n.replicaTargets()
+	n.replWanted = len(targets)
+	n.replGot = 0
+	if n.replWanted == 0 {
+		n.sendPrepAck(seq)
+		return
+	}
+	rep := Replica{Seq: seq, Epoch: n.epoch, Owner: n.id, State: state, Size: size}
+	for _, t := range targets {
+		n.env.Send(t, controlSize(rep), rep)
+	}
+}
+
+// onReplica stores a neighbour's checkpoint part in local memory (the
+// stable-storage implementation of §3.1) and confirms.
+func (n *Node) onReplica(src topology.NodeID, m Replica) {
+	if m.Epoch != n.epoch || src.Cluster != n.cluster {
+		return
+	}
+	n.replicas[replicaKey{owner: m.Owner, seq: m.Seq}] = m
+	ack := ReplicaAck{Seq: m.Seq, Epoch: n.epoch, From: n.id}
+	n.env.Send(m.Owner, controlSize(ack), ack)
+}
+
+// onReplicaAck counts stable-storage confirmations; the 2PC ack goes
+// out only once the local state is safely replicated.
+func (n *Node) onReplicaAck(src topology.NodeID, m ReplicaAck) {
+	if m.Epoch != n.epoch || n.phase != cpPrepared || m.Seq != n.prepSeq {
+		return
+	}
+	n.replGot++
+	if n.replGot == n.replWanted {
+		n.sendPrepAck(m.Seq)
+	}
+}
+
+// sendPrepAck acknowledges the prepare phase to the leader. In
+// ModeIndependent the ack carries the node's local DDV so the commit
+// can merge the dependencies accumulated since the last checkpoint.
+func (n *Node) sendPrepAck(seq SN) {
+	var nodeDDV DDV
+	if n.cfg.Mode == ModeIndependent {
+		nodeDDV = n.ddv.Clone()
+	}
+	if n.leader() {
+		n.ackFrom(n.id.Index, seq, nodeDDV)
+		return
+	}
+	ack := CLCAck{Seq: seq, Epoch: n.epoch, NodeDDV: nodeDDV}
+	n.env.Send(n.leaderOf(n.cluster), controlSize(ack), ack)
+}
+
+// onCLCAck counts prepare acks at the leader.
+func (n *Node) onCLCAck(src topology.NodeID, m CLCAck) {
+	if !n.inFlight || m.Epoch != n.epoch || m.Seq != n.inFlightSeq {
+		return
+	}
+	n.ackFrom(src.Index, m.Seq, m.NodeDDV)
+}
+
+func (n *Node) ackFrom(index int, seq SN, nodeDDV DDV) {
+	n.ackedNodes[index] = true
+	if nodeDDV != nil {
+		n.ackedDDVs = append(n.ackedDDVs, nodeDDV)
+	}
+	if len(n.ackedNodes) < n.size {
+		return
+	}
+	// Every node saved and replicated its state: commit.
+	newDDV := n.ddv.Clone()
+	if n.inFlightForced && n.pendingForce != nil {
+		for i, v := range n.pendingForce {
+			if topology.ClusterID(i) != n.cluster && v > newDDV[i] {
+				newDDV[i] = v
+			}
+		}
+	}
+	for _, d := range n.ackedDDVs {
+		newDDV.Merge(d)
+	}
+	n.ackedDDVs = nil
+	newDDV[n.cluster] = seq
+	commit := CLCCommit{Seq: seq, Epoch: n.epoch, DDV: newDDV}
+	for i := 0; i < n.size; i++ {
+		if i == n.id.Index {
+			continue
+		}
+		n.env.Send(topology.NodeID{Cluster: n.cluster, Index: i}, controlSize(commit), commit)
+	}
+	n.applyCommit(seq, newDDV, n.inFlightForced)
+}
+
+// onCLCCommit finalizes the checkpoint on a participant.
+func (n *Node) onCLCCommit(src topology.NodeID, m CLCCommit) {
+	if m.Epoch != n.epoch || n.phase != cpPrepared || m.Seq != n.prepSeq {
+		return
+	}
+	n.applyCommit(m.Seq, m.DDV, n.provisional.forced)
+}
+
+// applyCommit installs the committed checkpoint: adopt the SN and DDV,
+// store the record, unfreeze application traffic and drain the queues.
+func (n *Node) applyCommit(seq SN, ddv DDV, forced bool) {
+	n.sn = seq
+	if n.cfg.Mode == ModeIndependent {
+		// Lazy tracking: receipts that arrived after this node's ack
+		// are not in the commit DDV; keep them for the next merge.
+		merged := ddv.Clone()
+		merged.Merge(n.ddv)
+		merged[n.cluster] = seq
+		n.ddv = merged
+	} else {
+		n.ddv = ddv.Clone()
+	}
+	rec := n.provisional
+	rec.meta = Meta{SN: seq, DDV: ddv.Clone()}
+	n.clcs = append(n.clcs, rec)
+	n.provisional = nil
+	n.phase = cpIdle
+	n.frozenSends = false
+	n.frozenDelivs = false
+	n.env.Trace(sim.TraceDebug, "CLC %d committed ddv=%v forced=%v", seq, ddv, forced)
+
+	if n.leader() {
+		n.inFlight = false
+		// The 2PC window during which application traffic was frozen:
+		// dominated by the state replication to stable storage.
+		n.env.StatSeries(n.statName("clc.freeze_seconds"),
+			n.env.Now().Sub(n.inFlightSince).Seconds())
+		n.env.Stat(n.statName("clc.committed"), 1)
+		if forced {
+			n.env.Stat(n.statName("clc.committed")+".forced", 1)
+		} else {
+			n.env.Stat(n.statName("clc.committed")+".unforced", 1)
+		}
+		// "the timer is reset when a forced CLC is established" (§5.2):
+		// every commit re-arms the unforced-CLC delay.
+		n.env.SetTimer(TimerCLC, n.cfg.CLCPeriod)
+		n.recordStoredStat()
+		// Drop the pending force set if this commit satisfied it; a
+		// remaining excess starts the next forced CLC below.
+		if n.pendingForce != nil {
+			still := false
+			for i, v := range n.pendingForce {
+				if v > n.ddv[i] {
+					still = true
+					break
+				}
+			}
+			if !still {
+				n.pendingForce = nil
+			}
+		}
+	}
+
+	n.drainSendQueue()
+	n.drainInbound()
+	n.reexamineHeld()
+	if n.leader() {
+		n.env.StatSeries(n.statName("storage.bytes"), float64(n.StorageBytes()))
+		n.tryStartForced()
+	}
+	n.checkMemoryPressure()
+}
+
+// abortCheckpoint discards any in-progress 2PC state; invoked by the
+// rollback path, which supersedes whatever the checkpoint was doing.
+func (n *Node) abortCheckpoint() {
+	if n.phase == cpPrepared || n.inFlight {
+		n.env.Stat(n.statName("clc.aborted"), 1)
+	}
+	n.phase = cpIdle
+	n.provisional = nil
+	n.inFlight = false
+	n.pendingForce = nil
+	n.pendingAlways = false
+	n.ackedDDVs = nil
+	n.frozenSends = false
+	n.frozenDelivs = false
+}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// This file implements the application-message path: interception of
+// every inter-process message (system model, §2.1), the
+// communication-induced checkpointing rules between clusters (§3.2) and
+// the optimistic sender-side message log (§3.3).
+
+// Send is the application-facing entry point: transmit payload to dst.
+// Sends issued while the node is frozen by a 2PC (or by an in-progress
+// rollback) are queued and released at commit/resume, which is exactly
+// the paper's "application messages are queued to prevent intra-cluster
+// dependencies".
+func (n *Node) Send(dst topology.NodeID, p AppPayload) {
+	if n.failed {
+		return
+	}
+	if dst == n.id {
+		panic("core: node sending to itself")
+	}
+	if n.frozenSends || n.lostState {
+		n.sendQueue = append(n.sendQueue, AppPayloadTo{Dst: dst, Payload: p})
+		n.env.Stat("app.sends_frozen", 1)
+		return
+	}
+	n.doSend(dst, p)
+}
+
+func (n *Node) doSend(dst topology.NodeID, p AppPayload) {
+	n.nextMsgID++
+	m := AppMsg{
+		MsgID:      n.nextMsgID,
+		Payload:    p,
+		SrcCluster: n.cluster,
+		SrcEpoch:   n.epoch,
+		SendSN:     n.sn,
+	}
+	if dst.Cluster != n.cluster {
+		// Inter-cluster: piggyback the dependency information and log
+		// the message optimistically in volatile memory (§3.3),
+		// mirroring the entry to the stable-storage neighbour so a
+		// crash of *this* node does not lose it.
+		if n.cfg.Transitive {
+			m.PiggyDDV = n.ddv.Clone()
+		}
+		n.log = append(n.log, &logEntry{
+			msgID:      m.MsgID,
+			dst:        dst,
+			dstCluster: dst.Cluster,
+			payload:    p,
+			piggySN:    n.sn,
+			piggyDDV:   m.PiggyDDV,
+			sendSN:     n.sn,
+		})
+		n.env.Stat("log.appended", 1)
+		if n.cfg.Replicas > 0 {
+			mir := LogMirror{
+				Owner: n.id, MsgID: m.MsgID, Dst: dst, Payload: p,
+				PiggySN: n.sn, PiggyDDV: m.PiggyDDV, SendSN: n.sn,
+			}
+			n.env.Send(n.holderFor(), controlSize(mir), mir)
+		}
+	}
+	n.env.SendApp(dst, m.WireSize(), m)
+}
+
+func (n *Node) drainSendQueue() {
+	q := n.sendQueue
+	n.sendQueue = nil
+	for _, s := range q {
+		n.doSend(s.Dst, s.Payload)
+	}
+}
+
+// DebugHook, when non-nil, observes every application-message routing
+// decision: stage is one of "drop_stale", "defer_epoch", "defer_frozen",
+// "held", "deliver_inter", "deliver_intra". Test instrumentation only —
+// never set in production paths.
+var DebugHook func(node topology.NodeID, stage string, m AppMsg)
+
+func (n *Node) debug(stage string, m AppMsg) {
+	if DebugHook != nil {
+		DebugHook(n.id, stage, m)
+	}
+}
+
+// onAppMsg applies the receive-side guards, then routes the message to
+// the intra- or inter-cluster delivery path.
+func (n *Node) onAppMsg(src topology.NodeID, m AppMsg) {
+	if src.Cluster == n.cluster {
+		// Intra-cluster: drop traffic from an aborted execution.
+		if m.SrcEpoch != n.epoch || n.lostState {
+			n.debug("drop_stale", m)
+			n.env.Stat("app.dropped_stale", 1)
+			return
+		}
+	} else {
+		// Inter-cluster: epochs of other clusters are learned lazily.
+		known := n.knownEpoch[src.Cluster]
+		if m.SrcEpoch < known {
+			// One epoch behind, sent before the rollback point the
+			// alert announced: the send is part of the sender's
+			// restored state and the content is still valid (it may be
+			// the only surviving copy of a resend that raced our own
+			// rollback). Anything else is aborted-execution traffic.
+			valid := m.SrcEpoch+1 == known &&
+				known == n.alertEpoch[src.Cluster] &&
+				m.SendSN < n.alertSN[src.Cluster]
+			if !valid {
+				n.debug("drop_stale", m)
+				n.env.Stat("app.dropped_stale", 1)
+				return
+			}
+			n.env.Stat("app.accepted_prior_epoch", 1)
+		}
+		if m.SrcEpoch > known {
+			n.knownEpoch[src.Cluster] = m.SrcEpoch
+		}
+		if m.DstEpoch > n.epoch || n.lostState {
+			// A resent message overtook our own rollback command (or
+			// we are mid-recovery): defer it.
+			n.debug("defer_epoch", m)
+			n.inboundQueue = append(n.inboundQueue, inbound{src: src, msg: m})
+			n.env.Stat("app.deferred_epoch", 1)
+			return
+		}
+	}
+	if n.frozenDelivs {
+		// Frozen by an in-progress 2PC: queue until commit (§3.1).
+		n.debug("defer_frozen", m)
+		n.inboundQueue = append(n.inboundQueue, inbound{src: src, msg: m})
+		n.env.Stat("app.deferred_frozen", 1)
+		return
+	}
+	if src.Cluster == n.cluster {
+		n.deliverIntra(src, m)
+	} else {
+		n.cicReceive(src, m)
+	}
+}
+
+// drainInbound re-runs deferred messages whose guards may now pass
+// (after a commit unfreezes delivery or a rollback bumps the epoch).
+func (n *Node) drainInbound() {
+	if len(n.inboundQueue) == 0 {
+		return
+	}
+	q := n.inboundQueue
+	n.inboundQueue = nil
+	for _, in := range q {
+		n.onAppMsg(in.src, in.msg)
+	}
+}
+
+// deliverIntra hands an intra-cluster message to the application. If
+// one or more checkpoint lines passed between send and receive, the
+// message is folded into those checkpoints' channel state (lateLog) so
+// a restore re-delivers it — keeping every committed CLC free of lost
+// in-transit messages (§2.2).
+func (n *Node) deliverIntra(src topology.NodeID, m AppMsg) {
+	if m.SendSN < n.sn {
+		for _, rec := range n.clcs {
+			if rec.meta.SN > m.SendSN && rec.meta.SN <= n.sn {
+				rec.lateLog = append(rec.lateLog, inbound{src: src, msg: m})
+			}
+		}
+		n.env.Stat("app.late_logged", 1)
+	}
+	n.env.Stat("app.delivered.intra", 1)
+	n.app.Deliver(src, m.Payload)
+}
+
+// cicReceive applies the communication-induced rule of §3.2 to an
+// inter-cluster message: deliver directly when the piggybacked
+// dependency information is already covered by the DDV; otherwise hold
+// the message and force a CLC, delivering only after it commits. The
+// baseline modes replace the rule: ModeForceAll checkpoints before
+// every delivery, ModeIndependent never does.
+func (n *Node) cicReceive(src topology.NodeID, m AppMsg) {
+	switch n.cfg.Mode {
+	case ModeForceAll:
+		// The Figure 4 strawman: every inter-cluster message forces a
+		// CLC before delivery, useful or not.
+		target := n.ddv.Clone()
+		if m.SendSN > target[src.Cluster] {
+			target[src.Cluster] = m.SendSN
+		}
+		n.heldInter = append(n.heldInter, inbound{src: src, msg: m, heldAt: n.sn})
+		n.env.Stat("cic.held", 1)
+		n.requestForceAlways(target)
+		return
+	case ModeIndependent:
+		// Lazy tracking: remember the dependency locally (merged
+		// cluster-wide at the next commit), deliver immediately.
+		if m.SendSN > n.ddv[src.Cluster] {
+			n.ddv[src.Cluster] = m.SendSN
+		}
+		n.deliverInter(src, m)
+		return
+	}
+	var target DDV
+	if n.cfg.Transitive && m.PiggyDDV != nil {
+		// Transitive extension (§7): merge the whole DDV; any raised
+		// entry is a new dependency.
+		for i, v := range m.PiggyDDV {
+			if topology.ClusterID(i) == n.cluster {
+				continue
+			}
+			if v > n.ddv[i] {
+				if target == nil {
+					target = n.ddv.Clone()
+				}
+				target[i] = v
+			}
+		}
+	} else if m.SendSN > n.ddv[src.Cluster] {
+		target = n.ddv.Clone()
+		target[src.Cluster] = m.SendSN
+	}
+	if target == nil {
+		n.deliverInter(src, m)
+		return
+	}
+	// "a CLC is forced in the receiver's cluster only when a CLC has
+	// been stored in the sender's cluster since the last communication"
+	n.debug("held", m)
+	n.heldInter = append(n.heldInter, inbound{src: src, msg: m})
+	n.env.Stat("cic.held", 1)
+	n.env.Trace(sim.TraceDebug, "hold msg %v from %v (piggy %d > ddv %v), forcing CLC",
+		m.Payload.ID, src, m.SendSN, n.ddv)
+	n.requestForce(target)
+}
+
+// reexamineHeld retries held inter-cluster messages after a commit:
+// deliver those the new DDV covers, re-demand a forced CLC for the
+// rest (they arrived mid-2PC with an even newer dependency).
+func (n *Node) reexamineHeld() {
+	if len(n.heldInter) == 0 {
+		return
+	}
+	held := n.heldInter
+	n.heldInter = nil
+	for _, in := range held {
+		if n.cfg.Mode == ModeForceAll {
+			if n.sn > in.heldAt {
+				n.deliverInter(in.src, in.msg)
+			} else {
+				n.heldInter = append(n.heldInter, in)
+				n.requestForceAlways(n.ddv.Clone())
+			}
+			continue
+		}
+		n.cicReceive(in.src, in.msg)
+	}
+}
+
+// deliverInter hands an inter-cluster message to the application and
+// acknowledges it with the receiver cluster's SN at delivery time; the
+// sender attaches that SN to its log entry (§3.3). Forced-CLC
+// deliveries therefore carry "the local SN + 1" exactly as in §4.
+func (n *Node) deliverInter(src topology.NodeID, m AppMsg) {
+	n.debug("deliver_inter", m)
+	n.env.Stat("app.delivered.inter", 1)
+	if m.Resend {
+		n.env.Stat("app.delivered.resent", 1)
+	}
+	n.app.Deliver(src, m.Payload)
+	ack := AppAck{MsgID: m.MsgID, SrcCluster: n.cluster, SrcEpoch: n.epoch, ReceiverSN: n.sn}
+	n.env.Send(src, controlSize(ack), ack)
+}
+
+// onAppAck records the receiver SN on the matching log entry.
+func (n *Node) onAppAck(src topology.NodeID, m AppAck) {
+	if m.SrcEpoch < n.knownEpoch[src.Cluster] {
+		return
+	}
+	if m.SrcEpoch > n.knownEpoch[src.Cluster] {
+		n.knownEpoch[src.Cluster] = m.SrcEpoch
+	}
+	for _, e := range n.log {
+		if e.msgID == m.MsgID {
+			e.acked = true
+			e.ackSN = m.ReceiverSN
+			return
+		}
+	}
+	// Entry already garbage-collected or pruned by a rollback: ignore.
+	n.env.Stat("log.ack_orphan", 1)
+}
+
+// resendLoggedTo retransmits the logged messages the rolled-back
+// cluster needs: those not yet acknowledged, or acknowledged with an SN
+// not captured by the restored checkpoint (§3.4). The paper states the
+// rule as "acknowledged with a SN greater than the alert one (or not
+// acknowledged at all)" under its ack = SN+1 convention; with our acks
+// carrying the delivery-time SN the equivalent test is ackSN >= alertSN
+// (a delivery at SN k is first captured by the checkpoint with SN k+1).
+func (n *Node) resendLoggedTo(c topology.ClusterID, alertSN SN, newEpoch Epoch) {
+	for _, e := range n.log {
+		if e.dstCluster != c {
+			continue
+		}
+		if e.acked && e.ackSN < alertSN {
+			continue
+		}
+		e.acked = false
+		m := AppMsg{
+			MsgID:      e.msgID,
+			Payload:    e.payload,
+			SrcCluster: n.cluster,
+			SrcEpoch:   n.epoch,
+			SendSN:     e.piggySN,
+			PiggyDDV:   e.piggyDDV,
+			Resend:     true,
+			DstEpoch:   newEpoch,
+		}
+		n.env.Stat("log.resent", 1)
+		n.env.Trace(sim.TraceDebug, "resend %v to %v (alert sn=%d)", e.payload.ID, e.dst, alertSN)
+		n.env.SendApp(e.dst, m.WireSize(), m)
+	}
+}
+
+// pruneLogForOwnRollback drops log entries whose sends are not part of
+// the restored state (they will be re-executed by the application):
+// "logged messages are used only if the sender does not rollback".
+func (n *Node) pruneLogForOwnRollback(toSN SN) {
+	kept := n.log[:0]
+	for _, e := range n.log {
+		if e.sendSN < toSN {
+			kept = append(kept, e)
+		}
+	}
+	n.log = kept
+}

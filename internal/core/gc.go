@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// This file implements garbage collection (§3.5). The protocol stores
+// multiple CLCs per cluster (and logs every inter-cluster message), so
+// memory must be reclaimed: the centralized collector gathers every
+// cluster's stored-CLC DDVs, simulates a failure in each cluster, and
+// distributes the smallest SN each cluster might ever roll back to;
+// older checkpoints and sufficiently-acknowledged log entries are
+// dropped. The ring variant (§7 future work) replaces the star-shaped
+// exchange with a circulating token.
+
+// onGCTimer starts a collection round on the federation GC initiator.
+func (n *Node) onGCTimer() {
+	if !n.cfg.GCInitiator {
+		return
+	}
+	n.env.SetTimer(TimerGC, n.cfg.GCPeriod)
+	n.startGCRound()
+}
+
+// checkMemoryPressure demands a collection when this node's
+// fault-tolerance memory saturates (§3.5). The demand flag clears once
+// a GCDrop arrives, so a node asks at most once per saturation episode.
+func (n *Node) checkMemoryPressure() {
+	if n.cfg.GCMemoryThreshold == 0 || n.gcDemanded {
+		return
+	}
+	bytes := n.StorageBytes()
+	if bytes <= n.cfg.GCMemoryThreshold {
+		return
+	}
+	n.gcDemanded = true
+	n.env.Stat("gc.demands", 1)
+	d := GCDemand{From: n.id, Bytes: bytes}
+	if n.cfg.GCInitiator {
+		n.onGCDemand(n.id, d)
+		return
+	}
+	n.env.Send(n.leaderOf(0), controlSize(d), d)
+}
+
+// onGCDemand reacts to a saturation demand at the initiator (the
+// initiator is node 0 of cluster 0 by convention).
+func (n *Node) onGCDemand(src topology.NodeID, m GCDemand) {
+	if !n.cfg.GCInitiator {
+		return
+	}
+	// Rate-limit: at most one demand-driven round per minute, and none
+	// while a round is already gathering reports.
+	if n.gcReports != nil ||
+		(n.gcStartedOnce && n.env.Now().Sub(n.gcLastStart) < sim.Minute) {
+		n.env.Stat("gc.demands_coalesced", 1)
+		return
+	}
+	n.env.Stat("gc.demand_rounds", 1)
+	n.startGCRound()
+}
+
+// startGCRound opens a collection round (timer- or demand-driven).
+func (n *Node) startGCRound() {
+	if n.cfg.Mode != ModeHC3I {
+		// The GC analysis simulates failures under the HC3I rollback
+		// rule; the baseline modes keep everything.
+		n.env.Stat("gc.unsupported_mode", 1)
+		return
+	}
+	if n.rbActive || n.lostState {
+		n.env.Stat("gc.skipped_busy", 1)
+		return
+	}
+	n.gcLastStart = n.env.Now()
+	n.gcStartedOnce = true
+	n.gcRound++
+	n.gcAlertsMark = n.alertsSeen
+	n.env.Stat("gc.rounds_started", 1)
+	n.env.Trace(sim.TraceInfo, "GC round %d starting", n.gcRound)
+
+	if n.cfg.RingGC {
+		tok := GCToken{Round: n.gcRound, Phase: 0, Reports: []GCReport{n.makeGCReport(n.gcRound)}}
+		n.forwardToken(tok)
+		return
+	}
+	n.gcReports = map[topology.ClusterID]GCReport{n.cluster: n.makeGCReport(n.gcRound)}
+	req := GCRequest{Round: n.gcRound}
+	for c := topology.ClusterID(0); int(c) < n.cfg.Clusters; c++ {
+		if c == n.cluster {
+			continue
+		}
+		n.env.Stat("gc.messages", 1)
+		n.env.Send(n.leaderOf(c), controlSize(req), req)
+	}
+	n.maybeFinishGCRound()
+}
+
+func (n *Node) makeGCReport(round uint64) GCReport {
+	return GCReport{
+		Round:      round,
+		Cluster:    n.cluster,
+		Epoch:      n.epoch,
+		CurrentDDV: n.ddv.Clone(),
+		CLCs:       n.StoredMetas(),
+	}
+}
+
+// onGCRequest answers the initiator with this cluster's checkpoint
+// metadata; a cluster busy rolling back stays silent and the round is
+// superseded by the next timer tick.
+func (n *Node) onGCRequest(src topology.NodeID, m GCRequest) {
+	if !n.leader() || n.rbActive || n.lostState {
+		return
+	}
+	rep := n.makeGCReport(m.Round)
+	n.env.Stat("gc.messages", 1)
+	n.env.Send(src, controlSize(rep), rep)
+}
+
+// onGCReport collects cluster reports at the initiator.
+func (n *Node) onGCReport(src topology.NodeID, m GCReport) {
+	if !n.cfg.GCInitiator || m.Round != n.gcRound || n.gcReports == nil {
+		return
+	}
+	n.gcReports[m.Cluster] = m
+	n.maybeFinishGCRound()
+}
+
+func (n *Node) maybeFinishGCRound() {
+	if len(n.gcReports) < n.cfg.Clusters {
+		return
+	}
+	reports := n.gcReports
+	n.gcReports = nil
+	if n.alertsSeen != n.gcAlertsMark {
+		// A rollback happened mid-round: the reports may be mutually
+		// inconsistent, so the round is abandoned (safe: GC only ever
+		// delays reclamation).
+		n.env.Stat("gc.rounds_aborted", 1)
+		return
+	}
+	minSNs, err := n.computeMinSNs(reports)
+	if err != nil {
+		n.env.Stat("gc.rounds_aborted", 1)
+		n.env.Trace(sim.TraceInfo, "GC round %d failed: %v", n.gcRound, err)
+		return
+	}
+	coll := GCCollect{Round: n.gcRound, MinSNs: minSNs}
+	for c := topology.ClusterID(0); int(c) < n.cfg.Clusters; c++ {
+		if c == n.cluster {
+			continue
+		}
+		n.env.Stat("gc.messages", 1)
+		n.env.Send(n.leaderOf(c), controlSize(coll), coll)
+	}
+	n.env.Stat("gc.rounds_completed", 1)
+	n.distributeDropLocally(coll.MinSNs)
+}
+
+// computeMinSNs runs the paper's analysis: simulate a failure in every
+// cluster and keep, per cluster, the smallest SN it might roll back to.
+func (n *Node) computeMinSNs(reports map[topology.ClusterID]GCReport) ([]SN, error) {
+	lists := make([][]Meta, n.cfg.Clusters)
+	currents := make([]DDV, n.cfg.Clusters)
+	for c := topology.ClusterID(0); int(c) < n.cfg.Clusters; c++ {
+		rep, ok := reports[c]
+		if !ok {
+			return nil, fmt.Errorf("core: GC round missing report for cluster %d", c)
+		}
+		lists[c] = rep.CLCs
+		currents[c] = rep.CurrentDDV
+	}
+	return SmallestSNs(lists, currents)
+}
+
+// onGCCollect applies the thresholds at a cluster leader and broadcasts
+// them in the cluster.
+func (n *Node) onGCCollect(src topology.NodeID, m GCCollect) {
+	if !n.leader() {
+		return
+	}
+	n.distributeDropLocally(m.MinSNs)
+}
+
+// distributeDropLocally broadcasts the drop thresholds inside the
+// cluster and applies them here.
+func (n *Node) distributeDropLocally(minSNs []SN) {
+	drop := GCDrop{Round: n.gcRound, Epoch: n.epoch, MinSNs: minSNs}
+	for i := 0; i < n.size; i++ {
+		if i == n.id.Index {
+			continue
+		}
+		n.env.Send(topology.NodeID{Cluster: n.cluster, Index: i}, controlSize(drop), drop)
+	}
+	n.applyGCDrop(minSNs)
+}
+
+// onGCDrop applies the thresholds on a cluster member.
+func (n *Node) onGCDrop(src topology.NodeID, m GCDrop) {
+	if m.Epoch != n.epoch || src.Cluster != n.cluster {
+		return
+	}
+	n.applyGCDrop(m.MinSNs)
+}
+
+// applyGCDrop discards checkpoints that can never again be a rollback
+// target, neighbour replicas for the same range, and logged messages
+// whose delivery is captured by every checkpoint the receiver cluster
+// might restore ("acknowledged with a SN smaller than the receiver's
+// cluster smallest SN").
+func (n *Node) applyGCDrop(minSNs []SN) {
+	if len(minSNs) != n.cfg.Clusters {
+		return
+	}
+	before := len(n.clcs)
+	threshold := minSNs[n.cluster]
+	keptCLCs := n.clcs[:0]
+	for _, r := range n.clcs {
+		if r.meta.SN >= threshold {
+			keptCLCs = append(keptCLCs, r)
+		}
+	}
+	n.clcs = keptCLCs
+	for k := range n.replicas {
+		if k.seq < threshold {
+			delete(n.replicas, k)
+		}
+	}
+	logBefore := len(n.log)
+	keptLog := n.log[:0]
+	for _, e := range n.log {
+		if e.acked && e.ackSN < minSNs[e.dstCluster] {
+			continue
+		}
+		keptLog = append(keptLog, e)
+	}
+	n.log = keptLog
+	if len(n.log) < logBefore && n.cfg.Replicas > 0 {
+		// Let the stable-storage neighbour trim its mirror too.
+		trim := LogTrim{Kept: make([]uint64, 0, len(n.log))}
+		for _, e := range n.log {
+			trim.Kept = append(trim.Kept, e.msgID)
+		}
+		n.env.Send(n.holderFor(), controlSize(trim), trim)
+	}
+
+	n.env.Stat("gc.clcs_removed", uint64(before-len(n.clcs)))
+	n.env.Stat("gc.log_entries_removed", uint64(logBefore-len(n.log)))
+	n.gcDemanded = false // saturation episode over; may demand again
+	if n.leader() {
+		// The before/after pairs of Tables 2 and 3.
+		n.env.StatSeries(fmt.Sprintf("gc.before.c%d", n.cluster), float64(before))
+		n.env.StatSeries(fmt.Sprintf("gc.after.c%d", n.cluster), float64(len(n.clcs)))
+		n.env.StatSeries(n.statName("storage.bytes"), float64(n.StorageBytes()))
+		n.recordStoredStat()
+	}
+}
+
+// ---- distributed (ring) variant ----
+
+// forwardToken passes the token to the next cluster's leader on the
+// ring.
+func (n *Node) forwardToken(tok GCToken) {
+	next := topology.ClusterID((int(n.cluster) + 1) % n.cfg.Clusters)
+	n.env.Stat("gc.messages", 1)
+	n.env.Send(n.leaderOf(next), controlSize(tok), tok)
+}
+
+// onGCToken advances the ring protocol: phase 0 accumulates reports
+// around the ring; once the token returns to the initiator it computes
+// the thresholds and circulates them as phase 1.
+func (n *Node) onGCToken(src topology.NodeID, m GCToken) {
+	if !n.leader() {
+		return
+	}
+	switch m.Phase {
+	case 0:
+		if n.cfg.GCInitiator {
+			if m.Round != n.gcRound || len(m.Reports) != n.cfg.Clusters {
+				return // stale or incomplete round
+			}
+			if n.alertsSeen != n.gcAlertsMark {
+				n.env.Stat("gc.rounds_aborted", 1)
+				return
+			}
+			byCluster := make(map[topology.ClusterID]GCReport, len(m.Reports))
+			for _, r := range m.Reports {
+				byCluster[r.Cluster] = r
+			}
+			minSNs, err := n.computeMinSNs(byCluster)
+			if err != nil {
+				n.env.Stat("gc.rounds_aborted", 1)
+				return
+			}
+			n.env.Stat("gc.rounds_completed", 1)
+			n.distributeDropLocally(minSNs)
+			n.forwardToken(GCToken{Round: m.Round, Phase: 1, MinSNs: minSNs})
+			return
+		}
+		if n.rbActive || n.lostState {
+			return // round dies; the next timer tick retries
+		}
+		m.Reports = append(m.Reports, n.makeGCReport(m.Round))
+		n.forwardToken(m)
+	case 1:
+		if n.cfg.GCInitiator {
+			return // token completed the distribution lap
+		}
+		n.distributeDropLocally(m.MinSNs)
+		n.forwardToken(m)
+	}
+}

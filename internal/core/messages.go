@@ -1,0 +1,343 @@
+package core
+
+import (
+	"repro/internal/topology"
+)
+
+// Msg is implemented by every protocol wire message. All fields are
+// exported so the live runtime can encode them with encoding/gob.
+type Msg interface{ ProtocolMessage() }
+
+// Wire sizes in bytes, used to price protocol traffic in the network
+// model. Piggybacked vectors add 8 bytes per cluster.
+const (
+	snBytes        = 8
+	headerBytes    = 16 // ids, flags
+	controlBytes   = 32 // fixed part of small control messages
+	perClusterByte = 8
+)
+
+// AppMsg wraps one application message. Intra-cluster messages carry
+// SendSN so stragglers that cross a checkpoint line can be folded into
+// that checkpoint (channel state); inter-cluster messages additionally
+// piggyback the sender cluster's SN (and, with the transitive
+// extension, its whole DDV) — the heart of the CIC mechanism (§3.2).
+type AppMsg struct {
+	MsgID      uint64 // unique per sender node
+	Payload    AppPayload
+	SrcCluster topology.ClusterID
+	SrcEpoch   Epoch
+	SendSN     SN  // sender cluster's SN at send time
+	PiggyDDV   DDV // nil unless the transitive extension is enabled
+	Resend     bool
+	// DstEpoch, on resent messages only, carries the receiver cluster's
+	// post-rollback epoch (from the alert that triggered the resend): a
+	// receiver that has not yet executed its local rollback defers the
+	// message instead of delivering it into doomed state.
+	DstEpoch Epoch
+}
+
+func (AppMsg) ProtocolMessage() {}
+
+// WireSize returns the bytes occupied on the network, payload plus
+// protocol overhead ("transmitting an integer (SN) with them", §5.2).
+func (m AppMsg) WireSize() int {
+	s := m.Payload.Size + headerBytes + snBytes
+	if m.PiggyDDV != nil {
+		s += perClusterByte * len(m.PiggyDDV)
+	}
+	return s
+}
+
+// AppAck acknowledges an inter-cluster application message with the
+// receiver cluster's SN at delivery time; the sender stores it in its
+// volatile log (§3.3).
+type AppAck struct {
+	MsgID      uint64
+	SrcCluster topology.ClusterID // cluster of the *acking* node
+	SrcEpoch   Epoch
+	ReceiverSN SN
+}
+
+func (AppAck) ProtocolMessage() {}
+
+// CLCRequest opens the two-phase commit for checkpoint Seq within a
+// cluster (§3.1). For a forced CLC, DDVUpdate carries the new
+// dependency entries that every node must adopt at commit.
+type CLCRequest struct {
+	Seq       SN
+	Epoch     Epoch
+	Forced    bool
+	DDVUpdate DDV // nil for unforced CLCs
+}
+
+func (CLCRequest) ProtocolMessage() {}
+
+// CLCAck tells the initiator a node has saved its local state (and
+// replicated it to stable storage) for checkpoint Seq. In
+// ModeIndependent it also carries the node's locally accumulated DDV,
+// which the commit merges cluster-wide (lazy dependency tracking).
+type CLCAck struct {
+	Seq     SN
+	Epoch   Epoch
+	NodeDDV DDV
+}
+
+func (CLCAck) ProtocolMessage() {}
+
+// CLCCommit completes the two-phase commit: every node adopts the new
+// SN and DDV, unfreezes application traffic and finalizes the stored
+// checkpoint.
+type CLCCommit struct {
+	Seq   SN
+	Epoch Epoch
+	DDV   DDV
+}
+
+func (CLCCommit) ProtocolMessage() {}
+
+// ForceCLC asks the cluster leader to initiate a forced CLC because an
+// inter-cluster message raised a DDV entry (§3.2). NewDDV carries the
+// required entries (element-wise max semantics). Always requests an
+// unconditional checkpoint even without new entries (ModeForceAll).
+type ForceCLC struct {
+	Epoch  Epoch
+	NewDDV DDV
+	Always bool
+}
+
+func (ForceCLC) ProtocolMessage() {}
+
+// Replica carries one node's local state to its stable-storage
+// neighbour(s) inside the cluster (§3.1: "each node record its part of
+// the CLCs ... in the memory of an other node").
+type Replica struct {
+	Seq   SN
+	Epoch Epoch
+	Owner topology.NodeID
+	State any
+	Size  int
+}
+
+func (Replica) ProtocolMessage() {}
+
+// ReplicaAck confirms a Replica was stored; the owner only acks the 2PC
+// once its state is safely replicated.
+type ReplicaAck struct {
+	Seq   SN
+	Epoch Epoch
+	From  topology.NodeID
+}
+
+func (ReplicaAck) ProtocolMessage() {}
+
+// RollbackAlert is the inter-cluster alert of §3.4: cluster Cluster has
+// rolled back and now runs from SN NewSN in epoch NewEpoch.
+type RollbackAlert struct {
+	Cluster  topology.ClusterID
+	NewSN    SN
+	NewEpoch Epoch
+}
+
+func (RollbackAlert) ProtocolMessage() {}
+
+// RollbackCmd is broadcast inside a cluster by the rollback coordinator:
+// restore the stored CLC with sequence number ToSN and move to NewEpoch.
+type RollbackCmd struct {
+	ToSN     SN
+	NewEpoch Epoch
+}
+
+func (RollbackCmd) ProtocolMessage() {}
+
+// RollbackAck confirms a node finished restoring.
+type RollbackAck struct {
+	ToSN  SN
+	Epoch Epoch
+	From  topology.NodeID
+}
+
+func (RollbackAck) ProtocolMessage() {}
+
+// RecoverStateReq asks a neighbour for the replica of a failed node's
+// state at checkpoint Seq (used when the failed node restarts).
+type RecoverStateReq struct {
+	Seq   SN
+	Epoch Epoch
+	Owner topology.NodeID
+}
+
+func (RecoverStateReq) ProtocolMessage() {}
+
+// OlderState carries one additional repatriated checkpoint state.
+type OlderState struct {
+	SN    SN
+	State any
+	Size  int
+}
+
+// RecoverStateResp returns the replica plus the cluster's checkpoint
+// metadata so the restarted node can rebuild its (lost) CLC list. All
+// of the owner's surviving states are repatriated in bulk (Older), so
+// that after recovery both the owner and the neighbour again hold a
+// full copy — successive single faults stay tolerable.
+type RecoverStateResp struct {
+	Seq   SN
+	Epoch Epoch
+	Owner topology.NodeID
+	State any
+	Size  int
+	Metas []Meta
+	Older []OlderState
+	// Log repatriates the owner's mirrored message-log entries; the
+	// owner re-adopts those whose send is part of the restored state.
+	Log []LogMirror
+}
+
+func (RecoverStateResp) ProtocolMessage() {}
+
+// LogMirror copies one freshly logged inter-cluster message to the
+// sender's stable-storage neighbour. The paper keeps the log in the
+// sender's volatile memory (§3.3), which loses it if the *sender node*
+// is the one that crashes — and a receiver cluster that later rolls
+// back would then miss resends. Mirroring the log alongside the
+// checkpoint replicas closes that hole for the price of one cheap
+// intra-cluster (SAN) message per rare inter-cluster send.
+type LogMirror struct {
+	Owner    topology.NodeID
+	MsgID    uint64
+	Dst      topology.NodeID
+	Payload  AppPayload
+	PiggySN  SN
+	PiggyDDV DDV
+	SendSN   SN
+}
+
+func (LogMirror) ProtocolMessage() {}
+
+// LogTrim tells the holder which of the owner's mirrored log entries
+// are still alive (sent after the owner garbage-collected its log).
+type LogTrim struct {
+	Kept []uint64
+}
+
+func (LogTrim) ProtocolMessage() {}
+
+// ReReplicateReq is sent by a restarted node to the neighbours whose
+// checkpoint parts it used to hold: its crash lost those replicas, so
+// the owners push them again. Without this, a *later* (non-simultaneous)
+// failure of a neighbour would find no replica — the paper tolerates
+// one fault at a time, and successive faults must each be tolerable.
+type ReReplicateReq struct {
+	Epoch Epoch
+}
+
+func (ReReplicateReq) ProtocolMessage() {}
+
+// RollbackResume is the coordinator's end-of-rollback barrier: nodes
+// froze application sends at RollbackCmd and resume them here, so no
+// post-rollback message can overtake another node's restoration.
+type RollbackResume struct {
+	Epoch Epoch
+}
+
+func (RollbackResume) ProtocolMessage() {}
+
+// GCRequest opens a garbage-collection round (§3.5); sent by the
+// federation GC initiator to one node (the leader) of each cluster.
+type GCRequest struct {
+	Round uint64
+}
+
+func (GCRequest) ProtocolMessage() {}
+
+// GCReport returns a cluster's stored-CLC metadata and current DDV to
+// the initiator.
+type GCReport struct {
+	Round      uint64
+	Cluster    topology.ClusterID
+	Epoch      Epoch
+	CurrentDDV DDV
+	CLCs       []Meta
+}
+
+func (GCReport) ProtocolMessage() {}
+
+// GCCollect distributes the per-cluster smallest SNs; each cluster
+// discards CLCs older than its own entry and logged messages
+// acknowledged below the receiver cluster's entry.
+type GCCollect struct {
+	Round  uint64
+	MinSNs []SN
+}
+
+func (GCCollect) ProtocolMessage() {}
+
+// GCDrop is the intra-cluster broadcast of GCCollect.
+type GCDrop struct {
+	Round  uint64
+	Epoch  Epoch
+	MinSNs []SN
+}
+
+func (GCDrop) ProtocolMessage() {}
+
+// GCDemand asks the federation GC initiator for an immediate
+// collection because a node's checkpoint memory is saturating —
+// "Periodically, *or when a node memory saturates*, a garbage
+// collection is initiated" (§3.5).
+type GCDemand struct {
+	From  topology.NodeID
+	Bytes uint64
+}
+
+func (GCDemand) ProtocolMessage() {}
+
+// GCToken implements the distributed (ring) garbage collector of the
+// paper's future work (§7): it circulates across cluster leaders,
+// accumulating reports; the last hop computes the thresholds and a
+// second pass distributes them.
+type GCToken struct {
+	Round   uint64
+	Phase   int // 0 = collecting reports, 1 = distributing MinSNs
+	Reports []GCReport
+	MinSNs  []SN
+}
+
+func (GCToken) ProtocolMessage() {}
+
+// controlSize estimates the wire size of a control message.
+func controlSize(m Msg) int {
+	switch v := m.(type) {
+	case AppAck:
+		return controlBytes
+	case CLCRequest:
+		return controlBytes + perClusterByte*len(v.DDVUpdate)
+	case CLCCommit:
+		return controlBytes + perClusterByte*len(v.DDV)
+	case ForceCLC:
+		return controlBytes + perClusterByte*len(v.NewDDV)
+	case Replica:
+		return controlBytes + v.Size
+	case RecoverStateResp:
+		s := controlBytes + v.Size + perClusterByte*len(v.Metas)
+		for _, o := range v.Older {
+			s += o.Size
+		}
+		return s
+	case GCReport:
+		return controlBytes + perClusterByte*len(v.CurrentDDV)*(1+len(v.CLCs))
+	case GCCollect:
+		return controlBytes + perClusterByte*len(v.MinSNs)
+	case GCDrop:
+		return controlBytes + perClusterByte*len(v.MinSNs)
+	case GCToken:
+		s := controlBytes + perClusterByte*len(v.MinSNs)
+		for _, r := range v.Reports {
+			s += controlBytes + perClusterByte*len(r.CurrentDDV)*(1+len(r.CLCs))
+		}
+		return s
+	default:
+		return controlBytes
+	}
+}

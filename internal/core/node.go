@@ -1,0 +1,546 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// ProtocolMode selects the inter-cluster checkpointing strategy. The
+// non-default modes exist as baselines for the paper's design
+// discussion (§3.2 argues forcing on every message is wasteful; §2.2
+// argues independent checkpointing dominos).
+type ProtocolMode int
+
+// Protocol modes.
+const (
+	// ModeHC3I is the paper's protocol: force a CLC only when a
+	// message raises a DDV entry.
+	ModeHC3I ProtocolMode = iota
+	// ModeForceAll forces a CLC before delivering *every*
+	// inter-cluster message (the strawman of Figure 4).
+	ModeForceAll
+	// ModeIndependent never forces: clusters checkpoint on their
+	// timers only, dependencies are tracked lazily (merged at each
+	// commit), and a rollback restores the newest checkpoint that does
+	// not depend on the alerted state — which can domino to the
+	// beginning of the application.
+	ModeIndependent
+)
+
+// String names the mode.
+func (m ProtocolMode) String() string {
+	switch m {
+	case ModeHC3I:
+		return "hc3i"
+	case ModeForceAll:
+		return "force-all"
+	case ModeIndependent:
+		return "independent"
+	default:
+		return fmt.Sprintf("ProtocolMode(%d)", int(m))
+	}
+}
+
+// Config parameterizes one protocol node. The per-cluster timer values
+// come from the paper's "timers file"; the structural fields from its
+// "topology file".
+type Config struct {
+	// Mode selects the inter-cluster strategy (default ModeHC3I).
+	Mode ProtocolMode
+
+	ID           topology.NodeID
+	Clusters     int   // number of clusters in the federation
+	ClusterSizes []int // nodes per cluster
+
+	// CLCPeriod is the delay between unforced CLCs of this node's
+	// cluster (sim.Forever disables unforced CLCs, as in Figure 7).
+	CLCPeriod sim.Duration
+	// GCPeriod is the garbage-collection period; only meaningful on
+	// the GC initiator (sim.Forever disables GC).
+	GCPeriod sim.Duration
+	// GCInitiator marks the single node that runs the centralized
+	// garbage collector (§3.5).
+	GCInitiator bool
+	// RingGC switches the garbage collector to the distributed ring
+	// variant (§7 future work).
+	RingGC bool
+	// GCMemoryThreshold, when positive, makes a node demand an
+	// immediate collection from the initiator once its checkpoint
+	// memory (states, replicas, logs) exceeds this many bytes — the
+	// "when a node memory saturates" trigger of §3.5.
+	GCMemoryThreshold uint64
+	// Transitive enables transitive dependency tracking: inter-cluster
+	// messages piggyback the whole DDV instead of just the SN (§7).
+	Transitive bool
+	// Replicas is the number of neighbour nodes each local checkpoint
+	// part is replicated to (§3.1 uses 1; §7 suggests making it
+	// configurable to tolerate more simultaneous faults per cluster).
+	Replicas int
+}
+
+// validate panics on malformed configurations: these are programming
+// errors of the harness, not runtime conditions.
+func (c Config) validate() {
+	if c.Clusters != len(c.ClusterSizes) {
+		panic(fmt.Sprintf("core: %d clusters but %d sizes", c.Clusters, len(c.ClusterSizes)))
+	}
+	if int(c.ID.Cluster) >= c.Clusters || c.ID.Cluster < 0 {
+		panic(fmt.Sprintf("core: node %v outside federation", c.ID))
+	}
+	if c.ID.Index < 0 || c.ID.Index >= c.ClusterSizes[c.ID.Cluster] {
+		panic(fmt.Sprintf("core: node %v outside its cluster", c.ID))
+	}
+	if c.Replicas < 0 || c.Replicas >= c.ClusterSizes[c.ID.Cluster] {
+		panic(fmt.Sprintf("core: %d replicas impossible in a %d-node cluster",
+			c.Replicas, c.ClusterSizes[c.ID.Cluster]))
+	}
+}
+
+// clcRecord is one stored cluster-level checkpoint from this node's
+// perspective: the cluster-wide metadata plus this node's local state.
+type clcRecord struct {
+	meta      Meta
+	forced    bool
+	at        sim.Time
+	state     any
+	stateSize int
+	// remote marks a record whose local state was lost in a crash and
+	// lives only on the neighbour replicas; restoring it requires a
+	// RecoverStateReq round-trip.
+	remote bool
+	// lateLog holds intra-cluster application messages that crossed
+	// this checkpoint's line (sent before it, received after it); they
+	// are re-delivered on restore so the checkpoint stays consistent
+	// (no lost in-transit messages, §2.2).
+	lateLog []inbound
+}
+
+// logEntry is one optimistically logged inter-cluster message (§3.3).
+type logEntry struct {
+	msgID      uint64
+	dst        topology.NodeID
+	dstCluster topology.ClusterID
+	payload    AppPayload
+	piggySN    SN  // sender cluster SN piggybacked on the original send
+	piggyDDV   DDV // transitive variant
+	sendSN     SN  // == piggySN; kept separate for clarity in pruning
+	acked      bool
+	ackSN      SN
+}
+
+// replicaKey identifies a neighbour state held in this node's memory.
+type replicaKey struct {
+	owner topology.NodeID
+	seq   SN
+}
+
+// inbound is an application message awaiting processing (frozen during
+// a 2PC, deferred to a future epoch, or held for a forced CLC).
+type inbound struct {
+	src topology.NodeID
+	msg AppMsg
+	// heldAt is the cluster SN when the message was held for an
+	// unconditional forced CLC (ModeForceAll): it is deliverable once
+	// the SN has advanced past it.
+	heldAt SN
+}
+
+// cpPhase is the participant-side two-phase-commit state.
+type cpPhase int
+
+const (
+	cpIdle     cpPhase = iota
+	cpPrepared         // snapshot taken, waiting for commit
+)
+
+// Node is the HC3I protocol engine of one federation node. All methods
+// must be invoked sequentially by the harness.
+type Node struct {
+	cfg Config
+	env Env
+	app AppHooks
+
+	id      topology.NodeID
+	cluster topology.ClusterID
+	size    int // nodes in own cluster
+
+	failed    bool
+	lostState bool // restarted after a crash; volatile memory gone
+
+	sn         SN
+	epoch      Epoch
+	ddv        DDV
+	knownEpoch []Epoch // latest known epoch per cluster
+	// alertEpoch/alertSN record the most recent rollback alert per
+	// cluster: a message one epoch behind whose SendSN is below the
+	// alerted SN was sent *before* the rollback point — its send is
+	// part of the sender's restored state, so the content is valid
+	// even though the epoch tag is stale.
+	alertEpoch []Epoch
+	alertSN    []SN
+
+	// ---- two-phase commit (participant side) ----
+	phase        cpPhase
+	prepSeq      SN
+	provisional  *clcRecord
+	replWanted   int
+	replGot      int
+	frozenSends  bool
+	frozenDelivs bool
+
+	// ---- two-phase commit (leader side) ----
+	inFlight       bool
+	inFlightForced bool
+	inFlightSeq    SN
+	inFlightSince  sim.Time
+	ackedNodes     map[int]bool
+	ackedDDVs      []DDV // node DDVs gathered with acks (ModeIndependent)
+	pendingForce   DDV   // accumulated force targets not yet committed
+	pendingAlways  bool  // an unconditional force is pending (ModeForceAll)
+
+	// ---- queues ----
+	sendQueue    []AppPayloadTo // app sends issued while frozen
+	inboundQueue []inbound      // deliveries deferred (freeze / future epoch)
+	heldInter    []inbound      // inter-cluster messages awaiting a forced CLC
+
+	// ---- storage ----
+	clcs     []*clcRecord
+	replicas map[replicaKey]Replica
+	// mirrorLogs holds neighbours' message-log mirrors (stable storage
+	// for §3.3's volatile log), keyed by the owning node.
+	mirrorLogs map[topology.NodeID][]LogMirror
+
+	// ---- message log ----
+	log       []*logEntry
+	nextMsgID uint64
+
+	// ---- rollback ----
+	rbActive      bool // this node coordinates an ongoing cluster rollback
+	rbSeq         SN
+	rbSince       sim.Time
+	rbEpoch       Epoch
+	rbAcks        map[int]bool
+	deferredAlert []RollbackAlert
+	recoverWait   *recoverPending // restarted node waiting for its replica
+
+	// ---- garbage collection (initiator side) ----
+	gcRound       uint64
+	gcReports     map[topology.ClusterID]GCReport
+	alertsSeen    uint64
+	gcAlertsMark  uint64
+	gcLastStart   sim.Time
+	gcStartedOnce bool
+	gcDemanded    bool // a memory-pressure demand is outstanding here
+}
+
+// AppPayloadTo pairs a payload with its destination; used for the
+// frozen-send queue and by harnesses that batch application sends.
+type AppPayloadTo struct {
+	Dst     topology.NodeID
+	Payload AppPayload
+}
+
+// NewNode builds a protocol node. The application's initial state is
+// snapshotted immediately as the first CLC ("each cluster stores a
+// first CLC which is the beginning of the application", §4). That
+// checkpoint carries SN 1, exactly as in the paper's sample execution
+// where cluster 1 piggybacks SN 1 on its very first message: a DDV
+// entry of 0 then unambiguously means "no dependency" ("0 if none",
+// §3.2), the first message from any cluster forces a CLC at the
+// receiver (m1 in the sample), and a rollback alert from a cluster that
+// restored its initial state only drags back clusters that actually
+// received something from it. Starting at 0 instead would make the
+// rollback test "entry >= alerted SN" degenerate (0 >= 0 everywhere)
+// and a pre-first-checkpoint failure would cascade forever.
+func NewNode(cfg Config, env Env, app AppHooks) *Node {
+	cfg.validate()
+	n := &Node{
+		cfg:        cfg,
+		env:        env,
+		app:        app,
+		id:         cfg.ID,
+		cluster:    cfg.ID.Cluster,
+		size:       cfg.ClusterSizes[cfg.ID.Cluster],
+		sn:         1,
+		ddv:        NewDDV(cfg.Clusters),
+		knownEpoch: make([]Epoch, cfg.Clusters),
+		alertEpoch: make([]Epoch, cfg.Clusters),
+		alertSN:    make([]SN, cfg.Clusters),
+		replicas:   make(map[replicaKey]Replica),
+		mirrorLogs: make(map[topology.NodeID][]LogMirror),
+	}
+	n.ddv[n.cluster] = 1
+	state, size := app.Snapshot()
+	n.clcs = append(n.clcs, &clcRecord{
+		meta:      Meta{SN: 1, DDV: n.ddv.Clone()},
+		at:        env.Now(),
+		state:     state,
+		stateSize: size,
+	})
+	return n
+}
+
+// Start arms the node's timers; the harness calls it once the whole
+// federation is constructed.
+func (n *Node) Start() {
+	if n.leader() {
+		n.env.SetTimer(TimerCLC, n.cfg.CLCPeriod)
+		n.recordStoredStat()
+	}
+	if n.cfg.GCInitiator {
+		n.env.SetTimer(TimerGC, n.cfg.GCPeriod)
+	}
+}
+
+// ---- identity helpers ----
+
+func (n *Node) leader() bool { return n.id.Index == 0 }
+
+func (n *Node) leaderOf(c topology.ClusterID) topology.NodeID {
+	return topology.NodeID{Cluster: c, Index: 0}
+}
+
+// replicaTargets returns the neighbour nodes that store this node's
+// checkpoint parts: the next cfg.Replicas indices, ring order.
+func (n *Node) replicaTargets() []topology.NodeID {
+	t := make([]topology.NodeID, 0, n.cfg.Replicas)
+	for r := 1; r <= n.cfg.Replicas; r++ {
+		t = append(t, topology.NodeID{Cluster: n.cluster, Index: (n.id.Index + r) % n.size})
+	}
+	return t
+}
+
+// holderFor returns the first replica holder of this node's state.
+func (n *Node) holderFor() topology.NodeID {
+	return topology.NodeID{Cluster: n.cluster, Index: (n.id.Index + 1) % n.size}
+}
+
+// ---- accessors (tests, statistics, invariant checking) ----
+
+// ID returns the node's identity.
+func (n *Node) ID() topology.NodeID { return n.id }
+
+// SN returns the committed cluster sequence number as seen here.
+func (n *Node) SN() SN { return n.sn }
+
+// CurrentEpoch returns the node's rollback epoch.
+func (n *Node) CurrentEpoch() Epoch { return n.epoch }
+
+// DDVSnapshot returns a copy of the node's current DDV.
+func (n *Node) DDVSnapshot() DDV { return n.ddv.Clone() }
+
+// StoredMetas returns the metadata of the stored CLCs, oldest first.
+func (n *Node) StoredMetas() []Meta {
+	ms := make([]Meta, len(n.clcs))
+	for i, r := range n.clcs {
+		ms[i] = Meta{SN: r.meta.SN, DDV: r.meta.DDV.Clone()}
+	}
+	return ms
+}
+
+// StoredCount returns how many CLCs this node currently stores.
+func (n *Node) StoredCount() int { return len(n.clcs) }
+
+// LogLen returns the number of logged inter-cluster messages.
+func (n *Node) LogLen() int { return len(n.log) }
+
+// ReplicaCount returns the neighbour states held in this node's memory.
+func (n *Node) ReplicaCount() int { return len(n.replicas) }
+
+// StorageBytes approximates the volatile memory this node devotes to
+// fault tolerance: its own checkpoint states, the neighbour replicas it
+// holds, its message log and the mirrored logs — the footprint §3.5's
+// garbage collection exists to bound.
+func (n *Node) StorageBytes() uint64 {
+	var total uint64
+	for _, r := range n.clcs {
+		if !r.remote {
+			total += uint64(r.stateSize)
+		}
+		for _, l := range r.lateLog {
+			total += uint64(l.msg.Payload.Size)
+		}
+	}
+	for _, rep := range n.replicas {
+		total += uint64(rep.Size)
+	}
+	for _, e := range n.log {
+		total += uint64(e.payload.Size)
+	}
+	for _, ml := range n.mirrorLogs {
+		for _, e := range ml {
+			total += uint64(e.Payload.Size)
+		}
+	}
+	return total
+}
+
+// Failed reports whether the node is crashed.
+func (n *Node) Failed() bool { return n.failed }
+
+// LostState reports whether the node restarted after a crash and has
+// not yet recovered its state from the replica holders.
+func (n *Node) LostState() bool { return n.lostState }
+
+// Frozen reports whether application traffic is currently frozen by an
+// in-progress 2PC (test hook).
+func (n *Node) Frozen() bool { return n.frozenSends }
+
+// SeedReplica installs a checkpoint replica directly (used only at
+// bootstrap to pre-distribute the initial checkpoint).
+func (n *Node) SeedReplica(r Replica) {
+	n.replicas[replicaKey{owner: r.Owner, seq: r.Seq}] = r
+}
+
+// InitialReplica returns the Replica record of this node's initial
+// checkpoint, for bootstrap seeding.
+func (n *Node) InitialReplica() Replica {
+	r0 := n.clcs[0]
+	return Replica{Seq: r0.meta.SN, Owner: n.id, State: r0.state, Size: r0.stateSize}
+}
+
+// ReplicaTargets lists the neighbours that hold this node's checkpoint
+// parts; harnesses use it to pre-distribute the initial checkpoint.
+func (n *Node) ReplicaTargets() []topology.NodeID { return n.replicaTargets() }
+
+// ---- lifecycle ----
+
+// Fail crashes the node (fail-stop): it stops reacting to anything.
+// The harness must also cut its network traffic.
+func (n *Node) Fail() {
+	n.failed = true
+	n.env.Trace(sim.TraceInfo, "FAILED")
+}
+
+// Restart revives a crashed node with empty volatile memory. It waits
+// passively for its cluster's RollbackCmd, then recovers its state from
+// its replica holder.
+func (n *Node) Restart() {
+	n.failed = false
+	n.lostState = true
+	n.sn = 0
+	n.ddv = NewDDV(n.cfg.Clusters)
+	n.knownEpoch = make([]Epoch, n.cfg.Clusters)
+	n.alertEpoch = make([]Epoch, n.cfg.Clusters)
+	n.alertSN = make([]SN, n.cfg.Clusters)
+	n.clcs = nil
+	n.replicas = make(map[replicaKey]Replica)
+	n.mirrorLogs = make(map[topology.NodeID][]LogMirror)
+	n.log = nil
+	n.phase = cpIdle
+	n.provisional = nil
+	n.inFlight = false
+	n.pendingForce = nil
+	n.pendingAlways = false
+	n.ackedDDVs = nil
+	n.frozenSends = false
+	n.frozenDelivs = false
+	n.sendQueue = nil
+	n.inboundQueue = nil
+	n.heldInter = nil
+	n.rbActive = false
+	n.deferredAlert = nil
+	n.recoverWait = nil
+	n.env.Trace(sim.TraceInfo, "RESTARTED (volatile memory lost)")
+}
+
+// ---- event entry points ----
+
+// OnTimer handles a timer expiry.
+func (n *Node) OnTimer(k TimerKind) {
+	if n.failed {
+		return
+	}
+	switch k {
+	case TimerCLC:
+		n.onCLCTimer()
+	case TimerGC:
+		n.onGCTimer()
+	}
+}
+
+// OnMessage handles a protocol or wrapped application message.
+func (n *Node) OnMessage(src topology.NodeID, msg Msg) {
+	if n.failed {
+		return
+	}
+	switch m := msg.(type) {
+	case AppMsg:
+		n.onAppMsg(src, m)
+	case AppAck:
+		n.onAppAck(src, m)
+	case CLCRequest:
+		n.onCLCRequest(src, m)
+	case CLCAck:
+		n.onCLCAck(src, m)
+	case CLCCommit:
+		n.onCLCCommit(src, m)
+	case ForceCLC:
+		n.onForceCLC(src, m)
+	case Replica:
+		n.onReplica(src, m)
+	case ReplicaAck:
+		n.onReplicaAck(src, m)
+	case RollbackAlert:
+		n.onRollbackAlert(src, m)
+	case RollbackCmd:
+		n.onRollbackCmd(src, m)
+	case RollbackAck:
+		n.onRollbackAck(src, m)
+	case RollbackResume:
+		n.onRollbackResume(src, m)
+	case RecoverStateReq:
+		n.onRecoverStateReq(src, m)
+	case RecoverStateResp:
+		n.onRecoverStateResp(src, m)
+	case ReReplicateReq:
+		n.onReReplicateReq(src, m)
+	case LogMirror:
+		n.onLogMirror(src, m)
+	case LogTrim:
+		n.onLogTrim(src, m)
+	case GCRequest:
+		n.onGCRequest(src, m)
+	case GCReport:
+		n.onGCReport(src, m)
+	case GCCollect:
+		n.onGCCollect(src, m)
+	case GCDrop:
+		n.onGCDrop(src, m)
+	case GCDemand:
+		n.onGCDemand(src, m)
+	case GCToken:
+		n.onGCToken(src, m)
+	default:
+		panic(fmt.Sprintf("core: unknown message %T", msg))
+	}
+}
+
+// OnFailureDetected is invoked by the failure detector on a surviving
+// node of the failed node's cluster (the paper leaves the detector out
+// of scope, §3.4); that node coordinates the cluster rollback.
+func (n *Node) OnFailureDetected(failedNode topology.NodeID) {
+	if n.failed {
+		return
+	}
+	if failedNode.Cluster != n.cluster {
+		panic("core: failure detected for a foreign cluster")
+	}
+	n.env.Stat("failure.detected", 1)
+	n.startClusterRollback()
+}
+
+// recordStoredStat refreshes the stored-CLC series for this cluster
+// (leader only, so it is recorded once per cluster).
+func (n *Node) recordStoredStat() {
+	if n.leader() {
+		n.env.StatSeries(fmt.Sprintf("clc.stored.c%d", n.cluster), float64(len(n.clcs)))
+		n.env.StatSeries(fmt.Sprintf("log.size.c%d", n.cluster), float64(len(n.log)))
+	}
+}
+
+func (n *Node) statName(base string) string {
+	return fmt.Sprintf("%s.c%d", base, n.cluster)
+}

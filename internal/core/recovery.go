@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// This file holds the pure recovery-line algorithms of §3.4/§3.5. They
+// are shared by the live rollback path and by the garbage collector
+// (which "simulates a failure in each cluster"), and are the most
+// heavily property-tested part of the protocol.
+
+// OldestWith returns the index of the oldest checkpoint in list whose
+// DDV entry for cluster c is >= s, or -1 if none qualifies. Per §3.4,
+// this is the checkpoint a cluster must restore when it receives a
+// rollback alert (c, s) and its current DDV entry for c is >= s: the
+// oldest qualifying checkpoint is the forced CLC taken just *before*
+// delivering the first message that created the dangerous dependency,
+// so its state does not depend on the rolled-back execution.
+func OldestWith(list []Meta, c topology.ClusterID, s SN) int {
+	for i, m := range list {
+		if m.DDV[c] >= s {
+			return i
+		}
+	}
+	return -1
+}
+
+// NeedsRollback applies the §3.4 test: given the cluster's effective
+// DDV, must it roll back on alert (c, s)?
+func NeedsRollback(current DDV, c topology.ClusterID, s SN) bool {
+	return current[c] >= s
+}
+
+// NewestBelow returns the index of the newest checkpoint in list whose
+// DDV entry for cluster c is < s, or -1 if none. This is the rollback
+// target under *independent* checkpointing (no forced CLCs exist, so
+// the receiver must fall back behind the dependency entirely) — the
+// rule whose repeated application produces the domino effect (§2.2).
+func NewestBelow(list []Meta, c topology.ClusterID, s SN) int {
+	for i := len(list) - 1; i >= 0; i-- {
+		if list[i].DDV[c] < s {
+			return i
+		}
+	}
+	return -1
+}
+
+// RecoveryLine is the outcome of a (real or simulated) failure: for
+// each cluster, the checkpoint index it restores (len(list) means "kept
+// its current state") and the SN it runs from afterwards.
+type RecoveryLine struct {
+	// Index[j] is the restored checkpoint's position in cluster j's
+	// stored list, or len(list) if cluster j did not roll back.
+	Index []int
+	// SN[j] is cluster j's sequence number after the cascade.
+	SN []SN
+	// RolledBack[j] reports whether cluster j had to roll back.
+	RolledBack []bool
+	// Alerts counts the inter-cluster rollback alerts the cascade
+	// would emit (the faulty cluster alerts everyone; every further
+	// rollback alerts everyone again).
+	Alerts int
+}
+
+// Depth returns how many clusters rolled back.
+func (r RecoveryLine) Depth() int {
+	n := 0
+	for _, b := range r.RolledBack {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// SimulateFailure computes the recovery line for a failure in cluster
+// f. lists[j] is cluster j's stored checkpoints in commit order
+// (ascending SN); currents[j] is cluster j's present DDV (so
+// currents[j][j] is its present SN). The faulty cluster first restores
+// its newest stored checkpoint; alerts then cascade to a fixpoint.
+//
+// It returns an error if the cascade needs a checkpoint that does not
+// exist — which the garbage collector's safety rule must make
+// impossible; the error path exists so tests can prove it never fires.
+func SimulateFailure(lists [][]Meta, currents []DDV, f topology.ClusterID) (RecoveryLine, error) {
+	n := len(lists)
+	if len(currents) != n {
+		return RecoveryLine{}, fmt.Errorf("core: %d checkpoint lists but %d current DDVs", n, len(currents))
+	}
+	rl := RecoveryLine{
+		Index:      make([]int, n),
+		SN:         make([]SN, n),
+		RolledBack: make([]bool, n),
+	}
+	eff := make([]DDV, n) // effective DDV after rollbacks so far
+	for j := 0; j < n; j++ {
+		rl.Index[j] = len(lists[j])
+		rl.SN[j] = currents[j][j]
+		eff[j] = currents[j]
+	}
+
+	type alert struct {
+		c topology.ClusterID
+		s SN
+	}
+	var queue []alert
+
+	rollTo := func(j topology.ClusterID, idx int) {
+		m := lists[j][idx]
+		rl.Index[j] = idx
+		rl.SN[j] = m.SN
+		rl.RolledBack[j] = true
+		eff[j] = m.DDV
+		queue = append(queue, alert{j, m.SN})
+		rl.Alerts += n - 1
+	}
+
+	if len(lists[f]) == 0 {
+		return rl, fmt.Errorf("core: faulty cluster %d has no stored checkpoint", f)
+	}
+	rollTo(f, len(lists[f])-1)
+
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		for j := topology.ClusterID(0); int(j) < n; j++ {
+			if j == a.c || !NeedsRollback(eff[j], a.c, a.s) {
+				continue
+			}
+			idx := OldestWith(lists[j], a.c, a.s)
+			if idx == -1 {
+				return rl, fmt.Errorf("core: cluster %d depends on cluster %d SN>=%d but stores no qualifying checkpoint", j, a.c, a.s)
+			}
+			if idx < rl.Index[j] {
+				rollTo(j, idx)
+			}
+		}
+	}
+	return rl, nil
+}
+
+// SmallestSNs implements the garbage collector's analysis (§3.5): it
+// simulates a failure in every cluster and returns, per cluster, the
+// smallest SN that cluster might ever have to roll back to. Checkpoints
+// strictly older than this threshold can never be a rollback target and
+// may be discarded.
+func SmallestSNs(lists [][]Meta, currents []DDV) ([]SN, error) {
+	n := len(lists)
+	min := make([]SN, n)
+	for j := 0; j < n; j++ {
+		min[j] = currents[j][j]
+	}
+	for f := 0; f < n; f++ {
+		rl, err := SimulateFailure(lists, currents, topology.ClusterID(f))
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < n; j++ {
+			if rl.SN[j] < min[j] {
+				min[j] = rl.SN[j]
+			}
+		}
+	}
+	return min, nil
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestOldestWith(t *testing.T) {
+	list := []Meta{
+		{SN: 1, DDV: DDV{1, 0, 0}},
+		{SN: 2, DDV: DDV{2, 3, 0}},
+		{SN: 3, DDV: DDV{3, 5, 0}},
+	}
+	if i := OldestWith(list, 1, 3); i != 1 {
+		t.Fatalf("OldestWith(c1,3) = %d, want 1", i)
+	}
+	if i := OldestWith(list, 1, 4); i != 2 {
+		t.Fatalf("OldestWith(c1,4) = %d, want 2", i)
+	}
+	if i := OldestWith(list, 1, 6); i != -1 {
+		t.Fatalf("OldestWith(c1,6) = %d, want -1", i)
+	}
+	if i := OldestWith(list, 2, 1); i != -1 {
+		t.Fatalf("OldestWith(c2,1) = %d, want -1", i)
+	}
+}
+
+func TestNeedsRollback(t *testing.T) {
+	ddv := DDV{3, 0, 4}
+	if !NeedsRollback(ddv, 2, 4) || !NeedsRollback(ddv, 2, 3) {
+		t.Fatal("should need rollback when entry >= alerted SN")
+	}
+	if NeedsRollback(ddv, 1, 1) || NeedsRollback(ddv, 2, 5) {
+		t.Fatal("should not need rollback when entry < alerted SN")
+	}
+}
+
+// TestSimulateFailurePaperExample mirrors the structure of the paper's
+// §4 sample execution on three clusters: a failure in cluster 1 (the
+// paper's "cluster 2") rolls it back to its last CLC; cluster 2 (the
+// paper's "cluster 3") depends on it and rolls back; cluster 0 (the
+// paper's "cluster 1") survives the first alert but is dragged back by
+// cluster 2's alert because of a DDV entry of 4 for cluster 2; no
+// further rollbacks occur after the third alert.
+func TestSimulateFailurePaperExample(t *testing.T) {
+	lists := [][]Meta{
+		{ // cluster 0: forced CLC 3 records the m5 dependency on cluster 2
+			{SN: 1, DDV: DDV{1, 0, 0}},
+			{SN: 2, DDV: DDV{2, 0, 0}},
+			{SN: 3, DDV: DDV{3, 0, 4}},
+		},
+		{ // cluster 1 (faulty): three CLCs, last has SN 3
+			{SN: 1, DDV: DDV{1, 1, 0}},
+			{SN: 2, DDV: DDV{1, 2, 0}},
+			{SN: 3, DDV: DDV{1, 3, 0}},
+		},
+		{ // cluster 2: forced CLC 3 depends on cluster 1's SN 3
+			{SN: 1, DDV: DDV{0, 0, 1}},
+			{SN: 2, DDV: DDV{0, 2, 2}},
+			{SN: 3, DDV: DDV{0, 3, 3}},
+		},
+	}
+	currents := []DDV{
+		{3, 0, 4},
+		{1, 3, 0},
+		{0, 4, 4}, // received one more message from cluster 1 since CLC 3
+	}
+	rl, err := SimulateFailure(lists, currents, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Faulty cluster 1 restores its last CLC (SN 3).
+	if !rl.RolledBack[1] || rl.SN[1] != 3 || rl.Index[1] != 2 {
+		t.Fatalf("faulty cluster: %+v", rl)
+	}
+	// Cluster 2 had DDV entry 4 >= 3 for cluster 1: rolls back to its
+	// oldest CLC with entry >= 3, which is CLC 3.
+	if !rl.RolledBack[2] || rl.SN[2] != 3 || rl.Index[2] != 2 {
+		t.Fatalf("cluster 2: %+v", rl)
+	}
+	// Cluster 0 does not depend on cluster 1 (entry 0), but its entry 4
+	// for cluster 2 >= 3 drags it to CLC 3.
+	if !rl.RolledBack[0] || rl.SN[0] != 3 || rl.Index[0] != 2 {
+		t.Fatalf("cluster 0: %+v", rl)
+	}
+	// The paper's cascade: faulty alert + cluster 2's alert + cluster
+	// 0's alert, each to 2 clusters.
+	if rl.Alerts != 6 {
+		t.Fatalf("alerts = %d, want 6", rl.Alerts)
+	}
+	if rl.Depth() != 3 {
+		t.Fatalf("depth = %d", rl.Depth())
+	}
+}
+
+func TestSimulateFailureNoDependencies(t *testing.T) {
+	// Two clusters that never communicated: a failure rolls back only
+	// the faulty one ("independent checkpointing if there are no
+	// inter-cluster messages", §6).
+	lists := [][]Meta{
+		{{SN: 1, DDV: DDV{1, 0}}, {SN: 2, DDV: DDV{2, 0}}},
+		{{SN: 1, DDV: DDV{0, 1}}},
+	}
+	currents := []DDV{{2, 0}, {0, 1}}
+	rl, err := SimulateFailure(lists, currents, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rl.RolledBack[0] || rl.RolledBack[1] {
+		t.Fatalf("rollback set = %v", rl.RolledBack)
+	}
+	if rl.SN[0] != 2 || rl.SN[1] != 1 {
+		t.Fatalf("SNs = %v", rl.SN)
+	}
+}
+
+func TestSimulateFailureErrors(t *testing.T) {
+	if _, err := SimulateFailure([][]Meta{{}}, []DDV{{0}}, 0); err == nil {
+		t.Fatal("empty checkpoint list should error")
+	}
+	if _, err := SimulateFailure([][]Meta{{}}, []DDV{{0}, {0}}, 0); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+// abstractFederation evolves n clusters under the protocol's abstract
+// semantics (unforced CLCs, message receipt forcing CLCs) and yields
+// valid checkpoint histories for property testing.
+type abstractFederation struct {
+	n        int
+	sn       []SN
+	ddv      []DDV
+	lists    [][]Meta
+	rng      *rand.Rand
+	received int
+}
+
+func newAbstractFederation(n int, seed int64) *abstractFederation {
+	f := &abstractFederation{n: n, rng: rand.New(rand.NewSource(seed))}
+	f.sn = make([]SN, n)
+	f.ddv = make([]DDV, n)
+	f.lists = make([][]Meta, n)
+	for i := 0; i < n; i++ {
+		// Mirror the protocol: the initial "beginning of the
+		// application" checkpoint carries SN 1.
+		f.sn[i] = 1
+		f.ddv[i] = NewDDV(n)
+		f.ddv[i][i] = 1
+		f.lists[i] = []Meta{{SN: 1, DDV: f.ddv[i].Clone()}}
+	}
+	return f
+}
+
+func (f *abstractFederation) commit(j int, forcedEntries DDV) {
+	f.sn[j]++
+	if forcedEntries != nil {
+		f.ddv[j].Merge(forcedEntries)
+	}
+	f.ddv[j][j] = f.sn[j]
+	f.lists[j] = append(f.lists[j], Meta{SN: f.sn[j], DDV: f.ddv[j].Clone()})
+}
+
+func (f *abstractFederation) step() {
+	switch f.rng.Intn(3) {
+	case 0: // unforced CLC somewhere
+		f.commit(f.rng.Intn(f.n), nil)
+	default: // inter-cluster message
+		src := f.rng.Intn(f.n)
+		dst := f.rng.Intn(f.n)
+		if src == dst {
+			return
+		}
+		f.received++
+		piggy := f.sn[src]
+		if piggy > f.ddv[dst][src] {
+			forced := NewDDV(f.n)
+			forced[src] = piggy
+			f.commit(dst, forced) // forced CLC before delivery
+		}
+	}
+}
+
+// Property: on any protocol-consistent history, SimulateFailure
+// terminates without errors, never rolls a cluster forward, and the
+// faulty cluster restores exactly its newest stored checkpoint.
+func TestSimulateFailureOnRandomHistories(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		for _, n := range []int{2, 3, 5} {
+			f := newAbstractFederation(n, seed)
+			steps := 5 + f.rng.Intn(60)
+			for s := 0; s < steps; s++ {
+				f.step()
+			}
+			for faulty := 0; faulty < n; faulty++ {
+				rl, err := SimulateFailure(f.lists, f.ddv, topology.ClusterID(faulty))
+				if err != nil {
+					t.Fatalf("seed=%d n=%d faulty=%d: %v", seed, n, faulty, err)
+				}
+				for j := 0; j < n; j++ {
+					if rl.SN[j] > f.sn[j] {
+						t.Fatalf("cluster %d rolled forward: %d > %d", j, rl.SN[j], f.sn[j])
+					}
+					if rl.RolledBack[j] && rl.Index[j] >= len(f.lists[j]) {
+						t.Fatalf("cluster %d bogus index", j)
+					}
+				}
+				last := f.lists[faulty][len(f.lists[faulty])-1]
+				if rl.SN[faulty] > last.SN {
+					t.Fatalf("faulty cluster above its last checkpoint")
+				}
+			}
+		}
+	}
+}
+
+// Property (GC safety): after dropping checkpoints below SmallestSNs,
+// every single-cluster failure still finds all its rollback targets,
+// and the recovery line is unchanged.
+func TestGarbageCollectionSafetyProperty(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		n := 2 + int(seed%3)
+		f := newAbstractFederation(n, seed*7+1)
+		steps := 10 + f.rng.Intn(80)
+		for s := 0; s < steps; s++ {
+			f.step()
+		}
+		min, err := SmallestSNs(f.lists, f.ddv)
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		before := make([][]SN, n)
+		for faulty := 0; faulty < n; faulty++ {
+			rl, err := SimulateFailure(f.lists, f.ddv, topology.ClusterID(faulty))
+			if err != nil {
+				t.Fatal(err)
+			}
+			before[faulty] = rl.SN
+		}
+		// Apply the GC drop rule.
+		pruned := make([][]Meta, n)
+		for j := 0; j < n; j++ {
+			if min[j] > f.sn[j] {
+				t.Fatalf("threshold above current SN")
+			}
+			for _, m := range f.lists[j] {
+				if m.SN >= min[j] {
+					pruned[j] = append(pruned[j], m)
+				}
+			}
+			if len(pruned[j]) == 0 {
+				t.Fatalf("seed=%d: GC emptied cluster %d's store", seed, j)
+			}
+		}
+		for faulty := 0; faulty < n; faulty++ {
+			rl, err := SimulateFailure(pruned, f.ddv, topology.ClusterID(faulty))
+			if err != nil {
+				t.Fatalf("seed=%d faulty=%d after GC: %v", seed, faulty, err)
+			}
+			for j := 0; j < n; j++ {
+				if rl.SN[j] != before[faulty][j] {
+					t.Fatalf("seed=%d: GC changed recovery line (faulty=%d cluster=%d %d != %d)",
+						seed, faulty, j, rl.SN[j], before[faulty][j])
+				}
+			}
+		}
+	}
+}
+
+// Property: rollback targets are always forced checkpoints whose state
+// precedes the dangerous delivery — i.e. the restored SN of any
+// non-faulty rolled-back cluster equals the SN of a stored checkpoint.
+func TestRecoveryLinePointsAtStoredCheckpoints(t *testing.T) {
+	for seed := int64(100); seed < 130; seed++ {
+		f := newAbstractFederation(3, seed)
+		for s := 0; s < 70; s++ {
+			f.step()
+		}
+		for faulty := 0; faulty < 3; faulty++ {
+			rl, err := SimulateFailure(f.lists, f.ddv, topology.ClusterID(faulty))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < 3; j++ {
+				if !rl.RolledBack[j] {
+					continue
+				}
+				m := f.lists[j][rl.Index[j]]
+				if m.SN != rl.SN[j] {
+					t.Fatalf("restored SN %d != checkpoint SN %d", rl.SN[j], m.SN)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,517 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// This file implements failure handling (§3.4): the failed node's
+// cluster rolls back to its last committed CLC, alerts every other
+// cluster, and alerts cascade — each receiving cluster rolls back to
+// the oldest checkpoint whose DDV entry for the alerting cluster is >=
+// the alerted SN — until the recovery line is reached. Clusters that do
+// not roll back resend the logged messages the restored clusters lost.
+
+// recoverPending tracks a restarted node waiting for its replica.
+type recoverPending struct {
+	cmd         RollbackCmd
+	coordinator topology.NodeID
+}
+
+// startClusterRollback begins a rollback of this node's cluster to its
+// last committed CLC, with this node as coordinator (it is the node the
+// failure detector notified). A detection arriving while a rollback is
+// already in flight — a *second* simultaneous fault in this cluster —
+// restarts the rollback under a fresh epoch so the newly restarted node
+// receives its command too; with replication degree >= 2 its state is
+// still recoverable (§7's configurable-replication extension).
+func (n *Node) startClusterRollback() {
+	if n.rbActive {
+		n.env.Stat(n.statName("rollback.restarted"), 1)
+	}
+	last := n.clcs[len(n.clcs)-1]
+	n.initiateRollback(last.meta.SN)
+}
+
+// initiateRollback coordinates a rollback of the whole cluster to the
+// stored checkpoint with sequence number toSN.
+func (n *Node) initiateRollback(toSN SN) {
+	newEpoch := n.epoch + 1
+	n.rbActive = true
+	n.rbSeq = toSN
+	n.rbEpoch = newEpoch
+	n.rbSince = n.env.Now()
+	n.rbAcks = make(map[int]bool, n.size)
+	n.alertsSeen++
+	n.env.Stat(n.statName("rollback.count"), 1)
+	n.env.Trace(sim.TraceInfo, "ROLLBACK to CLC %d (epoch %d)", toSN, newEpoch)
+
+	cmd := RollbackCmd{ToSN: toSN, NewEpoch: newEpoch}
+	for i := 0; i < n.size; i++ {
+		if i == n.id.Index {
+			continue
+		}
+		n.env.Send(topology.NodeID{Cluster: n.cluster, Index: i}, controlSize(cmd), cmd)
+	}
+	// "One node in each other cluster in the federation receives a
+	// rollback alert. It contains the faulty cluster's SN that
+	// corresponds to the CLC to which it rolls back."
+	alert := RollbackAlert{Cluster: n.cluster, NewSN: toSN, NewEpoch: newEpoch}
+	for c := topology.ClusterID(0); int(c) < n.cfg.Clusters; c++ {
+		if c == n.cluster {
+			continue
+		}
+		n.env.Stat("rollback.alerts_sent", 1)
+		n.env.Send(n.leaderOf(c), controlSize(alert), alert)
+	}
+
+	if n.performLocalRollback(toSN, newEpoch, n.id) {
+		n.rbAcks[n.id.Index] = true
+		n.checkRollbackDone()
+	}
+}
+
+// performLocalRollback restores this node to the stored checkpoint with
+// sequence number toSN and moves to newEpoch. Application sends stay
+// frozen until the coordinator's RollbackResume barrier. It reports
+// whether the restore completed synchronously; when the checkpoint's
+// local state is remote (lost in an earlier crash) it returns false and
+// onRecoverStateResp finishes the job, acking coordinator.
+func (n *Node) performLocalRollback(toSN SN, newEpoch Epoch, coordinator topology.NodeID) bool {
+	n.abortCheckpoint()
+	n.sendQueue = nil // sends of the aborted execution are re-executed
+	n.heldInter = nil // in-flight senders will resend (they are logged)
+	// Deferred messages addressed to the post-rollback epoch survive;
+	// everything else belongs to the aborted execution.
+	kept := n.inboundQueue[:0]
+	for _, in := range n.inboundQueue {
+		if in.msg.DstEpoch >= newEpoch {
+			kept = append(kept, in)
+		}
+	}
+	n.inboundQueue = kept
+
+	// Discard checkpoints from the aborted future.
+	for len(n.clcs) > 0 && n.clcs[len(n.clcs)-1].meta.SN > toSN {
+		n.clcs = n.clcs[:len(n.clcs)-1]
+	}
+	for k := range n.replicas {
+		if k.seq > toSN {
+			delete(n.replicas, k)
+		}
+	}
+	for owner, entries := range n.mirrorLogs {
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.SendSN < toSN {
+				kept = append(kept, e)
+			}
+		}
+		n.mirrorLogs[owner] = kept
+	}
+
+	rec := n.recordWith(toSN)
+	if rec == nil {
+		panic(fmt.Sprintf("core: %v has no checkpoint %d to restore", n.id, toSN))
+	}
+	if rec.remote {
+		// Our local copy was lost in an earlier crash; fetch it back
+		// from the replica holders before acking (async). All holders
+		// are asked — one of them may be down itself under multiple
+		// simultaneous faults; the first response wins.
+		n.recoverWait = &recoverPending{
+			cmd:         RollbackCmd{ToSN: toSN, NewEpoch: newEpoch},
+			coordinator: coordinator,
+		}
+		req := RecoverStateReq{Seq: toSN, Epoch: newEpoch, Owner: n.id}
+		for _, h := range n.replicaTargets() {
+			n.env.Send(h, controlSize(req), req)
+		}
+		return false
+	}
+	n.finishLocalRollback(rec, toSN, newEpoch)
+	return true
+}
+
+func (n *Node) finishLocalRollback(rec *clcRecord, toSN SN, newEpoch Epoch) {
+	n.app.Restore(rec.state)
+	for _, late := range rec.lateLog {
+		n.env.Stat("app.redelivered_late", 1)
+		n.app.Deliver(late.src, late.msg.Payload)
+	}
+	n.sn = toSN
+	n.ddv = rec.meta.DDV.Clone()
+	n.epoch = newEpoch
+	n.knownEpoch[n.cluster] = newEpoch
+	n.pruneLogForOwnRollback(toSN)
+	n.frozenSends = true // until RollbackResume
+	n.frozenDelivs = false
+	n.drainInbound()
+}
+
+// recordWith returns the stored record with the given SN, or nil.
+func (n *Node) recordWith(sn SN) *clcRecord {
+	for _, r := range n.clcs {
+		if r.meta.SN == sn {
+			return r
+		}
+	}
+	return nil
+}
+
+// onRollbackCmd executes the coordinator's rollback order on a peer.
+func (n *Node) onRollbackCmd(src topology.NodeID, m RollbackCmd) {
+	if src.Cluster != n.cluster {
+		return
+	}
+	if n.lostState {
+		// Restarted after a crash: volatile memory (including the
+		// local checkpoint parts) is gone; fetch the state back from
+		// the stable-storage neighbours (§3.1). Every holder is asked
+		// in case some are down too; the first response wins.
+		n.recoverWait = &recoverPending{cmd: m, coordinator: src}
+		req := RecoverStateReq{Seq: m.ToSN, Epoch: m.NewEpoch, Owner: n.id}
+		for _, h := range n.replicaTargets() {
+			n.env.Send(h, controlSize(req), req)
+		}
+		return
+	}
+	if m.NewEpoch <= n.epoch {
+		return // stale duplicate
+	}
+	if n.rbActive && m.NewEpoch > n.rbEpoch {
+		// A newer rollback supersedes the one we were coordinating.
+		n.rbActive = false
+	}
+	if n.performLocalRollback(m.ToSN, m.NewEpoch, src) {
+		ack := RollbackAck{ToSN: m.ToSN, Epoch: m.NewEpoch, From: n.id}
+		n.env.Send(src, controlSize(ack), ack)
+	}
+}
+
+// onRecoverStateReq serves a stored replica back to its owner.
+func (n *Node) onRecoverStateReq(src topology.NodeID, m RecoverStateReq) {
+	rep, ok := n.replicas[replicaKey{owner: m.Owner, seq: m.Seq}]
+	if !ok {
+		// The owner queries every holder; this one cannot serve (e.g.
+		// it restarted recently itself). Another holder usually can —
+		// a truly unrecoverable state shows up as a stalled rollback,
+		// which the harness invariants catch.
+		n.env.Stat("storage.replica_miss_queries", 1)
+		n.env.Trace(sim.TraceInfo, "replica %d for %v not held here", m.Seq, m.Owner)
+		return
+	}
+	metas := make([]Meta, 0, len(n.clcs))
+	var older []OlderState
+	for _, r := range n.clcs {
+		if r.meta.SN > m.Seq {
+			continue
+		}
+		metas = append(metas, Meta{SN: r.meta.SN, DDV: r.meta.DDV.Clone()})
+		if r.meta.SN == m.Seq {
+			continue
+		}
+		if old, ok := n.replicas[replicaKey{owner: m.Owner, seq: r.meta.SN}]; ok {
+			older = append(older, OlderState{SN: old.Seq, State: old.State, Size: old.Size})
+		}
+	}
+	resp := RecoverStateResp{
+		Seq: m.Seq, Epoch: m.Epoch, Owner: m.Owner,
+		State: rep.State, Size: rep.Size, Metas: metas, Older: older,
+		Log: append([]LogMirror(nil), n.mirrorLogs[m.Owner]...),
+	}
+	n.env.Send(src, controlSize(resp), resp)
+}
+
+// onRecoverStateResp completes a restarted node's recovery: rebuild the
+// checkpoint list from the cluster metadata (local states stay remote
+// on the neighbour), restore the fetched state and ack the rollback.
+func (n *Node) onRecoverStateResp(src topology.NodeID, m RecoverStateResp) {
+	if n.recoverWait == nil || m.Seq != n.recoverWait.cmd.ToSN {
+		return
+	}
+	pend := *n.recoverWait
+	n.recoverWait = nil
+	n.lostState = false
+
+	olderBySN := make(map[SN]OlderState, len(m.Older))
+	for _, o := range m.Older {
+		olderBySN[o.SN] = o
+	}
+	n.clcs = n.clcs[:0]
+	for _, meta := range m.Metas {
+		if meta.SN > pend.cmd.ToSN {
+			continue
+		}
+		rec := &clcRecord{
+			meta:   Meta{SN: meta.SN, DDV: meta.DDV.Clone()},
+			at:     n.env.Now(),
+			remote: true,
+		}
+		switch {
+		case meta.SN == pend.cmd.ToSN:
+			rec.state = m.State
+			rec.stateSize = m.Size
+			rec.remote = false
+		default:
+			if o, ok := olderBySN[meta.SN]; ok {
+				rec.state = o.State
+				rec.stateSize = o.Size
+				rec.remote = false
+			}
+		}
+		n.clcs = append(n.clcs, rec)
+	}
+	n.app.Restore(m.State)
+	n.sn = pend.cmd.ToSN
+	rec := n.recordWith(pend.cmd.ToSN)
+	n.ddv = rec.meta.DDV.Clone()
+	n.epoch = pend.cmd.NewEpoch
+	n.knownEpoch[n.cluster] = n.epoch
+	n.frozenSends = true
+	n.frozenDelivs = false
+	n.env.Stat("storage.recovered_states", 1)
+
+	// Re-adopt the mirrored message log: entries whose send belongs to
+	// the restored state, conservatively unacknowledged — the resume
+	// barrier re-pushes them and receivers deduplicate.
+	n.log = n.log[:0]
+	for _, e := range m.Log {
+		if e.SendSN >= pend.cmd.ToSN {
+			continue
+		}
+		n.log = append(n.log, &logEntry{
+			msgID: e.MsgID, dst: e.Dst, dstCluster: e.Dst.Cluster,
+			payload: e.Payload, piggySN: e.PiggySN, piggyDDV: e.PiggyDDV,
+			sendSN: e.SendSN,
+		})
+		n.env.Stat("log.recovered_entries", 1)
+	}
+
+	// The crash lost the replicas this node held for its neighbours;
+	// ask their owners to push them again so the next fault is covered.
+	for r := 1; r <= n.cfg.Replicas; r++ {
+		owner := topology.NodeID{Cluster: n.cluster, Index: (n.id.Index - r + n.size) % n.size}
+		req := ReReplicateReq{Epoch: n.epoch}
+		n.env.Send(owner, controlSize(req), req)
+	}
+
+	if pend.coordinator == n.id {
+		// We were restoring a remote state during a self-coordinated
+		// rollback step.
+		n.rbAcks[n.id.Index] = true
+		n.checkRollbackDone()
+		return
+	}
+	ack := RollbackAck{ToSN: pend.cmd.ToSN, Epoch: pend.cmd.NewEpoch, From: n.id}
+	n.env.Send(pend.coordinator, controlSize(ack), ack)
+}
+
+// onReReplicateReq pushes this node's stored checkpoint parts (and its
+// message-log mirror) back to a restarted replica holder.
+func (n *Node) onReReplicateReq(src topology.NodeID, m ReReplicateReq) {
+	if m.Epoch != n.epoch || src.Cluster != n.cluster {
+		return
+	}
+	for _, rec := range n.clcs {
+		if rec.remote {
+			continue // our own copy lives remotely; nothing to push
+		}
+		rep := Replica{Seq: rec.meta.SN, Epoch: n.epoch, Owner: n.id, State: rec.state, Size: rec.stateSize}
+		n.env.Send(src, controlSize(rep), rep)
+		n.env.Stat("storage.rereplicated", 1)
+	}
+	for _, e := range n.log {
+		mir := LogMirror{
+			Owner: n.id, MsgID: e.msgID, Dst: e.dst, Payload: e.payload,
+			PiggySN: e.piggySN, PiggyDDV: e.piggyDDV, SendSN: e.sendSN,
+		}
+		n.env.Send(src, controlSize(mir), mir)
+	}
+}
+
+// onLogMirror stores a neighbour's message-log entry.
+func (n *Node) onLogMirror(src topology.NodeID, m LogMirror) {
+	if src.Cluster != n.cluster {
+		return
+	}
+	for _, e := range n.mirrorLogs[m.Owner] {
+		if e.MsgID == m.MsgID {
+			return // duplicate (re-replication)
+		}
+	}
+	n.mirrorLogs[m.Owner] = append(n.mirrorLogs[m.Owner], m)
+}
+
+// onLogTrim intersects a neighbour's mirrored log with its live set.
+func (n *Node) onLogTrim(src topology.NodeID, m LogTrim) {
+	if src.Cluster != n.cluster {
+		return
+	}
+	alive := make(map[uint64]bool, len(m.Kept))
+	for _, id := range m.Kept {
+		alive[id] = true
+	}
+	kept := n.mirrorLogs[src][:0]
+	for _, e := range n.mirrorLogs[src] {
+		if alive[e.MsgID] {
+			kept = append(kept, e)
+		}
+	}
+	n.mirrorLogs[src] = kept
+}
+
+// onRollbackAck gathers restoration confirmations at the coordinator.
+func (n *Node) onRollbackAck(src topology.NodeID, m RollbackAck) {
+	if !n.rbActive || m.Epoch != n.rbEpoch {
+		return
+	}
+	n.rbAcks[src.Index] = true
+	n.checkRollbackDone()
+}
+
+func (n *Node) checkRollbackDone() {
+	if !n.rbActive || len(n.rbAcks) < n.size {
+		return
+	}
+	n.rbActive = false
+	// Recovery time: detection-to-resume for the whole cluster,
+	// dominated by state restores (and replica fetches after a crash).
+	n.env.StatSeries(n.statName("rollback.duration_seconds"),
+		n.env.Now().Sub(n.rbSince).Seconds())
+	n.env.Trace(sim.TraceInfo, "rollback to %d complete, resuming (epoch %d)", n.rbSeq, n.rbEpoch)
+	res := RollbackResume{Epoch: n.rbEpoch}
+	for i := 0; i < n.size; i++ {
+		if i == n.id.Index {
+			continue
+		}
+		n.env.Send(topology.NodeID{Cluster: n.cluster, Index: i}, controlSize(res), res)
+	}
+	n.resumeAfterRollback()
+	// Alerts that arrived while restoring are decided now.
+	pending := n.deferredAlert
+	n.deferredAlert = nil
+	for _, a := range pending {
+		n.decideRollbackFromAlert(a)
+	}
+}
+
+// onRollbackResume releases the send freeze on a peer.
+func (n *Node) onRollbackResume(src topology.NodeID, m RollbackResume) {
+	if m.Epoch != n.epoch {
+		return
+	}
+	n.resumeAfterRollback()
+}
+
+func (n *Node) resumeAfterRollback() {
+	n.frozenSends = false
+	n.drainSendQueue()
+	n.drainInbound()
+	// Held inter-cluster messages re-demand their forced CLC now: a
+	// force request issued while the leader was mid-recovery was
+	// dropped, and without this retry a cluster with an infinite
+	// unforced-CLC timer would hold such messages forever.
+	n.reexamineHeld()
+	// Re-issue every surviving log entry that is not (or no longer)
+	// acknowledged. This closes a race the paper does not discuss: a
+	// resend triggered by another cluster's alert can be emitted just
+	// before our own cascaded rollback and then be discarded by the
+	// receiver as stale-epoch traffic; the entry survives our rollback
+	// (its send is part of the restored state), so pushing it again
+	// under the new epoch guarantees delivery. Duplicates are
+	// acceptable — receivers deduplicate by logical message identity.
+	for _, e := range n.log {
+		if e.acked {
+			continue
+		}
+		m := AppMsg{
+			MsgID:      e.msgID,
+			Payload:    e.payload,
+			SrcCluster: n.cluster,
+			SrcEpoch:   n.epoch,
+			SendSN:     e.piggySN,
+			PiggyDDV:   e.piggyDDV,
+			Resend:     true,
+			// Target the receiver cluster's newest known epoch: if its
+			// own rollback command is still in flight (it can queue
+			// behind bulk state transfers), the receiver defers this
+			// copy instead of consuming it in the doomed state.
+			DstEpoch: n.knownEpoch[e.dstCluster],
+		}
+		n.env.Stat("log.resent_after_recovery", 1)
+		n.env.SendApp(e.dst, m.WireSize(), m)
+	}
+	if n.leader() {
+		n.env.SetTimer(TimerCLC, n.cfg.CLCPeriod)
+		n.recordStoredStat()
+	}
+}
+
+// onRollbackAlert handles the §3.4 alert, both the inter-cluster
+// original (at the leader) and its intra-cluster re-broadcast (at every
+// node): update the known epoch, resend qualifying logged messages and
+// — at the leader — decide whether this cluster must roll back too.
+func (n *Node) onRollbackAlert(src topology.NodeID, m RollbackAlert) {
+	if m.Cluster == n.cluster {
+		return // echo of our own alert; impossible in practice
+	}
+	if m.NewEpoch > n.knownEpoch[m.Cluster] {
+		n.knownEpoch[m.Cluster] = m.NewEpoch
+	}
+	if m.NewEpoch > n.alertEpoch[m.Cluster] {
+		n.alertEpoch[m.Cluster] = m.NewEpoch
+		n.alertSN[m.Cluster] = m.NewSN
+	}
+	n.alertsSeen++
+	// "Even if its cluster does not need to rollback, a node receiving
+	// a rollback alert broadcasts it in its cluster. Logged messages
+	// sent to nodes in the faulty cluster ... will then be resent."
+	n.resendLoggedTo(m.Cluster, m.NewSN, m.NewEpoch)
+	external := src.Cluster != n.cluster
+	if external {
+		for i := 0; i < n.size; i++ {
+			if i == n.id.Index {
+				continue
+			}
+			n.env.Send(topology.NodeID{Cluster: n.cluster, Index: i}, controlSize(m), m)
+		}
+		if n.lostState || n.rbActive {
+			n.deferredAlert = append(n.deferredAlert, m)
+			return
+		}
+		n.decideRollbackFromAlert(m)
+	}
+}
+
+// decideRollbackFromAlert applies the rollback test of §3.4 at the
+// leader: roll back iff the DDV entry for the alerting cluster is >=
+// the alerted SN, to the oldest checkpoint whose entry is >= that SN.
+func (n *Node) decideRollbackFromAlert(m RollbackAlert) {
+	if !NeedsRollback(n.ddv, m.Cluster, m.NewSN) {
+		return
+	}
+	if n.cfg.Mode == ModeIndependent {
+		// No forced checkpoints exist: fall back behind the dependency
+		// (domino effect; the initial CLC always qualifies).
+		idx := NewestBelow(n.StoredMetas(), m.Cluster, m.NewSN)
+		if idx < 0 {
+			idx = 0
+		}
+		n.env.Stat("rollback.cascaded", 1)
+		n.initiateRollback(n.clcs[idx].meta.SN)
+		return
+	}
+	idx := OldestWith(n.StoredMetas(), m.Cluster, m.NewSN)
+	if idx == -1 {
+		// The garbage collector's safety rule makes this unreachable;
+		// fall back to the initial checkpoint, which depends on nothing.
+		n.env.Stat("invariant.rollback_target_missing", 1)
+		n.env.Trace(sim.TraceInfo, "NO rollback target for alert c%d sn=%d; using oldest", m.Cluster, m.NewSN)
+		idx = 0
+	}
+	n.env.Stat("rollback.cascaded", 1)
+	n.initiateRollback(n.clcs[idx].meta.SN)
+}

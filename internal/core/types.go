@@ -1,0 +1,176 @@
+// Package core implements the HC3I checkpointing protocol — the primary
+// contribution of the paper: coordinated (two-phase commit) checkpointing
+// inside each cluster combined with communication-induced checkpointing
+// between clusters, sender-side optimistic message logging, cascading
+// rollback with recovery-line computation, and garbage collection.
+//
+// The protocol is written as a deterministic event-driven state machine
+// (Node). A harness supplies an Env (clock, transport, timers, tracing)
+// and AppHooks (application snapshot/restore/delivery); the discrete
+// event simulator (internal/federation) and the live goroutine runtime
+// (internal/runtime) drive the very same code.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// SN is a cluster sequence number: the count of cluster-level
+// checkpoints (CLCs) committed by a cluster. The two-phase commit keeps
+// it identical on every node of the cluster outside commit windows
+// (paper §3.1).
+type SN uint64
+
+// Epoch counts the rollbacks a cluster has performed. Inter-cluster
+// messages are stamped with the sender cluster's epoch so that messages
+// from an aborted (rolled-back) execution can be recognized and dropped.
+// The paper leaves this implicit ("a sent message will be received in an
+// arbitrary but finite laps of time"); an implementation needs it to
+// separate pre- and post-rollback traffic.
+type Epoch uint64
+
+// DDV is a Direct Dependencies Vector: one SN entry per *cluster* of the
+// federation (paper §3.2). For cluster j, DDV[j] is j's own SN and
+// DDV[i] (i != j) is the highest SN received from cluster i.
+type DDV []SN
+
+// NewDDV returns an all-zero DDV for n clusters.
+func NewDDV(n int) DDV { return make(DDV, n) }
+
+// Clone returns an independent copy.
+func (d DDV) Clone() DDV {
+	c := make(DDV, len(d))
+	copy(c, d)
+	return c
+}
+
+// Merge raises each entry to the element-wise maximum with o and
+// reports whether any entry changed. Used by the transitive-dependency
+// extension (paper §7 future work).
+func (d DDV) Merge(o DDV) bool {
+	changed := false
+	for i, v := range o {
+		if v > d[i] {
+			d[i] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Equal reports element-wise equality.
+func (d DDV) Equal(o DDV) bool {
+	if len(d) != len(o) {
+		return false
+	}
+	for i := range d {
+		if d[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector like "[1 0 3]".
+func (d DDV) String() string {
+	parts := make([]string, len(d))
+	for i, v := range d {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Meta is the metadata of one stored CLC: its own-cluster sequence
+// number and the DDV recorded at commit time. The garbage collector
+// exchanges lists of Meta between clusters (paper §3.5), and the
+// recovery-line computation operates on them.
+type Meta struct {
+	SN  SN
+	DDV DDV
+}
+
+// LogicalID identifies an application message independently of
+// retransmissions: the sending node plus a per-sender sequence number.
+// The consistency checker uses it to detect ghost and lost messages.
+type LogicalID struct {
+	Src topology.NodeID
+	Seq uint64
+}
+
+// String renders the logical ID.
+func (l LogicalID) String() string { return fmt.Sprintf("%v#%d", l.Src, l.Seq) }
+
+// AppPayload is what the application hands to the protocol for
+// transmission: opaque data plus its logical identity and size.
+type AppPayload struct {
+	ID   LogicalID
+	Data any
+	Size int // bytes of application data
+}
+
+// TimerKind distinguishes the protocol's timers (the paper's "timers
+// file" configures their periods per cluster).
+type TimerKind int
+
+// Timer kinds.
+const (
+	// TimerCLC is the delay between unforced CLCs; armed on the cluster
+	// leader only and reset at every commit, forced or not (§5.2).
+	TimerCLC TimerKind = iota
+	// TimerGC is the garbage-collection period; armed on the federation
+	// GC initiator only (§3.5).
+	TimerGC
+)
+
+// String names the timer kind.
+func (k TimerKind) String() string {
+	switch k {
+	case TimerCLC:
+		return "clc"
+	case TimerGC:
+		return "gc"
+	default:
+		return fmt.Sprintf("TimerKind(%d)", int(k))
+	}
+}
+
+// Env is everything the protocol needs from its execution environment.
+// Implementations must invoke the Node strictly sequentially (the DES is
+// single-threaded; the live runtime uses one goroutine per node).
+type Env interface {
+	// Now returns the current virtual (or scaled wall-clock) time.
+	Now() sim.Time
+	// Send transmits a protocol control message of the given wire size.
+	Send(dst topology.NodeID, size int, msg Msg)
+	// SendApp transmits a wrapped application message (accounted as
+	// application traffic, like the paper's Table 1).
+	SendApp(dst topology.NodeID, size int, msg Msg)
+	// SetTimer (re)arms one of the node's timers; sim.Forever disarms.
+	SetTimer(k TimerKind, d sim.Duration)
+	// Trace emits a trace record attributed to this node.
+	Trace(level sim.TraceLevel, format string, args ...any)
+	// Stat adds delta to a named counter (per-run statistics).
+	Stat(name string, delta uint64)
+	// StatSeries records a named time-series point (e.g. stored CLCs).
+	StatSeries(name string, value float64)
+}
+
+// AppHooks connects the protocol to the application layer of one node:
+// checkpointing captures application state through Snapshot/Restore and
+// received payloads are handed up through Deliver. The system-level
+// placement ("programmers do not need to write specific code", §6) is
+// preserved: the application is unaware of the protocol.
+type AppHooks interface {
+	// Snapshot captures the node's application state. The returned
+	// value is opaque to the protocol; size is its footprint in bytes
+	// (it prices checkpoint transfers to stable storage).
+	Snapshot() (state any, size int)
+	// Restore reinstalls a state previously captured by Snapshot.
+	Restore(state any)
+	// Deliver hands an application payload to the application.
+	Deliver(from topology.NodeID, p AppPayload)
+}

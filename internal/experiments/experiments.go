@@ -1,0 +1,167 @@
+// Package experiments defines one runnable experiment per table and
+// figure of the paper's evaluation (§5), plus the ablations listed in
+// DESIGN.md. Each experiment builds federations through
+// internal/federation, sweeps the parameter the paper sweeps, and
+// renders the same rows/series the paper reports. The benchmark
+// harness (bench_test.go) and the hc3ibench tool both run this
+// registry.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	// Seed drives all randomness (runs are deterministic per seed).
+	Seed uint64
+	// Quick shrinks node counts, durations and sweeps so the whole
+	// registry finishes in seconds (tests, smoke runs). Full mode uses
+	// the paper's parameters: 100-node clusters and 10-hour runs.
+	Quick bool
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Notes records the expected shape from the paper and any
+	// deviation worth flagging.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header row first),
+// ready for gnuplot/matplotlib to redraw the paper's figures.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write(t.Headers)
+	for _, r := range t.Rows {
+		_ = w.Write(r)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table with
+// the notes underneath — the format EXPERIMENTS.md records.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Headers)) + "\n")
+	for _, r := range t.Rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	if len(t.Notes) > 0 {
+		b.WriteString("\n")
+		for _, n := range t.Notes {
+			b.WriteString("> " + n + "\n")
+		}
+	}
+	return b.String()
+}
+
+// Experiment is one registry entry.
+type Experiment struct {
+	ID          string
+	Title       string
+	Description string
+	Run         func(cfg Config) (*Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment, paper artifacts first, then ablations,
+// each group in ID order.
+func All() []Experiment {
+	var es []Experiment
+	for _, e := range registry {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		gi, gj := es[i].ID[0] == 'A', es[j].ID[0] == 'A'
+		if gi != gj {
+			return !gi
+		}
+		return es[i].ID < es[j].ID
+	})
+	return es
+}
+
+// ByID returns one experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// IDs lists all registered experiment IDs in All() order.
+func IDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}

@@ -1,0 +1,299 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quick() Config { return Config{Seed: 1, Quick: true} }
+
+func runExp(t *testing.T, id string) *Table {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	tab, err := e.Run(quick())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	return tab
+}
+
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell [%d][%d] = %q not numeric", row, col, tab.Rows[row][col])
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"T1", "F6", "F7", "F8", "F9", "T2", "T3",
+		"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9"}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	// Paper artifacts sort before ablations.
+	ids := IDs()
+	if ids[0][0] == 'A' {
+		t.Errorf("ablations sorted first: %v", ids)
+	}
+}
+
+func TestT1TrafficShape(t *testing.T) {
+	tab := runExp(t, "T1")
+	intra0 := cell(t, tab, 0, 2)
+	intra1 := cell(t, tab, 1, 2)
+	fwd := cell(t, tab, 2, 2)
+	rev := cell(t, tab, 3, 2)
+	if intra0 < 10*fwd || intra1 < 10*fwd {
+		t.Fatalf("intra traffic (%v, %v) should dwarf inter (%v)", intra0, intra1, fwd)
+	}
+	if rev >= fwd {
+		t.Fatalf("reverse traffic %v should be far below forward %v", rev, fwd)
+	}
+}
+
+func TestF6Shape(t *testing.T) {
+	tab := runExp(t, "F6")
+	// Unforced CLCs decrease as the timer grows.
+	first := cell(t, tab, 0, 1)
+	last := cell(t, tab, len(tab.Rows)-1, 1)
+	if first <= last {
+		t.Fatalf("unforced not decreasing: %v .. %v", first, last)
+	}
+	// Forced CLCs stay small and roughly constant (few reverse messages).
+	for i := range tab.Rows {
+		if f := cell(t, tab, i, 2); f > 8 {
+			t.Fatalf("row %d: forced = %v, want small", i, f)
+		}
+	}
+}
+
+func TestF7Shape(t *testing.T) {
+	tab := runExp(t, "F7")
+	for i := range tab.Rows {
+		if u := cell(t, tab, i, 1); u != 0 {
+			t.Fatalf("row %d: cluster 1 unforced = %v with infinite timer", i, u)
+		}
+	}
+	// Forced count falls as cluster 0 checkpoints less often.
+	first := cell(t, tab, 0, 2)
+	last := cell(t, tab, len(tab.Rows)-1, 2)
+	if first <= last {
+		t.Fatalf("cluster 1 forced should track cluster 0's CLCs: %v .. %v", first, last)
+	}
+}
+
+func TestF8Shape(t *testing.T) {
+	tab := runExp(t, "F8")
+	// Cluster 0's total stays flat across cluster 1's timer sweep.
+	min, max := cell(t, tab, 0, 1), cell(t, tab, 0, 1)
+	for i := range tab.Rows {
+		v := cell(t, tab, i, 1)
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max-min > 3 {
+		t.Fatalf("cluster 0 total varies too much: [%v, %v]", min, max)
+	}
+}
+
+func TestF9Shape(t *testing.T) {
+	tab := runExp(t, "F9")
+	// Forced CLCs in cluster 0 grow with reverse traffic.
+	first := cell(t, tab, 0, 2)
+	last := cell(t, tab, len(tab.Rows)-1, 2)
+	if last <= first {
+		t.Fatalf("cluster 0 forced flat despite growing reverse traffic: %v .. %v", first, last)
+	}
+	// Totals grow too.
+	if cell(t, tab, len(tab.Rows)-1, 1) <= cell(t, tab, 0, 1) {
+		t.Fatal("cluster 0 total did not grow")
+	}
+}
+
+func TestT2GarbageCollection(t *testing.T) {
+	tab := runExp(t, "T2")
+	rows := tab.Rows[:len(tab.Rows)-1] // last row is the log high-water mark
+	if len(rows) == 0 {
+		t.Fatal("no GC rounds")
+	}
+	for i, r := range rows {
+		_ = r
+		for c := 0; c < 2; c++ {
+			before := cell(t, tab, i, 1+2*c)
+			after := cell(t, tab, i, 2+2*c)
+			if after > before {
+				t.Fatalf("round %d cluster %d: GC grew the store", i, c)
+			}
+			if after < 1 || after > 4 {
+				t.Fatalf("round %d cluster %d: %v CLCs after GC, want ~2", i, c, after)
+			}
+		}
+	}
+}
+
+func TestT3GarbageCollectionThreeClusters(t *testing.T) {
+	tab := runExp(t, "T3")
+	rows := tab.Rows[:len(tab.Rows)-1]
+	if len(rows) == 0 {
+		t.Fatal("no GC rounds")
+	}
+	for i := range rows {
+		for c := 0; c < 3; c++ {
+			after := cell(t, tab, i, 2+2*c)
+			if after < 1 || after > 4 {
+				t.Fatalf("round %d cluster %d: %v CLCs after GC", i, c, after)
+			}
+		}
+	}
+}
+
+func TestA2ForceAllCostsMore(t *testing.T) {
+	tab := runExp(t, "A2")
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	hc3i := cell(t, tab, 0, 1)
+	forceAll := cell(t, tab, 1, 1)
+	if forceAll <= hc3i {
+		t.Fatalf("force-all forced %v <= hc3i %v", forceAll, hc3i)
+	}
+}
+
+func TestA4RollbackScope(t *testing.T) {
+	tab := runExp(t, "A4")
+	scope := map[string]float64{}
+	for i, r := range tab.Rows {
+		scope[r[0]] = cell(t, tab, i, 1)
+	}
+	if scope["global-coordinated"] != 2 || scope["hier-coordinated[9]"] != 2 {
+		t.Fatalf("coordinated baselines should roll back both clusters: %v", scope)
+	}
+	if scope["hc3i"] > scope["global-coordinated"] {
+		t.Fatalf("hc3i scope %v exceeds global %v", scope["hc3i"], scope["global-coordinated"])
+	}
+}
+
+func TestA5RingCheaper(t *testing.T) {
+	tab := runExp(t, "A5")
+	centralMsgs := cell(t, tab, 0, 2)
+	ringMsgs := cell(t, tab, 1, 2)
+	centralRounds := cell(t, tab, 0, 1)
+	ringRounds := cell(t, tab, 1, 1)
+	if centralRounds == 0 || ringRounds == 0 {
+		t.Fatal("GC rounds missing")
+	}
+	// Messages per completed round: ring (2N) <= star (3(N-1)) for N=3.
+	if ringMsgs/ringRounds > centralMsgs/centralRounds {
+		t.Fatalf("ring GC not cheaper per round: %v vs %v",
+			ringMsgs/ringRounds, centralMsgs/centralRounds)
+	}
+}
+
+func TestA6MultiFaultRecovers(t *testing.T) {
+	tab := runExp(t, "A6")
+	sameCluster := false
+	for i := range tab.Rows {
+		if f := cell(t, tab, i, 3); f != 2 {
+			t.Fatalf("row %d: failures = %v, want 2", i, f)
+		}
+		if tab.Rows[i][5] != "true" {
+			t.Fatalf("row %d: did not recover", i)
+		}
+		if tab.Rows[i][0] == "same cluster" {
+			sameCluster = true
+		}
+	}
+	if !sameCluster {
+		t.Fatal("same-cluster scenario missing")
+	}
+}
+
+func TestRemainingAblationsRun(t *testing.T) {
+	for _, id := range []string{"A1", "A3"} {
+		runExp(t, id)
+	}
+}
+
+func TestA7FreezeScalesWithStateSize(t *testing.T) {
+	tab := runExp(t, "A7")
+	// Rows: (1MB,4) (1MB,12) (8MB,4) (8MB,12). Freeze grows with the
+	// state size at a fixed node count.
+	small := cell(t, tab, 0, 2)
+	big := cell(t, tab, 2, 2)
+	if big <= small {
+		t.Fatalf("freeze did not grow with state size: %v vs %v", small, big)
+	}
+	// And it grows far slower with node count than with size: the
+	// 3x-node increase must cost less than the 8x size increase.
+	nodeGrowth := cell(t, tab, 1, 2) / small
+	sizeGrowth := big / small
+	if nodeGrowth > sizeGrowth {
+		t.Fatalf("node count dominates freeze: %v vs %v", nodeGrowth, sizeGrowth)
+	}
+}
+
+func TestA8OverheadTiny(t *testing.T) {
+	tab := runExp(t, "A8")
+	disabled := cell(t, tab, 0, 4)
+	enabled := cell(t, tab, 1, 4)
+	// With timers off the protocol costs well under 1% of application
+	// bytes (acks + piggybacked SNs + the rare first-contact forces).
+	if disabled > 1.0 {
+		t.Fatalf("overhead with checkpointing disabled = %v%%", disabled)
+	}
+	if enabled <= disabled {
+		t.Fatalf("checkpointing should cost more: %v%% vs %v%%", enabled, disabled)
+	}
+}
+
+func TestA9MemoryBounded(t *testing.T) {
+	tab := runExp(t, "A9")
+	noGC := cell(t, tab, 0, 1)
+	periodic := cell(t, tab, 1, 1)
+	saturation := cell(t, tab, 2, 1)
+	if periodic >= noGC {
+		t.Fatalf("periodic GC did not bound memory: %v vs %v", periodic, noGC)
+	}
+	if saturation >= periodic {
+		t.Fatalf("saturation trigger looser than periodic: %v vs %v", saturation, periodic)
+	}
+	if demand := cell(t, tab, 2, 4); demand == 0 {
+		t.Fatal("no demand-driven rounds")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:      "X",
+		Title:   "demo",
+		Headers: []string{"a", "bbbb"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("xx", "y")
+	out := tab.Render()
+	for _, want := range []string{"== X: demo ==", "a note", "2.5", "xx"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+// TestManySeedsRecoveryExperiments sweeps the failure-heavy experiments
+// across many seeds: every crash/rollback/recovery alignment must
+// satisfy the harness invariants (no lost messages, SN agreement,
+// recovered nodes). This is the regression net for the timing races
+// found during development (resends overtaking rollback commands,
+// mid-recovery deliveries, same-cluster double faults).
+func TestManySeedsRecoveryExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep skipped in -short mode")
+	}
+	for _, id := range []string{"A4", "A6"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		for seed := uint64(1); seed <= 25; seed++ {
+			if _, err := e.Run(Config{Seed: seed, Quick: true}); err != nil {
+				t.Errorf("%s seed %d: %v", id, seed, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package failure injects fail-stop node crashes into a simulated
+// federation (§2.1 failure assumptions: fail-stop, one fault at a
+// time) and models the failure detector, which the paper deliberately
+// leaves out of scope (§3.4).
+package failure
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Hooks are the harness actions the injector drives.
+type Hooks struct {
+	// Crash makes the node fail-stop (cut traffic, stop the protocol).
+	Crash func(topology.NodeID)
+	// Detect fires after the detection delay: the node is repaired
+	// (restarted empty) and a surviving node of its cluster is told to
+	// coordinate the rollback.
+	Detect func(topology.NodeID)
+}
+
+// Injector schedules crashes. Two modes compose freely: explicit
+// crashes at fixed times (experiments), and a Poisson process with the
+// federation MTBF from the topology file.
+type Injector struct {
+	engine *sim.Engine
+	fed    *topology.Federation
+	rng    *sim.RNG
+	hooks  Hooks
+
+	// DetectionDelay is the time between a crash and its detection.
+	DetectionDelay sim.Duration
+	// Quiet is the minimum spacing inserted after a detection before
+	// the next MTBF-driven crash ("only one fault occurs at a time").
+	Quiet sim.Duration
+
+	// Crashes counts injected failures.
+	Crashes uint64
+	open    bool
+}
+
+// NewInjector builds an injector; call EnableMTBF and/or CrashAt.
+func NewInjector(e *sim.Engine, fed *topology.Federation, rng *sim.RNG, hooks Hooks) *Injector {
+	return &Injector{
+		engine:         e,
+		fed:            fed,
+		rng:            rng,
+		hooks:          hooks,
+		DetectionDelay: 2 * sim.Second,
+		Quiet:          5 * sim.Minute,
+	}
+}
+
+// CrashAt schedules an explicit crash of node id at absolute time t.
+func (in *Injector) CrashAt(t sim.Time, id topology.NodeID) {
+	in.engine.ScheduleAt(t, func(*sim.Engine) { in.crash(id) })
+}
+
+// EnableMTBF starts the Poisson crash process using the federation's
+// MTBF (no-op when the MTBF is zero or Forever).
+func (in *Injector) EnableMTBF() {
+	if in.fed.MTBF <= 0 || in.fed.MTBF >= sim.Forever {
+		return
+	}
+	in.scheduleNext(in.rng.Exp(in.fed.MTBF))
+}
+
+func (in *Injector) scheduleNext(d sim.Duration) {
+	if d >= sim.Forever {
+		return
+	}
+	in.engine.Schedule(d, func(*sim.Engine) {
+		if in.open {
+			// A failure is still being handled: respect the
+			// one-fault-at-a-time assumption and retry later.
+			in.scheduleNext(in.Quiet)
+			return
+		}
+		in.crash(in.randomNode())
+		in.scheduleNext(in.rng.Exp(in.fed.MTBF))
+	})
+}
+
+func (in *Injector) randomNode() topology.NodeID {
+	all := in.fed.AllNodes()
+	return all[in.rng.Intn(len(all))]
+}
+
+func (in *Injector) crash(id topology.NodeID) {
+	in.Crashes++
+	in.open = true
+	in.hooks.Crash(id)
+	in.engine.Schedule(in.DetectionDelay, func(*sim.Engine) {
+		in.open = false
+		in.hooks.Detect(id)
+	})
+}

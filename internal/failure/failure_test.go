@@ -1,0 +1,99 @@
+package failure
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestExplicitCrashAndDetection(t *testing.T) {
+	e := sim.NewEngine()
+	fed := topology.Small(1, 3)
+	var crashed, detected []topology.NodeID
+	var crashAt, detectAt sim.Time
+	in := NewInjector(e, fed, sim.NewRNG(1), Hooks{
+		Crash:  func(id topology.NodeID) { crashed = append(crashed, id); crashAt = e.Now() },
+		Detect: func(id topology.NodeID) { detected = append(detected, id); detectAt = e.Now() },
+	})
+	in.DetectionDelay = 3 * sim.Second
+	victim := topology.NodeID{Cluster: 0, Index: 1}
+	in.CrashAt(sim.Time(10*sim.Second), victim)
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(crashed) != 1 || crashed[0] != victim {
+		t.Fatalf("crashed = %v", crashed)
+	}
+	if len(detected) != 1 || detected[0] != victim {
+		t.Fatalf("detected = %v", detected)
+	}
+	if crashAt != sim.Time(10*sim.Second) || detectAt != sim.Time(13*sim.Second) {
+		t.Fatalf("times: crash %v detect %v", crashAt, detectAt)
+	}
+	if in.Crashes != 1 {
+		t.Fatalf("Crashes = %d", in.Crashes)
+	}
+}
+
+func TestMTBFProcessRespectsRate(t *testing.T) {
+	e := sim.NewEngine()
+	fed := topology.Small(2, 2)
+	fed.MTBF = 30 * sim.Minute
+	count := 0
+	in := NewInjector(e, fed, sim.NewRNG(5), Hooks{
+		Crash:  func(topology.NodeID) { count++ },
+		Detect: func(topology.NodeID) {},
+	})
+	in.EnableMTBF()
+	if _, err := e.Run(sim.Time(20 * sim.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	e.Stop()
+	// ~40 failures expected over 20h at a 30-minute MTBF.
+	if count < 20 || count > 70 {
+		t.Fatalf("MTBF crashes over 20h = %d, want ~40", count)
+	}
+}
+
+func TestMTBFDisabledWhenZero(t *testing.T) {
+	e := sim.NewEngine()
+	fed := topology.Small(1, 2) // MTBF zero
+	in := NewInjector(e, fed, sim.NewRNG(3), Hooks{
+		Crash:  func(topology.NodeID) { t.Fatal("crash without MTBF") },
+		Detect: func(topology.NodeID) {},
+	})
+	in.EnableMTBF()
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOneFaultAtATime(t *testing.T) {
+	e := sim.NewEngine()
+	fed := topology.Small(1, 4)
+	fed.MTBF = sim.Second // pathologically frequent
+	open := 0
+	maxOpen := 0
+	in := NewInjector(e, fed, sim.NewRNG(7), Hooks{
+		Crash: func(topology.NodeID) {
+			open++
+			if open > maxOpen {
+				maxOpen = open
+			}
+		},
+		Detect: func(topology.NodeID) { open-- },
+	})
+	in.DetectionDelay = 5 * sim.Second
+	in.Quiet = 2 * sim.Second
+	in.EnableMTBF()
+	if _, err := e.Run(sim.Time(5 * sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if maxOpen > 1 {
+		t.Fatalf("overlapping failures: %d", maxOpen)
+	}
+	if in.Crashes == 0 {
+		t.Fatal("no crashes at 1s MTBF")
+	}
+}

@@ -1,0 +1,371 @@
+// Package federation assembles complete simulated cluster federations:
+// topology, network model, workload, failure injection and one protocol
+// node per simulated node, all driven by the discrete event engine. It
+// is the equivalent of the paper's C++SIM simulator main program, which
+// combined a Nodes thread, a Network thread, a Timers thread and a
+// Controller (§5.1).
+package federation
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// ProtocolNode is the protocol-agnostic surface the harness drives;
+// core.Node implements it, and so do the baseline protocols.
+type ProtocolNode interface {
+	Start()
+	Send(dst topology.NodeID, p core.AppPayload)
+	OnMessage(src topology.NodeID, msg core.Msg)
+	OnTimer(k core.TimerKind)
+	OnFailureDetected(failed topology.NodeID)
+	Fail()
+	Restart()
+	Failed() bool
+	SN() core.SN
+	StoredCount() int
+}
+
+// NodeFactory builds one protocol node; leaving Options.NodeFactory nil
+// selects the HC3I protocol.
+type NodeFactory func(cfg core.Config, env core.Env, hooks core.AppHooks) ProtocolNode
+
+// Crash is an explicitly scheduled node failure.
+type Crash struct {
+	At   sim.Time
+	Node topology.NodeID
+}
+
+// Options configures one simulation run. The three groups mirror the
+// paper's three simulator input files: Topology (clusters, links,
+// MTBF), Workload (application) and the timer values.
+type Options struct {
+	Topology *topology.Federation
+	Workload *app.Workload
+
+	// CLCPeriods is the per-cluster delay between unforced CLCs (the
+	// paper's per-cluster timer); len must equal the cluster count.
+	CLCPeriods []sim.Duration
+	// GCPeriod is the garbage-collection period (sim.Forever = off).
+	GCPeriod sim.Duration
+	// GCMemoryThreshold makes nodes demand a collection once their
+	// fault-tolerance memory exceeds this many bytes (0 = off).
+	GCMemoryThreshold uint64
+	// RingGC selects the distributed GC variant.
+	RingGC bool
+	// Transitive enables full-DDV piggybacking.
+	Transitive bool
+	// Replicas is the stable-storage replication degree (default 1,
+	// capped at cluster size - 1). -1 disables replication entirely
+	// (measurement runs only: crashes then lose state).
+	Replicas int
+
+	// Seed drives all randomness; identical options + seed => identical run.
+	Seed uint64
+
+	// TraceWriter/TraceLevel enable the simulator's trace output.
+	TraceWriter io.Writer
+	TraceLevel  sim.TraceLevel
+
+	// Crashes schedules explicit failures; MTBFFailures additionally
+	// draws failures from the topology's MTBF.
+	Crashes        []Crash
+	MTBFFailures   bool
+	DetectionDelay sim.Duration
+
+	// NodeFactory overrides the protocol under test (baselines).
+	NodeFactory NodeFactory
+
+	// MaxEvents aborts runaway simulations (0 = a generous default).
+	MaxEvents uint64
+}
+
+func (o *Options) fill() error {
+	if o.Topology == nil {
+		return fmt.Errorf("federation: nil topology")
+	}
+	if err := o.Topology.Validate(); err != nil {
+		return err
+	}
+	if o.Workload == nil {
+		return fmt.Errorf("federation: nil workload")
+	}
+	if err := o.Workload.Validate(o.Topology); err != nil {
+		return err
+	}
+	n := o.Topology.NumClusters()
+	if o.CLCPeriods == nil {
+		o.CLCPeriods = make([]sim.Duration, n)
+		for i := range o.CLCPeriods {
+			o.CLCPeriods[i] = 30 * sim.Minute
+		}
+	}
+	if len(o.CLCPeriods) != n {
+		return fmt.Errorf("federation: %d CLC periods for %d clusters", len(o.CLCPeriods), n)
+	}
+	if o.GCPeriod == 0 {
+		o.GCPeriod = sim.Forever
+	}
+	if o.Replicas == 0 {
+		o.Replicas = 1
+	}
+	if o.Replicas < 0 {
+		o.Replicas = 0
+	}
+	if o.DetectionDelay == 0 {
+		o.DetectionDelay = 2 * sim.Second
+	}
+	if o.MaxEvents == 0 {
+		o.MaxEvents = 200_000_000
+	}
+	return nil
+}
+
+// Fed is one assembled simulation.
+type Fed struct {
+	opts    Options
+	engine  *sim.Engine
+	stats   *sim.Stats
+	tracer  *sim.Tracer
+	net     *netsim.Network
+	nodes   map[topology.NodeID]ProtocolNode
+	apps    map[topology.NodeID]*app.NodeApp
+	timers  map[timerKey]*sim.Timer
+	pending map[topology.NodeID]sim.EventRef // next app send event
+	inject  *failure.Injector
+}
+
+type timerKey struct {
+	id   topology.NodeID
+	kind core.TimerKind
+}
+
+// New assembles a federation simulation.
+func New(opts Options) (*Fed, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	f := &Fed{
+		opts:    opts,
+		engine:  sim.NewEngine(),
+		stats:   sim.NewStats(),
+		nodes:   make(map[topology.NodeID]ProtocolNode),
+		apps:    make(map[topology.NodeID]*app.NodeApp),
+		timers:  make(map[timerKey]*sim.Timer),
+		pending: make(map[topology.NodeID]sim.EventRef),
+	}
+	f.engine.MaxEvents = opts.MaxEvents
+	if opts.TraceWriter != nil {
+		f.tracer = sim.NewTracer(f.engine, opts.TraceWriter, opts.TraceLevel)
+	}
+	f.net = netsim.New(f.engine, opts.Topology, f.stats, f.tracer)
+
+	root := sim.NewRNG(opts.Seed)
+	fed := opts.Topology
+	sizes := make([]int, fed.NumClusters())
+	for i, c := range fed.Clusters {
+		sizes[i] = c.Nodes
+	}
+
+	nodeSeq := 0
+	for _, id := range fed.AllNodes() {
+		id := id
+		repl := opts.Replicas
+		if repl > sizes[id.Cluster]-1 {
+			repl = sizes[id.Cluster] - 1
+		}
+		cfg := core.Config{
+			ID:                id,
+			Clusters:          fed.NumClusters(),
+			ClusterSizes:      sizes,
+			CLCPeriod:         opts.CLCPeriods[id.Cluster],
+			GCPeriod:          opts.GCPeriod,
+			GCInitiator:       id.Cluster == 0 && id.Index == 0,
+			GCMemoryThreshold: opts.GCMemoryThreshold,
+			RingGC:            opts.RingGC,
+			Transitive:        opts.Transitive,
+			Replicas:          repl,
+		}
+		env := &nodeEnv{f: f, id: id}
+		na := app.NewNodeApp(id, opts.Workload, fed, root.StreamN("app", nodeSeq))
+		na.Now = f.engine.Now
+		na.Restored = func() { f.scheduleNextSend(id) }
+		na.OnLost = func(d sim.Duration) {
+			f.stats.Summary("app.lost_work_seconds").Observe(d.Seconds())
+		}
+		f.apps[id] = na
+
+		var pn ProtocolNode
+		if opts.NodeFactory != nil {
+			pn = opts.NodeFactory(cfg, env, na)
+		} else {
+			pn = core.NewNode(cfg, env, na)
+		}
+		f.nodes[id] = pn
+		f.net.Register(id, func(m netsim.Message) {
+			f.nodes[id].OnMessage(m.Src, m.Payload.(core.Msg))
+		})
+		nodeSeq++
+	}
+
+	// Pre-distribute initial checkpoints to stable storage (HC3I only).
+	for _, id := range fed.AllNodes() {
+		if hn, ok := f.nodes[id].(*core.Node); ok {
+			for _, tgt := range hn.ReplicaTargets() {
+				f.nodes[tgt].(*core.Node).SeedReplica(hn.InitialReplica())
+			}
+		}
+	}
+
+	f.inject = failure.NewInjector(f.engine, fed, root.Stream("failures"), failure.Hooks{
+		Crash:  f.crash,
+		Detect: f.detect,
+	})
+	f.inject.DetectionDelay = opts.DetectionDelay
+	for _, c := range opts.Crashes {
+		f.inject.CrashAt(c.At, c.Node)
+	}
+	if opts.MTBFFailures {
+		f.inject.EnableMTBF()
+	}
+	return f, nil
+}
+
+// Engine exposes the underlying event engine (tests, tools).
+func (f *Fed) Engine() *sim.Engine { return f.engine }
+
+// Stats exposes the statistics registry.
+func (f *Fed) Stats() *sim.Stats { return f.stats }
+
+// Node returns the protocol node with the given identity.
+func (f *Fed) Node(id topology.NodeID) ProtocolNode { return f.nodes[id] }
+
+// App returns the simulated application of one node.
+func (f *Fed) App(id topology.NodeID) *app.NodeApp { return f.apps[id] }
+
+// nodeEnv adapts the federation to core.Env for one node.
+type nodeEnv struct {
+	f  *Fed
+	id topology.NodeID
+}
+
+func (e *nodeEnv) Now() sim.Time { return e.f.engine.Now() }
+
+func (e *nodeEnv) Send(dst topology.NodeID, size int, msg core.Msg) {
+	e.f.net.Send(e.id, dst, netsim.KindProto, size, msg)
+}
+
+func (e *nodeEnv) SendApp(dst topology.NodeID, size int, msg core.Msg) {
+	e.f.net.Send(e.id, dst, netsim.KindApp, size, msg)
+}
+
+func (e *nodeEnv) SetTimer(k core.TimerKind, d sim.Duration) {
+	key := timerKey{id: e.id, kind: k}
+	t, ok := e.f.timers[key]
+	if !ok {
+		id, kind := e.id, k
+		t = sim.NewTimer(e.f.engine, func(*sim.Engine) {
+			n := e.f.nodes[id]
+			if !n.Failed() {
+				n.OnTimer(kind)
+			}
+		})
+		e.f.timers[key] = t
+	}
+	t.Reset(d)
+}
+
+func (e *nodeEnv) Trace(level sim.TraceLevel, format string, args ...any) {
+	e.f.tracer.Emit(level, e.id.String(), format, args...)
+}
+
+func (e *nodeEnv) Stat(name string, delta uint64) {
+	e.f.stats.Counter(name).Add(delta)
+}
+
+func (e *nodeEnv) StatSeries(name string, value float64) {
+	e.f.stats.Series(name).Record(e.f.engine.Now(), value)
+}
+
+// ---- application driving ----
+
+// scheduleNextSend (re)schedules the node's next application send.
+func (f *Fed) scheduleNextSend(id topology.NodeID) {
+	if ref, ok := f.pending[id]; ok {
+		ref.Cancel()
+	}
+	a := f.apps[id]
+	at, ok := a.NextSend()
+	if !ok {
+		delete(f.pending, id)
+		return
+	}
+	when := a.SimTimeOf(at)
+	if when < f.engine.Now() {
+		when = f.engine.Now()
+	}
+	f.pending[id] = f.engine.ScheduleAt(when, func(*sim.Engine) { f.fireSend(id) })
+}
+
+func (f *Fed) fireSend(id topology.NodeID) {
+	n := f.nodes[id]
+	if n.Failed() {
+		// The node is down: its application makes no progress. The
+		// restore path reschedules the send after recovery.
+		delete(f.pending, id)
+		return
+	}
+	dst, payload, ok := f.apps[id].TakeSend()
+	if ok {
+		n.Send(dst, payload)
+		f.stats.Counter("app.generated").Inc()
+	}
+	f.scheduleNextSend(id)
+}
+
+// ---- failures ----
+
+func (f *Fed) crash(id topology.NodeID) {
+	n := f.nodes[id]
+	if n.Failed() {
+		return
+	}
+	f.stats.Counter("failures.injected").Inc()
+	f.tracer.Infof(id.String(), "CRASH injected")
+	n.Fail()
+	f.net.SetDown(id, true)
+}
+
+func (f *Fed) detect(id topology.NodeID) {
+	// Repair: the node restarts with empty memory and rejoins.
+	f.net.SetDown(id, false)
+	f.nodes[id].Restart()
+	// The detector notifies the lowest-index surviving node (§3.4
+	// leaves the detector abstract); it coordinates the rollback.
+	coord := f.coordinatorFor(id)
+	if coord == nil {
+		f.stats.Counter("failures.unrecoverable").Inc()
+		return
+	}
+	coord.OnFailureDetected(id)
+}
+
+func (f *Fed) coordinatorFor(failed topology.NodeID) ProtocolNode {
+	for i := 0; i < f.opts.Topology.Clusters[failed.Cluster].Nodes; i++ {
+		id := topology.NodeID{Cluster: failed.Cluster, Index: i}
+		if id == failed {
+			continue
+		}
+		if n := f.nodes[id]; !n.Failed() {
+			return n
+		}
+	}
+	return nil
+}

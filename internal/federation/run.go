@@ -1,0 +1,221 @@
+package federation
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// ClusterResult aggregates the per-cluster quantities the paper's
+// figures and tables report.
+type ClusterResult struct {
+	Cluster   topology.ClusterID
+	Forced    uint64 // committed forced CLCs
+	Unforced  uint64 // committed unforced CLCs
+	Committed uint64 // total committed CLCs
+	Stored    int    // CLCs stored at the end of the run (leader view)
+	Rollbacks uint64
+}
+
+// Total returns forced + unforced committed CLCs ("number of CLCs realy
+// committed", Figures 6-9).
+func (c ClusterResult) Total() uint64 { return c.Committed }
+
+// GCRound is one garbage collection's before/after pair per cluster
+// (the rows of Tables 2 and 3).
+type GCRound struct {
+	At     sim.Time
+	Before []int // stored CLCs just before, per cluster
+	After  []int // stored CLCs just after, per cluster
+}
+
+// Result is everything a finished run reports.
+type Result struct {
+	Stats    *sim.Stats
+	Clusters []ClusterResult
+	// AppMsgs[i][j] is the number of application messages sent from
+	// cluster i to cluster j (Table 1).
+	AppMsgs [][]uint64
+	// GCRounds lists each garbage collection's effect (Tables 2, 3).
+	GCRounds []GCRound
+	// MaxLoggedMessages is the high-water mark of any node's volatile
+	// message log (§5.4 reports it for the sample).
+	MaxLoggedMessages int
+	EndTime           sim.Time
+	Events            uint64
+	Failures          uint64
+}
+
+// Run executes the simulation: the application generates traffic until
+// its total time elapses (re-executing lost work after rollbacks), then
+// the run drains to quiescence. It verifies the protocol's global
+// invariants before returning.
+func (f *Fed) Run() (*Result, error) {
+	for _, id := range f.opts.Topology.AllNodes() {
+		f.nodes[id].Start()
+		f.scheduleNextSend(id)
+	}
+
+	// Run in slices until every application finished its schedule (a
+	// rollback can push application progress past the nominal end).
+	horizon := sim.Time(0).Add(f.opts.Workload.TotalTime)
+	const slice = 10 * sim.Minute
+	for {
+		if _, err := f.engine.Run(horizon); err != nil {
+			return nil, err
+		}
+		if f.appsDone() {
+			break
+		}
+		horizon = horizon.Add(slice)
+	}
+	// Settle in-flight protocol activity (alerts, 2PCs, acks): two more
+	// slices with no application traffic left.
+	if _, err := f.engine.Run(horizon.Add(2 * slice)); err != nil {
+		return nil, err
+	}
+
+	if err := f.checkInvariants(); err != nil {
+		return nil, err
+	}
+	return f.collect(), nil
+}
+
+func (f *Fed) appsDone() bool {
+	for id, a := range f.apps {
+		if f.nodes[id].Failed() {
+			return false
+		}
+		if _, ok := a.NextSend(); ok {
+			return false
+		}
+	}
+	return true
+}
+
+// checkInvariants verifies the end-of-run safety properties of
+// DESIGN.md §5 that are visible from the harness.
+func (f *Fed) checkInvariants() error {
+	st := f.stats
+	if v := st.CounterValue("invariant.rollback_target_missing"); v != 0 {
+		return fmt.Errorf("federation: %d rollback targets missing (GC unsafe)", v)
+	}
+	if v := st.CounterValue("failures.unrecoverable"); v != 0 {
+		return fmt.Errorf("federation: %d failures had no surviving coordinator", v)
+	}
+	// A node that never finished recovering would leave its cluster's
+	// rollback incomplete: surface it as a frozen/lost node.
+	for _, id := range f.opts.Topology.AllNodes() {
+		if hn, ok := f.nodes[id].(*core.Node); ok && !hn.Failed() {
+			if hn.LostState() {
+				return fmt.Errorf("federation: node %v never recovered its state", id)
+			}
+		}
+	}
+	// SN and DDV agreement inside each cluster (HC3I only).
+	for c := 0; c < f.opts.Topology.NumClusters(); c++ {
+		var first *core.Node
+		for _, id := range f.opts.Topology.Nodes(topology.ClusterID(c)) {
+			hn, ok := f.nodes[id].(*core.Node)
+			if !ok {
+				break
+			}
+			if hn.Failed() {
+				continue
+			}
+			if first == nil {
+				first = hn
+				continue
+			}
+			if hn.SN() != first.SN() {
+				return fmt.Errorf("federation: cluster %d SN disagreement: %v=%d %v=%d",
+					c, first.ID(), first.SN(), hn.ID(), hn.SN())
+			}
+			if !hn.DDVSnapshot().Equal(first.DDVSnapshot()) {
+				return fmt.Errorf("federation: cluster %d DDV disagreement: %v vs %v",
+					c, first.DDVSnapshot(), hn.DDVSnapshot())
+			}
+		}
+	}
+	// Message completeness under deterministic replay: every send a
+	// node performed (in its final history) was delivered at its
+	// destination at least once.
+	if f.opts.Workload.Deterministic {
+		for id, a := range f.apps {
+			for i := 0; i < a.SentCount(); i++ {
+				dst := a.DestinationOf(i)
+				lid := core.LogicalID{Src: id, Seq: uint64(i + 1)}
+				if f.apps[dst].DeliveredTimes(lid) == 0 {
+					return fmt.Errorf("federation: message %v to %v lost", lid, dst)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// collect builds the Result from the statistics registry.
+func (f *Fed) collect() *Result {
+	n := f.opts.Topology.NumClusters()
+	res := &Result{
+		Stats:    f.stats,
+		EndTime:  f.engine.Now(),
+		Events:   f.engine.Executed,
+		Failures: f.stats.CounterValue("failures.injected"),
+	}
+	for c := 0; c < n; c++ {
+		cr := ClusterResult{
+			Cluster:   topology.ClusterID(c),
+			Forced:    f.stats.CounterValue(fmt.Sprintf("clc.committed.c%d.forced", c)),
+			Unforced:  f.stats.CounterValue(fmt.Sprintf("clc.committed.c%d.unforced", c)),
+			Committed: f.stats.CounterValue(fmt.Sprintf("clc.committed.c%d", c)),
+			Rollbacks: f.stats.CounterValue(fmt.Sprintf("rollback.count.c%d", c)),
+			Stored:    f.nodes[topology.NodeID{Cluster: topology.ClusterID(c)}].StoredCount(),
+		}
+		res.Clusters = append(res.Clusters, cr)
+	}
+	res.AppMsgs = make([][]uint64, n)
+	for i := 0; i < n; i++ {
+		res.AppMsgs[i] = make([]uint64, n)
+		for j := 0; j < n; j++ {
+			res.AppMsgs[i][j] = f.stats.CounterValue(
+				fmt.Sprintf("net.sent.app.c%d.c%d", i, j))
+		}
+	}
+	res.GCRounds = f.gcRounds(n)
+	for _, id := range f.opts.Topology.AllNodes() {
+		if hn, ok := f.nodes[id].(*core.Node); ok {
+			if hn.LogLen() > res.MaxLoggedMessages {
+				res.MaxLoggedMessages = hn.LogLen()
+			}
+		}
+	}
+	return res
+}
+
+// gcRounds reassembles per-round before/after pairs from the
+// gc.before/gc.after series of each cluster leader.
+func (f *Fed) gcRounds(n int) []GCRound {
+	var rounds []GCRound
+	ref := f.stats.Series("gc.before.c0")
+	for k := 0; k < ref.Len(); k++ {
+		r := GCRound{At: ref.Times[k], Before: make([]int, n), After: make([]int, n)}
+		complete := true
+		for c := 0; c < n; c++ {
+			b := f.stats.Series(fmt.Sprintf("gc.before.c%d", c))
+			a := f.stats.Series(fmt.Sprintf("gc.after.c%d", c))
+			if k >= b.Len() || k >= a.Len() {
+				complete = false
+				break
+			}
+			r.Before[c] = int(b.Values[k])
+			r.After[c] = int(a.Values[k])
+		}
+		if complete {
+			rounds = append(rounds, r)
+		}
+	}
+	return rounds
+}

@@ -1,0 +1,90 @@
+package federation_test
+
+import (
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/federation"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// TestSoakChaos is the long-haul robustness run: hours of virtual time,
+// MTBF-driven crashes, periodic garbage collection, the transitive
+// extension, replication degree 2 and (in one variant) a
+// non-deterministic application — everything on at once. Run() verifies
+// the protocol's global invariants internally; this test checks the
+// system also made forward progress under the abuse.
+func TestSoakChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	for _, tc := range []struct {
+		name          string
+		deterministic bool
+		transitive    bool
+		ring          bool
+		seed          uint64
+	}{
+		{"deterministic-centralgc", true, false, false, 101},
+		{"deterministic-transitive-ringgc", true, true, true, 103},
+		{"nondeterministic", false, false, false, 107},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fed := topology.Small(3, 5)
+			fed.MTBF = 35 * sim.Minute
+			wl := app.Uniform(3, 500, 20, 4*sim.Hour)
+			wl.StateSize = 128 << 10
+			wl.Deterministic = tc.deterministic
+			opts := federation.Options{
+				Topology: fed,
+				Workload: wl,
+				CLCPeriods: []sim.Duration{
+					12 * sim.Minute, 18 * sim.Minute, 25 * sim.Minute,
+				},
+				GCPeriod:     40 * sim.Minute,
+				RingGC:       tc.ring,
+				Transitive:   tc.transitive,
+				Replicas:     2,
+				Seed:         tc.seed,
+				MTBFFailures: true,
+			}
+			f, err := federation.New(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := f.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failures < 3 {
+				t.Fatalf("only %d failures injected over 4h at a 35m MTBF", res.Failures)
+			}
+			var rollbacks, committed uint64
+			for _, c := range res.Clusters {
+				rollbacks += c.Rollbacks
+				committed += c.Committed
+			}
+			if rollbacks < res.Failures {
+				t.Fatalf("rollbacks %d < failures %d", rollbacks, res.Failures)
+			}
+			if committed < 20 {
+				t.Fatalf("committed only %d CLCs", committed)
+			}
+			if res.Stats.CounterValue("gc.rounds_completed") == 0 {
+				t.Fatal("garbage collection never completed under chaos")
+			}
+			// Stores stay bounded despite hours of checkpointing.
+			for _, c := range res.Clusters {
+				if c.Stored > 25 {
+					t.Fatalf("cluster %d stores %d CLCs (GC ineffective)", c.Cluster, c.Stored)
+				}
+			}
+			// The application finished: its virtual end moved past the
+			// nominal total by the re-executed (lost) work only.
+			if res.EndTime < sim.Time(4*sim.Hour) {
+				t.Fatalf("run ended early: %v", res.EndTime)
+			}
+		})
+	}
+}

@@ -1,0 +1,212 @@
+// Package netsim models the federation's network inside the discrete
+// event simulation: reliable, loss-free delivery (the paper's network
+// assumption) with per-link latency, bandwidth serialization and FIFO
+// queueing. It corresponds to the "Network" thread of the paper's
+// C++SIM simulator.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Kind tags a message for accounting: the paper reports application and
+// protocol message counts separately.
+type Kind int
+
+// Message kinds.
+const (
+	KindApp   Kind = iota // application payload
+	KindProto             // checkpointing-protocol control message
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindApp:
+		return "app"
+	case KindProto:
+		return "proto"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Message is one network message in flight.
+type Message struct {
+	ID      uint64
+	Src     topology.NodeID
+	Dst     topology.NodeID
+	Kind    Kind
+	Size    int // bytes, including protocol piggybacking
+	Payload any
+}
+
+// Handler receives delivered messages at a node.
+type Handler func(m Message)
+
+// linkKey identifies a serialization resource. Intra-cluster traffic
+// serializes at the sender's NIC; inter-cluster traffic shares one
+// directed pipe per cluster pair (the LAN/WAN uplink).
+type linkKey struct {
+	intra      bool
+	node       topology.NodeID    // for intra
+	srcCluster topology.ClusterID // for inter
+	dstCluster topology.ClusterID
+}
+
+// Network simulates the federation fabric. All methods must be called
+// from within the simulation goroutine (event handlers).
+type Network struct {
+	engine   *sim.Engine
+	fed      *topology.Federation
+	stats    *sim.Stats
+	tracer   *sim.Tracer
+	handlers map[topology.NodeID]Handler
+	busy     map[linkKey]sim.Time
+	down     map[topology.NodeID]bool
+	nextID   uint64
+
+	// DropInterCluster, when non-nil, lets tests inject partitions: a
+	// true return drops the message silently. The HC3I paper assumes a
+	// reliable network, so nothing in the protocol path sets this; it
+	// exists to verify that our harness notices violated assumptions.
+	DropInterCluster func(m Message) bool
+}
+
+// New returns a network for the federation.
+func New(e *sim.Engine, fed *topology.Federation, stats *sim.Stats, tracer *sim.Tracer) *Network {
+	return &Network{
+		engine:   e,
+		fed:      fed,
+		stats:    stats,
+		tracer:   tracer,
+		handlers: make(map[topology.NodeID]Handler),
+		busy:     make(map[linkKey]sim.Time),
+		down:     make(map[topology.NodeID]bool),
+	}
+}
+
+// Register installs the delivery handler for a node. Each node must
+// register exactly once before any traffic is sent to it.
+func (n *Network) Register(id topology.NodeID, h Handler) {
+	if !n.fed.Valid(id) {
+		panic(fmt.Sprintf("netsim: register invalid node %v", id))
+	}
+	if _, dup := n.handlers[id]; dup {
+		panic(fmt.Sprintf("netsim: duplicate handler for %v", id))
+	}
+	n.handlers[id] = h
+}
+
+// SetDown marks a node failed (fail-stop) or repaired. Messages from a
+// down node are refused; messages to a down node vanish (the sender's
+// protocol recovers them through the rollback procedure, never the
+// network).
+func (n *Network) SetDown(id topology.NodeID, down bool) {
+	if down {
+		n.down[id] = true
+	} else {
+		delete(n.down, id)
+	}
+}
+
+// Down reports whether a node is currently failed.
+func (n *Network) Down(id topology.NodeID) bool { return n.down[id] }
+
+// Send queues a message for delivery and returns its ID. Delivery time
+// is max(now, link free) + transmit + latency; the link then stays busy
+// until the end of serialization, giving FIFO order per link.
+func (n *Network) Send(src, dst topology.NodeID, kind Kind, size int, payload any) uint64 {
+	if !n.fed.Valid(src) || !n.fed.Valid(dst) {
+		panic(fmt.Sprintf("netsim: send %v -> %v outside federation", src, dst))
+	}
+	if src == dst {
+		panic("netsim: node sending to itself")
+	}
+	n.nextID++
+	m := Message{ID: n.nextID, Src: src, Dst: dst, Kind: kind, Size: size, Payload: payload}
+	if n.down[src] {
+		// A failed node sends nothing (fail-stop assumption §2.1).
+		n.count("net.dropped.src_down", m)
+		return m.ID
+	}
+	if src.Cluster != dst.Cluster && n.DropInterCluster != nil && n.DropInterCluster(m) {
+		n.count("net.dropped.injected", m)
+		return m.ID
+	}
+
+	link := n.fed.LinkBetween(src, dst)
+	key := keyFor(src, dst)
+	start := n.engine.Now()
+	if free, ok := n.busy[key]; ok && free > start {
+		start = free
+	}
+	endSerial := start.Add(link.TransmitTime(m.Size))
+	n.busy[key] = endSerial
+	arrival := endSerial.Add(link.Latency)
+
+	n.count("net.sent", m)
+	n.tracer.Allf(src.String(), "send #%d %s %dB -> %v (arrives %v)", m.ID, m.Kind, m.Size, dst, arrival)
+
+	n.engine.ScheduleAt(arrival, func(*sim.Engine) { n.deliver(m) })
+	return m.ID
+}
+
+func keyFor(src, dst topology.NodeID) linkKey {
+	if src.Cluster == dst.Cluster {
+		return linkKey{intra: true, node: src}
+	}
+	return linkKey{srcCluster: src.Cluster, dstCluster: dst.Cluster}
+}
+
+func (n *Network) deliver(m Message) {
+	if n.down[m.Dst] {
+		// The destination died while the message was in flight.
+		n.count("net.dropped.dst_down", m)
+		return
+	}
+	h := n.handlers[m.Dst]
+	if h == nil {
+		panic(fmt.Sprintf("netsim: no handler for %v", m.Dst))
+	}
+	n.count("net.delivered", m)
+	n.tracer.Allf(m.Dst.String(), "recv #%d %s %dB from %v", m.ID, m.Kind, m.Size, m.Src)
+	h(m)
+}
+
+// Broadcast sends the same payload from src to every other node of
+// src's cluster, in node order (the 2PC "broadcast in its cluster").
+func (n *Network) Broadcast(src topology.NodeID, kind Kind, size int, payload any) {
+	for _, dst := range n.fed.Nodes(src.Cluster) {
+		if dst != src {
+			n.Send(src, dst, kind, size, payload)
+		}
+	}
+}
+
+func (n *Network) count(event string, m Message) {
+	if n.stats == nil {
+		return
+	}
+	n.stats.Counter(event).Inc()
+	n.stats.Counter(fmt.Sprintf("%s.%s", event, m.Kind)).Inc()
+	n.stats.Counter(fmt.Sprintf("%s.%s.c%d.c%d", event, m.Kind, m.Src.Cluster, m.Dst.Cluster)).Inc()
+	if event == "net.sent" {
+		n.stats.Counter(fmt.Sprintf("net.bytes.%s", m.Kind)).Add(uint64(m.Size))
+	}
+}
+
+// Stats returns the registry used for accounting (may be nil).
+func (n *Network) Stats() *sim.Stats { return n.stats }
+
+// AppMessages returns how many application messages were sent from
+// cluster a to cluster b, the quantity Table 1 of the paper reports.
+func (n *Network) AppMessages(a, b topology.ClusterID) uint64 {
+	if n.stats == nil {
+		return 0
+	}
+	return n.stats.CounterValue(fmt.Sprintf("net.sent.app.c%d.c%d", a, b))
+}

@@ -1,0 +1,229 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func testNet(t *testing.T, nClusters, nodesPer int) (*sim.Engine, *Network, *topology.Federation) {
+	t.Helper()
+	e := sim.NewEngine()
+	fed := topology.Small(nClusters, nodesPer)
+	if err := fed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := New(e, fed, sim.NewStats(), nil)
+	return e, n, fed
+}
+
+func TestDeliveryTiming(t *testing.T) {
+	e, n, fed := testNet(t, 2, 2)
+	src := topology.NodeID{Cluster: 0, Index: 0}
+	dst := topology.NodeID{Cluster: 0, Index: 1}
+	var at sim.Time
+	n.Register(dst, func(m Message) { at = e.Now() })
+	n.Register(src, func(Message) {})
+
+	const size = 1000
+	n.Send(src, dst, KindApp, size, "x")
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Time(0).Add(fed.Clusters[0].Intra.Delay(size))
+	if at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestFIFOSerializationPerLink(t *testing.T) {
+	e, n, fed := testNet(t, 2, 2)
+	src := topology.NodeID{Cluster: 0, Index: 0}
+	dst := topology.NodeID{Cluster: 1, Index: 0}
+	var order []int
+	var times []sim.Time
+	n.Register(dst, func(m Message) {
+		order = append(order, m.Payload.(int))
+		times = append(times, e.Now())
+	})
+	n.Register(src, func(Message) {})
+
+	const size = 10000
+	n.Send(src, dst, KindApp, size, 1)
+	n.Send(src, dst, KindApp, size, 2)
+	n.Send(src, dst, KindApp, size, 3)
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	// Messages queue behind each other: arrival k = k*transmit + latency.
+	link := fed.InterLink(0, 1)
+	tx := link.TransmitTime(size)
+	for k, at := range times {
+		want := sim.Time(0).Add(tx.Scale(float64(k+1)) + link.Latency)
+		if at != want {
+			t.Fatalf("message %d delivered at %v, want %v", k+1, at, want)
+		}
+	}
+}
+
+func TestIndependentLinksDoNotQueue(t *testing.T) {
+	e, n, _ := testNet(t, 2, 2)
+	a := topology.NodeID{Cluster: 0, Index: 0}
+	b := topology.NodeID{Cluster: 0, Index: 1}
+	c := topology.NodeID{Cluster: 1, Index: 0}
+	var times []sim.Time
+	handler := func(m Message) { times = append(times, e.Now()) }
+	n.Register(b, handler)
+	n.Register(c, handler)
+	n.Register(a, func(Message) {})
+
+	// One intra and one inter message from the same source use different
+	// serialization resources, so neither delays the other.
+	n.Send(a, b, KindApp, 1000, nil)
+	n.Send(a, c, KindApp, 1000, nil)
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 {
+		t.Fatalf("deliveries = %d", len(times))
+	}
+}
+
+func TestDownNodeSemantics(t *testing.T) {
+	e, n, _ := testNet(t, 2, 2)
+	a := topology.NodeID{Cluster: 0, Index: 0}
+	b := topology.NodeID{Cluster: 0, Index: 1}
+	got := 0
+	n.Register(b, func(Message) { got++ })
+	n.Register(a, func(Message) {})
+
+	// Message already in flight when the destination dies: dropped.
+	n.Send(a, b, KindApp, 100, nil)
+	n.SetDown(b, true)
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatal("message delivered to a down node")
+	}
+	if !n.Down(b) {
+		t.Fatal("Down not reported")
+	}
+
+	// A down source sends nothing.
+	n.SetDown(a, true)
+	n.Send(a, b, KindApp, 100, nil)
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if v := n.Stats().CounterValue("net.dropped.src_down"); v != 1 {
+		t.Fatalf("src_down drops = %d", v)
+	}
+
+	// After repair, traffic flows again.
+	n.SetDown(a, false)
+	n.SetDown(b, false)
+	n.Send(a, b, KindApp, 100, nil)
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("deliveries after repair = %d", got)
+	}
+}
+
+func TestBroadcastReachesWholeClusterOnly(t *testing.T) {
+	e, n, fed := testNet(t, 2, 4)
+	src := topology.NodeID{Cluster: 0, Index: 1}
+	recv := make(map[topology.NodeID]int)
+	for _, id := range fed.AllNodes() {
+		id := id
+		n.Register(id, func(Message) { recv[id]++ })
+	}
+	n.Broadcast(src, KindProto, 64, "clc-request")
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range fed.AllNodes() {
+		want := 0
+		if id.Cluster == src.Cluster && id != src {
+			want = 1
+		}
+		if recv[id] != want {
+			t.Fatalf("node %v received %d, want %d", id, recv[id], want)
+		}
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	e, n, _ := testNet(t, 2, 2)
+	a := topology.NodeID{Cluster: 0, Index: 0}
+	b := topology.NodeID{Cluster: 1, Index: 0}
+	n.Register(a, func(Message) {})
+	n.Register(b, func(Message) {})
+	n.Send(a, b, KindApp, 500, nil)
+	n.Send(a, b, KindProto, 100, nil)
+	n.Send(b, a, KindApp, 200, nil)
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.AppMessages(0, 1); got != 1 {
+		t.Fatalf("app msgs 0->1 = %d", got)
+	}
+	if got := n.AppMessages(1, 0); got != 1 {
+		t.Fatalf("app msgs 1->0 = %d", got)
+	}
+	st := n.Stats()
+	if v := st.CounterValue("net.sent.proto"); v != 1 {
+		t.Fatalf("proto msgs = %d", v)
+	}
+	if v := st.CounterValue("net.bytes.app"); v != 700 {
+		t.Fatalf("app bytes = %d", v)
+	}
+	if v := st.CounterValue("net.delivered"); v != 3 {
+		t.Fatalf("delivered = %d", v)
+	}
+}
+
+func TestInjectedDrops(t *testing.T) {
+	e, n, _ := testNet(t, 2, 1)
+	a := topology.NodeID{Cluster: 0, Index: 0}
+	b := topology.NodeID{Cluster: 1, Index: 0}
+	n.Register(a, func(Message) {})
+	delivered := 0
+	n.Register(b, func(Message) { delivered++ })
+	n.DropInterCluster = func(m Message) bool { return m.Kind == KindApp }
+	n.Send(a, b, KindApp, 10, nil)
+	n.Send(a, b, KindProto, 10, nil)
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want only the proto message", delivered)
+	}
+}
+
+func TestSendPanics(t *testing.T) {
+	_, n, _ := testNet(t, 1, 2)
+	a := topology.NodeID{Cluster: 0, Index: 0}
+	mustPanic(t, "self-send", func() { n.Send(a, a, KindApp, 1, nil) })
+	mustPanic(t, "invalid dst", func() {
+		n.Send(a, topology.NodeID{Cluster: 9, Index: 0}, KindApp, 1, nil)
+	})
+	n.Register(a, func(Message) {})
+	mustPanic(t, "double register", func() { n.Register(a, func(Message) {}) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,455 @@
+package runtime
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// AppState is the live application's checkpointable state. Exported
+// (and gob-encodable) because checkpoint replicas carry it over TCP.
+type AppState struct {
+	Sent      uint64
+	Delivered map[core.LogicalID]int
+}
+
+// liveApp implements core.AppHooks for the live runtime: a tiny
+// application that counts sends and records deliveries. All accesses
+// happen on the node's event goroutine.
+type liveApp struct {
+	state AppState
+}
+
+func newLiveApp() *liveApp {
+	return &liveApp{state: AppState{Delivered: make(map[core.LogicalID]int)}}
+}
+
+func (a *liveApp) Snapshot() (any, int) {
+	cp := AppState{Sent: a.state.Sent, Delivered: make(map[core.LogicalID]int, len(a.state.Delivered))}
+	for k, v := range a.state.Delivered {
+		cp.Delivered[k] = v
+	}
+	return cp, 1024
+}
+
+func (a *liveApp) Restore(state any) {
+	s := state.(AppState)
+	a.state = AppState{Sent: s.Sent, Delivered: make(map[core.LogicalID]int, len(s.Delivered))}
+	for k, v := range s.Delivered {
+		a.state.Delivered[k] = v
+	}
+}
+
+func (a *liveApp) Deliver(from topology.NodeID, p core.AppPayload) {
+	a.state.Delivered[p.ID]++
+}
+
+// Workload drives automatic application traffic in a live federation:
+// every node sends one message per period to a random peer.
+type Workload struct {
+	// Period between two sends of one node (e.g. 5 ms).
+	Period time.Duration
+	// InterProb is the probability a send crosses clusters.
+	InterProb float64
+	// Size is the payload size in bytes.
+	Size int
+}
+
+// Config parameterizes a live federation.
+type Config struct {
+	// Clusters is the node count per cluster.
+	Clusters []int
+	// CLCPeriod is the wall-clock delay between unforced CLCs, per
+	// cluster (defaults to 50 ms).
+	CLCPeriods []time.Duration
+	// GCPeriod enables garbage collection (0 = off).
+	GCPeriod time.Duration
+	// Replicas is the stable-storage replication degree (default 1).
+	Replicas int
+	// Workload, when non-nil, generates automatic traffic.
+	Workload *Workload
+	// Transport defaults to NewChanTransport().
+	Transport Transport
+	// Trace, when non-nil, receives protocol trace output.
+	Trace io.Writer
+}
+
+// event is one item on a node's serial event loop.
+type event struct {
+	kind    int // 0 msg, 1 timer, 2 appSend, 3 crash, 4 restart, 5 detect, 6 sync
+	src     topology.NodeID
+	msg     core.Msg
+	timer   core.TimerKind
+	dst     topology.NodeID
+	payload core.AppPayload
+	failed  topology.NodeID
+	done    chan struct{}
+}
+
+// liveNode is one goroutine-driven protocol node.
+type liveNode struct {
+	id      topology.NodeID
+	node    *core.Node
+	app     *liveApp
+	mailbox chan event
+	fed     *Live
+	timers  map[core.TimerKind]*time.Timer
+	timerMu sync.Mutex
+	nextSeq uint64
+	rng     uint64 // xorshift state for the workload driver
+}
+
+// nextRand advances the node's private xorshift64* generator.
+func (n *liveNode) nextRand() uint64 {
+	x := n.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	n.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// pickWorkloadDst selects a destination per the workload's inter-cluster
+// probability.
+func (n *liveNode) pickWorkloadDst(w *Workload) (topology.NodeID, bool) {
+	sizes := n.fed.cfg.Clusters
+	cluster := int(n.id.Cluster)
+	if float64(n.nextRand()%1000)/1000 < w.InterProb && len(sizes) > 1 {
+		for {
+			c := int(n.nextRand() % uint64(len(sizes)))
+			if c != cluster {
+				cluster = c
+				break
+			}
+		}
+	}
+	if cluster == int(n.id.Cluster) && sizes[cluster] < 2 {
+		return topology.NodeID{}, false
+	}
+	idx := int(n.nextRand() % uint64(sizes[cluster]))
+	for cluster == int(n.id.Cluster) && idx == n.id.Index {
+		idx = int(n.nextRand() % uint64(sizes[cluster]))
+	}
+	return topology.NodeID{Cluster: topology.ClusterID(cluster), Index: idx}, true
+}
+
+// scheduleWorkload arms the node's next automatic send.
+func (n *liveNode) scheduleWorkload() {
+	w := n.fed.cfg.Workload
+	if w == nil {
+		return
+	}
+	jitter := time.Duration(n.nextRand() % uint64(w.Period))
+	time.AfterFunc(w.Period/2+jitter, func() {
+		n.post(event{kind: 8})
+	})
+}
+
+// Live is a running live federation.
+type Live struct {
+	cfg       Config
+	transport Transport
+	nodes     map[topology.NodeID]*liveNode
+	start     time.Time
+	stats     *liveStats
+	trace     io.Writer
+	traceMu   sync.Mutex
+	stopped   chan struct{}
+	wg        sync.WaitGroup
+}
+
+type liveStats struct {
+	mu       sync.Mutex
+	counters map[string]uint64
+}
+
+func (s *liveStats) add(name string, d uint64) {
+	s.mu.Lock()
+	s.counters[name] += d
+	s.mu.Unlock()
+}
+
+func (s *liveStats) value(name string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters[name]
+}
+
+// liveEnv adapts the live federation to core.Env for one node.
+type liveEnv struct{ n *liveNode }
+
+func (e liveEnv) Now() sim.Time { return sim.Time(time.Since(e.n.fed.start)) }
+
+func (e liveEnv) Send(dst topology.NodeID, size int, msg core.Msg) {
+	_ = e.n.fed.transport.Send(Envelope{Src: e.n.id, Dst: dst, Msg: msg})
+}
+
+func (e liveEnv) SendApp(dst topology.NodeID, size int, msg core.Msg) {
+	e.Send(dst, size, msg)
+}
+
+func (e liveEnv) SetTimer(k core.TimerKind, d sim.Duration) {
+	e.n.timerMu.Lock()
+	defer e.n.timerMu.Unlock()
+	if t, ok := e.n.timers[k]; ok {
+		t.Stop()
+	}
+	if d >= sim.Forever {
+		return
+	}
+	n, kind := e.n, k
+	e.n.timers[k] = time.AfterFunc(d.Std(), func() {
+		n.post(event{kind: 1, timer: kind})
+	})
+}
+
+func (e liveEnv) Trace(level sim.TraceLevel, format string, args ...any) {
+	f := e.n.fed
+	if f.trace == nil {
+		return
+	}
+	f.traceMu.Lock()
+	fmt.Fprintf(f.trace, "[%8s] %-8v %s\n",
+		time.Since(f.start).Truncate(time.Microsecond), e.n.id, fmt.Sprintf(format, args...))
+	f.traceMu.Unlock()
+}
+
+func (e liveEnv) Stat(name string, delta uint64)        { e.n.fed.stats.add(name, delta) }
+func (e liveEnv) StatSeries(name string, value float64) {}
+
+// Start builds and starts a live federation.
+func Start(cfg Config) (*Live, error) {
+	if len(cfg.Clusters) == 0 {
+		return nil, fmt.Errorf("runtime: no clusters")
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = NewChanTransport()
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.CLCPeriods == nil {
+		cfg.CLCPeriods = make([]time.Duration, len(cfg.Clusters))
+	}
+	for i := range cfg.CLCPeriods {
+		if cfg.CLCPeriods[i] == 0 {
+			cfg.CLCPeriods[i] = 50 * time.Millisecond
+		}
+	}
+	f := &Live{
+		cfg:       cfg,
+		transport: cfg.Transport,
+		nodes:     make(map[topology.NodeID]*liveNode),
+		start:     time.Now(),
+		stats:     &liveStats{counters: make(map[string]uint64)},
+		trace:     cfg.Trace,
+		stopped:   make(chan struct{}),
+	}
+
+	gcPeriod := sim.Forever
+	if cfg.GCPeriod > 0 {
+		gcPeriod = sim.Duration(cfg.GCPeriod)
+	}
+	for c, size := range cfg.Clusters {
+		repl := cfg.Replicas
+		if repl > size-1 {
+			repl = size - 1
+		}
+		for i := 0; i < size; i++ {
+			id := topology.NodeID{Cluster: topology.ClusterID(c), Index: i}
+			ln := &liveNode{
+				id:      id,
+				app:     newLiveApp(),
+				mailbox: make(chan event, 4096),
+				fed:     f,
+				timers:  make(map[core.TimerKind]*time.Timer),
+				rng:     uint64(c*131071+i*8191) + 0x9e3779b97f4a7c15,
+			}
+			coreCfg := core.Config{
+				ID:           id,
+				Clusters:     len(cfg.Clusters),
+				ClusterSizes: cfg.Clusters,
+				CLCPeriod:    sim.Duration(cfg.CLCPeriods[c]),
+				GCPeriod:     gcPeriod,
+				GCInitiator:  c == 0 && i == 0,
+				Replicas:     repl,
+			}
+			ln.node = core.NewNode(coreCfg, liveEnv{ln}, ln.app)
+			f.nodes[id] = ln
+		}
+	}
+	// Seed initial replicas, register transports, start event loops.
+	for _, ln := range f.nodes {
+		for _, tgt := range ln.node.ReplicaTargets() {
+			f.nodes[tgt].node.SeedReplica(ln.node.InitialReplica())
+		}
+	}
+	for _, ln := range f.nodes {
+		ln := ln
+		f.transport.Register(ln.id, func(env Envelope) {
+			ln.post(event{kind: 0, src: env.Src, msg: env.Msg})
+		})
+	}
+	for _, ln := range f.nodes {
+		f.wg.Add(1)
+		go ln.loop()
+		ln.node2start()
+	}
+	return f, nil
+}
+
+// node2start arms the node's timers from its own goroutine.
+func (n *liveNode) node2start() {
+	done := make(chan struct{})
+	n.mailbox <- event{kind: 7, done: done}
+	<-done
+}
+
+func (n *liveNode) post(e event) {
+	select {
+	case n.mailbox <- e:
+	case <-n.fed.stopped:
+	}
+}
+
+// loop is the node's serial event loop: every protocol interaction
+// happens here, satisfying core.Node's sequential contract.
+func (n *liveNode) loop() {
+	defer n.fed.wg.Done()
+	for {
+		select {
+		case <-n.fed.stopped:
+			return
+		case e := <-n.mailbox:
+			switch e.kind {
+			case 0:
+				n.node.OnMessage(e.src, e.msg)
+			case 1:
+				n.node.OnTimer(e.timer)
+			case 2:
+				if !n.node.Failed() {
+					n.nextSeq++
+					n.app.state.Sent++
+					p := core.AppPayload{
+						ID:   core.LogicalID{Src: n.id, Seq: n.nextSeq},
+						Size: e.payload.Size,
+					}
+					n.node.Send(e.dst, p)
+				}
+			case 3:
+				n.node.Fail()
+			case 4:
+				n.node.Restart()
+			case 5:
+				n.node.OnFailureDetected(e.failed)
+			case 6:
+				close(e.done)
+			case 7:
+				n.node.Start()
+				n.scheduleWorkload()
+				close(e.done)
+			case 8: // automatic workload send
+				if w := n.fed.cfg.Workload; w != nil {
+					select {
+					case <-n.fed.stopped:
+						return
+					default:
+					}
+					if !n.node.Failed() {
+						if dst, ok := n.pickWorkloadDst(w); ok {
+							n.nextSeq++
+							n.app.state.Sent++
+							n.node.Send(dst, core.AppPayload{
+								ID:   core.LogicalID{Src: n.id, Seq: n.nextSeq},
+								Size: w.Size,
+							})
+						}
+					}
+					n.scheduleWorkload()
+				}
+			}
+		}
+	}
+}
+
+// SendApp injects one application message from src to dst (size bytes).
+func (f *Live) SendApp(src, dst topology.NodeID, size int) {
+	f.nodes[src].post(event{kind: 2, dst: dst, payload: core.AppPayload{Size: size}})
+}
+
+// Crash fail-stops a node.
+func (f *Live) Crash(id topology.NodeID) {
+	f.transport.SetDown(id, true)
+	f.nodes[id].post(event{kind: 3})
+}
+
+// Recover restarts a crashed node and notifies the failure detector's
+// chosen coordinator (the lowest-index surviving node of the cluster).
+func (f *Live) Recover(id topology.NodeID) error {
+	f.transport.SetDown(id, false)
+	f.nodes[id].post(event{kind: 4})
+	for i := 0; i < f.cfg.Clusters[id.Cluster]; i++ {
+		cand := topology.NodeID{Cluster: id.Cluster, Index: i}
+		if cand == id {
+			continue
+		}
+		f.nodes[cand].post(event{kind: 5, failed: id})
+		return nil
+	}
+	return fmt.Errorf("runtime: no survivor in cluster %d", id.Cluster)
+}
+
+// Quiesce waits until every node's mailbox has been processed (a sync
+// barrier through each event loop).
+func (f *Live) Quiesce() {
+	for _, ln := range f.nodes {
+		done := make(chan struct{})
+		ln.post(event{kind: 6, done: done})
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			return
+		}
+	}
+}
+
+// Stat reads a protocol counter.
+func (f *Live) Stat(name string) uint64 { return f.stats.value(name) }
+
+// Stop halts all node goroutines and closes the transport. After Stop
+// the federation's state is frozen and safe to inspect.
+func (f *Live) Stop() {
+	close(f.stopped)
+	for _, ln := range f.nodes {
+		ln.timerMu.Lock()
+		for _, t := range ln.timers {
+			t.Stop()
+		}
+		ln.timerMu.Unlock()
+	}
+	f.transport.Close()
+	f.wg.Wait()
+}
+
+// NodeSN reads a node's cluster sequence number (only safe after Stop
+// or Quiesce).
+func (f *Live) NodeSN(id topology.NodeID) core.SN { return f.nodes[id].node.SN() }
+
+// NodeStored reads a node's stored checkpoint count (after Stop).
+func (f *Live) NodeStored(id topology.NodeID) int { return f.nodes[id].node.StoredCount() }
+
+// Delivered reads how often a node received a logical message (after
+// Stop).
+func (f *Live) Delivered(id topology.NodeID, lid core.LogicalID) int {
+	return f.nodes[id].app.state.Delivered[lid]
+}
+
+// DeliveredCount reads a node's distinct delivery count (after Stop).
+func (f *Live) DeliveredCount(id topology.NodeID) int {
+	return len(f.nodes[id].app.state.Delivered)
+}

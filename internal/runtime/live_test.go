@@ -1,0 +1,269 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// wait gives the asynchronous live federation time to settle, then
+// barriers through every event loop.
+func settle(f *Live, d time.Duration) {
+	time.Sleep(d)
+	f.Quiesce()
+}
+
+func node(c, i int) topology.NodeID {
+	return topology.NodeID{Cluster: topology.ClusterID(c), Index: i}
+}
+
+func startLive(t *testing.T, cfg Config) *Live {
+	t.Helper()
+	f, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestLiveUnforcedCheckpoints(t *testing.T) {
+	f := startLive(t, Config{
+		Clusters:   []int{3, 3},
+		CLCPeriods: []time.Duration{30 * time.Millisecond, 30 * time.Millisecond},
+	})
+	settle(f, 200*time.Millisecond)
+	f.Stop()
+
+	if v := f.Stat("clc.committed.c0"); v < 3 {
+		t.Fatalf("cluster 0 committed %d CLCs in 200ms at 30ms period", v)
+	}
+	// SN agreement inside each cluster.
+	for c := 0; c < 2; c++ {
+		sn := f.NodeSN(node(c, 0))
+		for i := 1; i < 3; i++ {
+			if got := f.NodeSN(node(c, i)); got != sn {
+				t.Fatalf("cluster %d SN disagreement: %d vs %d", c, got, sn)
+			}
+		}
+	}
+}
+
+func TestLiveForcedCheckpointOnInterClusterMessage(t *testing.T) {
+	f := startLive(t, Config{
+		Clusters:   []int{2, 2},
+		CLCPeriods: []time.Duration{time.Hour, time.Hour}, // effectively never
+	})
+	// First contact piggybacks SN 1 > 0: cluster 1 must force a CLC
+	// before delivery, exactly like m1 in the paper's sample.
+	f.SendApp(node(0, 1), node(1, 1), 128)
+	settle(f, 150*time.Millisecond)
+	f.Stop()
+
+	if v := f.Stat("clc.committed.c1.forced"); v != 1 {
+		t.Fatalf("forced CLCs in cluster 1 = %d, want 1", v)
+	}
+	if got := f.DeliveredCount(node(1, 1)); got != 1 {
+		t.Fatalf("delivered = %d", got)
+	}
+	if sn := f.NodeSN(node(1, 0)); sn != 2 {
+		t.Fatalf("cluster 1 SN = %d, want 2", sn)
+	}
+}
+
+func TestLiveCrashRecovery(t *testing.T) {
+	f := startLive(t, Config{
+		Clusters:   []int{3, 2},
+		CLCPeriods: []time.Duration{40 * time.Millisecond, time.Hour},
+	})
+	// Let a couple of checkpoints commit, then crash a node.
+	settle(f, 150*time.Millisecond)
+	victim := node(0, 2)
+	f.Crash(victim)
+	time.Sleep(30 * time.Millisecond)
+	if err := f.Recover(victim); err != nil {
+		t.Fatal(err)
+	}
+	settle(f, 300*time.Millisecond)
+	f.Stop()
+
+	if v := f.Stat("rollback.count.c0"); v == 0 {
+		t.Fatal("no rollback after crash")
+	}
+	if v := f.Stat("storage.recovered_states"); v == 0 {
+		t.Fatal("crashed node did not recover its state from the neighbour")
+	}
+	if v := f.Stat("invariant.rollback_target_missing"); v != 0 {
+		t.Fatalf("invariant violations: %d", v)
+	}
+	// The cluster converged on one SN again.
+	sn := f.NodeSN(node(0, 0))
+	for i := 1; i < 3; i++ {
+		if got := f.NodeSN(node(0, i)); got != sn {
+			t.Fatalf("post-recovery SN disagreement: %d vs %d", got, sn)
+		}
+	}
+}
+
+func TestLiveGarbageCollection(t *testing.T) {
+	f := startLive(t, Config{
+		Clusters:   []int{2, 2},
+		CLCPeriods: []time.Duration{25 * time.Millisecond, 25 * time.Millisecond},
+		GCPeriod:   120 * time.Millisecond,
+	})
+	settle(f, 400*time.Millisecond)
+	f.Stop()
+
+	if v := f.Stat("gc.rounds_completed"); v == 0 {
+		t.Fatal("no GC rounds completed")
+	}
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 2; i++ {
+			if got := f.NodeStored(node(c, i)); got > 6 {
+				t.Fatalf("node %v stores %d CLCs despite GC", node(c, i), got)
+			}
+		}
+	}
+}
+
+func TestLiveMessageDeliveryAndResend(t *testing.T) {
+	f := startLive(t, Config{
+		Clusters:   []int{2, 2},
+		CLCPeriods: []time.Duration{30 * time.Millisecond, time.Hour},
+	})
+	// Traffic in both directions around a crash in the receiving
+	// cluster: the sender's log must repair anything the rollback
+	// drops.
+	for k := 0; k < 5; k++ {
+		f.SendApp(node(0, 0), node(1, 1), 64)
+		time.Sleep(10 * time.Millisecond)
+	}
+	f.Crash(node(1, 0))
+	time.Sleep(20 * time.Millisecond)
+	if err := f.Recover(node(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	settle(f, 300*time.Millisecond)
+	f.Stop()
+
+	// Every message sent by c0n0 must be delivered at c1n1 (resends
+	// may duplicate, never lose).
+	for seq := uint64(1); seq <= 5; seq++ {
+		lid := core.LogicalID{Src: node(0, 0), Seq: seq}
+		if f.Delivered(node(1, 1), lid) == 0 {
+			t.Fatalf("message %v lost across crash", lid)
+		}
+	}
+}
+
+func TestLiveOverTCPTransport(t *testing.T) {
+	f := startLive(t, Config{
+		Clusters:   []int{2, 2},
+		CLCPeriods: []time.Duration{40 * time.Millisecond, time.Hour},
+		Transport:  NewTCPTransport(),
+	})
+	f.SendApp(node(0, 0), node(1, 0), 256)
+	f.SendApp(node(1, 1), node(0, 1), 256)
+	settle(f, 250*time.Millisecond)
+	f.Stop()
+
+	if v := f.Stat("clc.committed.c0"); v == 0 {
+		t.Fatal("no checkpoints over TCP")
+	}
+	if v := f.Stat("clc.committed.c1.forced"); v == 0 {
+		t.Fatal("no forced checkpoint over TCP")
+	}
+	if got := f.DeliveredCount(node(1, 0)); got != 1 {
+		t.Fatalf("TCP delivery count = %d", got)
+	}
+}
+
+func TestLiveTCPCrashRecovery(t *testing.T) {
+	f := startLive(t, Config{
+		Clusters:   []int{3},
+		CLCPeriods: []time.Duration{30 * time.Millisecond},
+		Transport:  NewTCPTransport(),
+	})
+	settle(f, 120*time.Millisecond)
+	f.Crash(node(0, 1))
+	time.Sleep(20 * time.Millisecond)
+	if err := f.Recover(node(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	settle(f, 300*time.Millisecond)
+	f.Stop()
+
+	if v := f.Stat("storage.recovered_states"); v == 0 {
+		t.Fatal("no state recovery over TCP")
+	}
+	sn := f.NodeSN(node(0, 0))
+	for i := 1; i < 3; i++ {
+		if got := f.NodeSN(node(0, i)); got != sn {
+			t.Fatalf("TCP post-recovery SN disagreement: %d vs %d", got, sn)
+		}
+	}
+}
+
+func TestLiveStartValidation(t *testing.T) {
+	if _, err := Start(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestLiveWorkloadDriver(t *testing.T) {
+	f := startLive(t, Config{
+		Clusters:   []int{3, 3},
+		CLCPeriods: []time.Duration{40 * time.Millisecond, 40 * time.Millisecond},
+		Workload:   &Workload{Period: 5 * time.Millisecond, InterProb: 0.2, Size: 128},
+	})
+	settle(f, 300*time.Millisecond)
+	f.Stop()
+
+	// The driver generated both intra- and inter-cluster traffic: the
+	// latter shows up as forced CLCs and acked log entries.
+	delivered := 0
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 3; i++ {
+			delivered += f.DeliveredCount(node(c, i))
+		}
+	}
+	if delivered < 20 {
+		t.Fatalf("workload generated only %d deliveries", delivered)
+	}
+	if f.Stat("log.appended") == 0 {
+		t.Fatal("no inter-cluster sends logged")
+	}
+	if f.Stat("clc.committed.c0.forced")+f.Stat("clc.committed.c1.forced") == 0 {
+		t.Fatal("no forced CLCs from workload traffic")
+	}
+}
+
+func TestLiveWorkloadSurvivesCrash(t *testing.T) {
+	f := startLive(t, Config{
+		Clusters:   []int{3, 2},
+		CLCPeriods: []time.Duration{30 * time.Millisecond, 30 * time.Millisecond},
+		Workload:   &Workload{Period: 4 * time.Millisecond, InterProb: 0.3, Size: 64},
+	})
+	time.Sleep(120 * time.Millisecond)
+	f.Crash(node(0, 1))
+	time.Sleep(30 * time.Millisecond)
+	if err := f.Recover(node(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	settle(f, 300*time.Millisecond)
+	f.Stop()
+
+	if f.Stat("rollback.count.c0") == 0 {
+		t.Fatal("no rollback under live workload")
+	}
+	if f.Stat("invariant.rollback_target_missing") != 0 {
+		t.Fatal("invariant violation under live workload")
+	}
+	sn := f.NodeSN(node(0, 0))
+	for i := 1; i < 3; i++ {
+		if got := f.NodeSN(node(0, i)); got != sn {
+			t.Fatalf("SN disagreement after crash under load: %d vs %d", got, sn)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func a() topology.NodeID  { return topology.NodeID{Cluster: 0, Index: 0} }
+func bN() topology.NodeID { return topology.NodeID{Cluster: 0, Index: 1} }
+
+// collect registers a thread-safe recorder on the transport.
+func collect(t Transport, id topology.NodeID) func() []Envelope {
+	var mu sync.Mutex
+	var got []Envelope
+	t.Register(id, func(env Envelope) {
+		mu.Lock()
+		got = append(got, env)
+		mu.Unlock()
+	})
+	return func() []Envelope {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]Envelope(nil), got...)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func testTransportFIFO(t *testing.T, tr Transport) {
+	t.Helper()
+	defer tr.Close()
+	got := collect(tr, bN())
+	tr.Register(a(), func(Envelope) {})
+	const n = 200
+	for i := 0; i < n; i++ {
+		msg := core.AppMsg{MsgID: uint64(i + 1)}
+		if err := tr.Send(Envelope{Src: a(), Dst: bN(), Msg: msg}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return len(got()) == n })
+	for i, env := range got() {
+		if env.Msg.(core.AppMsg).MsgID != uint64(i+1) {
+			t.Fatalf("FIFO violated at %d: %+v", i, env.Msg)
+		}
+		if env.Src != a() {
+			t.Fatalf("source mangled: %v", env.Src)
+		}
+	}
+}
+
+func TestChanTransportFIFO(t *testing.T) { testTransportFIFO(t, NewChanTransport()) }
+func TestTCPTransportFIFO(t *testing.T)  { testTransportFIFO(t, NewTCPTransport()) }
+
+func testTransportDown(t *testing.T, tr Transport) {
+	t.Helper()
+	defer tr.Close()
+	got := collect(tr, bN())
+	tr.Register(a(), func(Envelope) {})
+
+	tr.SetDown(bN(), true)
+	_ = tr.Send(Envelope{Src: a(), Dst: bN(), Msg: core.AppAck{MsgID: 1}})
+	time.Sleep(20 * time.Millisecond)
+	if len(got()) != 0 {
+		t.Fatal("delivered to a down node")
+	}
+	tr.SetDown(bN(), false)
+	_ = tr.Send(Envelope{Src: a(), Dst: bN(), Msg: core.AppAck{MsgID: 2}})
+	waitFor(t, func() bool { return len(got()) == 1 })
+	if got()[0].Msg.(core.AppAck).MsgID != 2 {
+		t.Fatal("wrong message after repair")
+	}
+
+	// A down *source* is muted too.
+	tr.SetDown(a(), true)
+	_ = tr.Send(Envelope{Src: a(), Dst: bN(), Msg: core.AppAck{MsgID: 3}})
+	time.Sleep(20 * time.Millisecond)
+	if len(got()) != 1 {
+		t.Fatal("down source delivered")
+	}
+}
+
+func TestChanTransportDown(t *testing.T) { testTransportDown(t, NewChanTransport()) }
+func TestTCPTransportDown(t *testing.T)  { testTransportDown(t, NewTCPTransport()) }
+
+func TestChanTransportUnknownDestination(t *testing.T) {
+	tr := NewChanTransport()
+	defer tr.Close()
+	tr.Register(a(), func(Envelope) {})
+	if err := tr.Send(Envelope{Src: a(), Dst: bN(), Msg: core.AppAck{}}); err == nil {
+		t.Fatal("send to unregistered node accepted")
+	}
+}
+
+func TestChanTransportDuplicateRegisterPanics(t *testing.T) {
+	tr := NewChanTransport()
+	defer tr.Close()
+	tr.Register(a(), func(Envelope) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Register(a(), func(Envelope) {})
+}
+
+func TestTransportCloseIdempotent(t *testing.T) {
+	for _, tr := range []Transport{NewChanTransport(), NewTCPTransport()} {
+		tr.Register(a(), func(Envelope) {})
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTCPTransportCarriesStates(t *testing.T) {
+	// Checkpoint replicas carry opaque application state through gob;
+	// AppState must round-trip intact.
+	tr := NewTCPTransport()
+	defer tr.Close()
+	got := collect(tr, bN())
+	tr.Register(a(), func(Envelope) {})
+
+	state := AppState{Sent: 7, Delivered: map[core.LogicalID]int{
+		{Src: a(), Seq: 3}: 2,
+	}}
+	rep := core.Replica{Seq: 4, Owner: a(), State: state, Size: 1024}
+	if err := tr.Send(Envelope{Src: a(), Dst: bN(), Msg: rep}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(got()) == 1 })
+	back := got()[0].Msg.(core.Replica)
+	bs := back.State.(AppState)
+	if bs.Sent != 7 || bs.Delivered[core.LogicalID{Src: a(), Seq: 3}] != 2 {
+		t.Fatalf("state mangled in transit: %+v", bs)
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+import "testing"
+
+// Micro-benchmarks of the DES substrate.
+
+func BenchmarkEngineScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	var tick Handler
+	n := 0
+	tick = func(e *Engine) {
+		n++
+		if n < b.N {
+			e.Schedule(Millisecond, tick)
+		}
+	}
+	e.Schedule(Millisecond, tick)
+	b.ResetTimer()
+	if _, err := e.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkEngineMixedQueue(b *testing.B) {
+	// A churning queue with cancellations: the protocol's timer-heavy
+	// access pattern.
+	e := NewEngine()
+	refs := make([]EventRef, 0, 64)
+	count := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refs = append(refs, e.Schedule(Duration(i%100+1)*Microsecond, func(*Engine) { count++ }))
+		if len(refs) == 64 {
+			for j := 0; j < 32; j++ {
+				refs[j].Cancel()
+			}
+			refs = refs[:0]
+		}
+		if i%128 == 127 {
+			for k := 0; k < 64; k++ {
+				e.Step()
+			}
+		}
+	}
+	_, _ = e.RunAll()
+}
+
+func BenchmarkRNGExp(b *testing.B) {
+	r := NewRNG(1)
+	b.ReportAllocs()
+	var sink Duration
+	for i := 0; i < b.N; i++ {
+		sink += r.Exp(30 * Minute)
+	}
+	_ = sink
+}
+
+func BenchmarkSummaryObserve(b *testing.B) {
+	var s Summary
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Observe(float64(i % 1000))
+	}
+}

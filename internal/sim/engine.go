@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Handler is a callback executed when an event fires. It receives the
+// engine so it can schedule further events.
+type Handler func(e *Engine)
+
+// event is a scheduled callback in the event queue.
+type event struct {
+	at      Time
+	seq     uint64 // FIFO tie-break for events scheduled at the same instant
+	fn      Handler
+	stopped bool
+	index   int // position in the heap, -1 once popped
+}
+
+// EventRef identifies a scheduled event so it can be cancelled. The zero
+// value is inert.
+type EventRef struct{ ev *event }
+
+// Cancel prevents the referenced event from firing. Cancelling an event
+// that already fired or was already cancelled is a no-op. It reports
+// whether the event was actually cancelled.
+func (r EventRef) Cancel() bool {
+	if r.ev == nil || r.ev.stopped || r.ev.index == -1 {
+		return false
+	}
+	r.ev.stopped = true
+	return true
+}
+
+// Pending reports whether the referenced event is still scheduled.
+func (r EventRef) Pending() bool {
+	return r.ev != nil && !r.ev.stopped && r.ev.index != -1
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete event simulation engine: a virtual clock plus an
+// ordered queue of pending events. It is not safe for concurrent use; a
+// simulation is a single-threaded deterministic computation.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	// Executed counts events that have fired; useful for progress
+	// reporting and as a runaway guard in tests.
+	Executed uint64
+	// MaxEvents aborts Run with an error when more than this many events
+	// fire (0 = unlimited). A safety net against non-terminating
+	// simulations in tests.
+	MaxEvents uint64
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Len returns the number of pending (non-cancelled) events.
+func (e *Engine) Len() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule queues fn to run after delay d (>= 0) of virtual time and
+// returns a reference usable to cancel it. Scheduling in the past panics:
+// it is always a harness bug.
+func (e *Engine) Schedule(d Duration, fn Handler) EventRef {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return e.ScheduleAt(e.now.Add(d), fn)
+}
+
+// ScheduleAt queues fn to run at absolute virtual time t (>= Now).
+func (e *Engine) ScheduleAt(t Time, fn Handler) EventRef {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return EventRef{ev}
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the next pending event, if any, and reports whether one
+// fired.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.stopped {
+			continue
+		}
+		e.now = ev.at
+		e.Executed++
+		ev.fn(e)
+		return true
+	}
+	return false
+}
+
+// Run executes events in timestamp order until the queue is empty, Stop
+// is called, or the horizon (if > 0) is passed. Events scheduled beyond
+// the horizon remain queued. It returns the virtual time at which the
+// simulation stopped.
+func (e *Engine) Run(horizon Time) (Time, error) {
+	e.stopped = false
+	for !e.stopped {
+		if e.MaxEvents > 0 && e.Executed >= e.MaxEvents {
+			return e.now, fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now)
+		}
+		// Peek for horizon before popping.
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if horizon > 0 && next.at > horizon {
+			e.now = horizon
+			break
+		}
+		e.Step()
+	}
+	return e.now, nil
+}
+
+// RunAll runs until the event queue drains, with no horizon.
+func (e *Engine) RunAll() (Time, error) { return e.Run(0) }
+
+func (e *Engine) peek() *event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if ev.stopped {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
+// Timer is a resettable one-shot virtual timer built on the engine, used
+// for the protocol's periodic actions (unforced CLC timer, GC timer).
+// The zero value is unarmed.
+type Timer struct {
+	engine *Engine
+	ref    EventRef
+	fn     Handler
+}
+
+// NewTimer returns an unarmed timer firing fn when it expires.
+func NewTimer(e *Engine, fn Handler) *Timer { return &Timer{engine: e, fn: fn} }
+
+// Reset (re)arms the timer to fire after d. A duration >= Forever leaves
+// the timer unarmed, matching the paper's "timer set to infinite".
+func (t *Timer) Reset(d Duration) {
+	t.ref.Cancel()
+	if d >= Forever {
+		return
+	}
+	t.ref = t.engine.Schedule(d, t.fn)
+}
+
+// Stop disarms the timer.
+func (t *Timer) Stop() { t.ref.Cancel() }
+
+// Armed reports whether the timer is pending.
+func (t *Timer) Armed() bool { return t.ref.Pending() }

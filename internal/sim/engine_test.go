@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30*Second, func(*Engine) { got = append(got, 3) })
+	e.Schedule(10*Second, func(*Engine) { got = append(got, 1) })
+	e.Schedule(20*Second, func(*Engine) { got = append(got, 2) })
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != Time(30*Second) {
+		t.Errorf("Now() = %v, want 30s", e.Now())
+	}
+}
+
+func TestEngineFIFOWithinSameInstant(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*Second, func(*Engine) { got = append(got, i) })
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(Second, func(e *Engine) {
+		fired++
+		e.Schedule(Second, func(e *Engine) {
+			fired++
+			if e.Now() != Time(2*Second) {
+				t.Errorf("nested event at %v, want 2s", e.Now())
+			}
+		})
+	})
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ref := e.Schedule(Second, func(*Engine) { fired = true })
+	if !ref.Pending() {
+		t.Fatal("event should be pending")
+	}
+	if !ref.Cancel() {
+		t.Fatal("Cancel returned false on pending event")
+	}
+	if ref.Cancel() {
+		t.Fatal("second Cancel should return false")
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEngineHorizon(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	e.Schedule(Second, func(*Engine) { fired = append(fired, 1) })
+	e.Schedule(3*Second, func(*Engine) { fired = append(fired, 2) })
+	end, err := e.Run(Time(2 * Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v, want [1]", fired)
+	}
+	if end != Time(2*Second) {
+		t.Errorf("end = %v, want 2s", end)
+	}
+	// The remaining event still fires when the horizon is extended.
+	if _, err := e.Run(Time(10 * Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v after extending horizon, want two events", fired)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.Schedule(Duration(i)*Second, func(e *Engine) {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		})
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 (Stop should halt the run)", count)
+	}
+}
+
+func TestEngineMaxEventsGuard(t *testing.T) {
+	e := NewEngine()
+	e.MaxEvents = 10
+	var loop Handler
+	loop = func(e *Engine) { e.Schedule(Second, loop) }
+	e.Schedule(Second, loop)
+	if _, err := e.RunAll(); err == nil {
+		t.Fatal("expected MaxEvents error for unbounded event loop")
+	}
+}
+
+func TestEngineScheduleInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10*Second, func(*Engine) {})
+	e.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.ScheduleAt(Time(Second), func(*Engine) {})
+}
+
+func TestTimerResetAndStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	tm := NewTimer(e, func(*Engine) { fired++ })
+	tm.Reset(10 * Second)
+	tm.Reset(20 * Second) // supersedes the first arming
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (Reset must cancel previous arming)", fired)
+	}
+	if e.Now() != Time(20*Second) {
+		t.Errorf("fired at %v, want 20s", e.Now())
+	}
+
+	tm.Reset(5 * Second)
+	tm.Stop()
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("stopped timer fired")
+	}
+}
+
+func TestTimerForeverNeverFires(t *testing.T) {
+	e := NewEngine()
+	tm := NewTimer(e, func(*Engine) { t.Fatal("forever timer fired") })
+	tm.Reset(Forever)
+	if tm.Armed() {
+		t.Fatal("forever timer should not be armed")
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any batch of delays, events fire in nondecreasing time
+// order and the clock ends at the max delay.
+func TestEngineMonotonicClockProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine()
+		last := Time(-1)
+		ok := true
+		var max Duration
+		for _, d := range delays {
+			dur := Duration(d) * Millisecond
+			if dur > max {
+				max = dur
+			}
+			e.Schedule(dur, func(e *Engine) {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		if _, err := e.RunAll(); err != nil {
+			return false
+		}
+		return ok && e.Now() == Time(max)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

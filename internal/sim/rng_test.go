@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestRNGStreamsIndependent(t *testing.T) {
+	root := NewRNG(7)
+	s1 := root.Stream("nodes")
+	s2 := root.Stream("network")
+	if s1.Uint64() == s2.Uint64() {
+		t.Fatal("distinct streams produced the same first draw")
+	}
+	// Re-derivation after identical draw history is reproducible.
+	rootB := NewRNG(7)
+	s1b := rootB.Stream("nodes")
+	s1b.Uint64() // align with s1 (one draw consumed above)
+	x, y := s1.Uint64(), s1b.Uint64()
+	if x != y {
+		t.Fatalf("re-derived stream diverged: %d vs %d", x, y)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(11)
+	mean := 10 * Second
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(mean).Seconds()
+	}
+	got := sum / n
+	if math.Abs(got-10) > 0.5 {
+		t.Fatalf("Exp mean = %.3fs, want ~10s", got)
+	}
+}
+
+func TestRNGExpForever(t *testing.T) {
+	r := NewRNG(1)
+	if d := r.Exp(Forever); d != Forever {
+		t.Fatalf("Exp(Forever) = %v, want Forever", d)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) covered only %d values", len(seen))
+	}
+}
+
+func TestRNGPickWeighted(t *testing.T) {
+	r := NewRNG(9)
+	counts := [3]int{}
+	weights := []float64{1, 0, 3}
+	for i := 0; i < 40000; i++ {
+		counts[r.Pick(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight option picked %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.6 || ratio > 3.4 {
+		t.Fatalf("weighted pick ratio = %.2f, want ~3", ratio)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		p := NewRNG(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGUniformBounds(t *testing.T) {
+	r := NewRNG(13)
+	for i := 0; i < 1000; i++ {
+		d := r.Uniform(Second, 2*Second)
+		if d < Second || d > 2*Second {
+			t.Fatalf("Uniform out of bounds: %v", d)
+		}
+	}
+	if d := r.Uniform(5*Second, 5*Second); d != 5*Second {
+		t.Fatalf("degenerate Uniform = %v, want 5s", d)
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(17)
+	var sum, sq float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		x := r.Normal(5, 2)
+		sum += x
+		sq += x * x
+	}
+	mean := sum / n
+	sd := math.Sqrt(sq/n - mean*mean)
+	if math.Abs(mean-5) > 0.1 || math.Abs(sd-2) > 0.1 {
+		t.Fatalf("Normal(5,2): mean=%.3f sd=%.3f", mean, sd)
+	}
+}

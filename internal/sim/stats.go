@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds d to the counter.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Summary accumulates a running mean/variance/min/max of observations
+// using Welford's algorithm, like the statistics classes of C++SIM.
+type Summary struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Observe records one sample.
+func (s *Summary) Observe(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// ObserveDuration records a virtual duration in seconds.
+func (s *Summary) ObserveDuration(d Duration) { s.Observe(d.Seconds()) }
+
+// N returns the number of samples.
+func (s *Summary) N() uint64 { return s.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest sample (0 with no samples).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest sample (0 with no samples).
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// String formats the summary for trace output.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g min=%.4g max=%.4g sd=%.4g",
+		s.n, s.mean, s.min, s.max, s.Stddev())
+}
+
+// Histogram collects samples into exact values until a threshold, then
+// reports quantiles; adequate for the modest sample counts of the
+// paper's experiments.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	h.samples = append(h.samples, x)
+	h.sorted = false
+}
+
+// N returns the number of samples.
+func (h *Histogram) N() int { return len(h.samples) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank, or 0
+// with no samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[len(h.samples)-1]
+	}
+	idx := int(q * float64(len(h.samples)-1))
+	return h.samples[idx]
+}
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range h.samples {
+		sum += x
+	}
+	return sum / float64(len(h.samples))
+}
+
+// Series records (time, value) pairs, e.g. the number of stored CLCs
+// over virtual time; used to reproduce the garbage-collection tables.
+type Series struct {
+	Times  []Time
+	Values []float64
+}
+
+// Record appends one point.
+func (s *Series) Record(t Time, v float64) {
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Times) }
+
+// At returns the last value recorded at or before t (0 if none).
+func (s *Series) At(t Time) float64 {
+	i := sort.Search(len(s.Times), func(i int) bool { return s.Times[i] > t })
+	if i == 0 {
+		return 0
+	}
+	return s.Values[i-1]
+}
+
+// Stats is a named registry of counters, summaries and series shared by
+// the components of one simulation run.
+type Stats struct {
+	counters  map[string]*Counter
+	summaries map[string]*Summary
+	series    map[string]*Series
+}
+
+// NewStats returns an empty registry.
+func NewStats() *Stats {
+	return &Stats{
+		counters:  make(map[string]*Counter),
+		summaries: make(map[string]*Summary),
+		series:    make(map[string]*Series),
+	}
+}
+
+// Counter returns (creating if needed) the counter with the given name.
+func (s *Stats) Counter(name string) *Counter {
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Summary returns (creating if needed) the summary with the given name.
+func (s *Stats) Summary(name string) *Summary {
+	m, ok := s.summaries[name]
+	if !ok {
+		m = &Summary{}
+		s.summaries[name] = m
+	}
+	return m
+}
+
+// Series returns (creating if needed) the series with the given name.
+func (s *Stats) Series(name string) *Series {
+	m, ok := s.series[name]
+	if !ok {
+		m = &Series{}
+		s.series[name] = m
+	}
+	return m
+}
+
+// CounterValue returns the value of a counter, 0 if absent.
+func (s *Stats) CounterValue(name string) uint64 {
+	if c, ok := s.counters[name]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// Names returns the sorted names of all registered metrics.
+func (s *Stats) Names() []string {
+	var names []string
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	for n := range s.summaries {
+		names = append(names, n)
+	}
+	for n := range s.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Dump renders every metric, one per line, sorted by name — the
+// "lowest simulator output is statistical data" mode of the paper.
+func (s *Stats) Dump() string {
+	var b strings.Builder
+	var names []string
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "counter %-46s %d\n", n, s.counters[n].Value())
+	}
+	names = names[:0]
+	for n := range s.summaries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "summary %-46s %s\n", n, s.summaries[n])
+	}
+	names = names[:0]
+	for n := range s.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "series  %-46s %d points\n", n, s.series[n].Len())
+	}
+	return b.String()
+}

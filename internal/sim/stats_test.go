@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryMoments(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %v, want 5", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	// Population variance 4 => sample variance 32/7.
+	if math.Abs(s.Variance()-32.0/7.0) > 1e-9 {
+		t.Fatalf("variance = %v", s.Variance())
+	}
+}
+
+func TestSummaryMatchesDirectComputation(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Summary
+		var sum float64
+		finite := xs[:0]
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue
+			}
+			finite = append(finite, x)
+		}
+		if len(finite) == 0 {
+			return true
+		}
+		for _, x := range finite {
+			s.Observe(x)
+			sum += x
+		}
+		want := sum / float64(len(finite))
+		scale := math.Max(1, math.Abs(want))
+		return math.Abs(s.Mean()-want) < 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 100; i >= 1; i-- {
+		h.Observe(float64(i))
+	}
+	if h.N() != 100 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := h.Quantile(0.5); math.Abs(q-50) > 1.5 {
+		t.Fatalf("median = %v", q)
+	}
+	if m := h.Mean(); math.Abs(m-50.5) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	var s Series
+	s.Record(Time(10), 1)
+	s.Record(Time(20), 2)
+	s.Record(Time(30), 3)
+	cases := []struct {
+		t    Time
+		want float64
+	}{
+		{5, 0}, {10, 1}, {15, 1}, {20, 2}, {29, 2}, {30, 3}, {100, 3},
+	}
+	for _, c := range cases {
+		if got := s.At(c.t); got != c.want {
+			t.Errorf("At(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestStatsRegistry(t *testing.T) {
+	st := NewStats()
+	st.Counter("msgs").Add(3)
+	st.Counter("msgs").Inc()
+	if v := st.CounterValue("msgs"); v != 4 {
+		t.Fatalf("counter = %d", v)
+	}
+	if v := st.CounterValue("absent"); v != 0 {
+		t.Fatalf("absent counter = %d", v)
+	}
+	st.Summary("lat").Observe(1)
+	st.Series("clcs").Record(Time(1), 1)
+	names := st.Names()
+	if len(names) != 3 {
+		t.Fatalf("names = %v", names)
+	}
+	dump := st.Dump()
+	for _, want := range []string{"msgs", "lat", "clcs"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestParseDuration(t *testing.T) {
+	d, err := ParseDuration("30m")
+	if err != nil || d != 30*Minute {
+		t.Fatalf("ParseDuration(30m) = %v, %v", d, err)
+	}
+	d, err = ParseDuration("forever")
+	if err != nil || d != Forever {
+		t.Fatalf("ParseDuration(forever) = %v, %v", d, err)
+	}
+	if _, err := ParseDuration("bogus"); err == nil {
+		t.Fatal("expected error for bogus duration")
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0).Add(90 * Minute)
+	if t0 != Time(90*Minute) {
+		t.Fatalf("Add = %v", t0)
+	}
+	if d := t0.Sub(Time(30 * Minute)); d != 60*Minute {
+		t.Fatalf("Sub = %v", d)
+	}
+	if s := (90 * Minute).Minutes(); s != 90 {
+		t.Fatalf("Minutes = %v", s)
+	}
+	// Saturating add must not wrap.
+	huge := Time(1<<63 - 10)
+	if huge.Add(Forever) < huge {
+		t.Fatal("Add overflowed")
+	}
+}
+
+func TestTraceLevels(t *testing.T) {
+	e := NewEngine()
+	var buf strings.Builder
+	tr := NewTracer(e, &buf, TraceInfo)
+	tr.Infof("node0", "hello %d", 1)
+	tr.Debugf("node0", "not shown")
+	if tr.Records != 1 {
+		t.Fatalf("records = %d, want 1", tr.Records)
+	}
+	if !strings.Contains(buf.String(), "hello 1") {
+		t.Fatalf("trace output = %q", buf.String())
+	}
+	var nilTr *Tracer
+	nilTr.Infof("x", "must not panic")
+	if nilTr.Level() != TraceOff {
+		t.Fatal("nil tracer level")
+	}
+	if _, err := ParseTraceLevel("debug"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseTraceLevel("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}

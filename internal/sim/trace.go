@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceLevel selects how much the simulator reports, mirroring the
+// paper's "different trace levels" compilation modes.
+type TraceLevel int
+
+// Trace levels, from silent to per-event logging.
+const (
+	TraceOff   TraceLevel = iota // statistics only
+	TraceInfo                    // checkpoints, rollbacks, GC rounds
+	TraceDebug                   // protocol messages
+	TraceAll                     // every node time-stamped action
+)
+
+// String names the level.
+func (l TraceLevel) String() string {
+	switch l {
+	case TraceOff:
+		return "off"
+	case TraceInfo:
+		return "info"
+	case TraceDebug:
+		return "debug"
+	case TraceAll:
+		return "all"
+	default:
+		return fmt.Sprintf("TraceLevel(%d)", int(l))
+	}
+}
+
+// ParseTraceLevel parses a level name.
+func ParseTraceLevel(s string) (TraceLevel, error) {
+	switch s {
+	case "off", "":
+		return TraceOff, nil
+	case "info":
+		return TraceInfo, nil
+	case "debug":
+		return TraceDebug, nil
+	case "all":
+		return TraceAll, nil
+	}
+	return TraceOff, fmt.Errorf("sim: unknown trace level %q", s)
+}
+
+// Tracer writes time-stamped trace records for one simulation. A nil
+// *Tracer is valid and silent, so components never need to nil-check.
+type Tracer struct {
+	engine *Engine
+	w      io.Writer
+	level  TraceLevel
+	// Records counts emitted lines.
+	Records uint64
+}
+
+// NewTracer returns a tracer writing records at or below level to w.
+func NewTracer(e *Engine, w io.Writer, level TraceLevel) *Tracer {
+	return &Tracer{engine: e, w: w, level: level}
+}
+
+// Level returns the tracer's level (TraceOff for nil).
+func (t *Tracer) Level() TraceLevel {
+	if t == nil {
+		return TraceOff
+	}
+	return t.level
+}
+
+// Enabled reports whether records at level l are emitted.
+func (t *Tracer) Enabled(l TraceLevel) bool {
+	return t != nil && t.w != nil && l <= t.level && l > TraceOff
+}
+
+// Emit writes one record at level l: "[virtual-time] who: message".
+func (t *Tracer) Emit(l TraceLevel, who string, format string, args ...any) {
+	if !t.Enabled(l) {
+		return
+	}
+	t.Records++
+	fmt.Fprintf(t.w, "[%12v] %-14s %s\n", t.engine.Now(), who, fmt.Sprintf(format, args...))
+}
+
+// Infof emits a TraceInfo record.
+func (t *Tracer) Infof(who, format string, args ...any) { t.Emit(TraceInfo, who, format, args...) }
+
+// Debugf emits a TraceDebug record.
+func (t *Tracer) Debugf(who, format string, args ...any) { t.Emit(TraceDebug, who, format, args...) }
+
+// Allf emits a TraceAll record.
+func (t *Tracer) Allf(who, format string, args ...any) { t.Emit(TraceAll, who, format, args...) }

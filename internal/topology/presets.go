@@ -1,0 +1,65 @@
+package topology
+
+import "repro/internal/sim"
+
+// Mbps converts megabits per second to the Link bandwidth unit
+// (bits per simulated second).
+func Mbps(m float64) float64 { return m * 1e6 }
+
+// MyrinetLike is the SAN link class of the paper's evaluation:
+// 10 µs latency, 80 Mb/s bandwidth (§5.2).
+func MyrinetLike() Link {
+	return Link{Latency: 10 * sim.Microsecond, Bandwidth: Mbps(80)}
+}
+
+// EthernetLike is the inter-cluster link class of the paper's
+// evaluation: 150 µs latency, 100 Mb/s bandwidth (§5.2).
+func EthernetLike() Link {
+	return Link{Latency: 150 * sim.Microsecond, Bandwidth: Mbps(100)}
+}
+
+// WANLike is a higher-latency wide-area link class used by the
+// additional experiments (dedicated WAN or Internet links, §2.1).
+func WANLike() Link {
+	return Link{Latency: 20 * sim.Millisecond, Bandwidth: Mbps(10)}
+}
+
+// Paper2Clusters builds the evaluation topology of §5.2: two clusters of
+// 100 nodes with Myrinet-like SANs joined by an Ethernet-like link.
+func Paper2Clusters() *Federation {
+	f := New(
+		Cluster{Name: "cluster0", Nodes: 100, Intra: MyrinetLike()},
+		Cluster{Name: "cluster1", Nodes: 100, Intra: MyrinetLike()},
+	)
+	f.SetAllInterLinks(EthernetLike())
+	return f
+}
+
+// Paper3Clusters builds the 3-cluster topology of §5.4 (cluster 2 is a
+// clone of cluster 1).
+func Paper3Clusters() *Federation {
+	f := New(
+		Cluster{Name: "cluster0", Nodes: 100, Intra: MyrinetLike()},
+		Cluster{Name: "cluster1", Nodes: 100, Intra: MyrinetLike()},
+		Cluster{Name: "cluster2", Nodes: 100, Intra: MyrinetLike()},
+	)
+	f.SetAllInterLinks(EthernetLike())
+	return f
+}
+
+// Small builds a reduced federation (nClusters clusters of nodesPer
+// nodes) with the paper's link classes; useful for fast unit and
+// integration tests.
+func Small(nClusters, nodesPer int) *Federation {
+	clusters := make([]Cluster, nClusters)
+	for i := range clusters {
+		clusters[i] = Cluster{
+			Name:  "cluster" + string(rune('0'+i)),
+			Nodes: nodesPer,
+			Intra: MyrinetLike(),
+		}
+	}
+	f := New(clusters...)
+	f.SetAllInterLinks(EthernetLike())
+	return f
+}

@@ -1,0 +1,186 @@
+// Package topology describes cluster federations: clusters of nodes
+// linked by a fast SAN internally and by slower LAN/WAN links between
+// clusters, as assumed by the HC3I paper (§2.1 architecture model).
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ClusterID identifies a cluster within a federation (0-based, dense).
+type ClusterID int
+
+// NodeID identifies a node by its cluster and its index inside the
+// cluster. The paper's protocol never needs a flat global namespace:
+// all addressing is "node i of cluster c".
+type NodeID struct {
+	Cluster ClusterID
+	Index   int
+}
+
+// String formats the node as "c<cluster>n<index>".
+func (n NodeID) String() string { return fmt.Sprintf("c%dn%d", n.Cluster, n.Index) }
+
+// Link models one network class by latency and bandwidth, exactly the
+// two parameters the paper's topology file specifies per link.
+type Link struct {
+	Latency   sim.Duration
+	Bandwidth float64 // bits per simulated second
+}
+
+// TransmitTime returns serialization delay for a message of size bytes.
+func (l Link) TransmitTime(sizeBytes int) sim.Duration {
+	if l.Bandwidth <= 0 {
+		return 0
+	}
+	bits := float64(sizeBytes) * 8
+	return sim.Duration(bits / l.Bandwidth * float64(sim.Second))
+}
+
+// Delay returns the total one-way delay for a message of size bytes:
+// latency plus serialization.
+func (l Link) Delay(sizeBytes int) sim.Duration {
+	return l.Latency + l.TransmitTime(sizeBytes)
+}
+
+// Cluster describes one cluster: a name, a node count and its internal
+// SAN link class.
+type Cluster struct {
+	Name  string
+	Nodes int
+	Intra Link
+}
+
+// Federation is the full architecture model: clusters plus a triangular
+// matrix of inter-cluster link classes and the federation MTBF.
+type Federation struct {
+	Clusters []Cluster
+	// inter[i][j] with i < j holds the link class between clusters i
+	// and j. Built through SetInterLink, read through InterLink.
+	inter [][]Link
+	// MTBF is the federation-wide mean time between failures used by
+	// the failure injector (0 = no failures).
+	MTBF sim.Duration
+}
+
+// New returns a federation with the given clusters and no inter-cluster
+// links configured yet.
+func New(clusters ...Cluster) *Federation {
+	f := &Federation{Clusters: clusters}
+	n := len(clusters)
+	f.inter = make([][]Link, n)
+	for i := range f.inter {
+		f.inter[i] = make([]Link, n)
+	}
+	return f
+}
+
+// NumClusters returns the number of clusters.
+func (f *Federation) NumClusters() int { return len(f.Clusters) }
+
+// NumNodes returns the total number of nodes in the federation.
+func (f *Federation) NumNodes() int {
+	n := 0
+	for _, c := range f.Clusters {
+		n += c.Nodes
+	}
+	return n
+}
+
+// SetInterLink sets the link class between two distinct clusters
+// (symmetric).
+func (f *Federation) SetInterLink(a, b ClusterID, l Link) {
+	if a == b {
+		panic("topology: SetInterLink with identical clusters")
+	}
+	f.inter[a][b] = l
+	f.inter[b][a] = l
+}
+
+// SetAllInterLinks sets the same link class between every pair of
+// distinct clusters.
+func (f *Federation) SetAllInterLinks(l Link) {
+	for i := range f.Clusters {
+		for j := range f.Clusters {
+			if i != j {
+				f.inter[i][j] = l
+			}
+		}
+	}
+}
+
+// InterLink returns the link class between two distinct clusters.
+func (f *Federation) InterLink(a, b ClusterID) Link {
+	if a == b {
+		panic("topology: InterLink with identical clusters")
+	}
+	return f.inter[a][b]
+}
+
+// LinkBetween returns the link class used for a message from node a to
+// node b: the source cluster's SAN if they share a cluster, the
+// inter-cluster link otherwise.
+func (f *Federation) LinkBetween(a, b NodeID) Link {
+	if a.Cluster == b.Cluster {
+		return f.Clusters[a.Cluster].Intra
+	}
+	return f.InterLink(a.Cluster, b.Cluster)
+}
+
+// SameCluster reports whether two nodes are in the same cluster.
+func SameCluster(a, b NodeID) bool { return a.Cluster == b.Cluster }
+
+// Nodes returns all node IDs of one cluster, in index order.
+func (f *Federation) Nodes(c ClusterID) []NodeID {
+	ids := make([]NodeID, f.Clusters[c].Nodes)
+	for i := range ids {
+		ids[i] = NodeID{Cluster: c, Index: i}
+	}
+	return ids
+}
+
+// AllNodes returns every node ID in the federation, cluster by cluster.
+func (f *Federation) AllNodes() []NodeID {
+	ids := make([]NodeID, 0, f.NumNodes())
+	for c := range f.Clusters {
+		ids = append(ids, f.Nodes(ClusterID(c))...)
+	}
+	return ids
+}
+
+// Valid reports whether a node ID addresses an existing node.
+func (f *Federation) Valid(n NodeID) bool {
+	return n.Cluster >= 0 && int(n.Cluster) < len(f.Clusters) &&
+		n.Index >= 0 && n.Index < f.Clusters[n.Cluster].Nodes
+}
+
+// Validate checks structural soundness: at least one cluster, every
+// cluster non-empty with a usable SAN, and every inter-cluster link
+// configured with positive latency/bandwidth.
+func (f *Federation) Validate() error {
+	if len(f.Clusters) == 0 {
+		return fmt.Errorf("topology: federation has no clusters")
+	}
+	for i, c := range f.Clusters {
+		if c.Nodes <= 0 {
+			return fmt.Errorf("topology: cluster %d (%s) has %d nodes", i, c.Name, c.Nodes)
+		}
+		if c.Intra.Bandwidth <= 0 || c.Intra.Latency < 0 {
+			return fmt.Errorf("topology: cluster %d (%s) has invalid SAN link %+v", i, c.Name, c.Intra)
+		}
+	}
+	for i := range f.Clusters {
+		for j := i + 1; j < len(f.Clusters); j++ {
+			l := f.inter[i][j]
+			if l.Bandwidth <= 0 || l.Latency < 0 {
+				return fmt.Errorf("topology: missing or invalid link between clusters %d and %d: %+v", i, j, l)
+			}
+		}
+	}
+	if f.MTBF < 0 {
+		return fmt.Errorf("topology: negative MTBF")
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestLinkDelay(t *testing.T) {
+	l := Link{Latency: 100 * sim.Microsecond, Bandwidth: Mbps(8)} // 1 byte/µs
+	if got := l.TransmitTime(1000); got != sim.Millisecond {
+		t.Fatalf("TransmitTime(1000B@8Mbps) = %v, want 1ms", got)
+	}
+	if got := l.Delay(1000); got != sim.Millisecond+100*sim.Microsecond {
+		t.Fatalf("Delay = %v", got)
+	}
+	zero := Link{}
+	if zero.TransmitTime(100) != 0 {
+		t.Fatal("zero-bandwidth link should have zero transmit time")
+	}
+}
+
+func TestPaperTopologies(t *testing.T) {
+	f2 := Paper2Clusters()
+	if err := f2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f2.NumClusters() != 2 || f2.NumNodes() != 200 {
+		t.Fatalf("2-cluster topology: %d clusters, %d nodes", f2.NumClusters(), f2.NumNodes())
+	}
+	san := f2.Clusters[0].Intra
+	if san.Latency != 10*sim.Microsecond || san.Bandwidth != Mbps(80) {
+		t.Fatalf("SAN link = %+v, want Myrinet-like", san)
+	}
+	wan := f2.InterLink(0, 1)
+	if wan.Latency != 150*sim.Microsecond || wan.Bandwidth != Mbps(100) {
+		t.Fatalf("inter link = %+v, want Ethernet-like", wan)
+	}
+
+	f3 := Paper3Clusters()
+	if err := f3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f3.NumClusters() != 3 || f3.NumNodes() != 300 {
+		t.Fatalf("3-cluster topology: %d clusters, %d nodes", f3.NumClusters(), f3.NumNodes())
+	}
+}
+
+func TestLinkBetween(t *testing.T) {
+	f := Small(2, 3)
+	a := NodeID{Cluster: 0, Index: 0}
+	b := NodeID{Cluster: 0, Index: 2}
+	c := NodeID{Cluster: 1, Index: 1}
+	if !SameCluster(a, b) || SameCluster(a, c) {
+		t.Fatal("SameCluster misclassified")
+	}
+	if got := f.LinkBetween(a, b); got != f.Clusters[0].Intra {
+		t.Fatalf("intra link = %+v", got)
+	}
+	if got := f.LinkBetween(a, c); got != f.InterLink(0, 1) {
+		t.Fatalf("inter link = %+v", got)
+	}
+}
+
+func TestInterLinkSymmetric(t *testing.T) {
+	f := New(
+		Cluster{Name: "a", Nodes: 1, Intra: MyrinetLike()},
+		Cluster{Name: "b", Nodes: 1, Intra: MyrinetLike()},
+		Cluster{Name: "c", Nodes: 1, Intra: MyrinetLike()},
+	)
+	l := WANLike()
+	f.SetInterLink(2, 0, l)
+	if f.InterLink(0, 2) != l || f.InterLink(2, 0) != l {
+		t.Fatal("inter-cluster link not symmetric")
+	}
+}
+
+func TestNodesEnumeration(t *testing.T) {
+	f := Small(3, 4)
+	all := f.AllNodes()
+	if len(all) != 12 {
+		t.Fatalf("AllNodes = %d, want 12", len(all))
+	}
+	seen := make(map[NodeID]bool)
+	for _, n := range all {
+		if !f.Valid(n) {
+			t.Fatalf("invalid node %v enumerated", n)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate node %v", n)
+		}
+		seen[n] = true
+	}
+	if f.Valid(NodeID{Cluster: 3, Index: 0}) || f.Valid(NodeID{Cluster: 0, Index: 4}) {
+		t.Fatal("Valid accepted out-of-range node")
+	}
+	if s := (NodeID{Cluster: 1, Index: 7}).String(); s != "c1n7" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestValidateRejectsBrokenFederations(t *testing.T) {
+	if err := New().Validate(); err == nil {
+		t.Error("empty federation accepted")
+	}
+	f := New(Cluster{Name: "x", Nodes: 0, Intra: MyrinetLike()})
+	if err := f.Validate(); err == nil {
+		t.Error("zero-node cluster accepted")
+	}
+	f = New(Cluster{Name: "x", Nodes: 1, Intra: Link{}})
+	if err := f.Validate(); err == nil {
+		t.Error("zero-bandwidth SAN accepted")
+	}
+	f = New(
+		Cluster{Name: "a", Nodes: 1, Intra: MyrinetLike()},
+		Cluster{Name: "b", Nodes: 1, Intra: MyrinetLike()},
+	)
+	if err := f.Validate(); err == nil {
+		t.Error("missing inter-cluster link accepted")
+	}
+	f.SetAllInterLinks(EthernetLike())
+	f.MTBF = -1
+	if err := f.Validate(); err == nil {
+		t.Error("negative MTBF accepted")
+	}
+}
+
+// Property: transmission delay is monotone in message size and additive
+// with latency for any sane link.
+func TestLinkDelayMonotoneProperty(t *testing.T) {
+	f := func(lat uint32, bwRaw uint16, s1, s2 uint16) bool {
+		bw := Mbps(float64(bwRaw%1000) + 1)
+		l := Link{Latency: sim.Duration(lat), Bandwidth: bw}
+		a, b := int(s1), int(s2)
+		if a > b {
+			a, b = b, a
+		}
+		return l.Delay(a) <= l.Delay(b) && l.Delay(a) >= l.Latency
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
