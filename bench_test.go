@@ -91,6 +91,48 @@ func BenchmarkAblationOverhead(b *testing.B) { benchExperiment(b, "A8") }
 // periodic GC and the §3.5 saturation trigger (A9).
 func BenchmarkAblationMemory(b *testing.B) { benchExperiment(b, "A9") }
 
+// BenchmarkRegistrySequential runs the whole experiment registry on one
+// worker — the seed's original execution mode, kept as the baseline the
+// parallel runner is measured against.
+func BenchmarkRegistrySequential(b *testing.B) {
+	benchRegistry(b, 1)
+}
+
+// BenchmarkRegistryParallel runs the whole registry through the bounded
+// worker pool (one worker per CPU); output is byte-identical to the
+// sequential run, only the wall clock changes.
+func BenchmarkRegistryParallel(b *testing.B) {
+	benchRegistry(b, hc3i.DefaultWorkers())
+}
+
+func benchRegistry(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		opts := hc3i.RunnerOptions{Workers: workers, Seed: uint64(i + 1), Quick: true}
+		for _, r := range hc3i.RunExperiments(opts, nil) {
+			if r.Err != nil {
+				b.Fatalf("%s: %v", r.ID, r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkMatrixSlice runs one topology slice of the scenario matrix
+// (every workload x failure x network combination under all four
+// protocols) through the parallel runner.
+func BenchmarkMatrixSlice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := hc3i.RunnerOptions{Workers: hc3i.DefaultWorkers(), Seed: uint64(i + 1), Quick: true}
+		res, err := hc3i.RunMatrix(opts, "topology=2c")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("matrix produced no rows")
+		}
+	}
+}
+
 // BenchmarkEndToEndSimulation measures raw simulator throughput on the
 // paper's base configuration: one full 2-cluster run per iteration.
 func BenchmarkEndToEndSimulation(b *testing.B) {

@@ -1,14 +1,24 @@
-// Command hc3ibench regenerates the paper's evaluation: every table
-// and figure (T1, F6-F9, T2, T3) plus the ablations (A1-A6), printing
-// the same rows/series the paper reports.
+// Command hc3ibench regenerates the paper's evaluation — every table
+// and figure (T1, F6-F9, T2, T3) plus the ablations (A1-A9) — and runs
+// the scenario matrix: dozens of topology x workload x failure x
+// network combinations, each under HC3I and all three baseline
+// protocols.
 //
 // Usage:
 //
 //	hc3ibench                 # run everything at the paper's scale
 //	hc3ibench -quick          # reduced scale (seconds instead of minutes)
-//	hc3ibench -run F6,F7      # a subset
-//	hc3ibench -list           # list the registry
+//	hc3ibench -parallel 8     # keep 8 simulated federations in flight
+//	hc3ibench -run F6,F7      # a subset of the registry
+//	hc3ibench -matrix         # run the full scenario matrix instead
+//	hc3ibench -matrix -filter topology=8c,failure=churn
+//	hc3ibench -list           # list the registry and the matrix axes
 //	hc3ibench -o results.txt  # also write the output to a file
+//	hc3ibench -csv out/       # one <ID>.csv per table for plotting
+//
+// Parallel runs are byte-identical to sequential ones: every federation
+// is an isolated deterministic simulation and results are collected in
+// input order.
 package main
 
 import (
@@ -25,12 +35,16 @@ import (
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "reduced scale (8-node clusters, 3h runs)")
+		quick    = flag.Bool("quick", false, "reduced scale (small clusters, short runs)")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		parallel = flag.Int("parallel", hc3i.DefaultWorkers(),
+			"max federations simulated concurrently (1 = sequential; output is identical either way)")
 		runID    = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		list     = flag.Bool("list", false, "list experiments and exit")
+		matrix   = flag.Bool("matrix", false, "run the scenario matrix instead of the registry")
+		filter   = flag.String("filter", "", "matrix filter, e.g. topology=2c,failure=churn")
+		list     = flag.Bool("list", false, "list experiments and matrix axes, then exit")
 		out      = flag.String("o", "", "also write results to this file")
-		csvDir   = flag.String("csv", "", "write one <ID>.csv per experiment into this directory")
+		csvDir   = flag.String("csv", "", "write one <ID>.csv per table into this directory")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
 	)
 	flag.Parse()
@@ -39,18 +53,15 @@ func main() {
 		for _, e := range hc3i.Experiments() {
 			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Title, e.Description)
 		}
+		fmt.Println("\nscenario matrix axes (-matrix, filter with -filter dim=value,...):")
+		fmt.Print(hc3i.MatrixAxes())
 		return
 	}
 
-	var ids []string
-	if *runID == "" {
-		for _, e := range hc3i.Experiments() {
-			ids = append(ids, e.ID)
-		}
-	} else {
-		for _, id := range strings.Split(*runID, ",") {
-			ids = append(ids, strings.TrimSpace(id))
-		}
+	// Usage errors must fire before -o truncates an existing file.
+	if *filter != "" && !*matrix {
+		fmt.Fprintln(os.Stderr, "hc3ibench: -filter only applies with -matrix")
+		os.Exit(1)
 	}
 
 	var w io.Writer = os.Stdout
@@ -64,26 +75,19 @@ func main() {
 		w = io.MultiWriter(os.Stdout, fh)
 	}
 
-	mode := "paper scale (100-node clusters, 10h virtual)"
+	mode := "paper scale"
 	if *quick {
 		mode = "quick scale"
 	}
-	fmt.Fprintf(w, "HC3I evaluation harness — %s, seed %d\n\n", mode, *seed)
+	opts := hc3i.RunnerOptions{Workers: *parallel, Seed: *seed, Quick: *quick}
+	fmt.Fprintf(w, "HC3I evaluation harness — %s, seed %d, %d worker(s)\n\n", mode, *seed, *parallel)
 
-	failed := 0
-	for _, id := range ids {
-		start := time.Now()
-		res, err := hc3i.RunExperiment(id, *seed, *quick)
-		if err != nil {
-			fmt.Fprintf(w, "== %s FAILED: %v ==\n\n", id, err)
-			failed++
-			continue
-		}
+	emit := func(res *hc3i.ExperimentResult) {
 		if *markdown {
 			fmt.Fprintln(w, res.Markdown())
 		} else {
 			fmt.Fprint(w, res.Render())
-			fmt.Fprintf(w, "(%.1fs wall)\n\n", time.Since(start).Seconds())
+			fmt.Fprintln(w)
 		}
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -97,6 +101,35 @@ func main() {
 			}
 		}
 	}
+
+	start := time.Now()
+	if *matrix {
+		res, err := hc3i.RunMatrix(opts, *filter)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hc3ibench:", err)
+			os.Exit(1)
+		}
+		emit(res)
+		fmt.Fprintf(w, "(%d rows, %.1fs wall)\n", len(res.Rows), time.Since(start).Seconds())
+		return
+	}
+
+	var ids []string
+	if *runID != "" {
+		for _, id := range strings.Split(*runID, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	failed := 0
+	for _, r := range hc3i.RunExperiments(opts, ids) {
+		if r.Err != nil {
+			fmt.Fprintf(w, "== %s FAILED: %v ==\n\n", r.ID, r.Err)
+			failed++
+			continue
+		}
+		emit(r.Result)
+	}
+	fmt.Fprintf(w, "(%.1fs wall)\n", time.Since(start).Seconds())
 	if failed > 0 {
 		os.Exit(1)
 	}

@@ -6,13 +6,47 @@
 // clusters with communication-induced checkpointing between clusters,
 // plus its discrete event simulator, baselines and the full evaluation.
 //
+// Module layout (module "repro", go 1.22):
+//
+//	hc3i                  public API: Run one federation, the experiment
+//	                      registry, the parallel runner and the
+//	                      scenario matrix
+//	cmd/hc3ibench         regenerate every table/figure and run the
+//	                      scenario matrix (-parallel, -matrix, -csv)
+//	cmd/hc3isim           one simulation from the paper's config files
+//	cmd/hc3itrace         watch the protocol work, event by event
+//	internal/sim          deterministic discrete event engine, RNG
+//	                      streams, statistics
+//	internal/topology     clusters, SAN/LAN/WAN link classes (incl. the
+//	                      high-jitter profile), federations
+//	internal/netsim       latency/bandwidth/FIFO network model
+//	internal/app          rate-driven workloads (uniform, pipeline,
+//	                      hotspot, bursty on-off envelopes)
+//	internal/core         the HC3I protocol state machine
+//	internal/baseline     global-coordinated, hierarchical-coordinated
+//	                      and pessimistic-logging baselines
+//	internal/federation   harness wiring nodes, network, failures
+//	internal/failure      fail-stop crash injection
+//	internal/experiments  the registry (T1, F6-F9, T2-T3, A1-A9), the
+//	                      parallel runner and the scenario matrix
+//	internal/config       the paper simulator's three input files
+//	internal/runtime      live (wall-clock, TCP) runtime for the same
+//	                      protocol code
+//
 // Start with the public API in repro/hc3i, the runnable examples under
 // examples/, or the tools:
 //
 //	go run ./cmd/hc3isim    # one simulation from the paper's config files
 //	go run ./cmd/hc3ibench  # regenerate every table and figure
+//	go run ./cmd/hc3ibench -quick -matrix -parallel 8  # scenario matrix
 //	go run ./cmd/hc3itrace  # watch the protocol work, event by event
 //
+// Every simulation is deterministic per seed, and the parallel runner
+// preserves that: each federation is an isolated single-threaded
+// simulation, results are collected in input order, and the rendered
+// tables are byte-identical whatever the worker count.
+//
 // The benchmarks in this package (bench_test.go) tie each paper
-// artifact to a `go test -bench` target.
+// artifact to a `go test -bench` target; BENCH_baseline.json records
+// the measured baseline so future optimisations have a trajectory.
 package repro

@@ -66,7 +66,89 @@ func RunExperiment(id string, seed uint64, quick bool) (*ExperimentResult, error
 	if err != nil {
 		return nil, err
 	}
+	return resultOf(tab), nil
+}
+
+func resultOf(tab *experiments.Table) *ExperimentResult {
 	return &ExperimentResult{
 		ID: tab.ID, Title: tab.Title, Headers: tab.Headers, Rows: tab.Rows, Notes: tab.Notes,
-	}, nil
+	}
+}
+
+// RunnerOptions configures a parallel registry or matrix run: Workers
+// bounds the number of concurrently simulated federations (each one is
+// an isolated single-threaded simulation, so results are byte-identical
+// to a sequential run of the same seed), Seed and Quick act exactly as
+// in RunExperiment. Workers <= 1 runs sequentially; DefaultWorkers
+// picks one worker per CPU.
+type RunnerOptions struct {
+	Workers int
+	Seed    uint64
+	Quick   bool
+}
+
+// DefaultWorkers returns the machine-sized worker count.
+func DefaultWorkers() int { return experiments.DefaultWorkers() }
+
+func (o RunnerOptions) config() experiments.RunnerConfig {
+	return experiments.RunnerConfig{Workers: o.Workers, Seed: o.Seed, Quick: o.Quick}
+}
+
+// ExperimentRun pairs one experiment's result with its error.
+type ExperimentRun struct {
+	ID     string
+	Result *ExperimentResult
+	Err    error
+}
+
+// RunExperiments executes the experiments with the given IDs (all when
+// ids is nil) through a bounded worker pool, returning one entry per
+// requested ID in request order. Individual failures do not abort the
+// batch.
+func RunExperiments(opts RunnerOptions, ids []string) []ExperimentRun {
+	results := experiments.Run(opts.config(), ids)
+	out := make([]ExperimentRun, len(results))
+	for i, r := range results {
+		out[i] = ExperimentRun{ID: r.ID, Err: r.Err}
+		if r.Table != nil {
+			out[i].Result = resultOf(r.Table)
+		}
+	}
+	return out
+}
+
+// MatrixScenarios lists the scenario names selected by a matrix filter
+// (comma-separated dim=value constraints over topology, workload,
+// failure and network; empty selects the full cross product).
+func MatrixScenarios(filter string) ([]string, error) {
+	scs, err := experiments.MatrixScenarios(filter)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(scs))
+	for i, s := range scs {
+		names[i] = s.Name()
+	}
+	return names, nil
+}
+
+// MatrixAxes renders the matrix dimensions and their values, one line
+// per dimension.
+func MatrixAxes() string { return experiments.MatrixAxes() }
+
+// RunMatrix executes the scenario matrix (restricted by filter, empty =
+// all) under HC3I and all three baseline protocols through the worker
+// pool, and returns the rendered table: one row per (scenario,
+// protocol) with forced/unforced CLCs, rollbacks, injected failures,
+// the volatile-log high-water mark and the event count.
+func RunMatrix(opts RunnerOptions, filter string) (*ExperimentResult, error) {
+	scs, err := experiments.MatrixScenarios(filter)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := experiments.RunMatrix(opts.config(), scs)
+	if err != nil {
+		return nil, err
+	}
+	return resultOf(tab), nil
 }

@@ -1,0 +1,78 @@
+package app
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestBurstWarpUnwarpInverse(t *testing.T) {
+	b := &Burst{Period: 30 * sim.Minute, Duty: 0.25}
+	for _, s := range []sim.Duration{
+		0, sim.Second, 7 * sim.Minute, b.onPerPeriod() - 1,
+		b.onPerPeriod(), 3 * b.onPerPeriod(), 100 * b.onPerPeriod(),
+	} {
+		if got := b.Warp(b.Unwarp(s)); got != s {
+			t.Fatalf("Warp(Unwarp(%v)) = %v", s, got)
+		}
+	}
+	// Warp is monotone and saturates inside off-windows.
+	if b.Warp(8*sim.Minute) != b.Warp(29*sim.Minute) {
+		t.Fatal("off-window time must not accumulate on-time")
+	}
+	if b.Warp(31*sim.Minute) <= b.Warp(29*sim.Minute) {
+		t.Fatal("the next on-window must accumulate on-time again")
+	}
+}
+
+func TestBurstValidate(t *testing.T) {
+	fed := topology.Small(2, 2)
+	for _, bad := range []*Burst{
+		{Period: 0, Duty: 0.5},
+		{Period: sim.Minute, Duty: 0},
+		{Period: sim.Minute, Duty: 1.5},
+	} {
+		wl := Uniform(2, 10, 10, sim.Hour)
+		wl.Burst = bad
+		if err := wl.Validate(fed); err == nil {
+			t.Errorf("burst %+v accepted", bad)
+		}
+	}
+	wl := Uniform(2, 10, 10, sim.Hour)
+	wl.Burst = &Burst{Period: 30 * sim.Minute, Duty: 0.25}
+	if err := wl.Validate(fed); err != nil {
+		t.Fatalf("valid burst rejected: %v", err)
+	}
+}
+
+// TestBurstScheduleRespectsEnvelope draws a full schedule under a burst
+// envelope and checks every send sits inside an on-window, while the
+// long-run count stays near the configured average rate.
+func TestBurstScheduleRespectsEnvelope(t *testing.T) {
+	fed := topology.Small(2, 2)
+	wl := Uniform(2, 600, 60, 10*sim.Hour)
+	wl.Burst = &Burst{Period: 30 * sim.Minute, Duty: 0.25}
+	on := wl.Burst.onPerPeriod()
+	a := NewNodeApp(topology.NodeID{Cluster: 0, Index: 0}, wl, fed, sim.NewRNG(11))
+	count := 0
+	for {
+		at, ok := a.NextSend()
+		if !ok {
+			break
+		}
+		phase := at % wl.Burst.Period
+		if phase > on {
+			t.Fatalf("send %d at %v: phase %v outside the on-window %v", count, at, phase, on)
+		}
+		if _, _, ok := a.TakeSend(); !ok {
+			break
+		}
+		count++
+	}
+	// Cluster-aggregate 600+60 msgs/h over 10 h across 2 nodes => ~3300
+	// per node on average; allow generous Poisson slack.
+	if count < 2600 || count > 4000 {
+		t.Fatalf("bursty schedule produced %d sends, want ~3300", count)
+	}
+}

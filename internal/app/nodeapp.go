@@ -92,11 +92,14 @@ func (a *NodeApp) initCursor(rng *sim.RNG) {
 	}
 	for d := 0; d < n; d++ {
 		a.genState.rngs[d] = rng.StreamN("dst", d)
-		a.genState.nextAt[d] = a.drawGap(d)
+		a.genState.nextAt[d] = a.nextEvent(d, 0)
 	}
 }
 
 // drawGap draws the next inter-send gap towards destination cluster d.
+// With a burst envelope the gap lives on the on-time axis (and is
+// scaled by the duty cycle so the long-run average rate is preserved);
+// nextEvent maps it back to absolute application time.
 func (a *NodeApp) drawGap(d int) sim.Duration {
 	rate := a.wl.RatesPerHour[a.id.Cluster][d] // cluster-aggregate msgs/hour
 	size := float64(a.fed.Clusters[a.id.Cluster].Nodes)
@@ -105,7 +108,23 @@ func (a *NodeApp) drawGap(d int) sim.Duration {
 		return sim.Forever
 	}
 	mean := sim.Duration(float64(sim.Hour) / perNode)
+	if a.wl.Burst != nil {
+		mean = sim.Duration(float64(mean) * a.wl.Burst.Duty)
+	}
 	return a.genState.rngs[d].Exp(mean)
+}
+
+// nextEvent returns the absolute application time of the next send
+// towards destination cluster d, given the previous one at from.
+func (a *NodeApp) nextEvent(d int, from sim.Duration) sim.Duration {
+	g := a.drawGap(d)
+	if g >= sim.Forever {
+		return sim.Forever
+	}
+	if b := a.wl.Burst; b != nil {
+		return b.Unwarp(b.Warp(from) + g)
+	}
+	return from + g
 }
 
 // extendTo grows the cached schedule until it covers index i or the
@@ -125,7 +144,7 @@ func (a *NodeApp) extendTo(i int) {
 		}
 		dst := a.pickNode(topology.ClusterID(best))
 		a.schedule = append(a.schedule, sendEvent{At: at, Dst: dst, Size: a.wl.MsgSize})
-		a.genState.nextAt[best] = at + a.drawGap(best)
+		a.genState.nextAt[best] = a.nextEvent(best, at)
 	}
 }
 

@@ -37,6 +37,60 @@ type Workload struct {
 	// fresh schedule — the protocol must stay consistent either way,
 	// since HC3I makes no PWD assumption (§2.2).
 	Deterministic bool
+	// Burst, when non-nil, modulates the Poisson process with an on-off
+	// envelope: traffic only flows during the first Duty fraction of
+	// every Period, at a rate scaled by 1/Duty so the long-run average
+	// still matches RatesPerHour. The scenario matrix uses it for its
+	// bursty workloads.
+	Burst *Burst
+}
+
+// Burst is an on-off traffic envelope (see Workload.Burst).
+type Burst struct {
+	// Period is one on+off cycle.
+	Period sim.Duration
+	// Duty is the on fraction of each period, in (0, 1].
+	Duty float64
+}
+
+// onPerPeriod returns the on-time within one period.
+func (b *Burst) onPerPeriod() sim.Duration {
+	return sim.Duration(float64(b.Period) * b.Duty)
+}
+
+// Warp maps absolute application time to cumulative on-time: the time
+// axis the modulated Poisson process is homogeneous on.
+func (b *Burst) Warp(t sim.Duration) sim.Duration {
+	on := b.onPerPeriod()
+	full := t / b.Period
+	rem := t - full*b.Period
+	if rem > on {
+		rem = on
+	}
+	return full*on + rem
+}
+
+// Unwarp maps cumulative on-time back to the earliest absolute time
+// with that much on-time elapsed (the inverse of Warp on on-windows).
+func (b *Burst) Unwarp(s sim.Duration) sim.Duration {
+	on := b.onPerPeriod()
+	if on <= 0 {
+		return sim.Forever
+	}
+	full := s / on
+	rem := s - full*on
+	return full*b.Period + rem
+}
+
+// validate checks the burst envelope.
+func (b *Burst) validate() error {
+	if b.Period <= 0 {
+		return fmt.Errorf("app: burst period must be positive")
+	}
+	if b.Duty <= 0 || b.Duty > 1 {
+		return fmt.Errorf("app: burst duty %v outside (0, 1]", b.Duty)
+	}
+	return nil
 }
 
 // Validate checks the workload against a federation.
@@ -63,6 +117,11 @@ func (w *Workload) Validate(fed *topology.Federation) error {
 	}
 	if w.MsgSize <= 0 {
 		return fmt.Errorf("app: non-positive message size")
+	}
+	if w.Burst != nil {
+		if err := w.Burst.validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

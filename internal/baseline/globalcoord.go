@@ -72,6 +72,10 @@ func (g *GlobalCoordinated) SN() core.SN { return g.seq }
 // the newest: earlier ones can never be a rollback target).
 func (g *GlobalCoordinated) StoredCount() int { return len(g.snaps) }
 
+// LogLen returns the unacknowledged entries of the volatile send log
+// (the scenario matrix's log high-water quantity).
+func (g *GlobalCoordinated) LogLen() int { return len(g.sendLog) }
+
 // Fail crashes the node.
 func (g *GlobalCoordinated) Fail() { g.failed = true }
 

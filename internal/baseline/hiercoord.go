@@ -68,6 +68,10 @@ func (h *HierCoord) SN() core.SN { return h.line }
 // StoredCount returns stored line snapshots.
 func (h *HierCoord) StoredCount() int { return len(h.snaps) }
 
+// LogLen returns the unacknowledged entries of the volatile send log
+// (the scenario matrix's log high-water quantity).
+func (h *HierCoord) LogLen() int { return len(h.sendLog) }
+
 // Fail crashes the node.
 func (h *HierCoord) Fail() { h.failed = true }
 

@@ -74,6 +74,11 @@ func (p *PessimisticLog) SN() core.SN { return p.seq }
 // StoredCount returns stored snapshots (only the newest is kept).
 func (p *PessimisticLog) StoredCount() int { return len(p.snaps) }
 
+// LogLen returns the number of volatile message-log entries (receipts
+// logged since the last snapshot plus unacknowledged sends), the
+// quantity the scenario matrix reports as the log high-water mark.
+func (p *PessimisticLog) LogLen() int { return len(p.recvLog) + len(p.sendLog) }
+
 // LogBytes approximates the volatile memory consumed by message logs.
 func (p *PessimisticLog) LogBytes() int {
 	total := 0
@@ -159,20 +164,7 @@ func (p *PessimisticLog) OnMessage(src topology.NodeID, msg core.Msg) {
 		p.mirrorSnap[m.From] = &snapshotRec{Seq: m.Seq, State: m.State, Size: m.Size, At: p.env.Now()}
 		p.mirrorLog[m.From] = nil
 	case "recover-req":
-		// m.From is the restarted node; ship it back its snapshot and
-		// replay its mirrored receive log in order.
-		snap := p.mirrorSnap[m.From]
-		resp := wire{Kind: "recover-resp", From: p.id}
-		if snap != nil {
-			resp.Seq = snap.Seq
-			resp.State = snap.State
-			resp.Size = snap.Size
-		}
-		p.env.Send(m.From, resp.size(), resp)
-		for _, r := range p.mirrorLog[m.From] {
-			rm := wire{Kind: "replay", From: r.From, Payload: r.Payload}
-			p.env.Send(m.From, rm.size(), rm)
-		}
+		p.serveRecovery(m.From)
 	case "recover-resp":
 		if m.State != nil {
 			p.app.Restore(m.State)
@@ -197,14 +189,35 @@ func (p *PessimisticLog) OnMessage(src topology.NodeID, msg core.Msg) {
 		p.app.Deliver(m.From, m.Payload)
 		p.env.Stat("plog.replayed", 1)
 	case "alert":
-		// A node failed somewhere: resend every unconfirmed message
-		// addressed to it (its receive log may have missed them).
-		for id, s := range p.sendLog {
-			if s.Dst == m.From {
-				rm := wire{Kind: "app", From: p.id, Payload: s.Payload, MsgID: id}
-				p.env.SendApp(s.Dst, rm.size(), rm)
-				p.env.Stat("plog.resent", 1)
-			}
+		p.resendTo(m.From)
+	}
+}
+
+// serveRecovery ships the restarted node its mirrored snapshot and
+// replays its mirrored receive log in order (the channel memory).
+func (p *PessimisticLog) serveRecovery(from topology.NodeID) {
+	snap := p.mirrorSnap[from]
+	resp := wire{Kind: "recover-resp", From: p.id}
+	if snap != nil {
+		resp.Seq = snap.Seq
+		resp.State = snap.State
+		resp.Size = snap.Size
+	}
+	p.env.Send(from, resp.size(), resp)
+	for _, r := range p.mirrorLog[from] {
+		rm := wire{Kind: "replay", From: r.From, Payload: r.Payload}
+		p.env.Send(from, rm.size(), rm)
+	}
+}
+
+// resendTo resends every unconfirmed message addressed to a failed
+// node (its receive log may have missed them).
+func (p *PessimisticLog) resendTo(failed topology.NodeID) {
+	for id, s := range p.sendLog {
+		if s.Dst == failed {
+			rm := wire{Kind: "app", From: p.id, Payload: s.Payload, MsgID: id}
+			p.env.SendApp(s.Dst, rm.size(), rm)
+			p.env.Stat("plog.resent", 1)
 		}
 	}
 }
@@ -232,15 +245,24 @@ func (p *PessimisticLog) OnFailureDetected(failed topology.NodeID) {
 	}
 	p.env.Stat(statCluster("rollback.count", int(failed.Cluster)), 1)
 	// Tell the failed (now restarted) node to pull its state from its
-	// neighbour's channel memory.
-	req := wire{Kind: "recover-req", From: failed}
+	// neighbour's channel memory. In a two-node cluster the notified
+	// survivor IS the holder: serve the recovery locally instead of
+	// sending to self.
 	holder := topology.NodeID{Cluster: failed.Cluster, Index: (failed.Index + 1) % p.cfg.ClusterSizes[failed.Cluster]}
-	// Route the request as if issued by the failed node itself.
-	p.env.Send(holder, req.size(), req)
+	if holder == p.id {
+		p.serveRecovery(failed)
+	} else {
+		// Route the request as if issued by the failed node itself.
+		req := wire{Kind: "recover-req", From: failed}
+		p.env.Send(holder, req.size(), req)
+	}
 	alert := wire{Kind: "alert", From: failed}
 	for _, id := range p.allNodes() {
 		if id != p.id {
 			p.env.Send(id, alert.size(), alert)
 		}
 	}
+	// The alert loop excludes this node; apply its effect locally so
+	// the coordinator's own unconfirmed sends are retransmitted too.
+	p.resendTo(failed)
 }

@@ -1,0 +1,239 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Fuzz targets: the parser and every scalar-value parser must never
+// panic and must either succeed or return an error, whatever bytes the
+// simulator's three input files contain.
+
+func FuzzParse(f *testing.F) {
+	f.Add("clusters = 2\n[cluster 0]\nnodes = 4\n")
+	f.Add("# comment only\n")
+	f.Add("[a b c]\nk=v\nk2 = v2 # trailing\n")
+	f.Add("[unterminated\n")
+	f.Add("=nokey\n")
+	f.Add("dup=1\ndup=2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		file, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// A successful parse must produce a well-formed structure.
+		if len(file.Sections) == 0 {
+			t.Fatal("parse succeeded with no sections")
+		}
+		for _, s := range file.Sections {
+			if len(s.Order) != len(s.Keys) {
+				t.Fatalf("section %q: %d ordered keys but %d stored", s.Name, len(s.Order), len(s.Keys))
+			}
+			for _, k := range s.Order {
+				if _, ok := s.Keys[k]; !ok {
+					t.Fatalf("section %q: ordered key %q missing from map", s.Name, k)
+				}
+			}
+		}
+	})
+}
+
+func FuzzParseBandwidth(f *testing.F) {
+	for _, seed := range []string{"80Mbps", "1Gbps", "12.5kbps", "1e9", "-3Mbps", "Mbps", "", "NaN"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		v, err := ParseBandwidth(input)
+		if err == nil && v <= 0 {
+			t.Fatalf("ParseBandwidth(%q) accepted non-positive %v", input, v)
+		}
+	})
+}
+
+func FuzzParseSize(f *testing.F) {
+	for _, seed := range []string{"4MB", "64KB", "1GB", "0", "123", "-1KB", "kb", "", "9e99GB"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		v, err := ParseSize(input)
+		if err == nil && v < 0 {
+			t.Fatalf("ParseSize(%q) accepted negative %v", input, v)
+		}
+	})
+}
+
+func FuzzLoadTopology(f *testing.F) {
+	f.Add("clusters = 2\n[cluster 0]\nnodes = 4\n[cluster 1]\nnodes = 4\n[link 0 1]\n")
+	f.Add("clusters = 1\n[cluster 0]\nnodes = 0\n")
+	f.Add("clusters = -3\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		fed, err := LoadTopology(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Whatever loads must satisfy the topology's own validator.
+		if err := fed.Validate(); err != nil {
+			t.Fatalf("LoadTopology accepted an invalid federation: %v", err)
+		}
+	})
+}
+
+func FuzzLoadWorkload(f *testing.F) {
+	f.Add("total = 1h\n[rates]\n0 = 10 1\n1 = 1 10\n", 2)
+	f.Add("msgsize = -4\n[rates]\n0 = 1\n", 1)
+	f.Fuzz(func(t *testing.T, input string, clusters int) {
+		if clusters < 1 || clusters > 16 {
+			return
+		}
+		wl, err := LoadWorkload(strings.NewReader(input), clusters)
+		if err != nil {
+			return
+		}
+		if len(wl.RatesPerHour) != clusters {
+			t.Fatalf("loaded %d rate rows for %d clusters", len(wl.RatesPerHour), clusters)
+		}
+	})
+}
+
+// TestLoadMalformed is the table-driven companion: one representative
+// malformed input per failure class, each of which must be rejected
+// with an error (never a panic, never silent acceptance).
+func TestLoadMalformed(t *testing.T) {
+	topo := func(s string) error {
+		_, err := LoadTopology(strings.NewReader(s))
+		return err
+	}
+	wl := func(s string) error {
+		_, err := LoadWorkload(strings.NewReader(s), 2)
+		return err
+	}
+	timers := func(s string) error {
+		_, err := LoadTimers(strings.NewReader(s), 2)
+		return err
+	}
+	cases := []struct {
+		name string
+		load func(string) error
+		in   string
+	}{
+		{"topology/no clusters key", topo, "[cluster 0]\nnodes = 2\n"},
+		{"topology/zero clusters", topo, "clusters = 0\n"},
+		{"topology/negative clusters", topo, "clusters = -1\n"},
+		{"topology/cluster index out of range", topo, "clusters = 1\n[cluster 7]\nnodes = 2\n"},
+		{"topology/cluster index not a number", topo, "clusters = 1\n[cluster x]\nnodes = 2\n"},
+		{"topology/duplicate cluster", topo, "clusters = 1\n[cluster 0]\nnodes = 2\n[cluster 0]\nnodes = 2\n"},
+		{"topology/missing cluster", topo, "clusters = 2\n[cluster 0]\nnodes = 2\n"},
+		{"topology/bad bandwidth", topo, "clusters = 1\n[cluster 0]\nnodes = 2\nbandwidth = fast\n"},
+		{"topology/bad latency", topo, "clusters = 1\n[cluster 0]\nnodes = 2\nlatency = soon\n"},
+		{"topology/self link", topo, "clusters = 2\n[cluster 0]\nnodes = 2\n[cluster 1]\nnodes = 2\n[link 0 0]\n"},
+		{"topology/link out of range", topo, "clusters = 2\n[cluster 0]\nnodes = 2\n[cluster 1]\nnodes = 2\n[link 0 5]\n"},
+		{"workload/no rates section", wl, "total = 1h\n"},
+		{"workload/two rates sections", wl, "[rates]\n0 = 1 1\n1 = 1 1\n[rates]\n0 = 1 1\n1 = 1 1\n"},
+		{"workload/missing row", wl, "[rates]\n0 = 1 1\n"},
+		{"workload/short row", wl, "[rates]\n0 = 1\n1 = 1 1\n"},
+		{"workload/bad float", wl, "[rates]\n0 = 1 x\n1 = 1 1\n"},
+		{"workload/bad duration", wl, "total = yesterday\n[rates]\n0 = 1 1\n1 = 1 1\n"},
+		{"workload/bad size", wl, "msgsize = big\n[rates]\n0 = 1 1\n1 = 1 1\n"},
+		{"workload/bad bool", wl, "deterministic = maybe\n[rates]\n0 = 1 1\n1 = 1 1\n"},
+		{"timers/bad gc", timers, "gc = never-ish\n"},
+		{"timers/bad detection", timers, "detection = x\n"},
+		{"timers/clc index out of range", timers, "[clc]\n5 = 30m\n"},
+		{"timers/clc index not a number", timers, "[clc]\nzero = 30m\n"},
+		{"timers/clc bad duration", timers, "[clc]\n0 = soonish\n"},
+	}
+	for _, c := range cases {
+		if err := c.load(c.in); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// TestRoundTripMatrixFields loads a config carrying every field the
+// scenario-matrix runner consumes (cluster shapes, link classes,
+// per-cluster timers, workload rates/sizes/duration/determinism) and
+// checks each one lands intact in the loaded structures.
+func TestRoundTripMatrixFields(t *testing.T) {
+	topoText := `
+clusters = 3
+mtbf = forever
+[cluster 0]
+name = sim
+nodes = 2
+latency = 10us
+bandwidth = 80Mbps
+[cluster 1]
+nodes = 4
+[cluster 2]
+nodes = 6
+[link 0 1]
+latency = 20ms
+bandwidth = 10Mbps
+[link 0 2]
+[link 1 2]
+`
+	fed, err := LoadTopology(strings.NewReader(topoText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := []int{fed.Clusters[0].Nodes, fed.Clusters[1].Nodes, fed.Clusters[2].Nodes}; got[0] != 2 || got[1] != 4 || got[2] != 6 {
+		t.Fatalf("cluster shapes %v, want [2 4 6]", got)
+	}
+	if fed.Clusters[0].Name != "sim" || fed.Clusters[1].Name != "cluster1" {
+		t.Fatalf("names %q %q", fed.Clusters[0].Name, fed.Clusters[1].Name)
+	}
+	if l := fed.InterLink(0, 1); l.Latency != 20*sim.Millisecond || l.Bandwidth != 10e6 {
+		t.Fatalf("link 0-1 = %+v", l)
+	}
+	if l := fed.InterLink(0, 2); l.Latency != 150*sim.Microsecond || l.Bandwidth != 100e6 {
+		t.Fatalf("link 0-2 defaults = %+v", l)
+	}
+	if fed.MTBF != 0 {
+		t.Fatalf("mtbf forever must disable failures, got %v", fed.MTBF)
+	}
+
+	wlText := `
+total = 90m
+msgsize = 4KB
+statesize = 256KB
+compute = 2s
+deterministic = true
+[rates]
+0 = 240 24 24
+1 = 24 240 24
+2 = 24 24 240
+`
+	wl, err := LoadWorkload(strings.NewReader(wlText), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.TotalTime != 90*sim.Minute || wl.MsgSize != 4096 || wl.StateSize != 256<<10 ||
+		wl.MeanCompute != 2*sim.Second || !wl.Deterministic {
+		t.Fatalf("workload fields wrong: %+v", wl)
+	}
+	if wl.RatesPerHour[1][0] != 24 || wl.RatesPerHour[2][2] != 240 {
+		t.Fatalf("rates wrong: %v", wl.RatesPerHour)
+	}
+	if err := wl.Validate(fed); err != nil {
+		t.Fatal(err)
+	}
+
+	timerText := `
+gc = 45m
+detection = 2s
+[clc]
+0 = 20m
+1 = forever
+`
+	tm, err := LoadTimers(strings.NewReader(timerText), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.GCPeriod != 45*sim.Minute || tm.DetectionDelay != 2*sim.Second {
+		t.Fatalf("timers wrong: %+v", tm)
+	}
+	if tm.CLCPeriods[0] != 20*sim.Minute || tm.CLCPeriods[1] != sim.Forever || tm.CLCPeriods[2] != 30*sim.Minute {
+		t.Fatalf("clc periods wrong: %v", tm.CLCPeriods)
+	}
+}

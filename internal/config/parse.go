@@ -14,6 +14,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -180,7 +181,7 @@ func ParseBandwidth(v string) (float64, error) {
 		lower = strings.TrimSuffix(lower, "bps")
 	}
 	x, err := strconv.ParseFloat(strings.TrimSpace(lower), 64)
-	if err != nil || x <= 0 {
+	if err != nil || !(x > 0) || math.IsInf(x*mult, 0) {
 		return 0, fmt.Errorf("config: bad bandwidth %q", v)
 	}
 	return x * mult, nil
@@ -201,10 +202,16 @@ func ParseSize(v string) (int, error) {
 		lower = strings.TrimSuffix(lower, "b")
 	}
 	x, err := strconv.ParseFloat(strings.TrimSpace(lower), 64)
-	if err != nil || x < 0 {
+	if err != nil || !(x >= 0) {
 		return 0, fmt.Errorf("config: bad size %q", v)
 	}
-	return int(x * float64(mult)), nil
+	bytes := x * float64(mult)
+	// Reject sizes an int cannot hold: the float conversion would
+	// otherwise wrap to a huge negative count.
+	if bytes >= float64(math.MaxInt64) {
+		return 0, fmt.Errorf("config: size %q too large", v)
+	}
+	return int(bytes), nil
 }
 
 // Floats parses a whitespace-separated float list.

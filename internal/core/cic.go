@@ -40,6 +40,13 @@ func (n *Node) doSend(dst topology.NodeID, p AppPayload) {
 		SendSN:     n.sn,
 	}
 	if dst.Cluster != n.cluster {
+		// Target the receiver cluster's newest known epoch, like
+		// resends do: if the receiver's own rollback command is still
+		// in flight, a plain send could be delivered (and acked) into
+		// the doomed state and then erased by the restore, with no
+		// later alert to trigger a resend. The receiver defers such
+		// messages until its epoch catches up.
+		m.DstEpoch = n.knownEpoch[dst.Cluster]
 		// Inter-cluster: piggyback the dependency information and log
 		// the message optimistically in volatile memory (§3.3),
 		// mirroring the entry to the stable-storage neighbour so a

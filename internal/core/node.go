@@ -224,6 +224,14 @@ type Node struct {
 	rbAcks        map[int]bool
 	deferredAlert []RollbackAlert
 	recoverWait   *recoverPending // restarted node waiting for its replica
+	// cascadeMemo records, per alerting cluster, the last alert SN this
+	// leader acted on and the checkpoint it restored. It is the live
+	// counterpart of SimulateFailure's index monotonicity: a repeated
+	// alert whose target is the checkpoint the cluster already sits on
+	// is suppressed, which is what terminates mutual alert cascades
+	// (the restored forced CLC's recorded DDV still names the
+	// dependency, so the §3.4 test alone would fire forever).
+	cascadeMemo map[topology.ClusterID]cascadeRecord
 
 	// ---- garbage collection (initiator side) ----
 	gcRound       uint64
@@ -257,19 +265,20 @@ type AppPayloadTo struct {
 func NewNode(cfg Config, env Env, app AppHooks) *Node {
 	cfg.validate()
 	n := &Node{
-		cfg:        cfg,
-		env:        env,
-		app:        app,
-		id:         cfg.ID,
-		cluster:    cfg.ID.Cluster,
-		size:       cfg.ClusterSizes[cfg.ID.Cluster],
-		sn:         1,
-		ddv:        NewDDV(cfg.Clusters),
-		knownEpoch: make([]Epoch, cfg.Clusters),
-		alertEpoch: make([]Epoch, cfg.Clusters),
-		alertSN:    make([]SN, cfg.Clusters),
-		replicas:   make(map[replicaKey]Replica),
-		mirrorLogs: make(map[topology.NodeID][]LogMirror),
+		cfg:         cfg,
+		env:         env,
+		app:         app,
+		id:          cfg.ID,
+		cluster:     cfg.ID.Cluster,
+		size:        cfg.ClusterSizes[cfg.ID.Cluster],
+		sn:          1,
+		ddv:         NewDDV(cfg.Clusters),
+		knownEpoch:  make([]Epoch, cfg.Clusters),
+		alertEpoch:  make([]Epoch, cfg.Clusters),
+		alertSN:     make([]SN, cfg.Clusters),
+		replicas:    make(map[replicaKey]Replica),
+		mirrorLogs:  make(map[topology.NodeID][]LogMirror),
+		cascadeMemo: make(map[topology.ClusterID]cascadeRecord),
 	}
 	n.ddv[n.cluster] = 1
 	state, size := app.Snapshot()
@@ -443,6 +452,7 @@ func (n *Node) Restart() {
 	n.rbActive = false
 	n.deferredAlert = nil
 	n.recoverWait = nil
+	n.cascadeMemo = make(map[topology.ClusterID]cascadeRecord)
 	n.env.Trace(sim.TraceInfo, "RESTARTED (volatile memory lost)")
 }
 

@@ -60,7 +60,7 @@ func (a *mockApp) Deliver(from topology.NodeID, p AppPayload) {
 
 // testbed wires Nodes through a synchronous FIFO network.
 type testbed struct {
-	t     *testing.T
+	t     testing.TB
 	nodes map[topology.NodeID]*Node
 	apps  map[topology.NodeID]*mockApp
 	envs  map[topology.NodeID]*mockEnv
@@ -71,7 +71,7 @@ type testbed struct {
 
 // newTestbed builds clusters with sizes[i] nodes each, replicas state
 // copies, and the given per-cluster CLC periods.
-func newTestbed(t *testing.T, sizes []int, replicas int, transitive bool) *testbed {
+func newTestbed(t testing.TB, sizes []int, replicas int, transitive bool) *testbed {
 	bed := &testbed{
 		t:     t,
 		nodes: make(map[topology.NodeID]*Node),

@@ -20,6 +20,13 @@ type recoverPending struct {
 	coordinator topology.NodeID
 }
 
+// cascadeRecord remembers one acted-on rollback alert (see
+// Node.cascadeMemo).
+type cascadeRecord struct {
+	alertSN  SN
+	targetSN SN
+}
+
 // startClusterRollback begins a rollback of this node's cluster to its
 // last committed CLC, with this node as coordinator (it is the node the
 // failure detector notified). A detection arriving while a rollback is
@@ -493,25 +500,40 @@ func (n *Node) decideRollbackFromAlert(m RollbackAlert) {
 	if !NeedsRollback(n.ddv, m.Cluster, m.NewSN) {
 		return
 	}
+	var idx int
 	if n.cfg.Mode == ModeIndependent {
 		// No forced checkpoints exist: fall back behind the dependency
 		// (domino effect; the initial CLC always qualifies).
-		idx := NewestBelow(n.StoredMetas(), m.Cluster, m.NewSN)
+		idx = NewestBelow(n.StoredMetas(), m.Cluster, m.NewSN)
 		if idx < 0 {
 			idx = 0
 		}
-		n.env.Stat("rollback.cascaded", 1)
-		n.initiateRollback(n.clcs[idx].meta.SN)
+	} else {
+		idx = OldestWith(n.StoredMetas(), m.Cluster, m.NewSN)
+		if idx == -1 {
+			// The garbage collector's safety rule makes this unreachable;
+			// fall back to the initial checkpoint, which depends on nothing.
+			n.env.Stat("invariant.rollback_target_missing", 1)
+			n.env.Trace(sim.TraceInfo, "NO rollback target for alert c%d sn=%d; using oldest", m.Cluster, m.NewSN)
+			idx = 0
+		}
+	}
+	target := n.clcs[idx].meta.SN
+	// Live counterpart of SimulateFailure's "only roll back further"
+	// rule: the restored forced CLC's recorded DDV still names the
+	// dependency that triggered the rollback (its *state* does not —
+	// the dangerous delivery happened after its commit), so the §3.4
+	// test keeps firing on repeats of the same alert. If we already
+	// rolled back to this very checkpoint for this alert SN and have
+	// not committed since, there is nothing left to undo; acting again
+	// would bump our epoch, re-alert every cluster and feed a mutual
+	// cascade that never terminates.
+	if memo, ok := n.cascadeMemo[m.Cluster]; ok &&
+		memo.alertSN == m.NewSN && memo.targetSN == target && n.sn == target {
+		n.env.Stat("rollback.cascade_suppressed", 1)
 		return
 	}
-	idx := OldestWith(n.StoredMetas(), m.Cluster, m.NewSN)
-	if idx == -1 {
-		// The garbage collector's safety rule makes this unreachable;
-		// fall back to the initial checkpoint, which depends on nothing.
-		n.env.Stat("invariant.rollback_target_missing", 1)
-		n.env.Trace(sim.TraceInfo, "NO rollback target for alert c%d sn=%d; using oldest", m.Cluster, m.NewSN)
-		idx = 0
-	}
+	n.cascadeMemo[m.Cluster] = cascadeRecord{alertSN: m.NewSN, targetSN: target}
 	n.env.Stat("rollback.cascaded", 1)
-	n.initiateRollback(n.clcs[idx].meta.SN)
+	n.initiateRollback(target)
 }

@@ -103,7 +103,7 @@ func runA1(cfg Config) (*Table, error) {
 		Title:   "Forced CLCs and rollback depth with/without transitive DDVs",
 		Headers: []string{"variant", "forced_total", "rollback_depth", "alerts"},
 	}
-	for _, transitive := range []bool{false, true} {
+	err := sweep(cfg, t, []bool{false, true}, func(transitive bool) ([]Row, error) {
 		fed := topology.Small(3, nodes)
 		// A triangle: c0 -> c1 -> c2 plus a direct c0 -> c2 flow whose
 		// forces the transitive variant can avoid.
@@ -120,7 +120,7 @@ func runA1(cfg Config) (*Table, error) {
 				{At: sim.Time(total / 2), Node: topology.NodeID{Cluster: 1, Index: 0}},
 			},
 		}
-		res, err := runFed(opts)
+		res, err := cfg.runFed(opts)
 		if err != nil {
 			return nil, err
 		}
@@ -135,7 +135,10 @@ func runA1(cfg Config) (*Table, error) {
 		if transitive {
 			name = "transitive (DDV piggyback)"
 		}
-		t.AddRow(name, forced, rolled, res.Stats.CounterValue("rollback.alerts_sent"))
+		return []Row{{name, forced, rolled, res.Stats.CounterValue("rollback.alerts_sent")}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"shape: the transitive variant avoids forces on direct edges whose",
@@ -150,35 +153,38 @@ func runA2(cfg Config) (*Table, error) {
 		Title:   "HC3I vs force-on-every-message",
 		Headers: []string{"variant", "forced_total", "total_clcs", "proto_mbytes"},
 	}
-	for _, mode := range []core.ProtocolMode{core.ModeHC3I, core.ModeForceAll} {
-		mode := mode
-		fed := topology.Small(2, nodes)
-		wl := app.PaperTable1()
-		wl.TotalTime = total
-		wl.StateSize = 256 << 10
-		opts := federation.Options{
-			Topology:   fed,
-			Workload:   wl,
-			CLCPeriods: []sim.Duration{30 * sim.Minute, 30 * sim.Minute},
-			Seed:       cfg.Seed,
-		}
-		if mode != core.ModeHC3I {
-			opts.NodeFactory = func(c core.Config, e core.Env, h core.AppHooks) federation.ProtocolNode {
-				c.Mode = mode
-				return core.NewNode(c, e, h)
+	err := sweep(cfg, t, []core.ProtocolMode{core.ModeHC3I, core.ModeForceAll},
+		func(mode core.ProtocolMode) ([]Row, error) {
+			fed := topology.Small(2, nodes)
+			wl := app.PaperTable1()
+			wl.TotalTime = total
+			wl.StateSize = 256 << 10
+			opts := federation.Options{
+				Topology:   fed,
+				Workload:   wl,
+				CLCPeriods: []sim.Duration{30 * sim.Minute, 30 * sim.Minute},
+				Seed:       cfg.Seed,
 			}
-		}
-		res, err := runFed(opts)
-		if err != nil {
-			return nil, err
-		}
-		var forced, totalCLCs uint64
-		for _, c := range res.Clusters {
-			forced += c.Forced
-			totalCLCs += c.Total()
-		}
-		t.AddRow(mode.String(), forced, totalCLCs,
-			float64(res.Stats.CounterValue("net.bytes.proto"))/1e6)
+			if mode != core.ModeHC3I {
+				opts.NodeFactory = func(c core.Config, e core.Env, h core.AppHooks) federation.ProtocolNode {
+					c.Mode = mode
+					return core.NewNode(c, e, h)
+				}
+			}
+			res, err := cfg.runFed(opts)
+			if err != nil {
+				return nil, err
+			}
+			var forced, totalCLCs uint64
+			for _, c := range res.Clusters {
+				forced += c.Forced
+				totalCLCs += c.Total()
+			}
+			return []Row{{mode.String(), forced, totalCLCs,
+				float64(res.Stats.CounterValue("net.bytes.proto")) / 1e6}}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"shape: force-all takes a CLC per inter-cluster message — 'the",
@@ -193,7 +199,7 @@ func runA3(cfg Config) (*Table, error) {
 		Title:   "Replication degree in stable storage",
 		Headers: []string{"replicas", "proto_mbytes", "replica_copies", "survives_2_faults"},
 	}
-	for _, repl := range []int{1, 2, 3} {
+	err := sweep(cfg, t, []int{1, 2, 3}, func(repl int) ([]Row, error) {
 		fed := topology.Small(2, nodes)
 		wl := app.Uniform(2, 300, 10, total)
 		wl.StateSize = 256 << 10
@@ -204,15 +210,17 @@ func runA3(cfg Config) (*Table, error) {
 			Replicas:   repl,
 			Seed:       cfg.Seed,
 		}
-		res, err := runFed(opts)
+		res, err := cfg.runFed(opts)
 		if err != nil {
 			return nil, err
 		}
-		var copies uint64
-		copies = res.Stats.CounterValue("net.sent.proto") // includes replicas
-		t.AddRow(repl,
-			float64(res.Stats.CounterValue("net.bytes.proto"))/1e6,
-			copies, repl >= 2)
+		copies := res.Stats.CounterValue("net.sent.proto") // includes replicas
+		return []Row{{repl,
+			float64(res.Stats.CounterValue("net.bytes.proto")) / 1e6,
+			copies, repl >= 2}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"shape: protocol bytes scale with the replication degree; degree k",
@@ -249,7 +257,7 @@ func runA4(cfg Config) (*Table, error) {
 			return baseline.NewPessimisticLog(c, e, h)
 		}, "only the failed node, but needs PWD"},
 	}
-	for _, v := range variants {
+	err := sweep(cfg, t, variants, func(v variant) ([]Row, error) {
 		fed := topology.Small(2, nodes)
 		wl := app.Uniform(2, 300, 30, total)
 		wl.StateSize = 256 << 10
@@ -263,7 +271,7 @@ func runA4(cfg Config) (*Table, error) {
 				{At: sim.Time(total * 3 / 4), Node: topology.NodeID{Cluster: 0, Index: 1}},
 			},
 		}
-		res, err := runFed(opts)
+		res, err := cfg.runFed(opts)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", v.name, err)
 		}
@@ -276,8 +284,11 @@ func runA4(cfg Config) (*Table, error) {
 		}
 		lost := res.Stats.Summary("app.lost_work_seconds")
 		lostHours := lost.Mean() * float64(lost.N()) / 3600
-		t.AddRow(v.name, rolled, fmt.Sprintf("%.2f", lostHours), forced,
-			float64(res.Stats.CounterValue("net.bytes.proto"))/1e6, v.note)
+		return []Row{{v.name, rolled, fmt.Sprintf("%.2f", lostHours), forced,
+			float64(res.Stats.CounterValue("net.bytes.proto")) / 1e6, v.note}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"shape: HC3I's forced checkpoints sit just before each dependency, so",
@@ -294,7 +305,7 @@ func runA5(cfg Config) (*Table, error) {
 		Title:   "Garbage collector topology",
 		Headers: []string{"collector", "rounds_completed", "gc_messages", "clcs_removed"},
 	}
-	for _, ring := range []bool{false, true} {
+	err := sweep(cfg, t, []bool{false, true}, func(ring bool) ([]Row, error) {
 		// Four clusters: at N=3 the star (3(N-1)=6) and the ring
 		// (2N=6) happen to cost the same; N=4 separates them (9 vs 8).
 		fed := topology.Small(4, nodes)
@@ -310,7 +321,7 @@ func runA5(cfg Config) (*Table, error) {
 			RingGC:   ring,
 			Seed:     cfg.Seed,
 		}
-		res, err := runFed(opts)
+		res, err := cfg.runFed(opts)
 		if err != nil {
 			return nil, err
 		}
@@ -318,10 +329,13 @@ func runA5(cfg Config) (*Table, error) {
 		if ring {
 			name = "ring (paper §7)"
 		}
-		t.AddRow(name,
+		return []Row{{name,
 			res.Stats.CounterValue("gc.rounds_completed"),
 			res.Stats.CounterValue("gc.messages"),
-			res.Stats.CounterValue("gc.clcs_removed"))
+			res.Stats.CounterValue("gc.clcs_removed")}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"shape: both collectors reclaim the same checkpoints; the ring",
@@ -342,32 +356,40 @@ func runA7(cfg Config) (*Table, error) {
 		sizes = []int{1 << 20, 8 << 20}
 		nodeCounts = []int{4, 12}
 	}
+	type point struct{ stateSize, nodes int }
+	var points []point
 	for _, stateSize := range sizes {
 		for _, nodes := range nodeCounts {
-			fed := topology.Small(2, nodes)
-			wl := app.Uniform(2, 200, 5, total)
-			wl.StateSize = stateSize
-			opts := federation.Options{
-				Topology:   fed,
-				Workload:   wl,
-				CLCPeriods: []sim.Duration{15 * sim.Minute, 15 * sim.Minute},
-				Seed:       cfg.Seed,
-			}
-			res, err := runFed(opts)
-			if err != nil {
-				return nil, err
-			}
-			s := res.Stats.Series("clc.freeze_seconds.c0")
-			var mean float64
-			for _, v := range s.Values {
-				mean += v
-			}
-			if s.Len() > 0 {
-				mean /= float64(s.Len())
-			}
-			t.AddRow(fmt.Sprintf("%dMB", stateSize>>20), nodes,
-				fmt.Sprintf("%.3f", mean), res.Clusters[0].Total())
+			points = append(points, point{stateSize, nodes})
 		}
+	}
+	err := sweep(cfg, t, points, func(p point) ([]Row, error) {
+		fed := topology.Small(2, p.nodes)
+		wl := app.Uniform(2, 200, 5, total)
+		wl.StateSize = p.stateSize
+		opts := federation.Options{
+			Topology:   fed,
+			Workload:   wl,
+			CLCPeriods: []sim.Duration{15 * sim.Minute, 15 * sim.Minute},
+			Seed:       cfg.Seed,
+		}
+		res, err := cfg.runFed(opts)
+		if err != nil {
+			return nil, err
+		}
+		s := res.Stats.Series("clc.freeze_seconds.c0")
+		var mean float64
+		for _, v := range s.Values {
+			mean += v
+		}
+		if s.Len() > 0 {
+			mean /= float64(s.Len())
+		}
+		return []Row{{fmt.Sprintf("%dMB", p.stateSize>>20), p.nodes,
+			fmt.Sprintf("%.3f", mean), res.Clusters[0].Total()}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"shape: the freeze window tracks the state-transfer time (size/SAN",
@@ -396,7 +418,11 @@ func runA8(cfg Config) (*Table, error) {
 		{"disabled (first-contact forces only)", sim.Forever, 1},
 		{"30 minutes", 30 * sim.Minute, 1},
 	}
-	for _, v := range variants {
+	err := sweep(cfg, t, variants, func(v struct {
+		label    string
+		period   sim.Duration
+		replicas int
+	}) ([]Row, error) {
 		fed := topology.Small(2, nodes)
 		wl := app.PaperTable1()
 		wl.TotalTime = total
@@ -408,20 +434,22 @@ func runA8(cfg Config) (*Table, error) {
 			Replicas:   v.replicas,
 			Seed:       cfg.Seed,
 		}
-		label := v.label
-		res, err := runFed(opts)
+		res, err := cfg.runFed(opts)
 		if err != nil {
 			return nil, err
 		}
 		protoBytes := res.Stats.CounterValue("net.bytes.proto")
 		appBytes := res.Stats.CounterValue("net.bytes.app")
 		overhead := 100 * float64(protoBytes) / float64(appBytes)
-		t.AddRow(label,
+		return []Row{{v.label,
 			res.Stats.CounterValue("net.sent.proto"),
-			float64(protoBytes)/1e3,
-			float64(appBytes)/1e6,
+			float64(protoBytes) / 1e3,
+			float64(appBytes) / 1e6,
 			fmt.Sprintf("%.2f", overhead),
-			res.MaxLoggedMessages)
+			res.MaxLoggedMessages}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"shape: with timers disabled the protocol sends only inter-cluster",
@@ -449,7 +477,11 @@ func runA9(cfg Config) (*Table, error) {
 		{"periodic (total/4)", total / 4, 0},
 		{"saturation (8 states)", sim.Forever, 8 * stateSize},
 	}
-	for _, p := range policies {
+	err := sweep(cfg, t, policies, func(p struct {
+		label     string
+		period    sim.Duration
+		threshold uint64
+	}) ([]Row, error) {
 		fed := topology.Small(2, nodes)
 		wl := app.Uniform(2, 300, 25, total)
 		wl.StateSize = stateSize
@@ -461,7 +493,7 @@ func runA9(cfg Config) (*Table, error) {
 			GCMemoryThreshold: p.threshold,
 			Seed:              cfg.Seed,
 		}
-		res, err := runFed(opts)
+		res, err := cfg.runFed(opts)
 		if err != nil {
 			return nil, err
 		}
@@ -473,11 +505,14 @@ func runA9(cfg Config) (*Table, error) {
 			}
 			final = v
 		}
-		t.AddRow(p.label,
+		return []Row{{p.label,
 			fmt.Sprintf("%.1f", high/1e6),
 			fmt.Sprintf("%.1f", final/1e6),
 			res.Stats.CounterValue("gc.rounds_completed"),
-			res.Stats.CounterValue("gc.demand_rounds"))
+			res.Stats.CounterValue("gc.demand_rounds")}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"shape: without collection memory grows linearly with committed CLCs",
@@ -508,7 +543,7 @@ func runA6(cfg Config) (*Table, error) {
 		// degree 2 so both states survive on other holders (§7).
 		{"same cluster", sim.Second, 2, topology.NodeID{Cluster: 0, Index: 2}},
 	}
-	for _, sc := range scenarios {
+	err := sweep(cfg, t, scenarios, func(sc scenario) ([]Row, error) {
 		fed := topology.Small(3, nodes)
 		wl := app.Uniform(3, 300, 15, total)
 		wl.StateSize = 256 << 10
@@ -524,7 +559,7 @@ func runA6(cfg Config) (*Table, error) {
 				{At: at.Add(sc.gap), Node: sc.second},
 			},
 		}
-		res, err := runFed(opts)
+		res, err := cfg.runFed(opts)
 		if err != nil {
 			return nil, fmt.Errorf("%s gap %v: %w", sc.name, sc.gap, err)
 		}
@@ -532,7 +567,10 @@ func runA6(cfg Config) (*Table, error) {
 		for _, c := range res.Clusters {
 			rollbacks += c.Rollbacks
 		}
-		t.AddRow(sc.name, sc.gap.String(), sc.replicas, res.Failures, rollbacks, true)
+		return []Row{{sc.name, sc.gap.String(), sc.replicas, res.Failures, rollbacks, true}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"shape: concurrent faults in different clusters recover through the",

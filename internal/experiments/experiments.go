@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/federation"
 )
 
 // Config scales an experiment run.
@@ -22,6 +24,35 @@ type Config struct {
 	// registry finishes in seconds (tests, smoke runs). Full mode uses
 	// the paper's parameters: 100-node clusters and 10-hour runs.
 	Quick bool
+	// Workers bounds how many of the experiment's sweep points run
+	// concurrently. Each point is an isolated federation simulation, so
+	// fan-out never changes results: rows are collected in point order
+	// and every point derives the same seeds as a sequential run.
+	// <= 1 runs sequentially.
+	Workers int
+	// sem, when non-nil, is the shared federation-run semaphore of a
+	// registry-level parallel run (see RunnerConfig): every federation
+	// execution acquires one token, so "Workers" bounds the number of
+	// concurrently simulated federations globally, not per level.
+	sem chan struct{}
+}
+
+func (c Config) workers() int {
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
+}
+
+// runFed executes one federation under the configuration's concurrency
+// budget: with a shared semaphore every simulation holds one token for
+// its duration, whatever level of the runner launched it.
+func (c Config) runFed(opts federation.Options) (*federation.Result, error) {
+	if c.sem != nil {
+		c.sem <- struct{}{}
+		defer func() { <-c.sem }()
+	}
+	return runFed(opts)
 }
 
 // Table is a rendered experiment result.

@@ -1,0 +1,451 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/app"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/federation"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// The scenario matrix goes beyond the paper's handful of fixed tables:
+// it cross-products topologies, workloads, failure patterns and network
+// profiles into dozens of scenarios and runs each one under HC3I and
+// all three baseline protocols, reporting forced/unforced CLCs,
+// rollbacks and the volatile-log high-water mark. It is the seam every
+// scaling PR (sharding, trace-driven workloads, multi-backend) plugs
+// new dimensions into.
+
+// Scenario names one cell of the matrix by its four dimension values.
+type Scenario struct {
+	Topology string // "2c", "4c", "8c", "asym"
+	Workload string // "uniform", "bursty", "hotspot", "coupling"
+	Failure  string // "none", "crash", "corr", "churn"
+	Network  string // "lan", "wan", "jitter"
+}
+
+// Name renders the scenario as "topology/workload/failure/network".
+func (s Scenario) Name() string {
+	return strings.Join([]string{s.Topology, s.Workload, s.Failure, s.Network}, "/")
+}
+
+// ParseScenario is the inverse of Name. It validates every dimension
+// value, so Name/ParseScenario round-trip exactly over the matrix.
+func ParseScenario(name string) (Scenario, error) {
+	parts := strings.Split(name, "/")
+	if len(parts) != 4 {
+		return Scenario{}, fmt.Errorf("experiments: scenario %q: want topology/workload/failure/network", name)
+	}
+	s := Scenario{Topology: parts[0], Workload: parts[1], Failure: parts[2], Network: parts[3]}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// Validate checks each dimension value against the matrix axes.
+func (s Scenario) Validate() error {
+	for _, d := range []struct {
+		dim, val string
+		all      []string
+	}{
+		{"topology", s.Topology, MatrixTopologies},
+		{"workload", s.Workload, MatrixWorkloads},
+		{"failure", s.Failure, MatrixFailures},
+		{"network", s.Network, MatrixNetworks},
+	} {
+		found := false
+		for _, v := range d.all {
+			if v == d.val {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("experiments: unknown %s %q (have %v)", d.dim, d.val, d.all)
+		}
+	}
+	return nil
+}
+
+// The matrix axes. Every combination is a valid scenario.
+var (
+	MatrixTopologies = []string{"2c", "4c", "8c", "asym"}
+	MatrixWorkloads  = []string{"uniform", "bursty", "hotspot", "coupling"}
+	MatrixFailures   = []string{"none", "crash", "corr", "churn"}
+	MatrixNetworks   = []string{"lan", "wan", "jitter"}
+)
+
+// MatrixProtocols lists the protocols every scenario runs under:
+// HC3I plus the three baseline protocols.
+var MatrixProtocols = []string{"hc3i", "global-coordinated", "hier-coordinated", "pessimistic-log"}
+
+// Matrix returns the full cross product of the axes, in axis order.
+func Matrix() []Scenario {
+	var out []Scenario
+	for _, topo := range MatrixTopologies {
+		for _, wl := range MatrixWorkloads {
+			for _, fl := range MatrixFailures {
+				for _, net := range MatrixNetworks {
+					out = append(out, Scenario{Topology: topo, Workload: wl, Failure: fl, Network: net})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MatrixScenarios returns the scenarios selected by a filter: a
+// comma-separated list of dim=value constraints ("topology=2c,
+// failure=churn"), where dim is topology, workload, failure or network.
+// An empty filter selects the whole matrix.
+func MatrixScenarios(filter string) ([]Scenario, error) {
+	want := map[string]string{}
+	if strings.TrimSpace(filter) != "" {
+		for _, part := range strings.Split(filter, ",") {
+			kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+			if len(kv) != 2 {
+				return nil, fmt.Errorf("experiments: matrix filter %q: want dim=value", part)
+			}
+			dim := strings.ToLower(strings.TrimSpace(kv[0]))
+			switch dim {
+			case "topology", "workload", "failure", "network":
+				if _, dup := want[dim]; dup {
+					return nil, fmt.Errorf("experiments: matrix filter names %s twice", dim)
+				}
+				want[dim] = strings.TrimSpace(kv[1])
+			default:
+				return nil, fmt.Errorf("experiments: matrix filter: unknown dimension %q", kv[0])
+			}
+		}
+	}
+	// Reject unknown axis values up front, so a typo like topology=3c
+	// reports the axis and its values instead of "selects no scenarios".
+	for dim, val := range want {
+		probe := Scenario{Topology: MatrixTopologies[0], Workload: MatrixWorkloads[0],
+			Failure: MatrixFailures[0], Network: MatrixNetworks[0]}
+		switch dim {
+		case "topology":
+			probe.Topology = val
+		case "workload":
+			probe.Workload = val
+		case "failure":
+			probe.Failure = val
+		case "network":
+			probe.Network = val
+		}
+		if err := probe.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	var out []Scenario
+	for _, s := range Matrix() {
+		if v, ok := want["topology"]; ok && v != s.Topology {
+			continue
+		}
+		if v, ok := want["workload"]; ok && v != s.Workload {
+			continue
+		}
+		if v, ok := want["failure"]; ok && v != s.Failure {
+			continue
+		}
+		if v, ok := want["network"]; ok && v != s.Network {
+			continue
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: matrix filter %q selects no scenarios", filter)
+	}
+	return out, nil
+}
+
+// matrixScale returns the per-cluster node counts for a topology and
+// the run duration. Quick mode keeps the full matrix in the tens of
+// seconds; full mode stresses the protocols at a heavier scale.
+func matrixScale(cfg Config, topo string) (sizes []int, total sim.Duration, err error) {
+	type dims struct{ quick, full []int }
+	shapes := map[string]dims{
+		"2c":   {quick: []int{4, 4}, full: []int{20, 20}},
+		"4c":   {quick: []int{4, 4, 4, 4}, full: []int{12, 12, 12, 12}},
+		"8c":   {quick: []int{3, 3, 3, 3, 3, 3, 3, 3}, full: []int{8, 8, 8, 8, 8, 8, 8, 8}},
+		"asym": {quick: []int{2, 4, 6}, full: []int{4, 8, 16}},
+	}
+	d, ok := shapes[topo]
+	if !ok {
+		return nil, 0, fmt.Errorf("experiments: unknown matrix topology %q", topo)
+	}
+	if cfg.Quick {
+		return d.quick, 90 * sim.Minute, nil
+	}
+	return d.full, 6 * sim.Hour, nil
+}
+
+// matrixTopology assembles the federation for a scenario: cluster
+// shapes from the topology dimension, inter-cluster links from the
+// network profile.
+func matrixTopology(sizes []int, network string) (*topology.Federation, error) {
+	clusters := make([]topology.Cluster, len(sizes))
+	for i, n := range sizes {
+		clusters[i] = topology.Cluster{
+			Name:  fmt.Sprintf("cluster%d", i),
+			Nodes: n,
+			Intra: topology.MyrinetLike(),
+		}
+	}
+	fed := topology.New(clusters...)
+	switch network {
+	case "lan":
+		fed.SetAllInterLinks(topology.EthernetLike())
+	case "wan":
+		fed.SetAllInterLinks(topology.WANLike())
+	case "jitter":
+		fed.SetAllInterLinks(topology.HighJitterWAN())
+	default:
+		return nil, fmt.Errorf("experiments: unknown matrix network %q", network)
+	}
+	return fed, nil
+}
+
+// matrixWorkload builds the workload for a scenario.
+func matrixWorkload(kind string, n int, total sim.Duration) (*app.Workload, error) {
+	const (
+		intra = 240.0 // aggregate intra-cluster messages per hour
+		inter = 24.0  // aggregate messages per hour per cluster pair
+	)
+	var wl *app.Workload
+	switch kind {
+	case "uniform":
+		wl = app.Uniform(n, intra, inter, total)
+	case "bursty":
+		wl = app.Uniform(n, intra, inter, total)
+		wl.Burst = &app.Burst{Period: 30 * sim.Minute, Duty: 0.25}
+	case "hotspot":
+		// Every cluster hammers cluster 0 (a shared service); the rest
+		// of the inter-cluster fabric stays almost idle.
+		rates := make([][]float64, n)
+		for i := range rates {
+			rates[i] = make([]float64, n)
+			rates[i][i] = intra
+			if i != 0 {
+				rates[i][0] = 2 * inter
+				rates[0][i] = inter / 4
+			}
+		}
+		wl = &app.Workload{
+			TotalTime:     total,
+			RatesPerHour:  rates,
+			MsgSize:       4096,
+			MeanCompute:   2 * sim.Second,
+			Deterministic: true,
+		}
+	case "coupling":
+		// The paper's Figure 1 pipeline: simulation -> treatment ->
+		// display, heavy inside each stage, a directed flow along it.
+		wl = app.Pipeline(n, intra, inter, total)
+	default:
+		return nil, fmt.Errorf("experiments: unknown matrix workload %q", kind)
+	}
+	wl.StateSize = 256 << 10
+	return wl, nil
+}
+
+// matrixFailures builds the crash schedule and the replication degree a
+// failure pattern needs.
+func matrixFailures(kind string, sizes []int, total sim.Duration) (crashes []federation.Crash, replicas int, err error) {
+	replicas = 1
+	switch kind {
+	case "none":
+	case "crash":
+		// One fail-stop crash mid-run.
+		crashes = []federation.Crash{
+			{At: sim.Time(total / 2), Node: topology.NodeID{Cluster: 0, Index: 1}},
+		}
+	case "corr":
+		// Correlated cluster failure: a shared-infrastructure event
+		// (power, backbone) takes one node down in two different
+		// clusters one second apart — the §7 simultaneous-faults case.
+		// Replication degree 2 keeps every state recoverable.
+		if len(sizes) < 2 {
+			return nil, 0, fmt.Errorf("experiments: correlated failure needs >= 2 clusters")
+		}
+		last := topology.ClusterID(len(sizes) - 1)
+		at := sim.Time(total / 2)
+		crashes = []federation.Crash{
+			{At: at, Node: topology.NodeID{Cluster: 0, Index: 1}},
+			{At: at.Add(sim.Second), Node: topology.NodeID{Cluster: last, Index: 1}},
+		}
+		replicas = 2
+	case "churn":
+		// Repeated single crashes spread through the run, round-robin
+		// over the clusters, well separated so each rollback completes.
+		const waves = 4
+		for k := 0; k < waves; k++ {
+			c := k % len(sizes)
+			crashes = append(crashes, federation.Crash{
+				At:   sim.Time(total * sim.Duration(k+1) / (waves + 2)),
+				Node: topology.NodeID{Cluster: topology.ClusterID(c), Index: 1},
+			})
+		}
+	default:
+		return nil, 0, fmt.Errorf("experiments: unknown matrix failure pattern %q", kind)
+	}
+	return crashes, replicas, nil
+}
+
+// matrixFactory maps a protocol name to its node factory (nil = HC3I).
+func matrixFactory(protocol string) (federation.NodeFactory, error) {
+	switch protocol {
+	case "hc3i":
+		return nil, nil
+	case "global-coordinated":
+		return func(c core.Config, e core.Env, h core.AppHooks) federation.ProtocolNode {
+			return baseline.NewGlobalCoordinated(c, e, h)
+		}, nil
+	case "hier-coordinated":
+		return func(c core.Config, e core.Env, h core.AppHooks) federation.ProtocolNode {
+			return baseline.NewHierCoord(c, e, h)
+		}, nil
+	case "pessimistic-log":
+		return func(c core.Config, e core.Env, h core.AppHooks) federation.ProtocolNode {
+			return baseline.NewPessimisticLog(c, e, h)
+		}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown matrix protocol %q", protocol)
+	}
+}
+
+// ScenarioOptions assembles the federation options for one scenario
+// under one protocol. Exported for tests that need run-level access
+// (e.g. asserting worker isolation of sim.Stats).
+func ScenarioOptions(cfg Config, sc Scenario, protocol string) (federation.Options, error) {
+	if err := sc.Validate(); err != nil {
+		return federation.Options{}, err
+	}
+	sizes, total, err := matrixScale(cfg, sc.Topology)
+	if err != nil {
+		return federation.Options{}, err
+	}
+	fed, err := matrixTopology(sizes, sc.Network)
+	if err != nil {
+		return federation.Options{}, err
+	}
+	wl, err := matrixWorkload(sc.Workload, len(sizes), total)
+	if err != nil {
+		return federation.Options{}, err
+	}
+	crashes, replicas, err := matrixFailures(sc.Failure, sizes, total)
+	if err != nil {
+		return federation.Options{}, err
+	}
+	factory, err := matrixFactory(protocol)
+	if err != nil {
+		return federation.Options{}, err
+	}
+	periods := make([]sim.Duration, len(sizes))
+	for i := range periods {
+		periods[i] = 20 * sim.Minute
+	}
+	return federation.Options{
+		Topology:    fed,
+		Workload:    wl,
+		CLCPeriods:  periods,
+		Replicas:    replicas,
+		Seed:        cfg.Seed,
+		Crashes:     crashes,
+		NodeFactory: factory,
+	}, nil
+}
+
+// RunScenario executes one scenario under one protocol and returns the
+// raw federation result.
+func RunScenario(cfg Config, sc Scenario, protocol string) (*federation.Result, error) {
+	opts, err := ScenarioOptions(cfg, sc, protocol)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cfg.runFed(opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s under %s: %w", sc.Name(), protocol, err)
+	}
+	return res, nil
+}
+
+// RunMatrix executes every scenario under every matrix protocol through
+// the worker pool and renders one table, rows in (scenario, protocol)
+// order. The unit of parallelism is one federation run, so -parallel N
+// keeps N runs in flight regardless of how the matrix is shaped.
+func RunMatrix(rc RunnerConfig, scenarios []Scenario) (*Table, error) {
+	if scenarios == nil {
+		scenarios = Matrix()
+	}
+	cfg := rc.config()
+	t := &Table{
+		ID:    "MX",
+		Title: fmt.Sprintf("Scenario matrix (%d scenarios x %d protocols)", len(scenarios), len(MatrixProtocols)),
+		Headers: []string{"scenario", "protocol", "forced", "unforced", "rollbacks",
+			"failures", "max_log", "events"},
+	}
+	type runKey struct{ sc, proto int }
+	runs := make([]runKey, 0, len(scenarios)*len(MatrixProtocols))
+	for i := range scenarios {
+		for p := range MatrixProtocols {
+			runs = append(runs, runKey{sc: i, proto: p})
+		}
+	}
+	rows := make([]Row, len(runs))
+	err := forEach(rc.workers(), len(runs), func(i int) error {
+		sc, proto := scenarios[runs[i].sc], MatrixProtocols[runs[i].proto]
+		res, err := RunScenario(cfg, sc, proto)
+		if err != nil {
+			return err
+		}
+		var forced, unforced, rollbacks uint64
+		for _, c := range res.Clusters {
+			forced += c.Forced
+			unforced += c.Unforced
+			rollbacks += c.Rollbacks
+		}
+		rows[i] = Row{sc.Name(), proto, forced, unforced, rollbacks,
+			res.Failures, res.MaxLoggedMessages, res.Events}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
+	}
+	t.Notes = append(t.Notes,
+		"shape: HC3I's forced CLCs track inter-cluster chatter; coordinated",
+		"baselines roll every cluster back on any failure; the message log",
+		"high-water mark bounds the volatile memory the protocol pins")
+	return t, nil
+}
+
+// MatrixAxes summarizes the axes for -list style output, one line per
+// dimension, values sorted.
+func MatrixAxes() string {
+	var b strings.Builder
+	dims := []struct {
+		name string
+		vals []string
+	}{
+		{"topology", MatrixTopologies},
+		{"workload", MatrixWorkloads},
+		{"failure", MatrixFailures},
+		{"network", MatrixNetworks},
+		{"protocol", MatrixProtocols},
+	}
+	for _, d := range dims {
+		vals := append([]string(nil), d.vals...)
+		sort.Strings(vals)
+		fmt.Fprintf(&b, "%-9s %s\n", d.name, strings.Join(vals, " "))
+	}
+	return b.String()
+}

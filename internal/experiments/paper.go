@@ -116,7 +116,7 @@ func init() {
 
 func runT1(cfg Config) (*Table, error) {
 	opts := paperOptions(cfg, 2)
-	res, err := runFed(opts)
+	res, err := cfg.runFed(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -161,15 +161,18 @@ func runF6F7(cfg Config, report int) (*Table, error) {
 		Title:   fmt.Sprintf("CLCs committed in cluster %d vs cluster 0 timer", report),
 		Headers: []string{"delay_c0_min", "unforced", "forced", "total"},
 	}
-	for _, mins := range f6Sweep(cfg) {
+	err := sweep(cfg, t, f6Sweep(cfg), func(mins int) ([]Row, error) {
 		opts := paperOptions(cfg, 2)
 		opts.CLCPeriods = []sim.Duration{sim.Duration(mins) * sim.Minute, sim.Forever}
-		res, err := runFed(opts)
+		res, err := cfg.runFed(opts)
 		if err != nil {
 			return nil, fmt.Errorf("%s at %d min: %w", id, mins, err)
 		}
 		c := res.Clusters[report]
-		t.AddRow(mins, c.Unforced, c.Forced, c.Total())
+		return []Row{{mins, c.Unforced, c.Forced, c.Total()}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if report == 0 {
 		t.Notes = append(t.Notes,
@@ -184,23 +187,26 @@ func runF6F7(cfg Config, report int) (*Table, error) {
 }
 
 func runF8(cfg Config) (*Table, error) {
-	sweep := []int{15, 20, 30, 45, 60}
+	points := []int{15, 20, 30, 45, 60}
 	if cfg.Quick {
-		sweep = []int{15, 30, 60}
+		points = []int{15, 30, 60}
 	}
 	t := &Table{
 		ID:      "F8",
 		Title:   "Impact of cluster 1's timer on both clusters",
 		Headers: []string{"delay_c1_min", "c0_total", "c1_total", "c1_forced"},
 	}
-	for _, mins := range sweep {
+	err := sweep(cfg, t, points, func(mins int) ([]Row, error) {
 		opts := paperOptions(cfg, 2)
 		opts.CLCPeriods = []sim.Duration{30 * sim.Minute, sim.Duration(mins) * sim.Minute}
-		res, err := runFed(opts)
+		res, err := cfg.runFed(opts)
 		if err != nil {
 			return nil, fmt.Errorf("F8 at %d min: %w", mins, err)
 		}
-		t.AddRow(mins, res.Clusters[0].Total(), res.Clusters[1].Total(), res.Clusters[1].Forced)
+		return []Row{{mins, res.Clusters[0].Total(), res.Clusters[1].Total(), res.Clusters[1].Forced}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"shape: cluster 0's total is insensitive to cluster 1's timer",
@@ -222,7 +228,7 @@ func runF9(cfg Config) (*Table, error) {
 		Title:   "Increasing communication from cluster 1 to cluster 0",
 		Headers: []string{"msgs_c1_to_c0", "c0_total", "c0_forced", "c1_total", "c1_forced"},
 	}
-	for _, reverse := range f9Sweep(cfg) {
+	err := sweep(cfg, t, f9Sweep(cfg), func(reverse int) ([]Row, error) {
 		opts := paperOptions(cfg, 2)
 		wl := app.PaperTable1WithReverse(float64(reverse))
 		_, hours := paperScale(cfg)
@@ -232,13 +238,16 @@ func runF9(cfg Config) (*Table, error) {
 		}
 		opts.Workload = wl
 		opts.CLCPeriods = []sim.Duration{30 * sim.Minute, 30 * sim.Minute}
-		res, err := runFed(opts)
+		res, err := cfg.runFed(opts)
 		if err != nil {
 			return nil, fmt.Errorf("F9 at %d msgs: %w", reverse, err)
 		}
-		t.AddRow(reverse,
+		return []Row{{reverse,
 			res.Clusters[0].Total(), res.Clusters[0].Forced,
-			res.Clusters[1].Total(), res.Clusters[1].Forced)
+			res.Clusters[1].Total(), res.Clusters[1].Forced}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"shape: forced CLCs (especially in cluster 0) grow fast with the",
@@ -259,7 +268,7 @@ func runT2(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		opts.GCPeriod = 45 * sim.Minute
 	}
-	res, err := runFed(opts)
+	res, err := cfg.runFed(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -272,7 +281,7 @@ func runT3(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		opts.GCPeriod = 45 * sim.Minute
 	}
-	res, err := runFed(opts)
+	res, err := cfg.runFed(opts)
 	if err != nil {
 		return nil, err
 	}

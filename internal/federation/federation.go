@@ -235,6 +235,11 @@ func New(opts Options) (*Fed, error) {
 	if opts.MTBFFailures {
 		f.inject.EnableMTBF()
 	}
+	// Deriving a stream advances the root RNG, so the "net" stream
+	// (per-message jitter on links with a Jitter bound) must be the
+	// last derivation: every pre-existing stream then draws exactly the
+	// seeds it always did, keeping historical runs byte-identical.
+	f.net.SetRNG(root.Stream("net"))
 	return f, nil
 }
 

@@ -185,10 +185,12 @@ func (f *Fed) collect() *Result {
 		}
 	}
 	res.GCRounds = f.gcRounds(n)
+	// Every protocol with a volatile message log reports its length;
+	// core.Node and all three baselines implement it.
 	for _, id := range f.opts.Topology.AllNodes() {
-		if hn, ok := f.nodes[id].(*core.Node); ok {
-			if hn.LogLen() > res.MaxLoggedMessages {
-				res.MaxLoggedMessages = hn.LogLen()
+		if ln, ok := f.nodes[id].(interface{ LogLen() int }); ok {
+			if l := ln.LogLen(); l > res.MaxLoggedMessages {
+				res.MaxLoggedMessages = l
 			}
 		}
 	}

@@ -66,8 +66,10 @@ type Network struct {
 	tracer   *sim.Tracer
 	handlers map[topology.NodeID]Handler
 	busy     map[linkKey]sim.Time
+	last     map[linkKey]sim.Time // latest scheduled arrival, for FIFO under jitter
 	down     map[topology.NodeID]bool
 	nextID   uint64
+	rng      *sim.RNG // jitter draws; nil disables jitter
 
 	// DropInterCluster, when non-nil, lets tests inject partitions: a
 	// true return drops the message silently. The HC3I paper assumes a
@@ -85,9 +87,16 @@ func New(e *sim.Engine, fed *topology.Federation, stats *sim.Stats, tracer *sim.
 		tracer:   tracer,
 		handlers: make(map[topology.NodeID]Handler),
 		busy:     make(map[linkKey]sim.Time),
+		last:     make(map[linkKey]sim.Time),
 		down:     make(map[topology.NodeID]bool),
 	}
 }
+
+// SetRNG installs the random stream used for per-message jitter on
+// links with a non-zero Jitter bound. Without it (or on jitter-free
+// links, the paper's configuration) no draws happen, so existing runs
+// are bit-for-bit unchanged.
+func (n *Network) SetRNG(rng *sim.RNG) { n.rng = rng }
 
 // Register installs the delivery handler for a node. Each node must
 // register exactly once before any traffic is sent to it.
@@ -147,6 +156,16 @@ func (n *Network) Send(src, dst topology.NodeID, kind Kind, size int, payload an
 	endSerial := start.Add(link.TransmitTime(m.Size))
 	n.busy[key] = endSerial
 	arrival := endSerial.Add(link.Latency)
+	if link.Jitter > 0 && n.rng != nil {
+		// Per-message propagation jitter; arrivals never overtake an
+		// earlier message on the same link (FIFO, like an in-order
+		// transport over a jittery path).
+		arrival = arrival.Add(n.rng.Uniform(0, link.Jitter))
+		if prev := n.last[key]; arrival < prev {
+			arrival = prev
+		}
+		n.last[key] = arrival
+	}
 
 	n.count("net.sent", m)
 	n.tracer.Allf(src.String(), "send #%d %s %dB -> %v (arrives %v)", m.ID, m.Kind, m.Size, dst, arrival)

@@ -22,9 +22,39 @@ func BenchmarkEngineScheduleAndRun(b *testing.B) {
 	}
 }
 
+// BenchmarkEnginePushPop measures one schedule+fire cycle — the pure
+// heap cost every simulation event pays — with allocation tracking.
+func BenchmarkEnginePushPop(b *testing.B) {
+	e := NewEngine()
+	fn := func(*Engine) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Microsecond, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEnginePushPopDeep measures push/pop against a standing queue
+// of 4096 pending events (heap depth 12), the registry's typical load.
+func BenchmarkEnginePushPopDeep(b *testing.B) {
+	e := NewEngine()
+	fn := func(*Engine) {}
+	for i := 0; i < 4096; i++ {
+		e.Schedule(Hour+Duration(i)*Second, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Microsecond, fn)
+		e.Step()
+	}
+}
+
 func BenchmarkEngineMixedQueue(b *testing.B) {
 	// A churning queue with cancellations: the protocol's timer-heavy
 	// access pattern.
+	b.ReportAllocs()
 	e := NewEngine()
 	refs := make([]EventRef, 0, 64)
 	count := 0

@@ -24,6 +24,14 @@ func WANLike() Link {
 	return Link{Latency: 20 * sim.Millisecond, Bandwidth: Mbps(10)}
 }
 
+// HighJitterWAN is an Internet-like link class for the scenario
+// matrix: WAN latency and bandwidth plus a large uniform jitter bound,
+// so inter-cluster delays vary per message (FIFO order is preserved by
+// the network model).
+func HighJitterWAN() Link {
+	return Link{Latency: 20 * sim.Millisecond, Bandwidth: Mbps(10), Jitter: 30 * sim.Millisecond}
+}
+
 // Paper2Clusters builds the evaluation topology of §5.2: two clusters of
 // 100 nodes with Myrinet-like SANs joined by an Ethernet-like link.
 func Paper2Clusters() *Federation {

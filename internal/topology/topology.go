@@ -24,10 +24,16 @@ type NodeID struct {
 func (n NodeID) String() string { return fmt.Sprintf("c%dn%d", n.Cluster, n.Index) }
 
 // Link models one network class by latency and bandwidth, exactly the
-// two parameters the paper's topology file specifies per link.
+// two parameters the paper's topology file specifies per link, plus an
+// optional jitter bound for the high-variance WAN profiles of the
+// scenario matrix.
 type Link struct {
 	Latency   sim.Duration
 	Bandwidth float64 // bits per simulated second
+	// Jitter is the maximum extra propagation delay added per message,
+	// drawn uniformly from [0, Jitter] by the network model. Zero (the
+	// paper's configuration) keeps delays deterministic per link.
+	Jitter sim.Duration
 }
 
 // TransmitTime returns serialization delay for a message of size bytes.
