@@ -1,0 +1,181 @@
+// Command benchguard gates allocation regressions: it parses `go test
+// -bench -benchmem` output, compares allocs/op against a recorded
+// snapshot (BENCH_baseline.json), and exits non-zero when any benchmark
+// regressed beyond the tolerance. It can also write a new snapshot in
+// the same schema, which PRs append (BENCH_pr<N>.json) rather than
+// overwrite, so the allocation trajectory of the repo stays visible.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem ./... | tee bench.out
+//	go run ./cmd/benchguard -baseline BENCH_baseline.json -input bench.out
+//	go run ./cmd/benchguard -input bench.out -write BENCH_pr2.json -note "..."
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one snapshot entry, matching the BENCH_*.json schema.
+type Benchmark struct {
+	Name         string  `json:"name"`
+	Iterations   int64   `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	EventsPerRun float64 `json:"events_per_run,omitempty"`
+	BPerOp       float64 `json:"B_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+}
+
+// Snapshot is the BENCH_*.json file layout.
+type Snapshot struct {
+	Recorded   string      `json:"recorded"`
+	Go         string      `json:"go"`
+	CPUs       int         `json:"cpus"`
+	Note       string      `json:"note,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// procSuffix strips the trailing -<GOMAXPROCS> go test appends to
+// benchmark names ("BenchmarkFoo-8" -> "BenchmarkFoo").
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts benchmark results from `go test -bench` output.
+func parseBench(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmark... [no tests to run]"
+		}
+		b := Benchmark{Name: procSuffix.ReplaceAllString(fields[0], ""), Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchguard: bad value %q in %q", fields[i], line)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			case "events/run":
+				b.EventsPerRun = v
+			}
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchguard: no benchmark lines found")
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "snapshot JSON to compare against (empty = no gate)")
+		inputPath    = flag.String("input", "-", "go test -bench output to parse (- = stdin)")
+		writePath    = flag.String("write", "", "write the parsed results as a new snapshot JSON")
+		note         = flag.String("note", "", "note recorded in the written snapshot")
+		maxRegress   = flag.Float64("max-regress", 0.20, "tolerated fractional allocs/op regression")
+		allocSlack   = flag.Float64("alloc-slack", 1.0, "absolute allocs/op slack on top of the fraction (absorbs one-off warmup allocations in short runs)")
+	)
+	flag.Parse()
+
+	in := os.Stdin
+	if *inputPath != "-" {
+		f, err := os.Open(*inputPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *writePath != "" {
+		snap := Snapshot{
+			Recorded:   time.Now().UTC().Format("2006-01-02"),
+			Go:         runtime.Version(),
+			CPUs:       runtime.NumCPU(),
+			Note:       *note,
+			Benchmarks: got,
+		}
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*writePath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchguard: wrote %s (%d benchmarks)\n", *writePath, len(got))
+	}
+
+	if *baselinePath == "" {
+		return
+	}
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base Snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(err)
+	}
+	baseline := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+
+	failed := 0
+	compared := 0
+	for _, b := range got {
+		ref, ok := baseline[b.Name]
+		if !ok {
+			fmt.Printf("benchguard: %-40s new benchmark, no baseline (ok)\n", b.Name)
+			continue
+		}
+		compared++
+		limit := ref.AllocsPerOp*(1+*maxRegress) + *allocSlack
+		verdict := "ok"
+		if b.AllocsPerOp > limit {
+			verdict = "REGRESSED"
+			failed++
+		}
+		fmt.Printf("benchguard: %-40s allocs/op %10.1f -> %10.1f (limit %.1f) %s\n",
+			b.Name, ref.AllocsPerOp, b.AllocsPerOp, limit, verdict)
+	}
+	if compared == 0 {
+		fatal(fmt.Errorf("benchguard: nothing compared against %s", *baselinePath))
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("benchguard: %d benchmark(s) regressed beyond %.0f%% allocs/op", failed, *maxRegress*100))
+	}
+	fmt.Printf("benchguard: %d benchmark(s) within budget\n", compared)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -63,6 +63,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hc3ibench: -filter only applies with -matrix")
 		os.Exit(1)
 	}
+	if *runID != "" && *matrix {
+		fmt.Fprintln(os.Stderr, "hc3ibench: -run selects registry experiments; it does not apply with -matrix (use -filter)")
+		os.Exit(1)
+	}
+	if *matrix {
+		if _, err := hc3i.MatrixScenarios(*filter); err != nil {
+			fmt.Fprintln(os.Stderr, "hc3ibench:", err)
+			os.Exit(1)
+		}
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

@@ -46,7 +46,37 @@
 // simulation, results are collected in input order, and the rendered
 // tables are byte-identical whatever the worker count.
 //
+// # Allocation discipline
+//
+// The simulation core is allocation-slim by construction:
+//
+//   - internal/sim's engine stores events in a slab ([]event) indexed
+//     by a typed binary heap of slot numbers. Slots are recycled
+//     through a free list and guarded by generation stamps, so an
+//     EventRef into a recycled slot is inert (Cancel/Pending degrade to
+//     no-ops on a generation mismatch); scheduling and firing allocate
+//     nothing (BenchmarkEnginePushPop: 0 allocs/op).
+//   - Engine.ScheduleCall(fn, arg) is the closure-free scheduling path:
+//     the dominant schedulers (netsim delivery, federation app sends)
+//     hoist fn to a bound-once function and pass per-event state
+//     through arg — a pooled pointer, so no closure per event.
+//   - netsim recycles its in-flight Message boxes through a free list
+//     and caches stat counter pointers per (event, kind, cluster pair),
+//     so the per-message path builds no key strings.
+//   - internal/core reuses DDV scratch buffers where a vector does not
+//     escape the current event (see Node.buildForceTarget and
+//     DDV.CopyFrom); every escape point (stored Metas, wire messages)
+//     still clones, with ownership noted at the call site.
+//   - federation.Arena pools per-run scratch (the event engine) across
+//     the sweep points of one runner invocation; Engine.Reset wipes the
+//     clock, queue and generation stamps, so pooled and fresh runs are
+//     byte-identical — pinned by the determinism goldens in
+//     internal/experiments/testdata/.
+//
 // The benchmarks in this package (bench_test.go) tie each paper
-// artifact to a `go test -bench` target; BENCH_baseline.json records
-// the measured baseline so future optimisations have a trajectory.
+// artifact to a `go test -bench` target. BENCH_baseline.json records
+// the measured seed baseline; later PRs append BENCH_pr<N>.json
+// snapshots (never overwriting earlier ones) so the allocation
+// trajectory stays visible, and cmd/benchguard gates CI on allocs/op
+// regressions beyond 20% of baseline.
 package repro

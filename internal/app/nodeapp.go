@@ -78,10 +78,27 @@ func NewNodeApp(id topology.NodeID, wl *Workload, fed *topology.Federation, rng 
 		wl:        wl,
 		fed:       fed,
 		rng:       rng,
-		delivered: make(map[core.LogicalID]int),
+		delivered: make(map[core.LogicalID]int, deliveredHint(id, wl, fed)),
 	}
 	a.initCursor(rng)
 	return a
+}
+
+// deliveredHint estimates this node's delivery count from the rate
+// matrix (everything addressed to its cluster, split across the
+// cluster's nodes), so the delivery map is sized once instead of
+// rehashing throughout the run.
+func deliveredHint(id topology.NodeID, wl *Workload, fed *topology.Federation) int {
+	var perHour float64
+	for i := range wl.RatesPerHour {
+		perHour += wl.RatesPerHour[i][id.Cluster]
+	}
+	expected := perHour * wl.TotalTime.Seconds() / 3600 / float64(fed.Clusters[id.Cluster].Nodes)
+	const maxHint = 1 << 16 // hint only: never pre-reserve absurd amounts
+	if expected > maxHint {
+		return maxHint
+	}
+	return int(expected)
 }
 
 func (a *NodeApp) initCursor(rng *sim.RNG) {

@@ -19,8 +19,6 @@
 package baseline
 
 import (
-	"fmt"
-
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -74,16 +72,24 @@ type common struct {
 
 	failed bool
 	epoch  core.Epoch
+
+	// Pre-rendered per-cluster stat keys (commit-path Stat calls must
+	// not build strings; see the same discipline in internal/core).
+	keyCommitted string
+	keyUnforced  string
 }
 
 func newCommon(cfg core.Config, env core.Env, app core.AppHooks) common {
-	return common{
+	c := common{
 		cfg:  cfg,
 		env:  env,
 		app:  app,
 		id:   cfg.ID,
 		size: cfg.ClusterSizes[cfg.ID.Cluster],
 	}
+	c.keyCommitted = statCluster("clc.committed", int(c.id.Cluster))
+	c.keyUnforced = c.keyCommitted + ".unforced"
+	return c
 }
 
 // Failed reports whether the node is crashed.
@@ -102,8 +108,4 @@ func (c *common) allNodes() []topology.NodeID {
 
 func (c *common) neighbour() topology.NodeID {
 	return topology.NodeID{Cluster: c.id.Cluster, Index: (c.id.Index + 1) % c.size}
-}
-
-func (c *common) statName(base string) string {
-	return fmt.Sprintf("%s.c%d", base, c.id.Cluster)
 }

@@ -31,6 +31,12 @@ type GlobalCoordinated struct {
 	sendLog   map[uint64]wire
 	nextMsgID uint64
 
+	// Per-cluster commit keys, rendered once (the initiator commits on
+	// behalf of every cluster, so common's own-cluster pair is not
+	// enough here).
+	keysCommitted []string
+	keysUnforced  []string
+
 	// initiator state
 	inFlight  bool
 	acks      map[topology.NodeID]bool
@@ -47,6 +53,10 @@ func NewGlobalCoordinated(cfg core.Config, env core.Env, app core.AppHooks) *Glo
 	g := &GlobalCoordinated{
 		common:  newCommon(cfg, env, app),
 		sendLog: make(map[uint64]wire),
+	}
+	for c := 0; c < cfg.Clusters; c++ {
+		g.keysCommitted = append(g.keysCommitted, statCluster("clc.committed", c))
+		g.keysUnforced = append(g.keysUnforced, statCluster("clc.committed", c)+".unforced")
 	}
 	state, size := app.Snapshot()
 	g.seq = 1
@@ -242,8 +252,8 @@ func (g *GlobalCoordinated) maybeCommit() {
 	g.env.Stat("gcoord.committed", 1)
 	g.env.Stat("gcoord.freeze_us_total", uint64(freeze/sim.Microsecond))
 	for c := 0; c < g.cfg.Clusters; c++ {
-		g.env.Stat(statCluster("clc.committed", c), 1)
-		g.env.Stat(statCluster("clc.committed", c)+".unforced", 1)
+		g.env.Stat(g.keysCommitted[c], 1)
+		g.env.Stat(g.keysUnforced[c], 1)
 	}
 	g.env.SetTimer(core.TimerCLC, g.cfg.CLCPeriod)
 }

@@ -160,8 +160,8 @@ func (h *HierCoord) maybeClusterCommit(seq core.SN) {
 		h.env.Send(topology.NodeID{Cluster: h.id.Cluster, Index: i}, com.size(), com)
 	}
 	h.applyCommit(seq)
-	h.env.Stat(h.statName("clc.committed"), 1)
-	h.env.Stat(h.statName("clc.committed")+".unforced", 1)
+	h.env.Stat(h.keyCommitted, 1)
+	h.env.Stat(h.keyUnforced, 1)
 	// Report line completion to the federation initiator.
 	if h.initiator() {
 		h.lineReports[0] = true

@@ -133,8 +133,8 @@ func (p *PessimisticLog) OnTimer(k core.TimerKind) {
 	// storage) and let it truncate our mirrored receive log.
 	m := wire{Kind: "snap", Seq: p.seq, From: p.id, State: state, Size: size}
 	p.env.Send(p.neighbour(), m.size(), m)
-	p.env.Stat(p.statName("clc.committed"), 1)
-	p.env.Stat(p.statName("clc.committed")+".unforced", 1)
+	p.env.Stat(p.keyCommitted, 1)
+	p.env.Stat(p.keyUnforced, 1)
 	p.env.SetTimer(core.TimerCLC, p.cfg.CLCPeriod)
 }
 

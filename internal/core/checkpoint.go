@@ -29,6 +29,8 @@ func (n *Node) onCLCTimer() {
 
 // requestForce routes a forced-CLC demand to the cluster leader. target
 // is the full DDV the cluster must reach (element-wise max semantics).
+// Callers may pass the node's scratch buffer (buildForceTarget):
+// sendForce copies it before anything escapes the current event.
 func (n *Node) requestForce(target DDV) {
 	n.sendForce(target, false)
 }
@@ -38,13 +40,27 @@ func (n *Node) requestForceAlways(target DDV) {
 	n.sendForce(target, true)
 }
 
+// buildForceTarget resets the node's force-target scratch buffer to the
+// current DDV and returns it. Ownership: the buffer belongs to the
+// current event only — it is overwritten by the next buildForceTarget
+// and must never be stored; sendForce clones it when the target leaves
+// the node over the network.
+func (n *Node) buildForceTarget() DDV {
+	n.forceScratch.CopyFrom(n.ddv)
+	return n.forceScratch
+}
+
 func (n *Node) sendForce(target DDV, always bool) {
 	n.env.Stat("cic.force_requested", 1)
 	if n.leader() {
+		// absorbForce only merges target into pendingForce, so the
+		// scratch buffer never escapes on the local path.
 		n.absorbForce(target, always)
 		return
 	}
-	msg := ForceCLC{Epoch: n.epoch, NewDDV: target, Always: always}
+	// The message outlives this event (it sits in the network until
+	// delivery): hand it an owned copy of the scratch target.
+	msg := ForceCLC{Epoch: n.epoch, NewDDV: target.Clone(), Always: always}
 	n.env.Send(n.leaderOf(n.cluster), controlSize(msg), msg)
 }
 
@@ -103,7 +119,7 @@ func (n *Node) startCLC(forced bool, update DDV) {
 	n.inFlightSince = n.env.Now()
 	n.ackedNodes = make(map[int]bool, n.size)
 	n.env.Trace(sim.TraceDebug, "CLC %d request (forced=%v update=%v)", seq, forced, update)
-	n.env.Stat(n.statName("clc.requested"), 1)
+	n.env.Stat(n.keys.clcRequested, 1)
 
 	req := CLCRequest{Seq: seq, Epoch: n.epoch, Forced: forced, DDVUpdate: update}
 	for i := 0; i < n.size; i++ {
@@ -256,14 +272,18 @@ func (n *Node) applyCommit(seq SN, ddv DDV, forced bool) {
 	if n.cfg.Mode == ModeIndependent {
 		// Lazy tracking: receipts that arrived after this node's ack
 		// are not in the commit DDV; keep them for the next merge.
-		merged := ddv.Clone()
-		merged.Merge(n.ddv)
-		merged[n.cluster] = seq
-		n.ddv = merged
+		// Merging in place yields the same element-wise maximum the
+		// seed computed into a fresh clone.
+		n.ddv.Merge(ddv)
+		n.ddv[n.cluster] = seq
 	} else {
-		n.ddv = ddv.Clone()
+		// n.ddv is this node's owned buffer (nothing aliases it: every
+		// escape point clones), so the commit DDV is copied in place.
+		n.ddv.CopyFrom(ddv)
 	}
 	rec := n.provisional
+	// The record outlives the commit message, which is shared across
+	// the cluster: the stored Meta needs its own copy.
 	rec.meta = Meta{SN: seq, DDV: ddv.Clone()}
 	n.clcs = append(n.clcs, rec)
 	n.provisional = nil
@@ -276,13 +296,13 @@ func (n *Node) applyCommit(seq SN, ddv DDV, forced bool) {
 		n.inFlight = false
 		// The 2PC window during which application traffic was frozen:
 		// dominated by the state replication to stable storage.
-		n.env.StatSeries(n.statName("clc.freeze_seconds"),
+		n.env.StatSeries(n.keys.clcFreeze,
 			n.env.Now().Sub(n.inFlightSince).Seconds())
-		n.env.Stat(n.statName("clc.committed"), 1)
+		n.env.Stat(n.keys.clcCommitted, 1)
 		if forced {
-			n.env.Stat(n.statName("clc.committed")+".forced", 1)
+			n.env.Stat(n.keys.clcForced, 1)
 		} else {
-			n.env.Stat(n.statName("clc.committed")+".unforced", 1)
+			n.env.Stat(n.keys.clcUnforced, 1)
 		}
 		// "the timer is reset when a forced CLC is established" (§5.2):
 		// every commit re-arms the unforced-CLC delay.
@@ -308,7 +328,7 @@ func (n *Node) applyCommit(seq SN, ddv DDV, forced bool) {
 	n.drainInbound()
 	n.reexamineHeld()
 	if n.leader() {
-		n.env.StatSeries(n.statName("storage.bytes"), float64(n.StorageBytes()))
+		n.env.StatSeries(n.keys.storageBytes, float64(n.StorageBytes()))
 		n.tryStartForced()
 	}
 	n.checkMemoryPressure()
@@ -318,7 +338,7 @@ func (n *Node) applyCommit(seq SN, ddv DDV, forced bool) {
 // rollback path, which supersedes whatever the checkpoint was doing.
 func (n *Node) abortCheckpoint() {
 	if n.phase == cpPrepared || n.inFlight {
-		n.env.Stat(n.statName("clc.aborted"), 1)
+		n.env.Stat(n.keys.clcAborted, 1)
 	}
 	n.phase = cpIdle
 	n.provisional = nil

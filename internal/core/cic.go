@@ -52,6 +52,8 @@ func (n *Node) doSend(dst topology.NodeID, p AppPayload) {
 		// mirroring the entry to the stable-storage neighbour so a
 		// crash of *this* node does not lose it.
 		if n.cfg.Transitive {
+			// The piggybacked DDV is retained by both the wire message
+			// and the log entry below: it needs an owned copy.
 			m.PiggyDDV = n.ddv.Clone()
 		}
 		n.log = append(n.log, &logEntry{
@@ -192,7 +194,7 @@ func (n *Node) cicReceive(src topology.NodeID, m AppMsg) {
 	case ModeForceAll:
 		// The Figure 4 strawman: every inter-cluster message forces a
 		// CLC before delivery, useful or not.
-		target := n.ddv.Clone()
+		target := n.buildForceTarget()
 		if m.SendSN > target[src.Cluster] {
 			target[src.Cluster] = m.SendSN
 		}
@@ -219,13 +221,13 @@ func (n *Node) cicReceive(src topology.NodeID, m AppMsg) {
 			}
 			if v > n.ddv[i] {
 				if target == nil {
-					target = n.ddv.Clone()
+					target = n.buildForceTarget()
 				}
 				target[i] = v
 			}
 		}
 	} else if m.SendSN > n.ddv[src.Cluster] {
-		target = n.ddv.Clone()
+		target = n.buildForceTarget()
 		target[src.Cluster] = m.SendSN
 	}
 	if target == nil {
@@ -257,7 +259,7 @@ func (n *Node) reexamineHeld() {
 				n.deliverInter(in.src, in.msg)
 			} else {
 				n.heldInter = append(n.heldInter, in)
-				n.requestForceAlways(n.ddv.Clone())
+				n.requestForceAlways(n.buildForceTarget())
 			}
 			continue
 		}

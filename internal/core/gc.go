@@ -253,9 +253,9 @@ func (n *Node) applyGCDrop(minSNs []SN) {
 	n.gcDemanded = false // saturation episode over; may demand again
 	if n.leader() {
 		// The before/after pairs of Tables 2 and 3.
-		n.env.StatSeries(fmt.Sprintf("gc.before.c%d", n.cluster), float64(before))
-		n.env.StatSeries(fmt.Sprintf("gc.after.c%d", n.cluster), float64(len(n.clcs)))
-		n.env.StatSeries(n.statName("storage.bytes"), float64(n.StorageBytes()))
+		n.env.StatSeries(n.keys.gcBefore, float64(before))
+		n.env.StatSeries(n.keys.gcAfter, float64(len(n.clcs)))
+		n.env.StatSeries(n.keys.storageBytes, float64(n.StorageBytes()))
 		n.recordStoredStat()
 	}
 }

@@ -30,10 +30,12 @@ type AppMsg struct {
 	SendSN     SN  // sender cluster's SN at send time
 	PiggyDDV   DDV // nil unless the transitive extension is enabled
 	Resend     bool
-	// DstEpoch, on resent messages only, carries the receiver cluster's
-	// post-rollback epoch (from the alert that triggered the resend): a
-	// receiver that has not yet executed its local rollback defers the
-	// message instead of delivering it into doomed state.
+	// DstEpoch carries the receiver cluster's newest epoch known to the
+	// sender — on every inter-cluster send, not just resends (plain
+	// sends target n.knownEpoch so a delivery cannot land in a state
+	// the receiver's in-flight rollback is about to erase): a receiver
+	// that has not yet executed its local rollback defers the message
+	// instead of delivering it into doomed state.
 	DstEpoch Epoch
 }
 

@@ -241,6 +241,53 @@ type Node struct {
 	gcLastStart   sim.Time
 	gcStartedOnce bool
 	gcDemanded    bool // a memory-pressure demand is outstanding here
+
+	// forceScratch is the reusable buffer for building forced-CLC
+	// targets. Ownership: valid only until the next buildForceTarget
+	// call on this node; sendForce clones it before anything escapes
+	// the current event (see cic.go), so it must never be stored.
+	forceScratch DDV
+	// keys holds the node's pre-rendered per-cluster stat names, so
+	// hot-path Stat/StatSeries calls build no strings.
+	keys statKeys
+}
+
+// statKeys caches the per-cluster stat names a node emits repeatedly.
+type statKeys struct {
+	rollbackRestarted string
+	rollbackCount     string
+	rollbackDuration  string
+	clcRequested      string
+	clcCommitted      string
+	clcForced         string
+	clcUnforced       string
+	clcAborted        string
+	clcFreeze         string
+	storageBytes      string
+	clcStored         string
+	logSize           string
+	gcBefore          string
+	gcAfter           string
+}
+
+func makeStatKeys(c topology.ClusterID) statKeys {
+	suffix := fmt.Sprintf(".c%d", c)
+	return statKeys{
+		rollbackRestarted: "rollback.restarted" + suffix,
+		rollbackCount:     "rollback.count" + suffix,
+		rollbackDuration:  "rollback.duration_seconds" + suffix,
+		clcRequested:      "clc.requested" + suffix,
+		clcCommitted:      "clc.committed" + suffix,
+		clcForced:         "clc.committed" + suffix + ".forced",
+		clcUnforced:       "clc.committed" + suffix + ".unforced",
+		clcAborted:        "clc.aborted" + suffix,
+		clcFreeze:         "clc.freeze_seconds" + suffix,
+		storageBytes:      "storage.bytes" + suffix,
+		clcStored:         "clc.stored" + suffix,
+		logSize:           "log.size" + suffix,
+		gcBefore:          "gc.before" + suffix,
+		gcAfter:           "gc.after" + suffix,
+	}
 }
 
 // AppPayloadTo pairs a payload with its destination; used for the
@@ -276,9 +323,14 @@ func NewNode(cfg Config, env Env, app AppHooks) *Node {
 		knownEpoch:  make([]Epoch, cfg.Clusters),
 		alertEpoch:  make([]Epoch, cfg.Clusters),
 		alertSN:     make([]SN, cfg.Clusters),
-		replicas:    make(map[replicaKey]Replica),
-		mirrorLogs:  make(map[topology.NodeID][]LogMirror),
-		cascadeMemo: make(map[topology.ClusterID]cascadeRecord),
+		// The volatile-storage maps are sized from the topology: a node
+		// holds replicas for its cfg.Replicas ring predecessors (a few
+		// checkpoints each) and mirrors the same neighbours' logs.
+		replicas:     make(map[replicaKey]Replica, 4*(cfg.Replicas+1)),
+		mirrorLogs:   make(map[topology.NodeID][]LogMirror, cfg.Replicas),
+		cascadeMemo:  make(map[topology.ClusterID]cascadeRecord, cfg.Clusters),
+		forceScratch: NewDDV(cfg.Clusters),
+		keys:         makeStatKeys(cfg.ID.Cluster),
 	}
 	n.ddv[n.cluster] = 1
 	state, size := app.Snapshot()
@@ -435,8 +487,8 @@ func (n *Node) Restart() {
 	n.alertEpoch = make([]Epoch, n.cfg.Clusters)
 	n.alertSN = make([]SN, n.cfg.Clusters)
 	n.clcs = nil
-	n.replicas = make(map[replicaKey]Replica)
-	n.mirrorLogs = make(map[topology.NodeID][]LogMirror)
+	n.replicas = make(map[replicaKey]Replica, 4*(n.cfg.Replicas+1))
+	n.mirrorLogs = make(map[topology.NodeID][]LogMirror, n.cfg.Replicas)
 	n.log = nil
 	n.phase = cpIdle
 	n.provisional = nil
@@ -546,11 +598,7 @@ func (n *Node) OnFailureDetected(failedNode topology.NodeID) {
 // (leader only, so it is recorded once per cluster).
 func (n *Node) recordStoredStat() {
 	if n.leader() {
-		n.env.StatSeries(fmt.Sprintf("clc.stored.c%d", n.cluster), float64(len(n.clcs)))
-		n.env.StatSeries(fmt.Sprintf("log.size.c%d", n.cluster), float64(len(n.log)))
+		n.env.StatSeries(n.keys.clcStored, float64(len(n.clcs)))
+		n.env.StatSeries(n.keys.logSize, float64(len(n.log)))
 	}
-}
-
-func (n *Node) statName(base string) string {
-	return fmt.Sprintf("%s.c%d", base, n.cluster)
 }

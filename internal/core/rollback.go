@@ -36,7 +36,7 @@ type cascadeRecord struct {
 // still recoverable (§7's configurable-replication extension).
 func (n *Node) startClusterRollback() {
 	if n.rbActive {
-		n.env.Stat(n.statName("rollback.restarted"), 1)
+		n.env.Stat(n.keys.rollbackRestarted, 1)
 	}
 	last := n.clcs[len(n.clcs)-1]
 	n.initiateRollback(last.meta.SN)
@@ -52,7 +52,7 @@ func (n *Node) initiateRollback(toSN SN) {
 	n.rbSince = n.env.Now()
 	n.rbAcks = make(map[int]bool, n.size)
 	n.alertsSeen++
-	n.env.Stat(n.statName("rollback.count"), 1)
+	n.env.Stat(n.keys.rollbackCount, 1)
 	n.env.Trace(sim.TraceInfo, "ROLLBACK to CLC %d (epoch %d)", toSN, newEpoch)
 
 	cmd := RollbackCmd{ToSN: toSN, NewEpoch: newEpoch}
@@ -149,7 +149,9 @@ func (n *Node) finishLocalRollback(rec *clcRecord, toSN SN, newEpoch Epoch) {
 		n.app.Deliver(late.src, late.msg.Payload)
 	}
 	n.sn = toSN
-	n.ddv = rec.meta.DDV.Clone()
+	// Copy into the node's owned DDV buffer; the stored Meta keeps its
+	// own vector, so neither side aliases the other.
+	n.ddv.CopyFrom(rec.meta.DDV)
 	n.epoch = newEpoch
 	n.knownEpoch[n.cluster] = newEpoch
 	n.pruneLogForOwnRollback(toSN)
@@ -274,7 +276,7 @@ func (n *Node) onRecoverStateResp(src topology.NodeID, m RecoverStateResp) {
 	n.app.Restore(m.State)
 	n.sn = pend.cmd.ToSN
 	rec := n.recordWith(pend.cmd.ToSN)
-	n.ddv = rec.meta.DDV.Clone()
+	n.ddv.CopyFrom(rec.meta.DDV)
 	n.epoch = pend.cmd.NewEpoch
 	n.knownEpoch[n.cluster] = n.epoch
 	n.frozenSends = true
@@ -386,7 +388,7 @@ func (n *Node) checkRollbackDone() {
 	n.rbActive = false
 	// Recovery time: detection-to-resume for the whole cluster,
 	// dominated by state restores (and replica fetches after a crash).
-	n.env.StatSeries(n.statName("rollback.duration_seconds"),
+	n.env.StatSeries(n.keys.rollbackDuration,
 		n.env.Now().Sub(n.rbSince).Seconds())
 	n.env.Trace(sim.TraceInfo, "rollback to %d complete, resuming (epoch %d)", n.rbSeq, n.rbEpoch)
 	res := RollbackResume{Epoch: n.rbEpoch}

@@ -41,11 +41,23 @@ type DDV []SN
 // NewDDV returns an all-zero DDV for n clusters.
 func NewDDV(n int) DDV { return make(DDV, n) }
 
-// Clone returns an independent copy.
+// Clone returns an independent copy. Use it when the copy escapes the
+// current event (stored in a Meta, handed to Env.Send); for transient
+// element-wise work prefer CopyFrom into a reusable buffer.
 func (d DDV) Clone() DDV {
 	c := make(DDV, len(d))
 	copy(c, d)
 	return c
+}
+
+// CopyFrom overwrites d with o's entries. The vectors must have the
+// same length (all DDVs of one federation do). It is the
+// allocation-free counterpart of Clone for buffers the caller owns.
+func (d DDV) CopyFrom(o DDV) {
+	if len(d) != len(o) {
+		panic(fmt.Sprintf("core: CopyFrom length mismatch %d != %d", len(d), len(o)))
+	}
+	copy(d, o)
 }
 
 // Merge raises each entry to the element-wise maximum with o and

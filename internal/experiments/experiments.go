@@ -35,6 +35,11 @@ type Config struct {
 	// execution acquires one token, so "Workers" bounds the number of
 	// concurrently simulated federations globally, not per level.
 	sem chan struct{}
+	// arena, when non-nil, is the shared scratch pool of a runner-level
+	// execution: consecutive federation runs on each worker recycle the
+	// previous run's event-engine buffers instead of rebuilding from
+	// zero per sweep point (see federation.Arena).
+	arena *federation.Arena
 }
 
 func (c Config) workers() int {
@@ -51,6 +56,9 @@ func (c Config) runFed(opts federation.Options) (*federation.Result, error) {
 	if c.sem != nil {
 		c.sem <- struct{}{}
 		defer func() { <-c.sem }()
+	}
+	if opts.Arena == nil {
+		opts.Arena = c.arena
 	}
 	return runFed(opts)
 }

@@ -52,7 +52,11 @@ func runFed(opts federation.Options) (*federation.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return f.Run()
+	res, err := f.Run()
+	// The Result carries value copies (and the run's own sim.Stats), so
+	// the federation's pooled scratch can go back to the arena now.
+	f.Release()
+	return res, err
 }
 
 // scaleCounts rescales an expected full-run count to the configured

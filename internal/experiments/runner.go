@@ -3,6 +3,8 @@ package experiments
 import (
 	"runtime"
 	"sync"
+
+	"repro/internal/federation"
 )
 
 // RunnerConfig drives a registry or matrix run through a bounded worker
@@ -44,6 +46,9 @@ func (rc RunnerConfig) config() Config {
 	if cfg.Workers > 1 {
 		cfg.sem = make(chan struct{}, cfg.Workers)
 	}
+	// One scratch arena per runner invocation: each worker's successive
+	// federation runs reuse the engine buffers of the run before it.
+	cfg.arena = federation.NewArena()
 	return cfg
 }
 

@@ -1,0 +1,67 @@
+package federation
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Arena pools the per-run scratch structures a federation simulation
+// rebuilds from zero otherwise — today the event engine, whose slab and
+// heap are the largest single allocation of a run. A sweep harness
+// creates one arena and threads it through every federation it
+// launches (Options.Arena); each worker's runs then recycle warmed-up
+// buffers instead of growing fresh ones per sweep point.
+//
+// Pooling never leaks state between runs: Fed.Release hands the engine
+// back only after Engine.Reset wiped the clock, queue and generation
+// stamps, and nothing else of a Fed is pooled (sim.Stats escapes into
+// Result, so it is always fresh). Results are therefore byte-identical
+// with and without an arena — the determinism suite pins this.
+type Arena struct {
+	mu      sync.Mutex
+	engines []*sim.Engine
+}
+
+// NewArena returns an empty arena. The zero value is NOT usable; a nil
+// *Arena is (every method no-ops or allocates fresh).
+func NewArena() *Arena { return &Arena{} }
+
+// engine takes a reset engine from the pool, or builds a fresh one.
+func (a *Arena) engine() *sim.Engine {
+	if a == nil {
+		return sim.NewEngine()
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if last := len(a.engines) - 1; last >= 0 {
+		e := a.engines[last]
+		a.engines[last] = nil
+		a.engines = a.engines[:last]
+		return e
+	}
+	return sim.NewEngine()
+}
+
+// release resets an engine and returns it to the pool.
+func (a *Arena) release(e *sim.Engine) {
+	if a == nil || e == nil {
+		return
+	}
+	e.Reset()
+	a.mu.Lock()
+	a.engines = append(a.engines, e)
+	a.mu.Unlock()
+}
+
+// Release returns the federation's pooled scratch to its arena. Call it
+// once the run's Result has been collected; the Fed must not be driven
+// afterwards (its engine may already be serving another run). Without
+// an arena it is a no-op.
+func (f *Fed) Release() {
+	if f.opts.Arena == nil {
+		return
+	}
+	f.opts.Arena.release(f.engine)
+	f.engine = nil
+}

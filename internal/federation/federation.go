@@ -85,6 +85,12 @@ type Options struct {
 
 	// MaxEvents aborts runaway simulations (0 = a generous default).
 	MaxEvents uint64
+
+	// Arena, when non-nil, supplies pooled per-run scratch (the event
+	// engine); sweep harnesses share one arena across their runs and
+	// call Fed.Release after collecting each Result. Nil means every
+	// run allocates fresh — results are identical either way.
+	Arena *Arena
 }
 
 func (o *Options) fill() error {
@@ -137,9 +143,25 @@ type Fed struct {
 	net     *netsim.Network
 	nodes   map[topology.NodeID]ProtocolNode
 	apps    map[topology.NodeID]*app.NodeApp
+	senders map[topology.NodeID]*appSender // bound once; closure-free send scheduling
 	timers  map[timerKey]*sim.Timer
 	pending map[topology.NodeID]sim.EventRef // next app send event
 	inject  *failure.Injector
+}
+
+// appSender is the pre-bound argument for the closure-free application
+// send path: one boxed pointer per node, created at assembly, so
+// scheduling a send allocates neither a closure nor an interface box.
+type appSender struct {
+	f  *Fed
+	id topology.NodeID
+}
+
+// fireSendCall is the package-level trampoline handed to
+// Engine.ScheduleCall for application sends.
+func fireSendCall(arg any) {
+	s := arg.(*appSender)
+	s.f.fireSend(s.id)
 }
 
 type timerKey struct {
@@ -152,14 +174,20 @@ func New(opts Options) (*Fed, error) {
 	if err := opts.fill(); err != nil {
 		return nil, err
 	}
+	nodeCount := len(opts.Topology.AllNodes())
+	nc := opts.Topology.NumClusters()
 	f := &Fed{
-		opts:    opts,
-		engine:  sim.NewEngine(),
-		stats:   sim.NewStats(),
-		nodes:   make(map[topology.NodeID]ProtocolNode),
-		apps:    make(map[topology.NodeID]*app.NodeApp),
-		timers:  make(map[timerKey]*sim.Timer),
-		pending: make(map[topology.NodeID]sim.EventRef),
+		opts:   opts,
+		engine: opts.Arena.engine(),
+		// The counter cardinality is dominated by the network's
+		// per-(event, kind, cluster-pair) counters plus a fixed
+		// protocol set: size the registry for it up front.
+		stats:   sim.NewStatsHint(64 + 16*nc*nc),
+		nodes:   make(map[topology.NodeID]ProtocolNode, nodeCount),
+		apps:    make(map[topology.NodeID]*app.NodeApp, nodeCount),
+		senders: make(map[topology.NodeID]*appSender, nodeCount),
+		timers:  make(map[timerKey]*sim.Timer, 2*nodeCount),
+		pending: make(map[topology.NodeID]sim.EventRef, nodeCount),
 	}
 	f.engine.MaxEvents = opts.MaxEvents
 	if opts.TraceWriter != nil {
@@ -201,6 +229,7 @@ func New(opts Options) (*Fed, error) {
 			f.stats.Summary("app.lost_work_seconds").Observe(d.Seconds())
 		}
 		f.apps[id] = na
+		f.senders[id] = &appSender{f: f, id: id}
 
 		var pn ProtocolNode
 		if opts.NodeFactory != nil {
@@ -316,7 +345,7 @@ func (f *Fed) scheduleNextSend(id topology.NodeID) {
 	if when < f.engine.Now() {
 		when = f.engine.Now()
 	}
-	f.pending[id] = f.engine.ScheduleAt(when, func(*sim.Engine) { f.fireSend(id) })
+	f.pending[id] = f.engine.ScheduleCallAt(when, fireSendCall, f.senders[id])
 }
 
 func (f *Fed) fireSend(id topology.NodeID) {

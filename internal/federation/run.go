@@ -186,7 +186,13 @@ func (f *Fed) collect() *Result {
 	}
 	res.GCRounds = f.gcRounds(n)
 	// Every protocol with a volatile message log reports its length;
-	// core.Node and all three baselines implement it.
+	// core.Node and all three baselines implement it. Known limitation:
+	// this samples the log once at end of run, not a true high-water
+	// mark — a protocol that truncates its log periodically (the
+	// pessimistic-log baseline at every snapshot) under-reports its
+	// mid-run peak. Tracking the running maximum would change matrix
+	// output, so it is deferred to a PR that may re-record the
+	// determinism goldens (see ROADMAP).
 	for _, id := range f.opts.Topology.AllNodes() {
 		if ln, ok := f.nodes[id].(interface{ LogLen() int }); ok {
 			if l := ln.LogLen(); l > res.MaxLoggedMessages {

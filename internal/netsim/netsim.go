@@ -20,6 +20,7 @@ type Kind int
 const (
 	KindApp   Kind = iota // application payload
 	KindProto             // checkpointing-protocol control message
+	numKinds
 )
 
 // String names the kind.
@@ -57,6 +58,25 @@ type linkKey struct {
 	dstCluster topology.ClusterID
 }
 
+// Accounting events. Counter names are fixed at these constants so the
+// per-message path never builds key strings (see count).
+const (
+	evSent = iota
+	evDelivered
+	evDroppedSrcDown
+	evDroppedDstDown
+	evDroppedInjected
+	numEvents
+)
+
+var eventNames = [numEvents]string{
+	evSent:            "net.sent",
+	evDelivered:       "net.delivered",
+	evDroppedSrcDown:  "net.dropped.src_down",
+	evDroppedDstDown:  "net.dropped.dst_down",
+	evDroppedInjected: "net.dropped.injected",
+}
+
 // Network simulates the federation fabric. All methods must be called
 // from within the simulation goroutine (event handlers).
 type Network struct {
@@ -71,6 +91,22 @@ type Network struct {
 	nextID   uint64
 	rng      *sim.RNG // jitter draws; nil disables jitter
 
+	nClusters int
+	// deliverFn is the closure-free delivery handler, bound once so
+	// Send allocates no closure per message.
+	deliverFn func(any)
+	// msgFree recycles the in-flight Message boxes handed to the event
+	// engine: acquired in Send, released as soon as delivery fires.
+	msgFree []*Message
+
+	// Cached counter pointers, resolved on first use so the set of
+	// registered counters stays exactly what a run actually touched
+	// (identical Stats output to building keys per call).
+	evTotal   [numEvents]*sim.Counter
+	evKind    [numEvents][numKinds]*sim.Counter
+	evPair    [numEvents][numKinds][]*sim.Counter // src*nClusters+dst
+	bytesKind [numKinds]*sim.Counter
+
 	// DropInterCluster, when non-nil, lets tests inject partitions: a
 	// true return drops the message silently. The HC3I paper assumes a
 	// reliable network, so nothing in the protocol path sets this; it
@@ -80,16 +116,19 @@ type Network struct {
 
 // New returns a network for the federation.
 func New(e *sim.Engine, fed *topology.Federation, stats *sim.Stats, tracer *sim.Tracer) *Network {
-	return &Network{
-		engine:   e,
-		fed:      fed,
-		stats:    stats,
-		tracer:   tracer,
-		handlers: make(map[topology.NodeID]Handler),
-		busy:     make(map[linkKey]sim.Time),
-		last:     make(map[linkKey]sim.Time),
-		down:     make(map[topology.NodeID]bool),
+	n := &Network{
+		engine:    e,
+		fed:       fed,
+		stats:     stats,
+		tracer:    tracer,
+		handlers:  make(map[topology.NodeID]Handler, len(fed.AllNodes())),
+		busy:      make(map[linkKey]sim.Time),
+		last:      make(map[linkKey]sim.Time),
+		down:      make(map[topology.NodeID]bool),
+		nClusters: fed.NumClusters(),
 	}
+	n.deliverFn = n.deliverPooled
+	return n
 }
 
 // SetRNG installs the random stream used for per-message jitter on
@@ -125,6 +164,25 @@ func (n *Network) SetDown(id topology.NodeID, down bool) {
 // Down reports whether a node is currently failed.
 func (n *Network) Down(id topology.NodeID) bool { return n.down[id] }
 
+// allocMsg takes a Message box from the free list (or allocates one).
+func (n *Network) allocMsg() *Message {
+	if last := len(n.msgFree) - 1; last >= 0 {
+		m := n.msgFree[last]
+		n.msgFree[last] = nil
+		n.msgFree = n.msgFree[:last]
+		return m
+	}
+	return new(Message)
+}
+
+// releaseMsg returns a Message box to the free list. The caller must
+// have copied every field it still needs: the box is reused by the very
+// next Send, including sends issued from inside the current delivery.
+func (n *Network) releaseMsg(m *Message) {
+	m.Payload = nil
+	n.msgFree = append(n.msgFree, m)
+}
+
 // Send queues a message for delivery and returns its ID. Delivery time
 // is max(now, link free) + transmit + latency; the link then stays busy
 // until the end of serialization, giving FIFO order per link.
@@ -136,15 +194,16 @@ func (n *Network) Send(src, dst topology.NodeID, kind Kind, size int, payload an
 		panic("netsim: node sending to itself")
 	}
 	n.nextID++
-	m := Message{ID: n.nextID, Src: src, Dst: dst, Kind: kind, Size: size, Payload: payload}
+	id := n.nextID
 	if n.down[src] {
 		// A failed node sends nothing (fail-stop assumption §2.1).
-		n.count("net.dropped.src_down", m)
-		return m.ID
+		n.count(evDroppedSrcDown, kind, src, dst, size)
+		return id
 	}
-	if src.Cluster != dst.Cluster && n.DropInterCluster != nil && n.DropInterCluster(m) {
-		n.count("net.dropped.injected", m)
-		return m.ID
+	if src.Cluster != dst.Cluster && n.DropInterCluster != nil &&
+		n.DropInterCluster(Message{ID: id, Src: src, Dst: dst, Kind: kind, Size: size, Payload: payload}) {
+		n.count(evDroppedInjected, kind, src, dst, size)
+		return id
 	}
 
 	link := n.fed.LinkBetween(src, dst)
@@ -153,7 +212,7 @@ func (n *Network) Send(src, dst topology.NodeID, kind Kind, size int, payload an
 	if free, ok := n.busy[key]; ok && free > start {
 		start = free
 	}
-	endSerial := start.Add(link.TransmitTime(m.Size))
+	endSerial := start.Add(link.TransmitTime(size))
 	n.busy[key] = endSerial
 	arrival := endSerial.Add(link.Latency)
 	if link.Jitter > 0 && n.rng != nil {
@@ -167,11 +226,15 @@ func (n *Network) Send(src, dst topology.NodeID, kind Kind, size int, payload an
 		n.last[key] = arrival
 	}
 
-	n.count("net.sent", m)
-	n.tracer.Allf(src.String(), "send #%d %s %dB -> %v (arrives %v)", m.ID, m.Kind, m.Size, dst, arrival)
+	n.count(evSent, kind, src, dst, size)
+	if n.tracer.Enabled(sim.TraceAll) {
+		n.tracer.Allf(src.String(), "send #%d %s %dB -> %v (arrives %v)", id, kind, size, dst, arrival)
+	}
 
-	n.engine.ScheduleAt(arrival, func(*sim.Engine) { n.deliver(m) })
-	return m.ID
+	m := n.allocMsg()
+	*m = Message{ID: id, Src: src, Dst: dst, Kind: kind, Size: size, Payload: payload}
+	n.engine.ScheduleCallAt(arrival, n.deliverFn, m)
+	return id
 }
 
 func keyFor(src, dst topology.NodeID) linkKey {
@@ -181,18 +244,30 @@ func keyFor(src, dst topology.NodeID) linkKey {
 	return linkKey{srcCluster: src.Cluster, dstCluster: dst.Cluster}
 }
 
+// deliverPooled is the event-engine entry point: it copies the pooled
+// box out and releases it before running the handler, so sends issued
+// during delivery can reuse it immediately.
+func (n *Network) deliverPooled(arg any) {
+	pm := arg.(*Message)
+	m := *pm
+	n.releaseMsg(pm)
+	n.deliver(m)
+}
+
 func (n *Network) deliver(m Message) {
 	if n.down[m.Dst] {
 		// The destination died while the message was in flight.
-		n.count("net.dropped.dst_down", m)
+		n.count(evDroppedDstDown, m.Kind, m.Src, m.Dst, m.Size)
 		return
 	}
 	h := n.handlers[m.Dst]
 	if h == nil {
 		panic(fmt.Sprintf("netsim: no handler for %v", m.Dst))
 	}
-	n.count("net.delivered", m)
-	n.tracer.Allf(m.Dst.String(), "recv #%d %s %dB from %v", m.ID, m.Kind, m.Size, m.Src)
+	n.count(evDelivered, m.Kind, m.Src, m.Dst, m.Size)
+	if n.tracer.Enabled(sim.TraceAll) {
+		n.tracer.Allf(m.Dst.String(), "recv #%d %s %dB from %v", m.ID, m.Kind, m.Size, m.Src)
+	}
 	h(m)
 }
 
@@ -206,15 +281,50 @@ func (n *Network) Broadcast(src topology.NodeID, kind Kind, size int, payload an
 	}
 }
 
-func (n *Network) count(event string, m Message) {
+// count increments the per-event counters (total, per kind, per
+// cluster pair, plus sent bytes). Counter pointers are cached after the
+// first touch, so the steady state builds no key strings; keys are
+// composed lazily — exactly the set a per-call fmt.Sprintf would have
+// registered, so Stats output is unchanged.
+func (n *Network) count(ev int, kind Kind, src, dst topology.NodeID, size int) {
 	if n.stats == nil {
 		return
 	}
-	n.stats.Counter(event).Inc()
-	n.stats.Counter(fmt.Sprintf("%s.%s", event, m.Kind)).Inc()
-	n.stats.Counter(fmt.Sprintf("%s.%s.c%d.c%d", event, m.Kind, m.Src.Cluster, m.Dst.Cluster)).Inc()
-	if event == "net.sent" {
-		n.stats.Counter(fmt.Sprintf("net.bytes.%s", m.Kind)).Add(uint64(m.Size))
+	k := int(kind)
+	if k < 0 || k >= int(numKinds) {
+		panic(fmt.Sprintf("netsim: unknown kind %d", k))
+	}
+	c := n.evTotal[ev]
+	if c == nil {
+		c = n.stats.Counter(eventNames[ev])
+		n.evTotal[ev] = c
+	}
+	c.Inc()
+	ck := n.evKind[ev][k]
+	if ck == nil {
+		ck = n.stats.Counter(eventNames[ev] + "." + kind.String())
+		n.evKind[ev][k] = ck
+	}
+	ck.Inc()
+	pairs := n.evPair[ev][k]
+	if pairs == nil {
+		pairs = make([]*sim.Counter, n.nClusters*n.nClusters)
+		n.evPair[ev][k] = pairs
+	}
+	idx := int(src.Cluster)*n.nClusters + int(dst.Cluster)
+	cp := pairs[idx]
+	if cp == nil {
+		cp = n.stats.Counter(fmt.Sprintf("%s.%s.c%d.c%d", eventNames[ev], kind, src.Cluster, dst.Cluster))
+		pairs[idx] = cp
+	}
+	cp.Inc()
+	if ev == evSent {
+		cb := n.bytesKind[k]
+		if cb == nil {
+			cb = n.stats.Counter("net.bytes." + kind.String())
+			n.bytesKind[k] = cb
+		}
+		cb.Add(uint64(size))
 	}
 }
 

@@ -1,81 +1,85 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Handler is a callback executed when an event fires. It receives the
 // engine so it can schedule further events.
 type Handler func(e *Engine)
 
-// event is a scheduled callback in the event queue.
+// event is one slot of the engine's event slab. A slot is either live
+// (scheduled, heapPos >= 0), firing (popped, fields being consumed) or
+// free (linked into the free list through nextFree). The generation
+// counter increments every time a slot is released, so an EventRef into
+// a recycled slot can never cancel its successor.
+//
+// Exactly one of fn/call is set: fn is the classic closure handler,
+// call+arg the closure-free path (ScheduleCall).
 type event struct {
-	at      Time
-	seq     uint64 // FIFO tie-break for events scheduled at the same instant
-	fn      Handler
-	stopped bool
-	index   int // position in the heap, -1 once popped
+	at       Time
+	seq      uint64 // FIFO tie-break for events scheduled at the same instant
+	gen      uint32
+	heapPos  int32 // position in the heap; -1 once popped or freed
+	nextFree int32 // free-list link, meaningful only for free slots
+	fn       Handler
+	call     func(arg any)
+	arg      any
 }
 
 // EventRef identifies a scheduled event so it can be cancelled. The zero
-// value is inert.
-type EventRef struct{ ev *event }
+// value is inert. A ref stays valid after its event fired, was cancelled
+// or its slab slot was recycled: Cancel and Pending compare the slot's
+// generation stamp and degrade to no-ops on a mismatch.
+type EventRef struct {
+	engine *Engine
+	slot   int32
+	gen    uint32
+}
 
 // Cancel prevents the referenced event from firing. Cancelling an event
 // that already fired or was already cancelled is a no-op. It reports
 // whether the event was actually cancelled.
 func (r EventRef) Cancel() bool {
-	if r.ev == nil || r.ev.stopped || r.ev.index == -1 {
+	if r.engine == nil {
 		return false
 	}
-	r.ev.stopped = true
+	e := r.engine
+	if int(r.slot) >= len(e.slab) {
+		return false
+	}
+	ev := &e.slab[r.slot]
+	if ev.gen != r.gen || ev.heapPos < 0 {
+		return false
+	}
+	e.heapRemove(int(ev.heapPos))
+	e.freeSlot(r.slot)
 	return true
 }
 
 // Pending reports whether the referenced event is still scheduled.
 func (r EventRef) Pending() bool {
-	return r.ev != nil && !r.ev.stopped && r.ev.index != -1
-}
-
-// eventQueue is a min-heap on (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+	if r.engine == nil || int(r.slot) >= len(r.engine.slab) {
+		return false
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+	ev := &r.engine.slab[r.slot]
+	return ev.gen == r.gen && ev.heapPos >= 0
 }
 
 // Engine is a discrete event simulation engine: a virtual clock plus an
 // ordered queue of pending events. It is not safe for concurrent use; a
 // simulation is a single-threaded deterministic computation.
+//
+// Events live in a slab ([]event) indexed by a typed binary heap of
+// slot numbers, so scheduling performs no per-event allocation: slots
+// are recycled through a free list and guarded by generation stamps
+// (see EventRef). Cancel removes the event from the heap eagerly, which
+// keeps Len O(1) and the heap free of dead entries.
 type Engine struct {
-	now     Time
-	queue   eventQueue
-	seq     uint64
-	stopped bool
+	now      Time
+	slab     []event
+	heap     []int32 // slot numbers ordered by (at, seq)
+	freeHead int32   // head of the free-slot list, -1 when empty
+	seq      uint64
+	stopped  bool
 	// Executed counts events that have fired; useful for progress
 	// reporting and as a runaway guard in tests.
 	Executed uint64
@@ -86,21 +90,37 @@ type Engine struct {
 }
 
 // NewEngine returns an empty engine with the clock at zero.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine { return &Engine{freeHead: -1} }
+
+// Reset returns the engine to its initial state (clock at zero, empty
+// queue) while keeping the slab and heap capacity, so a pooled engine
+// re-runs without re-growing its buffers. Every slot's generation is
+// bumped, invalidating all EventRefs handed out before the reset.
+func (e *Engine) Reset() {
+	e.now = 0
+	e.seq = 0
+	e.stopped = false
+	e.Executed = 0
+	e.heap = e.heap[:0]
+	e.freeHead = -1
+	for i := range e.slab {
+		ev := &e.slab[i]
+		ev.gen++
+		ev.heapPos = -1
+		ev.fn = nil
+		ev.call = nil
+		ev.arg = nil
+		ev.nextFree = e.freeHead
+		e.freeHead = int32(i)
+	}
+}
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Len returns the number of pending (non-cancelled) events.
-func (e *Engine) Len() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.stopped {
-			n++
-		}
-	}
-	return n
-}
+// Len returns the number of pending events. Cancelled events leave the
+// heap immediately, so this is the heap size — O(1).
+func (e *Engine) Len() int { return len(e.heap) }
 
 // Schedule queues fn to run after delay d (>= 0) of virtual time and
 // returns a reference usable to cancel it. Scheduling in the past panics:
@@ -114,16 +134,131 @@ func (e *Engine) Schedule(d Duration, fn Handler) EventRef {
 
 // ScheduleAt queues fn to run at absolute virtual time t (>= Now).
 func (e *Engine) ScheduleAt(t Time, fn Handler) EventRef {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
-	}
 	if fn == nil {
 		panic("sim: nil handler")
 	}
+	return e.push(t, fn, nil, nil)
+}
+
+// ScheduleCall queues fn(arg) to run after delay d of virtual time.
+// This is the closure-free scheduling path: fn is typically a
+// package-level function or a method value hoisted once per component,
+// and arg carries the per-event state, so the call allocates nothing
+// beyond what the caller chose for arg (a pooled pointer is free).
+func (e *Engine) ScheduleCall(d Duration, fn func(arg any), arg any) EventRef {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return e.ScheduleCallAt(e.now.Add(d), fn, arg)
+}
+
+// ScheduleCallAt queues fn(arg) at absolute virtual time t (>= Now).
+func (e *Engine) ScheduleCallAt(t Time, fn func(arg any), arg any) EventRef {
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	return e.push(t, nil, fn, arg)
+}
+
+// push allocates a slab slot and inserts it into the heap.
+func (e *Engine) push(t Time, fn Handler, call func(any), arg any) EventRef {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
 	e.seq++
-	ev := &event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, ev)
-	return EventRef{ev}
+	var slot int32
+	if e.freeHead >= 0 {
+		slot = e.freeHead
+		e.freeHead = e.slab[slot].nextFree
+	} else {
+		e.slab = append(e.slab, event{})
+		slot = int32(len(e.slab) - 1)
+	}
+	ev := &e.slab[slot]
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.call = call
+	ev.arg = arg
+	ev.heapPos = int32(len(e.heap))
+	e.heap = append(e.heap, slot)
+	e.siftUp(len(e.heap) - 1)
+	return EventRef{engine: e, slot: slot, gen: ev.gen}
+}
+
+// freeSlot releases a slot back to the free list, bumping its
+// generation so outstanding refs become inert, and dropping handler and
+// argument references so the slab does not retain dead payloads.
+func (e *Engine) freeSlot(slot int32) {
+	ev := &e.slab[slot]
+	ev.gen++
+	ev.heapPos = -1
+	ev.fn = nil
+	ev.call = nil
+	ev.arg = nil
+	ev.nextFree = e.freeHead
+	e.freeHead = slot
+}
+
+// ---- typed binary heap over slab slots, ordered by (at, seq) ----
+
+func (e *Engine) less(a, b int32) bool {
+	ea, eb := &e.slab[a], &e.slab[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (e *Engine) swap(i, j int) {
+	h := e.heap
+	h[i], h[j] = h[j], h[i]
+	e.slab[h[i]].heapPos = int32(i)
+	e.slab[h[j]].heapPos = int32(j)
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(e.heap[i], e.heap[parent]) {
+			return
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && e.less(e.heap[right], e.heap[left]) {
+			least = right
+		}
+		if !e.less(e.heap[least], e.heap[i]) {
+			return
+		}
+		e.swap(i, least)
+		i = least
+	}
+}
+
+// heapRemove deletes the entry at heap position i.
+func (e *Engine) heapRemove(i int) {
+	last := len(e.heap) - 1
+	if i != last {
+		e.swap(i, last)
+	}
+	e.slab[e.heap[last]].heapPos = -1
+	e.heap = e.heap[:last]
+	if i < last {
+		e.siftDown(i)
+		e.siftUp(i)
+	}
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -132,17 +267,25 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step fires the next pending event, if any, and reports whether one
 // fired.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.stopped {
-			continue
-		}
-		e.now = ev.at
-		e.Executed++
-		ev.fn(e)
-		return true
+	if len(e.heap) == 0 {
+		return false
 	}
-	return false
+	slot := e.heap[0]
+	e.heapRemove(0)
+	ev := &e.slab[slot]
+	e.now = ev.at
+	e.Executed++
+	// Copy the handler out and release the slot before invoking it, so
+	// a ref to the firing event reads "no longer pending" and the slot
+	// can be recycled by whatever the handler schedules.
+	fn, call, arg := ev.fn, ev.call, ev.arg
+	e.freeSlot(slot)
+	if fn != nil {
+		fn(e)
+	} else {
+		call(arg)
+	}
+	return true
 }
 
 // Run executes events in timestamp order until the queue is empty, Stop
@@ -155,12 +298,10 @@ func (e *Engine) Run(horizon Time) (Time, error) {
 		if e.MaxEvents > 0 && e.Executed >= e.MaxEvents {
 			return e.now, fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now)
 		}
-		// Peek for horizon before popping.
-		next := e.peek()
-		if next == nil {
+		if len(e.heap) == 0 {
 			break
 		}
-		if horizon > 0 && next.at > horizon {
+		if horizon > 0 && e.slab[e.heap[0]].at > horizon {
 			e.now = horizon
 			break
 		}
@@ -171,18 +312,6 @@ func (e *Engine) Run(horizon Time) (Time, error) {
 
 // RunAll runs until the event queue drains, with no horizon.
 func (e *Engine) RunAll() (Time, error) { return e.Run(0) }
-
-func (e *Engine) peek() *event {
-	for len(e.queue) > 0 {
-		ev := e.queue[0]
-		if ev.stopped {
-			heap.Pop(&e.queue)
-			continue
-		}
-		return ev
-	}
-	return nil
-}
 
 // Timer is a resettable one-shot virtual timer built on the engine, used
 // for the protocol's periodic actions (unforced CLC timer, GC timer).

@@ -162,9 +162,15 @@ type Stats struct {
 }
 
 // NewStats returns an empty registry.
-func NewStats() *Stats {
+func NewStats() *Stats { return NewStatsHint(0) }
+
+// NewStatsHint returns an empty registry whose counter map is presized
+// for roughly hint entries. Harnesses that know their metric cardinality
+// up front (it scales with the square of the cluster count for the
+// network's per-pair counters) use it to avoid rehashing during a run.
+func NewStatsHint(hint int) *Stats {
 	return &Stats{
-		counters:  make(map[string]*Counter),
+		counters:  make(map[string]*Counter, hint),
 		summaries: make(map[string]*Summary),
 		series:    make(map[string]*Series),
 	}
