@@ -9,6 +9,7 @@ package repro
 // hours) and prints the rows.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/hc3i"
@@ -130,6 +131,40 @@ func BenchmarkMatrixSlice(b *testing.B) {
 		if len(res.Rows) == 0 {
 			b.Fatal("matrix produced no rows")
 		}
+	}
+}
+
+// BenchmarkEndToEndLarge measures simulator throughput at federation
+// scale: 64 clusters of 2 nodes (128 protocol nodes, 64-entry DDVs) on
+// a ring-plus-local traffic pattern, one full run per iteration. This
+// is the configuration the DDV arena and the ladder queue are sized
+// for: wide dependency vectors and a deep standing event population.
+func BenchmarkEndToEndLarge(b *testing.B) {
+	const nc = 64
+	clusters := make([]hc3i.Cluster, nc)
+	rates := make([][]float64, nc)
+	for i := range clusters {
+		clusters[i] = hc3i.Cluster{Name: fmt.Sprintf("c%d", i), Nodes: 2}
+		rates[i] = make([]float64, nc)
+		rates[i][i] = 120           // local chatter
+		rates[i][(i+1)%nc] = 6      // ring neighbour
+		rates[i][(i+nc/2)%nc] = 1.5 // a long-haul dependency
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := hc3i.Run(hc3i.Config{
+			Clusters:     clusters,
+			TotalTime:    1800e9, // half a virtual hour
+			RatesPerHour: rates,
+			StateSize:    64 << 10,
+			Seed:         uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Events == 0 {
+			b.Fatal("empty run")
+		}
+		b.ReportMetric(float64(res.Events), "events/run")
 	}
 }
 

@@ -1,15 +1,30 @@
-// Command benchguard gates allocation regressions: it parses `go test
-// -bench -benchmem` output, compares allocs/op against a recorded
-// snapshot (BENCH_baseline.json), and exits non-zero when any benchmark
-// regressed beyond the tolerance. It can also write a new snapshot in
-// the same schema, which PRs append (BENCH_pr<N>.json) rather than
-// overwrite, so the allocation trajectory of the repo stays visible.
+// Command benchguard gates performance regressions: it parses `go test
+// -bench -benchmem` output (including repeated `-count=N` runs),
+// compares allocs/op and — when asked — wall-clock ns/op against a
+// recorded snapshot (BENCH_*.json), and exits non-zero when any
+// benchmark regressed beyond tolerance. It can also write a new
+// snapshot in the same schema, which PRs append (BENCH_pr<N>.json)
+// rather than overwrite, so the performance trajectory of the repo
+// stays visible.
+//
+// Allocation counts are deterministic, so they gate on a fixed
+// fractional budget. Wall clock is noisy — especially on shared CI
+// machines — so the wall gate is calibrated: run each benchmark
+// several times (`-count=5`), and benchguard derives the variance band
+// from the scatter it actually measured. A benchmark only fails when
+// its mean exceeds the baseline by more than
+//
+//	max(wall-floor, wall-z * cv)
+//
+// where cv is the larger coefficient of variation of the current run
+// and the recorded baseline. A quiet machine tightens the gate toward
+// the floor; a noisy one loosens it instead of flaking.
 //
 // Usage:
 //
-//	go test -run xxx -bench . -benchmem ./... | tee bench.out
-//	go run ./cmd/benchguard -baseline BENCH_baseline.json -input bench.out
-//	go run ./cmd/benchguard -input bench.out -write BENCH_pr2.json -note "..."
+//	go test -run xxx -bench . -benchmem -count 5 ./... | tee bench.out
+//	go run ./cmd/benchguard -baseline BENCH_pr2.json -input bench.out -gate-wall
+//	go run ./cmd/benchguard -input bench.out -write BENCH_pr3.json -note "..."
 package main
 
 import (
@@ -17,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"runtime"
@@ -26,10 +42,15 @@ import (
 )
 
 // Benchmark is one snapshot entry, matching the BENCH_*.json schema.
+// When the input held several runs of the same benchmark (-count=N),
+// the recorded values are means across runs and NsStddev captures the
+// wall-clock scatter used to calibrate future gates.
 type Benchmark struct {
 	Name         string  `json:"name"`
 	Iterations   int64   `json:"iterations"`
 	NsPerOp      float64 `json:"ns_per_op"`
+	NsStddev     float64 `json:"ns_stddev,omitempty"`
+	Samples      int     `json:"samples,omitempty"`
 	EventsPerRun float64 `json:"events_per_run,omitempty"`
 	BPerOp       float64 `json:"B_per_op"`
 	AllocsPerOp  float64 `json:"allocs_per_op"`
@@ -48,12 +69,24 @@ type Snapshot struct {
 // benchmark names ("BenchmarkFoo-8" -> "BenchmarkFoo").
 var procSuffix = regexp.MustCompile(`-\d+$`)
 
-// parseBench extracts benchmark results from `go test -bench` output.
-func parseBench(r io.Reader) ([]Benchmark, error) {
-	var out []Benchmark
+// sample is one parsed benchmark output line.
+type sample struct {
+	iterations   int64
+	nsPerOp      float64
+	eventsPerRun float64
+	bPerOp       float64
+	allocsPerOp  float64
+}
+
+// parseBench extracts benchmark results from `go test -bench` output,
+// grouping repeated runs of the same benchmark (-count=N) under one
+// name. Group order follows first appearance.
+func parseBench(r io.Reader) ([]string, map[string][]sample, error) {
+	var order []string
+	groups := make(map[string][]sample)
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, line := range strings.Split(string(data), "\n") {
 		fields := strings.Fields(line)
@@ -64,29 +97,71 @@ func parseBench(r io.Reader) ([]Benchmark, error) {
 		if err != nil {
 			continue // e.g. "Benchmark... [no tests to run]"
 		}
-		b := Benchmark{Name: procSuffix.ReplaceAllString(fields[0], ""), Iterations: iters}
+		s := sample{iterations: iters}
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("benchguard: bad value %q in %q", fields[i], line)
+				return nil, nil, fmt.Errorf("benchguard: bad value %q in %q", fields[i], line)
 			}
 			switch fields[i+1] {
 			case "ns/op":
-				b.NsPerOp = v
+				s.nsPerOp = v
 			case "B/op":
-				b.BPerOp = v
+				s.bPerOp = v
 			case "allocs/op":
-				b.AllocsPerOp = v
+				s.allocsPerOp = v
 			case "events/run":
-				b.EventsPerRun = v
+				s.eventsPerRun = v
 			}
 		}
-		out = append(out, b)
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		if _, seen := groups[name]; !seen {
+			order = append(order, name)
+		}
+		groups[name] = append(groups[name], s)
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("benchguard: no benchmark lines found")
+	if len(order) == 0 {
+		return nil, nil, fmt.Errorf("benchguard: no benchmark lines found")
 	}
-	return out, nil
+	return order, groups, nil
+}
+
+// aggregate folds a benchmark's samples into one snapshot entry:
+// means across runs, plus the wall-clock standard deviation.
+func aggregate(name string, ss []sample) Benchmark {
+	b := Benchmark{Name: name, Samples: len(ss)}
+	var nsSum float64
+	for _, s := range ss {
+		b.Iterations += s.iterations
+		nsSum += s.nsPerOp
+		b.EventsPerRun += s.eventsPerRun
+		b.BPerOp += s.bPerOp
+		b.AllocsPerOp += s.allocsPerOp
+	}
+	n := float64(len(ss))
+	b.Iterations /= int64(len(ss))
+	b.NsPerOp = nsSum / n
+	b.EventsPerRun /= n
+	b.BPerOp /= n
+	b.AllocsPerOp /= n
+	if len(ss) > 1 {
+		var m2 float64
+		for _, s := range ss {
+			d := s.nsPerOp - b.NsPerOp
+			m2 += d * d
+		}
+		b.NsStddev = math.Sqrt(m2 / (n - 1))
+	}
+	return b
+}
+
+// cv returns a benchmark's wall-clock coefficient of variation, zero
+// when it was recorded from a single run.
+func (b Benchmark) cv() float64 {
+	if b.NsPerOp <= 0 {
+		return 0
+	}
+	return b.NsStddev / b.NsPerOp
 }
 
 func main() {
@@ -97,6 +172,9 @@ func main() {
 		note         = flag.String("note", "", "note recorded in the written snapshot")
 		maxRegress   = flag.Float64("max-regress", 0.20, "tolerated fractional allocs/op regression")
 		allocSlack   = flag.Float64("alloc-slack", 1.0, "absolute allocs/op slack on top of the fraction (absorbs one-off warmup allocations in short runs)")
+		gateWall     = flag.Bool("gate-wall", false, "also gate wall clock (ns/op) beyond the calibrated variance band")
+		wallFloor    = flag.Float64("wall-floor", 0.25, "minimum tolerated fractional ns/op regression (noise floor)")
+		wallZ        = flag.Float64("wall-z", 3.0, "variance-band width in standard deviations of the noisier of current/baseline runs")
 	)
 	flag.Parse()
 
@@ -109,9 +187,13 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	got, err := parseBench(in)
+	order, groups, err := parseBench(in)
 	if err != nil {
 		fatal(err)
+	}
+	got := make([]Benchmark, 0, len(order))
+	for _, name := range order {
+		got = append(got, aggregate(name, groups[name]))
 	}
 
 	if *writePath != "" {
@@ -153,7 +235,7 @@ func main() {
 	for _, b := range got {
 		ref, ok := baseline[b.Name]
 		if !ok {
-			fmt.Printf("benchguard: %-40s new benchmark, no baseline (ok)\n", b.Name)
+			fmt.Printf("benchguard: %-44s new benchmark, no baseline (ok)\n", b.Name)
 			continue
 		}
 		compared++
@@ -163,14 +245,32 @@ func main() {
 			verdict = "REGRESSED"
 			failed++
 		}
-		fmt.Printf("benchguard: %-40s allocs/op %10.1f -> %10.1f (limit %.1f) %s\n",
+		fmt.Printf("benchguard: %-44s allocs/op %10.1f -> %10.1f (limit %.1f) %s\n",
 			b.Name, ref.AllocsPerOp, b.AllocsPerOp, limit, verdict)
+
+		if !*gateWall {
+			continue
+		}
+		// The variance band widens with whichever run — current or
+		// baseline — was noisier, never narrows below the floor.
+		band := *wallFloor
+		if z := *wallZ * math.Max(b.cv(), ref.cv()); z > band {
+			band = z
+		}
+		wallLimit := ref.NsPerOp * (1 + band)
+		verdict = "ok"
+		if b.NsPerOp > wallLimit {
+			verdict = "REGRESSED"
+			failed++
+		}
+		fmt.Printf("benchguard: %-44s ns/op     %10.0f -> %10.0f (limit %.0f, band %.0f%%, n=%d) %s\n",
+			b.Name, ref.NsPerOp, b.NsPerOp, wallLimit, band*100, b.Samples, verdict)
 	}
 	if compared == 0 {
 		fatal(fmt.Errorf("benchguard: nothing compared against %s", *baselinePath))
 	}
 	if failed > 0 {
-		fatal(fmt.Errorf("benchguard: %d benchmark(s) regressed beyond %.0f%% allocs/op", failed, *maxRegress*100))
+		fatal(fmt.Errorf("benchguard: %d gate(s) regressed beyond tolerance", failed))
 	}
 	fmt.Printf("benchguard: %d benchmark(s) within budget\n", compared)
 }

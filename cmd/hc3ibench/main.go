@@ -15,6 +15,7 @@
 //	hc3ibench -list           # list the registry and the matrix axes
 //	hc3ibench -o results.txt  # also write the output to a file
 //	hc3ibench -csv out/       # one <ID>.csv per table for plotting
+//	hc3ibench -quick -matrix -cpuprofile cpu.pprof -memprofile heap.pprof
 //
 // Parallel runs are byte-identical to sequential ones: every federation
 // is an isolated deterministic simulation and results are collected in
@@ -27,6 +28,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -46,6 +49,8 @@ func main() {
 		out      = flag.String("o", "", "also write results to this file")
 		csvDir   = flag.String("csv", "", "write one <ID>.csv per table into this directory")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -85,6 +90,17 @@ func main() {
 		w = io.MultiWriter(os.Stdout, fh)
 	}
 
+	// Profiling hooks: perf work starts from a profile of the real
+	// harness, not a guess (`go tool pprof hc3ibench <file>` reads the
+	// output). exit flushes the profiles on every path — os.Exit skips
+	// deferred writers.
+	stopProfiles := startProfiles(*cpuProf, *memProf)
+	defer stopProfiles()
+	exit := func(code int) {
+		stopProfiles()
+		os.Exit(code)
+	}
+
 	mode := "paper scale"
 	if *quick {
 		mode = "quick scale"
@@ -102,12 +118,12 @@ func main() {
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, "hc3ibench:", err)
-				os.Exit(1)
+				exit(1)
 			}
 			path := filepath.Join(*csvDir, res.ID+".csv")
 			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "hc3ibench:", err)
-				os.Exit(1)
+				exit(1)
 			}
 		}
 	}
@@ -117,7 +133,7 @@ func main() {
 		res, err := hc3i.RunMatrix(opts, *filter)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hc3ibench:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		emit(res)
 		fmt.Fprintf(w, "(%d rows, %.1fs wall)\n", len(res.Rows), time.Since(start).Seconds())
@@ -141,6 +157,48 @@ func main() {
 	}
 	fmt.Fprintf(w, "(%.1fs wall)\n", time.Since(start).Seconds())
 	if failed > 0 {
-		os.Exit(1)
+		exit(1)
+	}
+}
+
+// startProfiles arms the requested CPU/heap profile writers and returns
+// the function that flushes them. Calling the returned function more
+// than once is safe.
+func startProfiles(cpuPath, memPath string) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hc3ibench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hc3ibench:", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hc3ibench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hc3ibench:", err)
+			}
+		}
 	}
 }

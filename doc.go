@@ -46,37 +46,90 @@
 // simulation, results are collected in input order, and the rendered
 // tables are byte-identical whatever the worker count.
 //
+// # The ladder-queue engine
+//
+// internal/sim's engine stores events in a slab ([]event) whose slots
+// are recycled through a free list and guarded by generation stamps,
+// so an EventRef into a recycled slot is inert (Cancel/Pending degrade
+// to no-ops on a generation mismatch). The queue over the slab is a
+// two-tier ladder:
+//
+//   - The near tier is a bucket array (512 buckets of ~1ms) covering a
+//     sliding window of virtual time. Events due inside the window —
+//     the network deliveries that dominate real runs — are appended in
+//     O(1); a bucket is sorted by (timestamp, sequence) only when the
+//     drain cursor reaches it.
+//   - Events due beyond the window spill into a binary heap; when the
+//     near tier drains, the window jumps to the earliest far event and
+//     everything inside the new window migrates into the buckets.
+//
+// Correctness never depends on tier routing: every pop compares the
+// heads of both tiers by (timestamp, sequence), so a conservatively
+// far-routed event still fires in exact order. A differential fuzz
+// test (internal/sim/slab_test.go) drives the ladder and a reference
+// container/heap queue with identical schedule/cancel sequences across
+// every tier boundary and requires identical firing order.
+//
+// Tick-FIFO determinism contract: events sharing a timestamp fire in
+// scheduling order. The sequence number provides the total order;
+// bucket appends arrive in sequence order and in-drain insertions
+// binary-search behind their equals, so Engine.Run can drain a whole
+// tick in one batched dispatch loop without re-running the two-tier
+// comparison — and the order is byte-identical to the seed's binary
+// heap, pinned by the determinism goldens in
+// internal/experiments/testdata/.
+//
 // # Allocation discipline
 //
 // The simulation core is allocation-slim by construction:
 //
-//   - internal/sim's engine stores events in a slab ([]event) indexed
-//     by a typed binary heap of slot numbers. Slots are recycled
-//     through a free list and guarded by generation stamps, so an
-//     EventRef into a recycled slot is inert (Cancel/Pending degrade to
-//     no-ops on a generation mismatch); scheduling and firing allocate
-//     nothing (BenchmarkEnginePushPop: 0 allocs/op).
-//   - Engine.ScheduleCall(fn, arg) is the closure-free scheduling path:
+//   - Engine scheduling and firing allocate nothing
+//     (BenchmarkEnginePushPopLadder: 0 allocs/op on both tiers), and
+//     Engine.ScheduleCall(fn, arg) is the closure-free scheduling path:
 //     the dominant schedulers (netsim delivery, federation app sends)
 //     hoist fn to a bound-once function and pass per-event state
 //     through arg — a pooled pointer, so no closure per event.
-//   - netsim recycles its in-flight Message boxes through a free list
-//     and caches stat counter pointers per (event, kind, cluster pair),
-//     so the per-message path builds no key strings.
-//   - internal/core reuses DDV scratch buffers where a vector does not
-//     escape the current event (see Node.buildForceTarget and
-//     DDV.CopyFrom); every escape point (stored Metas, wire messages)
-//     still clones, with ownership noted at the call site.
+//   - Per-node simulation state (handlers, link serialization slots,
+//     timers, protocol nodes) lives in flat slices indexed by the
+//     topology's dense node ordinal (topology.NodeIndex); struct-keyed
+//     maps put hashing on every delivery and were a top profile entry.
+//   - internal/core flattens DDV storage into per-node arenas
+//     (core.DDVArena): every vector that escapes an event — stored
+//     Metas, piggybacked vectors, commit broadcasts — is sliced from a
+//     chunked backing []SN owned by the node, one chunk allocation per
+//     64 clones, cache-contiguous at 64 clusters. Ownership rules: a
+//     handed-out vector is immutable-by-convention once shared, chunks
+//     are never reallocated so outstanding slices stay valid, and the
+//     chunk is garbage-collected when every vector cut from it drops.
+//     Scratch that does not escape still reuses node buffers
+//     (Node.buildForceTarget, DDV.CopyFrom).
+//   - Wire messages travel in pooled boxes: the harness implements
+//     core.BoxPool (AppMsg/AppAck) and reclaims boxes right after the
+//     destination's OnMessage returns; the baseline protocols pool
+//     their wire envelopes the same way through core.ReclaimableMsg.
+//     BenchmarkNodeOnMessage runs at 0 allocs/op end to end.
+//   - Application snapshots are O(1): NodeApp records deliveries in an
+//     append-only journal and a snapshot is a journal position;
+//     restores rewind the tail instead of copying the delivered map on
+//     every checkpoint (which dominated the CPU profile).
 //   - federation.Arena pools per-run scratch (the event engine) across
 //     the sweep points of one runner invocation; Engine.Reset wipes the
 //     clock, queue and generation stamps, so pooled and fresh runs are
-//     byte-identical — pinned by the determinism goldens in
-//     internal/experiments/testdata/.
+//     byte-identical — pinned by the determinism goldens.
+//
+// # Benchmark gating
 //
 // The benchmarks in this package (bench_test.go) tie each paper
 // artifact to a `go test -bench` target. BENCH_baseline.json records
 // the measured seed baseline; later PRs append BENCH_pr<N>.json
-// snapshots (never overwriting earlier ones) so the allocation
-// trajectory stays visible, and cmd/benchguard gates CI on allocs/op
-// regressions beyond 20% of baseline.
+// snapshots (never overwriting earlier ones) so the performance
+// trajectory stays visible. cmd/benchguard gates CI on both axes:
+// allocs/op on a fixed 20% budget (allocation counts are
+// deterministic), and wall-clock ns/op on a calibrated variance band —
+// benchmarks run with -count=5, the snapshot stores the mean and
+// standard deviation, and a regression only fails when the current
+// mean exceeds the baseline by more than max(floor, 3 standard
+// deviations of the noisier run). cmd/hc3ibench takes
+// -cpuprofile/-memprofile so the next perf PR starts from a profile,
+// not a guess.
 package repro

@@ -19,12 +19,19 @@ type sendEvent struct {
 
 // State is a NodeApp snapshot handed to the checkpointing protocol. It
 // is intentionally tiny: the simulated application's "virtual memory"
-// is priced separately through Workload.StateSize.
+// is priced separately through Workload.StateSize. Delivery state is
+// captured as a position in the node's append-only delivery journal —
+// snapshotting is O(1) instead of copying the whole delivered map per
+// checkpoint (which dominated the simulator's CPU profile), and the
+// snapshot value is immutable, so replicas shipped to neighbours share
+// nothing mutable.
 type State struct {
-	NextSend  int
-	AppClock  sim.Duration
-	Delivered map[core.LogicalID]int
-	Epoch     uint64 // increments at every restore; salts non-deterministic replay
+	NextSend int
+	AppClock sim.Duration
+	// Journal is the delivery-journal length at snapshot time; Restore
+	// rewinds the journal (and the derived delivered counts) to it.
+	Journal int
+	Epoch   uint64 // increments at every restore; salts non-deterministic replay
 }
 
 // NodeApp is the simulated application process on one node: it draws a
@@ -47,7 +54,11 @@ type NodeApp struct {
 	appStart  sim.Duration
 	clockBase sim.Time // sim time corresponding to appStart of current incarnation
 	delivered map[core.LogicalID]int
-	epoch     uint64
+	// journal records every delivery in order; delivered is the derived
+	// count index. A snapshot is a journal position, a restore rewinds
+	// the tail (decrementing the counts it added).
+	journal []core.LogicalID
+	epoch   uint64
 
 	// Now supplies the current simulation time; the harness must set it
 	// before the first snapshot so application clocks survive restores.
@@ -79,9 +90,26 @@ func NewNodeApp(id topology.NodeID, wl *Workload, fed *topology.Federation, rng 
 		fed:       fed,
 		rng:       rng,
 		delivered: make(map[core.LogicalID]int, deliveredHint(id, wl, fed)),
+		schedule:  make([]sendEvent, 0, scheduleHint(id, wl, fed)),
 	}
 	a.initCursor(rng)
 	return a
+}
+
+// scheduleHint estimates this node's send count from its row of the
+// rate matrix, so the cached schedule is sized once instead of
+// repeatedly regrowing during the run.
+func scheduleHint(id topology.NodeID, wl *Workload, fed *topology.Federation) int {
+	var perHour float64
+	for _, r := range wl.RatesPerHour[id.Cluster] {
+		perHour += r
+	}
+	expected := perHour * wl.TotalTime.Seconds() / 3600 / float64(fed.Clusters[id.Cluster].Nodes)
+	const maxHint = 1 << 16
+	if expected > maxHint {
+		return maxHint
+	}
+	return int(expected)
 }
 
 // deliveredHint estimates this node's delivery count from the rate
@@ -183,6 +211,9 @@ func (a *NodeApp) pickNode(c topology.ClusterID) topology.NodeID {
 	return topology.NodeID{Cluster: c, Index: r.Intn(size)}
 }
 
+// ID returns the node this application instance belongs to.
+func (a *NodeApp) ID() topology.NodeID { return a.id }
+
 // NextSend returns the application time of the next send and whether
 // one remains.
 func (a *NodeApp) NextSend() (sim.Duration, bool) {
@@ -246,19 +277,15 @@ func LostWork(p, c sim.Duration) sim.Duration {
 // Snapshot captures the application state; its reported size is the
 // workload's StateSize (the simulated process image).
 func (a *NodeApp) Snapshot() (any, int) {
-	d := make(map[core.LogicalID]int, len(a.delivered))
-	for k, v := range a.delivered {
-		d[k] = v
-	}
 	var clock sim.Duration
 	if a.Now != nil {
 		clock = a.AppClock(a.Now())
 	}
 	return State{
-		NextSend:  a.next,
-		AppClock:  clock,
-		Delivered: d,
-		Epoch:     a.epoch,
+		NextSend: a.next,
+		AppClock: clock,
+		Journal:  len(a.journal),
+		Epoch:    a.epoch,
 	}, a.wl.StateSize
 }
 
@@ -274,10 +301,16 @@ func (a *NodeApp) Restore(state any) {
 		}
 		a.SyncClock(now, s.AppClock)
 	}
-	a.delivered = make(map[core.LogicalID]int, len(s.Delivered))
-	for k, v := range s.Delivered {
-		a.delivered[k] = v
+	// Rewind the delivery journal: forget (exactly) the deliveries that
+	// happened after the snapshot.
+	for _, id := range a.journal[s.Journal:] {
+		if n := a.delivered[id] - 1; n > 0 {
+			a.delivered[id] = n
+		} else {
+			delete(a.delivered, id)
+		}
 	}
+	a.journal = a.journal[:s.Journal]
 	a.epoch++
 	if !a.wl.Deterministic {
 		// Forget the cached future: re-execution draws a fresh
@@ -304,6 +337,7 @@ func (a *NodeApp) Restore(state any) {
 // Deliver records a payload receipt.
 func (a *NodeApp) Deliver(from topology.NodeID, p core.AppPayload) {
 	a.delivered[p.ID]++
+	a.journal = append(a.journal, p.ID)
 	a.TotalDeliveries++
 }
 

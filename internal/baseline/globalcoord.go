@@ -113,7 +113,8 @@ func (g *GlobalCoordinated) Send(dst topology.NodeID, p core.AppPayload) {
 	g.nextMsgID++
 	m := wire{Kind: "app", Epoch: g.epoch, From: g.id, Dst: dst, Payload: p, SendSeq: g.seq, MsgID: g.nextMsgID}
 	g.sendLog[m.MsgID] = m
-	g.env.SendApp(dst, m.size(), m)
+	g.notePeak(len(g.sendLog))
+	g.sendApp(dst, m)
 }
 
 // OnTimer starts a global checkpoint on the initiator.
@@ -131,7 +132,7 @@ func (g *GlobalCoordinated) OnTimer(k core.TimerKind) {
 	req := wire{Kind: "prep", Seq: g.seq + 1, Epoch: g.epoch}
 	for _, id := range g.allNodes() {
 		if id != g.id {
-			g.env.Send(id, req.size(), req)
+			g.send(id, req)
 		}
 	}
 	g.prepare(req)
@@ -146,7 +147,7 @@ func (g *GlobalCoordinated) prepare(m wire) {
 	// HC3I's §3.1 (priced, fire-and-forget in this baseline).
 	if g.size > 1 {
 		rep := wire{Kind: "replica", From: g.id, Seq: m.Seq, State: g.provState, Size: g.provSize}
-		g.env.Send(g.neighbour(), rep.size(), rep)
+		g.send(g.neighbour(), rep)
 	}
 }
 
@@ -155,7 +156,7 @@ func (g *GlobalCoordinated) OnMessage(src topology.NodeID, msg core.Msg) {
 	if g.failed {
 		return
 	}
-	m, ok := msg.(wire)
+	m, ok := unwrap(msg)
 	if !ok {
 		return
 	}
@@ -177,7 +178,7 @@ func (g *GlobalCoordinated) OnMessage(src topology.NodeID, msg core.Msg) {
 		}
 		g.prepare(m)
 		ack := wire{Kind: "ack", Seq: m.Seq, Epoch: g.epoch, From: g.id}
-		g.env.Send(src, ack.size(), ack)
+		g.send(src, ack)
 	case "ack":
 		if !g.inFlight || m.Epoch != g.epoch {
 			return
@@ -195,7 +196,7 @@ func (g *GlobalCoordinated) OnMessage(src topology.NodeID, msg core.Msg) {
 		}
 		g.restore(m.Seq, m.Epoch)
 		ack := wire{Kind: "rback-ack", Seq: m.Seq, Epoch: m.Epoch, From: g.id}
-		g.env.Send(src, ack.size(), ack)
+		g.send(src, ack)
 	case "rback-ack":
 		if !g.rbActive || m.Epoch != g.epoch {
 			return
@@ -206,7 +207,7 @@ func (g *GlobalCoordinated) OnMessage(src topology.NodeID, msg core.Msg) {
 			res := wire{Kind: "resume", Epoch: g.epoch}
 			for _, id := range g.allNodes() {
 				if id != g.id {
-					g.env.Send(id, res.size(), res)
+					g.send(id, res)
 				}
 			}
 			g.resume()
@@ -232,7 +233,7 @@ func (g *GlobalCoordinated) deliver(m wire) {
 	}
 	g.app.Deliver(m.From, m.Payload)
 	ack := wire{Kind: "app-ack", From: g.id, MsgID: m.MsgID}
-	g.env.Send(m.From, ack.size(), ack)
+	g.send(m.From, ack)
 }
 
 func (g *GlobalCoordinated) maybeCommit() {
@@ -244,7 +245,7 @@ func (g *GlobalCoordinated) maybeCommit() {
 	com := wire{Kind: "commit", Seq: seq, Epoch: g.epoch}
 	for _, id := range g.allNodes() {
 		if id != g.id {
-			g.env.Send(id, com.size(), com)
+			g.send(id, com)
 		}
 	}
 	g.applyCommit(seq)
@@ -299,7 +300,7 @@ func (g *GlobalCoordinated) OnFailureDetected(failed topology.NodeID) {
 	cmd := wire{Kind: "rollback", Seq: last.Seq, Epoch: newEpoch}
 	for _, id := range g.allNodes() {
 		if id != g.id {
-			g.env.Send(id, cmd.size(), cmd)
+			g.send(id, cmd)
 		}
 	}
 	for c := 0; c < g.cfg.Clusters; c++ {
@@ -350,7 +351,7 @@ func (g *GlobalCoordinated) resume() {
 		}
 		m.Epoch = g.epoch
 		g.sendLog[id] = m
-		g.env.SendApp(m.Dst, m.size(), m)
+		g.sendApp(m.Dst, m)
 		g.env.Stat("gcoord.resent", 1)
 	}
 	if g.initiator() {

@@ -99,7 +99,8 @@ func (h *HierCoord) Send(dst topology.NodeID, p core.AppPayload) {
 	h.nextMsgID++
 	m := wire{Kind: "app", Epoch: h.epoch, From: h.id, Dst: dst, Payload: p, SendSeq: h.line, MsgID: h.nextMsgID}
 	h.sendLog[m.MsgID] = m
-	h.env.SendApp(dst, m.size(), m)
+	h.notePeak(len(h.sendLog))
+	h.sendApp(dst, m)
 }
 
 // OnTimer opens a new line on the initiator: one message per cluster
@@ -121,7 +122,7 @@ func (h *HierCoord) OnTimer(k core.TimerKind) {
 			continue
 		}
 		m := wire{Kind: "take", Seq: next, Epoch: h.epoch}
-		h.env.Send(topology.NodeID{Cluster: topology.ClusterID(c), Index: 0}, m.size(), m)
+		h.send(topology.NodeID{Cluster: topology.ClusterID(c), Index: 0}, m)
 	}
 }
 
@@ -133,7 +134,7 @@ func (h *HierCoord) startClusterCLC(seq core.SN) {
 	h.clusterAcks = map[int]bool{}
 	req := wire{Kind: "prep", Seq: seq, Epoch: h.epoch}
 	for i := 1; i < h.size; i++ {
-		h.env.Send(topology.NodeID{Cluster: h.id.Cluster, Index: i}, req.size(), req)
+		h.send(topology.NodeID{Cluster: h.id.Cluster, Index: i}, req)
 	}
 	h.prepare(seq)
 	h.clusterAcks[0] = true
@@ -146,7 +147,7 @@ func (h *HierCoord) prepare(seq core.SN) {
 	// Stable storage: replicate to the neighbour (priced).
 	if h.size > 1 {
 		rep := wire{Kind: "replica", From: h.id, Seq: seq, State: h.provState, Size: h.provSize}
-		h.env.Send(h.neighbour(), rep.size(), rep)
+		h.send(h.neighbour(), rep)
 	}
 }
 
@@ -157,7 +158,7 @@ func (h *HierCoord) maybeClusterCommit(seq core.SN) {
 	h.clusterInFlight = false
 	com := wire{Kind: "commit", Seq: seq, Epoch: h.epoch}
 	for i := 1; i < h.size; i++ {
-		h.env.Send(topology.NodeID{Cluster: h.id.Cluster, Index: i}, com.size(), com)
+		h.send(topology.NodeID{Cluster: h.id.Cluster, Index: i}, com)
 	}
 	h.applyCommit(seq)
 	h.env.Stat(h.keyCommitted, 1)
@@ -169,7 +170,7 @@ func (h *HierCoord) maybeClusterCommit(seq core.SN) {
 		return
 	}
 	m := wire{Kind: "done", Seq: seq, Epoch: h.epoch, From: h.id}
-	h.env.Send(topology.NodeID{Cluster: 0, Index: 0}, m.size(), m)
+	h.send(topology.NodeID{Cluster: 0, Index: 0}, m)
 }
 
 func (h *HierCoord) maybeLineDone() {
@@ -219,7 +220,7 @@ func (h *HierCoord) deliver(m wire) {
 	}
 	h.app.Deliver(m.From, m.Payload)
 	ack := wire{Kind: "app-ack", From: h.id, MsgID: m.MsgID}
-	h.env.Send(m.From, ack.size(), ack)
+	h.send(m.From, ack)
 }
 
 // OnMessage dispatches the baseline's wire messages.
@@ -227,7 +228,7 @@ func (h *HierCoord) OnMessage(src topology.NodeID, msg core.Msg) {
 	if h.failed {
 		return
 	}
-	m, ok := msg.(wire)
+	m, ok := unwrap(msg)
 	if !ok {
 		return
 	}
@@ -256,7 +257,7 @@ func (h *HierCoord) OnMessage(src topology.NodeID, msg core.Msg) {
 		}
 		h.prepare(m.Seq)
 		ack := wire{Kind: "ack", Seq: m.Seq, Epoch: h.epoch, From: h.id}
-		h.env.Send(src, ack.size(), ack)
+		h.send(src, ack)
 	case "ack":
 		if m.Epoch != h.epoch || !h.clusterInFlight {
 			return
@@ -282,7 +283,7 @@ func (h *HierCoord) OnMessage(src topology.NodeID, msg core.Msg) {
 		if h.leader() && src.Cluster != h.id.Cluster {
 			// Forward the federation-wide rollback inside the cluster.
 			for i := 1; i < h.size; i++ {
-				h.env.Send(topology.NodeID{Cluster: h.id.Cluster, Index: i}, m.size(), m)
+				h.send(topology.NodeID{Cluster: h.id.Cluster, Index: i}, m)
 			}
 		}
 	}
@@ -305,7 +306,7 @@ func (h *HierCoord) OnFailureDetected(failed topology.NodeID) {
 	cmd := wire{Kind: "rollback", Seq: target, Epoch: newEpoch}
 	for _, id := range h.allNodes() {
 		if id != h.id {
-			h.env.Send(id, cmd.size(), cmd)
+			h.send(id, cmd)
 		}
 	}
 	for c := 0; c < h.cfg.Clusters; c++ {
@@ -351,7 +352,7 @@ func (h *HierCoord) restore(seq core.SN, epoch core.Epoch) {
 		}
 		m.Epoch = h.epoch
 		h.sendLog[id] = m
-		h.env.SendApp(m.Dst, m.size(), m)
+		h.sendApp(m.Dst, m)
 		h.env.Stat("hiercoord.resent", 1)
 	}
 }

@@ -114,8 +114,9 @@ func (p *PessimisticLog) Send(dst topology.NodeID, payload core.AppPayload) {
 	}
 	p.nextMsgID++
 	p.sendLog[p.nextMsgID] = pendingSend{Dst: dst, Payload: payload}
+	p.notePeak(p.LogLen())
 	m := wire{Kind: "app", From: p.id, Payload: payload, MsgID: p.nextMsgID}
-	p.env.SendApp(dst, m.size(), m)
+	p.sendApp(dst, m)
 	p.env.Stat("plog.sent", 1)
 }
 
@@ -132,7 +133,7 @@ func (p *PessimisticLog) OnTimer(k core.TimerKind) {
 	// Replicate snapshot to the neighbour (channel memory / stable
 	// storage) and let it truncate our mirrored receive log.
 	m := wire{Kind: "snap", Seq: p.seq, From: p.id, State: state, Size: size}
-	p.env.Send(p.neighbour(), m.size(), m)
+	p.send(p.neighbour(), m)
 	p.env.Stat(p.keyCommitted, 1)
 	p.env.Stat(p.keyUnforced, 1)
 	p.env.SetTimer(core.TimerCLC, p.cfg.CLCPeriod)
@@ -143,7 +144,7 @@ func (p *PessimisticLog) OnMessage(src topology.NodeID, msg core.Msg) {
 	if p.failed {
 		return
 	}
-	m, ok := msg.(wire)
+	m, ok := unwrap(msg)
 	if !ok {
 		return
 	}
@@ -186,6 +187,7 @@ func (p *PessimisticLog) OnMessage(src topology.NodeID, msg core.Msg) {
 	case "replay":
 		// Re-delivery of a logged receipt (PWD: same order, same content).
 		p.recvLog = append(p.recvLog, loggedRecv{From: m.From, Payload: m.Payload, AtSeq: p.seq})
+		p.notePeak(p.LogLen())
 		p.app.Deliver(m.From, m.Payload)
 		p.env.Stat("plog.replayed", 1)
 	case "alert":
@@ -203,10 +205,10 @@ func (p *PessimisticLog) serveRecovery(from topology.NodeID) {
 		resp.State = snap.State
 		resp.Size = snap.Size
 	}
-	p.env.Send(from, resp.size(), resp)
+	p.send(from, resp)
 	for _, r := range p.mirrorLog[from] {
 		rm := wire{Kind: "replay", From: r.From, Payload: r.Payload}
-		p.env.Send(from, rm.size(), rm)
+		p.send(from, rm)
 	}
 }
 
@@ -216,7 +218,7 @@ func (p *PessimisticLog) resendTo(failed topology.NodeID) {
 	for id, s := range p.sendLog {
 		if s.Dst == failed {
 			rm := wire{Kind: "app", From: p.id, Payload: s.Payload, MsgID: id}
-			p.env.SendApp(s.Dst, rm.size(), rm)
+			p.sendApp(s.Dst, rm)
 			p.env.Stat("plog.resent", 1)
 		}
 	}
@@ -227,11 +229,12 @@ func (p *PessimisticLog) resendTo(failed topology.NodeID) {
 func (p *PessimisticLog) deliverApp(m wire) {
 	rec := loggedRecv{From: m.From, Payload: m.Payload, AtSeq: p.seq}
 	p.recvLog = append(p.recvLog, rec)
+	p.notePeak(p.LogLen())
 	mir := wire{Kind: "logcopy", From: p.id, Payload: m.Payload, Seq: p.seq, MsgID: m.MsgID}
-	p.env.Send(p.neighbour(), mir.size(), mir)
+	p.send(p.neighbour(), mir)
 	p.app.Deliver(m.From, m.Payload)
 	ack := wire{Kind: "logged", From: p.id, MsgID: m.MsgID}
-	p.env.Send(m.From, ack.size(), ack)
+	p.send(m.From, ack)
 	p.env.Stat("plog.logged", 1)
 }
 
@@ -254,12 +257,12 @@ func (p *PessimisticLog) OnFailureDetected(failed topology.NodeID) {
 	} else {
 		// Route the request as if issued by the failed node itself.
 		req := wire{Kind: "recover-req", From: failed}
-		p.env.Send(holder, req.size(), req)
+		p.send(holder, req)
 	}
 	alert := wire{Kind: "alert", From: failed}
 	for _, id := range p.allNodes() {
 		if id != p.id {
-			p.env.Send(id, alert.size(), alert)
+			p.send(id, alert)
 		}
 	}
 	// The alert loop excludes this node; apply its effect locally so

@@ -60,7 +60,7 @@ func (n *Node) sendForce(target DDV, always bool) {
 	}
 	// The message outlives this event (it sits in the network until
 	// delivery): hand it an owned copy of the scratch target.
-	msg := ForceCLC{Epoch: n.epoch, NewDDV: target.Clone(), Always: always}
+	msg := ForceCLC{Epoch: n.epoch, NewDDV: n.arena.Clone(target), Always: always}
 	n.env.Send(n.leaderOf(n.cluster), controlSize(msg), msg)
 }
 
@@ -76,7 +76,7 @@ func (n *Node) onForceCLC(src topology.NodeID, m ForceCLC) {
 // forced CLC if none is in flight.
 func (n *Node) absorbForce(target DDV, always bool) {
 	if n.pendingForce == nil {
-		n.pendingForce = NewDDV(n.cfg.Clusters)
+		n.pendingForce = n.arena.New()
 	}
 	n.pendingForce.Merge(target)
 	if always {
@@ -91,7 +91,7 @@ func (n *Node) tryStartForced() {
 	if n.inFlight || n.rbActive || n.lostState || n.phase != cpIdle || (n.pendingForce == nil && !n.pendingAlways) {
 		return
 	}
-	update := NewDDV(n.cfg.Clusters)
+	update := n.arena.New()
 	needed := false
 	if n.pendingForce != nil {
 		for i, v := range n.pendingForce {
@@ -117,7 +117,10 @@ func (n *Node) startCLC(forced bool, update DDV) {
 	n.inFlightForced = forced
 	n.inFlightSeq = seq
 	n.inFlightSince = n.env.Now()
-	n.ackedNodes = make(map[int]bool, n.size)
+	for i := range n.ackedNodes {
+		n.ackedNodes[i] = false
+	}
+	n.ackedCount = 0
 	n.env.Trace(sim.TraceDebug, "CLC %d request (forced=%v update=%v)", seq, forced, update)
 	n.env.Stat(n.keys.clcRequested, 1)
 
@@ -207,7 +210,7 @@ func (n *Node) onReplicaAck(src topology.NodeID, m ReplicaAck) {
 func (n *Node) sendPrepAck(seq SN) {
 	var nodeDDV DDV
 	if n.cfg.Mode == ModeIndependent {
-		nodeDDV = n.ddv.Clone()
+		nodeDDV = n.arena.Clone(n.ddv)
 	}
 	if n.leader() {
 		n.ackFrom(n.id.Index, seq, nodeDDV)
@@ -226,15 +229,18 @@ func (n *Node) onCLCAck(src topology.NodeID, m CLCAck) {
 }
 
 func (n *Node) ackFrom(index int, seq SN, nodeDDV DDV) {
-	n.ackedNodes[index] = true
+	if !n.ackedNodes[index] {
+		n.ackedNodes[index] = true
+		n.ackedCount++
+	}
 	if nodeDDV != nil {
 		n.ackedDDVs = append(n.ackedDDVs, nodeDDV)
 	}
-	if len(n.ackedNodes) < n.size {
+	if n.ackedCount < n.size {
 		return
 	}
 	// Every node saved and replicated its state: commit.
-	newDDV := n.ddv.Clone()
+	newDDV := n.arena.Clone(n.ddv)
 	if n.inFlightForced && n.pendingForce != nil {
 		for i, v := range n.pendingForce {
 			if topology.ClusterID(i) != n.cluster && v > newDDV[i] {
@@ -284,7 +290,7 @@ func (n *Node) applyCommit(seq SN, ddv DDV, forced bool) {
 	rec := n.provisional
 	// The record outlives the commit message, which is shared across
 	// the cluster: the stored Meta needs its own copy.
-	rec.meta = Meta{SN: seq, DDV: ddv.Clone()}
+	rec.meta = Meta{SN: seq, DDV: n.arena.Clone(ddv)}
 	n.clcs = append(n.clcs, rec)
 	n.provisional = nil
 	n.phase = cpIdle

@@ -54,7 +54,7 @@ func (n *Node) doSend(dst topology.NodeID, p AppPayload) {
 		if n.cfg.Transitive {
 			// The piggybacked DDV is retained by both the wire message
 			// and the log entry below: it needs an owned copy.
-			m.PiggyDDV = n.ddv.Clone()
+			m.PiggyDDV = n.arena.Clone(n.ddv)
 		}
 		n.log = append(n.log, &logEntry{
 			msgID:      m.MsgID,
@@ -65,6 +65,9 @@ func (n *Node) doSend(dst topology.NodeID, p AppPayload) {
 			piggyDDV:   m.PiggyDDV,
 			sendSN:     n.sn,
 		})
+		if len(n.log) > n.logPeak {
+			n.logPeak = len(n.log)
+		}
 		n.env.Stat("log.appended", 1)
 		if n.cfg.Replicas > 0 {
 			mir := LogMirror{
@@ -73,6 +76,18 @@ func (n *Node) doSend(dst topology.NodeID, p AppPayload) {
 			}
 			n.env.Send(n.holderFor(), controlSize(mir), mir)
 		}
+	}
+	n.sendAppMsg(dst, m)
+}
+
+// sendAppMsg transmits an application wrapper, through a recycled box
+// when the harness offers one (see BoxPool).
+func (n *Node) sendAppMsg(dst topology.NodeID, m AppMsg) {
+	if n.boxes != nil {
+		b := n.boxes.AppMsgBox()
+		*b = m
+		n.env.SendApp(dst, m.WireSize(), b)
+		return
 	}
 	n.env.SendApp(dst, m.WireSize(), m)
 }
@@ -279,6 +294,12 @@ func (n *Node) deliverInter(src topology.NodeID, m AppMsg) {
 	}
 	n.app.Deliver(src, m.Payload)
 	ack := AppAck{MsgID: m.MsgID, SrcCluster: n.cluster, SrcEpoch: n.epoch, ReceiverSN: n.sn}
+	if n.boxes != nil {
+		b := n.boxes.AppAckBox()
+		*b = ack
+		n.env.Send(src, controlSize(ack), b)
+		return
+	}
 	n.env.Send(src, controlSize(ack), ack)
 }
 
@@ -329,7 +350,7 @@ func (n *Node) resendLoggedTo(c topology.ClusterID, alertSN SN, newEpoch Epoch) 
 		}
 		n.env.Stat("log.resent", 1)
 		n.env.Trace(sim.TraceDebug, "resend %v to %v (alert sn=%d)", e.payload.ID, e.dst, alertSN)
-		n.env.SendApp(e.dst, m.WireSize(), m)
+		n.sendAppMsg(e.dst, m)
 	}
 }
 

@@ -104,7 +104,7 @@ func (n *Node) makeGCReport(round uint64) GCReport {
 		Round:      round,
 		Cluster:    n.cluster,
 		Epoch:      n.epoch,
-		CurrentDDV: n.ddv.Clone(),
+		CurrentDDV: n.arena.Clone(n.ddv),
 		CLCs:       n.StoredMetas(),
 	}
 }

@@ -8,6 +8,16 @@ import (
 // exported so the live runtime can encode them with encoding/gob.
 type Msg interface{ ProtocolMessage() }
 
+// ReclaimableMsg is implemented by pooled message boxes (e.g. the
+// baseline protocols' wire boxes): the simulation harness calls
+// ReclaimMsgBox after the destination's OnMessage returned, handing the
+// box back to its owner's free list. Receivers copy what they keep and
+// never retain the box itself.
+type ReclaimableMsg interface {
+	Msg
+	ReclaimMsgBox()
+}
+
 // Wire sizes in bytes, used to price protocol traffic in the network
 // model. Piggybacked vectors add 8 bytes per cluster.
 const (
@@ -308,10 +318,12 @@ type GCToken struct {
 
 func (GCToken) ProtocolMessage() {}
 
-// controlSize estimates the wire size of a control message.
+// controlSize estimates the wire size of a control message. Pooled
+// boxes (*AppAck) price identically to their value forms so BoxPool
+// and plain environments account traffic the same way.
 func controlSize(m Msg) int {
 	switch v := m.(type) {
-	case AppAck:
+	case AppAck, *AppAck:
 		return controlBytes
 	case CLCRequest:
 		return controlBytes + perClusterByte*len(v.DDVUpdate)

@@ -195,7 +195,8 @@ type Node struct {
 	inFlightForced bool
 	inFlightSeq    SN
 	inFlightSince  sim.Time
-	ackedNodes     map[int]bool
+	ackedNodes     []bool // reusable per-index ack flags, reset at startCLC
+	ackedCount     int
 	ackedDDVs      []DDV // node DDVs gathered with acks (ModeIndependent)
 	pendingForce   DDV   // accumulated force targets not yet committed
 	pendingAlways  bool  // an unconditional force is pending (ModeForceAll)
@@ -214,6 +215,7 @@ type Node struct {
 
 	// ---- message log ----
 	log       []*logEntry
+	logPeak   int // running high-water mark of len(log) over the run
 	nextMsgID uint64
 
 	// ---- rollback ----
@@ -247,6 +249,17 @@ type Node struct {
 	// call on this node; sendForce clones it before anything escapes
 	// the current event (see cic.go), so it must never be stored.
 	forceScratch DDV
+	// arena backs every DDV this node hands out at an escape point
+	// (stored Metas, piggybacked vectors, commit broadcasts); see
+	// DDVArena for the ownership rules.
+	arena DDVArena
+	// replTargets is the fixed ring of neighbour nodes holding this
+	// node's checkpoint parts, computed once (the per-prepare slice
+	// build showed up as a top allocation site).
+	replTargets []topology.NodeID
+	// boxes is the env's message-box recycler when it offers one
+	// (BoxPool); nil means plain value sends.
+	boxes BoxPool
 	// keys holds the node's pre-rendered per-cluster stat names, so
 	// hot-path Stat/StatSeries calls build no strings.
 	keys statKeys
@@ -312,17 +325,17 @@ type AppPayloadTo struct {
 func NewNode(cfg Config, env Env, app AppHooks) *Node {
 	cfg.validate()
 	n := &Node{
-		cfg:         cfg,
-		env:         env,
-		app:         app,
-		id:          cfg.ID,
-		cluster:     cfg.ID.Cluster,
-		size:        cfg.ClusterSizes[cfg.ID.Cluster],
-		sn:          1,
-		ddv:         NewDDV(cfg.Clusters),
-		knownEpoch:  make([]Epoch, cfg.Clusters),
-		alertEpoch:  make([]Epoch, cfg.Clusters),
-		alertSN:     make([]SN, cfg.Clusters),
+		cfg:        cfg,
+		env:        env,
+		app:        app,
+		id:         cfg.ID,
+		cluster:    cfg.ID.Cluster,
+		size:       cfg.ClusterSizes[cfg.ID.Cluster],
+		sn:         1,
+		ddv:        NewDDV(cfg.Clusters),
+		knownEpoch: make([]Epoch, cfg.Clusters),
+		alertEpoch: make([]Epoch, cfg.Clusters),
+		alertSN:    make([]SN, cfg.Clusters),
 		// The volatile-storage maps are sized from the topology: a node
 		// holds replicas for its cfg.Replicas ring predecessors (a few
 		// checkpoints each) and mirrors the same neighbours' logs.
@@ -330,12 +343,20 @@ func NewNode(cfg Config, env Env, app AppHooks) *Node {
 		mirrorLogs:   make(map[topology.NodeID][]LogMirror, cfg.Replicas),
 		cascadeMemo:  make(map[topology.ClusterID]cascadeRecord, cfg.Clusters),
 		forceScratch: NewDDV(cfg.Clusters),
+		ackedNodes:   make([]bool, cfg.ClusterSizes[cfg.ID.Cluster]),
 		keys:         makeStatKeys(cfg.ID.Cluster),
+	}
+	n.arena.Init(cfg.Clusters)
+	n.boxes, _ = env.(BoxPool)
+	n.replTargets = make([]topology.NodeID, 0, cfg.Replicas)
+	for r := 1; r <= cfg.Replicas; r++ {
+		n.replTargets = append(n.replTargets,
+			topology.NodeID{Cluster: n.cluster, Index: (n.id.Index + r) % n.size})
 	}
 	n.ddv[n.cluster] = 1
 	state, size := app.Snapshot()
 	n.clcs = append(n.clcs, &clcRecord{
-		meta:      Meta{SN: 1, DDV: n.ddv.Clone()},
+		meta:      Meta{SN: 1, DDV: n.arena.Clone(n.ddv)},
 		at:        env.Now(),
 		state:     state,
 		stateSize: size,
@@ -364,14 +385,9 @@ func (n *Node) leaderOf(c topology.ClusterID) topology.NodeID {
 }
 
 // replicaTargets returns the neighbour nodes that store this node's
-// checkpoint parts: the next cfg.Replicas indices, ring order.
-func (n *Node) replicaTargets() []topology.NodeID {
-	t := make([]topology.NodeID, 0, n.cfg.Replicas)
-	for r := 1; r <= n.cfg.Replicas; r++ {
-		t = append(t, topology.NodeID{Cluster: n.cluster, Index: (n.id.Index + r) % n.size})
-	}
-	return t
-}
+// checkpoint parts: the next cfg.Replicas indices, ring order. The
+// slice is the node's cached copy — callers must not mutate it.
+func (n *Node) replicaTargets() []topology.NodeID { return n.replTargets }
 
 // holderFor returns the first replica holder of this node's state.
 func (n *Node) holderFor() topology.NodeID {
@@ -406,6 +422,11 @@ func (n *Node) StoredCount() int { return len(n.clcs) }
 
 // LogLen returns the number of logged inter-cluster messages.
 func (n *Node) LogLen() int { return len(n.log) }
+
+// LogPeak returns the running high-water mark of the volatile message
+// log over the whole run — unlike LogLen it is not deflated by GC
+// trims, rollback pruning or crashes.
+func (n *Node) LogPeak() int { return n.logPeak }
 
 // ReplicaCount returns the neighbour states held in this node's memory.
 func (n *Node) ReplicaCount() int { return len(n.replicas) }
@@ -464,7 +485,9 @@ func (n *Node) InitialReplica() Replica {
 
 // ReplicaTargets lists the neighbours that hold this node's checkpoint
 // parts; harnesses use it to pre-distribute the initial checkpoint.
-func (n *Node) ReplicaTargets() []topology.NodeID { return n.replicaTargets() }
+func (n *Node) ReplicaTargets() []topology.NodeID {
+	return append([]topology.NodeID(nil), n.replTargets...)
+}
 
 // ---- lifecycle ----
 
@@ -529,6 +552,12 @@ func (n *Node) OnMessage(src topology.NodeID, msg Msg) {
 		return
 	}
 	switch m := msg.(type) {
+	case *AppMsg:
+		// Pooled-box variant of the per-message hot path (see BoxPool).
+		// The box is the harness's to reclaim; the handler gets a copy.
+		n.onAppMsg(src, *m)
+	case *AppAck:
+		n.onAppAck(src, *m)
 	case AppMsg:
 		n.onAppMsg(src, m)
 	case AppAck:

@@ -36,6 +36,28 @@ func (e *mockEnv) Trace(level sim.TraceLevel, format string, args ...any) {}
 func (e *mockEnv) Stat(name string, delta uint64)                         { e.bed.stats[name] += delta }
 func (e *mockEnv) StatSeries(name string, value float64)                  {}
 
+// The testbed implements BoxPool like the federation harness, so unit
+// tests and benchmarks cover the pooled-box message path.
+func (e *mockEnv) AppMsgBox() *AppMsg {
+	b := e.bed
+	if last := len(b.appBoxes) - 1; last >= 0 {
+		m := b.appBoxes[last]
+		b.appBoxes = b.appBoxes[:last]
+		return m
+	}
+	return new(AppMsg)
+}
+
+func (e *mockEnv) AppAckBox() *AppAck {
+	b := e.bed
+	if last := len(b.ackBoxes) - 1; last >= 0 {
+		m := b.ackBoxes[last]
+		b.ackBoxes = b.ackBoxes[:last]
+		return m
+	}
+	return new(AppAck)
+}
+
 type mockApp struct {
 	progress  int
 	delivered []LogicalID
@@ -67,6 +89,22 @@ type testbed struct {
 	queue []sentMsg
 	stats map[string]uint64
 	now   sim.Time
+
+	appBoxes []*AppMsg
+	ackBoxes []*AppAck
+}
+
+// reclaim returns a pooled message box after its dispatch, mirroring
+// the federation harness's post-OnMessage reclamation.
+func (b *testbed) reclaim(msg Msg) {
+	switch m := msg.(type) {
+	case *AppMsg:
+		*m = AppMsg{}
+		b.appBoxes = append(b.appBoxes, m)
+	case *AppAck:
+		*m = AppAck{}
+		b.ackBoxes = append(b.ackBoxes, m)
+	}
 }
 
 // newTestbed builds clusters with sizes[i] nodes each, replicas state
@@ -137,6 +175,7 @@ func (b *testbed) pump() {
 		}
 		b.now++
 		dst.OnMessage(m.src, m.msg)
+		b.reclaim(m.msg)
 	}
 }
 
@@ -339,7 +378,14 @@ func TestResendRuleOnRollbackAlert(t *testing.T) {
 	src.OnMessage(dst.ID(), RollbackAlert{Cluster: 1, NewSN: 3, NewEpoch: 1})
 	resent := 0
 	for _, m := range b.queue {
-		if am, ok := m.msg.(AppMsg); ok && am.Resend {
+		// The pooled send path queues *AppMsg boxes.
+		am, ok := m.msg.(AppMsg)
+		if !ok {
+			if p, pok := m.msg.(*AppMsg); pok {
+				am, ok = *p, true
+			}
+		}
+		if ok && am.Resend {
 			resent++
 			if am.Payload.ID.Seq != 2 {
 				t.Fatalf("resent wrong message %v", am.Payload.ID)

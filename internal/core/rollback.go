@@ -298,6 +298,11 @@ func (n *Node) onRecoverStateResp(src topology.NodeID, m RecoverStateResp) {
 		})
 		n.env.Stat("log.recovered_entries", 1)
 	}
+	// Re-adoption is a log-append site like doSend: fold it into the
+	// running high-water mark so a crash never deflates LogPeak.
+	if len(n.log) > n.logPeak {
+		n.logPeak = len(n.log)
+	}
 
 	// The crash lost the replicas this node held for its neighbours;
 	// ask their owners to push them again so the next fault is covered.

@@ -60,6 +60,55 @@ func (d DDV) CopyFrom(o DDV) {
 	copy(d, o)
 }
 
+// DDVArena hands out DDVs sliced from chunked backing storage, so the
+// protocol's hot paths (checkpoint commits, piggybacked vectors, GC
+// reports) allocate one chunk per 64 vectors instead of one slice per
+// Clone. Each Node owns one arena; a vector handed out lives as long as
+// whatever retains it (the chunk is garbage-collected once every
+// vector cut from it is dropped), and chunks are never reallocated, so
+// outstanding slices stay valid forever. Full-capacity slicing means a
+// misplaced append can never bleed into a neighbouring vector.
+type DDVArena struct {
+	width int
+	chunk []SN
+	off   int
+}
+
+// arenaChunkVectors is how many DDVs one backing chunk holds.
+const arenaChunkVectors = 64
+
+// Init sizes the arena for vectors of the given width (the federation's
+// cluster count). Width never changes over a node's lifetime.
+func (a *DDVArena) Init(width int) { a.width = width }
+
+// cut slices the next uninitialized vector off the arena. Callers must
+// overwrite every entry before the vector is read.
+func (a *DDVArena) cut() DDV {
+	if a.off+a.width > len(a.chunk) {
+		a.chunk = make([]SN, a.width*arenaChunkVectors)
+		a.off = 0
+	}
+	d := a.chunk[a.off : a.off+a.width : a.off+a.width]
+	a.off += a.width
+	return DDV(d)
+}
+
+// New returns a zeroed DDV backed by the arena.
+func (a *DDVArena) New() DDV {
+	d := a.cut()
+	for i := range d {
+		d[i] = 0
+	}
+	return d
+}
+
+// Clone returns an arena-backed copy of d.
+func (a *DDVArena) Clone(d DDV) DDV {
+	c := a.cut()
+	copy(c, d)
+	return c
+}
+
 // Merge raises each entry to the element-wise maximum with o and
 // reports whether any entry changed. Used by the transitive-dependency
 // extension (paper §7 future work).
@@ -136,6 +185,9 @@ const (
 	// TimerGC is the garbage-collection period; armed on the federation
 	// GC initiator only (§3.5).
 	TimerGC
+	// NumTimerKinds bounds the enum; harnesses that index per-kind
+	// storage size it from this constant.
+	NumTimerKinds
 )
 
 // String names the timer kind.
@@ -169,6 +221,19 @@ type Env interface {
 	Stat(name string, delta uint64)
 	// StatSeries records a named time-series point (e.g. stored CLCs).
 	StatSeries(name string, value float64)
+}
+
+// BoxPool is an optional upgrade interface of Env: a harness that
+// implements it hands the protocol recycled wire-message boxes for the
+// per-message hot path, eliminating the interface-boxing allocation of
+// every AppMsg/AppAck send. Ownership contract: a box obtained here is
+// filled and passed to exactly one Send/SendApp call; the harness
+// reclaims it after the destination's OnMessage returns (receivers copy
+// anything they keep, never the box). Environments that do not
+// implement BoxPool (e.g. the live runtime) get plain value messages.
+type BoxPool interface {
+	AppMsgBox() *AppMsg
+	AppAckBox() *AppAck
 }
 
 // AppHooks connects the protocol to the application layer of one node:

@@ -134,39 +134,49 @@ func (o *Options) fill() error {
 	return nil
 }
 
-// Fed is one assembled simulation.
+// Fed is one assembled simulation. Per-node state lives in flat slices
+// indexed by the topology's dense node ordinal — NodeID-keyed maps put
+// struct hashing on every delivery and timer operation.
 type Fed struct {
 	opts    Options
 	engine  *sim.Engine
 	stats   *sim.Stats
 	tracer  *sim.Tracer
 	net     *netsim.Network
-	nodes   map[topology.NodeID]ProtocolNode
-	apps    map[topology.NodeID]*app.NodeApp
-	senders map[topology.NodeID]*appSender // bound once; closure-free send scheduling
-	timers  map[timerKey]*sim.Timer
-	pending map[topology.NodeID]sim.EventRef // next app send event
+	ix      topology.NodeIndex
+	nodes   []ProtocolNode
+	apps    []*app.NodeApp
+	senders []*appSender   // bound once; closure-free send scheduling
+	timers  []*sim.Timer   // core.NumTimerKinds per node: [kinds*ord+kind]
+	pending []sim.EventRef // next app send event per node
 	inject  *failure.Injector
+	boxes   msgBoxes
+}
+
+// msgBoxes recycles the wire-message boxes of the per-message protocol
+// hot path (core.BoxPool). A box is acquired by the sending node,
+// travels through the event queue, and is reclaimed right after the
+// destination's OnMessage returns — the protocol copies anything it
+// keeps. Boxes dropped by the network (down destinations) simply fall
+// back to the garbage collector.
+type msgBoxes struct {
+	appMsgs []*core.AppMsg
+	appAcks []*core.AppAck
 }
 
 // appSender is the pre-bound argument for the closure-free application
 // send path: one boxed pointer per node, created at assembly, so
 // scheduling a send allocates neither a closure nor an interface box.
 type appSender struct {
-	f  *Fed
-	id topology.NodeID
+	f   *Fed
+	ord int
 }
 
 // fireSendCall is the package-level trampoline handed to
 // Engine.ScheduleCall for application sends.
 func fireSendCall(arg any) {
 	s := arg.(*appSender)
-	s.f.fireSend(s.id)
-}
-
-type timerKey struct {
-	id   topology.NodeID
-	kind core.TimerKind
+	s.f.fireSend(s.ord)
 }
 
 // New assembles a federation simulation.
@@ -174,7 +184,8 @@ func New(opts Options) (*Fed, error) {
 	if err := opts.fill(); err != nil {
 		return nil, err
 	}
-	nodeCount := len(opts.Topology.AllNodes())
+	ix := opts.Topology.Index()
+	nodeCount := ix.Len()
 	nc := opts.Topology.NumClusters()
 	f := &Fed{
 		opts:   opts,
@@ -183,11 +194,12 @@ func New(opts Options) (*Fed, error) {
 		// per-(event, kind, cluster-pair) counters plus a fixed
 		// protocol set: size the registry for it up front.
 		stats:   sim.NewStatsHint(64 + 16*nc*nc),
-		nodes:   make(map[topology.NodeID]ProtocolNode, nodeCount),
-		apps:    make(map[topology.NodeID]*app.NodeApp, nodeCount),
-		senders: make(map[topology.NodeID]*appSender, nodeCount),
-		timers:  make(map[timerKey]*sim.Timer, 2*nodeCount),
-		pending: make(map[topology.NodeID]sim.EventRef, nodeCount),
+		ix:      ix,
+		nodes:   make([]ProtocolNode, nodeCount),
+		apps:    make([]*app.NodeApp, nodeCount),
+		senders: make([]*appSender, nodeCount),
+		timers:  make([]*sim.Timer, int(core.NumTimerKinds)*nodeCount),
+		pending: make([]sim.EventRef, nodeCount),
 	}
 	f.engine.MaxEvents = opts.MaxEvents
 	if opts.TraceWriter != nil {
@@ -204,7 +216,7 @@ func New(opts Options) (*Fed, error) {
 
 	nodeSeq := 0
 	for _, id := range fed.AllNodes() {
-		id := id
+		ord := ix.Ord(id)
 		repl := opts.Replicas
 		if repl > sizes[id.Cluster]-1 {
 			repl = sizes[id.Cluster] - 1
@@ -221,15 +233,15 @@ func New(opts Options) (*Fed, error) {
 			Transitive:        opts.Transitive,
 			Replicas:          repl,
 		}
-		env := &nodeEnv{f: f, id: id}
+		env := &nodeEnv{f: f, id: id, ord: ord, idStr: id.String()}
 		na := app.NewNodeApp(id, opts.Workload, fed, root.StreamN("app", nodeSeq))
 		na.Now = f.engine.Now
-		na.Restored = func() { f.scheduleNextSend(id) }
+		na.Restored = func() { f.scheduleNextSend(ord) }
 		na.OnLost = func(d sim.Duration) {
 			f.stats.Summary("app.lost_work_seconds").Observe(d.Seconds())
 		}
-		f.apps[id] = na
-		f.senders[id] = &appSender{f: f, id: id}
+		f.apps[ord] = na
+		f.senders[ord] = &appSender{f: f, ord: ord}
 
 		var pn ProtocolNode
 		if opts.NodeFactory != nil {
@@ -237,18 +249,20 @@ func New(opts Options) (*Fed, error) {
 		} else {
 			pn = core.NewNode(cfg, env, na)
 		}
-		f.nodes[id] = pn
+		f.nodes[ord] = pn
 		f.net.Register(id, func(m netsim.Message) {
-			f.nodes[id].OnMessage(m.Src, m.Payload.(core.Msg))
+			msg := m.Payload.(core.Msg)
+			pn.OnMessage(m.Src, msg)
+			f.boxes.reclaim(msg)
 		})
 		nodeSeq++
 	}
 
 	// Pre-distribute initial checkpoints to stable storage (HC3I only).
 	for _, id := range fed.AllNodes() {
-		if hn, ok := f.nodes[id].(*core.Node); ok {
+		if hn, ok := f.nodes[ix.Ord(id)].(*core.Node); ok {
 			for _, tgt := range hn.ReplicaTargets() {
-				f.nodes[tgt].(*core.Node).SeedReplica(hn.InitialReplica())
+				f.nodes[ix.Ord(tgt)].(*core.Node).SeedReplica(hn.InitialReplica())
 			}
 		}
 	}
@@ -279,15 +293,37 @@ func (f *Fed) Engine() *sim.Engine { return f.engine }
 func (f *Fed) Stats() *sim.Stats { return f.stats }
 
 // Node returns the protocol node with the given identity.
-func (f *Fed) Node(id topology.NodeID) ProtocolNode { return f.nodes[id] }
+func (f *Fed) Node(id topology.NodeID) ProtocolNode { return f.nodes[f.ix.Ord(id)] }
 
 // App returns the simulated application of one node.
-func (f *Fed) App(id topology.NodeID) *app.NodeApp { return f.apps[id] }
+func (f *Fed) App(id topology.NodeID) *app.NodeApp { return f.apps[f.ix.Ord(id)] }
 
-// nodeEnv adapts the federation to core.Env for one node.
+// reclaim returns a pooled wire-message box after its delivery was
+// dispatched. Zeroing drops payload references so the pool retains no
+// dead application data.
+func (b *msgBoxes) reclaim(msg core.Msg) {
+	switch m := msg.(type) {
+	case *core.AppMsg:
+		*m = core.AppMsg{}
+		b.appMsgs = append(b.appMsgs, m)
+	case *core.AppAck:
+		*m = core.AppAck{}
+		b.appAcks = append(b.appAcks, m)
+	case core.ReclaimableMsg:
+		// Protocol-owned boxes (baseline wire messages) return to the
+		// free list of the node that sent them.
+		m.ReclaimMsgBox()
+	}
+}
+
+// nodeEnv adapts the federation to core.Env for one node. It also
+// implements core.BoxPool, handing the protocol recycled message boxes
+// so the steady-state send path performs no interface-boxing allocation.
 type nodeEnv struct {
-	f  *Fed
-	id topology.NodeID
+	f     *Fed
+	id    topology.NodeID
+	ord   int
+	idStr string // pre-rendered: tracing must not format when disabled
 }
 
 func (e *nodeEnv) Now() sim.Time { return e.f.engine.Now() }
@@ -300,24 +336,48 @@ func (e *nodeEnv) SendApp(dst topology.NodeID, size int, msg core.Msg) {
 	e.f.net.Send(e.id, dst, netsim.KindApp, size, msg)
 }
 
+func (e *nodeEnv) AppMsgBox() *core.AppMsg {
+	b := &e.f.boxes
+	if last := len(b.appMsgs) - 1; last >= 0 {
+		m := b.appMsgs[last]
+		b.appMsgs = b.appMsgs[:last]
+		return m
+	}
+	return new(core.AppMsg)
+}
+
+func (e *nodeEnv) AppAckBox() *core.AppAck {
+	b := &e.f.boxes
+	if last := len(b.appAcks) - 1; last >= 0 {
+		m := b.appAcks[last]
+		b.appAcks = b.appAcks[:last]
+		return m
+	}
+	return new(core.AppAck)
+}
+
 func (e *nodeEnv) SetTimer(k core.TimerKind, d sim.Duration) {
-	key := timerKey{id: e.id, kind: k}
-	t, ok := e.f.timers[key]
-	if !ok {
-		id, kind := e.id, k
+	if k < 0 || k >= core.NumTimerKinds {
+		panic(fmt.Sprintf("federation: SetTimer with unknown TimerKind %d (extend core.NumTimerKinds)", k))
+	}
+	slot := int(core.NumTimerKinds)*e.ord + int(k)
+	t := e.f.timers[slot]
+	if t == nil {
+		kind := k
+		// Resolve the node at fire time: a protocol constructor may arm
+		// its timers before the factory's return value is stored.
 		t = sim.NewTimer(e.f.engine, func(*sim.Engine) {
-			n := e.f.nodes[id]
-			if !n.Failed() {
+			if n := e.f.nodes[e.ord]; !n.Failed() {
 				n.OnTimer(kind)
 			}
 		})
-		e.f.timers[key] = t
+		e.f.timers[slot] = t
 	}
 	t.Reset(d)
 }
 
 func (e *nodeEnv) Trace(level sim.TraceLevel, format string, args ...any) {
-	e.f.tracer.Emit(level, e.id.String(), format, args...)
+	e.f.tracer.Emit(level, e.idStr, format, args...)
 }
 
 func (e *nodeEnv) Stat(name string, delta uint64) {
@@ -331,43 +391,41 @@ func (e *nodeEnv) StatSeries(name string, value float64) {
 // ---- application driving ----
 
 // scheduleNextSend (re)schedules the node's next application send.
-func (f *Fed) scheduleNextSend(id topology.NodeID) {
-	if ref, ok := f.pending[id]; ok {
-		ref.Cancel()
-	}
-	a := f.apps[id]
+func (f *Fed) scheduleNextSend(ord int) {
+	f.pending[ord].Cancel()
+	a := f.apps[ord]
 	at, ok := a.NextSend()
 	if !ok {
-		delete(f.pending, id)
+		f.pending[ord] = sim.EventRef{}
 		return
 	}
 	when := a.SimTimeOf(at)
 	if when < f.engine.Now() {
 		when = f.engine.Now()
 	}
-	f.pending[id] = f.engine.ScheduleCallAt(when, fireSendCall, f.senders[id])
+	f.pending[ord] = f.engine.ScheduleCallAt(when, fireSendCall, f.senders[ord])
 }
 
-func (f *Fed) fireSend(id topology.NodeID) {
-	n := f.nodes[id]
+func (f *Fed) fireSend(ord int) {
+	n := f.nodes[ord]
 	if n.Failed() {
 		// The node is down: its application makes no progress. The
 		// restore path reschedules the send after recovery.
-		delete(f.pending, id)
+		f.pending[ord] = sim.EventRef{}
 		return
 	}
-	dst, payload, ok := f.apps[id].TakeSend()
+	dst, payload, ok := f.apps[ord].TakeSend()
 	if ok {
 		n.Send(dst, payload)
 		f.stats.Counter("app.generated").Inc()
 	}
-	f.scheduleNextSend(id)
+	f.scheduleNextSend(ord)
 }
 
 // ---- failures ----
 
 func (f *Fed) crash(id topology.NodeID) {
-	n := f.nodes[id]
+	n := f.nodes[f.ix.Ord(id)]
 	if n.Failed() {
 		return
 	}
@@ -380,7 +438,7 @@ func (f *Fed) crash(id topology.NodeID) {
 func (f *Fed) detect(id topology.NodeID) {
 	// Repair: the node restarts with empty memory and rejoins.
 	f.net.SetDown(id, false)
-	f.nodes[id].Restart()
+	f.nodes[f.ix.Ord(id)].Restart()
 	// The detector notifies the lowest-index surviving node (§3.4
 	// leaves the detector abstract); it coordinates the rollback.
 	coord := f.coordinatorFor(id)
@@ -397,7 +455,7 @@ func (f *Fed) coordinatorFor(failed topology.NodeID) ProtocolNode {
 		if id == failed {
 			continue
 		}
-		if n := f.nodes[id]; !n.Failed() {
+		if n := f.nodes[f.ix.Ord(id)]; !n.Failed() {
 			return n
 		}
 	}

@@ -54,8 +54,9 @@ type Result struct {
 // invariants before returning.
 func (f *Fed) Run() (*Result, error) {
 	for _, id := range f.opts.Topology.AllNodes() {
-		f.nodes[id].Start()
-		f.scheduleNextSend(id)
+		ord := f.ix.Ord(id)
+		f.nodes[ord].Start()
+		f.scheduleNextSend(ord)
 	}
 
 	// Run in slices until every application finished its schedule (a
@@ -84,8 +85,8 @@ func (f *Fed) Run() (*Result, error) {
 }
 
 func (f *Fed) appsDone() bool {
-	for id, a := range f.apps {
-		if f.nodes[id].Failed() {
+	for ord, a := range f.apps {
+		if f.nodes[ord].Failed() {
 			return false
 		}
 		if _, ok := a.NextSend(); ok {
@@ -108,7 +109,7 @@ func (f *Fed) checkInvariants() error {
 	// A node that never finished recovering would leave its cluster's
 	// rollback incomplete: surface it as a frozen/lost node.
 	for _, id := range f.opts.Topology.AllNodes() {
-		if hn, ok := f.nodes[id].(*core.Node); ok && !hn.Failed() {
+		if hn, ok := f.nodes[f.ix.Ord(id)].(*core.Node); ok && !hn.Failed() {
 			if hn.LostState() {
 				return fmt.Errorf("federation: node %v never recovered its state", id)
 			}
@@ -118,7 +119,7 @@ func (f *Fed) checkInvariants() error {
 	for c := 0; c < f.opts.Topology.NumClusters(); c++ {
 		var first *core.Node
 		for _, id := range f.opts.Topology.Nodes(topology.ClusterID(c)) {
-			hn, ok := f.nodes[id].(*core.Node)
+			hn, ok := f.nodes[f.ix.Ord(id)].(*core.Node)
 			if !ok {
 				break
 			}
@@ -143,11 +144,12 @@ func (f *Fed) checkInvariants() error {
 	// node performed (in its final history) was delivered at its
 	// destination at least once.
 	if f.opts.Workload.Deterministic {
-		for id, a := range f.apps {
+		for _, a := range f.apps {
+			id := a.ID()
 			for i := 0; i < a.SentCount(); i++ {
 				dst := a.DestinationOf(i)
 				lid := core.LogicalID{Src: id, Seq: uint64(i + 1)}
-				if f.apps[dst].DeliveredTimes(lid) == 0 {
+				if f.apps[f.ix.Ord(dst)].DeliveredTimes(lid) == 0 {
 					return fmt.Errorf("federation: message %v to %v lost", lid, dst)
 				}
 			}
@@ -172,7 +174,7 @@ func (f *Fed) collect() *Result {
 			Unforced:  f.stats.CounterValue(fmt.Sprintf("clc.committed.c%d.unforced", c)),
 			Committed: f.stats.CounterValue(fmt.Sprintf("clc.committed.c%d", c)),
 			Rollbacks: f.stats.CounterValue(fmt.Sprintf("rollback.count.c%d", c)),
-			Stored:    f.nodes[topology.NodeID{Cluster: topology.ClusterID(c)}].StoredCount(),
+			Stored:    f.nodes[f.ix.Ord(topology.NodeID{Cluster: topology.ClusterID(c)})].StoredCount(),
 		}
 		res.Clusters = append(res.Clusters, cr)
 	}
@@ -185,16 +187,18 @@ func (f *Fed) collect() *Result {
 		}
 	}
 	res.GCRounds = f.gcRounds(n)
-	// Every protocol with a volatile message log reports its length;
-	// core.Node and all three baselines implement it. Known limitation:
-	// this samples the log once at end of run, not a true high-water
-	// mark — a protocol that truncates its log periodically (the
-	// pessimistic-log baseline at every snapshot) under-reports its
-	// mid-run peak. Tracking the running maximum would change matrix
-	// output, so it is deferred to a PR that may re-record the
-	// determinism goldens (see ROADMAP).
-	for _, id := range f.opts.Topology.AllNodes() {
-		if ln, ok := f.nodes[id].(interface{ LogLen() int }); ok {
+	// Every protocol with a volatile message log reports its running
+	// high-water mark; core.Node and all three baselines track it at
+	// their log-append sites, so log-truncating protocols (the
+	// pessimistic-log baseline trims at every snapshot) report their
+	// true mid-run peak, not the deflated end-of-run length. Protocols
+	// without a peak tracker fall back to the end-of-run sample.
+	for _, n := range f.nodes {
+		if ln, ok := n.(interface{ LogPeak() int }); ok {
+			if l := ln.LogPeak(); l > res.MaxLoggedMessages {
+				res.MaxLoggedMessages = l
+			}
+		} else if ln, ok := n.(interface{ LogLen() int }); ok {
 			if l := ln.LogLen(); l > res.MaxLoggedMessages {
 				res.MaxLoggedMessages = l
 			}

@@ -48,15 +48,11 @@ type Message struct {
 // Handler receives delivered messages at a node.
 type Handler func(m Message)
 
-// linkKey identifies a serialization resource. Intra-cluster traffic
-// serializes at the sender's NIC; inter-cluster traffic shares one
-// directed pipe per cluster pair (the LAN/WAN uplink).
-type linkKey struct {
-	intra      bool
-	node       topology.NodeID    // for intra
-	srcCluster topology.ClusterID // for inter
-	dstCluster topology.ClusterID
-}
+// Serialization resources: intra-cluster traffic serializes at the
+// sender's NIC (one slot per node ordinal); inter-cluster traffic
+// shares one directed pipe per cluster pair (the LAN/WAN uplink, one
+// slot per src*nClusters+dst). Flat slices replace the struct-keyed
+// maps the seed used — link lookups are on the per-message hot path.
 
 // Accounting events. Counter names are fixed at these constants so the
 // per-message path never builds key strings (see count).
@@ -80,16 +76,21 @@ var eventNames = [numEvents]string{
 // Network simulates the federation fabric. All methods must be called
 // from within the simulation goroutine (event handlers).
 type Network struct {
-	engine   *sim.Engine
-	fed      *topology.Federation
-	stats    *sim.Stats
-	tracer   *sim.Tracer
-	handlers map[topology.NodeID]Handler
-	busy     map[linkKey]sim.Time
-	last     map[linkKey]sim.Time // latest scheduled arrival, for FIFO under jitter
-	down     map[topology.NodeID]bool
-	nextID   uint64
-	rng      *sim.RNG // jitter draws; nil disables jitter
+	engine *sim.Engine
+	fed    *topology.Federation
+	ix     topology.NodeIndex
+	stats  *sim.Stats
+	tracer *sim.Tracer
+	// Indexed by node ordinal.
+	handlers  []Handler
+	busyIntra []sim.Time
+	lastIntra []sim.Time // latest scheduled arrival, for FIFO under jitter
+	down      []bool
+	// Indexed by src*nClusters+dst.
+	busyInter []sim.Time
+	lastInter []sim.Time
+	nextID    uint64
+	rng       *sim.RNG // jitter draws; nil disables jitter
 
 	nClusters int
 	// deliverFn is the closure-free delivery handler, bound once so
@@ -116,16 +117,21 @@ type Network struct {
 
 // New returns a network for the federation.
 func New(e *sim.Engine, fed *topology.Federation, stats *sim.Stats, tracer *sim.Tracer) *Network {
+	ix := fed.Index()
+	nc := fed.NumClusters()
 	n := &Network{
 		engine:    e,
 		fed:       fed,
+		ix:        ix,
 		stats:     stats,
 		tracer:    tracer,
-		handlers:  make(map[topology.NodeID]Handler, len(fed.AllNodes())),
-		busy:      make(map[linkKey]sim.Time),
-		last:      make(map[linkKey]sim.Time),
-		down:      make(map[topology.NodeID]bool),
-		nClusters: fed.NumClusters(),
+		handlers:  make([]Handler, ix.Len()),
+		busyIntra: make([]sim.Time, ix.Len()),
+		lastIntra: make([]sim.Time, ix.Len()),
+		down:      make([]bool, ix.Len()),
+		busyInter: make([]sim.Time, nc*nc),
+		lastInter: make([]sim.Time, nc*nc),
+		nClusters: nc,
 	}
 	n.deliverFn = n.deliverPooled
 	return n
@@ -143,10 +149,10 @@ func (n *Network) Register(id topology.NodeID, h Handler) {
 	if !n.fed.Valid(id) {
 		panic(fmt.Sprintf("netsim: register invalid node %v", id))
 	}
-	if _, dup := n.handlers[id]; dup {
+	if n.handlers[n.ix.Ord(id)] != nil {
 		panic(fmt.Sprintf("netsim: duplicate handler for %v", id))
 	}
-	n.handlers[id] = h
+	n.handlers[n.ix.Ord(id)] = h
 }
 
 // SetDown marks a node failed (fail-stop) or repaired. Messages from a
@@ -154,15 +160,11 @@ func (n *Network) Register(id topology.NodeID, h Handler) {
 // protocol recovers them through the rollback procedure, never the
 // network).
 func (n *Network) SetDown(id topology.NodeID, down bool) {
-	if down {
-		n.down[id] = true
-	} else {
-		delete(n.down, id)
-	}
+	n.down[n.ix.Ord(id)] = down
 }
 
 // Down reports whether a node is currently failed.
-func (n *Network) Down(id topology.NodeID) bool { return n.down[id] }
+func (n *Network) Down(id topology.NodeID) bool { return n.down[n.ix.Ord(id)] }
 
 // allocMsg takes a Message box from the free list (or allocates one).
 func (n *Network) allocMsg() *Message {
@@ -195,7 +197,7 @@ func (n *Network) Send(src, dst topology.NodeID, kind Kind, size int, payload an
 	}
 	n.nextID++
 	id := n.nextID
-	if n.down[src] {
+	if n.down[n.ix.Ord(src)] {
 		// A failed node sends nothing (fail-stop assumption §2.1).
 		n.count(evDroppedSrcDown, kind, src, dst, size)
 		return id
@@ -206,24 +208,36 @@ func (n *Network) Send(src, dst topology.NodeID, kind Kind, size int, payload an
 		return id
 	}
 
-	link := n.fed.LinkBetween(src, dst)
-	key := keyFor(src, dst)
+	// Resolve the serialization slot: the sender's NIC for SAN traffic,
+	// the directed cluster-pair pipe otherwise.
+	var link topology.Link
+	var busy, last []sim.Time
+	var slot int
+	if src.Cluster == dst.Cluster {
+		link = n.fed.Clusters[src.Cluster].Intra
+		busy, last = n.busyIntra, n.lastIntra
+		slot = n.ix.Ord(src)
+	} else {
+		link = n.fed.InterLink(src.Cluster, dst.Cluster)
+		busy, last = n.busyInter, n.lastInter
+		slot = int(src.Cluster)*n.nClusters + int(dst.Cluster)
+	}
 	start := n.engine.Now()
-	if free, ok := n.busy[key]; ok && free > start {
+	if free := busy[slot]; free > start {
 		start = free
 	}
 	endSerial := start.Add(link.TransmitTime(size))
-	n.busy[key] = endSerial
+	busy[slot] = endSerial
 	arrival := endSerial.Add(link.Latency)
 	if link.Jitter > 0 && n.rng != nil {
 		// Per-message propagation jitter; arrivals never overtake an
 		// earlier message on the same link (FIFO, like an in-order
 		// transport over a jittery path).
 		arrival = arrival.Add(n.rng.Uniform(0, link.Jitter))
-		if prev := n.last[key]; arrival < prev {
+		if prev := last[slot]; arrival < prev {
 			arrival = prev
 		}
-		n.last[key] = arrival
+		last[slot] = arrival
 	}
 
 	n.count(evSent, kind, src, dst, size)
@@ -237,13 +251,6 @@ func (n *Network) Send(src, dst topology.NodeID, kind Kind, size int, payload an
 	return id
 }
 
-func keyFor(src, dst topology.NodeID) linkKey {
-	if src.Cluster == dst.Cluster {
-		return linkKey{intra: true, node: src}
-	}
-	return linkKey{srcCluster: src.Cluster, dstCluster: dst.Cluster}
-}
-
 // deliverPooled is the event-engine entry point: it copies the pooled
 // box out and releases it before running the handler, so sends issued
 // during delivery can reuse it immediately.
@@ -255,12 +262,13 @@ func (n *Network) deliverPooled(arg any) {
 }
 
 func (n *Network) deliver(m Message) {
-	if n.down[m.Dst] {
+	dst := n.ix.Ord(m.Dst)
+	if n.down[dst] {
 		// The destination died while the message was in flight.
 		n.count(evDroppedDstDown, m.Kind, m.Src, m.Dst, m.Size)
 		return
 	}
-	h := n.handlers[m.Dst]
+	h := n.handlers[dst]
 	if h == nil {
 		panic(fmt.Sprintf("netsim: no handler for %v", m.Dst))
 	}

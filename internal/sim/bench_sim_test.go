@@ -76,6 +76,45 @@ func BenchmarkEngineMixedQueue(b *testing.B) {
 	_, _ = e.RunAll()
 }
 
+// BenchmarkEnginePushPopLadder measures one schedule+fire cycle against
+// each tier of the ladder queue. "near" schedules inside the bucket
+// window (the network-delivery pattern that dominates real runs, O(1)
+// bucket append); "far" schedules beyond the window, paying the spill
+// heap plus a window jump per event (the worst case); "standing" keeps
+// 4096 far-future events pending while cycling near events, the
+// steady-state shape of a big federation (timers far, deliveries near).
+func BenchmarkEnginePushPopLadder(b *testing.B) {
+	fn := func(*Engine) {}
+	b.Run("near", func(b *testing.B) {
+		e := NewEngine()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.Schedule(Millisecond, fn)
+			e.Step()
+		}
+	})
+	b.Run("far", func(b *testing.B) {
+		e := NewEngine()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.Schedule(Second, fn) // beyond the window: far heap + refill
+			e.Step()
+		}
+	})
+	b.Run("standing", func(b *testing.B) {
+		e := NewEngine()
+		for i := 0; i < 4096; i++ {
+			e.Schedule(24*Hour+Duration(i)*Second, fn)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Schedule(Millisecond, fn)
+			e.Step()
+		}
+	})
+}
+
 func BenchmarkRNGExp(b *testing.B) {
 	r := NewRNG(1)
 	b.ReportAllocs()

@@ -1,16 +1,65 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+)
 
 // Handler is a callback executed when an event fires. It receives the
 // engine so it can schedule further events.
 type Handler func(e *Engine)
 
+// The scheduling core is a two-tier ladder queue:
+//
+//   - The near tier is an array of ladBuckets buckets, each ladWidth of
+//     virtual time wide, covering the window [winStart, winEnd). An
+//     event due inside the window is appended to its bucket in O(1);
+//     the bucket is sorted by (at, seq) only when the drain cursor
+//     reaches it. Appends arrive in seq order, so sorting by the total
+//     (at, seq) key reproduces exactly the FIFO-within-a-tick order the
+//     seed's binary heap produced.
+//   - The far tier is the classic slab-indexed binary heap. Events due
+//     at or beyond winEnd spill there; when the near tier drains, the
+//     window jumps to the earliest far event and every far event inside
+//     the new window migrates into the buckets in one pass.
+//
+// Correctness never depends on an event landing in the "right" tier:
+// the pop path compares the heads of both tiers by (at, seq) and takes
+// the smaller, so any event routed conservatively to the far heap (for
+// example one scheduled before the window start after a window jump)
+// still fires in exact timestamp order.
+const (
+	ladShift   = 20                               // bucket width: 1<<20 ns ≈ 1.05 ms
+	ladWidth   = Duration(1) << ladShift          //
+	ladBuckets = 512                              // buckets per window
+	ladWindow  = Duration(ladBuckets) << ladShift // ≈ 537 ms of virtual time
+)
+
+// Queue-position markers stored in event.heapPos. Non-negative values
+// are far-heap positions.
+const (
+	posFree = -1 // not queued: free slot, or popped and firing
+	posNear = -2 // queued in a near-tier bucket
+)
+
+// ladEntry is one near-tier bucket entry. It is self-contained — at and
+// seq are copied in — so sorting a bucket never touches the slab and a
+// stale entry (its slot cancelled and possibly recycled) still has a
+// deterministic sort position; staleness is detected at drain time by
+// comparing the generation stamp.
+type ladEntry struct {
+	at   Time
+	seq  uint64
+	slot int32
+	gen  uint32
+}
+
 // event is one slot of the engine's event slab. A slot is either live
-// (scheduled, heapPos >= 0), firing (popped, fields being consumed) or
-// free (linked into the free list through nextFree). The generation
-// counter increments every time a slot is released, so an EventRef into
-// a recycled slot can never cancel its successor.
+// (scheduled, heapPos != posFree), firing (popped, fields being
+// consumed) or free (linked into the free list through nextFree). The
+// generation counter increments every time a slot is released, so an
+// EventRef into a recycled slot can never cancel its successor.
 //
 // Exactly one of fn/call is set: fn is the classic closure handler,
 // call+arg the closure-free path (ScheduleCall).
@@ -18,7 +67,7 @@ type event struct {
 	at       Time
 	seq      uint64 // FIFO tie-break for events scheduled at the same instant
 	gen      uint32
-	heapPos  int32 // position in the heap; -1 once popped or freed
+	heapPos  int32 // far-heap position, or posNear / posFree
 	nextFree int32 // free-list link, meaningful only for free slots
 	fn       Handler
 	call     func(arg any)
@@ -47,10 +96,15 @@ func (r EventRef) Cancel() bool {
 		return false
 	}
 	ev := &e.slab[r.slot]
-	if ev.gen != r.gen || ev.heapPos < 0 {
+	if ev.gen != r.gen || ev.heapPos == posFree {
 		return false
 	}
-	e.heapRemove(int(ev.heapPos))
+	if ev.heapPos >= 0 {
+		e.heapRemove(int(ev.heapPos))
+	}
+	// A near-tier event leaves its bucket entry behind; freeing the slot
+	// bumps the generation, so the drain cursor skips the stale entry.
+	e.count--
 	e.freeSlot(r.slot)
 	return true
 }
@@ -61,24 +115,37 @@ func (r EventRef) Pending() bool {
 		return false
 	}
 	ev := &r.engine.slab[r.slot]
-	return ev.gen == r.gen && ev.heapPos >= 0
+	return ev.gen == r.gen && ev.heapPos != posFree
 }
 
 // Engine is a discrete event simulation engine: a virtual clock plus an
 // ordered queue of pending events. It is not safe for concurrent use; a
 // simulation is a single-threaded deterministic computation.
 //
-// Events live in a slab ([]event) indexed by a typed binary heap of
-// slot numbers, so scheduling performs no per-event allocation: slots
-// are recycled through a free list and guarded by generation stamps
-// (see EventRef). Cancel removes the event from the heap eagerly, which
-// keeps Len O(1) and the heap free of dead entries.
+// Events live in a slab ([]event) so scheduling performs no per-event
+// allocation: slots are recycled through a free list and guarded by
+// generation stamps (see EventRef). The queue itself is the two-tier
+// ladder described above; Cancel is O(1) for near events and O(log n)
+// for far ones, and Len is O(1) via a live-event counter.
 type Engine struct {
-	now      Time
-	slab     []event
-	heap     []int32 // slot numbers ordered by (at, seq)
-	freeHead int32   // head of the free-slot list, -1 when empty
+	now  Time
+	slab []event
+
+	// Near tier.
+	winStart  Time
+	winEnd    Time
+	buckets   [][]ladEntry
+	occupied  [ladBuckets / 64]uint64 // bit per non-empty bucket
+	cur       int                     // bucket the drain cursor is on
+	curPos    int                     // consumption position within buckets[cur]
+	curSorted bool                    // buckets[cur] has been sorted and is being drained
+
+	// Far tier.
+	heap []int32 // slot numbers ordered by (at, seq)
+
+	freeHead int32 // head of the free-slot list, -1 when empty
 	seq      uint64
+	count    int // live (scheduled, uncancelled, unfired) events
 	stopped  bool
 	// Executed counts events that have fired; useful for progress
 	// reporting and as a runaway guard in tests.
@@ -90,23 +157,39 @@ type Engine struct {
 }
 
 // NewEngine returns an empty engine with the clock at zero.
-func NewEngine() *Engine { return &Engine{freeHead: -1} }
+func NewEngine() *Engine {
+	return &Engine{
+		freeHead: -1,
+		winEnd:   Time(0).Add(ladWindow),
+		buckets:  make([][]ladEntry, ladBuckets),
+	}
+}
 
 // Reset returns the engine to its initial state (clock at zero, empty
-// queue) while keeping the slab and heap capacity, so a pooled engine
-// re-runs without re-growing its buffers. Every slot's generation is
-// bumped, invalidating all EventRefs handed out before the reset.
+// queue) while keeping the slab, bucket and heap capacity, so a pooled
+// engine re-runs without re-growing its buffers. Every slot's generation
+// is bumped, invalidating all EventRefs handed out before the reset.
 func (e *Engine) Reset() {
 	e.now = 0
 	e.seq = 0
+	e.count = 0
 	e.stopped = false
 	e.Executed = 0
+	e.winStart = 0
+	e.winEnd = Time(0).Add(ladWindow)
+	e.cur = 0
+	e.curPos = 0
+	e.curSorted = false
+	for i := range e.buckets {
+		e.buckets[i] = e.buckets[i][:0]
+	}
+	e.occupied = [ladBuckets / 64]uint64{}
 	e.heap = e.heap[:0]
 	e.freeHead = -1
 	for i := range e.slab {
 		ev := &e.slab[i]
 		ev.gen++
-		ev.heapPos = -1
+		ev.heapPos = posFree
 		ev.fn = nil
 		ev.call = nil
 		ev.arg = nil
@@ -118,9 +201,9 @@ func (e *Engine) Reset() {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Len returns the number of pending events. Cancelled events leave the
-// heap immediately, so this is the heap size — O(1).
-func (e *Engine) Len() int { return len(e.heap) }
+// Len returns the number of pending events — O(1), cancelled events are
+// discounted immediately.
+func (e *Engine) Len() int { return e.count }
 
 // Schedule queues fn to run after delay d (>= 0) of virtual time and
 // returns a reference usable to cancel it. Scheduling in the past panics:
@@ -160,7 +243,7 @@ func (e *Engine) ScheduleCallAt(t Time, fn func(arg any), arg any) EventRef {
 	return e.push(t, nil, fn, arg)
 }
 
-// push allocates a slab slot and inserts it into the heap.
+// push allocates a slab slot and routes the event to its tier.
 func (e *Engine) push(t Time, fn Handler, call func(any), arg any) EventRef {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
@@ -180,10 +263,50 @@ func (e *Engine) push(t Time, fn Handler, call func(any), arg any) EventRef {
 	ev.fn = fn
 	ev.call = call
 	ev.arg = arg
+	e.count++
+
+	if t >= e.winStart && t < e.winEnd {
+		if idx := int((t - e.winStart) >> ladShift); idx >= e.cur {
+			ev.heapPos = posNear
+			ent := ladEntry{at: t, seq: ev.seq, slot: slot, gen: ev.gen}
+			if idx == e.cur && e.curSorted {
+				e.insertSorted(ent)
+			} else {
+				e.buckets[idx] = append(e.buckets[idx], ent)
+			}
+			e.occupied[idx>>6] |= 1 << uint(idx&63)
+			return EventRef{engine: e, slot: slot, gen: ev.gen}
+		}
+		// The drain cursor already passed this bucket (possible only
+		// after the clock lagged a window jump): spill to the far heap,
+		// whose head is compared against the near tier on every pop.
+	}
 	ev.heapPos = int32(len(e.heap))
 	e.heap = append(e.heap, slot)
 	e.siftUp(len(e.heap) - 1)
 	return EventRef{engine: e, slot: slot, gen: ev.gen}
+}
+
+// insertSorted places ent into the bucket currently being drained,
+// keeping [curPos:] sorted by (at, seq). ent carries the largest seq
+// handed out so far, so its position is after every entry with the same
+// timestamp — preserving FIFO within the tick — and never before the
+// drain position (its time is >= now).
+func (e *Engine) insertSorted(ent ladEntry) {
+	b := e.buckets[e.cur]
+	lo, hi := e.curPos, len(b)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b[mid].at <= ent.at {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	b = append(b, ladEntry{})
+	copy(b[lo+1:], b[lo:])
+	b[lo] = ent
+	e.buckets[e.cur] = b
 }
 
 // freeSlot releases a slot back to the free list, bumping its
@@ -192,7 +315,7 @@ func (e *Engine) push(t Time, fn Handler, call func(any), arg any) EventRef {
 func (e *Engine) freeSlot(slot int32) {
 	ev := &e.slab[slot]
 	ev.gen++
-	ev.heapPos = -1
+	ev.heapPos = posFree
 	ev.fn = nil
 	ev.call = nil
 	ev.arg = nil
@@ -200,7 +323,146 @@ func (e *Engine) freeSlot(slot int32) {
 	e.freeHead = slot
 }
 
-// ---- typed binary heap over slab slots, ordered by (at, seq) ----
+// nearPeek advances the drain cursor to the next live near-tier entry
+// and returns it, sorting each bucket on first touch and skipping
+// entries whose slot was cancelled (generation mismatch). The occupancy
+// bitmap jumps the cursor straight to the next non-empty bucket, so an
+// empty window costs a handful of word scans, not a bucket walk. It
+// returns false once the window is exhausted.
+func (e *Engine) nearPeek() (*ladEntry, bool) {
+	for {
+		if !e.curSorted {
+			idx := e.nextOccupied(e.cur)
+			if idx < 0 {
+				e.cur = ladBuckets
+				return nil, false
+			}
+			e.cur = idx
+			sortEntries(e.buckets[idx])
+			e.curSorted = true
+			e.curPos = 0
+		}
+		for e.curPos < len(e.buckets[e.cur]) {
+			ent := &e.buckets[e.cur][e.curPos]
+			if e.slab[ent.slot].gen == ent.gen {
+				return ent, true
+			}
+			e.curPos++ // stale: cancelled after sorting
+		}
+		e.buckets[e.cur] = e.buckets[e.cur][:0]
+		e.occupied[e.cur>>6] &^= 1 << uint(e.cur&63)
+		e.curSorted = false
+		e.cur++
+	}
+}
+
+// nextOccupied returns the first non-empty bucket index >= from, or -1.
+func (e *Engine) nextOccupied(from int) int {
+	if from >= ladBuckets {
+		return -1
+	}
+	w := from >> 6
+	word := e.occupied[w] >> uint(from&63) << uint(from&63)
+	for {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w >= len(e.occupied) {
+			return -1
+		}
+		word = e.occupied[w]
+	}
+}
+
+// refill jumps the window to the earliest far event and migrates every
+// far event inside the new window into the buckets. Called only with
+// the near tier empty and the far heap non-empty.
+func (e *Engine) refill() {
+	top := &e.slab[e.heap[0]]
+	e.winStart = top.at
+	e.winEnd = top.at.Add(ladWindow)
+	e.cur = 0
+	e.curPos = 0
+	e.curSorted = false
+	for len(e.heap) > 0 {
+		slot := e.heap[0]
+		ev := &e.slab[slot]
+		if ev.at >= e.winEnd {
+			break
+		}
+		e.heapRemove(0)
+		ev.heapPos = posNear
+		idx := int((ev.at - e.winStart) >> ladShift)
+		e.buckets[idx] = append(e.buckets[idx],
+			ladEntry{at: ev.at, seq: ev.seq, slot: slot, gen: ev.gen})
+		e.occupied[idx>>6] |= 1 << uint(idx&63)
+	}
+}
+
+// next returns the slot of the earliest pending event, comparing the
+// heads of both tiers by (at, seq), without consuming it. fromNear
+// reports which tier holds it.
+func (e *Engine) next() (slot int32, fromNear, ok bool) {
+	ne, okN := e.nearPeek()
+	if !okN && len(e.heap) > 0 {
+		e.refill()
+		ne, okN = e.nearPeek()
+	}
+	if !okN {
+		if len(e.heap) == 0 {
+			return 0, false, false
+		}
+		return e.heap[0], false, true
+	}
+	if len(e.heap) > 0 {
+		f := &e.slab[e.heap[0]]
+		if f.at < ne.at || (f.at == ne.at && f.seq < ne.seq) {
+			return e.heap[0], false, true
+		}
+	}
+	return ne.slot, true, true
+}
+
+// popNext consumes the event returned by next.
+func (e *Engine) popNext(slot int32, fromNear bool) {
+	if fromNear {
+		e.curPos++
+		return
+	}
+	e.heapRemove(int(e.slab[slot].heapPos))
+}
+
+// fire executes the event in slot: advance the clock, release the slot
+// (so a ref to the firing event reads "no longer pending" and the slot
+// can be recycled by whatever the handler schedules), then invoke the
+// handler.
+//
+// Unlike Cancel's freeSlot, the fire path leaves the stale handler and
+// argument words in the slot: the next push overwrites them, and
+// skipping the three interface-field nil stores per event removes the
+// write barriers from the hottest loop of the simulator. The payload a
+// slot can transitively retain between fire and reuse is one handler's
+// worth — bounded and short-lived; Cancel and Reset still clear, so
+// cancelled events and pooled engines drop their payloads eagerly.
+func (e *Engine) fire(slot int32) {
+	ev := &e.slab[slot]
+	e.now = ev.at
+	e.Executed++
+	e.count--
+	fn, call, arg := ev.fn, ev.call, ev.arg
+	ev.gen++
+	ev.heapPos = posFree
+	ev.nextFree = e.freeHead
+	e.freeHead = slot
+	if fn != nil {
+		fn(e)
+	} else {
+		call(arg)
+	}
+}
+
+// ---- far tier: typed binary heap over slab slots, ordered by (at, seq) ----
 
 func (e *Engine) less(a, b int32) bool {
 	ea, eb := &e.slab[a], &e.slab[b]
@@ -253,12 +515,30 @@ func (e *Engine) heapRemove(i int) {
 	if i != last {
 		e.swap(i, last)
 	}
-	e.slab[e.heap[last]].heapPos = -1
+	e.slab[e.heap[last]].heapPos = posFree
 	e.heap = e.heap[:last]
 	if i < last {
 		e.siftDown(i)
 		e.siftUp(i)
 	}
+}
+
+// sortEntries orders a bucket by (at, seq). The keys are unique, so
+// the unstable stdlib pdqsort is deterministic and stability is
+// irrelevant; it allocates nothing.
+func sortEntries(b []ladEntry) {
+	slices.SortFunc(b, func(x, y ladEntry) int {
+		if x.at != y.at {
+			if x.at < y.at {
+				return -1
+			}
+			return 1
+		}
+		if x.seq < y.seq {
+			return -1
+		}
+		return 1
+	})
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -267,24 +547,12 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step fires the next pending event, if any, and reports whether one
 // fired.
 func (e *Engine) Step() bool {
-	if len(e.heap) == 0 {
+	slot, fromNear, ok := e.next()
+	if !ok {
 		return false
 	}
-	slot := e.heap[0]
-	e.heapRemove(0)
-	ev := &e.slab[slot]
-	e.now = ev.at
-	e.Executed++
-	// Copy the handler out and release the slot before invoking it, so
-	// a ref to the firing event reads "no longer pending" and the slot
-	// can be recycled by whatever the handler schedules.
-	fn, call, arg := ev.fn, ev.call, ev.arg
-	e.freeSlot(slot)
-	if fn != nil {
-		fn(e)
-	} else {
-		call(arg)
-	}
+	e.popNext(slot, fromNear)
+	e.fire(slot)
 	return true
 }
 
@@ -292,20 +560,52 @@ func (e *Engine) Step() bool {
 // is called, or the horizon (if > 0) is passed. Events scheduled beyond
 // the horizon remain queued. It returns the virtual time at which the
 // simulation stopped.
+//
+// Same-timestamp events are drained in one batched dispatch loop: after
+// an event from the near tier fires, every following live entry of its
+// bucket with the same timestamp fires back-to-back — in seq (FIFO)
+// order, as the sorted bucket and the seq-ordered insertions guarantee
+// — without re-running the two-tier head comparison. No far event can
+// share that timestamp: far events are either beyond the window or
+// strictly earlier than every bucketed one, so the batch never
+// reorders across tiers.
 func (e *Engine) Run(horizon Time) (Time, error) {
 	e.stopped = false
 	for !e.stopped {
 		if e.MaxEvents > 0 && e.Executed >= e.MaxEvents {
 			return e.now, fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now)
 		}
-		if len(e.heap) == 0 {
+		slot, fromNear, ok := e.next()
+		if !ok {
 			break
 		}
-		if horizon > 0 && e.slab[e.heap[0]].at > horizon {
+		if horizon > 0 && e.slab[slot].at > horizon {
 			e.now = horizon
 			break
 		}
-		e.Step()
+		e.popNext(slot, fromNear)
+		e.fire(slot)
+		if !fromNear {
+			continue
+		}
+		// Batched same-tick dispatch within the current bucket.
+		for !e.stopped && (e.MaxEvents == 0 || e.Executed < e.MaxEvents) {
+			b := e.buckets[e.cur]
+			if e.curPos >= len(b) {
+				break
+			}
+			ent := &b[e.curPos]
+			if ent.at != e.now {
+				break
+			}
+			s := ent.slot
+			if e.slab[s].gen != ent.gen {
+				e.curPos++
+				continue
+			}
+			e.curPos++
+			e.fire(s)
+		}
 	}
 	return e.now, nil
 }

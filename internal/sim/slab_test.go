@@ -153,9 +153,158 @@ func (q refQueue) Less(i, j int) bool {
 	}
 	return q[i].seq < q[j].seq
 }
-func (q refQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *refQueue) Push(x any) { *q = append(*q, x.(refEvent)) }
-func (q *refQueue) Pop() any   { old := *q; n := len(old); x := old[n-1]; *q = old[:n-1]; return x }
+func (q refQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *refQueue) Push(x any)   { *q = append(*q, x.(refEvent)) }
+func (q *refQueue) Pop() any     { old := *q; n := len(old); x := old[n-1]; *q = old[:n-1]; return x }
+
+// TestEngineLadderDifferentialFuzz drives the ladder-queue engine and
+// the reference heap with identical schedule/cancel sequences and
+// requires identical firing order. Unlike TestEngineFuzzInterleaving it
+// stresses the ladder's structural seams: delays spanning nanoseconds
+// to hours (near bucket, window edge, far spill heap), exact bucket-
+// and window-boundary timestamps, same-tick collisions drained by the
+// batched Run loop, nested in-handler scheduling into the tick being
+// drained, and window jumps across long idle gaps.
+func TestEngineLadderDifferentialFuzz(t *testing.T) {
+	rng := NewRNG(0x1adde2)
+	e := NewEngine()
+
+	type entry struct {
+		id  int
+		ref EventRef
+	}
+	var (
+		oracle    refQueue
+		seq       uint64 // mirrors e.seq: every push goes through push()
+		nextID    int
+		fired     []int
+		cancelled = map[int]bool{}
+		live      []entry
+	)
+	var push func(d Duration)
+	record := func(arg any) {
+		id := arg.(int)
+		if cancelled[id] {
+			t.Fatalf("cancelled event %d fired", id)
+		}
+		fired = append(fired, id)
+		// Deterministic nested scheduling: some handlers chain follow-ups
+		// into the tick being batch-drained (d == 0) or right behind it.
+		switch id % 11 {
+		case 0:
+			push(0)
+		case 5:
+			push(Duration(id%3) * Millisecond)
+		}
+	}
+	push = func(d Duration) {
+		id := nextID
+		nextID++
+		ref := e.ScheduleCall(d, record, id)
+		seq++
+		heap.Push(&oracle, refEvent{at: e.Now().Add(d), seq: seq, id: id})
+		live = append(live, entry{id: id, ref: ref})
+	}
+
+	// Delay scales crossing every tier boundary: inside a bucket, exact
+	// bucket width, exact window width, just beyond, and far future.
+	scales := []Duration{
+		0, Nanosecond, Microsecond,
+		ladWidth - 1, ladWidth, ladWidth + 1,
+		Millisecond * 7,
+		ladWindow - 1, ladWindow, ladWindow + 1,
+		Second, 37 * Second, 12 * Minute, Hour,
+	}
+	delay := func() Duration {
+		d := scales[rng.Intn(len(scales))]
+		switch rng.Intn(3) {
+		case 0:
+			return d // exact boundary
+		case 1:
+			return d + Duration(rng.Intn(1000))*Microsecond
+		default:
+			// Quantized to provoke same-tick collisions.
+			return d + Duration(rng.Intn(4))*Millisecond
+		}
+	}
+	cancelRandom := func() {
+		if len(live) == 0 {
+			return
+		}
+		i := rng.Intn(len(live))
+		en := live[i]
+		live = append(live[:i], live[i+1:]...)
+		if en.ref.Cancel() {
+			cancelled[en.id] = true
+			for j, ev := range oracle {
+				if ev.id == en.id {
+					heap.Remove(&oracle, j)
+					break
+				}
+			}
+		}
+	}
+	// runSegment advances the engine to a horizon through Run — the
+	// batched dispatch loop — and replays the oracle to the same
+	// horizon, comparing the fired sequences. Nested pushes made by
+	// handlers entered both queues before the oracle replay starts, so
+	// any divergence in order shows up as a mismatch.
+	runSegment := func() {
+		horizon := e.Now().Add(Duration(1+rng.Intn(4000)) * Millisecond)
+		if rng.Intn(8) == 0 {
+			horizon = e.Now().Add(Duration(1+rng.Intn(3)) * Hour) // long jump
+		}
+		mark := len(fired)
+		if _, err := e.Run(horizon); err != nil {
+			t.Fatal(err)
+		}
+		var want []int
+		for len(oracle) > 0 && oracle[0].at <= horizon {
+			want = append(want, heap.Pop(&oracle).(refEvent).id)
+		}
+		got := fired[mark:]
+		if len(got) != len(want) {
+			t.Fatalf("segment to %v fired %d events, oracle wanted %d", horizon, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("segment to %v diverged at %d: engine %v, oracle %v", horizon, i, got, want)
+			}
+		}
+	}
+
+	for op := 0; op < 30000; op++ {
+		switch r := rng.Intn(100); {
+		case r < 55:
+			push(delay())
+		case r < 70:
+			cancelRandom()
+		default:
+			runSegment()
+		}
+		if e.Len() != len(oracle) {
+			t.Fatalf("op %d: engine Len %d, oracle %d", op, e.Len(), len(oracle))
+		}
+	}
+	// Drain completely and compare the tail.
+	mark := len(fired)
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	var want []int
+	for len(oracle) > 0 {
+		want = append(want, heap.Pop(&oracle).(refEvent).id)
+	}
+	got := fired[mark:]
+	if len(got) != len(want) {
+		t.Fatalf("final drain fired %d events, oracle wanted %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("final drain diverged at index %d", i)
+		}
+	}
+}
 
 // TestEngineFuzzInterleaving drives a deterministic pseudo-random mix of
 // schedule, cancel and fire operations and checks the engine against

@@ -156,6 +156,43 @@ func (f *Federation) AllNodes() []NodeID {
 	return ids
 }
 
+// NodeIndex maps NodeIDs onto dense ordinals [0, NumNodes), cluster by
+// cluster in index order. Hot paths use it to replace NodeID-keyed maps
+// with flat slices: hashing a two-word struct per message turned up as
+// a top profile entry in the simulation's delivery loop.
+type NodeIndex struct {
+	offsets []int
+	sizes   []int
+	total   int
+}
+
+// Index builds the dense ordinal mapping for the federation's current
+// cluster layout.
+func (f *Federation) Index() NodeIndex {
+	off := make([]int, len(f.Clusters))
+	sizes := make([]int, len(f.Clusters))
+	total := 0
+	for i, c := range f.Clusters {
+		off[i] = total
+		sizes[i] = c.Nodes
+		total += c.Nodes
+	}
+	return NodeIndex{offsets: off, sizes: sizes, total: total}
+}
+
+// Ord returns the dense ordinal of a node. An out-of-range ID panics:
+// the map lookups this replaces failed loudly on invalid IDs, and a
+// silent alias onto another node's slot would corrupt a run instead.
+func (ix NodeIndex) Ord(n NodeID) int {
+	if n.Index < 0 || n.Index >= ix.sizes[n.Cluster] {
+		panic(fmt.Sprintf("topology: node %v outside its cluster", n))
+	}
+	return ix.offsets[n.Cluster] + n.Index
+}
+
+// Len returns the number of nodes covered by the index.
+func (ix NodeIndex) Len() int { return ix.total }
+
 // Valid reports whether a node ID addresses an existing node.
 func (f *Federation) Valid(n NodeID) bool {
 	return n.Cluster >= 0 && int(n.Cluster) < len(f.Clusters) &&
