@@ -20,6 +20,13 @@
 // and the recorded baseline. A quiet machine tightens the gate toward
 // the floor; a noisy one loosens it instead of flaking.
 //
+// Benchmarks whose baseline mean sits below -wall-min-ns (default
+// 50ns) are exempt from the wall gate entirely: at that scale the
+// measured stddev is a large fraction of the mean (e.g. ~9ns on a
+// ~20ns DDV merge), so the 3-sigma band covers half the value and any
+// verdict is noise. They still gate on allocs/op, which is
+// deterministic at every scale.
+//
 // Usage:
 //
 //	go test -run xxx -bench . -benchmem -count 5 ./... | tee bench.out
@@ -175,6 +182,7 @@ func main() {
 		gateWall     = flag.Bool("gate-wall", false, "also gate wall clock (ns/op) beyond the calibrated variance band")
 		wallFloor    = flag.Float64("wall-floor", 0.25, "minimum tolerated fractional ns/op regression (noise floor)")
 		wallZ        = flag.Float64("wall-z", 3.0, "variance-band width in standard deviations of the noisier of current/baseline runs")
+		wallMinNs    = flag.Float64("wall-min-ns", 50, "skip the wall gate for benchmarks whose baseline mean is below this many ns/op: at single-digit-nanosecond scales the run-to-run stddev is a large fraction of the mean (timer granularity, alignment, frequency scaling), so the 3-sigma band spans the value itself and the gate is pure noise; such benchmarks still gate on allocs/op")
 	)
 	flag.Parse()
 
@@ -249,6 +257,11 @@ func main() {
 			b.Name, ref.AllocsPerOp, b.AllocsPerOp, limit, verdict)
 
 		if !*gateWall {
+			continue
+		}
+		if ref.NsPerOp < *wallMinNs {
+			fmt.Printf("benchguard: %-44s ns/op     %10.0f -> %10.0f (below %.0fns floor: allocs-only gate)\n",
+				b.Name, ref.NsPerOp, b.NsPerOp, *wallMinNs)
 			continue
 		}
 		// The variance band widens with whichever run — current or

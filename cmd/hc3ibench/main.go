@@ -12,6 +12,8 @@
 //	hc3ibench -run F6,F7      # a subset of the registry
 //	hc3ibench -matrix         # run the full scenario matrix instead
 //	hc3ibench -matrix -filter topology=8c,failure=churn
+//	hc3ibench -matrix -filter tier=wide            # 64-256 cluster tier
+//	hc3ibench -matrix -filter tier=wide -dense-ddv # dense reference wire
 //	hc3ibench -list           # list the registry and the matrix axes
 //	hc3ibench -o results.txt  # also write the output to a file
 //	hc3ibench -csv out/       # one <ID>.csv per table for plotting
@@ -49,8 +51,10 @@ func main() {
 		out      = flag.String("o", "", "also write results to this file")
 		csvDir   = flag.String("csv", "", "write one <ID>.csv per table into this directory")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		denseDDV = flag.Bool("dense-ddv", false,
+			"transport dependency vectors in the dense wire encoding (identical results; for A/B timing the delta encoding)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -105,7 +109,7 @@ func main() {
 	if *quick {
 		mode = "quick scale"
 	}
-	opts := hc3i.RunnerOptions{Workers: *parallel, Seed: *seed, Quick: *quick}
+	opts := hc3i.RunnerOptions{Workers: *parallel, Seed: *seed, Quick: *quick, DenseDDVWire: *denseDDV}
 	fmt.Fprintf(w, "HC3I evaluation harness — %s, seed %d, %d worker(s)\n\n", mode, *seed, *parallel)
 
 	emit := func(res *hc3i.ExperimentResult) {

@@ -117,6 +117,46 @@
 //     clock, queue and generation stamps, so pooled and fresh runs are
 //     byte-identical — pinned by the determinism goldens.
 //
+// # The delta DDV wire representation
+//
+// Dependency metadata (Direct Dependencies Vectors, one SN per cluster)
+// used to travel dense on every carrying message, so piggyback, merge
+// and clone costs grew linearly with federation width. The wire now
+// carries only the (index, SN) pairs that changed (core/delta.go); the
+// dense DDV remains the canonical in-node state, so protocol logic and
+// recorded results are untouched. The contract is exactness: every
+// decode reconstructs byte-for-byte the vector the dense encoding
+// would have shipped, each escape point leaning on its own invariant —
+// element-wise-max absorption for forced-CLC demands and prepare acks
+// (omitted entries are provable no-ops, and the pending-force scans
+// iterate a dirty-index set instead of the full width), the
+// commit-chain base (Node.commitBase, re-anchored from a stored dense
+// Meta on every rollback/recovery) for commit broadcasts, a FIFO
+// pipe-exit codec in the cluster gateways (core.DeltaCodec +
+// netsim.PipeExit, in sync across node crashes because the pipe is
+// loss-free and decoding happens before the destination down-check)
+// for transitive piggybacks, and a dense anchor plus per-commit pair
+// sets for the garbage collector's stored-CLC chain reports.
+//
+// Both encodings are priced identically — at the dense width — in the
+// network model, so modeled delays, byte counters and all goldens are
+// invariant under the switch; the delta form saves simulator time and
+// allocations, not modeled bytes. core.Config.DenseWire (hc3ibench
+// -dense-ddv) selects the dense reference encoding; differential
+// suites pin byte-identical output across the matrix goldens, the
+// transitive/GC ablations, crash-recovery seed sweeps, and
+// transitive-with-crash runs compared on full statistics dumps.
+// BenchmarkPiggybackMessage parameterizes the steady-state per-message
+// path by width: the delta encoding is near-flat in ns/op and B/op
+// from 8 to 256 clusters while the dense path grows linearly (~3x
+// slower and ~8.5x more bytes at 256).
+//
+// The scenario matrix gained a wide-federation tier (-filter
+// tier=wide): 64/128/256 clusters on a sparse ring workload under
+// HC3I with the transitive extension plus all three baselines, with
+// its own determinism golden (matrix_golden_wide.csv) pinned
+// sequentially, in parallel, and under the dense reference wire.
+//
 // # Benchmark gating
 //
 // The benchmarks in this package (bench_test.go) tie each paper
@@ -129,7 +169,9 @@
 // benchmarks run with -count=5, the snapshot stores the mean and
 // standard deviation, and a regression only fails when the current
 // mean exceeds the baseline by more than max(floor, 3 standard
-// deviations of the noisier run). cmd/hc3ibench takes
-// -cpuprofile/-memprofile so the next perf PR starts from a profile,
-// not a guess.
+// deviations of the noisier run). Benchmarks whose baseline mean is
+// below -wall-min-ns (default 50ns) gate on allocations only: at that
+// scale the 3-sigma band spans the value itself and a wall verdict
+// would be noise. cmd/hc3ibench takes -cpuprofile/-memprofile so the
+// next perf PR starts from a profile, not a guess.
 package repro

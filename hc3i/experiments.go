@@ -85,13 +85,19 @@ type RunnerOptions struct {
 	Workers int
 	Seed    uint64
 	Quick   bool
+	// DenseDDVWire selects the dense DDV wire encoding (see
+	// Config.DenseDDVWire); results are identical, only simulator
+	// speed changes.
+	DenseDDVWire bool
 }
 
 // DefaultWorkers returns the machine-sized worker count.
 func DefaultWorkers() int { return experiments.DefaultWorkers() }
 
 func (o RunnerOptions) config() experiments.RunnerConfig {
-	return experiments.RunnerConfig{Workers: o.Workers, Seed: o.Seed, Quick: o.Quick}
+	return experiments.RunnerConfig{
+		Workers: o.Workers, Seed: o.Seed, Quick: o.Quick, DenseWire: o.DenseDDVWire,
+	}
 }
 
 // ExperimentRun pairs one experiment's result with its error.

@@ -114,6 +114,12 @@ type common struct {
 	// not build strings; see the same discipline in internal/core).
 	keyCommitted string
 	keyUnforced  string
+
+	// nodesCache is the lazily built federation node list allNodes
+	// returns: the coordinated baselines enumerate it on every commit
+	// round, which at wide-federation scale (hundreds of clusters) made
+	// the per-call rebuild a dominant allocation site.
+	nodesCache []topology.NodeID
 }
 
 func newCommon(cfg core.Config, env core.Env, app core.AppHooks) common {
@@ -166,15 +172,23 @@ func (c *common) notePeak(n int) {
 // the whole run — unlike LogLen it is not deflated by truncation.
 func (c *common) LogPeak() int { return c.logPeak }
 
-// allNodes enumerates every node of the federation.
+// allNodes enumerates every node of the federation. The slice is the
+// node's cached copy — callers must not mutate it.
 func (c *common) allNodes() []topology.NodeID {
-	var ids []topology.NodeID
-	for cl := 0; cl < c.cfg.Clusters; cl++ {
-		for i := 0; i < c.cfg.ClusterSizes[cl]; i++ {
-			ids = append(ids, topology.NodeID{Cluster: topology.ClusterID(cl), Index: i})
+	if c.nodesCache == nil {
+		total := 0
+		for cl := 0; cl < c.cfg.Clusters; cl++ {
+			total += c.cfg.ClusterSizes[cl]
 		}
+		ids := make([]topology.NodeID, 0, total)
+		for cl := 0; cl < c.cfg.Clusters; cl++ {
+			for i := 0; i < c.cfg.ClusterSizes[cl]; i++ {
+				ids = append(ids, topology.NodeID{Cluster: topology.ClusterID(cl), Index: i})
+			}
+		}
+		c.nodesCache = ids
 	}
-	return ids
+	return c.nodesCache
 }
 
 func (c *common) neighbour() topology.NodeID {

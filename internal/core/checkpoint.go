@@ -27,10 +27,11 @@ func (n *Node) onCLCTimer() {
 	n.startCLC(false, nil)
 }
 
-// requestForce routes a forced-CLC demand to the cluster leader. target
-// is the full DDV the cluster must reach (element-wise max semantics).
-// Callers may pass the node's scratch buffer (buildForceTarget):
-// sendForce copies it before anything escapes the current event.
+// requestForce routes a forced-CLC demand to the cluster leader. In the
+// dense encoding target is the full DDV the cluster must reach
+// (element-wise max semantics); callers may pass the node's scratch
+// buffer (buildForceTarget): sendForce copies it before anything
+// escapes the current event.
 func (n *Node) requestForce(target DDV) {
 	n.sendForce(target, false)
 }
@@ -38,6 +39,18 @@ func (n *Node) requestForce(target DDV) {
 // requestForceAlways demands an unconditional forced CLC (ModeForceAll).
 func (n *Node) requestForceAlways(target DDV) {
 	n.sendForce(target, true)
+}
+
+// requestForcePairs is the delta-wire counterpart of requestForce: the
+// target is just the raised entries. pairs may be the node's
+// pairScratch; sendForcePairs copies it before anything escapes.
+func (n *Node) requestForcePairs(pairs []DDVPair) {
+	n.sendForcePairs(pairs, false)
+}
+
+// requestForceAlwaysPairs is the delta-wire requestForceAlways.
+func (n *Node) requestForceAlwaysPairs(pairs []DDVPair) {
+	n.sendForcePairs(pairs, true)
 }
 
 // buildForceTarget resets the node's force-target scratch buffer to the
@@ -64,21 +77,64 @@ func (n *Node) sendForce(target DDV, always bool) {
 	n.env.Send(n.leaderOf(n.cluster), controlSize(msg), msg)
 }
 
-// onForceCLC handles a forced-CLC demand at the leader.
+func (n *Node) sendForcePairs(pairs []DDVPair, always bool) {
+	n.env.Stat("cic.force_requested", 1)
+	if n.leader() {
+		n.absorbForcePairs(pairs, always)
+		return
+	}
+	// Owned copy: the message outlives this event. Width prices the
+	// demand at its dense footprint (see messages.go).
+	msg := ForceCLC{Epoch: n.epoch, Pairs: n.pairArena.Clone(pairs),
+		Width: n.cfg.Clusters, Always: always}
+	n.env.Send(n.leaderOf(n.cluster), controlSize(msg), msg)
+}
+
+// onForceCLC handles a forced-CLC demand at the leader, in either
+// encoding.
 func (n *Node) onForceCLC(src topology.NodeID, m ForceCLC) {
 	if !n.leader() || m.Epoch != n.epoch {
 		return
 	}
-	n.absorbForce(m.NewDDV, m.Always)
+	if m.NewDDV != nil {
+		n.absorbForce(m.NewDDV, m.Always)
+		return
+	}
+	n.absorbForcePairs(m.Pairs, m.Always)
 }
 
-// absorbForce merges a force target into the pending set and starts a
-// forced CLC if none is in flight.
-func (n *Node) absorbForce(target DDV, always bool) {
+// ensurePendingForce (re)creates the pending force set. pendingDirty is
+// only meaningful while pendingForce is non-nil, so it is reset here.
+func (n *Node) ensurePendingForce() {
 	if n.pendingForce == nil {
 		n.pendingForce = n.arena.New()
+		n.pendingDirty.Reset()
 	}
-	n.pendingForce.Merge(target)
+}
+
+// absorbForce merges a dense force target into the pending set and
+// starts a forced CLC if none is in flight.
+func (n *Node) absorbForce(target DDV, always bool) {
+	n.ensurePendingForce()
+	for i, v := range target {
+		if v > n.pendingForce[i] {
+			n.pendingForce[i] = v
+			n.pendingDirty.Add(i)
+		}
+	}
+	if always {
+		n.pendingAlways = true
+	}
+	n.tryStartForced()
+}
+
+// absorbForcePairs merges a sparse force target. Entries the pairs omit
+// sit at the demanding node's DDV values — merging them would never
+// raise pendingForce above what the committed DDV already covers, so
+// omitting them is exact.
+func (n *Node) absorbForcePairs(pairs []DDVPair, always bool) {
+	n.ensurePendingForce()
+	n.pendingForce.mergePairs(pairs, &n.pendingDirty)
 	if always {
 		n.pendingAlways = true
 	}
@@ -86,32 +142,34 @@ func (n *Node) absorbForce(target DDV, always bool) {
 }
 
 // tryStartForced starts a forced CLC for any pending entries still
-// above the committed DDV (or unconditionally, when one is owed).
+// above the committed DDV (or unconditionally, when one is owed). Only
+// dirty indices are scanned: entries never raised are zero and cannot
+// exceed the DDV.
 func (n *Node) tryStartForced() {
 	if n.inFlight || n.rbActive || n.lostState || n.phase != cpIdle || (n.pendingForce == nil && !n.pendingAlways) {
 		return
 	}
-	update := n.arena.New()
-	needed := false
+	pairs := n.pairScratch[:0]
 	if n.pendingForce != nil {
-		for i, v := range n.pendingForce {
-			if v > n.ddv[i] {
-				update[i] = v
-				needed = true
+		for _, i := range n.pendingDirty.Indices() {
+			if v := n.pendingForce[i]; v > n.ddv[i] {
+				pairs = append(pairs, DDVPair{Idx: i, SN: v})
 			}
 		}
 	}
-	if !needed && !n.pendingAlways {
+	n.pairScratch = pairs
+	if len(pairs) == 0 && !n.pendingAlways {
 		n.pendingForce = nil
 		return
 	}
 	n.pendingAlways = false
-	n.startCLC(true, update)
+	n.startCLC(true, pairs)
 }
 
 // startCLC opens the two-phase commit for the next checkpoint. Runs on
-// the leader only.
-func (n *Node) startCLC(forced bool, update DDV) {
+// the leader only. updatePairs (raised entries; may alias pairScratch)
+// is nil for unforced CLCs.
+func (n *Node) startCLC(forced bool, updatePairs []DDVPair) {
 	seq := n.sn + 1
 	n.inFlight = true
 	n.inFlightForced = forced
@@ -121,10 +179,20 @@ func (n *Node) startCLC(forced bool, update DDV) {
 		n.ackedNodes[i] = false
 	}
 	n.ackedCount = 0
-	n.env.Trace(sim.TraceDebug, "CLC %d request (forced=%v update=%v)", seq, forced, update)
+	n.env.Trace(sim.TraceDebug, "CLC %d request (forced=%v update=%v)", seq, forced, updatePairs)
 	n.env.Stat(n.keys.clcRequested, 1)
 
-	req := CLCRequest{Seq: seq, Epoch: n.epoch, Forced: forced, DDVUpdate: update}
+	req := CLCRequest{Seq: seq, Epoch: n.epoch, Forced: forced}
+	if forced {
+		if n.denseWire {
+			update := n.arena.New()
+			update.applyPairs(updatePairs)
+			req.DDVUpdate = update
+		} else {
+			req.UpdatePairs = n.pairArena.Clone(updatePairs)
+			req.UpdateWidth = n.cfg.Clusters
+		}
+	}
 	for i := 0; i < n.size; i++ {
 		if i == n.id.Index {
 			continue
@@ -187,7 +255,7 @@ func (n *Node) onReplica(src topology.NodeID, m Replica) {
 	if m.Epoch != n.epoch || src.Cluster != n.cluster {
 		return
 	}
-	n.replicas[replicaKey{owner: m.Owner, seq: m.Seq}] = m
+	n.storeReplica(replicaKey{owner: m.Owner, seq: m.Seq}, m)
 	ack := ReplicaAck{Seq: m.Seq, Epoch: n.epoch, From: n.id}
 	n.env.Send(m.Owner, controlSize(ack), ack)
 }
@@ -206,17 +274,32 @@ func (n *Node) onReplicaAck(src topology.NodeID, m ReplicaAck) {
 
 // sendPrepAck acknowledges the prepare phase to the leader. In
 // ModeIndependent the ack carries the node's local DDV so the commit
-// can merge the dependencies accumulated since the last checkpoint.
+// can merge the dependencies accumulated since the last checkpoint —
+// dense, or as just the entries this node raised above the last
+// committed vector (recvDirty): the commit merge starts from a
+// superset of that base, so the omitted entries are exact no-ops.
 func (n *Node) sendPrepAck(seq SN) {
 	var nodeDDV DDV
+	var nodePairs []DDVPair
 	if n.cfg.Mode == ModeIndependent {
-		nodeDDV = n.arena.Clone(n.ddv)
+		if n.denseWire {
+			nodeDDV = n.arena.Clone(n.ddv)
+		} else {
+			pairs := n.pairScratch[:0]
+			for _, i := range n.recvDirty.Indices() {
+				if v := n.ddv[i]; v > n.commitBase[i] {
+					pairs = append(pairs, DDVPair{Idx: i, SN: v})
+				}
+			}
+			n.pairScratch = pairs
+			nodePairs = n.pairArena.Clone(pairs)
+		}
 	}
 	if n.leader() {
-		n.ackFrom(n.id.Index, seq, nodeDDV)
+		n.ackFrom(n.id.Index, seq, nodeDDV, nodePairs)
 		return
 	}
-	ack := CLCAck{Seq: seq, Epoch: n.epoch, NodeDDV: nodeDDV}
+	ack := CLCAck{Seq: seq, Epoch: n.epoch, NodeDDV: nodeDDV, NodePairs: nodePairs}
 	n.env.Send(n.leaderOf(n.cluster), controlSize(ack), ack)
 }
 
@@ -225,10 +308,10 @@ func (n *Node) onCLCAck(src topology.NodeID, m CLCAck) {
 	if !n.inFlight || m.Epoch != n.epoch || m.Seq != n.inFlightSeq {
 		return
 	}
-	n.ackFrom(src.Index, m.Seq, m.NodeDDV)
+	n.ackFrom(src.Index, m.Seq, m.NodeDDV, m.NodePairs)
 }
 
-func (n *Node) ackFrom(index int, seq SN, nodeDDV DDV) {
+func (n *Node) ackFrom(index int, seq SN, nodeDDV DDV, nodePairs []DDVPair) {
 	if !n.ackedNodes[index] {
 		n.ackedNodes[index] = true
 		n.ackedCount++
@@ -236,67 +319,157 @@ func (n *Node) ackFrom(index int, seq SN, nodeDDV DDV) {
 	if nodeDDV != nil {
 		n.ackedDDVs = append(n.ackedDDVs, nodeDDV)
 	}
+	if len(nodePairs) > 0 {
+		// Element-wise max is order-independent: accumulating on
+		// arrival equals the dense path's merge-at-commit.
+		n.ackAccum.mergePairs(nodePairs, &n.ackDirty)
+	}
 	if n.ackedCount < n.size {
 		return
 	}
 	// Every node saved and replicated its state: commit.
 	newDDV := n.arena.Clone(n.ddv)
+	if n.denseWire {
+		if n.inFlightForced && n.pendingForce != nil {
+			for i, v := range n.pendingForce {
+				if topology.ClusterID(i) != n.cluster && v > newDDV[i] {
+					newDDV[i] = v
+				}
+			}
+		}
+		for _, d := range n.ackedDDVs {
+			newDDV.Merge(d)
+		}
+		n.ackedDDVs = nil
+		newDDV[n.cluster] = seq
+		commit := CLCCommit{Seq: seq, Epoch: n.epoch, DDV: newDDV}
+		n.broadcastCommit(commit)
+		n.applyCommit(seq, newDDV, nil, n.inFlightForced)
+		return
+	}
+	// Delta wire: raise newDDV and track every index that can differ
+	// from commitBase — the leader's own lazy receipts (recvDirty),
+	// forced entries, ack-accumulated entries and the new sequence
+	// number. The pair list is the exact diff against the previous
+	// commit, which every participant patches into its own base.
+	dirty := &n.commitScratch
+	dirty.Reset()
+	for _, i := range n.recvDirty.Indices() {
+		dirty.Add(int(i))
+	}
 	if n.inFlightForced && n.pendingForce != nil {
-		for i, v := range n.pendingForce {
-			if topology.ClusterID(i) != n.cluster && v > newDDV[i] {
+		for _, i := range n.pendingDirty.Indices() {
+			if v := n.pendingForce[i]; topology.ClusterID(i) != n.cluster && v > newDDV[i] {
 				newDDV[i] = v
+				dirty.Add(int(i))
 			}
 		}
 	}
-	for _, d := range n.ackedDDVs {
-		newDDV.Merge(d)
+	for _, i := range n.ackDirty.Indices() {
+		if v := n.ackAccum[i]; v > newDDV[i] {
+			newDDV[i] = v
+			dirty.Add(int(i))
+		}
 	}
-	n.ackedDDVs = nil
+	n.resetAckAccum()
 	newDDV[n.cluster] = seq
-	commit := CLCCommit{Seq: seq, Epoch: n.epoch, DDV: newDDV}
+	dirty.Add(int(n.cluster))
+	pairs := n.pairScratch[:0]
+	for _, i := range dirty.Indices() {
+		if v := newDDV[i]; v != n.commitBase[i] {
+			pairs = append(pairs, DDVPair{Idx: i, SN: v})
+		}
+	}
+	n.pairScratch = pairs
+	owned := n.pairArena.Clone(pairs)
+	commit := CLCCommit{Seq: seq, Epoch: n.epoch, Pairs: owned, Width: n.cfg.Clusters}
+	n.broadcastCommit(commit)
+	n.applyCommit(seq, newDDV, owned, n.inFlightForced)
+}
+
+// broadcastCommit sends the commit to every other node of the cluster.
+func (n *Node) broadcastCommit(commit CLCCommit) {
 	for i := 0; i < n.size; i++ {
 		if i == n.id.Index {
 			continue
 		}
 		n.env.Send(topology.NodeID{Cluster: n.cluster, Index: i}, controlSize(commit), commit)
 	}
-	n.applyCommit(seq, newDDV, n.inFlightForced)
 }
 
-// onCLCCommit finalizes the checkpoint on a participant.
+// onCLCCommit finalizes the checkpoint on a participant, in either
+// encoding.
 func (n *Node) onCLCCommit(src topology.NodeID, m CLCCommit) {
 	if m.Epoch != n.epoch || n.phase != cpPrepared || m.Seq != n.prepSeq {
 		return
 	}
-	n.applyCommit(m.Seq, m.DDV, n.provisional.forced)
+	if m.DDV != nil {
+		n.applyCommit(m.Seq, m.DDV, nil, n.provisional.forced)
+		return
+	}
+	n.applyCommit(m.Seq, nil, m.Pairs, n.provisional.forced)
 }
 
 // applyCommit installs the committed checkpoint: adopt the SN and DDV,
 // store the record, unfreeze application traffic and drain the queues.
-func (n *Node) applyCommit(seq SN, ddv DDV, forced bool) {
+// The committed vector arrives dense (commitVec, leaders and the dense
+// wire) or as the pairs that changed since the previous commit (pairs,
+// delta-wire participants) — the commitBase invariant reconstructs the
+// dense vector in O(changed entries). Leaders on the delta wire pass
+// both.
+func (n *Node) applyCommit(seq SN, commitVec DDV, pairs []DDVPair, forced bool) {
 	n.sn = seq
-	if n.cfg.Mode == ModeIndependent {
-		// Lazy tracking: receipts that arrived after this node's ack
-		// are not in the commit DDV; keep them for the next merge.
-		// Merging in place yields the same element-wise maximum the
-		// seed computed into a fresh clone.
-		n.ddv.Merge(ddv)
-		n.ddv[n.cluster] = seq
+	if commitVec == nil {
+		// Delta participant: patch the base into the committed vector.
+		n.commitBase.applyPairs(pairs)
+		commitVec = n.commitBase
+		if n.cfg.Mode == ModeIndependent {
+			// Lazy tracking: receipts that arrived after this node's
+			// ack are not in the commit; keep them. Entries the pairs
+			// omit equal the previous base, which this node's DDV
+			// already covers — merging just the pairs is exact.
+			n.ddv.mergePairs(pairs, nil)
+			n.ddv[n.cluster] = seq
+		} else {
+			// n.ddv equals the previous base outside commit windows, so
+			// patching the same pairs lands on the committed vector.
+			n.ddv.applyPairs(pairs)
+		}
 	} else {
-		// n.ddv is this node's owned buffer (nothing aliases it: every
-		// escape point clones), so the commit DDV is copied in place.
-		n.ddv.CopyFrom(ddv)
+		if n.cfg.Mode == ModeIndependent {
+			// Merging in place yields the same element-wise maximum the
+			// seed computed into a fresh clone.
+			n.ddv.Merge(commitVec)
+			n.ddv[n.cluster] = seq
+		} else {
+			// n.ddv is this node's owned buffer (nothing aliases it:
+			// every escape point clones), so the commit DDV is copied
+			// in place.
+			n.ddv.CopyFrom(commitVec)
+		}
+		n.commitBase.CopyFrom(commitVec)
+	}
+	n.ddvChanged()
+	if !n.denseWire && n.cfg.Mode == ModeIndependent {
+		// Entries still above the new base stay dirty for the next ack.
+		n.recvDirty.Refresh(func(i int) bool { return n.ddv[i] > n.commitBase[i] })
 	}
 	rec := n.provisional
 	// The record outlives the commit message, which is shared across
 	// the cluster: the stored Meta needs its own copy.
-	rec.meta = Meta{SN: seq, DDV: n.arena.Clone(ddv)}
+	rec.meta = Meta{SN: seq, DDV: n.arena.Clone(commitVec)}
+	if !n.denseWire {
+		// The commit's pair set, kept for the GC's chain-delta reports
+		// (owned: cut from a pair arena here or on the leader, or
+		// decoded fresh by the live runtime).
+		rec.deltaPairs = pairs
+	}
 	n.clcs = append(n.clcs, rec)
 	n.provisional = nil
 	n.phase = cpIdle
 	n.frozenSends = false
 	n.frozenDelivs = false
-	n.env.Trace(sim.TraceDebug, "CLC %d committed ddv=%v forced=%v", seq, ddv, forced)
+	n.env.Trace(sim.TraceDebug, "CLC %d committed ddv=%v forced=%v", seq, commitVec, forced)
 
 	if n.leader() {
 		n.inFlight = false
@@ -315,11 +488,12 @@ func (n *Node) applyCommit(seq SN, ddv DDV, forced bool) {
 		n.env.SetTimer(TimerCLC, n.cfg.CLCPeriod)
 		n.recordStoredStat()
 		// Drop the pending force set if this commit satisfied it; a
-		// remaining excess starts the next forced CLC below.
+		// remaining excess starts the next forced CLC below. Only dirty
+		// indices can hold non-zero entries.
 		if n.pendingForce != nil {
 			still := false
-			for i, v := range n.pendingForce {
-				if v > n.ddv[i] {
+			for _, i := range n.pendingDirty.Indices() {
+				if n.pendingForce[i] > n.ddv[i] {
 					still = true
 					break
 				}
@@ -350,8 +524,10 @@ func (n *Node) abortCheckpoint() {
 	n.provisional = nil
 	n.inFlight = false
 	n.pendingForce = nil
+	n.pendingDirty.Reset()
 	n.pendingAlways = false
 	n.ackedDDVs = nil
+	n.resetAckAccum()
 	n.frozenSends = false
 	n.frozenDelivs = false
 }

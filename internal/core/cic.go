@@ -51,10 +51,23 @@ func (n *Node) doSend(dst topology.NodeID, p AppPayload) {
 		// the message optimistically in volatile memory (§3.3),
 		// mirroring the entry to the stable-storage neighbour so a
 		// crash of *this* node does not lose it.
+		var logPiggy DDV
 		if n.cfg.Transitive {
-			// The piggybacked DDV is retained by both the wire message
-			// and the log entry below: it needs an owned copy.
-			m.PiggyDDV = n.arena.Clone(n.ddv)
+			if cd := n.pipeCodecTo(dst.Cluster); cd != nil {
+				// Delta wire: the message carries only the entries that
+				// changed since the last message on this pipe (O(1)
+				// while the DDV generation is unchanged); the log entry
+				// keeps the exact dense vector for resends, shared
+				// across all sends of one generation.
+				m.PiggyPairs = cd.Encode(n.ddv, n.piggyVecID(), &n.pairArena)
+				m.PiggyWidth = int32(n.cfg.Clusters)
+				logPiggy = n.sharedPiggy()
+			} else {
+				// Dense wire: retained by both the wire message and the
+				// log entry below, so it needs an owned copy.
+				m.PiggyDDV = n.arena.Clone(n.ddv)
+				logPiggy = m.PiggyDDV
+			}
 		}
 		n.log = append(n.log, &logEntry{
 			msgID:      m.MsgID,
@@ -62,7 +75,7 @@ func (n *Node) doSend(dst topology.NodeID, p AppPayload) {
 			dstCluster: dst.Cluster,
 			payload:    p,
 			piggySN:    n.sn,
-			piggyDDV:   m.PiggyDDV,
+			piggyDDV:   logPiggy,
 			sendSN:     n.sn,
 		})
 		if len(n.log) > n.logPeak {
@@ -72,7 +85,7 @@ func (n *Node) doSend(dst topology.NodeID, p AppPayload) {
 		if n.cfg.Replicas > 0 {
 			mir := LogMirror{
 				Owner: n.id, MsgID: m.MsgID, Dst: dst, Payload: p,
-				PiggySN: n.sn, PiggyDDV: m.PiggyDDV, SendSN: n.sn,
+				PiggySN: n.sn, PiggyDDV: logPiggy, SendSN: n.sn,
 			}
 			n.env.Send(n.holderFor(), controlSize(mir), mir)
 		}
@@ -148,6 +161,7 @@ func (n *Node) onAppMsg(src topology.NodeID, m AppMsg) {
 			// A resent message overtook our own rollback command (or
 			// we are mid-recovery): defer it.
 			n.debug("defer_epoch", m)
+			n.materializePiggy(&m, src)
 			n.inboundQueue = append(n.inboundQueue, inbound{src: src, msg: m})
 			n.env.Stat("app.deferred_epoch", 1)
 			return
@@ -156,6 +170,7 @@ func (n *Node) onAppMsg(src topology.NodeID, m AppMsg) {
 	if n.frozenDelivs {
 		// Frozen by an in-progress 2PC: queue until commit (§3.1).
 		n.debug("defer_frozen", m)
+		n.materializePiggy(&m, src)
 		n.inboundQueue = append(n.inboundQueue, inbound{src: src, msg: m})
 		n.env.Stat("app.deferred_frozen", 1)
 		return
@@ -209,43 +224,90 @@ func (n *Node) cicReceive(src topology.NodeID, m AppMsg) {
 	case ModeForceAll:
 		// The Figure 4 strawman: every inter-cluster message forces a
 		// CLC before delivery, useful or not.
-		target := n.buildForceTarget()
-		if m.SendSN > target[src.Cluster] {
-			target[src.Cluster] = m.SendSN
-		}
 		n.heldInter = append(n.heldInter, inbound{src: src, msg: m, heldAt: n.sn})
 		n.env.Stat("cic.held", 1)
-		n.requestForceAlways(target)
+		if n.denseWire {
+			target := n.buildForceTarget()
+			if m.SendSN > target[src.Cluster] {
+				target[src.Cluster] = m.SendSN
+			}
+			n.requestForceAlways(target)
+			return
+		}
+		pairs := n.pairScratch[:0]
+		if m.SendSN > n.ddv[src.Cluster] {
+			pairs = append(pairs, DDVPair{Idx: int32(src.Cluster), SN: m.SendSN})
+		}
+		n.pairScratch = pairs
+		n.requestForceAlwaysPairs(pairs)
 		return
 	case ModeIndependent:
 		// Lazy tracking: remember the dependency locally (merged
 		// cluster-wide at the next commit), deliver immediately.
 		if m.SendSN > n.ddv[src.Cluster] {
 			n.ddv[src.Cluster] = m.SendSN
+			n.ddvChanged()
+			n.recvDirty.Add(int(src.Cluster))
 		}
 		n.deliverInter(src, m)
 		return
 	}
+	// ModeHC3I. Collect the entries of the piggybacked dependency
+	// information that exceed the DDV — as a dense force target (dense
+	// wire) or as sparse pairs (delta wire).
 	var target DDV
-	if n.cfg.Transitive && m.PiggyDDV != nil {
-		// Transitive extension (§7): merge the whole DDV; any raised
-		// entry is a new dependency.
+	var pairs []DDVPair
+	raised := false
+	switch {
+	case n.cfg.Transitive && m.PiggyDDV == nil && m.PiggyWidth > 0:
+		// Delta-encoded transitive piggyback: examine only the entries
+		// that changed since this node's last clean exam of the pipe.
+		pairs = n.examineDeltaPiggy(src.Cluster)
+		raised = len(pairs) > 0
+		if raised {
+			// The held copy is re-examined after the forced commit, by
+			// which time the pipe decoder has moved on: pin the exact
+			// dense vector this message carried onto the held copy.
+			m.PiggyDDV = n.arena.Clone(n.pipeCodecFrom(src.Cluster).Current())
+			m.PiggyPairs = nil
+		}
+	case n.cfg.Transitive && m.PiggyDDV != nil:
+		// Transitive extension (§7), dense vector (dense wire, resends
+		// and replayed deferred/held copies): merge the whole DDV; any
+		// raised entry is a new dependency.
 		for i, v := range m.PiggyDDV {
 			if topology.ClusterID(i) == n.cluster {
 				continue
 			}
 			if v > n.ddv[i] {
-				if target == nil {
-					target = n.buildForceTarget()
+				raised = true
+				if n.denseWire {
+					if target == nil {
+						target = n.buildForceTarget()
+					}
+					target[i] = v
+				} else {
+					if pairs == nil {
+						pairs = n.pairScratch[:0]
+					}
+					pairs = append(pairs, DDVPair{Idx: int32(i), SN: v})
 				}
-				target[i] = v
 			}
 		}
-	} else if m.SendSN > n.ddv[src.Cluster] {
-		target = n.buildForceTarget()
-		target[src.Cluster] = m.SendSN
+		if pairs != nil {
+			n.pairScratch = pairs
+		}
+	case m.SendSN > n.ddv[src.Cluster]:
+		raised = true
+		if n.denseWire {
+			target = n.buildForceTarget()
+			target[src.Cluster] = m.SendSN
+		} else {
+			pairs = append(n.pairScratch[:0], DDVPair{Idx: int32(src.Cluster), SN: m.SendSN})
+			n.pairScratch = pairs
+		}
 	}
-	if target == nil {
+	if !raised {
 		n.deliverInter(src, m)
 		return
 	}
@@ -256,7 +318,101 @@ func (n *Node) cicReceive(src topology.NodeID, m AppMsg) {
 	n.env.Stat("cic.held", 1)
 	n.env.Trace(sim.TraceDebug, "hold msg %v from %v (piggy %d > ddv %v), forcing CLC",
 		m.Payload.ID, src, m.SendSN, n.ddv)
-	n.requestForce(target)
+	if n.denseWire {
+		n.requestForce(target)
+	} else {
+		n.requestForcePairs(pairs)
+	}
+}
+
+// pipeCodecTo returns the delta codec of the outbound pipe to cluster
+// dst, nil when piggybacks travel dense.
+func (n *Node) pipeCodecTo(dst topology.ClusterID) *DeltaCodec {
+	if n.piggyCodecs == nil {
+		return nil
+	}
+	return n.piggyCodecs.PiggyCodec(n.cluster, dst)
+}
+
+// pipeCodecFrom returns the delta codec of the inbound pipe from
+// cluster src.
+func (n *Node) pipeCodecFrom(src topology.ClusterID) *DeltaCodec {
+	if n.piggyCodecs == nil {
+		return nil
+	}
+	return n.piggyCodecs.PiggyCodec(src, n.cluster)
+}
+
+// examineDeltaPiggy returns the entries of a delta-encoded transitive
+// piggyback that exceed this node's DDV. Only entries that changed
+// since the pipe's last clean exam can newly exceed it (the cluster's
+// DDV is non-decreasing between exams — any decrease resets the
+// cursor through ResetPiggyExam), so the steady state examines
+// nothing; short change windows replay the codec journal, longer ones
+// fall back to one full-width compare loop — the dense encoding's
+// exam, paid only right after a change. The cursor advances only on a
+// clean (no raise) outcome: while a forced CLC is pending, later
+// messages must re-examine the still-uncovered entries, exactly as
+// the dense encoding re-compares the full vector every time.
+func (n *Node) examineDeltaPiggy(srcCluster topology.ClusterID) []DDVPair {
+	cd := n.pipeCodecFrom(srcCluster)
+	// The cursor is only trusted when it was advanced in this node's
+	// epoch: a peer that has not yet executed an in-flight RollbackCmd
+	// examines with the old epoch's higher DDV, and its advances must
+	// not cover a node whose DDV already dropped (see DeltaCodec.seen).
+	cursorValid := cd.seenEpoch == n.epoch
+	if cursorValid && cd.ver == cd.seen {
+		return nil // nothing changed since the last clean exam
+	}
+	cur := cd.dec
+	pairs := n.pairScratch[:0]
+	own := int32(n.cluster)
+	if cursorValid && cd.ver-cd.seen <= examReplayMax {
+		// Replay the journalled change indices directly. No dedup: a
+		// repeated index yields a duplicate pair, and every consumer
+		// merges pairs element-wise-max, so duplicates are no-ops —
+		// cheaper than maintaining a dedup set for windows this short.
+		for v := cd.seen; v < cd.ver; v++ {
+			for _, p := range cd.journal[v%codecJournal] {
+				if p.Idx == own {
+					continue
+				}
+				if v := cur[p.Idx]; v > n.ddv[p.Idx] {
+					pairs = append(pairs, DDVPair{Idx: p.Idx, SN: v})
+				}
+			}
+		}
+	} else {
+		for i, v := range cur {
+			if int32(i) != own && v > n.ddv[i] {
+				pairs = append(pairs, DDVPair{Idx: int32(i), SN: v})
+			}
+		}
+	}
+	n.pairScratch = pairs
+	if len(pairs) == 0 {
+		cd.seen = cd.ver
+		cd.seenEpoch = n.epoch
+	}
+	return pairs
+}
+
+// materializePiggy pins the dense piggyback vector onto a
+// delta-encoded transitive message that is about to be stored for
+// later replay (deferred by an epoch gap or a delivery freeze): the
+// pipe decoder advances with every later message, so the exact vector
+// must be captured now. No-op for intra-cluster, dense or
+// non-transitive messages.
+func (n *Node) materializePiggy(m *AppMsg, src topology.NodeID) {
+	if m.PiggyWidth == 0 || m.PiggyDDV != nil || src.Cluster == n.cluster {
+		return
+	}
+	cd := n.pipeCodecFrom(src.Cluster)
+	if cd == nil {
+		return
+	}
+	m.PiggyDDV = n.arena.Clone(cd.Current())
+	m.PiggyPairs = nil
 }
 
 // reexamineHeld retries held inter-cluster messages after a commit:

@@ -1,0 +1,283 @@
+package core
+
+import "repro/internal/topology"
+
+// This file implements the delta wire representation of Direct
+// Dependencies Vectors: instead of shipping one SN per cluster on every
+// message that carries dependency metadata (O(width) to build, copy and
+// examine), messages carry only the (index, SN) pairs that changed, and
+// receivers patch a stored dense copy in place. The dense DDV type
+// remains the canonical in-node state; the delta form exists only on
+// the wire, so protocol logic and recorded results are untouched.
+//
+// Exactness, not convergence, is the contract: every decode must yield
+// byte-for-byte the vector the dense encoding would have shipped. Each
+// escape point gets it from a different invariant:
+//
+//   - Forced-CLC demands (ForceCLC, CLCRequest) carry only raised
+//     entries; the leader merges them element-wise, and entries equal
+//     to the cluster DDV merge to nothing — so omitting them is exact.
+//   - Prepare acks (CLCAck, ModeIndependent) carry the entries this
+//     node raised above the last committed vector; the commit merge
+//     starts from a superset of that base, so unraised entries are
+//     no-ops there too.
+//   - Commit broadcasts (CLCCommit) are deltas against the previous
+//     commit; the two-phase commit's Seq continuity guarantees every
+//     participant holds exactly that base (commitBase), and every
+//     rollback/recovery path resets the base from a stored dense Meta.
+//   - Transitive piggybacks (AppMsg) ride a per-directed-cluster-pair
+//     DeltaCodec: the simulated inter-cluster pipe is FIFO and
+//     loss-free (drops happen at the destination node, after the
+//     pipe), so decoding at pipe exit replays the encoder's exact
+//     write sequence (see netsim.PipeExit).
+//   - GC reports ship the stored-CLC chain as one dense anchor plus
+//     the per-commit pairs each checkpoint was committed with.
+//
+// The network model keeps pricing dependency metadata at its dense
+// width (perClusterByte per cluster): transmission delays, byte
+// counters and therefore all recorded goldens are invariant under the
+// encoding switch (core.Config.DenseWire selects the dense reference
+// encoding for differential tests and benchmarks).
+
+// DDVPair is one sparse DDV entry: the cluster index and its SN.
+type DDVPair struct {
+	Idx int32
+	SN  SN
+}
+
+// applyPairs patches d in place with the pairs (d[Idx] = SN).
+func (d DDV) applyPairs(pairs []DDVPair) {
+	for _, p := range pairs {
+		d[p.Idx] = p.SN
+	}
+}
+
+// mergePairs raises d to the element-wise maximum with the pairs and
+// reports into dirty which indices changed. dirty may be nil.
+func (d DDV) mergePairs(pairs []DDVPair, dirty *DirtySet) {
+	for _, p := range pairs {
+		if p.SN > d[p.Idx] {
+			d[p.Idx] = p.SN
+			if dirty != nil {
+				dirty.Add(int(p.Idx))
+			}
+		}
+	}
+}
+
+// diffPairs appends to buf one pair per entry where cur differs from
+// base, and returns the extended buffer. O(width); callers that know
+// nothing changed (generation counters) skip the call entirely.
+func diffPairs(buf []DDVPair, cur, base DDV) []DDVPair {
+	for i, v := range cur {
+		if v != base[i] {
+			buf = append(buf, DDVPair{Idx: int32(i), SN: v})
+		}
+	}
+	return buf
+}
+
+// DirtySet tracks which DDV indices changed since it was last reset,
+// so merges and scans iterate O(dirty entries) instead of O(width).
+// The zero value is unusable; call Init first.
+type DirtySet struct {
+	mark []bool
+	idx  []int32
+}
+
+// Init sizes the set for vectors of the given width.
+func (s *DirtySet) Init(width int) {
+	s.mark = make([]bool, width)
+	s.idx = s.idx[:0]
+}
+
+// Add marks index i dirty.
+func (s *DirtySet) Add(i int) {
+	if !s.mark[i] {
+		s.mark[i] = true
+		s.idx = append(s.idx, int32(i))
+	}
+}
+
+// Len returns the number of dirty indices.
+func (s *DirtySet) Len() int { return len(s.idx) }
+
+// Indices returns the dirty indices in first-marked order. The slice is
+// owned by the set: valid only until the next Add or Reset.
+func (s *DirtySet) Indices() []int32 { return s.idx }
+
+// Reset clears the set in O(dirty entries).
+func (s *DirtySet) Reset() {
+	for _, i := range s.idx {
+		s.mark[i] = false
+	}
+	s.idx = s.idx[:0]
+}
+
+// Refresh drops every dirty index for which keep returns false,
+// preserving first-marked order of the survivors.
+func (s *DirtySet) Refresh(keep func(i int) bool) {
+	kept := s.idx[:0]
+	for _, i := range s.idx {
+		if keep(int(i)) {
+			kept = append(kept, i)
+		} else {
+			s.mark[i] = false
+		}
+	}
+	s.idx = kept
+}
+
+// PairArena hands out DDVPair slices cut from chunked backing storage,
+// the sparse counterpart of DDVArena: one chunk allocation per
+// pairArenaChunk pairs instead of one slice per escaping message.
+// Slices are full-capacity cuts, so appends can never bleed into a
+// neighbouring slice, and chunks stay valid as long as any cut
+// references them.
+type PairArena struct {
+	chunk []DDVPair
+	off   int
+}
+
+// pairArenaChunk is how many pairs one backing chunk holds.
+const pairArenaChunk = 256
+
+// Clone returns an arena-backed copy of pairs; nil stays nil (and empty
+// stays empty without consuming arena space).
+func (a *PairArena) Clone(pairs []DDVPair) []DDVPair {
+	if len(pairs) == 0 {
+		return pairs
+	}
+	n := len(pairs)
+	if a.off+n > len(a.chunk) {
+		size := pairArenaChunk
+		if n > size {
+			size = n
+		}
+		a.chunk = make([]DDVPair, size)
+		a.off = 0
+	}
+	c := a.chunk[a.off : a.off+n : a.off+n]
+	a.off += n
+	copy(c, pairs)
+	return c
+}
+
+// codecJournal is how many decoded deltas a DeltaCodec remembers. A
+// receiver node that examined the pipe less than codecJournal deltas
+// ago re-examines only the union of the journalled pairs; one that
+// fell further behind rescans the full width once.
+const codecJournal = 32
+
+// DeltaCodec is the piggyback codec of one directed inter-cluster pipe
+// (the LAN/WAN uplink netsim serializes src→dst traffic through). The
+// encoder half lives at the sending cluster's gateway: enc is the last
+// vector shipped on the pipe, and Encode emits the pairs that changed
+// since. The decoder half lives at the receiving gateway: dec replays
+// the encoder's writes in pipe (FIFO) order, so after decoding message
+// m, dec is byte-identical to the dense vector m would have carried.
+// Node restarts do not touch the codec — like the pipe itself, the
+// gateway is part of the network model, not of node volatile memory.
+type DeltaCodec struct {
+	enc DDV // last vector encoded onto the pipe
+	dec DDV // last vector decoded off the pipe
+
+	// encGen is the sender-side DDV generation enc reflects: when the
+	// sending node's generation still matches, nothing changed and
+	// Encode is O(1). Generation 0 means "never encoded".
+	encGen uint64
+
+	// ver counts non-empty decodes; journal[ (ver-1) % codecJournal ]
+	// holds the pairs of the most recent one.
+	ver     uint64
+	journal [codecJournal][]DDVPair
+
+	// seen is the newest version any node of the receiving cluster
+	// examined with a clean (no dependency raised) outcome, qualified
+	// by the epoch that node was in (seenEpoch). It is shared
+	// deliberately: outside commit windows every node of an HC3I
+	// cluster holds the same committed DDV (and frozen nodes do not
+	// examine), so one node's clean exam covers the others. The epoch
+	// qualifier closes the rollback window: while a cluster rollback
+	// is in flight, a peer that has not yet executed its RollbackCmd
+	// still examines with the old epoch's higher DDV, and a cursor it
+	// advances must not let an already-rolled-back node (whose DDV
+	// dropped) skip its own full re-examination — an exam only trusts
+	// the cursor when seenEpoch matches its own epoch, and epochs
+	// never go backwards. ResetSeen additionally discards the cursor
+	// outright on every DDV-lowering event.
+	seen      uint64
+	seenEpoch Epoch
+
+	// scratch is the encoder's reusable diff buffer.
+	scratch []DDVPair
+}
+
+// Init sizes the codec for the federation width. Both ends start from
+// the all-zero vector, matching a DDV's initial state.
+func (c *DeltaCodec) Init(width int) {
+	c.enc = NewDDV(width)
+	c.dec = NewDDV(width)
+}
+
+// Encode emits the pairs that changed since the last vector shipped on
+// this pipe and advances the encoder state. gen is the sender's DDV
+// generation: if it matches the previous call's, the vector is
+// unchanged and no diff runs. The returned slice is cut from ar and
+// owned by the message (journalled by the decoder later).
+func (c *DeltaCodec) Encode(cur DDV, gen uint64, ar *PairArena) []DDVPair {
+	if gen != 0 && gen == c.encGen {
+		return nil
+	}
+	pairs := diffPairs(c.scratch[:0], cur, c.enc)
+	c.scratch = pairs
+	c.encGen = gen
+	if len(pairs) == 0 {
+		return nil
+	}
+	c.enc.applyPairs(pairs)
+	return ar.Clone(pairs)
+}
+
+// Decode patches the decoder vector with one message's pairs, in pipe
+// order. Empty deltas never reach the decoder (Encode returns nil).
+func (c *DeltaCodec) Decode(pairs []DDVPair) {
+	c.dec.applyPairs(pairs)
+	c.journal[c.ver%codecJournal] = pairs
+	c.ver++
+}
+
+// Current returns the decoder vector: the exact dense vector the
+// message just decoded would have carried. Owned by the codec — valid
+// only until the next Decode on this pipe; callers that defer a
+// message clone it first.
+func (c *DeltaCodec) Current() DDV { return c.dec }
+
+// Version returns the decode version.
+func (c *DeltaCodec) Version() uint64 { return c.ver }
+
+// ResetSeen discards the clean-exam cursor: the next examination
+// rescans the full width. Receiving nodes call it (through
+// PiggyCodecs.ResetPiggyExam) whenever their DDV may have decreased.
+func (c *DeltaCodec) ResetSeen() {
+	c.seen = 0
+	c.seenEpoch = 0
+}
+
+// examReplayMax bounds how many journalled deltas an examination
+// replays before falling back to one full-width scan (the scan is a
+// tight compare loop — the dense encoding's exam — so replaying long
+// windows is never cheaper).
+const examReplayMax = 8
+
+// PiggyCodecs is an optional upgrade interface of Env: a harness that
+// transports transitive piggybacks in delta form returns the codec of
+// the directed inter-cluster pipe src→dst (nil when the pipe has no
+// codec, e.g. dense-wire runs). Environments that do not implement it
+// (the live runtime) get dense piggybacks.
+type PiggyCodecs interface {
+	PiggyCodec(src, dst topology.ClusterID) *DeltaCodec
+	// ResetPiggyExam discards the clean-exam cursor of every existing
+	// pipe into cluster dst (without instantiating absent ones).
+	ResetPiggyExam(dst topology.ClusterID)
+}

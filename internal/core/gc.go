@@ -100,13 +100,63 @@ func (n *Node) startGCRound() {
 }
 
 func (n *Node) makeGCReport(round uint64) GCReport {
-	return GCReport{
-		Round:      round,
-		Cluster:    n.cluster,
-		Epoch:      n.epoch,
-		CurrentDDV: n.arena.Clone(n.ddv),
-		CLCs:       n.StoredMetas(),
+	if n.denseWire {
+		return GCReport{
+			Round:      round,
+			Cluster:    n.cluster,
+			Epoch:      n.epoch,
+			CurrentDDV: n.arena.Clone(n.ddv),
+			CLCs:       n.StoredMetas(),
+		}
 	}
+	// Delta form: one dense anchor (the oldest stored CLC) plus each
+	// subsequent commit's pair set — O(width + total changed entries)
+	// instead of O(width x stored CLCs). Consecutive stored CLCs are
+	// consecutive commits (GC drops a prefix, rollback a suffix), so
+	// the chain reconstructs every Meta exactly; rebuildDeltaChain
+	// restores the pairs after a crash-recovery rebuilt the list.
+	rep := GCReport{
+		Round:    round,
+		Cluster:  n.cluster,
+		Epoch:    n.epoch,
+		FirstSN:  n.clcs[0].meta.SN,
+		FirstDDV: n.arena.Clone(n.clcs[0].meta.DDV),
+	}
+	if k := len(n.clcs) - 1; k > 0 {
+		rep.ChainSNs = make([]SN, 0, k)
+		rep.ChainCounts = make([]int32, 0, k)
+		for _, r := range n.clcs[1:] {
+			rep.ChainSNs = append(rep.ChainSNs, r.meta.SN)
+			rep.ChainCounts = append(rep.ChainCounts, int32(len(r.deltaPairs)))
+			rep.ChainPairs = append(rep.ChainPairs, r.deltaPairs...)
+		}
+	}
+	newest := n.clcs[len(n.clcs)-1].meta.DDV
+	n.pairScratch = diffPairs(n.pairScratch[:0], n.ddv, newest)
+	rep.CurPairs = n.pairArena.Clone(n.pairScratch)
+	return rep
+}
+
+// materializeGCReport expands a report into its dense stored-CLC list
+// and current vector, whichever encoding it arrived in. Runs at the GC
+// initiator once per report per round; the recovery-line analysis
+// (SmallestSNs) operates on dense metadata.
+func materializeGCReport(rep GCReport) ([]Meta, DDV) {
+	if rep.CLCs != nil || rep.FirstDDV == nil {
+		return rep.CLCs, rep.CurrentDDV
+	}
+	metas := make([]Meta, 0, 1+len(rep.ChainSNs))
+	metas = append(metas, Meta{SN: rep.FirstSN, DDV: rep.FirstDDV})
+	cur := rep.FirstDDV.Clone()
+	off := 0
+	for j, sn := range rep.ChainSNs {
+		cnt := int(rep.ChainCounts[j])
+		cur.applyPairs(rep.ChainPairs[off : off+cnt])
+		off += cnt
+		metas = append(metas, Meta{SN: sn, DDV: cur.Clone()})
+	}
+	cur.applyPairs(rep.CurPairs)
+	return metas, cur
 }
 
 // onGCRequest answers the initiator with this cluster's checkpoint
@@ -171,8 +221,7 @@ func (n *Node) computeMinSNs(reports map[topology.ClusterID]GCReport) ([]SN, err
 		if !ok {
 			return nil, fmt.Errorf("core: GC round missing report for cluster %d", c)
 		}
-		lists[c] = rep.CLCs
-		currents[c] = rep.CurrentDDV
+		lists[c], currents[c] = materializeGCReport(rep)
 	}
 	return SmallestSNs(lists, currents)
 }
@@ -225,9 +274,9 @@ func (n *Node) applyGCDrop(minSNs []SN) {
 		}
 	}
 	n.clcs = keptCLCs
-	for k := range n.replicas {
+	for k, rep := range n.replicas {
 		if k.seq < threshold {
-			delete(n.replicas, k)
+			n.dropReplica(k, rep)
 		}
 	}
 	logBefore := len(n.log)

@@ -20,6 +20,15 @@ type ReclaimableMsg interface {
 
 // Wire sizes in bytes, used to price protocol traffic in the network
 // model. Piggybacked vectors add 8 bytes per cluster.
+//
+// Pricing note for the delta wire representation (delta.go): messages
+// carry dependency metadata either as a dense DDV or as sparse
+// (index, SN) pairs plus the width they stand for, and both forms are
+// priced at the dense width. Transmission delays, byte counters and
+// recorded goldens are therefore invariant under the encoding switch;
+// the delta form saves simulator time and allocations, not modeled
+// bytes. (A real deployment would also shrink the wire; modeling that
+// would change every recorded result, so it is deliberately not done.)
 const (
 	snBytes        = 8
 	headerBytes    = 16 // ids, flags
@@ -38,7 +47,15 @@ type AppMsg struct {
 	SrcCluster topology.ClusterID
 	SrcEpoch   Epoch
 	SendSN     SN  // sender cluster's SN at send time
-	PiggyDDV   DDV // nil unless the transitive extension is enabled
+	PiggyDDV   DDV // dense transitive piggyback (nil unless enabled)
+	// PiggyPairs/PiggyWidth are the delta form of the transitive
+	// piggyback: the entries that changed since the last message on the
+	// same directed inter-cluster pipe (see DeltaCodec). PiggyWidth > 0
+	// marks a delta-encoded piggyback (possibly with zero changed
+	// pairs) and prices the message at the dense width. Exactly one of
+	// PiggyDDV / PiggyWidth is set by a sender.
+	PiggyPairs []DDVPair
+	PiggyWidth int32
 	Resend     bool
 	// DstEpoch carries the receiver cluster's newest epoch known to the
 	// sender — on every inter-cluster send, not just resends (plain
@@ -58,6 +75,7 @@ func (m AppMsg) WireSize() int {
 	if m.PiggyDDV != nil {
 		s += perClusterByte * len(m.PiggyDDV)
 	}
+	s += perClusterByte * int(m.PiggyWidth)
 	return s
 }
 
@@ -77,10 +95,15 @@ func (AppAck) ProtocolMessage() {}
 // cluster (§3.1). For a forced CLC, DDVUpdate carries the new
 // dependency entries that every node must adopt at commit.
 type CLCRequest struct {
-	Seq       SN
-	Epoch     Epoch
-	Forced    bool
-	DDVUpdate DDV // nil for unforced CLCs
+	Seq    SN
+	Epoch  Epoch
+	Forced bool
+	// DDVUpdate is the dense form (nil for unforced CLCs);
+	// UpdatePairs/UpdateWidth the delta form (raised entries only,
+	// priced at the dense width). One of the two is set when forced.
+	DDVUpdate   DDV
+	UpdatePairs []DDVPair
+	UpdateWidth int
 }
 
 func (CLCRequest) ProtocolMessage() {}
@@ -90,9 +113,14 @@ func (CLCRequest) ProtocolMessage() {}
 // ModeIndependent it also carries the node's locally accumulated DDV,
 // which the commit merges cluster-wide (lazy dependency tracking).
 type CLCAck struct {
-	Seq     SN
-	Epoch   Epoch
-	NodeDDV DDV
+	Seq   SN
+	Epoch Epoch
+	// NodeDDV is the dense form; NodePairs the delta form (only the
+	// entries this node raised above the last committed vector — the
+	// commit's element-wise-max merge makes the omitted entries exact
+	// no-ops). Both are nil outside ModeIndependent.
+	NodeDDV   DDV
+	NodePairs []DDVPair
 }
 
 func (CLCAck) ProtocolMessage() {}
@@ -103,7 +131,15 @@ func (CLCAck) ProtocolMessage() {}
 type CLCCommit struct {
 	Seq   SN
 	Epoch Epoch
+	// DDV is the dense committed vector; Pairs/Width the delta form:
+	// every entry that differs from the previous commit's vector, which
+	// each participant holds as its commitBase (the 2PC's Seq
+	// continuity guarantees no commit is ever skipped, and every
+	// rollback/recovery path restores the base from a stored dense
+	// Meta). Priced at the dense width either way.
 	DDV   DDV
+	Pairs []DDVPair
+	Width int
 }
 
 func (CLCCommit) ProtocolMessage() {}
@@ -113,8 +149,13 @@ func (CLCCommit) ProtocolMessage() {}
 // required entries (element-wise max semantics). Always requests an
 // unconditional checkpoint even without new entries (ModeForceAll).
 type ForceCLC struct {
-	Epoch  Epoch
+	Epoch Epoch
+	// NewDDV is the dense force target; Pairs/Width the delta form
+	// (raised entries only — the leader's element-wise-max absorb makes
+	// entries at the current DDV value exact no-ops).
 	NewDDV DDV
+	Pairs  []DDVPair
+	Width  int
 	Always bool
 }
 
@@ -264,13 +305,26 @@ type GCRequest struct {
 func (GCRequest) ProtocolMessage() {}
 
 // GCReport returns a cluster's stored-CLC metadata and current DDV to
-// the initiator.
+// the initiator. Dense form: CurrentDDV + CLCs. Delta form: the stored
+// chain as one dense anchor (the oldest CLC's vector) plus, per
+// subsequent CLC, the pairs it was committed with — consecutive stored
+// CLCs are consecutive commits (GC drops a prefix, rollback a suffix),
+// so the chain reconstructs every Meta exactly. CurPairs patches the
+// newest CLC's vector into the cluster's current DDV (empty in
+// ModeHC3I, where the DDV only changes at commits).
 type GCReport struct {
 	Round      uint64
 	Cluster    topology.ClusterID
 	Epoch      Epoch
 	CurrentDDV DDV
 	CLCs       []Meta
+
+	FirstSN     SN
+	FirstDDV    DDV
+	ChainSNs    []SN
+	ChainCounts []int32
+	ChainPairs  []DDVPair
+	CurPairs    []DDVPair
 }
 
 func (GCReport) ProtocolMessage() {}
@@ -320,17 +374,21 @@ func (GCToken) ProtocolMessage() {}
 
 // controlSize estimates the wire size of a control message. Pooled
 // boxes (*AppAck) price identically to their value forms so BoxPool
-// and plain environments account traffic the same way.
+// and plain environments account traffic the same way, and the delta
+// wire forms price identically to their dense equivalents (see the
+// pricing note above): a message sets either the dense vector or the
+// delta width, and the formulas sum both so one expression covers
+// both encodings.
 func controlSize(m Msg) int {
 	switch v := m.(type) {
 	case AppAck, *AppAck:
 		return controlBytes
 	case CLCRequest:
-		return controlBytes + perClusterByte*len(v.DDVUpdate)
+		return controlBytes + perClusterByte*(len(v.DDVUpdate)+v.UpdateWidth)
 	case CLCCommit:
-		return controlBytes + perClusterByte*len(v.DDV)
+		return controlBytes + perClusterByte*(len(v.DDV)+v.Width)
 	case ForceCLC:
-		return controlBytes + perClusterByte*len(v.NewDDV)
+		return controlBytes + perClusterByte*(len(v.NewDDV)+v.Width)
 	case Replica:
 		return controlBytes + v.Size
 	case RecoverStateResp:
@@ -340,7 +398,7 @@ func controlSize(m Msg) int {
 		}
 		return s
 	case GCReport:
-		return controlBytes + perClusterByte*len(v.CurrentDDV)*(1+len(v.CLCs))
+		return controlBytes + perClusterByte*gcReportVectorCells(v)
 	case GCCollect:
 		return controlBytes + perClusterByte*len(v.MinSNs)
 	case GCDrop:
@@ -348,10 +406,20 @@ func controlSize(m Msg) int {
 	case GCToken:
 		s := controlBytes + perClusterByte*len(v.MinSNs)
 		for _, r := range v.Reports {
-			s += controlBytes + perClusterByte*len(r.CurrentDDV)*(1+len(r.CLCs))
+			s += controlBytes + perClusterByte*gcReportVectorCells(r)
 		}
 		return s
 	default:
 		return controlBytes
 	}
+}
+
+// gcReportVectorCells prices a GC report's dependency metadata at its
+// dense footprint — width x (current vector + one per stored CLC) —
+// for either encoding: the delta chain stands for 1+len(ChainSNs)
+// stored CLCs of width len(FirstDDV).
+func gcReportVectorCells(r GCReport) int {
+	cells := len(r.CurrentDDV) * (1 + len(r.CLCs))
+	cells += len(r.FirstDDV) * (2 + len(r.ChainSNs))
+	return cells
 }

@@ -78,6 +78,12 @@ type Config struct {
 	// part is replicated to (§3.1 uses 1; §7 suggests making it
 	// configurable to tolerate more simultaneous faults per cluster).
 	Replicas int
+	// DenseWire selects the dense (one SN per cluster) wire encoding
+	// for dependency metadata instead of the default delta form (see
+	// delta.go). Both encodings are priced identically and produce
+	// identical runs; the dense path is kept as the reference for
+	// differential tests and width-scaling benchmarks.
+	DenseWire bool
 }
 
 // validate panics on malformed configurations: these are programming
@@ -106,6 +112,12 @@ type clcRecord struct {
 	at        sim.Time
 	state     any
 	stateSize int
+	// deltaPairs is the set of DDV entries this commit changed relative
+	// to the predecessor checkpoint (the CLCCommit's wire pairs); the
+	// garbage collector's delta reports ship the stored chain as these
+	// pairs off one dense anchor. nil on the initial record (the chain
+	// anchor) and in dense-wire runs.
+	deltaPairs []DDVPair
 	// remote marks a record whose local state was lost in a crash and
 	// lives only on the neighbour replicas; restoring it requires a
 	// RecoverStateReq round-trip.
@@ -169,9 +181,19 @@ type Node struct {
 	failed    bool
 	lostState bool // restarted after a crash; volatile memory gone
 
-	sn         SN
-	epoch      Epoch
-	ddv        DDV
+	sn    SN
+	epoch Epoch
+	ddv   DDV
+	// ddvGen counts mutations of ddv (any site that can change an
+	// entry bumps it); the piggyback encoder and the shared log-entry
+	// piggy clone use it to skip O(width) work while the vector is
+	// unchanged. Starts at 1; 0 means "never" on consumers.
+	ddvGen uint64
+	// commitBase is the dense vector of the newest committed CLC — the
+	// base every delta-encoded CLCCommit patches. Invariant: equal on
+	// all non-failed nodes of the cluster outside commit windows, and
+	// re-synced from a stored dense Meta on every rollback/recovery.
+	commitBase DDV
 	knownEpoch []Epoch // latest known epoch per cluster
 	// alertEpoch/alertSN record the most recent rollback alert per
 	// cluster: a message one epoch behind whose SendSN is below the
@@ -197,9 +219,18 @@ type Node struct {
 	inFlightSince  sim.Time
 	ackedNodes     []bool // reusable per-index ack flags, reset at startCLC
 	ackedCount     int
-	ackedDDVs      []DDV // node DDVs gathered with acks (ModeIndependent)
-	pendingForce   DDV   // accumulated force targets not yet committed
-	pendingAlways  bool  // an unconditional force is pending (ModeForceAll)
+	ackedDDVs      []DDV // node DDVs gathered with acks (dense wire, ModeIndependent)
+	// ackAccum/ackDirty accumulate delta-encoded ack pairs by
+	// element-wise max (order-independent, so merging on arrival equals
+	// the dense path's merge-at-commit); reset at startCLC/abort.
+	ackAccum      DDV
+	ackDirty      DirtySet
+	pendingForce  DDV  // accumulated force targets not yet committed
+	pendingAlways bool // an unconditional force is pending (ModeForceAll)
+	// pendingDirty tracks which pendingForce entries were ever raised,
+	// so the forced-CLC scans iterate O(dirty) instead of O(width).
+	// Entries outside the set are zero and can never exceed the DDV.
+	pendingDirty DirtySet
 
 	// ---- queues ----
 	sendQueue    []AppPayloadTo // app sends issued while frozen
@@ -212,6 +243,12 @@ type Node struct {
 	// mirrorLogs holds neighbours' message-log mirrors (stable storage
 	// for §3.3's volatile log), keyed by the owning node.
 	mirrorLogs map[topology.NodeID][]LogMirror
+	// replicaBytes/mirrorBytes are the running byte totals of the two
+	// map-backed stores, maintained at their mutation sites:
+	// StorageBytes runs once per commit on every leader, and iterating
+	// the maps there was a top profile entry at wide-federation scale.
+	replicaBytes uint64
+	mirrorBytes  uint64
 
 	// ---- message log ----
 	log       []*logEntry
@@ -253,6 +290,34 @@ type Node struct {
 	// (stored Metas, piggybacked vectors, commit broadcasts); see
 	// DDVArena for the ownership rules.
 	arena DDVArena
+	// pairArena backs every DDVPair slice that escapes on a wire
+	// message or into a stored record; pairScratch is the reusable
+	// build buffer (valid until the next pair-building call, cloned
+	// through pairArena before escaping — same discipline as
+	// forceScratch).
+	pairArena   PairArena
+	pairScratch []DDVPair
+	// recvDirty tracks the entries this node raised above commitBase
+	// by local receipts (ModeIndependent's lazy tracking): exactly the
+	// pairs a delta prepare-ack must carry.
+	recvDirty DirtySet
+	// commitScratch is the per-event dirty-set scratch for building
+	// commit pairs.
+	commitScratch DirtySet
+	// piggyCodecs is the env's per-pipe delta codec registry when it
+	// offers one (PiggyCodecs); nil means dense piggybacks. Each codec
+	// carries the cluster-shared clean-exam cursor (DeltaCodec.seen);
+	// resetPiggyExam discards the cursors whenever this node's DDV may
+	// have decreased (rollback, recovery), forcing a full-width
+	// re-examination per pipe.
+	piggyCodecs PiggyCodecs
+	// lastPiggy is the shared dense clone of ddv at generation
+	// lastPiggyGen: log entries of all sends between two DDV changes
+	// reference one immutable vector instead of cloning per message.
+	lastPiggy    DDV
+	lastPiggyGen uint64
+	// denseWire mirrors cfg.DenseWire (hot-path read).
+	denseWire bool
 	// replTargets is the fixed ring of neighbour nodes holding this
 	// node's checkpoint parts, computed once (the per-prepare slice
 	// build showed up as a top allocation site).
@@ -348,12 +413,25 @@ func NewNode(cfg Config, env Env, app AppHooks) *Node {
 	}
 	n.arena.Init(cfg.Clusters)
 	n.boxes, _ = env.(BoxPool)
+	n.denseWire = cfg.DenseWire
+	n.ddvGen = 1
+	n.commitBase = NewDDV(cfg.Clusters)
+	n.ackAccum = NewDDV(cfg.Clusters)
+	n.ackDirty.Init(cfg.Clusters)
+	n.pendingDirty.Init(cfg.Clusters)
+	n.recvDirty.Init(cfg.Clusters)
+	n.commitScratch.Init(cfg.Clusters)
+	n.pairScratch = make([]DDVPair, 0, 8)
+	if !n.denseWire {
+		n.piggyCodecs, _ = env.(PiggyCodecs)
+	}
 	n.replTargets = make([]topology.NodeID, 0, cfg.Replicas)
 	for r := 1; r <= cfg.Replicas; r++ {
 		n.replTargets = append(n.replTargets,
 			topology.NodeID{Cluster: n.cluster, Index: (n.id.Index + r) % n.size})
 	}
 	n.ddv[n.cluster] = 1
+	n.commitBase.CopyFrom(n.ddv)
 	state, size := app.Snapshot()
 	n.clcs = append(n.clcs, &clcRecord{
 		meta:      Meta{SN: 1, DDV: n.arena.Clone(n.ddv)},
@@ -405,16 +483,81 @@ func (n *Node) SN() SN { return n.sn }
 // CurrentEpoch returns the node's rollback epoch.
 func (n *Node) CurrentEpoch() Epoch { return n.epoch }
 
-// DDVSnapshot returns a copy of the node's current DDV.
-func (n *Node) DDVSnapshot() DDV { return n.ddv.Clone() }
+// DDVSnapshot returns a copy of the node's current DDV. The copy is
+// cut from the node's arena: the caller owns it indefinitely (chunks
+// live as long as any vector cut from them), and the steady-state
+// cost is zero heap allocations.
+func (n *Node) DDVSnapshot() DDV { return n.arena.Clone(n.ddv) }
 
 // StoredMetas returns the metadata of the stored CLCs, oldest first.
+// The vectors are arena-backed copies owned by the caller.
 func (n *Node) StoredMetas() []Meta {
 	ms := make([]Meta, len(n.clcs))
 	for i, r := range n.clcs {
-		ms[i] = Meta{SN: r.meta.SN, DDV: r.meta.DDV.Clone()}
+		ms[i] = Meta{SN: r.meta.SN, DDV: n.arena.Clone(r.meta.DDV)}
 	}
 	return ms
+}
+
+// oldestStoredWith is OldestWith over the stored records without
+// materializing a Meta list — the rollback-alert decision runs it per
+// alert, which made StoredMetas' O(width x stored) cloning an
+// allocation hot spot during cascades.
+func (n *Node) oldestStoredWith(c topology.ClusterID, s SN) int {
+	for i, r := range n.clcs {
+		if r.meta.DDV[c] >= s {
+			return i
+		}
+	}
+	return -1
+}
+
+// newestStoredBelow is NewestBelow over the stored records, without
+// cloning (see oldestStoredWith).
+func (n *Node) newestStoredBelow(c topology.ClusterID, s SN) int {
+	for i := len(n.clcs) - 1; i >= 0; i-- {
+		if n.clcs[i].meta.DDV[c] < s {
+			return i
+		}
+	}
+	return -1
+}
+
+// ddvChanged records a mutation of n.ddv (or of an entry of it): the
+// piggyback encoder and the shared log-piggy clone key off the
+// generation to skip O(width) work while the vector is unchanged.
+func (n *Node) ddvChanged() { n.ddvGen++ }
+
+// piggyVecID identifies the current DDV's content for the shared
+// per-pipe piggyback encoder, which is written to by *every* node of
+// this cluster: a per-node mutation counter would collide across
+// nodes, so the identity must be well-defined pipe-wide. In
+// ModeHC3I/ModeForceAll the DDV is a pure function of (epoch, sn) —
+// application sends are frozen throughout commit and rollback windows,
+// so a sending node always holds the committed vector that pair names.
+// Under ModeIndependent vectors are per-node (lazy receipts), so the
+// identity is qualified by the node's index; a node handover on the
+// pipe then re-runs one O(width) diff, which usually finds nothing.
+// Zero is never returned (sn starts at 1): the encoder treats zero as
+// "unknown".
+func (n *Node) piggyVecID() uint64 {
+	if n.cfg.Mode == ModeIndependent {
+		return 1<<63 | uint64(n.id.Index)<<40 | (n.ddvGen & (1<<40 - 1))
+	}
+	return uint64(n.epoch)<<32 | uint64(n.sn)
+}
+
+// sharedPiggy returns a dense clone of the current DDV shared by every
+// log entry created while the vector is unchanged: one O(width) copy
+// per DDV generation instead of one per inter-cluster send. The
+// returned vector is immutable by convention (log entries and resends
+// only read it).
+func (n *Node) sharedPiggy() DDV {
+	if n.lastPiggyGen != n.ddvGen {
+		n.lastPiggy = n.arena.Clone(n.ddv)
+		n.lastPiggyGen = n.ddvGen
+	}
+	return n.lastPiggy
 }
 
 // StoredCount returns how many CLCs this node currently stores.
@@ -434,9 +577,11 @@ func (n *Node) ReplicaCount() int { return len(n.replicas) }
 // StorageBytes approximates the volatile memory this node devotes to
 // fault tolerance: its own checkpoint states, the neighbour replicas it
 // holds, its message log and the mirrored logs — the footprint §3.5's
-// garbage collection exists to bound.
+// garbage collection exists to bound. The map-backed stores contribute
+// through running counters (replicaBytes, mirrorBytes); the slice
+// walks stay, they are cache-friendly and bounded by GC.
 func (n *Node) StorageBytes() uint64 {
-	var total uint64
+	total := n.replicaBytes + n.mirrorBytes
 	for _, r := range n.clcs {
 		if !r.remote {
 			total += uint64(r.stateSize)
@@ -445,18 +590,26 @@ func (n *Node) StorageBytes() uint64 {
 			total += uint64(l.msg.Payload.Size)
 		}
 	}
-	for _, rep := range n.replicas {
-		total += uint64(rep.Size)
-	}
 	for _, e := range n.log {
 		total += uint64(e.payload.Size)
 	}
-	for _, ml := range n.mirrorLogs {
-		for _, e := range ml {
-			total += uint64(e.Payload.Size)
-		}
-	}
 	return total
+}
+
+// storeReplica installs (or overwrites) a neighbour state, keeping the
+// running byte total exact.
+func (n *Node) storeReplica(k replicaKey, r Replica) {
+	if old, ok := n.replicas[k]; ok {
+		n.replicaBytes -= uint64(old.Size)
+	}
+	n.replicaBytes += uint64(r.Size)
+	n.replicas[k] = r
+}
+
+// dropReplica removes a stored neighbour state.
+func (n *Node) dropReplica(k replicaKey, r Replica) {
+	n.replicaBytes -= uint64(r.Size)
+	delete(n.replicas, k)
 }
 
 // Failed reports whether the node is crashed.
@@ -473,7 +626,7 @@ func (n *Node) Frozen() bool { return n.frozenSends }
 // SeedReplica installs a checkpoint replica directly (used only at
 // bootstrap to pre-distribute the initial checkpoint).
 func (n *Node) SeedReplica(r Replica) {
-	n.replicas[replicaKey{owner: r.Owner, seq: r.Seq}] = r
+	n.storeReplica(replicaKey{owner: r.Owner, seq: r.Seq}, r)
 }
 
 // InitialReplica returns the Replica record of this node's initial
@@ -506,17 +659,22 @@ func (n *Node) Restart() {
 	n.lostState = true
 	n.sn = 0
 	n.ddv = NewDDV(n.cfg.Clusters)
+	n.ddvChanged()
+	n.resetDeltaState()
 	n.knownEpoch = make([]Epoch, n.cfg.Clusters)
 	n.alertEpoch = make([]Epoch, n.cfg.Clusters)
 	n.alertSN = make([]SN, n.cfg.Clusters)
 	n.clcs = nil
 	n.replicas = make(map[replicaKey]Replica, 4*(n.cfg.Replicas+1))
 	n.mirrorLogs = make(map[topology.NodeID][]LogMirror, n.cfg.Replicas)
+	n.replicaBytes = 0
+	n.mirrorBytes = 0
 	n.log = nil
 	n.phase = cpIdle
 	n.provisional = nil
 	n.inFlight = false
 	n.pendingForce = nil
+	n.pendingDirty.Reset()
 	n.pendingAlways = false
 	n.ackedDDVs = nil
 	n.frozenSends = false
@@ -529,6 +687,38 @@ func (n *Node) Restart() {
 	n.recoverWait = nil
 	n.cascadeMemo = make(map[topology.ClusterID]cascadeRecord)
 	n.env.Trace(sim.TraceInfo, "RESTARTED (volatile memory lost)")
+}
+
+// resetDeltaState clears the delta-tracking state that derives from the
+// DDV/commit history: the commit base (re-synced from a dense Meta by
+// the recovery path), the lazy-receipt and ack accumulators, the shared
+// log-piggy clone, and the per-pipe examination cursors (a reset
+// forces a full-width re-exam, which any decrease of this node's own
+// DDV requires for equivalence with the dense encoding).
+func (n *Node) resetDeltaState() {
+	for i := range n.commitBase {
+		n.commitBase[i] = 0
+	}
+	n.recvDirty.Reset()
+	n.resetAckAccum()
+	n.lastPiggyGen = 0
+	n.lastPiggy = nil
+	n.resetPiggyExam()
+}
+
+// resetPiggyExam discards the clean-exam cursor of every inbound pipe.
+func (n *Node) resetPiggyExam() {
+	if n.piggyCodecs != nil {
+		n.piggyCodecs.ResetPiggyExam(n.cluster)
+	}
+}
+
+// resetAckAccum zeroes the delta ack accumulator in O(dirty entries).
+func (n *Node) resetAckAccum() {
+	for _, i := range n.ackDirty.Indices() {
+		n.ackAccum[i] = 0
+	}
+	n.ackDirty.Reset()
 }
 
 // ---- event entry points ----

@@ -36,6 +36,32 @@ func (e *mockEnv) Trace(level sim.TraceLevel, format string, args ...any) {}
 func (e *mockEnv) Stat(name string, delta uint64)                         { e.bed.stats[name] += delta }
 func (e *mockEnv) StatSeries(name string, value float64)                  {}
 
+// The testbed implements PiggyCodecs when built with useCodecs, so
+// unit tests and benchmarks can cover the delta transitive path; the
+// pump decodes at pipe exit exactly like netsim.
+func (e *mockEnv) PiggyCodec(src, dst topology.ClusterID) *DeltaCodec {
+	b := e.bed
+	if !b.useCodecs {
+		return nil
+	}
+	k := [2]topology.ClusterID{src, dst}
+	cd := b.codecs[k]
+	if cd == nil {
+		cd = new(DeltaCodec)
+		cd.Init(b.width)
+		b.codecs[k] = cd
+	}
+	return cd
+}
+
+func (e *mockEnv) ResetPiggyExam(dst topology.ClusterID) {
+	for k, cd := range e.bed.codecs {
+		if k[1] == dst {
+			cd.ResetSeen()
+		}
+	}
+}
+
 // The testbed implements BoxPool like the federation harness, so unit
 // tests and benchmarks cover the pooled-box message path.
 func (e *mockEnv) AppMsgBox() *AppMsg {
@@ -92,6 +118,11 @@ type testbed struct {
 
 	appBoxes []*AppMsg
 	ackBoxes []*AppAck
+
+	// Delta piggyback support (see mockEnv.PiggyCodec).
+	useCodecs bool
+	width     int
+	codecs    map[[2]topology.ClusterID]*DeltaCodec
 }
 
 // reclaim returns a pooled message box after its dispatch, mirroring
@@ -111,11 +142,13 @@ func (b *testbed) reclaim(msg Msg) {
 // copies, and the given per-cluster CLC periods.
 func newTestbed(t testing.TB, sizes []int, replicas int, transitive bool) *testbed {
 	bed := &testbed{
-		t:     t,
-		nodes: make(map[topology.NodeID]*Node),
-		apps:  make(map[topology.NodeID]*mockApp),
-		envs:  make(map[topology.NodeID]*mockEnv),
-		stats: make(map[string]uint64),
+		t:      t,
+		nodes:  make(map[topology.NodeID]*Node),
+		apps:   make(map[topology.NodeID]*mockApp),
+		envs:   make(map[topology.NodeID]*mockEnv),
+		stats:  make(map[string]uint64),
+		width:  len(sizes),
+		codecs: make(map[[2]topology.ClusterID]*DeltaCodec),
 	}
 	for c, size := range sizes {
 		repl := replicas
@@ -151,6 +184,48 @@ func newTestbed(t testing.TB, sizes []int, replicas int, transitive bool) *testb
 	return bed
 }
 
+// newWideTestbed declares a federation of `width` single-node clusters
+// but instantiates only clusters 0 and 1 — enough to drive one
+// directed inter-cluster pipe at an arbitrary dependency-vector width
+// without building hundreds of nodes. Transitive piggybacking is on;
+// dense selects the reference wire encoding (delta otherwise).
+func newWideTestbed(t testing.TB, width int, dense bool) *testbed {
+	bed := &testbed{
+		t:         t,
+		nodes:     make(map[topology.NodeID]*Node),
+		apps:      make(map[topology.NodeID]*mockApp),
+		envs:      make(map[topology.NodeID]*mockEnv),
+		stats:     make(map[string]uint64),
+		width:     width,
+		codecs:    make(map[[2]topology.ClusterID]*DeltaCodec),
+		useCodecs: !dense,
+	}
+	sizes := make([]int, width)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	for c := 0; c < 2; c++ {
+		id := topology.NodeID{Cluster: topology.ClusterID(c), Index: 0}
+		env := &mockEnv{id: id, bed: bed, timers: make(map[TimerKind]sim.Duration)}
+		app := &mockApp{}
+		cfg := Config{
+			ID:           id,
+			Clusters:     width,
+			ClusterSizes: sizes,
+			CLCPeriod:    sim.Forever,
+			GCPeriod:     sim.Forever,
+			Transitive:   true,
+			DenseWire:    dense,
+		}
+		n := NewNode(cfg, env, app)
+		bed.nodes[id] = n
+		bed.apps[id] = app
+		bed.envs[id] = env
+		n.Start()
+	}
+	return bed
+}
+
 func (b *testbed) node(c, i int) *Node {
 	return b.nodes[topology.NodeID{Cluster: topology.ClusterID(c), Index: i}]
 }
@@ -169,6 +244,21 @@ func (b *testbed) pump() {
 		dst := b.nodes[m.dst]
 		if dst == nil {
 			b.t.Fatalf("message to unknown node %v", m.dst)
+		}
+		// Pipe-exit decode, exactly like netsim: the decoder advances
+		// for every delta-piggybacked message leaving the queue, even
+		// one about to be dropped at a down endpoint.
+		if b.useCodecs && m.src.Cluster != m.dst.Cluster {
+			var pairs []DDVPair
+			switch am := m.msg.(type) {
+			case *AppMsg:
+				pairs = am.PiggyPairs
+			case AppMsg:
+				pairs = am.PiggyPairs
+			}
+			if len(pairs) > 0 {
+				b.codecs[[2]topology.ClusterID{m.src.Cluster, m.dst.Cluster}].Decode(pairs)
+			}
 		}
 		if dst.Failed() || b.nodes[m.src].Failed() {
 			continue // fail-stop: traffic to/from down nodes vanishes

@@ -104,9 +104,9 @@ func (n *Node) performLocalRollback(toSN SN, newEpoch Epoch, coordinator topolog
 	for len(n.clcs) > 0 && n.clcs[len(n.clcs)-1].meta.SN > toSN {
 		n.clcs = n.clcs[:len(n.clcs)-1]
 	}
-	for k := range n.replicas {
+	for k, rep := range n.replicas {
 		if k.seq > toSN {
-			delete(n.replicas, k)
+			n.dropReplica(k, rep)
 		}
 	}
 	for owner, entries := range n.mirrorLogs {
@@ -114,6 +114,8 @@ func (n *Node) performLocalRollback(toSN SN, newEpoch Epoch, coordinator topolog
 		for _, e := range entries {
 			if e.SendSN < toSN {
 				kept = append(kept, e)
+			} else {
+				n.mirrorBytes -= uint64(e.Payload.Size)
 			}
 		}
 		n.mirrorLogs[owner] = kept
@@ -152,12 +154,48 @@ func (n *Node) finishLocalRollback(rec *clcRecord, toSN SN, newEpoch Epoch) {
 	// Copy into the node's owned DDV buffer; the stored Meta keeps its
 	// own vector, so neither side aliases the other.
 	n.ddv.CopyFrom(rec.meta.DDV)
+	n.resyncDeltaState(rec.meta.DDV)
 	n.epoch = newEpoch
 	n.knownEpoch[n.cluster] = newEpoch
 	n.pruneLogForOwnRollback(toSN)
 	n.frozenSends = true // until RollbackResume
 	n.frozenDelivs = false
 	n.drainInbound()
+}
+
+// resyncDeltaState re-anchors the delta-tracking state after this
+// node's DDV was restored from the stored dense vector ddv: the commit
+// base becomes that vector (the commit chain restarts from it on both
+// leader and participants — they restore the same checkpoint), lazy
+// receipts are gone (the restored DDV covers exactly the checkpoint),
+// and the per-pipe piggyback cursors are zeroed because the DDV may
+// have decreased — the next message on each pipe re-examines the full
+// width, exactly as the dense encoding would compare it.
+func (n *Node) resyncDeltaState(ddv DDV) {
+	n.commitBase.CopyFrom(ddv)
+	n.recvDirty.Reset()
+	n.resetAckAccum()
+	n.ddvChanged()
+	n.resetPiggyExam()
+}
+
+// rebuildDeltaChain recomputes the stored records' commit-delta pairs
+// by diffing consecutive metas — used after a recovery rebuilt the
+// checkpoint list from RecoverStateResp metadata, where the original
+// pairs are unknown. O(width x stored CLCs), on the rare crash-recovery
+// path only.
+func (n *Node) rebuildDeltaChain() {
+	if n.denseWire {
+		return
+	}
+	for i, r := range n.clcs {
+		if i == 0 {
+			r.deltaPairs = nil // chain anchor: the dense Meta is shipped
+			continue
+		}
+		n.pairScratch = diffPairs(n.pairScratch[:0], r.meta.DDV, n.clcs[i-1].meta.DDV)
+		r.deltaPairs = n.pairArena.Clone(n.pairScratch)
+	}
 }
 
 // recordWith returns the stored record with the given SN, or nil.
@@ -277,6 +315,8 @@ func (n *Node) onRecoverStateResp(src topology.NodeID, m RecoverStateResp) {
 	n.sn = pend.cmd.ToSN
 	rec := n.recordWith(pend.cmd.ToSN)
 	n.ddv.CopyFrom(rec.meta.DDV)
+	n.resyncDeltaState(rec.meta.DDV)
+	n.rebuildDeltaChain()
 	n.epoch = pend.cmd.NewEpoch
 	n.knownEpoch[n.cluster] = n.epoch
 	n.frozenSends = true
@@ -356,6 +396,7 @@ func (n *Node) onLogMirror(src topology.NodeID, m LogMirror) {
 			return // duplicate (re-replication)
 		}
 	}
+	n.mirrorBytes += uint64(m.Payload.Size)
 	n.mirrorLogs[m.Owner] = append(n.mirrorLogs[m.Owner], m)
 }
 
@@ -372,6 +413,8 @@ func (n *Node) onLogTrim(src topology.NodeID, m LogTrim) {
 	for _, e := range n.mirrorLogs[src] {
 		if alive[e.MsgID] {
 			kept = append(kept, e)
+		} else {
+			n.mirrorBytes -= uint64(e.Payload.Size)
 		}
 	}
 	n.mirrorLogs[src] = kept
@@ -511,12 +554,12 @@ func (n *Node) decideRollbackFromAlert(m RollbackAlert) {
 	if n.cfg.Mode == ModeIndependent {
 		// No forced checkpoints exist: fall back behind the dependency
 		// (domino effect; the initial CLC always qualifies).
-		idx = NewestBelow(n.StoredMetas(), m.Cluster, m.NewSN)
+		idx = n.newestStoredBelow(m.Cluster, m.NewSN)
 		if idx < 0 {
 			idx = 0
 		}
 	} else {
-		idx = OldestWith(n.StoredMetas(), m.Cluster, m.NewSN)
+		idx = n.oldestStoredWith(m.Cluster, m.NewSN)
 		if idx == -1 {
 			// The garbage collector's safety rule makes this unreachable;
 			// fall back to the initial checkpoint, which depends on nothing.

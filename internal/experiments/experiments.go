@@ -30,6 +30,11 @@ type Config struct {
 	// and every point derives the same seeds as a sequential run.
 	// <= 1 runs sequentially.
 	Workers int
+	// DenseWire runs every federation with the dense DDV wire encoding
+	// instead of the default delta form. Results are identical by
+	// construction (the differential suite proves it); the switch
+	// exists for those tests and for width-scaling benchmarks.
+	DenseWire bool
 	// sem, when non-nil, is the shared federation-run semaphore of a
 	// registry-level parallel run (see RunnerConfig): every federation
 	// execution acquires one token, so "Workers" bounds the number of
@@ -59,6 +64,9 @@ func (c Config) runFed(opts federation.Options) (*federation.Result, error) {
 	}
 	if opts.Arena == nil {
 		opts.Arena = c.arena
+	}
+	if c.DenseWire {
+		opts.DenseWire = true
 	}
 	return runFed(opts)
 }

@@ -48,9 +48,10 @@ func ParseScenario(name string) (Scenario, error) {
 	return s, nil
 }
 
-// Validate checks each dimension value against the matrix axes.
+// Validate checks each dimension value against the axes of the
+// scenario's tier (classic or wide).
 func (s Scenario) Validate() error {
-	for _, d := range []struct {
+	dims := []struct {
 		dim, val string
 		all      []string
 	}{
@@ -58,7 +59,14 @@ func (s Scenario) Validate() error {
 		{"workload", s.Workload, MatrixWorkloads},
 		{"failure", s.Failure, MatrixFailures},
 		{"network", s.Network, MatrixNetworks},
-	} {
+	}
+	if s.Wide() {
+		dims[0].all = WideTopologies
+		dims[1].all = WideWorkloads
+		dims[2].all = WideFailures
+		dims[3].all = WideNetworks
+	}
+	for _, d := range dims {
 		found := false
 		for _, v := range d.all {
 			if v == d.val {
@@ -73,13 +81,58 @@ func (s Scenario) Validate() error {
 	return nil
 }
 
-// The matrix axes. Every combination is a valid scenario.
+// The classic matrix axes. Every combination is a valid scenario.
 var (
 	MatrixTopologies = []string{"2c", "4c", "8c", "asym"}
 	MatrixWorkloads  = []string{"uniform", "bursty", "hotspot", "coupling"}
 	MatrixFailures   = []string{"none", "crash", "corr", "churn"}
 	MatrixNetworks   = []string{"lan", "wan", "jitter"}
 )
+
+// The wide-federation tier: 64–256 clusters, where dependency-vector
+// width is the scaling axis under test. The workload is a sparse ring
+// (local chatter, a ring neighbour, one long-haul partner) — a dense
+// all-pairs rate matrix at this width would swamp the run with
+// inter-cluster traffic — and runs under HC3I with the transitive
+// (whole-DDV) extension plus all three baselines, so the piggyback,
+// commit, force and alert paths all scale with width. Selected with
+// the filter `tier=wide` (or by naming a wide topology); the classic
+// matrix and its goldens are untouched.
+var (
+	WideTopologies = []string{"64c", "128c", "256c"}
+	WideWorkloads  = []string{"ring"}
+	WideFailures   = []string{"none", "crash"}
+	WideNetworks   = []string{"lan"}
+)
+
+// wideTopology reports whether topo names a wide-tier topology.
+func wideTopology(topo string) bool {
+	for _, t := range WideTopologies {
+		if t == topo {
+			return true
+		}
+	}
+	return false
+}
+
+// Wide reports whether the scenario belongs to the wide-federation
+// tier.
+func (s Scenario) Wide() bool { return wideTopology(s.Topology) }
+
+// WideMatrix returns the wide tier's cross product, in axis order.
+func WideMatrix() []Scenario {
+	var out []Scenario
+	for _, topo := range WideTopologies {
+		for _, wl := range WideWorkloads {
+			for _, fl := range WideFailures {
+				for _, net := range WideNetworks {
+					out = append(out, Scenario{Topology: topo, Workload: wl, Failure: fl, Network: net})
+				}
+			}
+		}
+	}
+	return out
+}
 
 // MatrixProtocols lists the protocols every scenario runs under:
 // HC3I plus the three baseline protocols.
@@ -102,8 +155,10 @@ func Matrix() []Scenario {
 
 // MatrixScenarios returns the scenarios selected by a filter: a
 // comma-separated list of dim=value constraints ("topology=2c,
-// failure=churn"), where dim is topology, workload, failure or network.
-// An empty filter selects the whole matrix.
+// failure=churn"), where dim is topology, workload, failure, network
+// or tier. The filter value tier=wide (or naming a wide topology)
+// selects from the wide-federation tier; otherwise the classic matrix
+// is searched. An empty filter selects the whole classic matrix.
 func MatrixScenarios(filter string) ([]Scenario, error) {
 	want := map[string]string{}
 	if strings.TrimSpace(filter) != "" {
@@ -114,7 +169,7 @@ func MatrixScenarios(filter string) ([]Scenario, error) {
 			}
 			dim := strings.ToLower(strings.TrimSpace(kv[0]))
 			switch dim {
-			case "topology", "workload", "failure", "network":
+			case "topology", "workload", "failure", "network", "tier":
 				if _, dup := want[dim]; dup {
 					return nil, fmt.Errorf("experiments: matrix filter names %s twice", dim)
 				}
@@ -124,27 +179,45 @@ func MatrixScenarios(filter string) ([]Scenario, error) {
 			}
 		}
 	}
+	wide := false
+	switch tier := want["tier"]; tier {
+	case "":
+		wide = wideTopology(want["topology"])
+	case "wide":
+		wide = true
+	case "classic":
+	default:
+		return nil, fmt.Errorf("experiments: unknown tier %q (have classic, wide)", tier)
+	}
+	delete(want, "tier")
+	universe := Matrix
+	probe := Scenario{Topology: MatrixTopologies[0], Workload: MatrixWorkloads[0],
+		Failure: MatrixFailures[0], Network: MatrixNetworks[0]}
+	if wide {
+		universe = WideMatrix
+		probe = Scenario{Topology: WideTopologies[0], Workload: WideWorkloads[0],
+			Failure: WideFailures[0], Network: WideNetworks[0]}
+	}
 	// Reject unknown axis values up front, so a typo like topology=3c
 	// reports the axis and its values instead of "selects no scenarios".
 	for dim, val := range want {
-		probe := Scenario{Topology: MatrixTopologies[0], Workload: MatrixWorkloads[0],
-			Failure: MatrixFailures[0], Network: MatrixNetworks[0]}
+		p := probe
 		switch dim {
 		case "topology":
-			probe.Topology = val
+			p.Topology = val
 		case "workload":
-			probe.Workload = val
+			p.Workload = val
 		case "failure":
-			probe.Failure = val
+			p.Failure = val
 		case "network":
-			probe.Network = val
+			p.Network = val
 		}
-		if err := probe.Validate(); err != nil {
+		if err := p.Validate(); err != nil {
 			return nil, err
 		}
 	}
 	var out []Scenario
-	for _, s := range Matrix() {
+	for _, s := range universe() {
 		if v, ok := want["topology"]; ok && v != s.Topology {
 			continue
 		}
@@ -167,8 +240,24 @@ func MatrixScenarios(filter string) ([]Scenario, error) {
 
 // matrixScale returns the per-cluster node counts for a topology and
 // the run duration. Quick mode keeps the full matrix in the tens of
-// seconds; full mode stresses the protocols at a heavier scale.
+// seconds; full mode stresses the protocols at a heavier scale. Wide
+// topologies (64–256 clusters) use uniform small clusters — the axis
+// under test is federation width, not cluster depth — and a shorter
+// virtual run, since event volume grows with width.
 func matrixScale(cfg Config, topo string) (sizes []int, total sim.Duration, err error) {
+	if n, ok := map[string]int{"64c": 64, "128c": 128, "256c": 256}[topo]; ok {
+		per := 3
+		total := 2 * sim.Hour
+		if cfg.Quick {
+			per = 2
+			total = 30 * sim.Minute
+		}
+		sizes := make([]int, n)
+		for i := range sizes {
+			sizes[i] = per
+		}
+		return sizes, total, nil
+	}
 	type dims struct{ quick, full []int }
 	shapes := map[string]dims{
 		"2c":   {quick: []int{4, 4}, full: []int{20, 20}},
@@ -248,6 +337,30 @@ func matrixWorkload(kind string, n int, total sim.Duration) (*app.Workload, erro
 		// The paper's Figure 1 pipeline: simulation -> treatment ->
 		// display, heavy inside each stage, a directed flow along it.
 		wl = app.Pipeline(n, intra, inter, total)
+	case "ring":
+		// The wide tier's sparse pattern: local chatter, a ring
+		// neighbour and one long-haul partner per cluster — the
+		// paper's "rare inter-cluster communication" premise at scale.
+		// Note the ring closes a dependency cycle, so every unforced
+		// checkpoint seeds a forced-CLC wave that circulates for the
+		// rest of the run: wide runs exercise sustained width-wide
+		// dependency churn, not just quiescent pipes.
+		rates := make([][]float64, n)
+		for i := range rates {
+			rates[i] = make([]float64, n)
+			rates[i][i] = 60
+			rates[i][(i+1)%n] = 60
+			rates[i][(i+n/2)%n] = 15
+		}
+		wl = &app.Workload{
+			TotalTime:     total,
+			RatesPerHour:  rates,
+			MsgSize:       4096,
+			MeanCompute:   2 * sim.Second,
+			Deterministic: true,
+		}
+		wl.StateSize = 64 << 10
+		return wl, nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown matrix workload %q", kind)
 	}
@@ -348,16 +461,30 @@ func ScenarioOptions(cfg Config, sc Scenario, protocol string) (federation.Optio
 		return federation.Options{}, err
 	}
 	periods := make([]sim.Duration, len(sizes))
+	clcEvery := 20 * sim.Minute
+	if sc.Wide() {
+		// Frequent unforced checkpoints keep neighbour SNs moving, so
+		// wide runs continually exercise the width-sensitive forced-CLC
+		// machinery rather than idling between rare commits.
+		clcEvery = 10 * sim.Minute
+	}
 	for i := range periods {
-		periods[i] = 20 * sim.Minute
+		periods[i] = clcEvery
 	}
 	return federation.Options{
-		Topology:    fed,
-		Workload:    wl,
-		CLCPeriods:  periods,
-		Replicas:    replicas,
-		Seed:        cfg.Seed,
-		Crashes:     crashes,
+		Topology:   fed,
+		Workload:   wl,
+		CLCPeriods: periods,
+		Replicas:   replicas,
+		Seed:       cfg.Seed,
+		Crashes:    crashes,
+		// The wide tier runs HC3I with the §7 transitive extension:
+		// whole-DDV piggybacks are exactly the O(width) per-message
+		// cost the delta wire representation exists to flatten, and
+		// wide federations are where the difference shows. Baseline
+		// protocols ignore the flag.
+		Transitive:  sc.Wide(),
+		DenseWire:   cfg.DenseWire,
 		NodeFactory: factory,
 	}, nil
 }
@@ -447,5 +574,9 @@ func MatrixAxes() string {
 		sort.Strings(vals)
 		fmt.Fprintf(&b, "%-9s %s\n", d.name, strings.Join(vals, " "))
 	}
+	fmt.Fprintf(&b, "%-9s %s\n", "tier", "classic wide")
+	fmt.Fprintf(&b, "wide tier (tier=wide): %s x %s x %s x %s\n",
+		strings.Join(WideTopologies, "/"), strings.Join(WideWorkloads, "/"),
+		strings.Join(WideFailures, "/"), strings.Join(WideNetworks, "/"))
 	return b.String()
 }

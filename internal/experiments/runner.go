@@ -23,6 +23,9 @@ type RunnerConfig struct {
 	Seed uint64
 	// Quick selects the reduced scale, exactly as Config.Quick.
 	Quick bool
+	// DenseWire selects the dense DDV wire encoding, exactly as
+	// Config.DenseWire.
+	DenseWire bool
 }
 
 // DefaultWorkers returns a reasonable pool size: one worker per CPU.
@@ -42,7 +45,7 @@ func (rc RunnerConfig) workers() int {
 // number of concurrently simulated federations globally rather than
 // per level.
 func (rc RunnerConfig) config() Config {
-	cfg := Config{Seed: rc.Seed, Quick: rc.Quick, Workers: rc.workers()}
+	cfg := Config{Seed: rc.Seed, Quick: rc.Quick, Workers: rc.workers(), DenseWire: rc.DenseWire}
 	if cfg.Workers > 1 {
 		cfg.sem = make(chan struct{}, cfg.Workers)
 	}

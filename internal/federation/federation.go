@@ -62,6 +62,11 @@ type Options struct {
 	RingGC bool
 	// Transitive enables full-DDV piggybacking.
 	Transitive bool
+	// DenseWire selects the dense DDV wire encoding instead of the
+	// default delta form (see core/delta.go). Both are priced
+	// identically and produce identical results; dense is the reference
+	// for differential tests and width-scaling benchmarks.
+	DenseWire bool
 	// Replicas is the stable-storage replication degree (default 1,
 	// capped at cluster size - 1). -1 disables replication entirely
 	// (measurement runs only: crashes then lose state).
@@ -151,6 +156,16 @@ type Fed struct {
 	pending []sim.EventRef // next app send event per node
 	inject  *failure.Injector
 	boxes   msgBoxes
+
+	// piggyCodecs, when non-nil, holds the delta codec of each directed
+	// cluster-pair pipe (slot src*nClusters+dst), allocated lazily per
+	// pipe actually used — w^2 pointer slots but only O(active pipes)
+	// vectors. Enabled for transitive runs on the delta wire; the
+	// codecs conceptually live in the cluster gateways (the pipes
+	// netsim serializes inter-cluster traffic through), which is why
+	// node crashes do not reset them.
+	piggyCodecs []*core.DeltaCodec
+	nClusters   int
 }
 
 // msgBoxes recycles the wire-message boxes of the per-message protocol
@@ -193,19 +208,24 @@ func New(opts Options) (*Fed, error) {
 		// The counter cardinality is dominated by the network's
 		// per-(event, kind, cluster-pair) counters plus a fixed
 		// protocol set: size the registry for it up front.
-		stats:   sim.NewStatsHint(64 + 16*nc*nc),
-		ix:      ix,
-		nodes:   make([]ProtocolNode, nodeCount),
-		apps:    make([]*app.NodeApp, nodeCount),
-		senders: make([]*appSender, nodeCount),
-		timers:  make([]*sim.Timer, int(core.NumTimerKinds)*nodeCount),
-		pending: make([]sim.EventRef, nodeCount),
+		stats:     sim.NewStatsHint(64 + 16*nc*nc),
+		ix:        ix,
+		nodes:     make([]ProtocolNode, nodeCount),
+		apps:      make([]*app.NodeApp, nodeCount),
+		senders:   make([]*appSender, nodeCount),
+		timers:    make([]*sim.Timer, int(core.NumTimerKinds)*nodeCount),
+		pending:   make([]sim.EventRef, nodeCount),
+		nClusters: nc,
 	}
 	f.engine.MaxEvents = opts.MaxEvents
 	if opts.TraceWriter != nil {
 		f.tracer = sim.NewTracer(f.engine, opts.TraceWriter, opts.TraceLevel)
 	}
 	f.net = netsim.New(f.engine, opts.Topology, f.stats, f.tracer)
+	if opts.Transitive && !opts.DenseWire {
+		f.piggyCodecs = make([]*core.DeltaCodec, nc*nc)
+		f.net.PipeExit = f.pipeExit
+	}
 
 	root := sim.NewRNG(opts.Seed)
 	fed := opts.Topology
@@ -232,6 +252,7 @@ func New(opts Options) (*Fed, error) {
 			RingGC:            opts.RingGC,
 			Transitive:        opts.Transitive,
 			Replicas:          repl,
+			DenseWire:         opts.DenseWire,
 		}
 		env := &nodeEnv{f: f, id: id, ord: ord, idStr: id.String()}
 		na := app.NewNodeApp(id, opts.Workload, fed, root.StreamN("app", nodeSeq))
@@ -316,9 +337,47 @@ func (b *msgBoxes) reclaim(msg core.Msg) {
 	}
 }
 
+// piggyCodec returns (allocating on first use) the delta codec of the
+// directed pipe src→dst, or nil when the run transports piggybacks
+// dense.
+func (f *Fed) piggyCodec(src, dst topology.ClusterID) *core.DeltaCodec {
+	if f.piggyCodecs == nil {
+		return nil
+	}
+	slot := int(src)*f.nClusters + int(dst)
+	cd := f.piggyCodecs[slot]
+	if cd == nil {
+		cd = new(core.DeltaCodec)
+		cd.Init(f.nClusters)
+		f.piggyCodecs[slot] = cd
+	}
+	return cd
+}
+
+// pipeExit is the netsim.PipeExit hook: it advances the pipe's decoder
+// for every delta-piggybacked message leaving the pipe, in FIFO order,
+// whether or not the destination node is still up — which keeps the
+// decoder in lockstep with the encoder across node failures.
+func (f *Fed) pipeExit(src, dst topology.NodeID, payload any) {
+	var pairs []core.DDVPair
+	switch m := payload.(type) {
+	case *core.AppMsg:
+		pairs = m.PiggyPairs
+	case core.AppMsg:
+		pairs = m.PiggyPairs
+	default:
+		return
+	}
+	if len(pairs) == 0 {
+		return
+	}
+	f.piggyCodec(src.Cluster, dst.Cluster).Decode(pairs)
+}
+
 // nodeEnv adapts the federation to core.Env for one node. It also
 // implements core.BoxPool, handing the protocol recycled message boxes
-// so the steady-state send path performs no interface-boxing allocation.
+// so the steady-state send path performs no interface-boxing allocation,
+// and core.PiggyCodecs, exposing the per-pipe delta codecs.
 type nodeEnv struct {
 	f     *Fed
 	id    topology.NodeID
@@ -344,6 +403,22 @@ func (e *nodeEnv) AppMsgBox() *core.AppMsg {
 		return m
 	}
 	return new(core.AppMsg)
+}
+
+func (e *nodeEnv) PiggyCodec(src, dst topology.ClusterID) *core.DeltaCodec {
+	return e.f.piggyCodec(src, dst)
+}
+
+func (e *nodeEnv) ResetPiggyExam(dst topology.ClusterID) {
+	f := e.f
+	if f.piggyCodecs == nil {
+		return
+	}
+	for src := 0; src < f.nClusters; src++ {
+		if cd := f.piggyCodecs[src*f.nClusters+int(dst)]; cd != nil {
+			cd.ResetSeen()
+		}
+	}
 }
 
 func (e *nodeEnv) AppAckBox() *core.AppAck {

@@ -112,7 +112,18 @@ type Network struct {
 	// true return drops the message silently. The HC3I paper assumes a
 	// reliable network, so nothing in the protocol path sets this; it
 	// exists to verify that our harness notices violated assumptions.
+	// Injected drops bypass the pipe (and PipeExit), so they must not
+	// be combined with delta-encoded piggybacks (transitive runs).
 	DropInterCluster func(m Message) bool
+
+	// PipeExit, when non-nil, observes every inter-cluster message at
+	// the exit of its cluster-pair pipe, in pipe (FIFO) order, exactly
+	// once — including messages then dropped because the destination
+	// node is down: the pipe itself is loss-free, only the endpoint
+	// loses. The federation harness hooks the delta-piggyback decoder
+	// here, which is what keeps encoder and decoder in perfect sync
+	// across node failures.
+	PipeExit func(src, dst topology.NodeID, payload any)
 }
 
 // New returns a network for the federation.
@@ -204,6 +215,14 @@ func (n *Network) Send(src, dst topology.NodeID, kind Kind, size int, payload an
 	}
 	if src.Cluster != dst.Cluster && n.DropInterCluster != nil &&
 		n.DropInterCluster(Message{ID: id, Src: src, Dst: dst, Kind: kind, Size: size, Payload: payload}) {
+		if n.PipeExit != nil {
+			// An injected drop bypasses the pipe — and therefore the
+			// delta-piggyback decoder hooked at PipeExit — which would
+			// silently desynchronize the codec for the rest of the
+			// run. Fail loudly instead: partition-injection tests must
+			// run on the dense wire.
+			panic("netsim: DropInterCluster cannot be combined with a PipeExit hook (delta-encoded piggybacks would desync)")
+		}
 		n.count(evDroppedInjected, kind, src, dst, size)
 		return id
 	}
@@ -262,6 +281,9 @@ func (n *Network) deliverPooled(arg any) {
 }
 
 func (n *Network) deliver(m Message) {
+	if n.PipeExit != nil && m.Src.Cluster != m.Dst.Cluster {
+		n.PipeExit(m.Src, m.Dst, m.Payload)
+	}
 	dst := n.ix.Ord(m.Dst)
 	if n.down[dst] {
 		// The destination died while the message was in flight.
