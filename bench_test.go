@@ -134,6 +134,44 @@ func BenchmarkMatrixSlice(b *testing.B) {
 	}
 }
 
+// BenchmarkMatrixSliceOracle runs the same 2c matrix slice with the
+// protocol invariant oracle attached to every federation — the
+// BenchmarkMatrixSlice pair prices the oracle's online checking
+// (shadow-history patching at commits, delivery recording, pipe
+// lockstep) so the checker's overhead is tracked and gated like any
+// other path. Results are byte-identical to the plain slice; only the
+// observation cost differs.
+func BenchmarkMatrixSliceOracle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := hc3i.RunnerOptions{Workers: hc3i.DefaultWorkers(), Seed: uint64(i + 1), Quick: true,
+			Oracle: true}
+		res, err := hc3i.RunMatrix(opts, "topology=2c")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("matrix produced no rows")
+		}
+	}
+}
+
+// BenchmarkChaosScenario runs one adversarial schedule (4 clusters,
+// storm failure pattern, oracle attached) end-to-end: the chaos tier's
+// unit of work, priced so seed-sweep budgets stay predictable.
+func BenchmarkChaosScenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := hc3i.RunnerOptions{Workers: 1, Seed: uint64(i + 1), Quick: true,
+			ChaosSeed: uint64(i + 1)}
+		res, err := hc3i.RunMatrix(opts, "tier=chaos,topology=4c,workload=uniform")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("chaos scenario produced no rows")
+		}
+	}
+}
+
 // BenchmarkEndToEndLarge measures simulator throughput at federation
 // scale: 64 clusters of 2 nodes (128 protocol nodes, 64-entry DDVs) on
 // a ring-plus-local traffic pattern, one full run per iteration. This

@@ -14,6 +14,9 @@
 //	hc3ibench -matrix -filter topology=8c,failure=churn
 //	hc3ibench -matrix -filter tier=wide            # 64-256 cluster tier
 //	hc3ibench -matrix -filter tier=wide -dense-ddv # dense reference wire
+//	hc3ibench -oracle -matrix                      # invariant-checked matrix
+//	hc3ibench -matrix -filter tier=chaos -chaos-seeds 50   # adversarial tier
+//	hc3ibench -matrix -filter tier=chaos -chaos-seed 1337  # replay one schedule
 //	hc3ibench -list           # list the registry and the matrix axes
 //	hc3ibench -o results.txt  # also write the output to a file
 //	hc3ibench -csv out/       # one <ID>.csv per table for plotting
@@ -53,6 +56,12 @@ func main() {
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
 		denseDDV = flag.Bool("dense-ddv", false,
 			"transport dependency vectors in the dense wire encoding (identical results; for A/B timing the delta encoding)")
+		oracleOn = flag.Bool("oracle", false,
+			"attach the online protocol invariant checker to every run (identical results; violations fail the run)")
+		chaosSeed = flag.Uint64("chaos-seed", 0,
+			"replay one adversarial schedule on the chaos tier (0 = derive from -seed)")
+		chaosSeeds = flag.Int("chaos-seeds", 1,
+			"how many consecutive adversarial schedules each chaos-tier scenario runs")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -70,6 +79,14 @@ func main() {
 	// Usage errors must fire before -o truncates an existing file.
 	if *filter != "" && !*matrix {
 		fmt.Fprintln(os.Stderr, "hc3ibench: -filter only applies with -matrix")
+		os.Exit(1)
+	}
+	if (*chaosSeed != 0 || *chaosSeeds != 1) && !*matrix {
+		fmt.Fprintln(os.Stderr, "hc3ibench: -chaos-seed/-chaos-seeds only apply with -matrix (filter the chaos tier: -filter tier=chaos)")
+		os.Exit(1)
+	}
+	if *chaosSeeds < 1 {
+		fmt.Fprintln(os.Stderr, "hc3ibench: -chaos-seeds must be >= 1")
 		os.Exit(1)
 	}
 	if *runID != "" && *matrix {
@@ -109,7 +126,8 @@ func main() {
 	if *quick {
 		mode = "quick scale"
 	}
-	opts := hc3i.RunnerOptions{Workers: *parallel, Seed: *seed, Quick: *quick, DenseDDVWire: *denseDDV}
+	opts := hc3i.RunnerOptions{Workers: *parallel, Seed: *seed, Quick: *quick, DenseDDVWire: *denseDDV,
+		Oracle: *oracleOn, ChaosSeed: *chaosSeed, ChaosSeeds: *chaosSeeds}
 	fmt.Fprintf(w, "HC3I evaluation harness — %s, seed %d, %d worker(s)\n\n", mode, *seed, *parallel)
 
 	emit := func(res *hc3i.ExperimentResult) {

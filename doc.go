@@ -27,6 +27,10 @@
 //	                      and pessimistic-logging baselines
 //	internal/federation   harness wiring nodes, network, failures
 //	internal/failure      fail-stop crash injection
+//	internal/oracle       online protocol invariant checker (attach
+//	                      with -oracle; always on in the chaos tier)
+//	internal/chaos        seeded adversarial scheduler (reordering,
+//	                      duplicates, targeted crash fuses)
 //	internal/experiments  the registry (T1, F6-F9, T2-T3, A1-A9), the
 //	                      parallel runner and the scenario matrix
 //	internal/config       the paper simulator's three input files
@@ -45,6 +49,36 @@
 // preserves that: each federation is an isolated single-threaded
 // simulation, results are collected in input order, and the rendered
 // tables are byte-identical whatever the worker count.
+//
+// # Invariant oracle and the chaos tier
+//
+// The -oracle flag (federation.Options.Oracle) attaches
+// internal/oracle to any run: a core.Observer asserting, at every
+// commit, rollback, delivery and GC event, the protocol's global
+// safety properties — per-epoch DDV monotonicity and cluster-wide
+// commit agreement (§3.1/§3.2), commit-line domination of all stable
+// checkpoints (§3.2), no orphan deliveries after a rollback (§3.4,
+// tracked as per-delivery obligations discharged only by the
+// receiver's own cascaded rollback), recovery-line sanity (§3.4),
+// garbage-collection safety against the recovery-line analysis
+// (§3.5), and delta-codec/pipe lockstep (core/delta.go's wire
+// contract). A shadow causal history patched with the wire's own
+// delta pairs keeps the steady-state checks O(changed entries).
+// Results are byte-identical with the oracle attached; the first
+// violation stops the run with a diagnostic.
+//
+// The chaos tier (-matrix -filter tier=chaos) layers internal/chaos
+// over the network: seeded adversarial schedules — bounded
+// inter-cluster reordering within the jitter envelope, duplicate
+// deliveries where the wire contract permits, and crash fuses aimed
+// at protocol-sensitive windows (mid-2PC, mid-rollback-wave,
+// mid-GC-round) — every run replayable from a single -chaos-seed,
+// swept with -chaos-seeds, always oracle-checked. The tier's seed
+// sweeps found (and now pin the fixes for) three real protocol bugs:
+// dropped deferred rollback alerts after crash recovery, held
+// messages delivered inside the successor checkpoint's freeze window,
+// and the cascade-suppression memo silencing a genuinely new rollback
+// (fixed by the post-restore anchor CLC; see README).
 //
 // # The ladder-queue engine
 //

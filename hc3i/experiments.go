@@ -89,6 +89,16 @@ type RunnerOptions struct {
 	// Config.DenseDDVWire); results are identical, only simulator
 	// speed changes.
 	DenseDDVWire bool
+	// Oracle attaches the online protocol invariant checker to every
+	// federation run (registry and matrix alike). Results are
+	// byte-identical; a violated invariant fails the run with a
+	// diagnostic naming the check and the virtual time instead.
+	Oracle bool
+	// ChaosSeed replays one adversarial schedule on the chaos matrix
+	// tier (0 derives the schedule from Seed); ChaosSeeds sweeps that
+	// many consecutive schedules per chaos scenario.
+	ChaosSeed  uint64
+	ChaosSeeds int
 }
 
 // DefaultWorkers returns the machine-sized worker count.
@@ -97,6 +107,7 @@ func DefaultWorkers() int { return experiments.DefaultWorkers() }
 func (o RunnerOptions) config() experiments.RunnerConfig {
 	return experiments.RunnerConfig{
 		Workers: o.Workers, Seed: o.Seed, Quick: o.Quick, DenseWire: o.DenseDDVWire,
+		Oracle: o.Oracle, ChaosSeed: o.ChaosSeed, ChaosSeeds: o.ChaosSeeds,
 	}
 }
 

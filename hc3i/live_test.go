@@ -1,6 +1,7 @@
 package hc3i_test
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -67,5 +68,70 @@ func TestLiveFacadeTCPCrash(t *testing.T) {
 func TestLiveFacadeValidation(t *testing.T) {
 	if _, err := hc3i.StartLive(hc3i.LiveConfig{}); err == nil {
 		t.Fatal("empty live config accepted")
+	}
+}
+
+// TestLiveCrashDuringSend hammers the crash-during-send window: sender
+// goroutines keep injecting application traffic while nodes fail-stop
+// and recover underneath them. Runs under -race in CI — the interesting
+// assertions are the detector's (no data race between Send's mailbox
+// post, the transport's down flags and Crash/Recover) plus liveness:
+// the federation must still quiesce, recover state and agree on SNs.
+func TestLiveCrashDuringSend(t *testing.T) {
+	fed, err := hc3i.StartLive(hc3i.LiveConfig{
+		Clusters:   []int{3, 2},
+		CLCPeriods: []time.Duration{20 * time.Millisecond, 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Three senders race the crash injector: one hammers the node that
+	// crashes, one its intra-cluster peer, one a remote cluster.
+	send := func(sc, sn, dc, dn int) {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			fed.Send(sc, sn, dc, dn, 256)
+			time.Sleep(500 * time.Microsecond)
+		}
+	}
+	wg.Add(3)
+	go send(0, 1, 1, 0) // from the crash victim, across clusters
+	go send(0, 2, 0, 1) // intra-cluster, towards the crash victim
+	go send(1, 1, 0, 1) // remote cluster, towards the crash victim
+
+	for round := 0; round < 3; round++ {
+		time.Sleep(25 * time.Millisecond)
+		fed.Crash(0, 1)
+		time.Sleep(10 * time.Millisecond)
+		if err := fed.Recover(0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	// Let the final rollback wave settle, then freeze and inspect.
+	time.Sleep(200 * time.Millisecond)
+	fed.Quiesce()
+	fed.Stop()
+
+	if fed.Counter("rollback.count.c0") == 0 {
+		t.Fatal("no rollback despite repeated crashes")
+	}
+	if fed.Counter("storage.recovered_states") == 0 {
+		t.Fatal("crashed node never recovered its state")
+	}
+	if a, b := fed.SN(0, 0), fed.SN(0, 1); a != b {
+		t.Fatalf("post-storm SN disagreement: %d vs %d", a, b)
+	}
+	if a, b := fed.SN(0, 0), fed.SN(0, 2); a != b {
+		t.Fatalf("post-storm SN disagreement: %d vs %d", a, b)
 	}
 }

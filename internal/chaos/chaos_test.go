@@ -1,0 +1,139 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func node(c, i int) topology.NodeID {
+	return topology.NodeID{Cluster: topology.ClusterID(c), Index: i}
+}
+
+// drive feeds a fixed message sequence and records every decision.
+func drive(seed uint64, crashLog *[]topology.NodeID) []netsim.Perturbation {
+	var now sim.Time
+	s := New(Config{Seed: seed}, sim.NewRNG(seed).Stream("chaos"), Hooks{
+		Now: func() sim.Time { return now },
+		CrashAt: func(at sim.Time, id topology.NodeID) {
+			if crashLog != nil {
+				*crashLog = append(*crashLog, id)
+			}
+		},
+	})
+	var out []netsim.Perturbation
+	msgs := []netsim.Message{
+		{Src: node(0, 1), Dst: node(1, 0), Kind: netsim.KindApp, Payload: core.AppMsg{MsgID: 1}},
+		{Src: node(0, 0), Dst: node(0, 1), Kind: netsim.KindProto, Payload: core.CLCRequest{Seq: 2}},
+		{Src: node(1, 0), Dst: node(0, 0), Kind: netsim.KindProto, Payload: core.RollbackAlert{Cluster: 1}},
+		{Src: node(1, 0), Dst: node(1, 1), Kind: netsim.KindProto, Payload: core.RollbackCmd{ToSN: 2}},
+		{Src: node(0, 0), Dst: node(1, 0), Kind: netsim.KindProto, Payload: core.GCRequest{Round: 1}},
+	}
+	for round := 0; round < 200; round++ {
+		for _, m := range msgs {
+			intra := m.Src.Cluster == m.Dst.Cluster
+			p, ok := s.Perturb(m, intra, 30*sim.Millisecond)
+			if !ok {
+				p = netsim.Perturbation{}
+			}
+			p.DupPayload = nil // pointers differ across runs; compare decisions
+			out = append(out, p)
+			now = now.Add(200 * sim.Millisecond)
+		}
+	}
+	return out
+}
+
+// TestDeterministicReplay: the whole adversarial schedule is a pure
+// function of the seed and the observed message sequence.
+func TestDeterministicReplay(t *testing.T) {
+	var c1, c2 []topology.NodeID
+	a := drive(42, &c1)
+	b := drive(42, &c2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different perturbation sequences")
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatal("same seed produced different crash schedules")
+	}
+	d := drive(43, nil)
+	if reflect.DeepEqual(a, d) {
+		t.Fatal("different seeds produced identical schedules (stream not seeded?)")
+	}
+}
+
+// TestIntraClusterUntouched: SAN traffic is never reordered or
+// duplicated — the 2PC and replica transfer rely on its FIFO contract.
+func TestIntraClusterUntouched(t *testing.T) {
+	s := New(Config{Seed: 7}, sim.NewRNG(7).Stream("chaos"), Hooks{
+		Now: func() sim.Time { return 0 },
+	})
+	for i := 0; i < 1000; i++ {
+		m := netsim.Message{Src: node(0, 0), Dst: node(0, 1), Payload: core.AppMsg{}}
+		if p, ok := s.Perturb(m, true, 30*sim.Millisecond); ok {
+			t.Fatalf("intra-cluster message perturbed: %+v", p)
+		}
+	}
+}
+
+// TestCrashBudgetAndCooldown: crashes stop at MaxCrashes and are
+// spaced at least CrashCooldown apart.
+func TestCrashBudgetAndCooldown(t *testing.T) {
+	var now sim.Time
+	var times []sim.Time
+	cfg := Config{Seed: 3, CrashProb: 1.0, MaxCrashes: 4, CrashCooldown: sim.Minute}
+	s := New(cfg, sim.NewRNG(3).Stream("chaos"), Hooks{
+		Now: func() sim.Time { return now },
+		CrashAt: func(at sim.Time, id topology.NodeID) {
+			times = append(times, at)
+		},
+	})
+	m := netsim.Message{Src: node(0, 0), Dst: node(0, 1), Payload: core.CLCRequest{Seq: 2}}
+	for i := 0; i < 10000; i++ {
+		s.Perturb(m, true, 0)
+		now = now.Add(time100ms)
+	}
+	if len(times) != 4 {
+		t.Fatalf("got %d crashes, budget is 4", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i].Sub(times[i-1]) < sim.Minute {
+			t.Fatalf("crashes %v and %v closer than the cooldown", times[i-1], times[i])
+		}
+	}
+	if s.Crashes() != 4 {
+		t.Fatalf("Crashes() = %d, want 4", s.Crashes())
+	}
+}
+
+const time100ms = 100 * sim.Millisecond
+
+// TestDuplicatePayloadRules: pooled boxes are deep-copied, value
+// messages shared, and everything else is never duplicated.
+func TestDuplicatePayloadRules(t *testing.T) {
+	s := New(Config{Seed: 1}, sim.NewRNG(1).Stream("chaos"), Hooks{Now: func() sim.Time { return 0 }})
+	box := &core.AppMsg{MsgID: 9}
+	cp, ok := s.dupPayload(box)
+	if !ok {
+		t.Fatal("*AppMsg must be duplicate-safe")
+	}
+	if cp.(*core.AppMsg) == box {
+		t.Fatal("pooled box duplicated without a deep copy")
+	}
+	if cp.(*core.AppMsg).MsgID != 9 {
+		t.Fatal("deep copy lost fields")
+	}
+	if _, ok := s.dupPayload(core.RollbackAlert{}); !ok {
+		t.Fatal("RollbackAlert must be duplicate-safe")
+	}
+	if _, ok := s.dupPayload(core.CLCCommit{}); ok {
+		t.Fatal("CLCCommit must never be duplicated")
+	}
+	if _, ok := s.dupPayload(core.Replica{}); ok {
+		t.Fatal("Replica must never be duplicated")
+	}
+}

@@ -419,6 +419,7 @@ func (n *Node) onCLCCommit(src topology.NodeID, m CLCCommit) {
 // both.
 func (n *Node) applyCommit(seq SN, commitVec DDV, pairs []DDVPair, forced bool) {
 	n.sn = seq
+	n.anchorPending = false
 	if commitVec == nil {
 		// Delta participant: patch the base into the committed vector.
 		n.commitBase.applyPairs(pairs)
@@ -470,6 +471,9 @@ func (n *Node) applyCommit(seq SN, commitVec DDV, pairs []DDVPair, forced bool) 
 	n.frozenSends = false
 	n.frozenDelivs = false
 	n.env.Trace(sim.TraceDebug, "CLC %d committed ddv=%v forced=%v", seq, commitVec, forced)
+	if n.obs != nil {
+		n.obs.ObserveCommit(n.id, seq, n.epoch, commitVec, pairs, forced)
+	}
 
 	if n.leader() {
 		n.inFlight = false

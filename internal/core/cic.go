@@ -62,6 +62,9 @@ func (n *Node) doSend(dst topology.NodeID, p AppPayload) {
 				m.PiggyPairs = cd.Encode(n.ddv, n.piggyVecID(), &n.pairArena)
 				m.PiggyWidth = int32(n.cfg.Clusters)
 				logPiggy = n.sharedPiggy()
+				if n.obs != nil {
+					n.obs.ObservePiggySend(n.id, dst.Cluster, logPiggy)
+				}
 			} else {
 				// Dense wire: retained by both the wire message and the
 				// log entry below, so it needs an owned copy.
@@ -144,10 +147,7 @@ func (n *Node) onAppMsg(src topology.NodeID, m AppMsg) {
 			// restored state and the content is still valid (it may be
 			// the only surviving copy of a resend that raced our own
 			// rollback). Anything else is aborted-execution traffic.
-			valid := m.SrcEpoch+1 == known &&
-				known == n.alertEpoch[src.Cluster] &&
-				m.SendSN < n.alertSN[src.Cluster]
-			if !valid {
+			if !n.priorEpochValid(src, m) && !Mutate.AcceptStaleEpoch {
 				n.debug("drop_stale", m)
 				n.env.Stat("app.dropped_stale", 1)
 				return
@@ -308,6 +308,20 @@ func (n *Node) cicReceive(src topology.NodeID, m AppMsg) {
 		}
 	}
 	if !raised {
+		if n.anchorPending {
+			// First covered delivery since the restore: take the
+			// post-restore anchor CLC first (see Node.anchorPending).
+			n.debug("held", m)
+			n.heldInter = append(n.heldInter, inbound{src: src, msg: m})
+			n.env.Stat("cic.held", 1)
+			n.env.Stat("cic.post_restore_anchor", 1)
+			if n.denseWire {
+				n.requestForceAlways(n.buildForceTarget())
+			} else {
+				n.requestForceAlwaysPairs(n.pairScratch[:0])
+			}
+			return
+		}
 		n.deliverInter(src, m)
 		return
 	}
@@ -415,16 +429,65 @@ func (n *Node) materializePiggy(m *AppMsg, src topology.NodeID) {
 	m.PiggyPairs = nil
 }
 
+// priorEpochValid is the §3.4 prior-epoch validity window, shared by
+// the arrival-time guard (onAppMsg) and the held-message re-check
+// (staleWhileHeld) so the two can never drift apart: a message exactly
+// one epoch behind whose send predates the alerted rollback point is
+// part of the sender's restored state and still valid.
+func (n *Node) priorEpochValid(src topology.NodeID, m AppMsg) bool {
+	known := n.knownEpoch[src.Cluster]
+	return m.SrcEpoch+1 == known &&
+		known == n.alertEpoch[src.Cluster] &&
+		m.SendSN < n.alertSN[src.Cluster]
+}
+
+// staleWhileHeld reports whether a held inter-cluster message turned
+// stale while it waited: the sender's rollback alert arrived after the
+// arrival-time epoch guard ran, so its epoch now trails the sender's
+// known epoch without qualifying for the prior-epoch validity window.
+// Without this re-check, a resend emitted just before the sender's own
+// cascaded rollback (its send is then *not* part of the restored
+// state) could be held for a forced CLC and delivered as an orphan —
+// the §3.4 discipline re-applied at delivery time. Found by the
+// invariant oracle under chaos schedules.
+func (n *Node) staleWhileHeld(src topology.NodeID, m AppMsg) bool {
+	if src.Cluster == n.cluster || m.SrcEpoch >= n.knownEpoch[src.Cluster] {
+		return false
+	}
+	return !n.priorEpochValid(src, m)
+}
+
 // reexamineHeld retries held inter-cluster messages after a commit:
-// deliver those the new DDV covers, re-demand a forced CLC for the
-// rest (they arrived mid-2PC with an even newer dependency).
+// drop those whose sender rolled back while they waited, deliver those
+// the new DDV covers, re-demand a forced CLC for the rest (they
+// arrived mid-2PC with an even newer dependency). Never delivers while
+// deliveries are frozen: on the leader, an uncovered message's force
+// demand opens the next 2PC *synchronously* (snapshot already taken),
+// and a delivery slipped in behind that snapshot would be acked at the
+// pre-commit SN — "captured by the next checkpoint" by the ack
+// convention — while the checkpoint's state predates it; a later
+// rollback to that checkpoint then erased a delivery the sender
+// believed stable, losing the message. Found by the chaos tier's
+// mid-2PC crash injection via the message-completeness invariant.
 func (n *Node) reexamineHeld() {
-	if len(n.heldInter) == 0 {
+	if len(n.heldInter) == 0 || n.frozenDelivs {
+		// Frozen: the in-flight commit re-examines on completion.
 		return
 	}
 	held := n.heldInter
 	n.heldInter = nil
-	for _, in := range held {
+	for i, in := range held {
+		if n.frozenDelivs {
+			// An earlier iteration re-opened the next 2PC: hold the
+			// rest for its commit, past the fresh snapshot.
+			n.heldInter = append(n.heldInter, held[i:]...)
+			return
+		}
+		if n.staleWhileHeld(in.src, in.msg) && !Mutate.AcceptStaleEpoch {
+			n.debug("drop_stale", in.msg)
+			n.env.Stat("app.dropped_stale_held", 1)
+			continue
+		}
 		if n.cfg.Mode == ModeForceAll {
 			if n.sn > in.heldAt {
 				n.deliverInter(in.src, in.msg)
@@ -447,6 +510,9 @@ func (n *Node) deliverInter(src topology.NodeID, m AppMsg) {
 	n.env.Stat("app.delivered.inter", 1)
 	if m.Resend {
 		n.env.Stat("app.delivered.resent", 1)
+	}
+	if n.obs != nil {
+		n.obs.ObserveDeliver(n.id, src, m.SrcEpoch, m.SendSN, n.epoch, n.sn)
 	}
 	n.app.Deliver(src, m.Payload)
 	ack := AppAck{MsgID: m.MsgID, SrcCluster: n.cluster, SrcEpoch: n.epoch, ReceiverSN: n.sn}

@@ -198,14 +198,24 @@ func TestExamCursorEpochQualified(t *testing.T) {
 }
 
 // FuzzDeltaCodec feeds a codec random vector histories interleaved
-// with decodes and asserts the decoder reconstructs every shipped
-// vector exactly, and that ChangedSince reports a superset of the
-// entries that changed between any two examined versions (or reports
-// the journal window exceeded).
+// with decodes, receiver epoch boundaries (rollbacks that lower the
+// receiver's DDV) and exam-cursor traffic, and asserts:
+//
+//   - the decoder reconstructs every shipped vector exactly (the
+//     lockstep contract),
+//   - the clean-exam cursor machinery — replayed exactly as
+//     examineDeltaPiggy runs it, epoch qualifier included — never
+//     claims an entry covered that actually exceeds the receiver's
+//     DDV, even when epoch boundaries arrive duplicated (repeated
+//     ResetSeen) or reordered against decodes, and even when the
+//     boundary happens *without* a reset (a not-yet-rolled-back peer
+//     re-advanced the shared cursor with the old epoch's higher DDV —
+//     the hazard the seenEpoch guard exists for).
 func FuzzDeltaCodec(f *testing.F) {
 	f.Add(uint64(1), 4, 40)
 	f.Add(uint64(99), 16, 120)
 	f.Add(uint64(7), 64, 30)
+	f.Add(uint64(1234), 8, 400)
 	f.Fuzz(func(t *testing.T, seed uint64, width, steps int) {
 		if width < 1 || width > 256 || steps < 1 || steps > 400 {
 			t.Skip()
@@ -222,11 +232,59 @@ func FuzzDeltaCodec(f *testing.F) {
 			pairs []DDVPair
 		}
 		var inflight []shipped // encoded, not yet decoded (FIFO pipe)
-		lastExam := NewDDV(width)
-		seenVer := uint64(0)
+		rddv := NewDDV(width)  // the receiver's committed DDV
+		recvEpoch := Epoch(0)
+
+		// exam replays examineDeltaPiggy's cursor logic against the
+		// decoder state and asserts the safety direction: every entry
+		// of the decoded vector above the receiver's DDV is reported.
+		exam := func() {
+			var raised []int32
+			cursorValid := cd.seenEpoch == recvEpoch
+			switch {
+			case cursorValid && cd.ver == cd.seen:
+				// Claimed covered: nothing may exceed rddv.
+			case cursorValid && cd.ver-cd.seen <= examReplayMax:
+				for v := cd.seen; v < cd.ver; v++ {
+					for _, p := range cd.journal[v%codecJournal] {
+						if cd.dec[p.Idx] > rddv[p.Idx] {
+							raised = append(raised, p.Idx)
+						}
+					}
+				}
+			default:
+				for i, v := range cd.dec {
+					if v > rddv[i] {
+						raised = append(raised, int32(i))
+					}
+				}
+			}
+			reported := make(map[int32]bool, len(raised))
+			for _, i := range raised {
+				reported[i] = true
+			}
+			for i, v := range cd.dec {
+				if v > rddv[i] && !reported[int32(i)] {
+					t.Fatalf("exam missed entry %d: decoded %d > receiver %d (seen=%d ver=%d seenEpoch=%d epoch=%d)",
+						i, v, rddv[i], cd.seen, cd.ver, cd.seenEpoch, recvEpoch)
+				}
+			}
+			if len(raised) == 0 {
+				cd.seen = cd.ver
+				cd.seenEpoch = recvEpoch
+			} else {
+				// The raised entries force a CLC; model its commit so
+				// later exams run against the raised vector.
+				for _, i := range raised {
+					if cd.dec[i] > rddv[i] {
+						rddv[i] = cd.dec[i]
+					}
+				}
+			}
+		}
 
 		for s := 0; s < steps; s++ {
-			switch rng.Intn(3) {
+			switch rng.Intn(5) {
 			case 0: // mutate the sender vector (raises and drops)
 				i := rng.Intn(width)
 				cur[i] = SN(rng.Intn(30))
@@ -239,7 +297,7 @@ func FuzzDeltaCodec(f *testing.F) {
 					continue
 				}
 				inflight = append(inflight, shipped{vec: cur.Clone(), pairs: pairs})
-			case 2: // deliver the oldest in-flight message
+			case 2: // deliver the oldest in-flight message, then examine
 				if len(inflight) == 0 {
 					continue
 				}
@@ -249,25 +307,28 @@ func FuzzDeltaCodec(f *testing.F) {
 				if !cd.Current().Equal(m.vec) {
 					t.Fatalf("decode mismatch: got %v want %v", cd.Current(), m.vec)
 				}
-				// Examine like a receiver node: the journal window
-				// since the last exam must cover every index that
-				// differs (or the exam falls back to a full scan).
-				if cd.ver-seenVer <= codecJournal {
-					changed := make(map[int]bool)
-					for v := seenVer; v < cd.ver; v++ {
-						for _, p := range cd.journal[v%codecJournal] {
-							changed[int(p.Idx)] = true
-						}
-					}
-					for i := range m.vec {
-						if m.vec[i] != lastExam[i] && !changed[i] {
-							t.Fatalf("index %d changed (%d -> %d) but not reported",
-								i, lastExam[i], m.vec[i])
-						}
+				exam()
+			case 3: // epoch boundary with reset: the receiver rolled
+				// back (its DDV drops) and discarded the cursor. A
+				// duplicated boundary (this case drawn twice in a row)
+				// must be as harmless as one.
+				for i := range rddv {
+					if rddv[i] > 0 && rng.Intn(2) == 0 {
+						rddv[i] = SN(rng.Intn(int(rddv[i]) + 1))
 					}
 				}
-				lastExam.CopyFrom(m.vec)
-				seenVer = cd.Version()
+				recvEpoch++
+				cd.ResetSeen()
+			case 4: // epoch boundary without reset: a peer still in the
+				// old epoch re-advanced the shared cursor after the
+				// reset — only the seenEpoch qualifier protects the
+				// next exam.
+				for i := range rddv {
+					if rddv[i] > 0 && rng.Intn(2) == 0 {
+						rddv[i] = SN(rng.Intn(int(rddv[i]) + 1))
+					}
+				}
+				recvEpoch++
 			}
 		}
 	})

@@ -223,7 +223,16 @@ func (n *Node) computeMinSNs(reports map[topology.ClusterID]GCReport) ([]SN, err
 		}
 		lists[c], currents[c] = materializeGCReport(rep)
 	}
-	return SmallestSNs(lists, currents)
+	mins, err := SmallestSNs(lists, currents)
+	if err == nil && Mutate.GCOverCollect {
+		// Seeded protocol break for oracle smoke tests: threshold one
+		// past the safe minimum discards a checkpoint a future recovery
+		// could need.
+		for i := range mins {
+			mins[i]++
+		}
+	}
+	return mins, err
 }
 
 // onGCCollect applies the thresholds at a cluster leader and broadcasts
@@ -264,6 +273,9 @@ func (n *Node) onGCDrop(src topology.NodeID, m GCDrop) {
 func (n *Node) applyGCDrop(minSNs []SN) {
 	if len(minSNs) != n.cfg.Clusters {
 		return
+	}
+	if n.obs != nil {
+		n.obs.ObserveGCDrop(n.id, minSNs)
 	}
 	before := len(n.clcs)
 	threshold := minSNs[n.cluster]

@@ -256,6 +256,18 @@ type Node struct {
 	nextMsgID uint64
 
 	// ---- rollback ----
+	// anchorPending is set by every restore and cleared by the next
+	// commit: the first covered inter-cluster delivery after a restore
+	// forces one unconditional "anchor" CLC before delivering, so the
+	// delivery lands above the restored checkpoint in SN order. This
+	// keeps the cascadeMemo suppression sound: a repeated alert for
+	// the same rollback target is a no-op only while n.sn still equals
+	// the target — any post-restore delivery advances it via the
+	// anchor, so a *new* rollback of the sender (same SN, fresh epoch)
+	// correctly re-rolls this cluster and erases the delivery instead
+	// of being suppressed as a duplicate. Found by the invariant
+	// oracle's orphan obligations under the churn pattern.
+	anchorPending bool
 	rbActive      bool // this node coordinates an ongoing cluster rollback
 	rbSeq         SN
 	rbSince       sim.Time
@@ -325,6 +337,10 @@ type Node struct {
 	// boxes is the env's message-box recycler when it offers one
 	// (BoxPool); nil means plain value sends.
 	boxes BoxPool
+	// obs is the env's protocol observer when it offers one (the
+	// invariant oracle); nil means no observation — one nil check per
+	// hook site.
+	obs Observer
 	// keys holds the node's pre-rendered per-cluster stat names, so
 	// hot-path Stat/StatSeries calls build no strings.
 	keys statKeys
@@ -413,6 +429,9 @@ func NewNode(cfg Config, env Env, app AppHooks) *Node {
 	}
 	n.arena.Init(cfg.Clusters)
 	n.boxes, _ = env.(BoxPool)
+	if n.obs, _ = env.(Observer); n.obs != nil {
+		n.obs.ObserveMode(cfg.ID, cfg.Mode)
+	}
 	n.denseWire = cfg.DenseWire
 	n.ddvGen = 1
 	n.commitBase = NewDDV(cfg.Clusters)

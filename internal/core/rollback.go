@@ -158,8 +158,12 @@ func (n *Node) finishLocalRollback(rec *clcRecord, toSN SN, newEpoch Epoch) {
 	n.epoch = newEpoch
 	n.knownEpoch[n.cluster] = newEpoch
 	n.pruneLogForOwnRollback(toSN)
+	n.anchorPending = true
 	n.frozenSends = true // until RollbackResume
 	n.frozenDelivs = false
+	if n.obs != nil {
+		n.obs.ObserveRollback(n.id, toSN, newEpoch, n.ddv)
+	}
 	n.drainInbound()
 }
 
@@ -319,9 +323,13 @@ func (n *Node) onRecoverStateResp(src topology.NodeID, m RecoverStateResp) {
 	n.rebuildDeltaChain()
 	n.epoch = pend.cmd.NewEpoch
 	n.knownEpoch[n.cluster] = n.epoch
+	n.anchorPending = true
 	n.frozenSends = true
 	n.frozenDelivs = false
 	n.env.Stat("storage.recovered_states", 1)
+	if n.obs != nil {
+		n.obs.ObserveRollback(n.id, pend.cmd.ToSN, pend.cmd.NewEpoch, n.ddv)
+	}
 
 	// Re-adopt the mirrored message log: entries whose send belongs to
 	// the restored state, conservatively unacknowledged — the resume
@@ -461,6 +469,18 @@ func (n *Node) onRollbackResume(src topology.NodeID, m RollbackResume) {
 		return
 	}
 	n.resumeAfterRollback()
+	// Alerts that arrived while this node was recovering its lost
+	// state were deferred (onRollbackAlert); decide them now that the
+	// cluster's rollback completed. Without this, an alert reaching a
+	// leader mid-recovery was deferred forever — the cluster never
+	// cascaded, leaving orphan deliveries in place (found by the
+	// invariant oracle under chaos schedules; the coordinator path
+	// has always drained its own deferred alerts in checkRollbackDone).
+	pending := n.deferredAlert
+	n.deferredAlert = nil
+	for _, a := range pending {
+		n.decideRollbackFromAlert(a)
+	}
 }
 
 func (n *Node) resumeAfterRollback() {
@@ -577,7 +597,12 @@ func (n *Node) decideRollbackFromAlert(m RollbackAlert) {
 	// rolled back to this very checkpoint for this alert SN and have
 	// not committed since, there is nothing left to undo; acting again
 	// would bump our epoch, re-alert every cluster and feed a mutual
-	// cascade that never terminates.
+	// cascade that never terminates. The "not committed since" leg is
+	// what makes this sound: any post-restore delivery forces the
+	// anchor CLC first (see Node.anchorPending), so a *new* sender
+	// rollback to the same SN — whose discarded sends this cluster may
+	// have consumed — finds n.sn above the target and re-rolls instead
+	// of being mistaken for a duplicate alert.
 	if memo, ok := n.cascadeMemo[m.Cluster]; ok &&
 		memo.alertSN == m.NewSN && memo.targetSN == target && n.sn == target {
 		n.env.Stat("rollback.cascade_suppressed", 1)

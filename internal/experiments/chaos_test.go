@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The chaos-tier suite: adversarial schedules (bounded reordering,
+// duplicate deliveries, crash injection into protocol-sensitive
+// windows) with the invariant oracle attached. This discipline has
+// already paid for itself: the seed sweeps surfaced three real
+// protocol bugs — rollback alerts deferred during crash recovery were
+// dropped on the floor (never deciding the cascade, leaving orphan
+// deliveries); reexamineHeld could deliver a held message inside the
+// *next* checkpoint's freeze window, breaking the ack convention that
+// a delivery at SN k is captured by checkpoint k+1 (a crash plus
+// rollback to that checkpoint then lost the message permanently); and
+// the cascade-suppression memo silenced a genuinely new rollback to a
+// repeated target, leaving covered post-restore deliveries as
+// permanent orphans (fixed by the post-restore anchor CLC).
+
+// chaosSeedBudget returns how many adversarial schedules the sweep
+// runs: 1000 by default (the tier's acceptance budget), a quick
+// fraction in -short mode, or whatever CHAOS_SEED_BUDGET asks for
+// (the nightly CI job raises it).
+func chaosSeedBudget(t *testing.T) int {
+	if s := os.Getenv("CHAOS_SEED_BUDGET"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad CHAOS_SEED_BUDGET %q", s)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 60
+	}
+	return 1000
+}
+
+// TestChaosTierSeeds sweeps the seed budget across the chaos tier,
+// weighted toward the cheap topologies so the default budget stays in
+// seconds: every run must finish with the oracle clean and every
+// harness invariant (message completeness, SN/DDV agreement) intact.
+// A failure names the chaos seed: replay it with
+// `hc3ibench -quick -matrix -filter tier=chaos,... -chaos-seed N`.
+func TestChaosTierSeeds(t *testing.T) {
+	budget := chaosSeedBudget(t)
+	type slice struct {
+		sc     Scenario
+		weight int // per mille of the budget
+	}
+	slices := []slice{
+		{Scenario{"2c", "uniform", "storm", "jitter"}, 250},
+		{Scenario{"2c", "bursty", "storm", "jitter"}, 250},
+		{Scenario{"4c", "uniform", "storm", "jitter"}, 200},
+		{Scenario{"4c", "bursty", "storm", "jitter"}, 200},
+		{Scenario{"8c", "uniform", "storm", "jitter"}, 50},
+		{Scenario{"8c", "bursty", "storm", "jitter"}, 50},
+	}
+	type run struct {
+		sc   Scenario
+		seed uint64
+	}
+	var runs []run
+	for si, s := range slices {
+		n := budget * s.weight / 1000
+		if n < 1 {
+			n = 1
+		}
+		for k := 0; k < n; k++ {
+			runs = append(runs, run{sc: s.sc, seed: uint64(1000*si + k + 1)})
+		}
+	}
+	err := forEach(DefaultWorkers(), len(runs), func(i int) error {
+		cfg := Config{Seed: runs[i].seed, Quick: true, ChaosSeed: runs[i].seed}
+		_, err := RunScenario(cfg, runs[i].sc, "hc3i")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%d adversarial schedules clean", len(runs))
+}
+
+// TestChaosReplayDeterminism: one chaos seed is one schedule — the
+// whole run (every statistic, every event) replays identically.
+func TestChaosReplayDeterminism(t *testing.T) {
+	sc := Scenario{Topology: "4c", Workload: "uniform", Failure: "storm", Network: "jitter"}
+	cfg := Config{Seed: 21, Quick: true, ChaosSeed: 77}
+	a, err := RunScenario(cfg, sc, "hc3i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(cfg, sc, "hc3i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events {
+		t.Fatalf("replay diverged: %d vs %d events", a.Events, b.Events)
+	}
+	if d1, d2 := a.Stats.Dump(), b.Stats.Dump(); d1 != d2 {
+		t.Errorf("replay diverged in stats:\n--- first\n%s\n--- second\n%s", d1, d2)
+	}
+	if a.Failures == 0 {
+		t.Error("chaos run injected no crashes; the schedule is not adversarial")
+	}
+}
+
+// TestOracleCatchesMutations is the oracle's mutation smoke test: each
+// seeded protocol break (core.Mutate) must be flagged by the oracle
+// within a bounded number of adversarial schedules — a checker that
+// stays silent while the protocol is deliberately broken proves
+// nothing.
+func TestOracleCatchesMutations(t *testing.T) {
+	sc := Scenario{Topology: "4c", Workload: "uniform", Failure: "storm", Network: "jitter"}
+	cases := []struct {
+		name   string
+		arm    func()
+		expect string // substring of the oracle violation
+		seeds  int
+	}{
+		{
+			name:   "AcceptStaleEpoch",
+			arm:    func() { core.Mutate.AcceptStaleEpoch = true },
+			expect: "oracle:",
+			seeds:  40,
+		},
+		{
+			name:   "GCOverCollect",
+			arm:    func() { core.Mutate.GCOverCollect = true },
+			expect: "gc safety",
+			seeds:  10,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.arm()
+			defer func() { core.Mutate = core.MutationFlags{} }()
+			for seed := uint64(1); seed <= uint64(tc.seeds); seed++ {
+				cfg := Config{Seed: seed, Quick: true, ChaosSeed: seed}
+				_, err := RunScenario(cfg, sc, "hc3i")
+				if err == nil {
+					continue // this schedule never reached the broken path
+				}
+				if !strings.Contains(err.Error(), "oracle:") {
+					t.Fatalf("seed %d failed outside the oracle: %v", seed, err)
+				}
+				if !strings.Contains(err.Error(), tc.expect) {
+					t.Fatalf("seed %d: oracle fired but not the expected check (%q): %v", seed, tc.expect, err)
+				}
+				t.Logf("caught at seed %d: %v", seed, err)
+				return
+			}
+			t.Fatalf("oracle never flagged mutation %s within %d seeds", tc.name, tc.seeds)
+		})
+	}
+}
+
+// TestOracleGoldenByteIdentity re-runs the pinned golden slices —
+// every classic failure pattern and the 64-cluster wide slice (whose
+// transitive piggybacks exercise the pipe-lockstep check) — with the
+// oracle attached: the CSV must stay byte-identical to the recordings,
+// proving the oracle is pure observation.
+func TestOracleGoldenByteIdentity(t *testing.T) {
+	for _, failure := range MatrixFailures {
+		failure := failure
+		t.Run(failure, func(t *testing.T) {
+			scs, err := MatrixScenarios("topology=2c,workload=uniform,network=lan,failure=" + failure)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab, err := RunMatrix(RunnerConfig{Workers: 4, Seed: 11, Quick: true, Oracle: true}, scs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(goldenPath(failure))
+			if err != nil {
+				t.Fatalf("missing golden: %v", err)
+			}
+			if got := tab.CSV(); got != string(want) {
+				t.Errorf("oracle-attached matrix CSV diverged from the golden:\n--- got\n%s--- want\n%s", got, want)
+			}
+		})
+	}
+	t.Run("wide", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("wide oracle identity skipped in -short mode")
+		}
+		scs, err := MatrixScenarios("tier=wide,topology=64c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := RunMatrix(RunnerConfig{Workers: 8, Seed: 11, Quick: true, Oracle: true}, scs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(goldenPath("wide"))
+		if err != nil {
+			t.Fatalf("missing golden: %v", err)
+		}
+		if got := tab.CSV(); got != string(want) {
+			t.Errorf("oracle-attached wide CSV diverged from the golden:\n--- got\n%s--- want\n%s", got, want)
+		}
+	})
+}
+
+// TestChaosTierSelection covers the tier's filter plumbing: explicit
+// tier=chaos, inference from failure=storm, and the chaos axes'
+// validation errors.
+func TestChaosTierSelection(t *testing.T) {
+	scs, err := MatrixScenarios("tier=chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != len(ChaosMatrix()) {
+		t.Fatalf("tier=chaos selected %d scenarios, want %d", len(scs), len(ChaosMatrix()))
+	}
+	for _, sc := range scs {
+		if !sc.ChaosTier() {
+			t.Fatalf("non-chaos scenario %s in the chaos tier", sc.Name())
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("chaos scenario %s invalid: %v", sc.Name(), err)
+		}
+	}
+	inferred, err := MatrixScenarios("failure=storm,topology=2c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inferred) != 2 {
+		t.Fatalf("failure=storm inference selected %d scenarios, want 2", len(inferred))
+	}
+	if _, err := MatrixScenarios("tier=chaos,failure=crash"); err == nil {
+		t.Fatal("classic failure accepted on the chaos tier")
+	}
+	if _, err := MatrixScenarios("tier=chaos,network=lan"); err == nil {
+		t.Fatal("chaos tier must demand the jitter network (the reorder envelope)")
+	}
+}
+
+// TestMatrixFilterUnknownKeyErrors pins the -filter error contract: an
+// unknown key must not silently match nothing — it errors listing the
+// valid keys and tiers, and unknown values keep listing their axis.
+func TestMatrixFilterUnknownKeyErrors(t *testing.T) {
+	_, err := MatrixScenarios("topo=2c")
+	if err == nil {
+		t.Fatal("unknown filter key accepted")
+	}
+	for _, want := range []string{"unknown key", "topology", "workload", "failure", "network", "tier", "classic", "wide", "chaos"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-key error %q does not list %q", err, want)
+		}
+	}
+	if _, err := MatrixScenarios("tier=quantum"); err == nil ||
+		!strings.Contains(err.Error(), "classic, wide, chaos") {
+		t.Errorf("unknown tier error must list the tiers, got: %v", err)
+	}
+	if _, err := MatrixScenarios("topology=3c"); err == nil ||
+		!strings.Contains(err.Error(), "2c") {
+		t.Errorf("unknown topology error must list the axis values, got: %v", err)
+	}
+	if _, err := MatrixScenarios("topology=2c,topology=4c"); err == nil {
+		t.Error("duplicate key accepted")
+	}
+}
+
+// TestChaosRejectsDeltaTransitive pins the wire-contract guard: the
+// chaos scheduler cannot run on delta-encoded transitive piggybacks
+// (duplicate deliveries would desync the per-pipe codecs).
+func TestChaosRejectsDeltaTransitive(t *testing.T) {
+	sc := Scenario{Topology: "2c", Workload: "uniform", Failure: "storm", Network: "jitter"}
+	opts, err := ScenarioOptions(Config{Seed: 1, Quick: true}, sc, "hc3i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Transitive = true
+	opts.DenseWire = false
+	if _, err := runFed(opts); err == nil || !strings.Contains(err.Error(), "chaos") {
+		t.Fatalf("delta-transitive chaos run accepted: %v", err)
+	}
+}

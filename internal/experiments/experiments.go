@@ -35,6 +35,19 @@ type Config struct {
 	// construction (the differential suite proves it); the switch
 	// exists for those tests and for width-scaling benchmarks.
 	DenseWire bool
+	// Oracle attaches the online protocol invariant checker
+	// (internal/oracle) to every federation run, whatever tier or
+	// experiment launches it. Results stay byte-identical; a violated
+	// invariant fails the run with a diagnostic instead.
+	Oracle bool
+	// ChaosSeed overrides the chaos tier's adversarial-schedule seed
+	// (0 derives it from Seed). One integer replays one schedule —
+	// the seed a failing chaos run reports reproduces it here.
+	ChaosSeed uint64
+	// ChaosSeeds is how many consecutive chaos schedules each
+	// chaos-tier scenario runs (rows aggregate across them; <= 1 runs
+	// one).
+	ChaosSeeds int
 	// sem, when non-nil, is the shared federation-run semaphore of a
 	// registry-level parallel run (see RunnerConfig): every federation
 	// execution acquires one token, so "Workers" bounds the number of
@@ -67,6 +80,9 @@ func (c Config) runFed(opts federation.Options) (*federation.Result, error) {
 	}
 	if c.DenseWire {
 		opts.DenseWire = true
+	}
+	if c.Oracle {
+		opts.Oracle = true
 	}
 	return runFed(opts)
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/app"
 	"repro/internal/baseline"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/federation"
 	"repro/internal/sim"
@@ -49,7 +50,7 @@ func ParseScenario(name string) (Scenario, error) {
 }
 
 // Validate checks each dimension value against the axes of the
-// scenario's tier (classic or wide).
+// scenario's tier (classic, wide or chaos).
 func (s Scenario) Validate() error {
 	dims := []struct {
 		dim, val string
@@ -65,6 +66,12 @@ func (s Scenario) Validate() error {
 		dims[1].all = WideWorkloads
 		dims[2].all = WideFailures
 		dims[3].all = WideNetworks
+	}
+	if s.ChaosTier() {
+		dims[0].all = ChaosTopologies
+		dims[1].all = ChaosWorkloads
+		dims[2].all = ChaosFailures
+		dims[3].all = ChaosNetworks
 	}
 	for _, d := range dims {
 		found := false
@@ -118,6 +125,45 @@ func wideTopology(topo string) bool {
 // Wide reports whether the scenario belongs to the wide-federation
 // tier.
 func (s Scenario) Wide() bool { return wideTopology(s.Topology) }
+
+// The chaos tier: classic topology shapes driven by the seeded
+// adversarial scheduler (internal/chaos) with the protocol invariant
+// oracle (internal/oracle) attached. The failure dimension value
+// "storm" marks the tier: crashes are injected by the scheduler into
+// protocol-sensitive windows (mid-2PC, mid-rollback-wave,
+// mid-GC-round) rather than scheduled up front, the jitter network
+// gives the reordering envelope, garbage collection runs so its
+// safety rule is under fire, and every run is replayable from a
+// single chaos seed (hc3ibench -chaos-seed). Chaos scenarios run
+// under HC3I only — the baselines make no inter-cluster consistency
+// claims for the oracle to check.
+var (
+	ChaosTopologies = []string{"2c", "4c", "8c"}
+	ChaosWorkloads  = []string{"uniform", "bursty"}
+	ChaosFailures   = []string{"storm"}
+	ChaosNetworks   = []string{"jitter"}
+	ChaosProtocols  = []string{"hc3i"}
+)
+
+// ChaosTier reports whether the scenario belongs to the chaos tier
+// (its failure dimension is the tier marker: chaos topologies reuse
+// the classic shapes).
+func (s Scenario) ChaosTier() bool { return s.Failure == "storm" }
+
+// ChaosMatrix returns the chaos tier's cross product, in axis order.
+func ChaosMatrix() []Scenario {
+	var out []Scenario
+	for _, topo := range ChaosTopologies {
+		for _, wl := range ChaosWorkloads {
+			for _, fl := range ChaosFailures {
+				for _, net := range ChaosNetworks {
+					out = append(out, Scenario{Topology: topo, Workload: wl, Failure: fl, Network: net})
+				}
+			}
+		}
+	}
+	return out
+}
 
 // WideMatrix returns the wide tier's cross product, in axis order.
 func WideMatrix() []Scenario {
@@ -175,29 +221,40 @@ func MatrixScenarios(filter string) ([]Scenario, error) {
 				}
 				want[dim] = strings.TrimSpace(kv[1])
 			default:
-				return nil, fmt.Errorf("experiments: matrix filter: unknown dimension %q", kv[0])
+				return nil, fmt.Errorf("experiments: matrix filter: unknown key %q (valid keys: topology, workload, failure, network, tier; valid tiers: classic, wide, chaos)", kv[0])
 			}
 		}
 	}
-	wide := false
-	switch tier := want["tier"]; tier {
-	case "":
-		wide = wideTopology(want["topology"])
-	case "wide":
-		wide = true
-	case "classic":
-	default:
-		return nil, fmt.Errorf("experiments: unknown tier %q (have classic, wide)", tier)
-	}
-	delete(want, "tier")
 	universe := Matrix
 	probe := Scenario{Topology: MatrixTopologies[0], Workload: MatrixWorkloads[0],
 		Failure: MatrixFailures[0], Network: MatrixNetworks[0]}
-	if wide {
+	tier := want["tier"]
+	if tier == "" {
+		// Infer the tier from unambiguous axis values, so e.g.
+		// topology=64c or failure=storm select their tier directly.
+		switch {
+		case wideTopology(want["topology"]):
+			tier = "wide"
+		case want["failure"] == ChaosFailures[0]:
+			tier = "chaos"
+		default:
+			tier = "classic"
+		}
+	}
+	switch tier {
+	case "classic":
+	case "wide":
 		universe = WideMatrix
 		probe = Scenario{Topology: WideTopologies[0], Workload: WideWorkloads[0],
 			Failure: WideFailures[0], Network: WideNetworks[0]}
+	case "chaos":
+		universe = ChaosMatrix
+		probe = Scenario{Topology: ChaosTopologies[0], Workload: ChaosWorkloads[0],
+			Failure: ChaosFailures[0], Network: ChaosNetworks[0]}
+	default:
+		return nil, fmt.Errorf("experiments: unknown tier %q (have classic, wide, chaos)", tier)
 	}
+	delete(want, "tier")
 	// Reject unknown axis values up front, so a typo like topology=3c
 	// reports the axis and its values instead of "selects no scenarios".
 	for dim, val := range want {
@@ -373,6 +430,13 @@ func matrixWorkload(kind string, n int, total sim.Duration) (*app.Workload, erro
 func matrixFailures(kind string, sizes []int, total sim.Duration) (crashes []federation.Crash, replicas int, err error) {
 	replicas = 1
 	switch kind {
+	case "storm":
+		// Chaos tier: crashes are injected by the adversarial
+		// scheduler into protocol-sensitive windows at run time, not
+		// scheduled here. Replication degree 2 keeps every state
+		// recoverable when a fuse hits a node that is itself mid-
+		// recovery.
+		replicas = 2
 	case "none":
 	case "crash":
 		// One fail-stop crash mid-run.
@@ -444,6 +508,15 @@ func ScenarioOptions(cfg Config, sc Scenario, protocol string) (federation.Optio
 	if err != nil {
 		return federation.Options{}, err
 	}
+	if sc.ChaosTier() {
+		// Chaos runs trade virtual length for schedule density: the
+		// crash cooldown and short CLC timers pack the run with
+		// protocol-sensitive windows.
+		total = 3 * sim.Hour
+		if cfg.Quick {
+			total = sim.Hour
+		}
+	}
 	fed, err := matrixTopology(sizes, sc.Network)
 	if err != nil {
 		return federation.Options{}, err
@@ -468,10 +541,17 @@ func ScenarioOptions(cfg Config, sc Scenario, protocol string) (federation.Optio
 		// machinery rather than idling between rare commits.
 		clcEvery = 10 * sim.Minute
 	}
+	if sc.ChaosTier() {
+		// Short commit timers multiply the 2PC windows the crash
+		// injector aims at, and keep fresh checkpoints committing
+		// between crash waves (the one-fault-at-a-time model assumes
+		// recovery completes before the next fault).
+		clcEvery = 4 * sim.Minute
+	}
 	for i := range periods {
 		periods[i] = clcEvery
 	}
-	return federation.Options{
+	opts := federation.Options{
 		Topology:   fed,
 		Workload:   wl,
 		CLCPeriods: periods,
@@ -486,7 +566,20 @@ func ScenarioOptions(cfg Config, sc Scenario, protocol string) (federation.Optio
 		Transitive:  sc.Wide(),
 		DenseWire:   cfg.DenseWire,
 		NodeFactory: factory,
-	}, nil
+	}
+	if sc.ChaosTier() {
+		// Garbage collection runs so its §3.5 safety rule is under
+		// fire too; the oracle is always attached — an un-checked
+		// hostile schedule proves nothing.
+		opts.GCPeriod = 10 * sim.Minute
+		opts.Oracle = true
+		seed := cfg.ChaosSeed
+		if seed == 0 {
+			seed = cfg.Seed
+		}
+		opts.Chaos = &chaos.Config{Seed: seed}
+	}
+	return opts, nil
 }
 
 // RunScenario executes one scenario under one protocol and returns the
@@ -503,43 +596,101 @@ func RunScenario(cfg Config, sc Scenario, protocol string) (*federation.Result, 
 	return res, nil
 }
 
-// RunMatrix executes every scenario under every matrix protocol through
+// ProtocolsFor lists the protocols a scenario runs under: HC3I plus
+// the three baselines on the classic and wide tiers, HC3I alone on the
+// chaos tier (the baselines make no inter-cluster consistency claims
+// for the oracle to check).
+func ProtocolsFor(sc Scenario) []string {
+	if sc.ChaosTier() {
+		return ChaosProtocols
+	}
+	return MatrixProtocols
+}
+
+// RunChaosScenario runs one chaos-tier scenario across the
+// configuration's chaos-seed budget (cfg.ChaosSeeds schedules, base
+// seed cfg.ChaosSeed or cfg.Seed) and returns the per-seed results in
+// seed order. Any oracle violation or harness invariant failure
+// aborts with an error naming the chaos seed that reproduces it.
+func RunChaosScenario(cfg Config, sc Scenario, protocol string) ([]*federation.Result, error) {
+	seeds := cfg.ChaosSeeds
+	if seeds < 1 {
+		seeds = 1
+	}
+	base := cfg.ChaosSeed
+	if base == 0 {
+		base = cfg.Seed
+	}
+	out := make([]*federation.Result, 0, seeds)
+	for k := 0; k < seeds; k++ {
+		runCfg := cfg
+		runCfg.ChaosSeed = base + uint64(k)
+		res, err := RunScenario(runCfg, sc, protocol)
+		if err != nil {
+			return nil, fmt.Errorf("chaos seed %d: %w", base+uint64(k), err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RunMatrix executes every scenario under its tier's protocols through
 // the worker pool and renders one table, rows in (scenario, protocol)
 // order. The unit of parallelism is one federation run, so -parallel N
 // keeps N runs in flight regardless of how the matrix is shaped.
+// Chaos-tier rows aggregate across the configured chaos-seed budget.
 func RunMatrix(rc RunnerConfig, scenarios []Scenario) (*Table, error) {
 	if scenarios == nil {
 		scenarios = Matrix()
 	}
 	cfg := rc.config()
-	t := &Table{
-		ID:    "MX",
-		Title: fmt.Sprintf("Scenario matrix (%d scenarios x %d protocols)", len(scenarios), len(MatrixProtocols)),
-		Headers: []string{"scenario", "protocol", "forced", "unforced", "rollbacks",
-			"failures", "max_log", "events"},
+	type runKey struct {
+		sc    int
+		proto string
 	}
-	type runKey struct{ sc, proto int }
-	runs := make([]runKey, 0, len(scenarios)*len(MatrixProtocols))
-	for i := range scenarios {
-		for p := range MatrixProtocols {
+	var runs []runKey
+	for i, sc := range scenarios {
+		for _, p := range ProtocolsFor(sc) {
 			runs = append(runs, runKey{sc: i, proto: p})
 		}
 	}
+	t := &Table{
+		ID:    "MX",
+		Title: fmt.Sprintf("Scenario matrix (%d scenarios, %d runs)", len(scenarios), len(runs)),
+		Headers: []string{"scenario", "protocol", "forced", "unforced", "rollbacks",
+			"failures", "max_log", "events"},
+	}
 	rows := make([]Row, len(runs))
 	err := forEach(rc.workers(), len(runs), func(i int) error {
-		sc, proto := scenarios[runs[i].sc], MatrixProtocols[runs[i].proto]
-		res, err := RunScenario(cfg, sc, proto)
+		sc, proto := scenarios[runs[i].sc], runs[i].proto
+		var results []*federation.Result
+		var err error
+		if sc.ChaosTier() {
+			results, err = RunChaosScenario(cfg, sc, proto)
+		} else {
+			var res *federation.Result
+			res, err = RunScenario(cfg, sc, proto)
+			results = []*federation.Result{res}
+		}
 		if err != nil {
 			return err
 		}
-		var forced, unforced, rollbacks uint64
-		for _, c := range res.Clusters {
-			forced += c.Forced
-			unforced += c.Unforced
-			rollbacks += c.Rollbacks
+		var forced, unforced, rollbacks, failures, events uint64
+		maxLog := 0
+		for _, res := range results {
+			for _, c := range res.Clusters {
+				forced += c.Forced
+				unforced += c.Unforced
+				rollbacks += c.Rollbacks
+			}
+			failures += res.Failures
+			events += res.Events
+			if res.MaxLoggedMessages > maxLog {
+				maxLog = res.MaxLoggedMessages
+			}
 		}
 		rows[i] = Row{sc.Name(), proto, forced, unforced, rollbacks,
-			res.Failures, res.MaxLoggedMessages, res.Events}
+			failures, maxLog, events}
 		return nil
 	})
 	if err != nil {
@@ -574,9 +725,14 @@ func MatrixAxes() string {
 		sort.Strings(vals)
 		fmt.Fprintf(&b, "%-9s %s\n", d.name, strings.Join(vals, " "))
 	}
-	fmt.Fprintf(&b, "%-9s %s\n", "tier", "classic wide")
+	fmt.Fprintf(&b, "%-9s %s\n", "tier", "chaos classic wide")
 	fmt.Fprintf(&b, "wide tier (tier=wide): %s x %s x %s x %s\n",
 		strings.Join(WideTopologies, "/"), strings.Join(WideWorkloads, "/"),
 		strings.Join(WideFailures, "/"), strings.Join(WideNetworks, "/"))
+	fmt.Fprintf(&b, "chaos tier (tier=chaos): %s x %s x %s x %s under %s, oracle-checked,\n",
+		strings.Join(ChaosTopologies, "/"), strings.Join(ChaosWorkloads, "/"),
+		strings.Join(ChaosFailures, "/"), strings.Join(ChaosNetworks, "/"),
+		strings.Join(ChaosProtocols, "/"))
+	fmt.Fprintf(&b, "  adversarial schedules replayable via -chaos-seed (sweep width via -chaos-seeds)\n")
 	return b.String()
 }

@@ -26,6 +26,13 @@ type RunnerConfig struct {
 	// DenseWire selects the dense DDV wire encoding, exactly as
 	// Config.DenseWire.
 	DenseWire bool
+	// Oracle attaches the protocol invariant checker to every run,
+	// exactly as Config.Oracle.
+	Oracle bool
+	// ChaosSeed/ChaosSeeds drive the chaos tier, exactly as
+	// Config.ChaosSeed/Config.ChaosSeeds.
+	ChaosSeed  uint64
+	ChaosSeeds int
 }
 
 // DefaultWorkers returns a reasonable pool size: one worker per CPU.
@@ -45,7 +52,8 @@ func (rc RunnerConfig) workers() int {
 // number of concurrently simulated federations globally rather than
 // per level.
 func (rc RunnerConfig) config() Config {
-	cfg := Config{Seed: rc.Seed, Quick: rc.Quick, Workers: rc.workers(), DenseWire: rc.DenseWire}
+	cfg := Config{Seed: rc.Seed, Quick: rc.Quick, Workers: rc.workers(), DenseWire: rc.DenseWire,
+		Oracle: rc.Oracle, ChaosSeed: rc.ChaosSeed, ChaosSeeds: rc.ChaosSeeds}
 	if cfg.Workers > 1 {
 		cfg.sem = make(chan struct{}, cfg.Workers)
 	}

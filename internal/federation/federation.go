@@ -11,9 +11,11 @@ import (
 	"io"
 
 	"repro/internal/app"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/netsim"
+	"repro/internal/oracle"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -91,6 +93,22 @@ type Options struct {
 	// MaxEvents aborts runaway simulations (0 = a generous default).
 	MaxEvents uint64
 
+	// Oracle attaches the online protocol invariant checker
+	// (internal/oracle) to the run: every commit, rollback, delivery
+	// and GC drop is checked against the paper's global safety
+	// properties, and the first violation aborts the run with a
+	// diagnostic. Pure observation — results are byte-identical with
+	// and without it.
+	Oracle bool
+
+	// Chaos layers the seeded adversarial scheduler (internal/chaos)
+	// over the network: bounded inter-cluster reordering, duplicate
+	// deliveries and crash injection targeted at protocol-sensitive
+	// windows, all replayable from Chaos.Seed. Incompatible with
+	// delta-encoded transitive piggybacks (duplicates would desync the
+	// pipe codecs); combine with DenseWire for transitive chaos runs.
+	Chaos *chaos.Config
+
 	// Arena, when non-nil, supplies pooled per-run scratch (the event
 	// engine); sweep harnesses share one arena across their runs and
 	// call Fed.Release after collecting each Result. Nil means every
@@ -166,6 +184,11 @@ type Fed struct {
 	// node crashes do not reset them.
 	piggyCodecs []*core.DeltaCodec
 	nClusters   int
+
+	// oracle, when non-nil, is the run's invariant checker; chaosSched
+	// the adversarial scheduler. Both are nil on plain runs.
+	oracle     *oracle.Oracle
+	chaosSched *chaos.Scheduler
 }
 
 // msgBoxes recycles the wire-message boxes of the per-message protocol
@@ -223,8 +246,18 @@ func New(opts Options) (*Fed, error) {
 	}
 	f.net = netsim.New(f.engine, opts.Topology, f.stats, f.tracer)
 	if opts.Transitive && !opts.DenseWire {
+		if opts.Chaos != nil {
+			return nil, fmt.Errorf("federation: chaos scheduling cannot run on delta-encoded transitive piggybacks (duplicate deliveries would desync the pipe codecs); set DenseWire")
+		}
 		f.piggyCodecs = make([]*core.DeltaCodec, nc*nc)
 		f.net.PipeExit = f.pipeExit
+	}
+	if opts.Oracle {
+		f.oracle = oracle.New(nc)
+		f.oracle.Clock = f.engine.Now
+		// Fail fast: the first violation stops the event loop, so the
+		// run aborts at the offending event instead of compounding.
+		f.oracle.OnFirstViolation = f.engine.Stop
 	}
 
 	root := sim.NewRNG(opts.Seed)
@@ -254,7 +287,12 @@ func New(opts Options) (*Fed, error) {
 			Replicas:          repl,
 			DenseWire:         opts.DenseWire,
 		}
-		env := &nodeEnv{f: f, id: id, ord: ord, idStr: id.String()}
+		var env core.Env = &nodeEnv{f: f, id: id, ord: ord, idStr: id.String()}
+		if f.oracle != nil {
+			// The observer variant: same env, plus the promoted
+			// core.Observer methods of the oracle.
+			env = &obsEnv{nodeEnv{f: f, id: id, ord: ord, idStr: id.String()}, f.oracle}
+		}
 		na := app.NewNodeApp(id, opts.Workload, fed, root.StreamN("app", nodeSeq))
 		na.Now = f.engine.Now
 		na.Restored = func() { f.scheduleNextSend(ord) }
@@ -304,7 +342,34 @@ func New(opts Options) (*Fed, error) {
 	// last derivation: every pre-existing stream then draws exactly the
 	// seeds it always did, keeping historical runs byte-identical.
 	f.net.SetRNG(root.Stream("net"))
+	if opts.Chaos != nil {
+		// The chaos stream is deliberately independent of the run's
+		// root RNG: (chaos options, chaos seed) alone replays the
+		// adversarial schedule, whatever the workload seed did.
+		cc := *opts.Chaos
+		if cc.Seed == 0 {
+			cc.Seed = opts.Seed
+		}
+		f.chaosSched = chaos.New(cc, sim.NewRNG(cc.Seed).Stream("chaos"), chaos.Hooks{
+			Now:     f.engine.Now,
+			CrashAt: f.inject.CrashAt,
+		})
+		f.net.Perturb = f.chaosSched
+	}
 	return f, nil
+}
+
+// Oracle exposes the run's invariant checker (nil unless
+// Options.Oracle).
+func (f *Fed) Oracle() *oracle.Oracle { return f.oracle }
+
+// obsEnv is the node environment of oracle-checked runs: the plain
+// nodeEnv plus the oracle's promoted core.Observer methods, so the
+// protocol's env type assertion enables observation exactly when an
+// oracle is attached.
+type obsEnv struct {
+	nodeEnv
+	*oracle.Oracle
 }
 
 // Engine exposes the underlying event engine (tests, tools).
@@ -360,18 +425,28 @@ func (f *Fed) piggyCodec(src, dst topology.ClusterID) *core.DeltaCodec {
 // decoder in lockstep with the encoder across node failures.
 func (f *Fed) pipeExit(src, dst topology.NodeID, payload any) {
 	var pairs []core.DDVPair
+	width := int32(0)
 	switch m := payload.(type) {
 	case *core.AppMsg:
-		pairs = m.PiggyPairs
+		pairs, width = m.PiggyPairs, m.PiggyWidth
 	case core.AppMsg:
-		pairs = m.PiggyPairs
+		pairs, width = m.PiggyPairs, m.PiggyWidth
 	default:
 		return
 	}
-	if len(pairs) == 0 {
+	if len(pairs) == 0 && (f.oracle == nil || width == 0) {
+		// Dense piggybacks (resends) and empty deltas advance nothing;
+		// an oracle additionally checks the lockstep of empty deltas
+		// below (the decoder must already hold the message's vector).
 		return
 	}
-	f.piggyCodec(src.Cluster, dst.Cluster).Decode(pairs)
+	cd := f.piggyCodec(src.Cluster, dst.Cluster)
+	if len(pairs) > 0 {
+		cd.Decode(pairs)
+	}
+	if f.oracle != nil && width > 0 {
+		f.oracle.CheckPipeExit(src.Cluster, dst.Cluster, cd.Current())
+	}
 }
 
 // nodeEnv adapts the federation to core.Env for one node. It also

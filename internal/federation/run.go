@@ -65,7 +65,15 @@ func (f *Fed) Run() (*Result, error) {
 	const slice = 10 * sim.Minute
 	for {
 		if _, err := f.engine.Run(horizon); err != nil {
+			if oerr := f.oracleErr(); oerr != nil {
+				return nil, oerr
+			}
 			return nil, err
+		}
+		// A violation stops the engine mid-slice (fail fast): report it
+		// instead of spinning on an aborted simulation.
+		if oerr := f.oracleErr(); oerr != nil {
+			return nil, oerr
 		}
 		if f.appsDone() {
 			break
@@ -78,10 +86,32 @@ func (f *Fed) Run() (*Result, error) {
 		return nil, err
 	}
 
+	if f.oracle != nil {
+		f.oracle.Finish()
+	}
+	if err := f.oracleErr(); err != nil {
+		return nil, err
+	}
 	if err := f.checkInvariants(); err != nil {
 		return nil, err
 	}
 	return f.collect(), nil
+}
+
+// oracleErr folds the oracle's violations into one run error (nil when
+// no oracle is attached or the run is clean).
+func (f *Fed) oracleErr() error {
+	if f.oracle == nil {
+		return nil
+	}
+	err := f.oracle.Err()
+	if err == nil {
+		return nil
+	}
+	if n := len(f.oracle.Violations()); n > 1 {
+		return fmt.Errorf("%w (+%d more violations)", err, n-1)
+	}
+	return err
 }
 
 func (f *Fed) appsDone() bool {

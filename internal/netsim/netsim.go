@@ -124,6 +124,44 @@ type Network struct {
 	// here, which is what keeps encoder and decoder in perfect sync
 	// across node failures.
 	PipeExit func(src, dst topology.NodeID, payload any)
+
+	// Perturb, when non-nil, lets an adversarial-schedule harness
+	// (internal/chaos) adjust every message's delivery: extra delay
+	// within the link's declared jitter envelope, release from the
+	// per-slot FIFO clamp (legal for inter-cluster traffic — the paper
+	// only assumes "an arbitrary but finite laps of time"), and
+	// duplicate deliveries where the wire contract permits. Nil (every
+	// non-chaos run) leaves the network bit-for-bit as before.
+	Perturb Perturber
+}
+
+// Perturbation is one message's adversarial delivery adjustment.
+type Perturbation struct {
+	// Extra is added to the nominal arrival time. The perturber keeps
+	// it inside the envelope it considers legal for the link.
+	Extra sim.Duration
+	// Unclamped skips the per-slot FIFO arrival clamp for this message
+	// (and leaves the slot's clamp state untouched), so it may overtake
+	// or be overtaken by its pipe neighbours.
+	Unclamped bool
+	// Duplicate, when > 0, delivers a second copy this much after the
+	// first arrival.
+	Duplicate sim.Duration
+	// DupPayload, when non-nil, is the payload of the duplicate
+	// delivery. Perturbers must supply a deep copy for pooled message
+	// boxes (the harness reclaims a box after its first delivery); nil
+	// reuses the original payload, which is only safe for value
+	// messages.
+	DupPayload any
+}
+
+// Perturber decides the adversarial schedule. Perturb sees every
+// message once, at send time, in deterministic simulation order —
+// perturbers draw all randomness from their own seeded stream, so a
+// chaos run replays exactly from its seed. envelope is the link's
+// declared jitter bound (zero on jitter-free links).
+type Perturber interface {
+	Perturb(m Message, intra bool, envelope sim.Duration) (Perturbation, bool)
 }
 
 // New returns a network for the federation.
@@ -248,15 +286,33 @@ func (n *Network) Send(src, dst topology.NodeID, kind Kind, size int, payload an
 	endSerial := start.Add(link.TransmitTime(size))
 	busy[slot] = endSerial
 	arrival := endSerial.Add(link.Latency)
+	var pert Perturbation
+	perturbed := false
+	if n.Perturb != nil {
+		pert, perturbed = n.Perturb.Perturb(
+			Message{ID: id, Src: src, Dst: dst, Kind: kind, Size: size, Payload: payload},
+			src.Cluster == dst.Cluster, link.Jitter)
+	}
+	if perturbed && pert.Extra > 0 {
+		// Extra delay folds in before the clamp bookkeeping below, so
+		// a clamped perturbation still records its true arrival and
+		// the per-slot FIFO guarantee survives for later messages.
+		arrival = arrival.Add(pert.Extra)
+	}
 	if link.Jitter > 0 && n.rng != nil {
 		// Per-message propagation jitter; arrivals never overtake an
 		// earlier message on the same link (FIFO, like an in-order
-		// transport over a jittery path).
+		// transport over a jittery path) — unless the perturber
+		// released this message from the clamp.
 		arrival = arrival.Add(n.rng.Uniform(0, link.Jitter))
-		if prev := last[slot]; arrival < prev {
-			arrival = prev
+		if perturbed && pert.Unclamped {
+			// Neither clamped nor advancing the slot's clamp state.
+		} else {
+			if prev := last[slot]; arrival < prev {
+				arrival = prev
+			}
+			last[slot] = arrival
 		}
-		last[slot] = arrival
 	}
 
 	n.count(evSent, kind, src, dst, size)
@@ -267,6 +323,14 @@ func (n *Network) Send(src, dst topology.NodeID, kind Kind, size int, payload an
 	m := n.allocMsg()
 	*m = Message{ID: id, Src: src, Dst: dst, Kind: kind, Size: size, Payload: payload}
 	n.engine.ScheduleCallAt(arrival, n.deliverFn, m)
+	if perturbed && pert.Duplicate > 0 {
+		d := n.allocMsg()
+		*d = Message{ID: id, Src: src, Dst: dst, Kind: kind, Size: size, Payload: payload}
+		if pert.DupPayload != nil {
+			d.Payload = pert.DupPayload
+		}
+		n.engine.ScheduleCallAt(arrival.Add(pert.Duplicate), n.deliverFn, d)
+	}
 	return id
 }
 

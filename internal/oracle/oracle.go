@@ -1,0 +1,476 @@
+// Package oracle is the protocol's online invariant checker: a
+// passive observer (core.Observer) attachable to any federation run
+// that asserts, at every delivery, commit, rollback and
+// garbage-collection event, the global safety properties the paper
+// claims —
+//
+//   - per-epoch DDV monotonicity and cluster-wide commit agreement
+//     (§3.1/§3.2: the two-phase commit keeps the committed vector
+//     identical on every node, and dependency entries never decrease
+//     between rollbacks),
+//   - commit-line domination of every stable checkpoint (§3.2: the
+//     newest committed vector dominates the whole stored chain),
+//   - no orphan messages after a rollback (§3.4: every delivery whose
+//     send is later rolled back must be erased by the receiver's own
+//     cascaded rollback before the run ends),
+//   - recovery-line sanity (§3.4: rollbacks restore checkpoints that
+//     exist, agree cluster-wide, and epochs never skip),
+//   - garbage-collection safety (§3.5: no collection discards a
+//     checkpoint some future recovery could still need),
+//   - delta-codec/pipe lockstep (the wire-encoding contract of
+//     core/delta.go: at every pipe exit the decoder holds exactly the
+//     dense vector the message stood for).
+//
+// The oracle maintains a cheap shadow causal history — one vector,
+// one rollback log and one stored-checkpoint chain per cluster —
+// patched with the same delta pairs the wire carries, so the steady-
+// state checks are O(changed entries), not O(federation width); the
+// dense-wire reference path pays the full-width compare the dense
+// encoding itself pays. It never touches statistics, RNG streams or
+// the event queue: runs are byte-identical with the oracle attached,
+// which the determinism suite pins against the recorded goldens.
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// MaxViolations bounds how many violations one run records; the first
+// one already fails the run, the rest are context.
+const MaxViolations = 16
+
+// rollbackRec is one observed epoch bump of a cluster: the checkpoint
+// it restored and the vector it resumed from.
+type rollbackRec struct {
+	epoch core.Epoch
+	toSN  core.SN
+	ddv   core.DDV
+}
+
+// delivRec is one live inter-cluster delivery into this cluster. It is
+// pruned when the receiver rolls back past it (the delivery is erased)
+// or when a garbage collection proves the sender can never again roll
+// back past the send; if the *sender* rolls back past the send first,
+// the record becomes an orphan obligation the receiver must erase
+// before the run ends.
+type delivRec struct {
+	src      topology.ClusterID
+	srcEpoch core.Epoch
+	sendSN   core.SN
+	recvSN   core.SN
+	orphaned bool
+}
+
+// clusterShadow is the oracle's causal history of one cluster.
+type clusterShadow struct {
+	epoch  core.Epoch
+	sn     core.SN
+	cur    core.DDV   // committed line: the newest committed vector
+	ddvs   []core.DDV // stored-chain vectors, parallel to sns
+	sns    []core.SN  // stored-chain sequence numbers
+	rolls  []rollbackRec
+	delivs []delivRec // inter-cluster deliveries INTO this cluster
+}
+
+// stored returns the shadow chain as []core.Meta views (no copies).
+func (c *clusterShadow) stored() []core.Meta {
+	ms := make([]core.Meta, len(c.sns))
+	for i := range c.sns {
+		ms[i] = core.Meta{SN: c.sns[i], DDV: c.ddvs[i]}
+	}
+	return ms
+}
+
+// Oracle is one run's invariant checker. All methods must be invoked
+// from the simulation goroutine (it is as single-threaded as the
+// protocol it watches).
+type Oracle struct {
+	width    int
+	clusters []clusterShadow
+	// pipes holds, per directed cluster pair (src*width+dst), the FIFO
+	// queue of dense vectors entering the pipe whose decoded
+	// counterparts must reappear at pipe exit. The vectors are the
+	// senders' shared piggy clones — immutable once handed out — so
+	// the queue stores references, never copies.
+	pipes [][]core.DDV
+
+	// Clock supplies the virtual clock for violation context (optional).
+	Clock func() sim.Time
+	// OnFirstViolation fires once, at the first recorded violation;
+	// harnesses hook it to stop the simulation early.
+	OnFirstViolation func()
+
+	// lazyDeps is set when any node runs ModeIndependent: lazy
+	// dependency tracking delivers before the cluster DDV names the
+	// dependency, so the no-orphan obligation does not apply — that
+	// gap is the documented cost of the baseline (§2.2), not a bug.
+	lazyDeps bool
+
+	violations []error
+	dropped    int // violations beyond MaxViolations
+}
+
+// ObserveMode scopes mode-specific claims (see core.Observer).
+func (o *Oracle) ObserveMode(id topology.NodeID, mode core.ProtocolMode) {
+	if mode == core.ModeIndependent {
+		o.lazyDeps = true
+	}
+}
+
+// New returns an oracle for a federation of nClusters clusters, seeded
+// with the protocol's initial state: every cluster starts at epoch 0,
+// SN 1, with its initial checkpoint stored (core.NewNode's "the
+// beginning of the application" CLC).
+func New(nClusters int) *Oracle {
+	o := &Oracle{
+		width:    nClusters,
+		clusters: make([]clusterShadow, nClusters),
+		pipes:    make([][]core.DDV, nClusters*nClusters),
+	}
+	for i := range o.clusters {
+		c := &o.clusters[i]
+		c.sn = 1
+		c.cur = core.NewDDV(nClusters)
+		c.cur[i] = 1
+		c.sns = []core.SN{1}
+		c.ddvs = []core.DDV{c.cur.Clone()}
+	}
+	return o
+}
+
+// violatef records one invariant violation.
+func (o *Oracle) violatef(format string, args ...any) {
+	if len(o.violations) >= MaxViolations {
+		o.dropped++
+		return
+	}
+	prefix := "oracle: "
+	if o.Clock != nil {
+		prefix = fmt.Sprintf("oracle: t=%v ", o.Clock())
+	}
+	o.violations = append(o.violations, fmt.Errorf(prefix+format, args...))
+	if len(o.violations) == 1 && o.OnFirstViolation != nil {
+		o.OnFirstViolation()
+	}
+}
+
+// Err returns the first recorded violation, nil if the run is clean so
+// far.
+func (o *Oracle) Err() error {
+	if len(o.violations) == 0 {
+		return nil
+	}
+	return o.violations[0]
+}
+
+// Violations returns every recorded violation (capped at
+// MaxViolations).
+func (o *Oracle) Violations() []error { return o.violations }
+
+// ---- core.Observer ----
+
+// ObserveCommit checks per-epoch monotonicity, own-entry continuity and
+// cluster-wide commit agreement, then advances the shadow chain. With
+// delta pairs the work is O(changed entries): unchanged entries equal
+// the previous commit, which an earlier ObserveCommit already
+// verified — the induction the commitBase wire invariant rests on.
+func (o *Oracle) ObserveCommit(id topology.NodeID, seq core.SN, epoch core.Epoch, ddv core.DDV, pairs []core.DDVPair, forced bool) {
+	c := &o.clusters[id.Cluster]
+	if epoch != c.epoch {
+		o.violatef("commit: %v committed CLC %d in epoch %d, cluster epoch is %d", id, seq, epoch, c.epoch)
+		return
+	}
+	switch {
+	case seq == c.sn:
+		// A later node applying the commit the shadow already holds:
+		// every node of the cluster must install the identical vector.
+		if pairs != nil {
+			for _, p := range pairs {
+				if c.cur[p.Idx] != p.SN {
+					o.violatef("commit agreement: %v CLC %d entry %d = %d, cluster committed %d",
+						id, seq, p.Idx, p.SN, c.cur[p.Idx])
+					return
+				}
+			}
+		} else if !ddv.Equal(c.cur) {
+			o.violatef("commit agreement: %v CLC %d vector %v, cluster committed %v", id, seq, ddv, c.cur)
+		}
+	case seq == c.sn+1:
+		// First observation of the next commit: entries never decrease
+		// within an epoch, and the own entry advances by exactly one.
+		if pairs != nil {
+			for _, p := range pairs {
+				if p.SN < c.cur[p.Idx] {
+					o.violatef("DDV monotonicity: %v CLC %d lowers entry %d from %d to %d",
+						id, seq, p.Idx, c.cur[p.Idx], p.SN)
+					return
+				}
+			}
+			for _, p := range pairs {
+				c.cur[p.Idx] = p.SN
+			}
+		} else {
+			for i, v := range ddv {
+				if v < c.cur[i] {
+					o.violatef("DDV monotonicity: %v CLC %d lowers entry %d from %d to %d",
+						id, seq, i, c.cur[i], v)
+					return
+				}
+			}
+			c.cur.CopyFrom(ddv)
+		}
+		if c.cur[id.Cluster] != seq {
+			o.violatef("commit: %v CLC %d own entry is %d", id, seq, c.cur[id.Cluster])
+		}
+		c.sn = seq
+		c.sns = append(c.sns, seq)
+		c.ddvs = append(c.ddvs, c.cur.Clone())
+	default:
+		o.violatef("commit continuity: %v committed CLC %d, cluster line is at %d", id, seq, c.sn)
+	}
+}
+
+// ObserveRollback checks that the restored checkpoint exists in the
+// shadow chain, that every node of the cluster restores the same one,
+// and that epochs advance one at a time; it then truncates the chain,
+// erases the deliveries the restore undoes, and marks as orphan
+// obligations every other cluster's live delivery whose send this
+// rollback discarded.
+func (o *Oracle) ObserveRollback(id topology.NodeID, toSN core.SN, newEpoch core.Epoch, ddv core.DDV) {
+	c := &o.clusters[id.Cluster]
+	switch {
+	case newEpoch == c.epoch+1:
+		// First observation of this epoch's rollback.
+		idx := -1
+		for i, sn := range c.sns {
+			if sn == toSN {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			o.violatef("rollback: %v restored CLC %d which the cluster no longer stores (GC unsafe?)", id, toSN)
+			// Resync the shadow from the reported state so one
+			// violation does not cascade into noise.
+			cut := 0
+			for cut < len(c.sns) && c.sns[cut] < toSN {
+				cut++
+			}
+			c.sns = append(c.sns[:cut], toSN)
+			c.ddvs = append(c.ddvs[:cut], ddv.Clone())
+			idx = len(c.sns) - 1
+		} else {
+			if !ddv.Equal(c.ddvs[idx]) {
+				o.violatef("rollback: %v restored CLC %d with vector %v, committed as %v",
+					id, toSN, ddv, c.ddvs[idx])
+			}
+			c.sns = c.sns[:idx+1]
+			c.ddvs = c.ddvs[:idx+1]
+		}
+		oldEpoch := c.epoch
+		c.epoch = newEpoch
+		c.sn = toSN
+		c.cur.CopyFrom(c.ddvs[idx])
+		c.rolls = append(c.rolls, rollbackRec{epoch: newEpoch, toSN: toSN, ddv: c.ddvs[idx].Clone()})
+		// Deliveries into this cluster made at or after the restored
+		// checkpoint are erased by the restore.
+		kept := c.delivs[:0]
+		for _, d := range c.delivs {
+			if d.recvSN < toSN {
+				kept = append(kept, d)
+			}
+		}
+		c.delivs = kept
+		// Deliveries out of this cluster whose send is now discarded
+		// (sent at or after the restored checkpoint, in the aborted
+		// epoch or earlier) become orphan obligations at their
+		// receivers.
+		src := id.Cluster
+		for j := range o.clusters {
+			if topology.ClusterID(j) == src {
+				continue
+			}
+			for k := range o.clusters[j].delivs {
+				d := &o.clusters[j].delivs[k]
+				if d.src == src && d.srcEpoch <= oldEpoch && d.sendSN >= toSN {
+					d.orphaned = true
+				}
+			}
+		}
+	case newEpoch == c.epoch:
+		if toSN != c.sn {
+			o.violatef("rollback agreement: %v restored CLC %d, cluster rolled back to %d", id, toSN, c.sn)
+		} else if !ddv.Equal(c.cur) {
+			o.violatef("rollback agreement: %v restored vector %v, cluster restored %v", id, ddv, c.cur)
+		}
+	case newEpoch < c.epoch:
+		// A straggler executing a superseded rollback command: legal,
+		// but it must match the rollback that created that epoch.
+		for _, r := range c.rolls {
+			if r.epoch == newEpoch {
+				if r.toSN != toSN {
+					o.violatef("rollback agreement: %v restored CLC %d for epoch %d, cluster restored %d",
+						id, toSN, newEpoch, r.toSN)
+				} else if !ddv.Equal(r.ddv) {
+					o.violatef("rollback agreement: %v epoch %d vector %v, cluster restored %v",
+						id, newEpoch, ddv, r.ddv)
+				}
+				return
+			}
+		}
+		o.violatef("rollback: %v restored epoch %d the cluster never entered", id, newEpoch)
+	default:
+		o.violatef("rollback: %v skipped from epoch %d to %d", id, c.epoch, newEpoch)
+	}
+}
+
+// ObserveDeliver checks the delivery against the sender's shadow
+// history — no message may carry an epoch the sender never reached or
+// an SN it never committed — and records it for orphan accounting: if
+// the sender later rolls back past the send, the receiver must erase
+// the delivery (its own cascaded rollback) before the run ends.
+func (o *Oracle) ObserveDeliver(dst, src topology.NodeID, srcEpoch core.Epoch, sendSN core.SN, recvEpoch core.Epoch, recvSN core.SN) {
+	s := &o.clusters[src.Cluster]
+	if srcEpoch > s.epoch {
+		o.violatef("delivery: %v delivered message from %v with epoch %d, sender cluster is at %d",
+			dst, src, srcEpoch, s.epoch)
+		return
+	}
+	if srcEpoch == s.epoch && sendSN > s.sn {
+		o.violatef("delivery: %v delivered message from %v with SendSN %d, sender cluster committed only %d",
+			dst, src, sendSN, s.sn)
+		return
+	}
+	if o.lazyDeps {
+		return // no orphan obligation without eager dependency tracking
+	}
+	d := delivRec{src: src.Cluster, srcEpoch: srcEpoch, sendSN: sendSN, recvSN: recvSN}
+	// A prior-epoch delivery is an orphan obligation from birth when
+	// some rollback after its epoch already discarded the send.
+	for _, r := range s.rolls {
+		if r.epoch > srcEpoch && sendSN >= r.toSN {
+			d.orphaned = true
+			break
+		}
+	}
+	o.clusters[dst.Cluster].delivs = append(o.clusters[dst.Cluster].delivs, d)
+}
+
+// ObservePiggySend enqueues the dense vector a delta-encoded transitive
+// send stands for on its directed pipe's expectation queue.
+func (o *Oracle) ObservePiggySend(src topology.NodeID, dstCluster topology.ClusterID, dense core.DDV) {
+	slot := int(src.Cluster)*o.width + int(dstCluster)
+	o.pipes[slot] = append(o.pipes[slot], dense)
+}
+
+// CheckPipeExit verifies the delta-codec lockstep contract at a pipe
+// exit: decoded (the pipe decoder's vector after this message) must be
+// byte-identical to the dense vector the matching send stood for. The
+// harness calls it for every delta-piggybacked message leaving a pipe,
+// in pipe order.
+func (o *Oracle) CheckPipeExit(src, dst topology.ClusterID, decoded core.DDV) {
+	slot := int(src)*o.width + int(dst)
+	q := o.pipes[slot]
+	if len(q) == 0 {
+		o.violatef("pipe lockstep: c%d->c%d exit without an observed send", src, dst)
+		return
+	}
+	want := q[0]
+	q[0] = nil
+	o.pipes[slot] = q[1:]
+	if !decoded.Equal(want) {
+		o.violatef("pipe lockstep: c%d->c%d decoder holds %v, sender shipped %v", src, dst, decoded, want)
+	}
+}
+
+// ObserveGCDrop checks garbage-collection safety: the distributed
+// thresholds must never exceed what the recovery-line analysis over
+// the oracle's own shadow state allows (a higher threshold discards a
+// checkpoint some simulated failure still needs). It then prunes the
+// shadow chain like the protocol does and retires delivery records the
+// collection proved permanently safe.
+func (o *Oracle) ObserveGCDrop(id topology.NodeID, minSNs []core.SN) {
+	if len(minSNs) != o.width {
+		o.violatef("gc: %v applied a %d-entry threshold vector in a %d-cluster federation",
+			id, len(minSNs), o.width)
+		return
+	}
+	c := &o.clusters[id.Cluster]
+	threshold := minSNs[id.Cluster]
+	if len(c.sns) == 0 || c.sns[0] >= threshold {
+		return // nothing to drop here: a later node of the same round
+	}
+	// Safety: rerun the §3.5 analysis on the shadow history. Shadow
+	// commits since the reports only raise the safe minimums, so any
+	// distributed threshold above the freshly computed one discards a
+	// checkpoint a simulated failure still needs.
+	lists := make([][]core.Meta, o.width)
+	currents := make([]core.DDV, o.width)
+	for i := range o.clusters {
+		lists[i] = o.clusters[i].stored()
+		currents[i] = o.clusters[i].cur
+	}
+	fresh, err := core.SmallestSNs(lists, currents)
+	if err != nil {
+		o.violatef("gc safety: recovery-line analysis over the shadow state failed: %v", err)
+	} else {
+		for i, m := range minSNs {
+			if m > fresh[i] {
+				o.violatef("gc safety: threshold %d for cluster %d, but a failure could roll it back to %d",
+					m, i, fresh[i])
+				break
+			}
+		}
+	}
+	cut := 0
+	for cut < len(c.sns) && c.sns[cut] < threshold {
+		cut++
+	}
+	c.sns = c.sns[cut:]
+	c.ddvs = c.ddvs[cut:]
+	// The collection proves no cluster ever rolls back below its
+	// threshold again: deliveries whose send predates the sender's
+	// threshold can never become orphans — drop their records.
+	kept := c.delivs[:0]
+	for _, d := range c.delivs {
+		if d.orphaned || d.sendSN >= minSNs[d.src] {
+			kept = append(kept, d)
+		}
+	}
+	c.delivs = kept
+}
+
+// Finish runs the end-of-run checks once the federation quiesced: no
+// outstanding orphan obligation (every delivery whose send was rolled
+// back was erased by a receiver rollback), and the commit line of each
+// cluster dominates its whole stored chain.
+func (o *Oracle) Finish() error {
+	for j := range o.clusters {
+		c := &o.clusters[j]
+		for _, d := range c.delivs {
+			if d.orphaned {
+				o.violatef("orphan: cluster %d still holds a delivery from cluster %d (epoch %d, SendSN %d, received at SN %d) whose send was rolled back",
+					j, d.src, d.srcEpoch, d.sendSN, d.recvSN)
+			}
+		}
+		for i := 0; i < len(c.sns); i++ {
+			if i > 0 && c.sns[i] <= c.sns[i-1] {
+				o.violatef("stored chain: cluster %d stores CLC %d after %d", j, c.sns[i], c.sns[i-1])
+			}
+			for k, v := range c.ddvs[i] {
+				if v > c.cur[k] {
+					o.violatef("commit-line domination: cluster %d stored CLC %d entry %d = %d exceeds the committed line %d",
+						j, c.sns[i], k, v, c.cur[k])
+				}
+			}
+		}
+	}
+	if o.dropped > 0 {
+		o.violatef("(%d further violations dropped)", o.dropped)
+	}
+	return o.Err()
+}

@@ -1,0 +1,191 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func node(c, i int) topology.NodeID {
+	return topology.NodeID{Cluster: topology.ClusterID(c), Index: i}
+}
+
+// ddv builds a dense vector from literal entries.
+func ddv(vals ...core.SN) core.DDV { return core.DDV(vals) }
+
+// commitCluster observes the same commit from every node of a 2-node
+// cluster, the way a real 2PC reports it.
+func commitCluster(o *Oracle, c int, seq core.SN, epoch core.Epoch, v core.DDV) {
+	o.ObserveCommit(node(c, 0), seq, epoch, v, nil, false)
+	o.ObserveCommit(node(c, 1), seq, epoch, v, nil, false)
+}
+
+func wantViolation(t *testing.T, o *Oracle, substr string) {
+	t.Helper()
+	err := o.Err()
+	if err == nil {
+		t.Fatalf("expected a violation containing %q, oracle is clean", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("violation %q does not mention %q", err, substr)
+	}
+}
+
+func TestCommitAdvanceAndAgreement(t *testing.T) {
+	o := New(2)
+	commitCluster(o, 0, 2, 0, ddv(2, 0))
+	commitCluster(o, 0, 3, 0, ddv(3, 1))
+	// Delta re-application of the same commit: pairs must agree.
+	o.ObserveCommit(node(0, 1), 3, 0, nil, []core.DDVPair{{Idx: 0, SN: 3}, {Idx: 1, SN: 1}}, false)
+	if err := o.Finish(); err != nil {
+		t.Fatalf("clean history flagged: %v", err)
+	}
+}
+
+func TestCommitMonotonicityViolation(t *testing.T) {
+	o := New(2)
+	commitCluster(o, 0, 2, 0, ddv(2, 5))
+	// CLC 3 lowers the entry for cluster 1: 5 -> 4.
+	o.ObserveCommit(node(0, 0), 3, 0, nil, []core.DDVPair{{Idx: 0, SN: 3}, {Idx: 1, SN: 4}}, false)
+	wantViolation(t, o, "monotonicity")
+}
+
+func TestCommitAgreementViolation(t *testing.T) {
+	o := New(2)
+	o.ObserveCommit(node(0, 0), 2, 0, ddv(2, 3), nil, false)
+	o.ObserveCommit(node(0, 1), 2, 0, ddv(2, 4), nil, false)
+	wantViolation(t, o, "agreement")
+}
+
+func TestCommitContinuityViolation(t *testing.T) {
+	o := New(2)
+	o.ObserveCommit(node(0, 0), 4, 0, ddv(4, 0), nil, false) // skips 2 and 3
+	wantViolation(t, o, "continuity")
+}
+
+func TestRollbackToMissingCheckpoint(t *testing.T) {
+	o := New(2)
+	commitCluster(o, 0, 2, 0, ddv(2, 0))
+	o.ObserveRollback(node(0, 0), 7, 1, ddv(7, 0))
+	wantViolation(t, o, "no longer stores")
+}
+
+func TestRollbackAgreementAndStraggler(t *testing.T) {
+	o := New(2)
+	commitCluster(o, 0, 2, 0, ddv(2, 0))
+	o.ObserveRollback(node(0, 0), 2, 1, ddv(2, 0))
+	o.ObserveRollback(node(0, 1), 2, 1, ddv(2, 0)) // peer of the same wave
+	// A second rollback supersedes; then a straggler re-executes the
+	// first epoch's command — legal, and it must match the record.
+	o.ObserveRollback(node(0, 0), 1, 2, ddv(1, 0))
+	o.ObserveRollback(node(0, 1), 2, 1, ddv(2, 0)) // straggler, consistent
+	if o.Err() != nil {
+		t.Fatalf("legal straggler flagged: %v", o.Err())
+	}
+	o.ObserveRollback(node(0, 1), 1, 1, ddv(1, 0)) // straggler, wrong target
+	wantViolation(t, o, "rollback agreement")
+}
+
+func TestOrphanDeliveryCaught(t *testing.T) {
+	o := New(2)
+	commitCluster(o, 0, 2, 0, ddv(2, 0))
+	// Cluster 1 delivers a message sent at cluster 0's SN 2...
+	o.ObserveDeliver(node(1, 0), node(0, 0), 0, 2, 0, 1)
+	// ...then cluster 0 rolls back to CLC 2, discarding that send.
+	o.ObserveRollback(node(0, 0), 2, 1, ddv(2, 0))
+	if o.Err() != nil {
+		t.Fatalf("orphan obligation must not fire before Finish: %v", o.Err())
+	}
+	if err := o.Finish(); err == nil || !strings.Contains(err.Error(), "orphan") {
+		t.Fatalf("unerased orphan not flagged: %v", err)
+	}
+}
+
+func TestOrphanErasedByReceiverRollback(t *testing.T) {
+	o := New(2)
+	commitCluster(o, 0, 2, 0, ddv(2, 0))
+	commitCluster(o, 1, 2, 0, ddv(2, 2)) // receiver's forced CLC covering the delivery
+	o.ObserveDeliver(node(1, 0), node(0, 0), 0, 2, 0, 2)
+	o.ObserveRollback(node(0, 0), 2, 1, ddv(2, 0))
+	// The receiver's cascaded rollback to CLC 2 (recvSN 2 >= toSN 2)
+	// erases the delivery: the obligation is discharged.
+	o.ObserveRollback(node(1, 0), 2, 1, ddv(2, 2))
+	if err := o.Finish(); err != nil {
+		t.Fatalf("erased orphan still flagged: %v", err)
+	}
+}
+
+func TestDeliveryFromFutureEpochCaught(t *testing.T) {
+	o := New(2)
+	o.ObserveDeliver(node(1, 0), node(0, 0), 3, 1, 0, 1)
+	wantViolation(t, o, "epoch")
+}
+
+func TestDeliveryOfUncommittedSNCaught(t *testing.T) {
+	o := New(2)
+	o.ObserveDeliver(node(1, 0), node(0, 0), 0, 9, 0, 1)
+	wantViolation(t, o, "committed only")
+}
+
+func TestGCSafetyViolationCaught(t *testing.T) {
+	o := New(2)
+	commitCluster(o, 1, 2, 0, ddv(0, 2))
+	commitCluster(o, 0, 2, 0, ddv(2, 2)) // c0's CLC 2 depends on c1 SN 2
+	commitCluster(o, 0, 3, 0, ddv(3, 2))
+	// A failure of cluster 1 restores its CLC 2 and alerts (1, 2);
+	// cluster 0's line depends on it, so it must roll back to its CLC
+	// 2 — the oldest with entry[1] >= 2. SmallestSNs therefore allows
+	// at most {2, 2}; a threshold of 3 for cluster 0 drops the very
+	// checkpoint that recovery needs.
+	o.ObserveGCDrop(node(0, 0), []core.SN{3, 2})
+	wantViolation(t, o, "gc safety")
+}
+
+func TestGCSafeDropAccepted(t *testing.T) {
+	o := New(2)
+	commitCluster(o, 0, 2, 0, ddv(2, 0))
+	commitCluster(o, 0, 3, 0, ddv(3, 0))
+	commitCluster(o, 1, 2, 0, ddv(3, 2)) // depends on c0's newest only
+	lists := [][]core.Meta{
+		{{SN: 1, DDV: ddv(1, 0)}, {SN: 2, DDV: ddv(2, 0)}, {SN: 3, DDV: ddv(3, 0)}},
+		{{SN: 1, DDV: ddv(0, 1)}, {SN: 2, DDV: ddv(3, 2)}},
+	}
+	currents := []core.DDV{ddv(3, 0), ddv(3, 2)}
+	mins, err := core.SmallestSNs(lists, currents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.ObserveGCDrop(node(0, 0), mins)
+	o.ObserveGCDrop(node(0, 1), mins)
+	o.ObserveGCDrop(node(1, 0), mins)
+	if err := o.Finish(); err != nil {
+		t.Fatalf("protocol-computed thresholds flagged: %v", err)
+	}
+}
+
+func TestPipeLockstep(t *testing.T) {
+	o := New(2)
+	o.ObservePiggySend(node(0, 0), 1, ddv(2, 0))
+	o.CheckPipeExit(0, 1, ddv(2, 0))
+	if o.Err() != nil {
+		t.Fatalf("matching pipe exit flagged: %v", o.Err())
+	}
+	o.ObservePiggySend(node(0, 0), 1, ddv(3, 0))
+	o.CheckPipeExit(0, 1, ddv(2, 0)) // decoder lagging: desync
+	wantViolation(t, o, "pipe lockstep")
+
+	o2 := New(2)
+	o2.CheckPipeExit(0, 1, ddv(1, 0)) // exit without a send
+	wantViolation(t, o2, "without an observed send")
+}
+
+func TestCommitLineDominationAtFinish(t *testing.T) {
+	o := New(2)
+	commitCluster(o, 0, 2, 0, ddv(2, 4))
+	// Corrupt the shadow the way a protocol bug would: a rollback to
+	// CLC 2 whose restored vector disagrees with the committed one.
+	o.ObserveRollback(node(0, 0), 2, 1, ddv(2, 9))
+	wantViolation(t, o, "rollback")
+}
