@@ -240,20 +240,31 @@ func BenchmarkEndToEndSimulation(b *testing.B) {
 // differs. (Kept last in the file: its runs allocate tens of MB each,
 // and the GC debt would otherwise bleed into the benchmarks after it.)
 func BenchmarkWideSlice(b *testing.B) {
-	benchWideSlice(b, false)
+	benchWideSlice(b, false, 1)
 }
 
 // BenchmarkWideSliceDense is the dense-wire reference run of the same
 // slice.
 func BenchmarkWideSliceDense(b *testing.B) {
-	benchWideSlice(b, true)
+	benchWideSlice(b, true, 1)
 }
 
-func benchWideSlice(b *testing.B, dense bool) {
+// BenchmarkWideSliceParallel runs the identical 64-cluster slice with
+// every federation split across 4 conservative-window engines
+// (results are byte-identical to BenchmarkWideSlice; the pair prices
+// the window-barrier machinery). The speedup is hardware-bound: on a
+// single-CPU runner the barrier hand-offs are pure overhead and this
+// benchmark runs slower than the sequential pair; the parallel path
+// pays off only when the shard engines get their own cores.
+func BenchmarkWideSliceParallel(b *testing.B) {
+	benchWideSlice(b, false, 4)
+}
+
+func benchWideSlice(b *testing.B, dense bool, shards int) {
 	for i := 0; i < b.N; i++ {
 		opts := hc3i.RunnerOptions{
 			Workers: hc3i.DefaultWorkers(), Seed: uint64(i + 1), Quick: true,
-			DenseDDVWire: dense,
+			DenseDDVWire: dense, Shards: shards,
 		}
 		res, err := hc3i.RunMatrix(opts, "tier=wide,topology=64c")
 		if err != nil {

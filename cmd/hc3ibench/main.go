@@ -15,6 +15,7 @@
 //	hc3ibench -matrix -filter tier=wide            # 64-256 cluster tier
 //	hc3ibench -matrix -filter tier=wide -dense-ddv # dense reference wire
 //	hc3ibench -oracle -matrix                      # invariant-checked matrix
+//	hc3ibench -matrix -shards 4                    # conservative-window parallel engines
 //	hc3ibench -matrix -filter tier=chaos -chaos-seeds 50   # adversarial tier
 //	hc3ibench -matrix -filter tier=chaos -chaos-seed 1337  # replay one schedule
 //	hc3ibench -list           # list the registry and the matrix axes
@@ -62,6 +63,8 @@ func main() {
 			"replay one adversarial schedule on the chaos tier (0 = derive from -seed)")
 		chaosSeeds = flag.Int("chaos-seeds", 1,
 			"how many consecutive adversarial schedules each chaos-tier scenario runs")
+		shards = flag.Int("shards", 1,
+			"split every federation across this many conservative-window event engines (1 = single-engine reference; classic/wide results are byte-identical)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -87,6 +90,10 @@ func main() {
 	}
 	if *chaosSeeds < 1 {
 		fmt.Fprintln(os.Stderr, "hc3ibench: -chaos-seeds must be >= 1")
+		os.Exit(1)
+	}
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "hc3ibench: -shards must be >= 1")
 		os.Exit(1)
 	}
 	if *runID != "" && *matrix {
@@ -127,7 +134,7 @@ func main() {
 		mode = "quick scale"
 	}
 	opts := hc3i.RunnerOptions{Workers: *parallel, Seed: *seed, Quick: *quick, DenseDDVWire: *denseDDV,
-		Oracle: *oracleOn, ChaosSeed: *chaosSeed, ChaosSeeds: *chaosSeeds}
+		Oracle: *oracleOn, ChaosSeed: *chaosSeed, ChaosSeeds: *chaosSeeds, Shards: *shards}
 	fmt.Fprintf(w, "HC3I evaluation harness — %s, seed %d, %d worker(s)\n\n", mode, *seed, *parallel)
 
 	emit := func(res *hc3i.ExperimentResult) {

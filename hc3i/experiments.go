@@ -99,6 +99,11 @@ type RunnerOptions struct {
 	// many consecutive schedules per chaos scenario.
 	ChaosSeed  uint64
 	ChaosSeeds int
+	// Shards runs every federation across this many conservative-window
+	// event engines (federation.RunSharded); classic and wide results
+	// are byte-identical to the single-engine reference. <= 1 keeps the
+	// reference path.
+	Shards int
 }
 
 // DefaultWorkers returns the machine-sized worker count.
@@ -107,7 +112,7 @@ func DefaultWorkers() int { return experiments.DefaultWorkers() }
 func (o RunnerOptions) config() experiments.RunnerConfig {
 	return experiments.RunnerConfig{
 		Workers: o.Workers, Seed: o.Seed, Quick: o.Quick, DenseWire: o.DenseDDVWire,
-		Oracle: o.Oracle, ChaosSeed: o.ChaosSeed, ChaosSeeds: o.ChaosSeeds,
+		Oracle: o.Oracle, ChaosSeed: o.ChaosSeed, ChaosSeeds: o.ChaosSeeds, Shards: o.Shards,
 	}
 }
 

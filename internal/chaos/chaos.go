@@ -72,6 +72,12 @@ type Config struct {
 	FuseMax sim.Duration
 }
 
+// Filled returns the configuration with every zero knob replaced by
+// its documented default. Harnesses that enforce schedule properties
+// themselves (the sharded runner's global crash-cooldown gate) read
+// the effective values through it.
+func (c Config) Filled() Config { return c.filled() }
+
 func (c Config) filled() Config {
 	if c.ReorderProb == 0 {
 		c.ReorderProb = 0.25

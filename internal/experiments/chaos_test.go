@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"os"
 	"strconv"
 	"strings"
@@ -52,18 +53,29 @@ func TestChaosTierSeeds(t *testing.T) {
 	type slice struct {
 		sc     Scenario
 		weight int // per mille of the budget
+		shards int // 0/1 = single-engine reference
 	}
+	// The sharded slices aim the same adversarial scheduler at the
+	// conservative-window coordinator: per-shard chaos streams produce a
+	// different (still seed-deterministic) schedule than the sequential
+	// reference, with crash injections for non-owned victims crossing
+	// the window barrier. The oracle replays the merged journal, so a
+	// lookahead violation or barrier-order bug fails the run.
 	slices := []slice{
-		{Scenario{"2c", "uniform", "storm", "jitter"}, 250},
-		{Scenario{"2c", "bursty", "storm", "jitter"}, 250},
-		{Scenario{"4c", "uniform", "storm", "jitter"}, 200},
-		{Scenario{"4c", "bursty", "storm", "jitter"}, 200},
-		{Scenario{"8c", "uniform", "storm", "jitter"}, 50},
-		{Scenario{"8c", "bursty", "storm", "jitter"}, 50},
+		{Scenario{"2c", "uniform", "storm", "jitter"}, 220, 0},
+		{Scenario{"2c", "bursty", "storm", "jitter"}, 220, 0},
+		{Scenario{"4c", "uniform", "storm", "jitter"}, 180, 0},
+		{Scenario{"4c", "bursty", "storm", "jitter"}, 180, 0},
+		{Scenario{"8c", "uniform", "storm", "jitter"}, 50, 0},
+		{Scenario{"8c", "bursty", "storm", "jitter"}, 50, 0},
+		{Scenario{"4c", "uniform", "storm", "jitter"}, 40, 2},
+		{Scenario{"4c", "bursty", "storm", "jitter"}, 30, 4},
+		{Scenario{"8c", "uniform", "storm", "jitter"}, 30, 4},
 	}
 	type run struct {
-		sc   Scenario
-		seed uint64
+		sc     Scenario
+		seed   uint64
+		shards int
 	}
 	var runs []run
 	for si, s := range slices {
@@ -72,12 +84,17 @@ func TestChaosTierSeeds(t *testing.T) {
 			n = 1
 		}
 		for k := 0; k < n; k++ {
-			runs = append(runs, run{sc: s.sc, seed: uint64(1000*si + k + 1)})
+			runs = append(runs, run{sc: s.sc, seed: uint64(1000*si + k + 1), shards: s.shards})
 		}
 	}
 	err := forEach(DefaultWorkers(), len(runs), func(i int) error {
-		cfg := Config{Seed: runs[i].seed, Quick: true, ChaosSeed: runs[i].seed}
+		cfg := Config{Seed: runs[i].seed, Quick: true, ChaosSeed: runs[i].seed, Shards: runs[i].shards}
 		_, err := RunScenario(cfg, runs[i].sc, "hc3i")
+		if err != nil && runs[i].shards > 1 {
+			// Sharded schedules replay with the same shard count:
+			// hc3ibench ... -chaos-seed N -shards S.
+			return fmt.Errorf("shards=%d: %w", runs[i].shards, err)
+		}
 		return err
 	})
 	if err != nil {
@@ -107,6 +124,34 @@ func TestChaosReplayDeterminism(t *testing.T) {
 	}
 	if a.Failures == 0 {
 		t.Error("chaos run injected no crashes; the schedule is not adversarial")
+	}
+}
+
+// TestChaosShardedReplayDeterminism: a sharded chaos run is keyed by
+// (seed, shard count) — per-shard chaos streams make the schedule
+// differ from the sequential reference, but replaying with the same
+// shard count reproduces every statistic and event exactly. The chaos
+// tier always attaches the oracle, so both runs are also
+// invariant-checked through the sharded journal-replay path.
+func TestChaosShardedReplayDeterminism(t *testing.T) {
+	sc := Scenario{Topology: "4c", Workload: "uniform", Failure: "storm", Network: "jitter"}
+	cfg := Config{Seed: 21, Quick: true, ChaosSeed: 77, Shards: 4}
+	a, err := RunScenario(cfg, sc, "hc3i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(cfg, sc, "hc3i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events {
+		t.Fatalf("sharded replay diverged: %d vs %d events", a.Events, b.Events)
+	}
+	if d1, d2 := a.Stats.Dump(), b.Stats.Dump(); d1 != d2 {
+		t.Errorf("sharded replay diverged in stats:\n--- first\n%s\n--- second\n%s", d1, d2)
+	}
+	if a.Failures == 0 {
+		t.Error("sharded chaos run injected no crashes; the schedule is not adversarial")
 	}
 }
 

@@ -48,6 +48,12 @@ type Config struct {
 	// chaos-tier scenario runs (rows aggregate across them; <= 1 runs
 	// one).
 	ChaosSeeds int
+	// Shards runs every federation across this many conservative-window
+	// event engines (federation.RunSharded). Classic and wide results
+	// are byte-identical to the single-engine reference; chaos-tier
+	// schedules are deterministic per (seed, shard count) but differ
+	// from the sequential schedule. <= 1 keeps the reference path.
+	Shards int
 	// sem, when non-nil, is the shared federation-run semaphore of a
 	// registry-level parallel run (see RunnerConfig): every federation
 	// execution acquires one token, so "Workers" bounds the number of
@@ -83,6 +89,9 @@ func (c Config) runFed(opts federation.Options) (*federation.Result, error) {
 	}
 	if c.Oracle {
 		opts.Oracle = true
+	}
+	if c.Shards > 1 {
+		opts.Shards = c.Shards
 	}
 	return runFed(opts)
 }

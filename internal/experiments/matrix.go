@@ -106,7 +106,7 @@ var (
 // the filter `tier=wide` (or by naming a wide topology); the classic
 // matrix and its goldens are untouched.
 var (
-	WideTopologies = []string{"64c", "128c", "256c"}
+	WideTopologies = []string{"64c", "128c", "256c", "1024c"}
 	WideWorkloads  = []string{"ring"}
 	WideFailures   = []string{"none", "crash"}
 	WideNetworks   = []string{"lan"}
@@ -302,12 +302,18 @@ func MatrixScenarios(filter string) ([]Scenario, error) {
 // under test is federation width, not cluster depth — and a shorter
 // virtual run, since event volume grows with width.
 func matrixScale(cfg Config, topo string) (sizes []int, total sim.Duration, err error) {
-	if n, ok := map[string]int{"64c": 64, "128c": 128, "256c": 256}[topo]; ok {
+	if n, ok := map[string]int{"64c": 64, "128c": 128, "256c": 256, "1024c": 1024}[topo]; ok {
 		per := 3
 		total := 2 * sim.Hour
 		if cfg.Quick {
 			per = 2
 			total = 30 * sim.Minute
+		}
+		if n >= 1024 {
+			// The widest rung exists to exercise sharded execution at
+			// scale; a quarter of the virtual time keeps its event
+			// volume (which grows with width) near the 256c rung's.
+			total /= 4
 		}
 		sizes := make([]int, n)
 		for i := range sizes {

@@ -33,6 +33,9 @@ type RunnerConfig struct {
 	// Config.ChaosSeed/Config.ChaosSeeds.
 	ChaosSeed  uint64
 	ChaosSeeds int
+	// Shards runs every federation across this many conservative-window
+	// engines, exactly as Config.Shards.
+	Shards int
 }
 
 // DefaultWorkers returns a reasonable pool size: one worker per CPU.
@@ -53,7 +56,7 @@ func (rc RunnerConfig) workers() int {
 // per level.
 func (rc RunnerConfig) config() Config {
 	cfg := Config{Seed: rc.Seed, Quick: rc.Quick, Workers: rc.workers(), DenseWire: rc.DenseWire,
-		Oracle: rc.Oracle, ChaosSeed: rc.ChaosSeed, ChaosSeeds: rc.ChaosSeeds}
+		Oracle: rc.Oracle, ChaosSeed: rc.ChaosSeed, ChaosSeeds: rc.ChaosSeeds, Shards: rc.Shards}
 	if cfg.Workers > 1 {
 		cfg.sem = make(chan struct{}, cfg.Workers)
 	}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/federation"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Sharded-execution coverage at the experiments layer: the pinned
+// golden slices — every classic failure pattern and the wide tier —
+// must come out byte-identical at every shard count, with and without
+// the oracle attached, and multi-shard splits of the deeper topologies
+// must reproduce the sequential statistics registry exactly. The suite
+// runs under -race in CI, so the coordinator's barrier hand-off is
+// exercised with the detector watching.
+
+// shardedCSV renders a golden slice through RunMatrix with the given
+// shard count (and optionally the oracle).
+func shardedCSV(t *testing.T, filter string, shards int, oracle bool) string {
+	t.Helper()
+	scs, err := MatrixScenarios(filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := RunMatrix(RunnerConfig{Workers: 4, Seed: 11, Quick: true, Shards: shards, Oracle: oracle}, scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab.CSV()
+}
+
+// TestParallelShardDifferential asserts CSV byte-identity against the
+// pinned goldens at shards = 1, 2, 4 and 8 for every classic failure
+// pattern (2 clusters: counts above 2 exercise the cap) and, outside
+// -short mode, for the 64-cluster wide slice (which splits into all 8
+// shards and runs the transitive delta pipes across them).
+func TestParallelShardDifferential(t *testing.T) {
+	shardCounts := []int{1, 2, 4, 8}
+	for _, failure := range MatrixFailures {
+		failure := failure
+		t.Run(failure, func(t *testing.T) {
+			want, err := os.ReadFile(goldenPath(failure))
+			if err != nil {
+				t.Fatalf("missing golden: %v", err)
+			}
+			filter := "topology=2c,workload=uniform,network=lan,failure=" + failure
+			for _, shards := range shardCounts {
+				if got := shardedCSV(t, filter, shards, false); got != string(want) {
+					t.Errorf("shards=%d matrix CSV diverged from the golden:\n--- got\n%s--- want\n%s",
+						shards, got, want)
+				}
+			}
+		})
+	}
+	t.Run("wide", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("wide shard differential skipped in -short mode")
+		}
+		want, err := os.ReadFile(goldenPath("wide"))
+		if err != nil {
+			t.Fatalf("missing golden: %v", err)
+		}
+		for _, shards := range shardCounts {
+			if got := shardedCSV(t, "tier=wide,topology=64c", shards, false); got != string(want) {
+				t.Errorf("shards=%d wide CSV diverged from the golden:\n--- got\n%s--- want\n%s",
+					shards, got, want)
+			}
+		}
+	})
+}
+
+// TestParallelShardStatsIdentity compares the full statistics registry
+// (Stats.Dump, which renders every counter, summary and series) between
+// the sequential reference and real multi-shard splits of the deeper
+// classic topologies — 2c goldens cap at two shards, so this is where
+// 4- and 8-way partitions actually run.
+func TestParallelShardStatsIdentity(t *testing.T) {
+	cases := []struct {
+		sc     Scenario
+		shards []int
+	}{
+		{Scenario{"4c", "hotspot", "crash", "lan"}, []int{2, 4}},
+		{Scenario{"8c", "coupling", "churn", "wan"}, []int{2, 4, 8}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.sc.Name(), func(t *testing.T) {
+			ref, err := RunScenario(Config{Seed: 11, Quick: true}, tc.sc, "hc3i")
+			if err != nil {
+				t.Fatal(err)
+			}
+			refDump := ref.Stats.Dump()
+			for _, shards := range tc.shards {
+				res, err := RunScenario(Config{Seed: 11, Quick: true, Shards: shards}, tc.sc, "hc3i")
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if res.Events != ref.Events {
+					t.Errorf("shards=%d: %d events, sequential ran %d", shards, res.Events, ref.Events)
+				}
+				if got := res.Stats.Dump(); got != refDump {
+					t.Errorf("shards=%d stats dump diverged:\n--- got\n%s--- want\n%s", shards, got, refDump)
+				}
+			}
+		})
+	}
+}
+
+// TestOracleShardedGoldenByteIdentity is the sharded leg of
+// TestOracleGoldenByteIdentity: the oracle attached to a sharded run —
+// where its observation stream is journaled per shard and replayed at
+// window barriers — must still be pure observation.
+func TestOracleShardedGoldenByteIdentity(t *testing.T) {
+	for _, failure := range MatrixFailures {
+		failure := failure
+		t.Run(failure, func(t *testing.T) {
+			want, err := os.ReadFile(goldenPath(failure))
+			if err != nil {
+				t.Fatalf("missing golden: %v", err)
+			}
+			filter := "topology=2c,workload=uniform,network=lan,failure=" + failure
+			if got := shardedCSV(t, filter, 2, true); got != string(want) {
+				t.Errorf("oracle-attached sharded CSV diverged from the golden:\n--- got\n%s--- want\n%s", got, want)
+			}
+		})
+	}
+	t.Run("wide", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("wide sharded oracle identity skipped in -short mode")
+		}
+		want, err := os.ReadFile(goldenPath("wide"))
+		if err != nil {
+			t.Fatalf("missing golden: %v", err)
+		}
+		if got := shardedCSV(t, "tier=wide,topology=64c", 8, true); got != string(want) {
+			t.Errorf("oracle-attached sharded wide CSV diverged from the golden:\n--- got\n%s--- want\n%s", got, want)
+		}
+	})
+}
+
+// TestWide1024Sharded smoke-tests the widest rung, which exists for
+// sharded execution at scale: 1024 clusters split across 8 engines,
+// oracle attached, with a crash and recovery in flight. The virtual
+// time is cut to one minute: the conservative window width is the
+// 150µs inter-cluster latency, so windows number in the hundreds of
+// thousands and the full quick duration would dominate the suite
+// (sequential-vs-sharded byte identity is proven on the 64c slice
+// above; here the oracle and harness invariants carry the check).
+// The full-duration rung runs through `hc3ibench -matrix -filter
+// topology=1024c -shards N`.
+func TestWide1024Sharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-cluster smoke skipped in -short mode")
+	}
+	sc := Scenario{Topology: "1024c", Workload: "ring", Failure: "crash", Network: "lan"}
+	opts, err := ScenarioOptions(Config{Seed: 3, Quick: true}, sc, "hc3i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workload.TotalTime = sim.Minute
+	opts.Crashes = []federation.Crash{
+		{At: sim.Time(0).Add(30 * sim.Second), Node: topology.NodeID{Cluster: 0, Index: 1}},
+	}
+	opts.Shards = 8
+	opts.Oracle = true
+	res, err := runFed(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events == 0 {
+		t.Fatal("empty run")
+	}
+	if len(res.Clusters) != 1024 {
+		t.Fatalf("expected 1024 cluster results, got %d", len(res.Clusters))
+	}
+	if res.Failures != 1 {
+		t.Fatalf("expected the scheduled crash, got %d failures", res.Failures)
+	}
+}

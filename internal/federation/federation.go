@@ -114,6 +114,14 @@ type Options struct {
 	// call Fed.Release after collecting each Result. Nil means every
 	// run allocates fresh — results are identical either way.
 	Arena *Arena
+
+	// Shards requests conservative-window parallel execution: the
+	// clusters are partitioned across this many event engines which
+	// advance in lockstep windows of the minimum cross-shard link
+	// latency (see RunSharded and internal/sim/parallel). <= 1 runs
+	// the single-engine reference. Only RunSharded consults it — New
+	// and Fed.Run always build the sequential simulation.
+	Shards int
 }
 
 func (o *Options) fill() error {
@@ -189,6 +197,16 @@ type Fed struct {
 	// the adversarial scheduler. Both are nil on plain runs.
 	oracle     *oracle.Oracle
 	chaosSched *chaos.Scheduler
+
+	// role, when non-nil, marks this Fed as one shard of a sharded run
+	// (see shard.go): only the owned clusters' nodes exist, cross-shard
+	// traffic detours through the runner's outboxes, and oracle
+	// observations are journaled into shardObs for barrier replay
+	// instead of checked inline. lostLog journals OnLost observations
+	// the runner later replays into the merged stats in global order.
+	role     *shardRole
+	shardObs *shardObs
+	lostLog  []lostRec
 }
 
 // msgBoxes recycles the wire-message boxes of the per-message protocol
@@ -218,10 +236,18 @@ func fireSendCall(arg any) {
 }
 
 // New assembles a federation simulation.
-func New(opts Options) (*Fed, error) {
+func New(opts Options) (*Fed, error) { return newFed(opts, nil) }
+
+// newFed assembles either the whole federation (role == nil) or one
+// shard of a sharded run. A shard walks the exact same assembly order —
+// in particular it derives every node's RNG stream, since deriving a
+// stream advances the root RNG — but only instantiates nodes of the
+// clusters it owns.
+func newFed(opts Options, role *shardRole) (*Fed, error) {
 	if err := opts.fill(); err != nil {
 		return nil, err
 	}
+	owned := func(c topology.ClusterID) bool { return role == nil || role.owns[c] }
 	ix := opts.Topology.Index()
 	nodeCount := ix.Len()
 	nc := opts.Topology.NumClusters()
@@ -239,6 +265,7 @@ func New(opts Options) (*Fed, error) {
 		timers:    make([]*sim.Timer, int(core.NumTimerKinds)*nodeCount),
 		pending:   make([]sim.EventRef, nodeCount),
 		nClusters: nc,
+		role:      role,
 	}
 	f.engine.MaxEvents = opts.MaxEvents
 	if opts.TraceWriter != nil {
@@ -253,11 +280,17 @@ func New(opts Options) (*Fed, error) {
 		f.net.PipeExit = f.pipeExit
 	}
 	if opts.Oracle {
-		f.oracle = oracle.New(nc)
-		f.oracle.Clock = f.engine.Now
-		// Fail fast: the first violation stops the event loop, so the
-		// run aborts at the offending event instead of compounding.
-		f.oracle.OnFirstViolation = f.engine.Stop
+		if role != nil {
+			// A shard journals its observations; the runner replays the
+			// merged journal into one real oracle at every barrier.
+			f.shardObs = &shardObs{f: f}
+		} else {
+			f.oracle = oracle.New(nc)
+			f.oracle.Clock = f.engine.Now
+			// Fail fast: the first violation stops the event loop, so the
+			// run aborts at the offending event instead of compounding.
+			f.oracle.OnFirstViolation = f.engine.Stop
+		}
 	}
 
 	root := sim.NewRNG(opts.Seed)
@@ -269,6 +302,14 @@ func New(opts Options) (*Fed, error) {
 
 	nodeSeq := 0
 	for _, id := range fed.AllNodes() {
+		// Derive the node's application stream whether or not this shard
+		// owns it: derivation advances the root RNG, and every node must
+		// receive exactly the stream a sequential run hands it.
+		appRNG := root.StreamN("app", nodeSeq)
+		nodeSeq++
+		if !owned(id.Cluster) {
+			continue
+		}
 		ord := ix.Ord(id)
 		repl := opts.Replicas
 		if repl > sizes[id.Cluster]-1 {
@@ -292,12 +333,23 @@ func New(opts Options) (*Fed, error) {
 			// The observer variant: same env, plus the promoted
 			// core.Observer methods of the oracle.
 			env = &obsEnv{nodeEnv{f: f, id: id, ord: ord, idStr: id.String()}, f.oracle}
+		} else if f.shardObs != nil {
+			env = &shardObsEnv{nodeEnv{f: f, id: id, ord: ord, idStr: id.String()}, f.shardObs}
 		}
-		na := app.NewNodeApp(id, opts.Workload, fed, root.StreamN("app", nodeSeq))
+		na := app.NewNodeApp(id, opts.Workload, fed, appRNG)
 		na.Now = f.engine.Now
 		na.Restored = func() { f.scheduleNextSend(ord) }
-		na.OnLost = func(d sim.Duration) {
-			f.stats.Summary("app.lost_work_seconds").Observe(d.Seconds())
+		if role != nil {
+			// Journal instead of observing: Welford's running mean is
+			// order-sensitive, so the runner replays the merged journal
+			// in global (time, shard) order for byte-identical output.
+			na.OnLost = func(d sim.Duration) {
+				f.lostLog = append(f.lostLog, lostRec{at: f.engine.Now(), seconds: d.Seconds()})
+			}
+		} else {
+			na.OnLost = func(d sim.Duration) {
+				f.stats.Summary("app.lost_work_seconds").Observe(d.Seconds())
+			}
 		}
 		f.apps[ord] = na
 		f.senders[ord] = &appSender{f: f, ord: ord}
@@ -314,11 +366,15 @@ func New(opts Options) (*Fed, error) {
 			pn.OnMessage(m.Src, msg)
 			f.boxes.reclaim(msg)
 		})
-		nodeSeq++
 	}
 
-	// Pre-distribute initial checkpoints to stable storage (HC3I only).
+	// Pre-distribute initial checkpoints to stable storage (HC3I only;
+	// replica targets are intra-cluster, so a shard never reaches into
+	// nodes it does not own).
 	for _, id := range fed.AllNodes() {
+		if !owned(id.Cluster) {
+			continue
+		}
 		if hn, ok := f.nodes[ix.Ord(id)].(*core.Node); ok {
 			for _, tgt := range hn.ReplicaTargets() {
 				f.nodes[ix.Ord(tgt)].(*core.Node).SeedReplica(hn.InitialReplica())
@@ -332,6 +388,9 @@ func New(opts Options) (*Fed, error) {
 	})
 	f.inject.DetectionDelay = opts.DetectionDelay
 	for _, c := range opts.Crashes {
+		if !owned(c.Node.Cluster) {
+			continue
+		}
 		f.inject.CrashAt(c.At, c.Node)
 	}
 	if opts.MTBFFailures {
@@ -342,6 +401,14 @@ func New(opts Options) (*Fed, error) {
 	// last derivation: every pre-existing stream then draws exactly the
 	// seeds it always did, keeping historical runs byte-identical.
 	f.net.SetRNG(root.Stream("net"))
+	if role != nil {
+		// Shards must draw per-message jitter identically however the
+		// clusters are partitioned, so jittered links switch from the
+		// shared sequential stream to slot-keyed streams derived from
+		// the run seed. Jitter-free topologies (all goldens) never draw
+		// from either, which is what keeps sharded goldens byte-equal.
+		f.net.SetSlotJitter(opts.Seed)
+	}
 	if opts.Chaos != nil {
 		// The chaos stream is deliberately independent of the run's
 		// root RNG: (chaos options, chaos seed) alone replays the
@@ -350,9 +417,28 @@ func New(opts Options) (*Fed, error) {
 		if cc.Seed == 0 {
 			cc.Seed = opts.Seed
 		}
-		f.chaosSched = chaos.New(cc, sim.NewRNG(cc.Seed).Stream("chaos"), chaos.Hooks{
+		chaosRNG := sim.NewRNG(cc.Seed).Stream("chaos")
+		crashAt := f.inject.CrashAt
+		if role != nil {
+			// Each shard perturbs only the traffic it routes, so it
+			// needs its own scheduler stream; a sharded chaos run is
+			// deterministic for a given (seed, shard count) but is a
+			// different adversarial schedule than the sequential one.
+			chaosRNG = sim.NewRNG(cc.Seed).StreamN("chaos-shard", role.idx)
+			// Every sharded chaos crash defers to the window barrier —
+			// owned victims too — so the runner can apply the crash
+			// cooldown globally in (time, shard) order. Per-shard
+			// schedulers each keep their own cooldown, and two shards
+			// arming fuses in the same window would otherwise crash two
+			// clusters at once, outside the one-fault-at-a-time model
+			// the recovery protocol assumes.
+			crashAt = func(at sim.Time, id topology.NodeID) {
+				role.deferCrash(at, id)
+			}
+		}
+		f.chaosSched = chaos.New(cc, chaosRNG, chaos.Hooks{
 			Now:     f.engine.Now,
-			CrashAt: f.inject.CrashAt,
+			CrashAt: crashAt,
 		})
 		f.net.Perturb = f.chaosSched
 	}
@@ -434,7 +520,7 @@ func (f *Fed) pipeExit(src, dst topology.NodeID, payload any) {
 	default:
 		return
 	}
-	if len(pairs) == 0 && (f.oracle == nil || width == 0) {
+	if len(pairs) == 0 && ((f.oracle == nil && f.shardObs == nil) || width == 0) {
 		// Dense piggybacks (resends) and empty deltas advance nothing;
 		// an oracle additionally checks the lockstep of empty deltas
 		// below (the decoder must already hold the message's vector).
@@ -446,6 +532,8 @@ func (f *Fed) pipeExit(src, dst topology.NodeID, payload any) {
 	}
 	if f.oracle != nil && width > 0 {
 		f.oracle.CheckPipeExit(src.Cluster, dst.Cluster, cd.Current())
+	} else if f.shardObs != nil && width > 0 {
+		f.shardObs.pipeExit(src.Cluster, dst.Cluster, cd.Current())
 	}
 }
 

@@ -3,6 +3,7 @@ package federation
 import (
 	"fmt"
 
+	"repro/internal/app"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -92,10 +93,11 @@ func (f *Fed) Run() (*Result, error) {
 	if err := f.oracleErr(); err != nil {
 		return nil, err
 	}
-	if err := f.checkInvariants(); err != nil {
+	v := f.view()
+	if err := v.checkInvariants(); err != nil {
 		return nil, err
 	}
-	return f.collect(), nil
+	return v.collect(f.engine.Now(), f.engine.Executed), nil
 }
 
 // oracleErr folds the oracle's violations into one run error (nil when
@@ -114,8 +116,13 @@ func (f *Fed) oracleErr() error {
 	return err
 }
 
+// appsDone reports whether every application this Fed hosts finished
+// its schedule. Shards leave nil slots for nodes they do not own.
 func (f *Fed) appsDone() bool {
 	for ord, a := range f.apps {
+		if a == nil {
+			continue
+		}
 		if f.nodes[ord].Failed() {
 			return false
 		}
@@ -126,30 +133,55 @@ func (f *Fed) appsDone() bool {
 	return true
 }
 
+// view adapts the Fed to the runView the invariant checker and result
+// collector operate on.
+func (f *Fed) view() *runView {
+	return &runView{
+		topo: f.opts.Topology,
+		st:   f.stats,
+		wl:   f.opts.Workload,
+		node: func(id topology.NodeID) ProtocolNode { return f.nodes[f.ix.Ord(id)] },
+		app:  func(id topology.NodeID) *app.NodeApp { return f.apps[f.ix.Ord(id)] },
+	}
+}
+
+// runView is the read-only face of a finished run: everything the
+// end-of-run invariant checks and result collection need, independent
+// of whether the run executed on one engine or across shards. The
+// sharded runner builds one whose node/app accessors route each NodeID
+// to its owning shard and whose stats are the merged registry.
+type runView struct {
+	topo *topology.Federation
+	st   *sim.Stats
+	wl   *app.Workload
+	node func(topology.NodeID) ProtocolNode
+	app  func(topology.NodeID) *app.NodeApp
+}
+
 // checkInvariants verifies the end-of-run safety properties of
 // DESIGN.md §5 that are visible from the harness.
-func (f *Fed) checkInvariants() error {
-	st := f.stats
-	if v := st.CounterValue("invariant.rollback_target_missing"); v != 0 {
-		return fmt.Errorf("federation: %d rollback targets missing (GC unsafe)", v)
+func (v *runView) checkInvariants() error {
+	st := v.st
+	if n := st.CounterValue("invariant.rollback_target_missing"); n != 0 {
+		return fmt.Errorf("federation: %d rollback targets missing (GC unsafe)", n)
 	}
-	if v := st.CounterValue("failures.unrecoverable"); v != 0 {
-		return fmt.Errorf("federation: %d failures had no surviving coordinator", v)
+	if n := st.CounterValue("failures.unrecoverable"); n != 0 {
+		return fmt.Errorf("federation: %d failures had no surviving coordinator", n)
 	}
 	// A node that never finished recovering would leave its cluster's
 	// rollback incomplete: surface it as a frozen/lost node.
-	for _, id := range f.opts.Topology.AllNodes() {
-		if hn, ok := f.nodes[f.ix.Ord(id)].(*core.Node); ok && !hn.Failed() {
+	for _, id := range v.topo.AllNodes() {
+		if hn, ok := v.node(id).(*core.Node); ok && !hn.Failed() {
 			if hn.LostState() {
 				return fmt.Errorf("federation: node %v never recovered its state", id)
 			}
 		}
 	}
 	// SN and DDV agreement inside each cluster (HC3I only).
-	for c := 0; c < f.opts.Topology.NumClusters(); c++ {
+	for c := 0; c < v.topo.NumClusters(); c++ {
 		var first *core.Node
-		for _, id := range f.opts.Topology.Nodes(topology.ClusterID(c)) {
-			hn, ok := f.nodes[f.ix.Ord(id)].(*core.Node)
+		for _, id := range v.topo.Nodes(topology.ClusterID(c)) {
+			hn, ok := v.node(id).(*core.Node)
 			if !ok {
 				break
 			}
@@ -173,13 +205,13 @@ func (f *Fed) checkInvariants() error {
 	// Message completeness under deterministic replay: every send a
 	// node performed (in its final history) was delivered at its
 	// destination at least once.
-	if f.opts.Workload.Deterministic {
-		for _, a := range f.apps {
-			id := a.ID()
+	if v.wl.Deterministic {
+		for _, id := range v.topo.AllNodes() {
+			a := v.app(id)
 			for i := 0; i < a.SentCount(); i++ {
 				dst := a.DestinationOf(i)
 				lid := core.LogicalID{Src: id, Seq: uint64(i + 1)}
-				if f.apps[f.ix.Ord(dst)].DeliveredTimes(lid) == 0 {
+				if v.app(dst).DeliveredTimes(lid) == 0 {
 					return fmt.Errorf("federation: message %v to %v lost", lid, dst)
 				}
 			}
@@ -189,22 +221,22 @@ func (f *Fed) checkInvariants() error {
 }
 
 // collect builds the Result from the statistics registry.
-func (f *Fed) collect() *Result {
-	n := f.opts.Topology.NumClusters()
+func (v *runView) collect(endTime sim.Time, events uint64) *Result {
+	n := v.topo.NumClusters()
 	res := &Result{
-		Stats:    f.stats,
-		EndTime:  f.engine.Now(),
-		Events:   f.engine.Executed,
-		Failures: f.stats.CounterValue("failures.injected"),
+		Stats:    v.st,
+		EndTime:  endTime,
+		Events:   events,
+		Failures: v.st.CounterValue("failures.injected"),
 	}
 	for c := 0; c < n; c++ {
 		cr := ClusterResult{
 			Cluster:   topology.ClusterID(c),
-			Forced:    f.stats.CounterValue(fmt.Sprintf("clc.committed.c%d.forced", c)),
-			Unforced:  f.stats.CounterValue(fmt.Sprintf("clc.committed.c%d.unforced", c)),
-			Committed: f.stats.CounterValue(fmt.Sprintf("clc.committed.c%d", c)),
-			Rollbacks: f.stats.CounterValue(fmt.Sprintf("rollback.count.c%d", c)),
-			Stored:    f.nodes[f.ix.Ord(topology.NodeID{Cluster: topology.ClusterID(c)})].StoredCount(),
+			Forced:    v.st.CounterValue(fmt.Sprintf("clc.committed.c%d.forced", c)),
+			Unforced:  v.st.CounterValue(fmt.Sprintf("clc.committed.c%d.unforced", c)),
+			Committed: v.st.CounterValue(fmt.Sprintf("clc.committed.c%d", c)),
+			Rollbacks: v.st.CounterValue(fmt.Sprintf("rollback.count.c%d", c)),
+			Stored:    v.node(topology.NodeID{Cluster: topology.ClusterID(c)}).StoredCount(),
 		}
 		res.Clusters = append(res.Clusters, cr)
 	}
@@ -212,23 +244,24 @@ func (f *Fed) collect() *Result {
 	for i := 0; i < n; i++ {
 		res.AppMsgs[i] = make([]uint64, n)
 		for j := 0; j < n; j++ {
-			res.AppMsgs[i][j] = f.stats.CounterValue(
+			res.AppMsgs[i][j] = v.st.CounterValue(
 				fmt.Sprintf("net.sent.app.c%d.c%d", i, j))
 		}
 	}
-	res.GCRounds = f.gcRounds(n)
+	res.GCRounds = v.gcRounds(n)
 	// Every protocol with a volatile message log reports its running
 	// high-water mark; core.Node and all three baselines track it at
 	// their log-append sites, so log-truncating protocols (the
 	// pessimistic-log baseline trims at every snapshot) report their
 	// true mid-run peak, not the deflated end-of-run length. Protocols
 	// without a peak tracker fall back to the end-of-run sample.
-	for _, n := range f.nodes {
-		if ln, ok := n.(interface{ LogPeak() int }); ok {
+	for _, id := range v.topo.AllNodes() {
+		pn := v.node(id)
+		if ln, ok := pn.(interface{ LogPeak() int }); ok {
 			if l := ln.LogPeak(); l > res.MaxLoggedMessages {
 				res.MaxLoggedMessages = l
 			}
-		} else if ln, ok := n.(interface{ LogLen() int }); ok {
+		} else if ln, ok := pn.(interface{ LogLen() int }); ok {
 			if l := ln.LogLen(); l > res.MaxLoggedMessages {
 				res.MaxLoggedMessages = l
 			}
@@ -239,15 +272,15 @@ func (f *Fed) collect() *Result {
 
 // gcRounds reassembles per-round before/after pairs from the
 // gc.before/gc.after series of each cluster leader.
-func (f *Fed) gcRounds(n int) []GCRound {
+func (v *runView) gcRounds(n int) []GCRound {
 	var rounds []GCRound
-	ref := f.stats.Series("gc.before.c0")
+	ref := v.st.Series("gc.before.c0")
 	for k := 0; k < ref.Len(); k++ {
 		r := GCRound{At: ref.Times[k], Before: make([]int, n), After: make([]int, n)}
 		complete := true
 		for c := 0; c < n; c++ {
-			b := f.stats.Series(fmt.Sprintf("gc.before.c%d", c))
-			a := f.stats.Series(fmt.Sprintf("gc.after.c%d", c))
+			b := v.st.Series(fmt.Sprintf("gc.before.c%d", c))
+			a := v.st.Series(fmt.Sprintf("gc.after.c%d", c))
 			if k >= b.Len() || k >= a.Len() {
 				complete = false
 				break

@@ -1,0 +1,612 @@
+package federation
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/oracle"
+	"repro/internal/sim"
+	"repro/internal/sim/parallel"
+	"repro/internal/topology"
+)
+
+// This file is the sharded execution harness: RunSharded partitions the
+// federation's clusters across N shard Feds, each on its own engine,
+// and advances them in conservative time windows (internal/sim/parallel).
+// The contract is byte-identical output relative to New+Run:
+//
+//   - Partitioning is by cluster, in contiguous ordinal blocks, so every
+//     intra-cluster interaction stays on one engine and the only
+//     cross-shard influence is inter-cluster messages.
+//   - The window lookahead is the minimum inter-cluster link latency
+//     between clusters on different shards: a message sent at t >= the
+//     window floor arrives at or after the window limit, so delivering
+//     it at the barrier cannot be late.
+//   - Cross-shard messages keep the (pipe, sequence) dispatch key the
+//     source network assigned; the destination engine's post-tick class
+//     then reproduces the exact same-tick interleaving the sequential
+//     engine would have used (see netsim).
+//   - Order-sensitive observations (the oracle's invariant stream,
+//     Welford-accumulated summaries) are journaled per shard and
+//     replayed at barriers in global (time, shard) order.
+type shardRunner struct {
+	opts      Options
+	topo      *topology.Federation
+	shardOf   []int // cluster ordinal -> shard index
+	lookahead sim.Duration
+	shards    []*Fed
+	coord     *parallel.Coordinator
+
+	// oracle is the single real invariant checker the merged journal
+	// replays into (nil unless Options.Oracle); replayNow backs its
+	// violation-context clock during replay.
+	oracle    *oracle.Oracle
+	replayNow sim.Time
+
+	// msgOut[i] collects the cross-shard messages shard i generated
+	// during the current window; crashOut[i] every chaos crash shard
+	// i's scheduler armed (owned victims included — injection always
+	// waits for the barrier). Both are drained at every barrier. Only
+	// shard i's worker appends to slot i during a window, and the
+	// coordinator's barrier hand-off orders those appends before the
+	// drain.
+	msgOut   [][]crossMsg
+	crashOut [][]shardCrash
+
+	// crashCooldown/nextCrash re-impose the chaos tier's global crash
+	// cooldown across shards: each shard's scheduler spaces only its
+	// own fuses, so without a runner-level gate two shards could crash
+	// two clusters in the same window — outside the one-fault-at-a-time
+	// model the recovery protocol assumes. Crashes are gated in merged
+	// (time, shard) order, so the outcome is deterministic for a given
+	// (chaos seed, shard count).
+	crashCooldown sim.Duration
+	nextCrash     sim.Time
+
+	recs []obsRec // reusable merge buffer for journal replay
+}
+
+// shardRole marks a Fed as one shard: the clusters it owns and the
+// escape hatch for chaos crashes against clusters it does not.
+type shardRole struct {
+	idx        int
+	owns       []bool
+	deferCrash func(at sim.Time, id topology.NodeID)
+}
+
+// lostRec journals one application OnLost observation; the runner
+// replays the merged log in (time, shard) order so the Welford summary
+// matches a sequential run byte for byte.
+type lostRec struct {
+	at      sim.Time
+	seconds float64
+}
+
+// crossMsg is one inter-cluster message crossing shards, frozen with
+// the arrival time and pipe dispatch key its source network computed.
+type crossMsg struct {
+	m       netsim.Message
+	arrival sim.Time
+	key     uint64
+}
+
+// shardCrash is a chaos crash deferred to the window barrier; shard is
+// filled at the drain and orders same-time fuses deterministically.
+type shardCrash struct {
+	at    sim.Time
+	id    topology.NodeID
+	shard int
+}
+
+// RunSharded builds and runs the federation across opts.Shards engines.
+// Configurations the sharded harness cannot split faithfully fall back
+// to the sequential path and still return identical results:
+// fewer than two clusters, MTBF failures (one global exponential
+// process), tracing (one interleaved event log), and topologies with
+// zero lookahead (a zero-latency inter-cluster link).
+func RunSharded(opts Options) (*Result, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	nc := opts.Topology.NumClusters()
+	ns := opts.Shards
+	if ns > nc {
+		ns = nc
+	}
+	if ns <= 1 || nc < 2 || opts.MTBFFailures || opts.TraceWriter != nil {
+		return runSequential(opts)
+	}
+	shardOf := make([]int, nc)
+	for c := range shardOf {
+		shardOf[c] = c * ns / nc
+	}
+	la, found := sim.Duration(0), false
+	for a := 0; a < nc; a++ {
+		for b := a + 1; b < nc; b++ {
+			if shardOf[a] == shardOf[b] {
+				continue
+			}
+			l := opts.Topology.InterLink(topology.ClusterID(a), topology.ClusterID(b)).Latency
+			if !found || l < la {
+				la, found = l, true
+			}
+		}
+	}
+	if !found || la <= 0 {
+		// Degenerate topology: conservative windows would have zero
+		// width. Fall back instead of deadlocking.
+		return runSequential(opts)
+	}
+
+	r := &shardRunner{
+		opts:      opts,
+		topo:      opts.Topology,
+		shardOf:   shardOf,
+		lookahead: la,
+		shards:    make([]*Fed, ns),
+		msgOut:    make([][]crossMsg, ns),
+		crashOut:  make([][]shardCrash, ns),
+	}
+	if opts.Oracle {
+		r.oracle = oracle.New(nc)
+		r.oracle.Clock = func() sim.Time { return r.replayNow }
+	}
+	if opts.Chaos != nil {
+		r.crashCooldown = opts.Chaos.Filled().CrashCooldown
+	}
+	release := func() {
+		for _, f := range r.shards {
+			if f != nil {
+				f.Release()
+			}
+		}
+	}
+	for i := 0; i < ns; i++ {
+		owns := make([]bool, nc)
+		for c := 0; c < nc; c++ {
+			owns[c] = shardOf[c] == i
+		}
+		idx := i
+		role := &shardRole{idx: i, owns: owns, deferCrash: func(at sim.Time, id topology.NodeID) {
+			r.crashOut[idx] = append(r.crashOut[idx], shardCrash{at: at, id: id})
+		}}
+		f, err := newFed(opts, role)
+		if err != nil {
+			release()
+			return nil, err
+		}
+		r.shards[i] = f
+		f.net.CrossRoute = func(m netsim.Message, arrival sim.Time, key uint64) bool {
+			if role.owns[m.Dst.Cluster] {
+				return false // same-shard destination: deliver locally
+			}
+			r.msgOut[idx] = append(r.msgOut[idx], crossMsg{m: m, arrival: arrival, key: key})
+			return true
+		}
+	}
+	res, err := r.run()
+	release()
+	return res, err
+}
+
+// runSequential is the fallback path: identical to New + Run + Release.
+func runSequential(opts Options) (*Result, error) {
+	f, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := f.Run()
+	f.Release()
+	return res, err
+}
+
+// run drives the coordinator through the same horizon slices as
+// Fed.Run, then merges, checks and collects.
+func (r *shardRunner) run() (*Result, error) {
+	for _, f := range r.shards {
+		for _, id := range r.topo.AllNodes() {
+			if !f.role.owns[id.Cluster] {
+				continue
+			}
+			ord := f.ix.Ord(id)
+			f.nodes[ord].Start()
+			f.scheduleNextSend(ord)
+		}
+	}
+	engines := make([]parallel.Shard, len(r.shards))
+	for i, f := range r.shards {
+		engines[i] = f.engine
+	}
+	r.coord = parallel.New(engines, r.lookahead, r.exchange, r.oracleErr)
+
+	horizon := sim.Time(0).Add(r.opts.Workload.TotalTime)
+	const slice = 10 * sim.Minute
+	for {
+		if err := r.coord.Run(horizon); err != nil {
+			return nil, err
+		}
+		if r.appsDone() {
+			break
+		}
+		horizon = horizon.Add(slice)
+	}
+	final := horizon.Add(2 * slice)
+	if err := r.coord.Run(final); err != nil {
+		return nil, err
+	}
+
+	if r.oracle != nil {
+		r.oracle.Finish()
+		if err := r.oracleErr(); err != nil {
+			return nil, err
+		}
+	}
+	st := r.mergeStats()
+	v := &runView{topo: r.topo, st: st, wl: r.opts.Workload, node: r.node, app: r.app}
+	if err := v.checkInvariants(); err != nil {
+		return nil, err
+	}
+	return v.collect(r.endTime(final), r.events()), nil
+}
+
+func (r *shardRunner) appsDone() bool {
+	for _, f := range r.shards {
+		if !f.appsDone() {
+			return false
+		}
+	}
+	return true
+}
+
+// endTime reconstructs the clock a sequential engine would report after
+// its settle slice: the final horizon when any event is still pending
+// beyond it, otherwise the time of the last event fired anywhere.
+func (r *shardRunner) endTime(final sim.Time) sim.Time {
+	var last sim.Time
+	for _, f := range r.shards {
+		if f.engine.HasPendingEvents() {
+			return final
+		}
+		if t := f.engine.Now(); t > last {
+			last = t
+		}
+	}
+	return last
+}
+
+func (r *shardRunner) events() uint64 {
+	var n uint64
+	for _, f := range r.shards {
+		n += f.engine.Executed
+	}
+	return n
+}
+
+func (r *shardRunner) ownerOf(id topology.NodeID) *Fed {
+	return r.shards[r.shardOf[id.Cluster]]
+}
+
+func (r *shardRunner) node(id topology.NodeID) ProtocolNode {
+	f := r.ownerOf(id)
+	return f.nodes[f.ix.Ord(id)]
+}
+
+func (r *shardRunner) app(id topology.NodeID) *app.NodeApp {
+	f := r.ownerOf(id)
+	return f.apps[f.ix.Ord(id)]
+}
+
+// oracleErr folds the runner oracle's violations into one error; it
+// doubles as the coordinator's per-window check callback.
+func (r *shardRunner) oracleErr() error {
+	if r.oracle == nil {
+		return nil
+	}
+	err := r.oracle.Err()
+	if err == nil {
+		return nil
+	}
+	if n := len(r.oracle.Violations()); n > 1 {
+		return fmt.Errorf("%w (+%d more violations)", err, n-1)
+	}
+	return err
+}
+
+// exchange runs at every window barrier with all shard workers parked:
+// replay the merged observation journal into the oracle, apply deferred
+// chaos crashes, and deliver the window's cross-shard messages.
+func (r *shardRunner) exchange(prevLimit sim.Time) error {
+	if r.oracle != nil {
+		if err := r.replayObs(); err != nil {
+			return err
+		}
+	}
+	var crashes []shardCrash
+	for si := range r.crashOut {
+		for _, c := range r.crashOut[si] {
+			c.shard = si
+			crashes = append(crashes, c)
+		}
+		r.crashOut[si] = r.crashOut[si][:0]
+	}
+	if len(crashes) > 0 {
+		sort.SliceStable(crashes, func(i, j int) bool {
+			if crashes[i].at != crashes[j].at {
+				return crashes[i].at < crashes[j].at
+			}
+			return crashes[i].shard < crashes[j].shard
+		})
+		for _, c := range crashes {
+			at := c.at
+			if at < prevLimit {
+				// The fuse elapsed inside the finished window; earliest
+				// faithful time left is the barrier itself.
+				at = prevLimit
+			}
+			// Global one-fault-at-a-time gate: a fuse landing inside the
+			// cooldown of the previously admitted crash is dropped, just
+			// as a single scheduler would never have armed it.
+			if at < r.nextCrash {
+				continue
+			}
+			r.nextCrash = at.Add(r.crashCooldown)
+			r.ownerOf(c.id).inject.CrashAt(at, c.id)
+		}
+	}
+	for si := range r.msgOut {
+		for _, cm := range r.msgOut[si] {
+			// arrival >= prevLimit by the lookahead argument; the source-
+			// assigned pipe key reproduces the sequential same-tick order.
+			r.ownerOf(cm.m.Dst).net.DeliverCrossAt(cm.m, cm.arrival, cm.key)
+		}
+		r.msgOut[si] = r.msgOut[si][:0]
+	}
+	return nil
+}
+
+// replayObs merges every shard's observation journal in global
+// (time, shard) order — stable, so each shard's own order survives —
+// and replays it into the real oracle.
+func (r *shardRunner) replayObs() error {
+	recs := r.recs[:0]
+	for _, f := range r.shards {
+		recs = append(recs, f.shardObs.recs...)
+		// Release the journal's backing array to the next window; the
+		// records themselves were copied into the merge buffer.
+		f.shardObs.recs = f.shardObs.recs[:0]
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].at != recs[j].at {
+			return recs[i].at < recs[j].at
+		}
+		return recs[i].shard < recs[j].shard
+	})
+	for i := range recs {
+		r.replayNow = recs[i].at
+		r.applyRec(&recs[i])
+	}
+	// Drop payload references so the buffer does not pin DDVs across
+	// windows, then keep the capacity.
+	for i := range recs {
+		recs[i] = obsRec{}
+	}
+	r.recs = recs[:0]
+	return r.oracleErr()
+}
+
+func (r *shardRunner) applyRec(rec *obsRec) {
+	o := r.oracle
+	switch rec.kind {
+	case obsMode:
+		o.ObserveMode(rec.node, rec.mode)
+	case obsCommit:
+		o.ObserveCommit(rec.node, rec.sn, rec.epoch, rec.ddv, rec.pairs, rec.forced)
+	case obsRollback:
+		o.ObserveRollback(rec.node, rec.sn, rec.epoch, rec.ddv)
+	case obsDeliver:
+		o.ObserveDeliver(rec.node, rec.node2, rec.epoch, rec.sn, rec.epoch2, rec.sn2)
+	case obsPiggySend:
+		o.ObservePiggySend(rec.node, rec.cl, rec.ddv)
+	case obsGCDrop:
+		o.ObserveGCDrop(rec.node, rec.sns)
+	case obsPipeExit:
+		o.CheckPipeExit(rec.cl, rec.cl2, rec.ddv)
+	}
+}
+
+// mergeStats folds the shard registries into one, reproducing the
+// sequential registry byte for byte:
+//
+//   - Counters sum. Registration is lazy on both paths, so the union of
+//     shard counter names equals the sequential name set (zero-valued
+//     but registered counters are preserved — Dump prints them).
+//   - Series carry a per-cluster suffix and thus live on exactly one
+//     shard; they are copied. Unknown multi-shard series k-way merge by
+//     (time, shard) as a fallback.
+//   - Summaries are Welford-order-sensitive: the one cross-shard
+//     summary (app.lost_work_seconds) is journaled and replayed in
+//     global order; per-cluster summaries copy exactly via Merge's
+//     empty-receiver path, and Merge's approximate combination only
+//     ever runs for hypothetical future cross-shard summaries.
+func (r *shardRunner) mergeStats() *sim.Stats {
+	nc := r.topo.NumClusters()
+	st := sim.NewStatsHint(64 + 16*nc*nc)
+	for _, f := range r.shards {
+		f.stats.ForEachCounter(func(name string, v uint64) {
+			st.Counter(name).Add(v)
+		})
+		f.stats.ForEachSummary(func(name string, sum *sim.Summary) {
+			st.Summary(name).Merge(sum)
+		})
+	}
+
+	type seriesSrc struct {
+		shard int
+		ser   *sim.Series
+	}
+	bySeries := make(map[string][]seriesSrc)
+	for si, f := range r.shards {
+		f.stats.ForEachSeries(func(name string, ser *sim.Series) {
+			bySeries[name] = append(bySeries[name], seriesSrc{si, ser})
+		})
+	}
+	for name, srcs := range bySeries {
+		out := st.Series(name)
+		if len(srcs) == 1 {
+			out.Times = append(out.Times, srcs[0].ser.Times...)
+			out.Values = append(out.Values, srcs[0].ser.Values...)
+			continue
+		}
+		idx := make([]int, len(srcs))
+		for {
+			best := -1
+			for k, s := range srcs {
+				if idx[k] >= s.ser.Len() {
+					continue
+				}
+				if best == -1 || s.ser.Times[idx[k]] < srcs[best].ser.Times[idx[best]] {
+					best = k
+				}
+			}
+			if best == -1 {
+				break
+			}
+			out.Record(srcs[best].ser.Times[idx[best]], srcs[best].ser.Values[idx[best]])
+			idx[best]++
+		}
+	}
+
+	type shardLost struct {
+		lostRec
+		shard int
+	}
+	var lost []shardLost
+	for si, f := range r.shards {
+		for _, lr := range f.lostLog {
+			lost = append(lost, shardLost{lr, si})
+		}
+	}
+	sort.SliceStable(lost, func(i, j int) bool {
+		if lost[i].at != lost[j].at {
+			return lost[i].at < lost[j].at
+		}
+		return lost[i].shard < lost[j].shard
+	})
+	if len(lost) > 0 {
+		sum := st.Summary("app.lost_work_seconds")
+		for _, l := range lost {
+			sum.Observe(l.seconds)
+		}
+	}
+	return st
+}
+
+// ---- per-shard observation journal ----
+
+type obsKind uint8
+
+const (
+	obsMode obsKind = iota
+	obsCommit
+	obsRollback
+	obsDeliver
+	obsPiggySend
+	obsGCDrop
+	obsPipeExit
+)
+
+// obsRec is one journaled observation. Field use varies by kind; the
+// (at, shard) pair is the global replay sort key.
+type obsRec struct {
+	at     sim.Time
+	shard  int
+	kind   obsKind
+	node   topology.NodeID
+	node2  topology.NodeID
+	cl     topology.ClusterID
+	cl2    topology.ClusterID
+	mode   core.ProtocolMode
+	sn     core.SN
+	sn2    core.SN
+	epoch  core.Epoch
+	epoch2 core.Epoch
+	forced bool
+	ddv    core.DDV
+	pairs  []core.DDVPair
+	sns    []core.SN
+}
+
+// shardObs journals a shard's protocol observations for barrier replay.
+// The observer contract says callbacks may alias node-owned buffers
+// that mutate afterwards, so every kept DDV/pair/threshold is cloned at
+// capture — except ObservePiggySend's dense vector, which is documented
+// immutable once handed out (the sequential oracle also keeps it by
+// reference).
+type shardObs struct {
+	f    *Fed
+	recs []obsRec
+}
+
+// shardObsEnv is the shard counterpart of obsEnv: the node env plus the
+// promoted core.Observer methods of the journal.
+type shardObsEnv struct {
+	nodeEnv
+	*shardObs
+}
+
+func (s *shardObs) rec() *obsRec {
+	s.recs = append(s.recs, obsRec{at: s.f.engine.Now(), shard: s.f.role.idx})
+	return &s.recs[len(s.recs)-1]
+}
+
+func (s *shardObs) ObserveMode(id topology.NodeID, mode core.ProtocolMode) {
+	r := s.rec()
+	r.kind, r.node, r.mode = obsMode, id, mode
+}
+
+func (s *shardObs) ObserveCommit(id topology.NodeID, seq core.SN, epoch core.Epoch, ddv core.DDV, pairs []core.DDVPair, forced bool) {
+	r := s.rec()
+	r.kind, r.node, r.sn, r.epoch, r.forced = obsCommit, id, seq, epoch, forced
+	if pairs != nil {
+		// The oracle branches on pairs != nil and then never reads ddv,
+		// so only the delta is kept — and an empty-but-non-nil delta
+		// must stay non-nil through the copy.
+		r.pairs = make([]core.DDVPair, len(pairs))
+		copy(r.pairs, pairs)
+	} else {
+		r.ddv = ddv.Clone()
+	}
+}
+
+func (s *shardObs) ObserveRollback(id topology.NodeID, toSN core.SN, newEpoch core.Epoch, ddv core.DDV) {
+	r := s.rec()
+	r.kind, r.node, r.sn, r.epoch, r.ddv = obsRollback, id, toSN, newEpoch, ddv.Clone()
+}
+
+func (s *shardObs) ObserveDeliver(dst, src topology.NodeID, srcEpoch core.Epoch, sendSN core.SN, recvEpoch core.Epoch, recvSN core.SN) {
+	r := s.rec()
+	r.kind, r.node, r.node2 = obsDeliver, dst, src
+	r.epoch, r.sn, r.epoch2, r.sn2 = srcEpoch, sendSN, recvEpoch, recvSN
+}
+
+func (s *shardObs) ObservePiggySend(src topology.NodeID, dstCluster topology.ClusterID, dense core.DDV) {
+	r := s.rec()
+	r.kind, r.node, r.cl, r.ddv = obsPiggySend, src, dstCluster, dense
+}
+
+func (s *shardObs) ObserveGCDrop(id topology.NodeID, minSNs []core.SN) {
+	r := s.rec()
+	r.kind, r.node = obsGCDrop, id
+	r.sns = append([]core.SN(nil), minSNs...)
+}
+
+// pipeExit journals the decoded vector at a pipe exit (the shard-side
+// counterpart of Oracle.CheckPipeExit). decoded is the codec's live
+// buffer, so it is cloned.
+func (s *shardObs) pipeExit(src, dst topology.ClusterID, decoded core.DDV) {
+	r := s.rec()
+	r.kind, r.cl, r.cl2, r.ddv = obsPipeExit, src, dst, decoded.Clone()
+}

@@ -1,0 +1,135 @@
+package federation_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/federation"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// shardOptions builds a 4-cluster configuration exercising the paths
+// the sharded harness must reproduce exactly: transitive delta-encoded
+// piggybacks (per-pipe codec lockstep), garbage collection, and enough
+// inter-cluster traffic that every window carries cross-shard messages.
+func shardOptions(seed uint64, nc int) federation.Options {
+	fed := topology.Small(nc, 3)
+	wl := app.Uniform(nc, 400, 24, sim.Hour)
+	wl.StateSize = 32 << 10
+	periods := make([]sim.Duration, nc)
+	for i := range periods {
+		periods[i] = 10 * sim.Minute
+	}
+	return federation.Options{
+		Topology:   fed,
+		Workload:   wl,
+		CLCPeriods: periods,
+		GCPeriod:   20 * sim.Minute,
+		Transitive: true,
+		Seed:       seed,
+	}
+}
+
+func runSharded(t *testing.T, opts federation.Options, shards int) *federation.Result {
+	t.Helper()
+	opts.Shards = shards
+	res, err := federation.RunSharded(opts)
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	return res
+}
+
+// assertSameRun asserts byte-identical statistics and equal results —
+// the sharded harness's whole contract.
+func assertSameRun(t *testing.T, ref, got *federation.Result, label string) {
+	t.Helper()
+	if ref.Events != got.Events {
+		t.Errorf("%s: events %d != %d", label, got.Events, ref.Events)
+	}
+	if ref.EndTime != got.EndTime {
+		t.Errorf("%s: end time %v != %v", label, got.EndTime, ref.EndTime)
+	}
+	if ref.Failures != got.Failures {
+		t.Errorf("%s: failures %d != %d", label, got.Failures, ref.Failures)
+	}
+	if ref.MaxLoggedMessages != got.MaxLoggedMessages {
+		t.Errorf("%s: max logged %d != %d", label, got.MaxLoggedMessages, ref.MaxLoggedMessages)
+	}
+	if !reflect.DeepEqual(ref.Clusters, got.Clusters) {
+		t.Errorf("%s: cluster results differ:\n%+v\n%+v", label, got.Clusters, ref.Clusters)
+	}
+	if !reflect.DeepEqual(ref.AppMsgs, got.AppMsgs) {
+		t.Errorf("%s: app message matrix differs:\n%v\n%v", label, got.AppMsgs, ref.AppMsgs)
+	}
+	if !reflect.DeepEqual(ref.GCRounds, got.GCRounds) {
+		t.Errorf("%s: GC rounds differ:\n%+v\n%+v", label, got.GCRounds, ref.GCRounds)
+	}
+	refDump, gotDump := ref.Stats.Dump(), got.Stats.Dump()
+	if refDump != gotDump {
+		t.Errorf("%s: stats dump differs:\n--- sequential ---\n%s--- sharded ---\n%s",
+			label, refDump, gotDump)
+	}
+}
+
+// TestShardedMatchesSequential pins the byte-identity contract of
+// RunSharded against the single-engine reference, across shard counts
+// that split the clusters evenly (2, 4) and unevenly (3), for a clean
+// run, a crashing run (rollbacks, lost-work summary replay), and an
+// oracle-attached run.
+func TestShardedMatchesSequential(t *testing.T) {
+	const nc = 4
+	cases := []struct {
+		name string
+		mut  func(*federation.Options)
+	}{
+		{"clean", func(*federation.Options) {}},
+		{"crash", func(o *federation.Options) {
+			o.Crashes = []federation.Crash{
+				{At: sim.Time(0).Add(25 * sim.Minute), Node: topology.NodeID{Cluster: 1, Index: 1}},
+				{At: sim.Time(0).Add(40 * sim.Minute), Node: topology.NodeID{Cluster: 3, Index: 0}},
+			}
+		}},
+		{"oracle", func(o *federation.Options) { o.Oracle = true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := shardOptions(7, nc)
+			tc.mut(&opts)
+			ref := mustRun(t, opts)
+			for _, shards := range []int{2, 3, 4} {
+				assertSameRun(t, ref, runSharded(t, opts, shards), tc.name)
+			}
+		})
+	}
+}
+
+// TestShardedFallbacks pins the configurations RunSharded must hand to
+// the sequential path: more shards than clusters still runs (capped),
+// and a single-cluster federation falls back outright.
+func TestShardedFallbacks(t *testing.T) {
+	opts := shardOptions(9, 2)
+	ref := mustRun(t, opts)
+	assertSameRun(t, ref, runSharded(t, opts, 8), "shards>clusters")
+
+	one := federation.Options{
+		Topology:   topology.Small(1, 4),
+		Workload:   app.Uniform(1, 300, 0, 30*sim.Minute),
+		CLCPeriods: []sim.Duration{10 * sim.Minute},
+		Seed:       3,
+	}
+	oneRef := mustRun(t, one)
+	assertSameRun(t, oneRef, runSharded(t, one, 4), "single cluster")
+}
+
+// TestShardedDeterminism: same options, same shard count, same result —
+// the parallel schedule must not leak into the simulation.
+func TestShardedDeterminism(t *testing.T) {
+	opts := shardOptions(11, 4)
+	opts.Oracle = true
+	a := runSharded(t, opts, 4)
+	b := runSharded(t, opts, 4)
+	assertSameRun(t, a, b, "repeat")
+}

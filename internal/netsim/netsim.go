@@ -89,8 +89,24 @@ type Network struct {
 	// Indexed by src*nClusters+dst.
 	busyInter []sim.Time
 	lastInter []sim.Time
-	nextID    uint64
-	rng       *sim.RNG // jitter draws; nil disables jitter
+	// pipeSeq numbers every delivery scheduled through a directed
+	// cluster-pair pipe (duplicates included). Combined with the pair
+	// index it forms the post-tick dispatch key that makes same-tick
+	// inter-cluster delivery order a pure function of the wire content —
+	// the property that lets a sharded run interleave cross-shard
+	// deliveries exactly like the sequential reference.
+	pipeSeq []uint64
+	nextID  uint64
+	rng     *sim.RNG // jitter draws; nil disables jitter
+	// Slot-keyed jitter mode: draws come from a lazily created per-slot
+	// stream derived purely from (jitterBase, slot), so the sequence a
+	// slot sees depends only on its own traffic order — identical under
+	// any sharding of the federation. Enabled by SetSlotJitter; the
+	// default shared-stream mode is kept bit-for-bit for sequential runs.
+	slotJitter  bool
+	jitterBase  uint64
+	jitterIntra []*sim.RNG // by node ordinal
+	jitterInter []*sim.RNG // by src*nClusters+dst
 
 	nClusters int
 	// deliverFn is the closure-free delivery handler, bound once so
@@ -124,6 +140,14 @@ type Network struct {
 	// here, which is what keeps encoder and decoder in perfect sync
 	// across node failures.
 	PipeExit func(src, dst topology.NodeID, payload any)
+
+	// CrossRoute, when non-nil, is consulted for every inter-cluster
+	// message after its arrival time and pipe dispatch key are fixed and
+	// its send is counted. Returning true claims the message: the shard
+	// harness carries it to the engine owning the destination cluster,
+	// which injects it through DeliverCrossAt at a window barrier.
+	// Returning false (same-shard destination) schedules it locally.
+	CrossRoute func(m Message, arrival sim.Time, key uint64) bool
 
 	// Perturb, when non-nil, lets an adversarial-schedule harness
 	// (internal/chaos) adjust every message's delivery: extra delay
@@ -180,6 +204,7 @@ func New(e *sim.Engine, fed *topology.Federation, stats *sim.Stats, tracer *sim.
 		down:      make([]bool, ix.Len()),
 		busyInter: make([]sim.Time, nc*nc),
 		lastInter: make([]sim.Time, nc*nc),
+		pipeSeq:   make([]uint64, nc*nc),
 		nClusters: nc,
 	}
 	n.deliverFn = n.deliverPooled
@@ -191,6 +216,47 @@ func New(e *sim.Engine, fed *topology.Federation, stats *sim.Stats, tracer *sim.
 // links, the paper's configuration) no draws happen, so existing runs
 // are bit-for-bit unchanged.
 func (n *Network) SetRNG(rng *sim.RNG) { n.rng = rng }
+
+// SetSlotJitter switches jitter draws to slot-keyed streams derived
+// purely from base: each serialization slot (sender NIC or directed
+// cluster-pair pipe) gets its own stream on first use, so the draw a
+// message sees depends only on its slot and that slot's traffic order,
+// never on the global interleaving. Sharded runs need this — a shared
+// stream would hand out draws in engine order, which differs per shard
+// layout — and a sequential run with the same base reproduces a sharded
+// run's jitter exactly.
+func (n *Network) SetSlotJitter(base uint64) {
+	n.slotJitter = true
+	n.jitterBase = base
+}
+
+// jitterSlotRNG returns (creating on first use) the slot's jitter
+// stream. Intra and inter slot spaces are disambiguated by the tag
+// mixed into the seed.
+func (n *Network) jitterSlotRNG(intra bool, slot int) *sim.RNG {
+	var pool *[]*sim.RNG
+	var tag uint64
+	if intra {
+		pool = &n.jitterIntra
+		tag = 1<<32 | uint64(slot)
+	} else {
+		pool = &n.jitterInter
+		tag = 2<<32 | uint64(slot)
+	}
+	if *pool == nil {
+		if intra {
+			*pool = make([]*sim.RNG, n.ix.Len())
+		} else {
+			*pool = make([]*sim.RNG, n.nClusters*n.nClusters)
+		}
+	}
+	if r := (*pool)[slot]; r != nil {
+		return r
+	}
+	r := sim.NewRNG(n.jitterBase + tag*0x9e3779b97f4a7c15)
+	(*pool)[slot] = r
+	return r
+}
 
 // Register installs the delivery handler for a node. Each node must
 // register exactly once before any traffic is sent to it.
@@ -299,12 +365,20 @@ func (n *Network) Send(src, dst topology.NodeID, kind Kind, size int, payload an
 		// the per-slot FIFO guarantee survives for later messages.
 		arrival = arrival.Add(pert.Extra)
 	}
-	if link.Jitter > 0 && n.rng != nil {
+	var jr *sim.RNG
+	if link.Jitter > 0 {
+		if n.slotJitter {
+			jr = n.jitterSlotRNG(src.Cluster == dst.Cluster, slot)
+		} else {
+			jr = n.rng
+		}
+	}
+	if jr != nil {
 		// Per-message propagation jitter; arrivals never overtake an
 		// earlier message on the same link (FIFO, like an in-order
 		// transport over a jittery path) — unless the perturber
 		// released this message from the clamp.
-		arrival = arrival.Add(n.rng.Uniform(0, link.Jitter))
+		arrival = arrival.Add(jr.Uniform(0, link.Jitter))
 		if perturbed && pert.Unclamped {
 			// Neither clamped nor advancing the slot's clamp state.
 		} else {
@@ -320,18 +394,74 @@ func (n *Network) Send(src, dst topology.NodeID, kind Kind, size int, payload an
 		n.tracer.Allf(src.String(), "send #%d %s %dB -> %v (arrives %v)", id, kind, size, dst, arrival)
 	}
 
+	msg := Message{ID: id, Src: src, Dst: dst, Kind: kind, Size: size, Payload: payload}
+	inter := src.Cluster != dst.Cluster
+	var key uint64
+	if inter {
+		key = n.nextPipeKey(slot)
+		if n.CrossRoute != nil && n.CrossRoute(msg, arrival, key) {
+			// Claimed by the shard owning the destination cluster. A chaos
+			// duplicate crosses too, under its own pipe key.
+			if perturbed && pert.Duplicate > 0 {
+				dm := msg
+				if pert.DupPayload != nil {
+					dm.Payload = pert.DupPayload
+				}
+				n.CrossRoute(dm, arrival.Add(pert.Duplicate), n.nextPipeKey(slot))
+			}
+			return id
+		}
+	}
 	m := n.allocMsg()
-	*m = Message{ID: id, Src: src, Dst: dst, Kind: kind, Size: size, Payload: payload}
-	n.engine.ScheduleCallAt(arrival, n.deliverFn, m)
+	*m = msg
+	if inter {
+		// Inter-cluster deliveries dispatch in the post-tick class keyed
+		// by (pair, pipeSeq): at one timestamp they fire after every
+		// ordinary event, in an order determined by the wire content
+		// alone — so a barrier-injected cross-shard delivery lands in
+		// exactly the slot the sequential run gave it.
+		n.engine.SchedulePostCallAt(arrival, key, n.deliverFn, m)
+	} else {
+		n.engine.ScheduleCallAt(arrival, n.deliverFn, m)
+	}
 	if perturbed && pert.Duplicate > 0 {
 		d := n.allocMsg()
-		*d = Message{ID: id, Src: src, Dst: dst, Kind: kind, Size: size, Payload: payload}
+		*d = msg
 		if pert.DupPayload != nil {
 			d.Payload = pert.DupPayload
 		}
-		n.engine.ScheduleCallAt(arrival.Add(pert.Duplicate), n.deliverFn, d)
+		at := arrival.Add(pert.Duplicate)
+		if inter {
+			n.engine.SchedulePostCallAt(at, n.nextPipeKey(slot), n.deliverFn, d)
+		} else {
+			n.engine.ScheduleCallAt(at, n.deliverFn, d)
+		}
 	}
 	return id
+}
+
+// pipeSeqBits is the width of the per-pipe sequence field inside a
+// post-tick dispatch key; the pair index occupies the bits above it.
+// 2^40 deliveries per pipe and 2^23 cluster pairs are far beyond any
+// run this simulator performs.
+const pipeSeqBits = 40
+
+// nextPipeKey advances the directed pipe's delivery sequence and
+// returns the post-tick dispatch key for the next delivery.
+func (n *Network) nextPipeKey(slot int) uint64 {
+	n.pipeSeq[slot]++
+	return uint64(slot)<<pipeSeqBits | n.pipeSeq[slot]
+}
+
+// DeliverCrossAt injects a message handed over from another shard's
+// network: it schedules delivery on this network's engine at the
+// arrival time and post-tick key the sending shard computed. Called
+// only at window barriers, with arrival at or beyond the window limit,
+// so the destination engine has not yet passed the timestamp.
+func (n *Network) DeliverCrossAt(m Message, arrival sim.Time, key uint64) {
+	box := n.allocMsg()
+	*box = m
+	n.engine.SchedulePostCallAt(arrival, key, n.deliverFn, box)
 }
 
 // deliverPooled is the event-engine entry point: it copies the pooled

@@ -15,17 +15,22 @@ type Handler func(e *Engine)
 //   - The near tier is an array of ladBuckets buckets, each ladWidth of
 //     virtual time wide, covering the window [winStart, winEnd). An
 //     event due inside the window is appended to its bucket in O(1);
-//     the bucket is sorted by (at, seq) only when the drain cursor
-//     reaches it. Appends arrive in seq order, so sorting by the total
-//     (at, seq) key reproduces exactly the FIFO-within-a-tick order the
-//     seed's binary heap produced.
+//     the bucket is sorted by (at, ord) only when the drain cursor
+//     reaches it. Ordinary events take ord from the monotonically
+//     increasing schedule counter, so sorting by the total (at, ord)
+//     key reproduces exactly the FIFO-within-a-tick order the seed's
+//     binary heap produced. Post-class events (SchedulePostCallAt)
+//     carry an explicit caller-chosen key with the top bit set, so at
+//     equal timestamps they fire after every ordinary event, ordered
+//     among themselves by key — an order that is a pure function of
+//     the caller's keys, independent of scheduling order.
 //   - The far tier is the classic slab-indexed binary heap. Events due
 //     at or beyond winEnd spill there; when the near tier drains, the
 //     window jumps to the earliest far event and every far event inside
 //     the new window migrates into the buckets in one pass.
 //
 // Correctness never depends on an event landing in the "right" tier:
-// the pop path compares the heads of both tiers by (at, seq) and takes
+// the pop path compares the heads of both tiers by (at, ord) and takes
 // the smaller, so any event routed conservatively to the far heap (for
 // example one scheduled before the window start after a window jump)
 // still fires in exact timestamp order.
@@ -43,14 +48,20 @@ const (
 	posNear = -2 // queued in a near-tier bucket
 )
 
+// postClass is the ord-space bit that places an event in the post-tick
+// class: at equal timestamps every post-class event fires after every
+// ordinary one, because ordinary ords are schedule-counter values that
+// never reach 1<<63.
+const postClass = uint64(1) << 63
+
 // ladEntry is one near-tier bucket entry. It is self-contained — at and
-// seq are copied in — so sorting a bucket never touches the slab and a
+// ord are copied in — so sorting a bucket never touches the slab and a
 // stale entry (its slot cancelled and possibly recycled) still has a
 // deterministic sort position; staleness is detected at drain time by
 // comparing the generation stamp.
 type ladEntry struct {
 	at   Time
-	seq  uint64
+	ord  uint64
 	slot int32
 	gen  uint32
 }
@@ -65,7 +76,7 @@ type ladEntry struct {
 // call+arg the closure-free path (ScheduleCall).
 type event struct {
 	at       Time
-	seq      uint64 // FIFO tie-break for events scheduled at the same instant
+	ord      uint64 // tie-break at equal timestamps: schedule counter, or post-class key
 	gen      uint32
 	heapPos  int32 // far-heap position, or posNear / posFree
 	nextFree int32 // free-list link, meaningful only for free slots
@@ -220,7 +231,8 @@ func (e *Engine) ScheduleAt(t Time, fn Handler) EventRef {
 	if fn == nil {
 		panic("sim: nil handler")
 	}
-	return e.push(t, fn, nil, nil)
+	e.seq++
+	return e.push(t, e.seq, fn, nil, nil)
 }
 
 // ScheduleCall queues fn(arg) to run after delay d of virtual time.
@@ -240,15 +252,37 @@ func (e *Engine) ScheduleCallAt(t Time, fn func(arg any), arg any) EventRef {
 	if fn == nil {
 		panic("sim: nil handler")
 	}
-	return e.push(t, nil, fn, arg)
+	e.seq++
+	return e.push(t, e.seq, nil, fn, arg)
+}
+
+// SchedulePostCallAt queues fn(arg) at absolute virtual time t in the
+// post-tick class: at equal timestamps post-class events fire after
+// every ordinary event, ordered among themselves by the caller-supplied
+// key (which must be unique per (t, key) pair and below 1<<63).
+//
+// Unlike the schedule-counter tie-break of the ordinary paths, the
+// resulting same-tick order is a pure function of (t, key) — it does
+// not depend on the order in which the events were pushed. That is the
+// property the conservative parallel coordinator needs: cross-shard
+// deliveries injected at a window barrier interleave exactly as they
+// would have in a sequential run, provided sequential runs schedule the
+// same deliveries through this same post-tick class.
+func (e *Engine) SchedulePostCallAt(t Time, key uint64, fn func(arg any), arg any) EventRef {
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	if key >= postClass {
+		panic(fmt.Sprintf("sim: post-class key %#x overflows", key))
+	}
+	return e.push(t, postClass|key, nil, fn, arg)
 }
 
 // push allocates a slab slot and routes the event to its tier.
-func (e *Engine) push(t Time, fn Handler, call func(any), arg any) EventRef {
+func (e *Engine) push(t Time, ord uint64, fn Handler, call func(any), arg any) EventRef {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
-	e.seq++
 	var slot int32
 	if e.freeHead >= 0 {
 		slot = e.freeHead
@@ -259,7 +293,7 @@ func (e *Engine) push(t Time, fn Handler, call func(any), arg any) EventRef {
 	}
 	ev := &e.slab[slot]
 	ev.at = t
-	ev.seq = e.seq
+	ev.ord = ord
 	ev.fn = fn
 	ev.call = call
 	ev.arg = arg
@@ -268,7 +302,7 @@ func (e *Engine) push(t Time, fn Handler, call func(any), arg any) EventRef {
 	if t >= e.winStart && t < e.winEnd {
 		if idx := int((t - e.winStart) >> ladShift); idx >= e.cur {
 			ev.heapPos = posNear
-			ent := ladEntry{at: t, seq: ev.seq, slot: slot, gen: ev.gen}
+			ent := ladEntry{at: t, ord: ev.ord, slot: slot, gen: ev.gen}
 			if idx == e.cur && e.curSorted {
 				e.insertSorted(ent)
 			} else {
@@ -288,16 +322,22 @@ func (e *Engine) push(t Time, fn Handler, call func(any), arg any) EventRef {
 }
 
 // insertSorted places ent into the bucket currently being drained,
-// keeping [curPos:] sorted by (at, seq). ent carries the largest seq
-// handed out so far, so its position is after every entry with the same
-// timestamp — preserving FIFO within the tick — and never before the
-// drain position (its time is >= now).
+// keeping [curPos:] sorted by the full (at, ord) key. An ordinary entry
+// carries the largest schedule-counter ord handed out so far, so it
+// lands after every ordinary entry with the same timestamp (FIFO within
+// the tick) yet before any post-class entry at that timestamp; a
+// post-class entry lands at its key's position among the other
+// post-class entries of the tick. Either way the position is never
+// before the drain cursor: ent.at >= now, every drained entry has
+// at <= now, and at == now drained entries are ordinary ones whose ord
+// is below ent's (new ordinary ords are maximal; post-class ords have
+// the top bit set).
 func (e *Engine) insertSorted(ent ladEntry) {
 	b := e.buckets[e.cur]
 	lo, hi := e.curPos, len(b)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if b[mid].at <= ent.at {
+		if b[mid].at < ent.at || (b[mid].at == ent.at && b[mid].ord < ent.ord) {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -395,13 +435,13 @@ func (e *Engine) refill() {
 		ev.heapPos = posNear
 		idx := int((ev.at - e.winStart) >> ladShift)
 		e.buckets[idx] = append(e.buckets[idx],
-			ladEntry{at: ev.at, seq: ev.seq, slot: slot, gen: ev.gen})
+			ladEntry{at: ev.at, ord: ev.ord, slot: slot, gen: ev.gen})
 		e.occupied[idx>>6] |= 1 << uint(idx&63)
 	}
 }
 
 // next returns the slot of the earliest pending event, comparing the
-// heads of both tiers by (at, seq), without consuming it. fromNear
+// heads of both tiers by (at, ord), without consuming it. fromNear
 // reports which tier holds it.
 func (e *Engine) next() (slot int32, fromNear, ok bool) {
 	ne, okN := e.nearPeek()
@@ -417,7 +457,7 @@ func (e *Engine) next() (slot int32, fromNear, ok bool) {
 	}
 	if len(e.heap) > 0 {
 		f := &e.slab[e.heap[0]]
-		if f.at < ne.at || (f.at == ne.at && f.seq < ne.seq) {
+		if f.at < ne.at || (f.at == ne.at && f.ord < ne.ord) {
 			return e.heap[0], false, true
 		}
 	}
@@ -462,14 +502,14 @@ func (e *Engine) fire(slot int32) {
 	}
 }
 
-// ---- far tier: typed binary heap over slab slots, ordered by (at, seq) ----
+// ---- far tier: typed binary heap over slab slots, ordered by (at, ord) ----
 
 func (e *Engine) less(a, b int32) bool {
 	ea, eb := &e.slab[a], &e.slab[b]
 	if ea.at != eb.at {
 		return ea.at < eb.at
 	}
-	return ea.seq < eb.seq
+	return ea.ord < eb.ord
 }
 
 func (e *Engine) swap(i, j int) {
@@ -523,9 +563,11 @@ func (e *Engine) heapRemove(i int) {
 	}
 }
 
-// sortEntries orders a bucket by (at, seq). The keys are unique, so
-// the unstable stdlib pdqsort is deterministic and stability is
-// irrelevant; it allocates nothing.
+// sortEntries orders a bucket by (at, ord). The keys are unique —
+// ordinary ords come from the schedule counter, post-class ords are
+// unique by the SchedulePostCallAt contract, and the two classes are
+// separated by the top bit — so the unstable stdlib pdqsort is
+// deterministic and stability is irrelevant; it allocates nothing.
 func sortEntries(b []ladEntry) {
 	slices.SortFunc(b, func(x, y ladEntry) int {
 		if x.at != y.at {
@@ -534,7 +576,7 @@ func sortEntries(b []ladEntry) {
 			}
 			return 1
 		}
-		if x.seq < y.seq {
+		if x.ord < y.ord {
 			return -1
 		}
 		return 1
@@ -556,6 +598,74 @@ func (e *Engine) Step() bool {
 	return true
 }
 
+// HasPendingEvents reports whether any event is still scheduled. O(1).
+func (e *Engine) HasPendingEvents() bool { return e.count > 0 }
+
+// PeekNextEventTime returns the timestamp of the earliest pending event
+// without consuming it, and false if the queue is empty. The peek may
+// advance the internal drain cursor (sorting a bucket, refilling the
+// window from the far heap) but never fires or reorders anything — the
+// conservative parallel coordinator calls it between windows to decide
+// how far each shard may safely advance.
+func (e *Engine) PeekNextEventTime() (Time, bool) {
+	slot, _, ok := e.next()
+	if !ok {
+		return 0, false
+	}
+	return e.slab[slot].at, true
+}
+
+// ProcessNextEvent fires the earliest pending event and reports whether
+// one fired. It is Step under the name the coordinator composes with
+// HasPendingEvents and PeekNextEventTime.
+func (e *Engine) ProcessNextEvent() bool { return e.Step() }
+
+// RunUntil executes events with timestamps strictly below limit, in the
+// same batched timestamp order as Run. Unlike Run it treats the bound
+// as exclusive and never advances the clock to it: after RunUntil
+// returns, Now is the timestamp of the last fired event, and events at
+// or beyond limit remain queued untouched. This is the window-advance
+// primitive of the conservative parallel coordinator — a shard drains
+// [Now, limit) and anything a barrier later injects at t >= limit is
+// still in the future.
+func (e *Engine) RunUntil(limit Time) error {
+	e.stopped = false
+	for !e.stopped {
+		if e.MaxEvents > 0 && e.Executed >= e.MaxEvents {
+			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now)
+		}
+		slot, fromNear, ok := e.next()
+		if !ok || e.slab[slot].at >= limit {
+			break
+		}
+		e.popNext(slot, fromNear)
+		e.fire(slot)
+		if !fromNear {
+			continue
+		}
+		// Batched same-tick dispatch within the current bucket; the batch
+		// stays at the fired timestamp, which is strictly below limit.
+		for !e.stopped && (e.MaxEvents == 0 || e.Executed < e.MaxEvents) {
+			b := e.buckets[e.cur]
+			if e.curPos >= len(b) {
+				break
+			}
+			ent := &b[e.curPos]
+			if ent.at != e.now {
+				break
+			}
+			s := ent.slot
+			if e.slab[s].gen != ent.gen {
+				e.curPos++
+				continue
+			}
+			e.curPos++
+			e.fire(s)
+		}
+	}
+	return nil
+}
+
 // Run executes events in timestamp order until the queue is empty, Stop
 // is called, or the horizon (if > 0) is passed. Events scheduled beyond
 // the horizon remain queued. It returns the virtual time at which the
@@ -563,8 +673,8 @@ func (e *Engine) Step() bool {
 //
 // Same-timestamp events are drained in one batched dispatch loop: after
 // an event from the near tier fires, every following live entry of its
-// bucket with the same timestamp fires back-to-back — in seq (FIFO)
-// order, as the sorted bucket and the seq-ordered insertions guarantee
+// bucket with the same timestamp fires back-to-back — in (at, ord)
+// order, as the sorted bucket and the ord-ordered insertions guarantee
 // — without re-running the two-tier head comparison. No far event can
 // share that timestamp: far events are either beyond the window or
 // strictly earlier than every bucketed one, so the batch never

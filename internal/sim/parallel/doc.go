@@ -1,0 +1,86 @@
+// Package parallel synchronizes several discrete event engines with
+// conservative time windows, the classic null-message-free variant of
+// conservative parallel simulation: shards may only process events
+// whose timestamps are provably unaffected by any other shard.
+//
+// # Lookahead
+//
+// The federation harness partitions clusters across shards, each with
+// its own sim.Engine. Inter-shard influence flows exclusively through
+// inter-cluster messages, and every such message takes at least the
+// minimum latency of any link joining clusters on different shards —
+// the lookahead L. Chaos perturbations respect the bound by
+// construction: extra adversarial delay is only ever added (never
+// subtracted), and releasing a message from the per-pipe FIFO clamp
+// still leaves the link latency in its arrival time.
+//
+// If the earliest pending event anywhere sits at time T, no
+// cross-shard message can arrive before T+L, so every shard may
+// freely fire its events in [T, T+L) in parallel. At the window
+// barrier the harness exchanges the messages generated during the
+// window — all of which arrive at or after the barrier — and the next
+// window starts from the new global minimum. A topology whose
+// cross-shard lookahead is zero cannot form windows at all; Run
+// returns ErrNoLookahead and the caller falls back to one engine.
+//
+// # The tick-FIFO merge rule
+//
+// The coordinator never inspects event payloads and never migrates
+// events itself: it only sequences RunUntil calls and barrier
+// callbacks. Byte-identical results relative to a sequential run are
+// the harness's contract, built on the engine's post-tick dispatch
+// class (see sim.SchedulePostCallAt). Every inter-cluster delivery —
+// local or injected at a barrier — dispatches in that class under an
+// explicit (pipe, sequence) key: at one timestamp, post-class events
+// fire after every ordinary event, ordered by key alone. The key is a
+// pure function of wire content (the directed cluster pair and that
+// pipe's running sequence number), not of which engine scheduled the
+// delivery or when the barrier handed it over, so a cross-shard
+// delivery lands in exactly the same-tick slot the sequential engine
+// would have given it. Order-sensitive side channels that cannot ride
+// the event queue — the oracle's observation stream, Welford summary
+// updates — are journaled per shard and replayed at barriers in
+// global (time, shard) order instead.
+//
+// # Why results stay byte-identical
+//
+// Determinism needs every ordering and every random draw to be
+// partition-independent:
+//
+//   - event order within a tick: the post-tick class above;
+//   - random streams: each shard derives the full stream family in
+//     the sequential assembly order, discarding streams for nodes it
+//     does not own, and per-message link jitter moves from one shared
+//     draw-order-dependent stream to slot-keyed streams;
+//   - statistics: counters merge by sum, series merge k-way by
+//     (time, shard), summaries replay their journaled observations —
+//     floating-point accumulation order is reproduced, not
+//     approximated.
+//
+// The one deliberate exception is the chaos tier: each shard perturbs
+// the traffic it routes from its own scheduler stream, so a sharded
+// adversarial schedule is deterministic for a given (seed, shard
+// count) but differs from the sequential schedule. Crash fuses from
+// all shards funnel through the barrier, where a global cooldown gate
+// preserves the one-fault-at-a-time failure model across shards.
+//
+// # Shards vs speedup
+//
+// Windows number O(span/L): the barrier rate is set by the network's
+// latency floor, not by the event rate, so wide topologies with
+// millisecond lookaheads amortize each hand-off over thousands of
+// events while LAN-class lookaheads (150µs) barrier far more often.
+// Wall-clock gains therefore need one core per shard and a wide run;
+// on a single CPU the barriers are pure overhead. Measured on the
+// recording container (1 CPU, quick 64-cluster wide matrix slice,
+// BENCH_pr6.json):
+//
+//	shards  benchmark                   ns/op      vs sequential
+//	1       BenchmarkWideSlice          214ms      1.0x
+//	4       BenchmarkWideSliceParallel  509ms      0.42x (slower)
+//
+// The identical split on a multi-core machine divides the per-window
+// simulation work across engines; the coordinator's persistent
+// workers and the pooled exchange buffers keep the per-barrier cost
+// flat as shard count grows.
+package parallel

@@ -1,0 +1,150 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Shard is one partition of the simulation: the composable run
+// primitives of a sim.Engine. All three are called only between
+// windows (from the coordinator goroutine) or during a window (from
+// the shard's own worker); never concurrently for one shard.
+type Shard interface {
+	HasPendingEvents() bool
+	PeekNextEventTime() (sim.Time, bool)
+	RunUntil(limit sim.Time) error
+}
+
+// ErrNoLookahead is returned by Run when the topology offers no
+// positive lookahead (a zero-latency inter-cluster link): conservative
+// windows would degenerate to zero width, so the caller must fall back
+// to the sequential engine instead.
+var ErrNoLookahead = errors.New("parallel: zero lookahead, run sequentially")
+
+// Coordinator advances a fixed set of shards through conservative time
+// windows. It is not safe for concurrent use; one Run call at a time.
+type Coordinator struct {
+	shards    []Shard
+	lookahead sim.Duration
+
+	// exchange, when non-nil, runs at every barrier — before the first
+	// window and after each one — with all shard workers parked. It must
+	// drain every cross-shard queue into the destination engines.
+	// prevLimit is the limit of the window just finished (0 before the
+	// first): every injection must target a time at or beyond it, which
+	// cross-shard messages satisfy by the lookahead argument and
+	// anything else (e.g. chaos crash handoffs) must be clamped to.
+	exchange func(prevLimit sim.Time) error
+	// check, when non-nil, runs after every window; a non-nil error
+	// aborts Run. The federation harness polls its oracle here, the
+	// parallel replacement for the sequential oracle's engine.Stop.
+	check func() error
+
+	// Windows counts completed windows across all Run calls — exposed
+	// for tests and benchmarks to reason about barrier frequency.
+	Windows uint64
+
+	lastLimit sim.Time
+}
+
+// New returns a coordinator over the shards. lookahead must be the
+// minimum virtual-time delay of any cross-shard influence (for the
+// federation: the minimum inter-cluster link latency between clusters
+// living on different shards). exchange and check may be nil.
+func New(shards []Shard, lookahead sim.Duration, exchange func(prevLimit sim.Time) error, check func() error) *Coordinator {
+	return &Coordinator{
+		shards:    shards,
+		lookahead: lookahead,
+		exchange:  exchange,
+		check:     check,
+	}
+}
+
+// Run advances every shard until no shard holds an event at or before
+// horizon, exchanging cross-shard messages at window barriers. It may
+// be called repeatedly with growing horizons, mirroring the sequential
+// harness's horizon slices. With zero or negative lookahead it returns
+// ErrNoLookahead without touching any shard — degenerate topologies
+// must not deadlock, they must fall back to sequential execution.
+func (c *Coordinator) Run(horizon sim.Time) error {
+	if c.lookahead <= 0 {
+		return ErrNoLookahead
+	}
+	if len(c.shards) == 0 {
+		return nil
+	}
+
+	// One persistent worker per shard, parked between windows: windows
+	// are numerous (horizon / lookahead in the dense case), so per-window
+	// goroutine spawning would dominate the barrier cost.
+	n := len(c.shards)
+	cmds := make([]chan sim.Time, n)
+	errs := make([]error, n)
+	done := make(chan struct{}, n)
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		cmds[i] = make(chan sim.Time)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for limit := range cmds[i] {
+				errs[i] = c.shards[i].RunUntil(limit)
+				done <- struct{}{}
+			}
+		}(i)
+	}
+	defer func() {
+		for _, ch := range cmds {
+			close(ch)
+		}
+		wg.Wait()
+	}()
+
+	for {
+		// Barrier: workers are parked, the coordinator owns every shard.
+		if c.exchange != nil {
+			if err := c.exchange(c.lastLimit); err != nil {
+				return err
+			}
+		}
+		minNext, any := sim.Time(0), false
+		for _, s := range c.shards {
+			if t, ok := s.PeekNextEventTime(); ok && (!any || t < minNext) {
+				minNext, any = t, true
+			}
+		}
+		if !any || minNext > horizon {
+			// Done: outboxes are empty (the exchange above drained the
+			// previous window's traffic, and no window ran since).
+			return nil
+		}
+		// Every event in [minNext, minNext+lookahead) is safe: a cross-
+		// shard message sent at t >= minNext arrives at t+latency >=
+		// minNext+lookahead. The horizon bound is inclusive like
+		// Engine.Run's, hence the +1ns on the exclusive RunUntil limit.
+		limit := minNext.Add(c.lookahead)
+		if h := horizon.Add(sim.Nanosecond); limit > h {
+			limit = h
+		}
+		for i := range cmds {
+			cmds[i] <- limit
+		}
+		for range cmds {
+			<-done
+		}
+		c.Windows++
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		if c.check != nil {
+			if err := c.check(); err != nil {
+				return err
+			}
+		}
+		c.lastLimit = limit
+	}
+}

@@ -1,0 +1,323 @@
+package parallel_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/sim/parallel"
+)
+
+// The tests drive a toy multi-actor model through the coordinator and
+// through a single sequential engine, then require that the sequential
+// run restricted to one shard's actors equals the parallel shard's own
+// event log exactly — the same invariance the federation harness builds
+// its byte-identity contract on. Cross-shard traffic uses the engine's
+// post-tick dispatch class with explicit (pair, seq) keys, mirroring
+// netsim's inter-cluster pipes.
+
+type logEntry struct {
+	at    sim.Time
+	actor int
+	tag   uint64
+}
+
+type delivery struct {
+	arrival sim.Time
+	key     uint64
+	dst     int
+	hops    int
+	tag     uint64
+}
+
+// toyModel hosts nShards*perShard actors. In parallel mode each shard
+// has its own engine and cross-shard sends queue in per-pair outboxes
+// drained at barriers; in sequential mode one engine hosts everyone and
+// cross-shard sends schedule directly — under the same post-tick keys,
+// which is what makes the two runs comparable.
+type toyModel struct {
+	nShards   int
+	perShard  int
+	lookahead sim.Duration
+	seqMode   bool
+
+	engines []*sim.Engine
+	rngs    []*sim.RNG   // per actor
+	logs    [][]logEntry // per shard, appended only by its own worker
+	outbox  [][]delivery // per src shard: flattened [dstShard] rows
+	pipeSeq []uint64     // per src*nShards+dst, touched only by src's worker
+}
+
+func newToyModel(seed uint64, nShards, perShard int, lookahead sim.Duration, seqMode bool) *toyModel {
+	m := &toyModel{
+		nShards:   nShards,
+		perShard:  perShard,
+		lookahead: lookahead,
+		seqMode:   seqMode,
+		logs:      make([][]logEntry, nShards),
+		pipeSeq:   make([]uint64, nShards*nShards),
+	}
+	if seqMode {
+		m.engines = []*sim.Engine{sim.NewEngine()}
+	} else {
+		m.engines = make([]*sim.Engine, nShards)
+		for i := range m.engines {
+			m.engines[i] = sim.NewEngine()
+		}
+		m.outbox = make([][]delivery, nShards)
+		for i := range m.outbox {
+			m.outbox[i] = make([]delivery, 0, 16)
+		}
+	}
+	for _, e := range m.engines {
+		e.MaxEvents = 2_000_000
+	}
+	m.rngs = make([]*sim.RNG, nShards*perShard)
+	for a := range m.rngs {
+		m.rngs[a] = sim.NewRNG(seed + uint64(a)*0x9e3779b97f4a7c15)
+	}
+	return m
+}
+
+func (m *toyModel) shardOf(actor int) int { return actor / m.perShard }
+
+func (m *toyModel) engineFor(actor int) *sim.Engine {
+	if m.seqMode {
+		return m.engines[0]
+	}
+	return m.engines[m.shardOf(actor)]
+}
+
+type toyEvent struct {
+	m     *toyModel
+	actor int
+	hops  int
+	tag   uint64
+}
+
+func runToyEvent(arg any) { ev := arg.(*toyEvent); ev.m.fire(ev.actor, ev.hops, ev.tag) }
+
+// fire logs the event and chains bounded follow-up work: nothing, a
+// same-shard event, or a cross-shard message whose arrival respects the
+// lookahead — sometimes landing exactly on a window boundary.
+func (m *toyModel) fire(actor, hops int, tag uint64) {
+	shard := m.shardOf(actor)
+	e := m.engineFor(actor)
+	now := e.Now()
+	m.logs[shard] = append(m.logs[shard], logEntry{at: now, actor: actor, tag: tag})
+	if hops <= 0 {
+		return
+	}
+	rng := m.rngs[actor]
+	for c := rng.Intn(3); c > 0; c-- {
+		switch rng.Intn(3) {
+		case 0: // nothing
+		case 1: // same-shard ordinary event, quantized to provoke ties
+			dst := shard*m.perShard + rng.Intn(m.perShard)
+			d := sim.Duration(rng.Intn(4)) * (m.lookahead / 2)
+			if m.lookahead == 0 {
+				d = sim.Duration(rng.Intn(4)) * sim.Millisecond
+			}
+			e.ScheduleCallAt(now.Add(d), runToyEvent,
+				&toyEvent{m: m, actor: dst, hops: hops - 1, tag: tag*31 + 1})
+		default: // cross-shard message
+			if m.nShards == 1 {
+				continue
+			}
+			dstShard := rng.Intn(m.nShards - 1)
+			if dstShard >= shard {
+				dstShard++
+			}
+			dst := dstShard*m.perShard + rng.Intn(m.perShard)
+			extra := sim.Duration(0) // exactly on the window boundary
+			if rng.Intn(2) == 0 {
+				extra = sim.Duration(rng.Intn(3)) * (m.lookahead / 2)
+			}
+			arrival := now.Add(m.lookahead).Add(extra)
+			pair := shard*m.nShards + dstShard
+			m.pipeSeq[pair]++
+			key := uint64(pair)<<40 | m.pipeSeq[pair]
+			if m.seqMode {
+				m.engines[0].SchedulePostCallAt(arrival, key, runToyEvent,
+					&toyEvent{m: m, actor: dst, hops: hops - 1, tag: tag*31 + 2})
+			} else {
+				m.outbox[shard] = append(m.outbox[shard],
+					delivery{arrival: arrival, key: key, dst: dst, hops: hops - 1, tag: tag*31 + 2})
+			}
+		}
+	}
+}
+
+// seedWork schedules the initial events, identically in both modes.
+func (m *toyModel) seedWork(rng *sim.RNG, n int) {
+	for i := 0; i < n; i++ {
+		actor := rng.Intn(len(m.rngs))
+		at := sim.Time(rng.Intn(20)) * sim.Time(sim.Millisecond)
+		m.engineFor(actor).ScheduleCallAt(at, runToyEvent,
+			&toyEvent{m: m, actor: actor, hops: 2 + rng.Intn(3), tag: uint64(i)})
+	}
+}
+
+// exchange drains every outbox row in deterministic order, checking the
+// coordinator's injection invariant along the way.
+func (m *toyModel) exchange(t *testing.T) func(sim.Time) error {
+	return func(prevLimit sim.Time) error {
+		for src := range m.outbox {
+			for _, d := range m.outbox[src] {
+				if d.arrival < prevLimit {
+					return fmt.Errorf("injection at %v before window limit %v", d.arrival, prevLimit)
+				}
+				m.engines[m.shardOf(d.dst)].SchedulePostCallAt(d.arrival, d.key, runToyEvent,
+					&toyEvent{m: m, actor: d.dst, hops: d.hops, tag: d.tag})
+			}
+			m.outbox[src] = m.outbox[src][:0]
+		}
+		return nil
+	}
+}
+
+func shardsOf(engines []*sim.Engine) []parallel.Shard {
+	shards := make([]parallel.Shard, len(engines))
+	for i, e := range engines {
+		shards[i] = e
+	}
+	return shards
+}
+
+// runDifferential runs one scenario in both modes across two horizon
+// slices and compares the per-shard logs.
+func runDifferential(t *testing.T, seed uint64, nShards, perShard int, lookahead sim.Duration, seeds int) {
+	t.Helper()
+	horizons := []sim.Time{sim.Time(50 * sim.Millisecond), sim.Time(sim.Hour)}
+
+	seq := newToyModel(seed, nShards, perShard, lookahead, true)
+	seq.seedWork(sim.NewRNG(seed^0xdead), seeds)
+	for _, h := range horizons {
+		if _, err := seq.engines[0].Run(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	par := newToyModel(seed, nShards, perShard, lookahead, false)
+	par.seedWork(sim.NewRNG(seed^0xdead), seeds)
+	coord := parallel.New(shardsOf(par.engines), lookahead, par.exchange(t), nil)
+	for _, h := range horizons {
+		if err := coord.Run(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for s := 0; s < nShards; s++ {
+		a, b := seq.logs[s], par.logs[s]
+		if len(a) != len(b) {
+			t.Fatalf("seed %#x shard %d: sequential fired %d events, parallel %d", seed, s, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %#x shard %d diverged at %d: seq %+v par %+v", seed, s, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestCoordinatorMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		nShards, perShard int
+		lookahead         sim.Duration
+		seeds             int
+	}{
+		{2, 2, 4 * sim.Millisecond, 12},
+		{3, 1, sim.Millisecond, 16},
+		{4, 3, 500 * sim.Microsecond, 24},
+		{1, 4, 2 * sim.Millisecond, 8}, // single shard: degenerate but legal
+	} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			runDifferential(t, seed*0x1234567, tc.nShards, tc.perShard, tc.lookahead, tc.seeds)
+		}
+	}
+}
+
+// TestCoordinatorZeroLookaheadFallsBack pins the degenerate-topology
+// contract: zero lookahead returns ErrNoLookahead immediately — no
+// deadlock, no shard touched — and the caller's sequential fallback
+// completes the same workload.
+func TestCoordinatorZeroLookaheadFallsBack(t *testing.T) {
+	par := newToyModel(7, 2, 2, 0, false)
+	par.seedWork(sim.NewRNG(7^0xdead), 8)
+	pending := par.engines[0].Len() + par.engines[1].Len()
+	coord := parallel.New(shardsOf(par.engines), 0, par.exchange(t), nil)
+	err := coord.Run(sim.Time(sim.Hour))
+	if !errors.Is(err, parallel.ErrNoLookahead) {
+		t.Fatalf("zero lookahead returned %v, want ErrNoLookahead", err)
+	}
+	if got := par.engines[0].Len() + par.engines[1].Len(); got != pending {
+		t.Fatalf("zero-lookahead Run touched shards: %d pending, was %d", got, pending)
+	}
+	if coord.Windows != 0 {
+		t.Fatalf("zero-lookahead Run completed %d windows", coord.Windows)
+	}
+	// The fallback: the same workload on one engine drains fine.
+	seq := newToyModel(7, 2, 2, 0, true)
+	seq.seedWork(sim.NewRNG(7^0xdead), 8)
+	if _, err := seq.engines[0].RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoordinatorEmptyAndCheck covers the empty-queue exit and the
+// barrier check hook aborting a run.
+func TestCoordinatorEmptyAndCheck(t *testing.T) {
+	e1, e2 := sim.NewEngine(), sim.NewEngine()
+	coord := parallel.New([]parallel.Shard{e1, e2}, sim.Millisecond, nil, nil)
+	if err := coord.Run(sim.Time(sim.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if coord.Windows != 0 {
+		t.Fatalf("empty run completed %d windows", coord.Windows)
+	}
+
+	boom := errors.New("violation")
+	e1.ScheduleCall(sim.Millisecond, func(any) {}, nil)
+	e1.ScheduleCall(sim.Hour, func(any) {}, nil)
+	calls := 0
+	coord = parallel.New([]parallel.Shard{e1, e2}, sim.Millisecond, nil, func() error {
+		calls++
+		return boom
+	})
+	if err := coord.Run(sim.Time(sim.Hour)); !errors.Is(err, boom) {
+		t.Fatalf("check error not propagated: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("check ran %d times, want 1 (abort after first window)", calls)
+	}
+}
+
+// FuzzShardBarrier fuzzes the coordinator against the sequential
+// reference across random lookahead values, cross-shard bursts landing
+// exactly on window boundaries (the toy model aims half its messages at
+// arrival == send + lookahead) and degenerate zero-lookahead
+// topologies, which must fall back with ErrNoLookahead rather than
+// deadlock — the shard-level mirror of PR 3's ladder-vs-heap fuzz.
+func FuzzShardBarrier(f *testing.F) {
+	f.Add(uint64(1), uint8(2), uint8(2), uint16(4000))
+	f.Add(uint64(2), uint8(4), uint8(1), uint16(500))
+	f.Add(uint64(3), uint8(3), uint8(3), uint16(1))
+	f.Add(uint64(4), uint8(8), uint8(2), uint16(0)) // zero lookahead
+	f.Add(uint64(5), uint8(1), uint8(3), uint16(250))
+	f.Fuzz(func(t *testing.T, seed uint64, nShards, perShard uint8, lookaheadUs uint16) {
+		ns := int(nShards)%8 + 1
+		ps := int(perShard)%4 + 1
+		lookahead := sim.Duration(lookaheadUs) * sim.Microsecond
+		if lookahead == 0 {
+			par := newToyModel(seed, ns, ps, 0, false)
+			par.seedWork(sim.NewRNG(seed^0xdead), 8)
+			coord := parallel.New(shardsOf(par.engines), 0, par.exchange(t), nil)
+			if err := coord.Run(sim.Time(sim.Hour)); !errors.Is(err, parallel.ErrNoLookahead) {
+				t.Fatalf("zero lookahead returned %v, want ErrNoLookahead", err)
+			}
+			return
+		}
+		runDifferential(t, seed, ns, ps, lookahead, 10)
+	})
+}

@@ -1,0 +1,224 @@
+package sim
+
+import "testing"
+
+// Tests for the composable run primitives behind the conservative
+// parallel coordinator (HasPendingEvents / PeekNextEventTime /
+// ProcessNextEvent / RunUntil), the post-tick scheduling class, and the
+// Reset-after-partial-drain contract the coordinator's window loop
+// relies on.
+
+// TestRunPrimitivesCompose drives a schedule with the three primitives
+// the coordinator uses instead of Run and checks they agree with the
+// queue state at every step.
+func TestRunPrimitivesCompose(t *testing.T) {
+	e := NewEngine()
+	if e.HasPendingEvents() {
+		t.Fatal("empty engine reports pending events")
+	}
+	if _, ok := e.PeekNextEventTime(); ok {
+		t.Fatal("empty engine peeked an event")
+	}
+	var fired []int
+	for i := 1; i <= 4; i++ {
+		i := i
+		e.Schedule(Duration(i)*Second, func(*Engine) { fired = append(fired, i) })
+	}
+	want := 1
+	for e.HasPendingEvents() {
+		at, ok := e.PeekNextEventTime()
+		if !ok {
+			t.Fatal("HasPendingEvents true but peek failed")
+		}
+		if at != Time(Duration(want)*Second) {
+			t.Fatalf("peek %v, want %v", at, Duration(want)*Second)
+		}
+		if !e.ProcessNextEvent() {
+			t.Fatal("ProcessNextEvent fired nothing with a pending event")
+		}
+		if e.Now() != at {
+			t.Fatalf("clock %v after firing event peeked at %v", e.Now(), at)
+		}
+		want++
+	}
+	if len(fired) != 4 {
+		t.Fatalf("fired %v", fired)
+	}
+	if e.ProcessNextEvent() {
+		t.Fatal("ProcessNextEvent fired on a drained engine")
+	}
+}
+
+// TestRunUntilExclusiveBound pins RunUntil's window semantics: events
+// strictly below the limit fire, events at the limit stay queued, and
+// the clock is left at the last fired event — never advanced to the
+// bound the way Run advances to its horizon.
+func TestRunUntilExclusiveBound(t *testing.T) {
+	e := NewEngine()
+	var fired []Duration
+	for _, d := range []Duration{Second, 2 * Second, 3 * Second} {
+		d := d
+		e.Schedule(d, func(*Engine) { fired = append(fired, d) })
+	}
+	if err := e.RunUntil(Time(2 * Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != Second {
+		t.Fatalf("RunUntil(2s) fired %v", fired)
+	}
+	if e.Now() != Time(Second) {
+		t.Fatalf("clock advanced to %v, want the last fired event at 1s", e.Now())
+	}
+	if e.Len() != 2 {
+		t.Fatalf("%d events left, want 2", e.Len())
+	}
+	// Injecting at exactly the old limit and re-running the next window
+	// must fire the injected event in timestamp order with the rest.
+	e.Schedule(Second, func(*Engine) { fired = append(fired, 2*Second) }) // at t=2s
+	if err := e.RunUntil(Time(4 * Second)); err != nil {
+		t.Fatal(err)
+	}
+	wantN := 4
+	if len(fired) != wantN {
+		t.Fatalf("after second window fired %v", fired)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("out of order: %v", fired)
+		}
+	}
+}
+
+// TestPostClassFiresAfterOrdinaryByKey pins the post-tick class
+// contract: at one timestamp, post-class events fire after every
+// ordinary event — even ordinary events scheduled later, including from
+// inside a post-class handler — and among themselves in key order
+// regardless of scheduling order.
+func TestPostClassFiresAfterOrdinaryByKey(t *testing.T) {
+	e := NewEngine()
+	tick := Time(Second)
+	var got []string
+	rec := func(arg any) { got = append(got, arg.(string)) }
+	// Post-class scheduled first, with keys out of push order.
+	e.SchedulePostCallAt(tick, 30, rec, "post30")
+	e.SchedulePostCallAt(tick, 10, func(arg any) {
+		got = append(got, arg.(string))
+		// An ordinary zero-delay follow-up scheduled from a post handler
+		// fires before the remaining post-class events of the tick.
+		e.ScheduleCallAt(tick, rec, "nested-ordinary")
+	}, "post10")
+	e.SchedulePostCallAt(tick, 20, rec, "post20")
+	e.ScheduleCallAt(tick, rec, "ordinary1")
+	e.ScheduleCallAt(tick, rec, "ordinary2")
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ordinary1", "ordinary2", "post10", "nested-ordinary", "post20", "post30"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestPostClassOrderIndependentOfTier schedules the same same-tick mix
+// twice — once so the tick lands in the near window, once so it spills
+// through the far heap via a window jump — and requires the identical
+// firing order. The parallel coordinator depends on this: a cross-shard
+// delivery injected at a barrier may take either route depending on how
+// far the destination shard's window has advanced.
+func TestPostClassOrderIndependentOfTier(t *testing.T) {
+	run := func(lead Duration) []string {
+		e := NewEngine()
+		tick := Time(lead)
+		var got []string
+		rec := func(arg any) { got = append(got, arg.(string)) }
+		e.SchedulePostCallAt(tick, 2, rec, "p2")
+		e.ScheduleCallAt(tick, rec, "o1")
+		e.SchedulePostCallAt(tick, 1, rec, "p1")
+		e.ScheduleCallAt(tick, rec, "o2")
+		if _, err := e.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	near := run(Millisecond)       // inside the initial near window
+	far := run(ladWindow + Second) // beyond it: far heap + refill path
+	want := []string{"o1", "o2", "p1", "p2"}
+	for _, got := range [][]string{near, far} {
+		if len(got) != len(want) {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("got %v, want %v", got, want)
+			}
+		}
+	}
+}
+
+// TestResetAfterPartialDrain is the regression test for the
+// coordinator's stop-mid-window pattern: RunUntil leaves the drain
+// cursor mid-bucket with sorted entries behind it and occupancy bits
+// set; Reset must clear every near bucket, the occupancy bitmap and the
+// far heap so a reused engine replays a fresh schedule exactly, with no
+// stale entry firing and no occupancy bit left for a drained bucket.
+func TestResetAfterPartialDrain(t *testing.T) {
+	e := NewEngine()
+	boom := func(any) { t.Fatal("stale pre-Reset event fired") }
+	// Populate several near buckets (same-tick collisions included), the
+	// bucket the cursor will stop inside, and the far heap.
+	e.ScheduleCall(100*Microsecond, func(any) {}, nil)
+	e.ScheduleCall(200*Microsecond, func(any) {}, nil)
+	e.ScheduleCall(200*Microsecond, func(any) {}, nil)
+	e.ScheduleCall(600*Microsecond, boom, nil) // same bucket as 200µs, beyond the stop
+	e.ScheduleCall(5*Millisecond, boom, nil)   // later bucket
+	e.ScheduleCall(2*ladWindow, boom, nil)     // far heap
+	if err := e.RunUntil(Time(300 * Microsecond)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Executed != 3 {
+		t.Fatalf("partial drain fired %d events, want 3", e.Executed)
+	}
+
+	e.Reset()
+	if e.Now() != 0 || e.Len() != 0 || e.Executed != 0 {
+		t.Fatalf("Reset left now=%v len=%d executed=%d", e.Now(), e.Len(), e.Executed)
+	}
+	for i, w := range e.occupied {
+		if w != 0 {
+			t.Fatalf("occupancy word %d = %#x after Reset", i, w)
+		}
+	}
+	for i := range e.buckets {
+		if len(e.buckets[i]) != 0 {
+			t.Fatalf("bucket %d holds %d entries after Reset", i, len(e.buckets[i]))
+		}
+	}
+	if len(e.heap) != 0 {
+		t.Fatalf("far heap holds %d entries after Reset", len(e.heap))
+	}
+
+	// Replay a fresh schedule over the same buckets the partial drain
+	// touched; order and count must match a fresh engine exactly.
+	var got []int
+	for i, d := range []Duration{600 * Microsecond, 200 * Microsecond, 2 * ladWindow, 100 * Microsecond} {
+		i := i
+		e.ScheduleCall(d, func(any) { got = append(got, i) }, nil)
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 1, 0, 2}
+	if len(got) != len(want) {
+		t.Fatalf("post-Reset replay fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-Reset replay fired %v, want %v", got, want)
+		}
+	}
+}

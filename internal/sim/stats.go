@@ -79,6 +79,32 @@ func (s *Summary) String() string {
 		s.n, s.mean, s.min, s.max, s.Stddev())
 }
 
+// Merge folds another summary into s (Chan et al.'s pairwise update).
+// The combined mean and variance are mathematically exact but not
+// bitwise identical to observing the samples in one sequence; harnesses
+// that need byte-identical output replay the observations in order
+// instead and use Merge only as the fallback for unjournaled summaries.
+func (s *Summary) Merge(o *Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	n := s.n + o.n
+	delta := o.mean - s.mean
+	s.m2 += o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += delta * float64(o.n) / float64(n)
+	s.n = n
+}
+
 // Histogram collects samples into exact values until a threshold, then
 // reports quantiles; adequate for the modest sample counts of the
 // paper's experiments.
@@ -212,6 +238,42 @@ func (s *Stats) CounterValue(name string) uint64 {
 		return c.Value()
 	}
 	return 0
+}
+
+// ForEachCounter visits every registered counter in name order.
+func (s *Stats) ForEachCounter(fn func(name string, value uint64)) {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fn(n, s.counters[n].Value())
+	}
+}
+
+// ForEachSummary visits every registered summary in name order.
+func (s *Stats) ForEachSummary(fn func(name string, sum *Summary)) {
+	names := make([]string, 0, len(s.summaries))
+	for n := range s.summaries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fn(n, s.summaries[n])
+	}
+}
+
+// ForEachSeries visits every registered series in name order.
+func (s *Stats) ForEachSeries(fn func(name string, ser *Series)) {
+	names := make([]string, 0, len(s.series))
+	for n := range s.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fn(n, s.series[n])
+	}
 }
 
 // Names returns the sorted names of all registered metrics.
