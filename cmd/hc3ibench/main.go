@@ -18,6 +18,12 @@
 //	hc3ibench -matrix -shards 4                    # conservative-window parallel engines
 //	hc3ibench -matrix -filter tier=chaos -chaos-seeds 50   # adversarial tier
 //	hc3ibench -matrix -filter tier=chaos -chaos-seed 1337  # replay one schedule
+//	hc3ibench -matrix -filter tier=chaos -chaos-seed 1337 -chaos-ops 12  # minimized prefix
+//	hc3ibench -matrix -run-timeout 2m                      # watchdog wedged runs
+//
+// A failing chaos sweep names the violated check and the failing seed,
+// and prints the exact replay command, so a red nightly run is one
+// paste away from a local repro.
 //	hc3ibench -list           # list the registry and the matrix axes
 //	hc3ibench -o results.txt  # also write the output to a file
 //	hc3ibench -csv out/       # one <ID>.csv per table for plotting
@@ -29,6 +35,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +47,7 @@ import (
 	"time"
 
 	"repro/hc3i"
+	"repro/internal/experiments"
 )
 
 func main() {
@@ -63,6 +71,10 @@ func main() {
 			"replay one adversarial schedule on the chaos tier (0 = derive from -seed)")
 		chaosSeeds = flag.Int("chaos-seeds", 1,
 			"how many consecutive adversarial schedules each chaos-tier scenario runs")
+		chaosOps = flag.Int("chaos-ops", 0,
+			"cap every chaos schedule at its first N perturbation actions (0 = unlimited; minimized repro commands set it)")
+		runTimeout = flag.Duration("run-timeout", 0,
+			"wall-clock watchdog per federation run: a wedged run is killed and reported instead of hanging (0 = none)")
 		shards = flag.Int("shards", 1,
 			"split every federation across this many conservative-window event engines (1 = single-engine reference; classic/wide results are byte-identical)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -90,6 +102,18 @@ func main() {
 	}
 	if *chaosSeeds < 1 {
 		fmt.Fprintln(os.Stderr, "hc3ibench: -chaos-seeds must be >= 1")
+		os.Exit(1)
+	}
+	if *chaosOps < 0 {
+		fmt.Fprintln(os.Stderr, "hc3ibench: -chaos-ops must be >= 0 (0 = unlimited)")
+		os.Exit(1)
+	}
+	if *chaosOps != 0 && !*matrix {
+		fmt.Fprintln(os.Stderr, "hc3ibench: -chaos-ops only applies with -matrix (it truncates chaos-tier schedules)")
+		os.Exit(1)
+	}
+	if *runTimeout < 0 {
+		fmt.Fprintln(os.Stderr, "hc3ibench: -run-timeout must be >= 0 (0 = no watchdog)")
 		os.Exit(1)
 	}
 	if *shards < 1 {
@@ -134,7 +158,8 @@ func main() {
 		mode = "quick scale"
 	}
 	opts := hc3i.RunnerOptions{Workers: *parallel, Seed: *seed, Quick: *quick, DenseDDVWire: *denseDDV,
-		Oracle: *oracleOn, ChaosSeed: *chaosSeed, ChaosSeeds: *chaosSeeds, Shards: *shards}
+		Oracle: *oracleOn, ChaosSeed: *chaosSeed, ChaosSeeds: *chaosSeeds,
+		ChaosOps: *chaosOps, RunTimeout: *runTimeout, Shards: *shards}
 	fmt.Fprintf(w, "HC3I evaluation harness — %s, seed %d, %d worker(s)\n\n", mode, *seed, *parallel)
 
 	emit := func(res *hc3i.ExperimentResult) {
@@ -161,6 +186,19 @@ func main() {
 	if *matrix {
 		res, err := hc3i.RunMatrix(opts, *filter)
 		if err != nil {
+			var cf *experiments.ChaosFailure
+			if errors.As(err, &cf) {
+				fmt.Fprintf(os.Stderr, "hc3ibench: chaos schedule violated the protocol:\n")
+				fmt.Fprintf(os.Stderr, "  scenario: %s (%s)\n", cf.Scenario.Name(), cf.Protocol)
+				fmt.Fprintf(os.Stderr, "  seed:     %d\n", cf.Seed)
+				if cf.Shards > 1 {
+					fmt.Fprintf(os.Stderr, "  shards:   %d\n", cf.Shards)
+				}
+				fmt.Fprintf(os.Stderr, "  check:    %s\n", cf.Check())
+				fmt.Fprintf(os.Stderr, "  error:    %v\n", cf.Err)
+				fmt.Fprintf(os.Stderr, "  replay:   %s\n", cf.ReplayCommand())
+				exit(1)
+			}
 			fmt.Fprintln(os.Stderr, "hc3ibench:", err)
 			exit(1)
 		}

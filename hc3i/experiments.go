@@ -2,6 +2,7 @@ package hc3i
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -99,6 +100,15 @@ type RunnerOptions struct {
 	// many consecutive schedules per chaos scenario.
 	ChaosSeed  uint64
 	ChaosSeeds int
+	// ChaosOps caps every chaos schedule at its first N perturbation
+	// actions — a budgeted replay applies exactly that prefix of the
+	// unlimited schedule. 0 = unlimited; minimized repro commands set
+	// it.
+	ChaosOps int
+	// RunTimeout, when > 0, arms a per-federation wall-clock watchdog:
+	// a wedged simulation is killed and reported as an error instead of
+	// stalling its worker forever.
+	RunTimeout time.Duration
 	// Shards runs every federation across this many conservative-window
 	// event engines (federation.RunSharded); classic and wide results
 	// are byte-identical to the single-engine reference. <= 1 keeps the
@@ -112,7 +122,8 @@ func DefaultWorkers() int { return experiments.DefaultWorkers() }
 func (o RunnerOptions) config() experiments.RunnerConfig {
 	return experiments.RunnerConfig{
 		Workers: o.Workers, Seed: o.Seed, Quick: o.Quick, DenseWire: o.DenseDDVWire,
-		Oracle: o.Oracle, ChaosSeed: o.ChaosSeed, ChaosSeeds: o.ChaosSeeds, Shards: o.Shards,
+		Oracle: o.Oracle, ChaosSeed: o.ChaosSeed, ChaosSeeds: o.ChaosSeeds,
+		ChaosOps: o.ChaosOps, RunTimeout: o.RunTimeout, Shards: o.Shards,
 	}
 }
 

@@ -70,6 +70,20 @@ type Config struct {
 	// fires (default 400ms, drawn uniformly), placing it mid-window:
 	// mid-2PC, mid-rollback-wave or mid-GC-round.
 	FuseMax sim.Duration
+
+	// OpBudget caps how many perturbation actions (reorder releases,
+	// duplicate deliveries, crash fuses) the schedule applies; 0 means
+	// unlimited. Every random draw still happens when the budget is
+	// exhausted — only the application is suppressed — so a run at
+	// budget B applies exactly the first B actions of the unlimited
+	// schedule and nothing after them. That prefix property is what the
+	// failure auto-minimizer (internal/soak) binary-searches: the
+	// smallest B that still reproduces a violation is the shortest
+	// reproducing schedule prefix. On sharded runs the budget applies
+	// per shard scheduler (each shard draws its own stream), which
+	// keeps budgeted sharded replays deterministic per (seed, shard
+	// count, budget).
+	OpBudget int
 }
 
 // Filled returns the configuration with every zero knob replaced by
@@ -118,6 +132,7 @@ type Scheduler struct {
 
 	crashes   int
 	nextCrash sim.Time // earliest time the next fuse may arm
+	ops       int      // perturbation actions applied so far
 }
 
 // New builds a scheduler drawing from rng (derive it from Config.Seed;
@@ -128,6 +143,24 @@ func New(cfg Config, rng *sim.RNG, hooks Hooks) *Scheduler {
 
 // Crashes reports how many crashes the schedule injected.
 func (s *Scheduler) Crashes() int { return s.crashes }
+
+// Ops reports how many perturbation actions the schedule applied so
+// far: the unlimited run's final count bounds the minimizer's prefix
+// search, a budgeted run's count is min(budget, natural schedule).
+func (s *Scheduler) Ops() int { return s.ops }
+
+// spend consumes one unit of the op budget, reporting whether the
+// action may be applied. Callers must make every random draw before
+// asking — the draw sequence has to match the unlimited schedule's
+// exactly up to the budget point, or the budgeted run would not be a
+// prefix of it.
+func (s *Scheduler) spend() bool {
+	if s.cfg.OpBudget > 0 && s.ops >= s.cfg.OpBudget {
+		return false
+	}
+	s.ops++
+	return true
+}
 
 // Perturb implements netsim.Perturber: one deterministic decision per
 // message, in simulation order.
@@ -142,18 +175,24 @@ func (s *Scheduler) Perturb(m netsim.Message, intra bool, envelope sim.Duration)
 	var p netsim.Perturbation
 	hit := false
 	if envelope > 0 && s.rng.Bool(s.cfg.ReorderProb) {
-		p.Extra = s.rng.Uniform(0, envelope)
-		p.Unclamped = true
-		hit = true
+		extra := s.rng.Uniform(0, envelope)
+		if s.spend() {
+			p.Extra = extra
+			p.Unclamped = true
+			hit = true
+		}
 	}
 	if dup, ok := s.dupPayload(m.Payload); ok && s.rng.Bool(s.cfg.DupProb) {
 		delay := envelope
 		if delay <= 0 {
 			delay = sim.Millisecond
 		}
-		p.Duplicate = s.rng.Uniform(sim.Microsecond, delay)
-		p.DupPayload = dup
-		hit = true
+		after := s.rng.Uniform(sim.Microsecond, delay)
+		if s.spend() {
+			p.Duplicate = after
+			p.DupPayload = dup
+			hit = true
+		}
 	}
 	return p, hit
 }
@@ -223,6 +262,13 @@ func (s *Scheduler) maybeArmCrash(m netsim.Message) {
 		return
 	}
 	at := now.Add(s.rng.Uniform(0, s.cfg.FuseMax))
+	if !s.spend() {
+		// Budget exhausted: the fuse is drawn but never armed, and the
+		// crash counter/cooldown stay untouched — by this point the
+		// budgeted run has already applied its whole prefix, so later
+		// decisions no longer need to track the unlimited schedule.
+		return
+	}
 	s.crashes++
 	s.nextCrash = at.Add(s.cfg.CrashCooldown)
 	s.hooks.CrashAt(at, victim)

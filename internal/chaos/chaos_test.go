@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -111,6 +112,75 @@ func TestCrashBudgetAndCooldown(t *testing.T) {
 }
 
 const time100ms = 100 * sim.Millisecond
+
+// actions replays the fixed message sequence under cfg and flattens
+// every applied perturbation action — crash fuses, reorder releases,
+// duplicate deliveries — into one ordered list, the op order spend()
+// charges (crash first: Perturb arms fuses before drawing the rest).
+func actions(cfg Config, rounds int) (out []string, ops int) {
+	var now sim.Time
+	var s *Scheduler
+	s = New(cfg, sim.NewRNG(cfg.Seed).Stream("chaos"), Hooks{
+		Now: func() sim.Time { return now },
+		CrashAt: func(at sim.Time, id topology.NodeID) {
+			out = append(out, fmt.Sprintf("crash %v %v", at, id))
+		},
+	})
+	msgs := []netsim.Message{
+		{Src: node(0, 1), Dst: node(1, 0), Kind: netsim.KindApp, Payload: core.AppMsg{MsgID: 1}},
+		{Src: node(0, 0), Dst: node(1, 1), Kind: netsim.KindProto, Payload: core.CLCRequest{Seq: 2}},
+		{Src: node(1, 0), Dst: node(0, 0), Kind: netsim.KindProto, Payload: core.RollbackAlert{Cluster: 1}},
+		{Src: node(1, 0), Dst: node(0, 1), Kind: netsim.KindProto, Payload: core.RollbackCmd{ToSN: 2}},
+		{Src: node(0, 0), Dst: node(1, 0), Kind: netsim.KindProto, Payload: core.GCRequest{Round: 1}},
+	}
+	for round := 0; round < rounds; round++ {
+		for _, m := range msgs {
+			p, ok := s.Perturb(m, false, 30*sim.Millisecond)
+			if ok && p.Unclamped {
+				out = append(out, fmt.Sprintf("reorder %v", p.Extra))
+			}
+			if ok && p.Duplicate > 0 {
+				out = append(out, fmt.Sprintf("dup %v", p.Duplicate))
+			}
+			now = now.Add(200 * sim.Millisecond)
+		}
+	}
+	return out, s.Ops()
+}
+
+// TestOpBudgetPrefix: a run at budget B applies exactly the first B
+// actions of the unlimited schedule and nothing after them — the
+// property the failure minimizer's binary search stands on. Every
+// random draw must survive budget exhaustion (only the application is
+// suppressed), or the budgeted stream would drift off the unlimited
+// one before the budget is even reached.
+func TestOpBudgetPrefix(t *testing.T) {
+	for _, seed := range []uint64{3, 17, 92} {
+		cfg := Config{Seed: seed, CrashProb: 0.2, CrashCooldown: sim.Second}
+		full, ops := actions(cfg, 200)
+		if ops != len(full) {
+			t.Fatalf("seed %d: Ops() = %d but %d actions recorded", seed, ops, len(full))
+		}
+		if len(full) < 10 {
+			t.Fatalf("seed %d: only %d actions; schedule not adversarial enough to test", seed, len(full))
+		}
+		for _, b := range []int{1, 2, 3, len(full) / 2, len(full) - 1, len(full), len(full) + 7} {
+			cfg.OpBudget = b
+			got, gotOps := actions(cfg, 200)
+			want := full
+			if b < len(full) {
+				want = full[:b]
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d budget %d: applied actions are not the unlimited schedule's prefix:\n got %v\nwant %v",
+					seed, b, got, want)
+			}
+			if gotOps != len(want) {
+				t.Fatalf("seed %d budget %d: Ops() = %d, want %d", seed, b, gotOps, len(want))
+			}
+		}
+	}
+}
 
 // TestDuplicatePayloadRules: pooled boxes are deep-copied, value
 // messages shared, and everything else is never duplicated.

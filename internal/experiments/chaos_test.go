@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"testing"
 
@@ -27,19 +26,19 @@ import (
 // chaosSeedBudget returns how many adversarial schedules the sweep
 // runs: 1000 by default (the tier's acceptance budget), a quick
 // fraction in -short mode, or whatever CHAOS_SEED_BUDGET asks for
-// (the nightly CI job raises it).
+// (the nightly CI job raises it). Parsing and the >= 1 validation live
+// in ChaosSeedBudget, so a malformed override fails here, up front,
+// with the accepted forms — not after the sweep already started.
 func chaosSeedBudget(t *testing.T) int {
-	if s := os.Getenv("CHAOS_SEED_BUDGET"); s != "" {
-		n, err := strconv.Atoi(s)
-		if err != nil || n < 1 {
-			t.Fatalf("bad CHAOS_SEED_BUDGET %q", s)
-		}
-		return n
-	}
+	fallback := 1000
 	if testing.Short() {
-		return 60
+		fallback = 60
 	}
-	return 1000
+	n, err := ChaosSeedBudget(fallback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
 }
 
 // TestChaosTierSeeds sweeps the seed budget across the chaos tier,

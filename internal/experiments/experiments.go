@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/federation"
 )
@@ -48,6 +49,16 @@ type Config struct {
 	// chaos-tier scenario runs (rows aggregate across them; <= 1 runs
 	// one).
 	ChaosSeeds int
+	// ChaosOps caps the adversarial schedule at its first N
+	// perturbation actions (chaos.Config.OpBudget): a budgeted run
+	// replays exactly that prefix of the unlimited schedule. 0 =
+	// unlimited; set by minimized-repro replay commands.
+	ChaosOps int
+	// RunTimeout, when > 0, arms a per-federation wall-clock watchdog
+	// (federation.Options.Watchdog): a wedged run is killed and
+	// reported as an error wrapping sim.ErrInterrupted instead of
+	// stalling its worker.
+	RunTimeout time.Duration
 	// Shards runs every federation across this many conservative-window
 	// event engines (federation.RunSharded). Classic and wide results
 	// are byte-identical to the single-engine reference; chaos-tier
@@ -92,6 +103,9 @@ func (c Config) runFed(opts federation.Options) (*federation.Result, error) {
 	}
 	if c.Shards > 1 {
 		opts.Shards = c.Shards
+	}
+	if c.RunTimeout > 0 {
+		opts.Watchdog = c.RunTimeout
 	}
 	return runFed(opts)
 }

@@ -583,7 +583,7 @@ func ScenarioOptions(cfg Config, sc Scenario, protocol string) (federation.Optio
 		if seed == 0 {
 			seed = cfg.Seed
 		}
-		opts.Chaos = &chaos.Config{Seed: seed}
+		opts.Chaos = &chaos.Config{Seed: seed, OpBudget: cfg.ChaosOps}
 	}
 	return opts, nil
 }
@@ -633,7 +633,14 @@ func RunChaosScenario(cfg Config, sc Scenario, protocol string) ([]*federation.R
 		runCfg.ChaosSeed = base + uint64(k)
 		res, err := RunScenario(runCfg, sc, protocol)
 		if err != nil {
-			return nil, fmt.Errorf("chaos seed %d: %w", base+uint64(k), err)
+			// The typed wrapper names the exact (scenario, seed, shard
+			// count) that reproduces the failure; hc3ibench unwraps it to
+			// print the one-command replay instead of a bare error.
+			return nil, &ChaosFailure{
+				Scenario: sc, Protocol: protocol, Seed: base + uint64(k),
+				Shards: runCfg.Shards, Quick: runCfg.Quick, OpBudget: runCfg.ChaosOps,
+				Err: err,
+			}
 		}
 		out = append(out, res)
 	}

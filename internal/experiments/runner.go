@@ -3,6 +3,7 @@ package experiments
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/federation"
 )
@@ -33,6 +34,12 @@ type RunnerConfig struct {
 	// Config.ChaosSeed/Config.ChaosSeeds.
 	ChaosSeed  uint64
 	ChaosSeeds int
+	// ChaosOps caps every chaos schedule at its first N perturbation
+	// actions, exactly as Config.ChaosOps.
+	ChaosOps int
+	// RunTimeout arms the per-federation wall-clock watchdog, exactly
+	// as Config.RunTimeout.
+	RunTimeout time.Duration
 	// Shards runs every federation across this many conservative-window
 	// engines, exactly as Config.Shards.
 	Shards int
@@ -56,7 +63,8 @@ func (rc RunnerConfig) workers() int {
 // per level.
 func (rc RunnerConfig) config() Config {
 	cfg := Config{Seed: rc.Seed, Quick: rc.Quick, Workers: rc.workers(), DenseWire: rc.DenseWire,
-		Oracle: rc.Oracle, ChaosSeed: rc.ChaosSeed, ChaosSeeds: rc.ChaosSeeds, Shards: rc.Shards}
+		Oracle: rc.Oracle, ChaosSeed: rc.ChaosSeed, ChaosSeeds: rc.ChaosSeeds,
+		ChaosOps: rc.ChaosOps, RunTimeout: rc.RunTimeout, Shards: rc.Shards}
 	if cfg.Workers > 1 {
 		cfg.sem = make(chan struct{}, cfg.Workers)
 	}

@@ -9,6 +9,7 @@ package federation
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/app"
 	"repro/internal/chaos"
@@ -92,6 +93,15 @@ type Options struct {
 
 	// MaxEvents aborts runaway simulations (0 = a generous default).
 	MaxEvents uint64
+
+	// Watchdog, when > 0, bounds the run's wall-clock time: a timer
+	// interrupts the event engine(s) after this long and the run
+	// returns an error wrapping sim.ErrInterrupted instead of stalling
+	// its caller. Long-running sweep harnesses (the soak service,
+	// hc3ibench -run-timeout) use it to record a wedged run and move
+	// on. Purely a harness guard: a run that finishes in time is
+	// byte-identical with and without it.
+	Watchdog time.Duration
 
 	// Oracle attaches the online protocol invariant checker
 	// (internal/oracle) to the run: every commit, rollback, delivery
@@ -364,7 +374,7 @@ func newFed(opts Options, role *shardRole) (*Fed, error) {
 		f.net.Register(id, func(m netsim.Message) {
 			msg := m.Payload.(core.Msg)
 			pn.OnMessage(m.Src, msg)
-			f.boxes.reclaim(msg)
+			f.boxes.reclaim(msg, owned(m.Src.Cluster))
 		})
 	}
 
@@ -449,6 +459,17 @@ func newFed(opts Options, role *shardRole) (*Fed, error) {
 // Options.Oracle).
 func (f *Fed) Oracle() *oracle.Oracle { return f.oracle }
 
+// ChaosOps reports how many perturbation actions the run's adversarial
+// schedule applied (0 without Options.Chaos). Valid whether the run
+// finished cleanly or aborted on a violation — the failure minimizer
+// reads it off a failing run to bound its prefix search.
+func (f *Fed) ChaosOps() int {
+	if f.chaosSched == nil {
+		return 0
+	}
+	return f.chaosSched.Ops()
+}
+
 // obsEnv is the node environment of oracle-checked runs: the plain
 // nodeEnv plus the oracle's promoted core.Observer methods, so the
 // protocol's env type assertion enables observation exactly when an
@@ -472,8 +493,13 @@ func (f *Fed) App(id topology.NodeID) *app.NodeApp { return f.apps[f.ix.Ord(id)]
 
 // reclaim returns a pooled wire-message box after its delivery was
 // dispatched. Zeroing drops payload references so the pool retains no
-// dead application data.
-func (b *msgBoxes) reclaim(msg core.Msg) {
+// dead application data. senderLocal reports whether the sending node
+// lives on this shard: protocol-owned boxes return to the *sender's*
+// free list, so a cross-shard delivery must not reclaim — the sender's
+// shard may be touching that list concurrently. Those boxes are left
+// to the GC; in single-engine runs every sender is local and pooling
+// is unchanged.
+func (b *msgBoxes) reclaim(msg core.Msg, senderLocal bool) {
 	switch m := msg.(type) {
 	case *core.AppMsg:
 		*m = core.AppMsg{}
@@ -484,7 +510,9 @@ func (b *msgBoxes) reclaim(msg core.Msg) {
 	case core.ReclaimableMsg:
 		// Protocol-owned boxes (baseline wire messages) return to the
 		// free list of the node that sent them.
-		m.ReclaimMsgBox()
+		if senderLocal {
+			m.ReclaimMsgBox()
+		}
 	}
 }
 

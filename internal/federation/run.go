@@ -1,7 +1,9 @@
 package federation
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/app"
 	"repro/internal/core"
@@ -54,6 +56,13 @@ type Result struct {
 // the run drains to quiescence. It verifies the protocol's global
 // invariants before returning.
 func (f *Fed) Run() (*Result, error) {
+	// The wall-clock watchdog: a wedged simulation (however unlikely)
+	// must become an error its sweep harness can record, not a stalled
+	// worker. Interrupt is sticky, so a timer firing between horizon
+	// slices still kills the run.
+	if d := f.opts.Watchdog; d > 0 {
+		defer armWatchdog(d, f.engine.Interrupt)()
+	}
 	for _, id := range f.opts.Topology.AllNodes() {
 		ord := f.ix.Ord(id)
 		f.nodes[ord].Start()
@@ -69,7 +78,7 @@ func (f *Fed) Run() (*Result, error) {
 			if oerr := f.oracleErr(); oerr != nil {
 				return nil, oerr
 			}
-			return nil, err
+			return nil, watchdogErr(err, f.opts.Watchdog)
 		}
 		// A violation stops the engine mid-slice (fail fast): report it
 		// instead of spinning on an aborted simulation.
@@ -84,7 +93,7 @@ func (f *Fed) Run() (*Result, error) {
 	// Settle in-flight protocol activity (alerts, 2PCs, acks): two more
 	// slices with no application traffic left.
 	if _, err := f.engine.Run(horizon.Add(2 * slice)); err != nil {
-		return nil, err
+		return nil, watchdogErr(err, f.opts.Watchdog)
 	}
 
 	if f.oracle != nil {
@@ -98,6 +107,41 @@ func (f *Fed) Run() (*Result, error) {
 		return nil, err
 	}
 	return v.collect(f.engine.Now(), f.engine.Executed), nil
+}
+
+// armWatchdog starts a wall-clock watchdog that calls kill after d and
+// returns the disarm function. Disarming is synchronous — it waits out
+// an in-flight kill — so a pooled engine can never be interrupted by a
+// stale timer after its run returned and the engine went back to the
+// arena (Engine.Reset clears the interrupt flag, but only a kill that
+// happens-before the reset is guaranteed harmless).
+func armWatchdog(d time.Duration, kill func()) (disarm func()) {
+	tm := time.NewTimer(d)
+	cancel := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		select {
+		case <-tm.C:
+			kill()
+		case <-cancel:
+		}
+	}()
+	return func() {
+		close(cancel)
+		<-finished
+		tm.Stop()
+	}
+}
+
+// watchdogErr dresses an engine interrupt as the watchdog diagnostic
+// (sim.ErrInterrupted stays in the chain for errors.Is); other engine
+// errors pass through untouched.
+func watchdogErr(err error, d time.Duration) error {
+	if err == nil || !errors.Is(err, sim.ErrInterrupted) {
+		return err
+	}
+	return fmt.Errorf("federation: watchdog: run exceeded %v wall clock: %w", d, err)
 }
 
 // oracleErr folds the oracle's violations into one run error (nil when

@@ -206,6 +206,17 @@ func runSequential(opts Options) (*Result, error) {
 // run drives the coordinator through the same horizon slices as
 // Fed.Run, then merges, checks and collects.
 func (r *shardRunner) run() (*Result, error) {
+	// One wall-clock watchdog covers the whole sharded run: on expiry
+	// every shard engine is interrupted, the coordinator surfaces the
+	// first shard's ErrInterrupted, and the caller gets the same
+	// watchdog diagnostic as the sequential path.
+	if d := r.opts.Watchdog; d > 0 {
+		defer armWatchdog(d, func() {
+			for _, f := range r.shards {
+				f.engine.Interrupt()
+			}
+		})()
+	}
 	for _, f := range r.shards {
 		for _, id := range r.topo.AllNodes() {
 			if !f.role.owns[id.Cluster] {
@@ -226,7 +237,7 @@ func (r *shardRunner) run() (*Result, error) {
 	const slice = 10 * sim.Minute
 	for {
 		if err := r.coord.Run(horizon); err != nil {
-			return nil, err
+			return nil, watchdogErr(err, r.opts.Watchdog)
 		}
 		if r.appsDone() {
 			break
@@ -235,7 +246,7 @@ func (r *shardRunner) run() (*Result, error) {
 	}
 	final := horizon.Add(2 * slice)
 	if err := r.coord.Run(final); err != nil {
-		return nil, err
+		return nil, watchdogErr(err, r.opts.Watchdog)
 	}
 
 	if r.oracle != nil {

@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"slices"
+	"sync/atomic"
 )
 
 // Handler is a callback executed when an event fires. It receives the
@@ -165,7 +167,29 @@ type Engine struct {
 	// fire (0 = unlimited). A safety net against non-terminating
 	// simulations in tests.
 	MaxEvents uint64
+
+	// interrupted is the only cross-goroutine input to the otherwise
+	// single-threaded engine: a wall-clock watchdog sets it via
+	// Interrupt and the run loops abort with ErrInterrupted at the next
+	// event boundary. It stays set (Run must not resume a killed run's
+	// next horizon slice) until Reset or ClearInterrupt.
+	interrupted atomic.Bool
 }
+
+// ErrInterrupted is returned by Run/RunUntil after Interrupt: the
+// simulation was killed from outside (a wall-clock watchdog), not
+// finished. Detect it with errors.Is.
+var ErrInterrupted = errors.New("sim: run interrupted")
+
+// Interrupt makes any in-progress or future Run/RunUntil return
+// ErrInterrupted at the next event boundary. Unlike Stop it is safe to
+// call from another goroutine, and it is sticky: the engine stays
+// interrupted across horizon slices until Reset or ClearInterrupt, so a
+// watchdog firing between two slices still kills the run.
+func (e *Engine) Interrupt() { e.interrupted.Store(true) }
+
+// ClearInterrupt re-arms an interrupted engine (Reset also clears).
+func (e *Engine) ClearInterrupt() { e.interrupted.Store(false) }
 
 // NewEngine returns an empty engine with the clock at zero.
 func NewEngine() *Engine {
@@ -185,6 +209,7 @@ func (e *Engine) Reset() {
 	e.seq = 0
 	e.count = 0
 	e.stopped = false
+	e.interrupted.Store(false)
 	e.Executed = 0
 	e.winStart = 0
 	e.winEnd = Time(0).Add(ladWindow)
@@ -631,6 +656,9 @@ func (e *Engine) ProcessNextEvent() bool { return e.Step() }
 func (e *Engine) RunUntil(limit Time) error {
 	e.stopped = false
 	for !e.stopped {
+		if e.interrupted.Load() {
+			return ErrInterrupted
+		}
 		if e.MaxEvents > 0 && e.Executed >= e.MaxEvents {
 			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now)
 		}
@@ -645,7 +673,7 @@ func (e *Engine) RunUntil(limit Time) error {
 		}
 		// Batched same-tick dispatch within the current bucket; the batch
 		// stays at the fired timestamp, which is strictly below limit.
-		for !e.stopped && (e.MaxEvents == 0 || e.Executed < e.MaxEvents) {
+		for !e.stopped && (e.MaxEvents == 0 || e.Executed < e.MaxEvents) && !e.interrupted.Load() {
 			b := e.buckets[e.cur]
 			if e.curPos >= len(b) {
 				break
@@ -682,6 +710,9 @@ func (e *Engine) RunUntil(limit Time) error {
 func (e *Engine) Run(horizon Time) (Time, error) {
 	e.stopped = false
 	for !e.stopped {
+		if e.interrupted.Load() {
+			return e.now, ErrInterrupted
+		}
 		if e.MaxEvents > 0 && e.Executed >= e.MaxEvents {
 			return e.now, fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now)
 		}
@@ -699,7 +730,7 @@ func (e *Engine) Run(horizon Time) (Time, error) {
 			continue
 		}
 		// Batched same-tick dispatch within the current bucket.
-		for !e.stopped && (e.MaxEvents == 0 || e.Executed < e.MaxEvents) {
+		for !e.stopped && (e.MaxEvents == 0 || e.Executed < e.MaxEvents) && !e.interrupted.Load() {
 			b := e.buckets[e.cur]
 			if e.curPos >= len(b) {
 				break

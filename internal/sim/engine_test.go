@@ -219,3 +219,51 @@ func TestEngineMonotonicClockProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEngineInterrupt: Interrupt stops a run from another goroutine
+// with ErrInterrupted, stays sticky across subsequent Run calls, and
+// clears on Reset — the contract the federation wall-clock watchdog
+// depends on (a timer firing between horizon slices must still kill
+// the run, and a pooled engine must come back clean).
+func TestEngineInterrupt(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	var tick func(*Engine)
+	tick = func(en *Engine) {
+		ran++
+		if ran == 5 {
+			en.Interrupt() // in-run interrupt: the batch loop must notice
+		}
+		en.Schedule(Second, tick)
+	}
+	e.Schedule(Second, tick)
+	if _, err := e.Run(Time(1000 * Second)); err != ErrInterrupted {
+		t.Fatalf("Run under interrupt returned %v, want ErrInterrupted", err)
+	}
+	if ran > 6 {
+		t.Fatalf("%d events ran after the interrupt; the run did not stop", ran)
+	}
+	// Sticky: the next slice dies immediately without executing events.
+	before := ran
+	if _, err := e.Run(Time(2000 * Second)); err != ErrInterrupted {
+		t.Fatalf("second Run returned %v, want sticky ErrInterrupted", err)
+	}
+	if ran != before {
+		t.Fatal("sticky interrupt still executed events")
+	}
+	e.ClearInterrupt()
+	// tick reschedules itself forever, so run to a bounded horizon.
+	if _, err := e.Run(e.Now().Add(3 * Second)); err != nil {
+		t.Fatalf("run after ClearInterrupt: %v", err)
+	}
+	if ran == before {
+		t.Fatal("cleared interrupt still blocked execution")
+	}
+	// Reset clears the flag too (the arena recycles engines via Reset).
+	e.Interrupt()
+	e.Reset()
+	e.Schedule(Second, func(*Engine) {})
+	if _, err := e.RunAll(); err != nil {
+		t.Fatalf("run after Reset: %v", err)
+	}
+}

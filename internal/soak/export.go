@@ -1,0 +1,231 @@
+// Package soak is the continuous chaos service behind cmd/hc3isoak: a
+// long-running sweep of adversarial schedules (internal/chaos) across
+// the chaos-tier scenario grid, journaling every completed seed,
+// checkpointing its cursor so a killed service resumes without losing
+// or double-counting work, and shrinking every failure to the shortest
+// reproducing schedule prefix before reporting it.
+//
+// The durability contract has one source of truth: the JSONL journal.
+// A seed counts as done exactly when its record line is fully in the
+// journal. The checkpoint (state.json) is a cache — a cursor plus the
+// journal byte offset it has absorbed — rewritten atomically, so a
+// kill -9 at any instant loses at most the seeds that were in flight:
+// on restart the journal tail past the checkpoint offset is merged
+// back (never re-run), a torn final line is truncated (re-run), and
+// the sweep continues from the first seed with no record.
+package soak
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Record is one journaled chaos run — the JSONL schema of
+// journal.jsonl and of every exporter backend.
+type Record struct {
+	// Scenario is the chaos-tier cell ("4c/uniform/storm/jitter") and
+	// Protocol the protocol under test.
+	Scenario string `json:"scenario"`
+	Protocol string `json:"protocol"`
+	// Seed replays the schedule; Shards (when > 1) is part of the
+	// schedule's identity.
+	Seed   uint64 `json:"seed"`
+	Shards int    `json:"shards,omitempty"`
+	// Status is "ok", "violation" (oracle or harness invariant),
+	// "wedged" (wall-clock watchdog killed the run) or "panic".
+	Status string `json:"status"`
+	// Check names the violated check on failures ("oracle: gc safety",
+	// "watchdog", ...); Error carries the full diagnostic.
+	Check string `json:"check,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Ops is how many perturbation actions the schedule applied
+	// (sequential runs only); MinOps, when > 0, is the minimized
+	// reproducing prefix and Replay the one-command repro.
+	Ops    int    `json:"ops,omitempty"`
+	MinOps int    `json:"min_ops,omitempty"`
+	Replay string `json:"replay,omitempty"`
+	// Events and Failures summarize clean runs (simulated events,
+	// injected crashes).
+	Events   uint64 `json:"events,omitempty"`
+	Failures uint64 `json:"failures,omitempty"`
+	// ElapsedMS is the run's wall-clock cost in milliseconds.
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// Key identifies the sweep slot a record fills: one (scenario, shard
+// count, seed) runs exactly once per sweep.
+func (r Record) Key() string {
+	return fmt.Sprintf("%s|%d|%d", r.Scenario, r.Shards, r.Seed)
+}
+
+// Failed reports whether the record is anything but a clean run.
+func (r Record) Failed() bool { return r.Status != StatusOK }
+
+// Record statuses.
+const (
+	StatusOK        = "ok"
+	StatusViolation = "violation"
+	StatusWedged    = "wedged"
+	StatusPanic     = "panic"
+)
+
+// Exporter receives every completed record. Export must be safe to
+// call from the collector goroutine only; the service serializes all
+// calls.
+type Exporter interface {
+	Export(Record) error
+	Close() error
+}
+
+// NewWriterExporter streams records as JSONL to any writer (stdout
+// tee, test buffers). Close flushes but does not close the underlying
+// writer.
+func NewWriterExporter(w io.Writer) Exporter {
+	return &writerExporter{bw: bufio.NewWriter(w)}
+}
+
+type writerExporter struct{ bw *bufio.Writer }
+
+func (e *writerExporter) Export(r Record) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := e.bw.Write(b); err != nil {
+		return err
+	}
+	return e.bw.Flush()
+}
+
+func (e *writerExporter) Close() error { return e.bw.Flush() }
+
+// Journal is the durable record store: an append-only JSONL file whose
+// byte offset the checkpoint references. Every Export is one full-line
+// write followed by the offset advance, so the only possible damage
+// from a kill is a torn final line — which Open truncates away.
+type Journal struct {
+	f   *os.File
+	off int64
+}
+
+// OpenJournal opens (creating if needed) the journal at path, truncates
+// a torn trailing line left by a previous kill, and positions for
+// append.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	end, err := truncateTorn(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Journal{f: f, off: end}, nil
+}
+
+// truncateTorn scans for the last newline-terminated byte and truncates
+// anything after it (a record interrupted mid-write).
+func truncateTorn(f *os.File) (int64, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return 0, nil
+	}
+	// Walk back from the end in small chunks until a newline shows up.
+	const chunk = 4096
+	end := int64(-1)
+	for lo := size; lo > 0 && end < 0; {
+		n := int64(chunk)
+		if n > lo {
+			n = lo
+		}
+		lo -= n
+		buf := make([]byte, n)
+		if _, err := f.ReadAt(buf, lo); err != nil {
+			return 0, err
+		}
+		if i := bytes.LastIndexByte(buf, '\n'); i >= 0 {
+			end = lo + int64(i) + 1
+		}
+	}
+	if end < 0 {
+		end = 0 // no newline at all: the whole file is one torn line
+	}
+	if end != size {
+		if err := f.Truncate(end); err != nil {
+			return 0, err
+		}
+	}
+	return end, nil
+}
+
+// Export appends one record line and advances the offset.
+func (j *Journal) Export(r Record) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	n, err := j.f.Write(b)
+	j.off += int64(n)
+	return err
+}
+
+// Offset is the current append position — the value a checkpoint
+// records as absorbed.
+func (j *Journal) Offset() int64 { return j.off }
+
+// Sync flushes the journal to stable storage (each checkpoint calls it
+// before publishing the offset it references).
+func (j *Journal) Sync() error { return j.f.Sync() }
+
+func (j *Journal) Close() error { return j.f.Close() }
+
+// ReadFrom replays every journal record starting at byte offset off,
+// calling fn for each. A torn or malformed line stops the scan there
+// (returning how far it got); OpenJournal truncation makes that the
+// file end in practice.
+func ReadFrom(path string, off int64, fn func(Record) error) (int64, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) && off == 0 {
+		return 0, nil
+	}
+	if err != nil {
+		return off, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return off, err
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	pos := off
+	for sc.Scan() {
+		line := sc.Bytes()
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			return pos, nil // torn tail: stop before it
+		}
+		if err := fn(r); err != nil {
+			return pos, err
+		}
+		pos += int64(len(line)) + 1
+	}
+	if err := sc.Err(); err != nil {
+		return pos, err
+	}
+	return pos, nil
+}

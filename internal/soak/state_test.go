@@ -1,0 +1,188 @@
+package soak
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func unit(topo, wl string, shards int) Unit {
+	return Unit{
+		Scenario: experiments.Scenario{Topology: topo, Workload: wl, Failure: "storm", Network: "jitter"},
+		Shards:   shards,
+	}
+}
+
+func rec(u Unit, seed uint64, status string) Record {
+	r := Record{Scenario: u.Scenario.Name(), Protocol: u.protocol(), Seed: seed, Status: status}
+	if s := u.shards(); s > 1 {
+		r.Shards = s
+	}
+	return r
+}
+
+// TestCursorNormalization: out-of-order completions accumulate as
+// extras and fold back into the contiguous prefix as gaps fill, and a
+// repeated completion never advances the cursor twice.
+func TestCursorNormalization(t *testing.T) {
+	c := &Cursor{}
+	for _, seed := range []uint64{3, 1, 5, 2} {
+		if !c.Complete(seed) {
+			t.Fatalf("first completion of seed %d rejected", seed)
+		}
+	}
+	if c.Done != 3 || !reflect.DeepEqual(c.Extras, []uint64{5}) {
+		t.Fatalf("cursor = done %d extras %v, want 3 + [5]", c.Done, c.Extras)
+	}
+	for _, seed := range []uint64{1, 3, 5} {
+		if c.Complete(seed) {
+			t.Fatalf("seed %d double-counted", seed)
+		}
+	}
+	if !c.Complete(4) {
+		t.Fatal("gap seed rejected")
+	}
+	if c.Done != 5 || c.Extras != nil {
+		t.Fatalf("cursor = done %d extras %v, want 5 + none", c.Done, c.Extras)
+	}
+	if c.CompletedCount() != 5 {
+		t.Fatalf("CompletedCount = %d, want 5", c.CompletedCount())
+	}
+}
+
+// TestRecoverAfterTornWrite is the fault-injected kill: the journal
+// holds completed records past the checkpoint offset plus a record
+// torn mid-write (the moment a kill -9 lands), and the checkpoint lags
+// several records behind. Recovery must keep every completed record
+// (merged, not re-run), drop the torn tail (re-run), and never count
+// anything twice.
+func TestRecoverAfterTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	units := []Unit{unit("2c", "uniform", 1), unit("2c", "bursty", 1)}
+	fp := "test-sweep"
+
+	st, j, err := Recover(dir, fp, units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Session 1: journal five records, checkpoint after the first three,
+	// then two more land past the checkpoint, then a kill tears a sixth
+	// mid-line.
+	all := []Record{
+		rec(units[0], 1, StatusOK),
+		rec(units[1], 1, StatusOK),
+		rec(units[0], 3, StatusViolation), // out of order: seed 2 in flight
+		rec(units[0], 2, StatusOK),
+		rec(units[1], 2, StatusWedged),
+	}
+	for i, r := range all {
+		if err := j.Export(r); err != nil {
+			t.Fatal(err)
+		}
+		st.Absorb(r)
+		if i == 2 {
+			st.JournalBytes = j.Offset()
+			if err := SaveState(dir, st); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	j.Close()
+	f, err := os.OpenFile(JournalPath(dir), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"scenario":"2c/uniform/storm/jitter","protocol":"hc3i","seed":4,"sta`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Session 2: recover. The checkpoint knows 3 records; the journal
+	// holds 5 complete + 1 torn.
+	st2, j2, err := Recover(dir, fp, units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if st2.Completed != 5 {
+		t.Fatalf("recovered %d completed, want all 5 journaled", st2.Completed)
+	}
+	if st2.Violations != 1 || st2.Wedged != 1 {
+		t.Fatalf("ledger = %d violations %d wedged, want 1 and 1", st2.Violations, st2.Wedged)
+	}
+	c0 := st2.Cursor(units[0].Scenario.Name(), 1)
+	if c0.Done != 3 || len(c0.Extras) != 0 {
+		t.Fatalf("unit 0 cursor = %d + %v, want contiguous 3", c0.Done, c0.Extras)
+	}
+	if c0.Completed(4) {
+		t.Fatal("torn seed-4 record counted as complete; it must be re-run")
+	}
+	if st2.JournalBytes != j2.Offset() {
+		t.Fatalf("recovered offset %d != journal end %d", st2.JournalBytes, j2.Offset())
+	}
+	// The torn bytes are gone: appending now must yield a parseable
+	// journal.
+	if err := j2.Export(rec(units[0], 4, StatusOK)); err != nil {
+		t.Fatal(err)
+	}
+	st2.Absorb(rec(units[0], 4, StatusOK))
+	st2.JournalBytes = j2.Offset()
+	if err := SaveState(dir, st2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(dir); err != nil {
+		t.Fatalf("ledger audit after recovery: %v", err)
+	}
+	// Monotonic progress: a third recovery sees strictly more work done.
+	st3, j3, err := Recover(dir, fp, units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3.Close()
+	if st3.Completed != 6 {
+		t.Fatalf("third recovery sees %d completed, want 6", st3.Completed)
+	}
+}
+
+// TestRecoverRejectsForeignState: resuming a state dir under a
+// different sweep configuration must fail loudly, not mix schedules.
+func TestRecoverRejectsForeignState(t *testing.T) {
+	dir := t.TempDir()
+	units := []Unit{unit("2c", "uniform", 1)}
+	st, j, err := Recover(dir, "sweep-a", units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := SaveState(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Recover(dir, "sweep-b", units); err == nil {
+		t.Fatal("foreign fingerprint accepted")
+	}
+}
+
+// TestVerifyCatchesDuplicates: the auditor must flag a journal that
+// counts one sweep slot twice.
+func TestVerifyCatchesDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	units := []Unit{unit("2c", "uniform", 1)}
+	st, j, err := Recover(dir, "dup-sweep", units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rec(units[0], 1, StatusOK)
+	j.Export(r)
+	j.Export(r) // the bug Verify exists to catch
+	st.Absorb(r)
+	st.JournalBytes = j.Offset()
+	j.Close()
+	if err := SaveState(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(dir); err == nil {
+		t.Fatal("duplicate journal record passed the audit")
+	}
+}
