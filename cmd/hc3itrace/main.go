@@ -9,6 +9,16 @@
 //
 //	hc3itrace [-clusters 2] [-nodes 3] [-minutes 90] [-crash 45]
 //	          [-level debug] [-seed 1]
+//
+// With -journal it switches to the live runtime's offline mode: load
+// the per-node JSONL journals of a cmd/hc3id federation (a directory of
+// *.jsonl files or one file), merge them in timestamp order, optionally
+// pretty-print the merged timeline (-v), replay them through the
+// protocol oracle and print the report. Exit status 1 means the
+// journals violate a protocol invariant:
+//
+//	hc3itrace -journal ./run-dir          # report only
+//	hc3itrace -journal ./run-dir -v       # timeline + report
 package main
 
 import (
@@ -16,9 +26,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/app"
 	"repro/internal/federation"
+	"repro/internal/oracle"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -32,11 +47,107 @@ func main() {
 		level    = flag.String("level", "debug", "trace level: info|debug|all")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		gcMin    = flag.Int("gc", 0, "garbage collection period in minutes (0 = off)")
+		journal  = flag.String("journal", "", "replay live journals (a directory of *.jsonl or one file) instead of simulating")
+		verbose  = flag.Bool("v", false, "with -journal: pretty-print the merged timeline")
 	)
 	flag.Parse()
+	if *journal != "" {
+		if err := runJournal(*journal, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "hc3itrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*clusters, *nodes, *minutes, *crashMin, *gcMin, *level, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "hc3itrace:", err)
 		os.Exit(1)
+	}
+}
+
+// runJournal merges, pretty-prints and oracle-replays live journals.
+func runJournal(path string, verbose bool) error {
+	paths := []string{path}
+	if fi, err := os.Stat(path); err != nil {
+		return err
+	} else if fi.IsDir() {
+		paths, err = filepath.Glob(filepath.Join(path, "*.jsonl"))
+		if err != nil {
+			return err
+		}
+		if len(paths) == 0 {
+			return fmt.Errorf("no *.jsonl journals in %s", path)
+		}
+		sort.Strings(paths)
+	}
+
+	perNode := make([][]oracle.Event, 0, len(paths))
+	for _, p := range paths {
+		evs, err := oracle.ReadJournalFile(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-28s %6d events\n", filepath.Base(p), len(evs))
+		perNode = append(perNode, evs)
+	}
+	merged := oracle.MergeEvents(perNode...)
+	if verbose && len(merged) > 0 {
+		fmt.Println()
+		t0 := merged[0].T
+		for _, ev := range merged {
+			fmt.Printf("[%12s] %-6s %s\n",
+				time.Duration(ev.T-t0).Truncate(time.Microsecond), ev.Node, describe(ev))
+		}
+	}
+	rep := oracle.Replay(merged)
+	fmt.Printf("\n%s\n", rep.Summary())
+	if !rep.Clean() {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// describe renders one journal event as a one-line annotation.
+func describe(ev oracle.Event) string {
+	switch ev.Kind {
+	case "start":
+		mode := "fresh boot"
+		if ev.Recovering {
+			mode = "CRASH-RECOVERY boot"
+		}
+		return fmt.Sprintf("%s, clusters %v, mode %s", mode, ev.Clusters, ev.Mode)
+	case "commit":
+		forced := ""
+		if ev.Forced {
+			forced = " (forced)"
+		}
+		return fmt.Sprintf("commit CLC %d%s epoch %d ddv %v", ev.Seq, forced, ev.Epoch, ev.DDV)
+	case "rollback":
+		return fmt.Sprintf("ROLLBACK to CLC %d, new epoch %d, ddv %v", ev.Seq, ev.Epoch, ev.DDV)
+	case "deliver":
+		return fmt.Sprintf("deliver from %s (epoch %d, send SN %d) at epoch %d SN %d",
+			ev.Src, ev.SrcEpoch, ev.SendSN, ev.RecvEpoch, ev.RecvSN)
+	case "gcdrop":
+		return fmt.Sprintf("gc drop at thresholds %v", ev.MinSNs)
+	case "send":
+		return fmt.Sprintf("send %s -> %s", ev.Msg, ev.Dst)
+	case "drop":
+		return fmt.Sprintf("DROPPED %s -> %s", ev.Msg, ev.Dst)
+	case "hello":
+		if ev.Src != "" {
+			return fmt.Sprintf("hello from rejoining %s", ev.Src)
+		}
+		return fmt.Sprintf("hello (rejoin announcement) -> %s", ev.Dst)
+	case "suspect":
+		return "suspected unreachable by the transport"
+	case "stop":
+		stats := make([]string, 0, len(ev.Stats))
+		for k, v := range ev.Stats {
+			stats = append(stats, fmt.Sprintf("%s=%d", k, v))
+		}
+		sort.Strings(stats)
+		return "clean stop; " + strings.Join(stats, " ")
+	default:
+		return ev.Kind
 	}
 }
 

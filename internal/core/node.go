@@ -661,6 +661,20 @@ func (n *Node) ReplicaTargets() []topology.NodeID {
 	return append([]topology.NodeID(nil), n.replTargets...)
 }
 
+// SeedMsgID raises the node's message-identity counter to at least
+// base. The protocol deduplicates and acks by MsgID, and a node that
+// restarts as a fresh OS process would otherwise count from zero
+// again — colliding with pre-crash identities still alive in mirrored
+// logs and in flight. A live runtime seeds each incarnation with a
+// strictly increasing base (e.g. the boot time in nanoseconds); the
+// in-process simulator never needs it because its Node objects keep
+// their counters across Restart.
+func (n *Node) SeedMsgID(base uint64) {
+	if base > n.nextMsgID {
+		n.nextMsgID = base
+	}
+}
+
 // ---- lifecycle ----
 
 // Fail crashes the node (fail-stop): it stops reacting to anything.

@@ -1,0 +1,339 @@
+// Offline oracle replay: the six invariant families of this package,
+// re-asserted after the fact on the merged per-node journals of a real
+// multi-process run (cmd/hc3id). Each daemon journals its protocol
+// observations (commits, rollbacks, deliveries, GC drops) as JSONL
+// with same-machine wall-clock timestamps; Replay merges the files in
+// timestamp order and drives a regular Oracle with the result.
+//
+// Why a timestamp merge is a valid event order here: every journal
+// line is written synchronously inside the protocol callback that
+// produced it, before the node sends any message that depends on it.
+// Cluster-wide, all applications of commit k really do precede all
+// applications of commit k+1 (the 2PC needs every node's ack to k
+// before the coordinator starts k+1), rollbacks are barriered by
+// RollbackResume, and a delivery follows the sender-side events it
+// depends on by at least a network round trip. On one machine — the
+// harness and CI smoke setup — CLOCK_REALTIME skew is far below those
+// gaps; across machines the merge is only as good as the clock sync,
+// which the report states rather than hides. The merge sort is stable,
+// so each journal's own order (which is exact) is never reshuffled.
+package oracle
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Event is one line of a live-run journal. Kind selects which fields
+// are meaningful; everything else stays at its zero value and is
+// elided from the JSON.
+type Event struct {
+	// T is the event's CLOCK_REALTIME timestamp in nanoseconds,
+	// strictly increasing within one journal file.
+	T int64 `json:"t"`
+	// Node is the journaling node in cXnY form.
+	Node string `json:"node"`
+	// Kind is one of start, commit, rollback, deliver, gcdrop, send,
+	// hello, suspect, drop, stop.
+	Kind string `json:"kind"`
+
+	// start: the federation shape and protocol mode; recovering marks
+	// a crash-recovery incarnation.
+	Clusters   []int  `json:"clusters,omitempty"`
+	Mode       string `json:"mode,omitempty"`
+	Recovering bool   `json:"recovering,omitempty"`
+
+	// commit (seq, epoch, ddv, forced) and rollback (seq = restored
+	// SN, epoch = new epoch, ddv = restored vector).
+	Seq    uint64   `json:"seq,omitempty"`
+	Epoch  uint64   `json:"epoch,omitempty"`
+	DDV    []uint64 `json:"ddv,omitempty"`
+	Forced bool     `json:"forced,omitempty"`
+
+	// deliver: Node is the receiver; Src/SrcEpoch/SendSN identify the
+	// send, RecvEpoch/RecvSN the receiver's position.
+	Src       string `json:"src,omitempty"`
+	SrcEpoch  uint64 `json:"src_epoch,omitempty"`
+	SendSN    uint64 `json:"send_sn,omitempty"`
+	RecvEpoch uint64 `json:"recv_epoch,omitempty"`
+	RecvSN    uint64 `json:"recv_sn,omitempty"`
+
+	// gcdrop: the applied threshold vector.
+	MinSNs []uint64 `json:"min_sns,omitempty"`
+
+	// send / suspect / drop: the control message type or suspected
+	// peer; stop: the final stat counters.
+	Msg   string            `json:"msg,omitempty"`
+	Dst   string            `json:"dst,omitempty"`
+	Stats map[string]uint64 `json:"stats,omitempty"`
+}
+
+// NodeID parses the event's journaling node.
+func (e Event) NodeID() (topology.NodeID, error) { return topology.ParseNodeID(e.Node) }
+
+// ReadJournalFile loads one per-node journal. A torn final line (the
+// daemon was SIGKILLed mid-write) is tolerated and skipped; garbage
+// anywhere else is an error, because it means the file is not a
+// journal.
+func ReadJournalFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var events []Event
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			// Only the very last line may be torn.
+			if sc.Scan() {
+				return nil, fmt.Errorf("oracle: %s:%d: bad journal line: %v", path, line, err)
+			}
+			break
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("oracle: %s: %v", path, err)
+	}
+	return events, nil
+}
+
+// MergeEvents interleaves per-node journals into one global order by
+// timestamp. The sort is stable over the concatenation, so each
+// journal's internal order — which is exact — survives ties.
+func MergeEvents(perNode ...[]Event) []Event {
+	total := 0
+	for _, evs := range perNode {
+		total += len(evs)
+	}
+	merged := make([]Event, 0, total)
+	for _, evs := range perNode {
+		merged = append(merged, evs...)
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].T < merged[j].T })
+	return merged
+}
+
+// ClusterReport summarizes one cluster's replayed history.
+type ClusterReport struct {
+	Commits   int
+	Forced    int
+	Rollbacks int
+	MaxSN     uint64
+	MaxEpoch  uint64
+}
+
+// Report is the outcome of one offline replay.
+type Report struct {
+	Events     int
+	Width      int
+	Starts     int
+	Recoveries int // crash-recovery boots (start events with recovering)
+	Commits    int
+	Rollbacks  int
+	Deliveries int
+	GCDrops    int
+	Sends      int
+	Suspects   int
+	Drops      int
+	Stops      int
+	Span       time.Duration
+	PerCluster []ClusterReport
+	// Violations are the oracle's findings plus any structural
+	// problems of the journal itself (unknown nodes, missing start).
+	Violations []error
+}
+
+// Clean reports a violation-free replay.
+func (r *Report) Clean() bool { return len(r.Violations) == 0 }
+
+// Summary renders the report as a short human-readable block (the CI
+// smoke artifact).
+func (r *Report) Summary() string {
+	s := fmt.Sprintf("replayed %d events over %v: %d clusters, %d commits, %d rollbacks, %d deliveries, %d gc drops\n",
+		r.Events, r.Span.Truncate(time.Millisecond), r.Width, r.Commits, r.Rollbacks, r.Deliveries, r.GCDrops)
+	for c, cr := range r.PerCluster {
+		s += fmt.Sprintf("  cluster %d: %d commits (%d forced), %d rollbacks, line at SN %d epoch %d\n",
+			c, cr.Commits, cr.Forced, cr.Rollbacks, cr.MaxSN, cr.MaxEpoch)
+	}
+	if r.Recoveries > 0 {
+		s += fmt.Sprintf("  %d crash-recovery boot(s), %d transport suspicion(s), %d dropped send(s)\n",
+			r.Recoveries, r.Suspects, r.Drops)
+	}
+	if r.Clean() {
+		s += "  oracle replay: CLEAN"
+	} else {
+		s += fmt.Sprintf("  oracle replay: %d VIOLATION(S)\n", len(r.Violations))
+		for _, v := range r.Violations {
+			s += "    " + v.Error() + "\n"
+		}
+	}
+	return s
+}
+
+// Replay drives a fresh Oracle with a merged journal and returns the
+// report. It never panics on malformed events — structural problems
+// become violations.
+func Replay(events []Event) *Report {
+	r := &Report{Events: len(events)}
+	width := 0
+	for _, ev := range events {
+		if ev.Kind == "start" && len(ev.Clusters) > 0 {
+			width = len(ev.Clusters)
+			break
+		}
+	}
+	if width == 0 {
+		r.Violations = append(r.Violations,
+			fmt.Errorf("oracle: journal has no start event naming the federation shape"))
+		return r
+	}
+	r.Width = width
+	r.PerCluster = make([]ClusterReport, width)
+
+	o := New(width)
+	var firstT, curT int64
+	o.Clock = func() sim.Time {
+		if firstT == 0 {
+			return 0
+		}
+		return sim.Time(curT - firstT)
+	}
+
+	structural := func(format string, args ...any) {
+		r.Violations = append(r.Violations, fmt.Errorf("oracle: journal: "+format, args...))
+	}
+	for _, ev := range events {
+		if firstT == 0 {
+			firstT = ev.T
+		}
+		curT = ev.T
+		id, err := ev.NodeID()
+		if err != nil {
+			structural("event %q from unparseable node %q", ev.Kind, ev.Node)
+			continue
+		}
+		if int(id.Cluster) >= width {
+			structural("event %q from %v outside the %d-cluster federation", ev.Kind, id, width)
+			continue
+		}
+		switch ev.Kind {
+		case "start":
+			r.Starts++
+			if ev.Recovering {
+				r.Recoveries++
+			}
+			if len(ev.Clusters) > 0 && len(ev.Clusters) != width {
+				structural("start event of %v names %d clusters, federation has %d", id, len(ev.Clusters), width)
+			}
+			if ev.Mode == core.ModeIndependent.String() {
+				o.ObserveMode(id, core.ModeIndependent)
+			}
+		case "commit":
+			r.Commits++
+			cr := &r.PerCluster[id.Cluster]
+			cr.Commits++
+			if ev.Forced {
+				cr.Forced++
+			}
+			if ev.Seq > cr.MaxSN {
+				cr.MaxSN = ev.Seq
+			}
+			if len(ev.DDV) != width {
+				structural("commit CLC %d of %v carries a %d-entry DDV in a %d-cluster federation",
+					ev.Seq, id, len(ev.DDV), width)
+				continue
+			}
+			o.ObserveCommit(id, core.SN(ev.Seq), core.Epoch(ev.Epoch), toDDV(ev.DDV), nil, ev.Forced)
+		case "rollback":
+			r.Rollbacks++
+			cr := &r.PerCluster[id.Cluster]
+			cr.Rollbacks++
+			if ev.Epoch > cr.MaxEpoch {
+				cr.MaxEpoch = ev.Epoch
+			}
+			if len(ev.DDV) != width {
+				structural("rollback to CLC %d of %v carries a %d-entry DDV in a %d-cluster federation",
+					ev.Seq, id, len(ev.DDV), width)
+				continue
+			}
+			o.ObserveRollback(id, core.SN(ev.Seq), core.Epoch(ev.Epoch), toDDV(ev.DDV))
+		case "deliver":
+			r.Deliveries++
+			src, err := topology.ParseNodeID(ev.Src)
+			if err != nil || int(src.Cluster) >= width {
+				structural("delivery at %v from unparseable or foreign sender %q", id, ev.Src)
+				continue
+			}
+			o.ObserveDeliver(id, src, core.Epoch(ev.SrcEpoch), core.SN(ev.SendSN),
+				core.Epoch(ev.RecvEpoch), core.SN(ev.RecvSN))
+		case "gcdrop":
+			r.GCDrops++
+			o.ObserveGCDrop(id, toSNs(ev.MinSNs))
+		case "send":
+			r.Sends++
+		case "suspect":
+			r.Suspects++
+		case "drop":
+			r.Drops++
+		case "stop":
+			r.Stops++
+		case "hello":
+			// liveness announcements carry no protocol claim
+		default:
+			structural("unknown event kind %q from %v", ev.Kind, id)
+		}
+	}
+	o.Finish()
+	r.Violations = append(r.Violations, o.Violations()...)
+	if firstT != 0 {
+		r.Span = time.Duration(curT - firstT)
+	}
+	return r
+}
+
+// ReplayFiles loads, merges and replays a set of per-node journals.
+func ReplayFiles(paths ...string) (*Report, error) {
+	perNode := make([][]Event, 0, len(paths))
+	for _, p := range paths {
+		evs, err := ReadJournalFile(p)
+		if err != nil {
+			return nil, err
+		}
+		perNode = append(perNode, evs)
+	}
+	return Replay(MergeEvents(perNode...)), nil
+}
+
+func toDDV(vals []uint64) core.DDV {
+	d := make(core.DDV, len(vals))
+	for i, v := range vals {
+		d[i] = core.SN(v)
+	}
+	return d
+}
+
+func toSNs(vals []uint64) []core.SN {
+	s := make([]core.SN, len(vals))
+	for i, v := range vals {
+		s[i] = core.SN(v)
+	}
+	return s
+}

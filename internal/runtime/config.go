@@ -1,0 +1,128 @@
+package runtime
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// WorkloadFile is the JSON form of Workload.
+type WorkloadFile struct {
+	PeriodMS  int     `json:"period_ms"`
+	InterProb float64 `json:"inter_prob"`
+	Size      int     `json:"size"`
+}
+
+// FederationFile is the on-disk topology a multi-process federation
+// shares: every hc3id daemon loads the same file and finds its peers
+// in Addrs. See cmd/hc3id for the full format documentation.
+type FederationFile struct {
+	// Clusters is the node count per cluster.
+	Clusters []int `json:"clusters"`
+	// Addrs maps every node ("c0n1") to its TCP listen address.
+	Addrs map[string]string `json:"addrs"`
+	// CLCPeriodMS is the wall-clock delay between unforced CLCs
+	// (default 50 ms), applied to every cluster.
+	CLCPeriodMS int `json:"clc_period_ms,omitempty"`
+	// GCPeriodMS enables garbage collection (0 = off).
+	GCPeriodMS int `json:"gc_period_ms,omitempty"`
+	// Replicas is the stable-storage replication degree (default 1).
+	Replicas int `json:"replicas,omitempty"`
+	// Workload, when non-nil, makes every daemon generate automatic
+	// application traffic.
+	Workload *WorkloadFile `json:"workload,omitempty"`
+}
+
+// LoadFederationFile reads and validates a federation config file.
+func LoadFederationFile(path string) (*FederationFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f FederationFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("runtime: %s: %v", path, err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("runtime: %s: %v", path, err)
+	}
+	return &f, nil
+}
+
+// Validate checks the shape: at least one cluster, every node of the
+// topology addressed, no stray addresses.
+func (f *FederationFile) Validate() error {
+	if len(f.Clusters) == 0 {
+		return fmt.Errorf("no clusters")
+	}
+	total := 0
+	for c, size := range f.Clusters {
+		if size <= 0 {
+			return fmt.Errorf("cluster %d has %d nodes", c, size)
+		}
+		total += size
+	}
+	addrs, err := f.AddrMap()
+	if err != nil {
+		return err
+	}
+	for c, size := range f.Clusters {
+		for i := 0; i < size; i++ {
+			id := topology.NodeID{Cluster: topology.ClusterID(c), Index: i}
+			if addrs[id] == "" {
+				return fmt.Errorf("node %v has no address", id)
+			}
+		}
+	}
+	if len(addrs) != total {
+		return fmt.Errorf("%d addresses for a %d-node federation", len(addrs), total)
+	}
+	return nil
+}
+
+// AddrMap parses Addrs into transport form.
+func (f *FederationFile) AddrMap() (map[topology.NodeID]string, error) {
+	out := make(map[topology.NodeID]string, len(f.Addrs))
+	for key, addr := range f.Addrs {
+		id, err := topology.ParseNodeID(key)
+		if err != nil {
+			return nil, err
+		}
+		if c := int(id.Cluster); c >= len(f.Clusters) || id.Index >= f.Clusters[c] {
+			return nil, fmt.Errorf("address for %v, which the topology does not contain", id)
+		}
+		out[id] = addr
+	}
+	return out, nil
+}
+
+// RuntimeConfig translates the file into a live Config for the given
+// hosted subset (nil = all nodes in-process). Transport and Journal
+// stay for the caller to fill in.
+func (f *FederationFile) RuntimeConfig(local []topology.NodeID) Config {
+	cfg := Config{
+		Clusters:   append([]int(nil), f.Clusters...),
+		Replicas:   f.Replicas,
+		LocalNodes: local,
+	}
+	if f.CLCPeriodMS > 0 {
+		cfg.CLCPeriods = make([]time.Duration, len(f.Clusters))
+		for i := range cfg.CLCPeriods {
+			cfg.CLCPeriods[i] = time.Duration(f.CLCPeriodMS) * time.Millisecond
+		}
+	}
+	if f.GCPeriodMS > 0 {
+		cfg.GCPeriod = time.Duration(f.GCPeriodMS) * time.Millisecond
+	}
+	if f.Workload != nil {
+		cfg.Workload = &Workload{
+			Period:    time.Duration(f.Workload.PeriodMS) * time.Millisecond,
+			InterProb: f.Workload.InterProb,
+			Size:      f.Workload.Size,
+		}
+	}
+	return cfg
+}

@@ -1,0 +1,317 @@
+// Package harness boots real multi-process HC3I federations for chaos
+// testing: it builds cmd/hc3id once, spawns one daemon per node from a
+// shared federation config, kills them with real signals (SIGKILL
+// mid-protocol included), restarts them in crash-recovery mode, and
+// hands the merged per-node journals to the offline oracle. It is the
+// cluster-level integration layer the ROADMAP asks for — processes,
+// not goroutines; a kernel TCP stack, not channels; kill -9, not a
+// simulated fail-stop flag.
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"syscall"
+	"time"
+
+	"repro/internal/oracle"
+	"repro/internal/runtime"
+	"repro/internal/topology"
+)
+
+func listenFree() (net.Listener, error) { return net.Listen("tcp", "127.0.0.1:0") }
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// RepoRoot walks up from the working directory to the module root (the
+// directory holding go.mod), where `go build ./cmd/hc3id` works.
+func RepoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("harness: no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// BuildDaemon compiles cmd/hc3id into dir and returns the binary path.
+func BuildDaemon(dir string) (string, error) {
+	root, err := RepoRoot()
+	if err != nil {
+		return "", err
+	}
+	bin := filepath.Join(dir, "hc3id")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/hc3id")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("harness: build hc3id: %v\n%s", err, out)
+	}
+	return bin, nil
+}
+
+// FreeAddrs reserves n distinct loopback addresses by binding and
+// releasing ephemeral ports.
+func FreeAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := listenFree()
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs, nil
+}
+
+// NewFederationFile builds a federation config over fresh loopback
+// ports for the given cluster shape.
+func NewFederationFile(clusters []int, clcPeriod, workloadPeriod time.Duration, interProb float64) (*runtime.FederationFile, error) {
+	total := 0
+	for _, size := range clusters {
+		total += size
+	}
+	addrs, err := FreeAddrs(total)
+	if err != nil {
+		return nil, err
+	}
+	f := &runtime.FederationFile{
+		Clusters:    append([]int(nil), clusters...),
+		Addrs:       make(map[string]string, total),
+		CLCPeriodMS: int(clcPeriod / time.Millisecond),
+		Replicas:    1,
+		Workload: &runtime.WorkloadFile{
+			PeriodMS:  int(workloadPeriod / time.Millisecond),
+			InterProb: interProb,
+			Size:      200,
+		},
+	}
+	i := 0
+	for c, size := range clusters {
+		for n := 0; n < size; n++ {
+			id := topology.NodeID{Cluster: topology.ClusterID(c), Index: n}
+			f.Addrs[id.String()] = addrs[i]
+			i++
+		}
+	}
+	return f, f.Validate()
+}
+
+// Daemon is one running (or exited) hc3id process.
+type Daemon struct {
+	ID      topology.NodeID
+	Journal string
+	cmd     *exec.Cmd
+	done    chan error
+}
+
+// Federation manages the daemon processes of one test federation.
+type Federation struct {
+	Dir     string
+	Bin     string
+	CfgPath string
+	Cfg     *runtime.FederationFile
+	daemons map[topology.NodeID]*Daemon
+}
+
+// New writes the federation config under dir (building the daemon
+// binary there too) and returns a manager with no processes running.
+func New(dir string, cfg *runtime.FederationFile) (*Federation, error) {
+	bin, err := BuildDaemon(dir)
+	if err != nil {
+		return nil, err
+	}
+	cfgPath := filepath.Join(dir, "fed.json")
+	if err := writeJSON(cfgPath, cfg); err != nil {
+		return nil, err
+	}
+	return &Federation{
+		Dir:     dir,
+		Bin:     bin,
+		CfgPath: cfgPath,
+		Cfg:     cfg,
+		daemons: make(map[topology.NodeID]*Daemon),
+	}, nil
+}
+
+// JournalPath is a node's journal file (shared across incarnations —
+// a restarted daemon appends to its predecessor's journal).
+func (f *Federation) JournalPath(id topology.NodeID) string {
+	return filepath.Join(f.Dir, id.String()+".jsonl")
+}
+
+// Start spawns one daemon. recoverBoot selects the crash-recovery
+// incarnation (-recover yes); stderr goes to <node>.log for post-
+// mortems.
+func (f *Federation) Start(id topology.NodeID, recoverBoot bool) error {
+	if d, ok := f.daemons[id]; ok && d.cmd.ProcessState == nil {
+		return fmt.Errorf("harness: %v already running", id)
+	}
+	mode := "no"
+	if recoverBoot {
+		mode = "yes"
+	}
+	cmd := exec.Command(f.Bin,
+		"-config", f.CfgPath,
+		"-node", id.String(),
+		"-journal", f.JournalPath(id),
+		"-recover", mode,
+	)
+	logf, err := os.OpenFile(filepath.Join(f.Dir, id.String()+".log"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		return err
+	}
+	d := &Daemon{ID: id, Journal: f.JournalPath(id), cmd: cmd, done: make(chan error, 1)}
+	go func() {
+		d.done <- cmd.Wait()
+		logf.Close()
+	}()
+	f.daemons[id] = d
+	return nil
+}
+
+// StartAll boots every node of the topology as a fresh daemon.
+func (f *Federation) StartAll() error {
+	for c, size := range f.Cfg.Clusters {
+		for n := 0; n < size; n++ {
+			id := topology.NodeID{Cluster: topology.ClusterID(c), Index: n}
+			if err := f.Start(id, false); err != nil {
+				f.KillAll()
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Kill SIGKILLs a daemon and waits for the process to reap.
+func (f *Federation) Kill(id topology.NodeID) error {
+	d, ok := f.daemons[id]
+	if !ok {
+		return fmt.Errorf("harness: %v not running", id)
+	}
+	d.cmd.Process.Kill()
+	<-d.done
+	return nil
+}
+
+// Stop SIGTERMs a daemon (clean drain) and waits up to timeout before
+// escalating to SIGKILL. It returns the daemon's exit error, nil for a
+// clean drain.
+func (f *Federation) Stop(id topology.NodeID, timeout time.Duration) error {
+	d, ok := f.daemons[id]
+	if !ok {
+		return fmt.Errorf("harness: %v not running", id)
+	}
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case err := <-d.done:
+		return err
+	case <-time.After(timeout):
+		d.cmd.Process.Kill()
+		<-d.done
+		return fmt.Errorf("harness: %v did not drain within %v", id, timeout)
+	}
+}
+
+// StopAll drains every running daemon, reporting the first failure.
+func (f *Federation) StopAll(timeout time.Duration) error {
+	var firstErr error
+	ids := make([]topology.NodeID, 0, len(f.daemons))
+	for id := range f.daemons {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].String() < ids[j].String() })
+	for _, id := range ids {
+		d := f.daemons[id]
+		if d.cmd.ProcessState != nil {
+			continue
+		}
+		if err := f.Stop(id, timeout); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// KillAll SIGKILLs everything still running (test cleanup).
+func (f *Federation) KillAll() {
+	for _, d := range f.daemons {
+		if d.cmd.ProcessState == nil {
+			d.cmd.Process.Kill()
+			<-d.done
+		}
+	}
+}
+
+// Events reads a node's journal as it stands right now (torn tail
+// tolerated — the daemon may be mid-write or freshly SIGKILLed).
+func (f *Federation) Events(id topology.NodeID) []oracle.Event {
+	evs, err := oracle.ReadJournalFile(f.JournalPath(id))
+	if err != nil {
+		return nil
+	}
+	return evs
+}
+
+// WaitEvent polls a node's journal until pred matches an event or the
+// timeout passes, returning the first match. The poll period is short
+// enough to catch protocol phases (a CLCAck send, a RecoverStateReq)
+// while they are still in flight.
+func (f *Federation) WaitEvent(id topology.NodeID, timeout time.Duration, pred func(oracle.Event) bool) (oracle.Event, bool) {
+	deadline := time.Now().Add(timeout)
+	for {
+		for _, ev := range f.Events(id) {
+			if pred(ev) {
+				return ev, true
+			}
+		}
+		if time.Now().After(deadline) {
+			return oracle.Event{}, false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// MergedEvents loads and merges every node's journal in timestamp
+// order, ready for oracle.Replay.
+func (f *Federation) MergedEvents() ([]oracle.Event, error) {
+	perNode := make([][]oracle.Event, 0, len(f.daemons))
+	for c, size := range f.Cfg.Clusters {
+		for n := 0; n < size; n++ {
+			id := topology.NodeID{Cluster: topology.ClusterID(c), Index: n}
+			evs, err := oracle.ReadJournalFile(f.JournalPath(id))
+			if err != nil {
+				return nil, err
+			}
+			perNode = append(perNode, evs)
+		}
+	}
+	return oracle.MergeEvents(perNode...), nil
+}

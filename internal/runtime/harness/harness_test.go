@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/oracle"
+	"repro/internal/topology"
+)
+
+// commitCount counts a node's journaled commits after t0.
+func commitCount(f *Federation, id topology.NodeID, t0 int64) int {
+	n := 0
+	for _, ev := range f.Events(id) {
+		if ev.Kind == "commit" && ev.T > t0 {
+			n++
+		}
+	}
+	return n
+}
+
+// waitCommits blocks until a node journaled at least n commits,
+// returning the timestamp of the nth.
+func waitCommits(t *testing.T, f *Federation, id topology.NodeID, n int, timeout time.Duration) int64 {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		commits := 0
+		for _, ev := range f.Events(id) {
+			if ev.Kind == "commit" {
+				commits++
+				if commits == n {
+					return ev.T
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%v journaled only %d/%d commits within %v", id, commits, n, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCrashTolerantFederationEndToEnd is the acceptance test of the
+// multi-process federation: an hc3id daemon SIGKILLed mid-2PC and
+// again mid-rollback-recovery rejoins, the workload completes, every
+// daemon drains cleanly, and the offline oracle replay over the merged
+// per-node journals reports zero invariant violations.
+func TestCrashTolerantFederationEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process federation test (builds and boots real daemons)")
+	}
+	dir := t.TempDir()
+	cfg, err := NewFederationFile([]int{3, 2}, 40*time.Millisecond, 4*time.Millisecond, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed, err := New(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.KillAll()
+	if err := fed.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	victim := topology.NodeID{Cluster: 0, Index: 1}
+
+	// Let the federation take real checkpoints, then SIGKILL the
+	// victim the moment it acks the next 2PC round — between its
+	// CLCAck leaving and the CLCCommit applying is the tightest
+	// mid-protocol window a process crash can land in. (If the kill
+	// lands a hair later it is still a crash mid-run, which is the
+	// property under test.)
+	warmT := waitCommits(t, fed, victim, 2, 20*time.Second)
+	if _, ok := fed.WaitEvent(victim, 20*time.Second, func(ev oracle.Event) bool {
+		return ev.Kind == "send" && ev.Msg == "CLCAck" && ev.T > warmT
+	}); !ok {
+		t.Fatal("victim never acked another 2PC round")
+	}
+	if err := fed.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash-recovery boot #1. The fresh incarnation announces itself,
+	// a survivor detects the failure and commands the rollback, and
+	// the victim asks its replica holder for its state back — at which
+	// exact moment the second SIGKILL lands: mid-rollback, the other
+	// window the issue demands. (If recovery outruns the poll, the
+	// kill still interrupts a recovering process.)
+	restart1 := time.Now().UnixNano()
+	if err := fed.Start(victim, true); err != nil {
+		t.Fatal(err)
+	}
+	fed.WaitEvent(victim, 15*time.Second, func(ev oracle.Event) bool {
+		return ev.T > restart1 && ev.Kind == "send" && ev.Msg == "RecoverStateReq"
+	})
+	if err := fed.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash-recovery boot #2: this one must complete — rollback,
+	// state recovery from the replica holder, rejoin, fresh commits.
+	restart2 := time.Now().UnixNano()
+	if err := fed.Start(victim, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fed.WaitEvent(victim, 30*time.Second, func(ev oracle.Event) bool {
+		return ev.T > restart2 && ev.Kind == "rollback"
+	}); !ok {
+		t.Fatal("victim never completed its recovery rollback")
+	}
+	if _, ok := fed.WaitEvent(victim, 30*time.Second, func(ev oracle.Event) bool {
+		return ev.T > restart2 && ev.Kind == "commit"
+	}); !ok {
+		t.Fatal("victim never committed a checkpoint after rejoining")
+	}
+
+	// Let the workload run on the healed federation, then drain.
+	time.Sleep(300 * time.Millisecond)
+	if err := fed.StopAll(15 * time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// The verdict: offline oracle replay over the merged journals.
+	merged, err := fed.MergedEvents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := oracle.Replay(merged)
+	t.Logf("\n%s", rep.Summary())
+	if !rep.Clean() {
+		for _, v := range rep.Violations {
+			t.Errorf("invariant violation: %v", v)
+		}
+		t.Fatalf("oracle replay found %d violations (journals in %s)", len(rep.Violations), fed.Dir)
+	}
+	if rep.Recoveries < 2 {
+		t.Fatalf("expected 2 crash-recovery boots in the journals, saw %d", rep.Recoveries)
+	}
+	if rep.Rollbacks == 0 {
+		t.Fatal("no rollback was journaled — the failure handling never ran")
+	}
+	if rep.Deliveries == 0 {
+		t.Fatal("no inter-cluster delivery was journaled — the workload never crossed clusters")
+	}
+	if n := commitCount(fed, victim, restart2); n == 0 {
+		t.Fatal("victim journaled no commits after its final restart")
+	}
+}

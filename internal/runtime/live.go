@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/oracle"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -77,11 +78,24 @@ type Config struct {
 	Transport Transport
 	// Trace, when non-nil, receives protocol trace output.
 	Trace io.Writer
+	// LocalNodes restricts which federation nodes this process hosts
+	// (nil = all of them, the in-process default). A subset federation
+	// needs a TCP transport whose address map covers every node.
+	LocalNodes []topology.NodeID
+	// Recovering marks this process as a restarted incarnation of its
+	// LocalNodes: they boot with lost state, announce themselves to
+	// their cluster (Hello) and wait passively for the rollback the
+	// surviving peers initiate, exactly like an in-process Restart.
+	Recovering bool
+	// Journal, when non-nil, receives one JSONL event per protocol
+	// observation of the hosted nodes (commits, rollbacks, deliveries,
+	// GC drops, control-message sends).
+	Journal *Journal
 }
 
 // event is one item on a node's serial event loop.
 type event struct {
-	kind    int // 0 msg, 1 timer, 2 appSend, 3 crash, 4 restart, 5 detect, 6 sync
+	kind    int // 0 msg, 1 timer, 2 appSend, 3 crash, 4 restart, 5 detect, 6 sync, 7 start, 8 workload, 9 recoverBoot, 10 rejoinTick
 	src     topology.NodeID
 	msg     core.Msg
 	timer   core.TimerKind
@@ -102,6 +116,11 @@ type liveNode struct {
 	timerMu sync.Mutex
 	nextSeq uint64
 	rng     uint64 // xorshift state for the workload driver
+
+	// recovered is closed (once) when a crash-recovery incarnation has
+	// its state back; it stops the node's rejoin beacon.
+	recovered     chan struct{}
+	recoveredOnce sync.Once
 }
 
 // nextRand advances the node's private xorshift64* generator.
@@ -150,7 +169,8 @@ func (n *liveNode) scheduleWorkload() {
 	})
 }
 
-// Live is a running live federation.
+// Live is a running live federation — all of one, or this process's
+// share of a multi-process one (cfg.LocalNodes).
 type Live struct {
 	cfg       Config
 	transport Transport
@@ -159,8 +179,14 @@ type Live struct {
 	stats     *liveStats
 	trace     io.Writer
 	traceMu   sync.Mutex
+	journal   *Journal
 	stopped   chan struct{}
 	wg        sync.WaitGroup
+
+	// detectMu guards lastDetect, the per-victim timestamp of the most
+	// recent failure detection (the rejoin beacon's re-trigger damper).
+	detectMu   sync.Mutex
+	lastDetect map[topology.NodeID]time.Time
 }
 
 type liveStats struct {
@@ -186,7 +212,29 @@ type liveEnv struct{ n *liveNode }
 func (e liveEnv) Now() sim.Time { return sim.Time(time.Since(e.n.fed.start)) }
 
 func (e liveEnv) Send(dst topology.NodeID, size int, msg core.Msg) {
-	_ = e.n.fed.transport.Send(Envelope{Src: e.n.id, Dst: dst, Msg: msg})
+	if j := e.n.fed.journal; j != nil {
+		// Journal control-plane sends (not the app-message firehose):
+		// the offline artifact that shows *why* a run did what it did,
+		// and the hook the chaos harness uses to aim its SIGKILLs.
+		switch msg.(type) {
+		case core.AppMsg, core.AppAck, core.LogMirror, core.LogTrim:
+		default:
+			j.Event(oracle.Event{Node: e.n.id.String(), Kind: "send",
+				Dst: dst.String(), Msg: fmt.Sprintf("%T", msg)[5:]}) // trim "core."
+		}
+	}
+	if err := e.n.fed.transport.Send(Envelope{Src: e.n.id, Dst: dst, Msg: msg}); err != nil {
+		// The transport refused the message outright (unknown peer or
+		// a full queue to an unreachable one). The protocol tolerates
+		// message loss — that is what it is for — but losing one must
+		// be visible: count it, trace it, journal it.
+		e.n.fed.stats.add("live.send_dropped", 1)
+		e.Trace(sim.TraceInfo, "send to %v dropped: %v", dst, err)
+		if j := e.n.fed.journal; j != nil {
+			j.Event(oracle.Event{Node: e.n.id.String(), Kind: "drop",
+				Dst: dst.String(), Msg: fmt.Sprintf("%T", msg)[5:]})
+		}
+	}
 }
 
 func (e liveEnv) SendApp(dst topology.NodeID, size int, msg core.Msg) {
@@ -222,10 +270,77 @@ func (e liveEnv) Trace(level sim.TraceLevel, format string, args ...any) {
 func (e liveEnv) Stat(name string, delta uint64)        { e.n.fed.stats.add(name, delta) }
 func (e liveEnv) StatSeries(name string, value float64) {}
 
-// Start builds and starts a live federation.
+// ---- core.Observer: the per-node event journal ----
+//
+// liveEnv implements core.Observer so every hosted node journals its
+// safety-relevant protocol events. The callbacks run synchronously on
+// the node's event goroutine, and the journal marshals immediately, so
+// DDV arguments that alias node buffers are safe to pass through. With
+// no journal configured every callback is one nil check.
+
+func ddvU64(d core.DDV) []uint64 {
+	out := make([]uint64, len(d))
+	for i, v := range d {
+		out[i] = uint64(v)
+	}
+	return out
+}
+
+func (e liveEnv) ObserveMode(id topology.NodeID, mode core.ProtocolMode) {
+	if j := e.n.fed.journal; j != nil {
+		ev := oracle.Event{Node: id.String(), Kind: "start",
+			Clusters: append([]int(nil), e.n.fed.cfg.Clusters...),
+			Mode:     mode.String(), Recovering: e.n.fed.cfg.Recovering}
+		j.Event(ev)
+	}
+}
+
+func (e liveEnv) ObserveCommit(id topology.NodeID, seq core.SN, epoch core.Epoch, ddv core.DDV, pairs []core.DDVPair, forced bool) {
+	if j := e.n.fed.journal; j != nil {
+		j.Event(oracle.Event{Node: id.String(), Kind: "commit",
+			Seq: uint64(seq), Epoch: uint64(epoch), DDV: ddvU64(ddv), Forced: forced})
+	}
+}
+
+func (e liveEnv) ObserveRollback(id topology.NodeID, toSN core.SN, newEpoch core.Epoch, ddv core.DDV) {
+	if j := e.n.fed.journal; j != nil {
+		j.Event(oracle.Event{Node: id.String(), Kind: "rollback",
+			Seq: uint64(toSN), Epoch: uint64(newEpoch), DDV: ddvU64(ddv)})
+	}
+}
+
+func (e liveEnv) ObserveDeliver(dst, src topology.NodeID, srcEpoch core.Epoch, sendSN core.SN, recvEpoch core.Epoch, recvSN core.SN) {
+	if j := e.n.fed.journal; j != nil {
+		j.Event(oracle.Event{Node: dst.String(), Kind: "deliver", Src: src.String(),
+			SrcEpoch: uint64(srcEpoch), SendSN: uint64(sendSN),
+			RecvEpoch: uint64(recvEpoch), RecvSN: uint64(recvSN)})
+	}
+}
+
+func (e liveEnv) ObservePiggySend(src topology.NodeID, dstCluster topology.ClusterID, dense core.DDV) {
+	// The live runtime speaks the dense wire — no delta pipes, so no
+	// pipe-lockstep events to journal.
+}
+
+func (e liveEnv) ObserveGCDrop(id topology.NodeID, minSNs []core.SN) {
+	if j := e.n.fed.journal; j != nil {
+		vals := make([]uint64, len(minSNs))
+		for i, v := range minSNs {
+			vals[i] = uint64(v)
+		}
+		j.Event(oracle.Event{Node: id.String(), Kind: "gcdrop", MinSNs: vals})
+	}
+}
+
+// Start builds and starts a live federation (or, with cfg.LocalNodes,
+// this process's share of one).
 func Start(cfg Config) (*Live, error) {
 	if len(cfg.Clusters) == 0 {
 		return nil, fmt.Errorf("runtime: no clusters")
+	}
+	subset := cfg.LocalNodes != nil
+	if subset && cfg.Transport == nil {
+		return nil, fmt.Errorf("runtime: a multi-process federation needs a TCP transport with a static address map")
 	}
 	if cfg.Transport == nil {
 		cfg.Transport = NewChanTransport()
@@ -242,33 +357,60 @@ func Start(cfg Config) (*Live, error) {
 		}
 	}
 	f := &Live{
-		cfg:       cfg,
-		transport: cfg.Transport,
-		nodes:     make(map[topology.NodeID]*liveNode),
-		start:     time.Now(),
-		stats:     &liveStats{counters: make(map[string]uint64)},
-		trace:     cfg.Trace,
-		stopped:   make(chan struct{}),
+		cfg:        cfg,
+		transport:  cfg.Transport,
+		nodes:      make(map[topology.NodeID]*liveNode),
+		start:      time.Now(),
+		stats:      &liveStats{counters: make(map[string]uint64)},
+		trace:      cfg.Trace,
+		journal:    cfg.Journal,
+		stopped:    make(chan struct{}),
+		lastDetect: make(map[topology.NodeID]time.Time),
+	}
+	if tcp, ok := f.transport.(*TCPTransport); ok {
+		// Transport counters land in the federation's stat table, and
+		// failure suspicions reach the fail-stop handling (onSuspect).
+		tcp.SetStat(f.stats.add)
+		tcp.SetOnSuspect(f.onSuspect)
+	}
+
+	local := func(topology.NodeID) bool { return true }
+	if subset {
+		set := make(map[topology.NodeID]bool, len(cfg.LocalNodes))
+		for _, id := range cfg.LocalNodes {
+			if c := int(id.Cluster); c >= len(cfg.Clusters) || id.Index < 0 || id.Index >= cfg.Clusters[c] {
+				return nil, fmt.Errorf("runtime: local node %v outside the topology", id)
+			}
+			set[id] = true
+		}
+		local = func(id topology.NodeID) bool { return set[id] }
 	}
 
 	gcPeriod := sim.Forever
 	if cfg.GCPeriod > 0 {
 		gcPeriod = sim.Duration(cfg.GCPeriod)
 	}
-	for c, size := range cfg.Clusters {
+	clampRepl := func(size int) int {
 		repl := cfg.Replicas
 		if repl > size-1 {
 			repl = size - 1
 		}
+		return repl
+	}
+	for c, size := range cfg.Clusters {
 		for i := 0; i < size; i++ {
 			id := topology.NodeID{Cluster: topology.ClusterID(c), Index: i}
+			if !local(id) {
+				continue
+			}
 			ln := &liveNode{
-				id:      id,
-				app:     newLiveApp(),
-				mailbox: make(chan event, 4096),
-				fed:     f,
-				timers:  make(map[core.TimerKind]*time.Timer),
-				rng:     uint64(c*131071+i*8191) + 0x9e3779b97f4a7c15,
+				id:        id,
+				app:       newLiveApp(),
+				mailbox:   make(chan event, 4096),
+				fed:       f,
+				timers:    make(map[core.TimerKind]*time.Timer),
+				rng:       uint64(c*131071+i*8191) + 0x9e3779b97f4a7c15,
+				recovered: make(chan struct{}),
 			}
 			coreCfg := core.Config{
 				ID:           id,
@@ -277,36 +419,198 @@ func Start(cfg Config) (*Live, error) {
 				CLCPeriod:    sim.Duration(cfg.CLCPeriods[c]),
 				GCPeriod:     gcPeriod,
 				GCInitiator:  c == 0 && i == 0,
-				Replicas:     repl,
+				Replicas:     clampRepl(size),
 			}
 			ln.node = core.NewNode(coreCfg, liveEnv{ln}, ln.app)
 			f.nodes[id] = ln
 		}
 	}
-	// Seed initial replicas, register transports, start event loops.
-	for _, ln := range f.nodes {
-		for _, tgt := range ln.node.ReplicaTargets() {
-			f.nodes[tgt].node.SeedReplica(ln.node.InitialReplica())
+	// Seed initial replicas. In subset mode a hosted node may hold the
+	// replica of a *remote* owner: the initial checkpoint is the same
+	// deterministic (fresh app state, SN 1) record on every node, so
+	// each process reconstructs its share without talking to anyone.
+	// A recovering incarnation skips seeding — its nodes boot with
+	// lost state and recover the real thing from the replica holders.
+	if !cfg.Recovering {
+		for c, size := range cfg.Clusters {
+			for i := 0; i < size; i++ {
+				owner := topology.NodeID{Cluster: topology.ClusterID(c), Index: i}
+				for r := 1; r <= clampRepl(size); r++ {
+					tgt := topology.NodeID{Cluster: owner.Cluster, Index: (i + r) % size}
+					if !local(tgt) {
+						continue
+					}
+					rep := initialReplicaFor(owner)
+					if hosted, ok := f.nodes[owner]; ok {
+						rep = hosted.node.InitialReplica()
+					}
+					f.nodes[tgt].node.SeedReplica(rep)
+				}
+			}
 		}
 	}
 	for _, ln := range f.nodes {
 		ln := ln
-		f.transport.Register(ln.id, func(env Envelope) {
+		err := f.transport.Register(ln.id, func(env Envelope) {
+			if h, ok := env.Msg.(Hello); ok {
+				f.onHello(ln, h)
+				return
+			}
 			ln.post(event{kind: 0, src: env.Src, msg: env.Msg})
 		})
+		if err != nil {
+			f.Stop()
+			return nil, fmt.Errorf("runtime: register %v: %w", ln.id, err)
+		}
+	}
+	bootKind := 7
+	if cfg.Recovering {
+		bootKind = 9
 	}
 	for _, ln := range f.nodes {
 		f.wg.Add(1)
 		go ln.loop()
-		ln.node2start()
+		ln.boot(bootKind)
+	}
+	if cfg.Recovering {
+		// Announce the rejoin so a surviving peer runs the failure
+		// detector against us — the multi-process analogue of
+		// Live.Recover's kind-5 post, with the same ordering: the
+		// restart is fully applied before the announcement leaves.
+		// The beacon then re-announces until recovery completes: over
+		// real TCP any single control message can vanish (a peer's
+		// cached connection to our dead predecessor swallows exactly one
+		// write before the RST comes back), and the RollbackCmd and
+		// RecoverStateResp that recovery hangs on are both one-shot.
+		for _, ln := range f.nodes {
+			f.announceRejoin(ln)
+			f.wg.Add(1)
+			go f.rejoinBeacon(ln)
+		}
 	}
 	return f, nil
 }
 
-// node2start arms the node's timers from its own goroutine.
-func (n *liveNode) node2start() {
+// rejoinPeriod paces a recovering node's Hello beacon; rejoinGrace is
+// how long the failure detector lets a triggered rollback run before a
+// repeated Hello makes it start over (fresh epoch). Grace must cover a
+// healthy recovery round-trip with room to spare, or the re-detection
+// would preempt recoveries that were about to succeed.
+const (
+	rejoinPeriod = 500 * time.Millisecond
+	rejoinGrace  = 4 * rejoinPeriod
+)
+
+// rejoinBeacon re-announces a recovering node to its cluster until its
+// state is back (or the federation stops).
+func (f *Live) rejoinBeacon(ln *liveNode) {
+	defer f.wg.Done()
+	tick := time.NewTicker(rejoinPeriod)
+	defer tick.Stop()
+	for {
+		select {
+		case <-f.stopped:
+			return
+		case <-ln.recovered:
+			return
+		case <-tick.C:
+			ln.post(event{kind: 10})
+		}
+	}
+}
+
+// initialReplicaFor reconstructs a remote owner's bootstrap replica:
+// core.NewNode stores the fresh application snapshot as CLC 1 on every
+// node, so the record is deterministic across processes.
+func initialReplicaFor(owner topology.NodeID) core.Replica {
+	state, size := newLiveApp().Snapshot()
+	return core.Replica{Seq: 1, Owner: owner, State: state, Size: size}
+}
+
+// announceRejoin broadcasts a lost-state Hello to the node's cluster
+// peers (journaled, like every control send).
+func (f *Live) announceRejoin(ln *liveNode) {
+	for i := 0; i < f.cfg.Clusters[ln.id.Cluster]; i++ {
+		peer := topology.NodeID{Cluster: ln.id.Cluster, Index: i}
+		if peer == ln.id {
+			continue
+		}
+		if f.journal != nil {
+			f.journal.Event(oracle.Event{Node: ln.id.String(), Kind: "hello", Dst: peer.String()})
+		}
+		if err := f.transport.Send(Envelope{Src: ln.id, Dst: peer, Msg: Hello{From: ln.id, LostState: true}}); err != nil {
+			f.stats.add("live.send_dropped", 1)
+		}
+	}
+}
+
+// onHello handles a peer's rejoin announcement at a hosted node. The
+// failure detector's coordinator choice must be deterministic across
+// processes without coordination, so it mirrors Live.Recover: the
+// lowest-index cluster node that is not the victim runs the detection.
+// Rollback starts only now — after the victim is back and reachable —
+// because its RollbackCmd must actually arrive (a command sent while
+// the victim was down would be lost, wedging the 2PC rollback barrier;
+// transport suspicion alone therefore never triggers it).
+//
+// The victim beacons its Hello until recovery completes, so repeated
+// announcements are the norm, not an anomaly. Re-triggering detection
+// on every one would preempt rollbacks mid-flight; never re-triggering
+// would wedge the first time a RollbackCmd or RecoverStateResp is
+// swallowed by a dead cached connection. The middle ground: a repeat
+// Hello restarts the rollback only once the previous detection is older
+// than rejoinGrace — long enough that a healthy recovery has finished,
+// so a re-detection means the last round really lost a message.
+func (f *Live) onHello(ln *liveNode, h Hello) {
+	if f.journal != nil {
+		f.journal.Event(oracle.Event{Node: ln.id.String(), Kind: "hello", Src: h.From.String()})
+	}
+	if !h.LostState || h.From.Cluster != ln.id.Cluster || h.From == ln.id {
+		return
+	}
+	detector := 0
+	if h.From.Index == 0 {
+		detector = 1
+	}
+	if ln.id.Index != detector {
+		return
+	}
+	f.detectMu.Lock()
+	last, seen := f.lastDetect[h.From]
+	again := !seen || time.Since(last) >= rejoinGrace
+	if again {
+		f.lastDetect[h.From] = time.Now()
+	}
+	f.detectMu.Unlock()
+	if !again {
+		return
+	}
+	ln.post(event{kind: 5, failed: h.From})
+}
+
+// onSuspect is the transport's failure-suspicion callback: a peer has
+// stayed unreachable past the threshold. It feeds the fail-stop
+// picture (stat + journal + trace) that operators and the offline
+// replay see; the rollback itself waits for the peer's rejoin (see
+// onHello).
+func (f *Live) onSuspect(peer topology.NodeID) {
+	f.stats.add("live.suspected", 1)
+	if f.journal != nil {
+		f.journal.Event(oracle.Event{Node: peer.String(), Kind: "suspect"})
+	}
+	if f.trace != nil {
+		f.traceMu.Lock()
+		fmt.Fprintf(f.trace, "[%8s] %-8v suspected unreachable\n",
+			time.Since(f.start).Truncate(time.Microsecond), peer)
+		f.traceMu.Unlock()
+	}
+}
+
+// boot runs the node's start (kind 7) or crash-recovery boot (kind 9)
+// on its own goroutine and waits for it to apply.
+func (n *liveNode) boot(kind int) {
 	done := make(chan struct{})
-	n.mailbox <- event{kind: 7, done: done}
+	n.mailbox <- event{kind: kind, done: done}
 	<-done
 }
 
@@ -346,13 +650,40 @@ func (n *liveNode) loop() {
 			case 4:
 				n.node.Restart()
 			case 5:
-				n.node.OnFailureDetected(e.failed)
+				// A failed or lost-state detector cannot coordinate a
+				// rollback; the victim will re-announce if needed.
+				if !n.node.Failed() && !n.node.LostState() {
+					n.node.OnFailureDetected(e.failed)
+				}
 			case 6:
 				close(e.done)
 			case 7:
 				n.node.Start()
 				n.scheduleWorkload()
 				close(e.done)
+			case 9:
+				// Crash-recovery boot of a fresh OS process: the node
+				// revives with empty volatile memory and waits for its
+				// cluster's RollbackCmd (announceRejoin makes sure one
+				// comes). Message identities must not collide with the
+				// previous incarnation's — the boot time in nanoseconds
+				// is a strictly increasing base for both counters.
+				n.node.Restart()
+				base := uint64(time.Now().UnixNano())
+				n.node.SeedMsgID(base)
+				if n.nextSeq < base {
+					n.nextSeq = base
+				}
+				n.scheduleWorkload()
+				close(e.done)
+			case 10:
+				// Rejoin beacon tick: keep announcing while the state is
+				// still lost, stop the beacon once it is back.
+				if n.node.LostState() {
+					n.fed.announceRejoin(n)
+				} else {
+					n.recoveredOnce.Do(func() { close(n.recovered) })
+				}
 			case 8: // automatic workload send
 				if w := n.fed.cfg.Workload; w != nil {
 					select {
@@ -421,9 +752,35 @@ func (f *Live) Quiesce() {
 // Stat reads a protocol counter.
 func (f *Live) Stat(name string) uint64 { return f.stats.value(name) }
 
+// Stats snapshots every counter (protocol and transport).
+func (f *Live) Stats() map[string]uint64 {
+	f.stats.mu.Lock()
+	defer f.stats.mu.Unlock()
+	out := make(map[string]uint64, len(f.stats.counters))
+	for k, v := range f.stats.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// LocalIDs lists the nodes hosted in this process.
+func (f *Live) LocalIDs() []topology.NodeID {
+	ids := make([]topology.NodeID, 0, len(f.nodes))
+	for id := range f.nodes {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
 // Stop halts all node goroutines and closes the transport. After Stop
 // the federation's state is frozen and safe to inspect.
 func (f *Live) Stop() {
+	if f.journal != nil {
+		for id := range f.nodes {
+			f.journal.Event(oracle.Event{Node: id.String(), Kind: "stop", Stats: f.Stats()})
+		}
+		f.journal.Sync()
+	}
 	close(f.stopped)
 	for _, ln := range f.nodes {
 		ln.timerMu.Lock()

@@ -105,16 +105,39 @@ func TestChanTransportUnknownDestination(t *testing.T) {
 	}
 }
 
-func TestChanTransportDuplicateRegisterPanics(t *testing.T) {
-	tr := NewChanTransport()
-	defer tr.Close()
-	tr.Register(a(), func(Envelope) {})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+func TestTransportDuplicateRegisterErrors(t *testing.T) {
+	for _, tr := range []Transport{NewChanTransport(), NewTCPTransport()} {
+		if err := tr.Register(a(), func(Envelope) {}); err != nil {
+			t.Fatal(err)
 		}
-	}()
-	tr.Register(a(), func(Envelope) {})
+		if err := tr.Register(a(), func(Envelope) {}); err == nil {
+			t.Fatal("duplicate registration accepted")
+		}
+		tr.Close()
+	}
+}
+
+func TestTCPTransportRegisterErrors(t *testing.T) {
+	// Static topology: a node absent from the address map is refused.
+	tr := NewTCPTransportWith(TCPConfig{Addrs: map[topology.NodeID]string{
+		a(): "127.0.0.1:0",
+	}})
+	defer tr.Close()
+	if err := tr.Register(bN(), func(Envelope) {}); err == nil {
+		t.Fatal("registration without an address accepted")
+	}
+	if err := tr.Register(a(), func(Envelope) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A dead listen address surfaces as an error, not a panic.
+	tr2 := NewTCPTransportWith(TCPConfig{Addrs: map[topology.NodeID]string{
+		bN(): tr.Addr(a()), // already bound by tr
+	}})
+	defer tr2.Close()
+	if err := tr2.Register(bN(), func(Envelope) {}); err == nil {
+		t.Fatal("listen on an occupied port accepted")
+	}
 }
 
 func TestTransportCloseIdempotent(t *testing.T) {

@@ -104,19 +104,22 @@ func (e *writerExporter) Export(r Record) error {
 
 func (e *writerExporter) Close() error { return e.bw.Flush() }
 
-// Journal is the durable record store: an append-only JSONL file whose
-// byte offset the checkpoint references. Every Export is one full-line
-// write followed by the offset advance, so the only possible damage
-// from a kill is a torn final line — which Open truncates away.
-type Journal struct {
+// LineJournal is the generic durable line store underneath Journal:
+// an append-only file of newline-terminated records whose byte offset
+// a checkpoint can reference. Every append is one full-line write
+// followed by the offset advance, so the only possible damage from a
+// kill is a torn final line — which Open truncates away. The live
+// runtime's per-node event journals (internal/runtime) reuse it with
+// their own record schema.
+type LineJournal struct {
 	f   *os.File
 	off int64
 }
 
-// OpenJournal opens (creating if needed) the journal at path, truncates
-// a torn trailing line left by a previous kill, and positions for
-// append.
-func OpenJournal(path string) (*Journal, error) {
+// OpenLineJournal opens (creating if needed) the line journal at path,
+// truncates a torn trailing line left by a previous kill, and
+// positions for append.
+func OpenLineJournal(path string) (*LineJournal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
@@ -130,7 +133,41 @@ func OpenJournal(path string) (*Journal, error) {
 		f.Close()
 		return nil, err
 	}
-	return &Journal{f: f, off: end}, nil
+	return &LineJournal{f: f, off: end}, nil
+}
+
+// AppendLine writes one record line (the trailing newline is added
+// here) and advances the offset.
+func (j *LineJournal) AppendLine(b []byte) error {
+	n, err := j.f.Write(append(b, '\n'))
+	j.off += int64(n)
+	return err
+}
+
+// Offset is the current append position — the value a checkpoint
+// records as absorbed.
+func (j *LineJournal) Offset() int64 { return j.off }
+
+// Sync flushes the journal to stable storage.
+func (j *LineJournal) Sync() error { return j.f.Sync() }
+
+func (j *LineJournal) Close() error { return j.f.Close() }
+
+// Journal is the soak service's durable record store: a LineJournal of
+// JSONL Record lines.
+type Journal struct {
+	lj *LineJournal
+}
+
+// OpenJournal opens (creating if needed) the journal at path, truncates
+// a torn trailing line left by a previous kill, and positions for
+// append.
+func OpenJournal(path string) (*Journal, error) {
+	lj, err := OpenLineJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{lj: lj}, nil
 }
 
 // truncateTorn scans for the last newline-terminated byte and truncates
@@ -178,21 +215,18 @@ func (j *Journal) Export(r Record) error {
 	if err != nil {
 		return err
 	}
-	b = append(b, '\n')
-	n, err := j.f.Write(b)
-	j.off += int64(n)
-	return err
+	return j.lj.AppendLine(b)
 }
 
 // Offset is the current append position — the value a checkpoint
 // records as absorbed.
-func (j *Journal) Offset() int64 { return j.off }
+func (j *Journal) Offset() int64 { return j.lj.Offset() }
 
 // Sync flushes the journal to stable storage (each checkpoint calls it
 // before publishing the offset it references).
-func (j *Journal) Sync() error { return j.f.Sync() }
+func (j *Journal) Sync() error { return j.lj.Sync() }
 
-func (j *Journal) Close() error { return j.f.Close() }
+func (j *Journal) Close() error { return j.lj.Close() }
 
 // ReadFrom replays every journal record starting at byte offset off,
 // calling fn for each. A torn or malformed line stops the scan there

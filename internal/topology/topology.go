@@ -23,6 +23,21 @@ type NodeID struct {
 // String formats the node as "c<cluster>n<index>".
 func (n NodeID) String() string { return fmt.Sprintf("c%dn%d", n.Cluster, n.Index) }
 
+// ParseNodeID parses the canonical "c<cluster>n<index>" form produced
+// by NodeID.String — the identifier format of federation config files
+// and live-run journals.
+func ParseNodeID(s string) (NodeID, error) {
+	var c, i int
+	n, err := fmt.Sscanf(s, "c%dn%d", &c, &i)
+	if err != nil || n != 2 || c < 0 || i < 0 {
+		return NodeID{}, fmt.Errorf("topology: bad node id %q (want cXnY)", s)
+	}
+	if got := (NodeID{Cluster: ClusterID(c), Index: i}).String(); got != s {
+		return NodeID{}, fmt.Errorf("topology: bad node id %q (want cXnY)", s)
+	}
+	return NodeID{Cluster: ClusterID(c), Index: i}, nil
+}
+
 // Link models one network class by latency and bandwidth, exactly the
 // two parameters the paper's topology file specifies per link, plus an
 // optional jitter bound for the high-variance WAN profiles of the
