@@ -275,3 +275,84 @@ func benchWideSlice(b *testing.B, dense bool, shards int) {
 		}
 	}
 }
+
+// BenchmarkWideSlice1024 runs the widest matrix rung — 1024 clusters,
+// 2048 protocol nodes, 1024-entry DDVs, both wide failure patterns
+// under all four protocols — as a real benchmark rather than the
+// smoke-only run it used to be. This is the configuration wire
+// batching, the chunk-strided DDV kernels and the incremental GC scan
+// exist for; the Parallel variant splits every federation across 4
+// conservative-window engines (byte-identical output; on few-core
+// runners the barriers are overhead, on real cores they pay off).
+func BenchmarkWideSlice1024(b *testing.B) {
+	benchWideSlice1024(b, 1)
+}
+
+// BenchmarkWideSlice1024Parallel is the 4-shard leg of the same rung.
+func BenchmarkWideSlice1024Parallel(b *testing.B) {
+	benchWideSlice1024(b, 4)
+}
+
+func benchWideSlice1024(b *testing.B, shards int) {
+	for i := 0; i < b.N; i++ {
+		opts := hc3i.RunnerOptions{
+			Workers: hc3i.DefaultWorkers(), Seed: uint64(i + 1), Quick: true,
+			Shards: shards,
+		}
+		res, err := hc3i.RunMatrix(opts, "tier=wide,topology=1024c")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("1024c slice produced no rows")
+		}
+	}
+}
+
+// BenchmarkPerMessage256 / BenchmarkPerMessage1024 price one
+// application message end-to-end (simulation cost per app message,
+// protocol and piggybacking included) on the sparse ring pattern at
+// the two widest scales. The pair is the flatness gate for wire
+// batching: the reported ns/msg at 1024 clusters should stay within
+// ~1.3x of the 256-cluster figure — without batching every same-pipe
+// message pays its own schedule and codec pass and the ratio drifts
+// with width.
+func BenchmarkPerMessage256(b *testing.B)  { benchPerMessage(b, 256) }
+func BenchmarkPerMessage1024(b *testing.B) { benchPerMessage(b, 1024) }
+
+func benchPerMessage(b *testing.B, nc int) {
+	clusters := make([]hc3i.Cluster, nc)
+	rates := make([][]float64, nc)
+	for i := range clusters {
+		clusters[i] = hc3i.Cluster{Name: fmt.Sprintf("c%d", i), Nodes: 2}
+		rates[i] = make([]float64, nc)
+		rates[i][i] = 120           // local chatter
+		rates[i][(i+1)%nc] = 6      // ring neighbour
+		rates[i][(i+nc/2)%nc] = 1.5 // a long-haul dependency
+	}
+	b.ResetTimer()
+	var msgs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := hc3i.Run(hc3i.Config{
+			Clusters:      clusters,
+			TotalTime:     7200e9, // two virtual hours: messages amortize the O(width^2) federation setup
+			RatesPerHour:  rates,
+			StateSize:     64 << 10,
+			TransitiveDDV: true,
+			Seed:          uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.AppMessages {
+			for _, v := range row {
+				msgs += v
+			}
+		}
+		b.ReportMetric(float64(res.Events), "events/run")
+	}
+	if msgs == 0 {
+		b.Fatal("no application messages sent")
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(msgs), "ns/msg")
+}

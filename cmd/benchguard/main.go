@@ -18,7 +18,13 @@
 //
 // where cv is the larger coefficient of variation of the current run
 // and the recorded baseline. A quiet machine tightens the gate toward
-// the floor; a noisy one loosens it instead of flaking.
+// the floor; a noisy one loosens it instead of flaking. Past
+// -wall-max-cv (default 0.25) the scatter rivals the mean and no
+// per-benchmark verdict is meaningful: the wall gate is skipped for
+// that benchmark, visibly, and written snapshots record the reason in
+// wall_skip. -gate-wall-total still bounds the summed ns/op of every
+// compared benchmark against the baseline sum, so the suite keeps an
+// overall wall budget even when individual rungs are noise-exempt.
 //
 // Benchmarks whose baseline mean sits below -wall-min-ns (default
 // 50ns) are exempt from the wall gate entirely: at that scale the
@@ -61,6 +67,11 @@ type Benchmark struct {
 	EventsPerRun float64 `json:"events_per_run,omitempty"`
 	BPerOp       float64 `json:"B_per_op"`
 	AllocsPerOp  float64 `json:"allocs_per_op"`
+	// WallSkip records, at snapshot time, why this benchmark's wall
+	// clock cannot gate future runs ("noisy: cv 0.55 > 0.25") — the
+	// skip is then visible in the recorded trajectory instead of a
+	// silent verdict on noise. Allocs/op still gates.
+	WallSkip string `json:"wall_skip,omitempty"`
 }
 
 // Snapshot is the BENCH_*.json file layout.
@@ -183,6 +194,8 @@ func main() {
 		wallFloor    = flag.Float64("wall-floor", 0.25, "minimum tolerated fractional ns/op regression (noise floor)")
 		wallZ        = flag.Float64("wall-z", 3.0, "variance-band width in standard deviations of the noisier of current/baseline runs")
 		wallMinNs    = flag.Float64("wall-min-ns", 50, "skip the wall gate for benchmarks whose baseline mean is below this many ns/op: at single-digit-nanosecond scales the run-to-run stddev is a large fraction of the mean (timer granularity, alignment, frequency scaling), so the 3-sigma band spans the value itself and the gate is pure noise; such benchmarks still gate on allocs/op")
+		wallMaxCV    = flag.Float64("wall-max-cv", 0.25, "skip the per-benchmark wall gate when either run's coefficient of variation (ns_stddev/ns_per_op) exceeds this: a stddev rivalling the mean (BENCH_pr6 records DDVMerge at 25.8ns ± 14.1ns) makes any single-bench verdict noise; the skip and its reason are recorded in written snapshots, and -gate-wall-total still bounds the aggregate")
+		gateTotal    = flag.Bool("gate-wall-total", false, "gate the summed ns/op of all benchmarks present in both runs against the baseline sum (band = wall-floor): individual benches too noisy for a per-bench verdict still contribute to the total, whose relative scatter is far smaller, so the full quick matrix keeps a wall budget")
 	)
 	flag.Parse()
 
@@ -201,7 +214,11 @@ func main() {
 	}
 	got := make([]Benchmark, 0, len(order))
 	for _, name := range order {
-		got = append(got, aggregate(name, groups[name]))
+		b := aggregate(name, groups[name])
+		if c := b.cv(); c > *wallMaxCV {
+			b.WallSkip = fmt.Sprintf("noisy: cv %.2f > %.2f", c, *wallMaxCV)
+		}
+		got = append(got, b)
 	}
 
 	if *writePath != "" {
@@ -240,6 +257,7 @@ func main() {
 
 	failed := 0
 	compared := 0
+	var totalCur, totalRef float64
 	for _, b := range got {
 		ref, ok := baseline[b.Name]
 		if !ok {
@@ -247,6 +265,8 @@ func main() {
 			continue
 		}
 		compared++
+		totalCur += b.NsPerOp
+		totalRef += ref.NsPerOp
 		limit := ref.AllocsPerOp*(1+*maxRegress) + *allocSlack
 		verdict := "ok"
 		if b.AllocsPerOp > limit {
@@ -262,6 +282,15 @@ func main() {
 		if ref.NsPerOp < *wallMinNs {
 			fmt.Printf("benchguard: %-44s ns/op     %10.0f -> %10.0f (below %.0fns floor: allocs-only gate)\n",
 				b.Name, ref.NsPerOp, b.NsPerOp, *wallMinNs)
+			continue
+		}
+		// A stddev rivalling the mean — in either run — makes the
+		// per-bench verdict noise: skip it (visibly, and recorded as
+		// wall_skip in written snapshots) rather than gate on scatter.
+		// -gate-wall-total still bounds the aggregate below.
+		if c := math.Max(b.cv(), ref.cv()); c > *wallMaxCV {
+			fmt.Printf("benchguard: %-44s ns/op     %10.0f -> %10.0f (cv %.2f > %.2f: too noisy, allocs-only gate)\n",
+				b.Name, ref.NsPerOp, b.NsPerOp, c, *wallMaxCV)
 			continue
 		}
 		// The variance band widens with whichever run — current or
@@ -281,6 +310,16 @@ func main() {
 	}
 	if compared == 0 {
 		fatal(fmt.Errorf("benchguard: nothing compared against %s", *baselinePath))
+	}
+	if *gateTotal && totalRef > 0 {
+		limit := totalRef * (1 + *wallFloor)
+		verdict := "ok"
+		if totalCur > limit {
+			verdict = "REGRESSED"
+			failed++
+		}
+		fmt.Printf("benchguard: %-44s ns/op     %10.0f -> %10.0f (limit %.0f, band %.0f%%) %s\n",
+			"TOTAL(wall)", totalRef, totalCur, limit, *wallFloor*100, verdict)
 	}
 	if failed > 0 {
 		fatal(fmt.Errorf("benchguard: %d gate(s) regressed beyond tolerance", failed))

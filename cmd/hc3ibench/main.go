@@ -65,6 +65,8 @@ func main() {
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
 		denseDDV = flag.Bool("dense-ddv", false,
 			"transport dependency vectors in the dense wire encoding (identical results; for A/B timing the delta encoding)")
+		unbatched = flag.Bool("unbatched-wire", false,
+			"schedule every inter-cluster delivery as its own engine event instead of batching same-pipe same-tick messages (identical results; for A/B timing the batched wire)")
 		oracleOn = flag.Bool("oracle", false,
 			"attach the online protocol invariant checker to every run (identical results; violations fail the run)")
 		chaosSeed = flag.Uint64("chaos-seed", 0,
@@ -158,7 +160,7 @@ func main() {
 		mode = "quick scale"
 	}
 	opts := hc3i.RunnerOptions{Workers: *parallel, Seed: *seed, Quick: *quick, DenseDDVWire: *denseDDV,
-		Oracle: *oracleOn, ChaosSeed: *chaosSeed, ChaosSeeds: *chaosSeeds,
+		UnbatchedWire: *unbatched, Oracle: *oracleOn, ChaosSeed: *chaosSeed, ChaosSeeds: *chaosSeeds,
 		ChaosOps: *chaosOps, RunTimeout: *runTimeout, Shards: *shards}
 	fmt.Fprintf(w, "HC3I evaluation harness — %s, seed %d, %d worker(s)\n\n", mode, *seed, *parallel)
 

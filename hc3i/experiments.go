@@ -90,6 +90,12 @@ type RunnerOptions struct {
 	// Config.DenseDDVWire); results are identical, only simulator
 	// speed changes.
 	DenseDDVWire bool
+	// UnbatchedWire schedules every inter-cluster delivery as its own
+	// engine event instead of coalescing same-pipe same-tick messages
+	// into batched deliveries. Results are byte-identical to the
+	// batched default; this is the reference wire the batching
+	// differential suites diff against.
+	UnbatchedWire bool
 	// Oracle attaches the online protocol invariant checker to every
 	// federation run (registry and matrix alike). Results are
 	// byte-identical; a violated invariant fails the run with a
@@ -122,8 +128,9 @@ func DefaultWorkers() int { return experiments.DefaultWorkers() }
 func (o RunnerOptions) config() experiments.RunnerConfig {
 	return experiments.RunnerConfig{
 		Workers: o.Workers, Seed: o.Seed, Quick: o.Quick, DenseWire: o.DenseDDVWire,
-		Oracle: o.Oracle, ChaosSeed: o.ChaosSeed, ChaosSeeds: o.ChaosSeeds,
-		ChaosOps: o.ChaosOps, RunTimeout: o.RunTimeout, Shards: o.Shards,
+		UnbatchedWire: o.UnbatchedWire, Oracle: o.Oracle, ChaosSeed: o.ChaosSeed,
+		ChaosSeeds: o.ChaosSeeds, ChaosOps: o.ChaosOps, RunTimeout: o.RunTimeout,
+		Shards: o.Shards,
 	}
 }
 

@@ -75,10 +75,19 @@ type NodeApp struct {
 }
 
 // genCursor tracks the per-destination Poisson streams used to extend
-// the schedule.
+// the schedule. Only destinations with a nonzero rate get a slot: on
+// wide federations the rate matrix is sparse (a 1024-cluster ring row
+// has 3 live entries), and building 1024 RNGs per node — then scanning
+// all 1024 cursors per generated event — dominated the simulator's
+// setup profile. The three slices are parallel, indexed by slot;
+// active lists the live destination clusters in ascending order, so
+// the earliest-event argmin (first slot wins ties, i.e. the lowest
+// cluster index, unchanged from the full-width cursor) touches only
+// live streams and the per-node footprint is O(live), not O(width).
 type genCursor struct {
-	nextAt []sim.Duration // per destination cluster
-	rngs   []*sim.RNG
+	active []int32        // live destination clusters, ascending
+	nextAt []sim.Duration // next event time, parallel to active
+	rngs   []*sim.RNG     // Poisson stream, parallel to active
 }
 
 // NewNodeApp builds the application of one node. rng must be a private
@@ -100,10 +109,8 @@ func NewNodeApp(id topology.NodeID, wl *Workload, fed *topology.Federation, rng 
 // rate matrix, so the cached schedule is sized once instead of
 // repeatedly regrowing during the run.
 func scheduleHint(id topology.NodeID, wl *Workload, fed *topology.Federation) int {
-	var perHour float64
-	for _, r := range wl.RatesPerHour[id.Cluster] {
-		perHour += r
-	}
+	row, _ := wl.rateSums()
+	perHour := row[id.Cluster]
 	expected := perHour * wl.TotalTime.Seconds() / 3600 / float64(fed.Clusters[id.Cluster].Nodes)
 	const maxHint = 1 << 16
 	if expected > maxHint {
@@ -117,10 +124,8 @@ func scheduleHint(id topology.NodeID, wl *Workload, fed *topology.Federation) in
 // cluster's nodes), so the delivery map is sized once instead of
 // rehashing throughout the run.
 func deliveredHint(id topology.NodeID, wl *Workload, fed *topology.Federation) int {
-	var perHour float64
-	for i := range wl.RatesPerHour {
-		perHour += wl.RatesPerHour[i][id.Cluster]
-	}
+	_, col := wl.rateSums()
+	perHour := col[id.Cluster]
 	expected := perHour * wl.TotalTime.Seconds() / 3600 / float64(fed.Clusters[id.Cluster].Nodes)
 	const maxHint = 1 << 16 // hint only: never pre-reserve absurd amounts
 	if expected > maxHint {
@@ -131,21 +136,40 @@ func deliveredHint(id topology.NodeID, wl *Workload, fed *topology.Federation) i
 
 func (a *NodeApp) initCursor(rng *sim.RNG) {
 	n := a.fed.NumClusters()
+	row := a.wl.RatesPerHour[a.id.Cluster]
+	live := 0
+	for d := 0; d < n; d++ {
+		if row[d] > 0 {
+			live++
+		}
+	}
 	a.genState = genCursor{
-		nextAt: make([]sim.Duration, n),
-		rngs:   make([]*sim.RNG, n),
+		active: make([]int32, 0, live),
+		nextAt: make([]sim.Duration, 0, live),
+		rngs:   make([]*sim.RNG, 0, live),
 	}
 	for d := 0; d < n; d++ {
-		a.genState.rngs[d] = rng.StreamN("dst", d)
-		a.genState.nextAt[d] = a.nextEvent(d, 0)
+		if row[d] <= 0 {
+			// Dead pipe: consume the parent draw StreamN would have
+			// taken — live destinations then derive byte-identical
+			// streams — but skip the stream object itself (drawGap
+			// never touches the RNG of a zero-rate destination).
+			rng.Uint64()
+			continue
+		}
+		k := len(a.genState.active)
+		a.genState.active = append(a.genState.active, int32(d))
+		a.genState.rngs = append(a.genState.rngs, rng.StreamN("dst", d))
+		a.genState.nextAt = append(a.genState.nextAt, a.nextEvent(k, 0))
 	}
 }
 
-// drawGap draws the next inter-send gap towards destination cluster d.
-// With a burst envelope the gap lives on the on-time axis (and is
-// scaled by the duty cycle so the long-run average rate is preserved);
-// nextEvent maps it back to absolute application time.
-func (a *NodeApp) drawGap(d int) sim.Duration {
+// drawGap draws the next inter-send gap towards the destination in
+// cursor slot k. With a burst envelope the gap lives on the on-time
+// axis (and is scaled by the duty cycle so the long-run average rate
+// is preserved); nextEvent maps it back to absolute application time.
+func (a *NodeApp) drawGap(k int) sim.Duration {
+	d := a.genState.active[k]
 	rate := a.wl.RatesPerHour[a.id.Cluster][d] // cluster-aggregate msgs/hour
 	size := float64(a.fed.Clusters[a.id.Cluster].Nodes)
 	perNode := rate / size
@@ -156,13 +180,14 @@ func (a *NodeApp) drawGap(d int) sim.Duration {
 	if a.wl.Burst != nil {
 		mean = sim.Duration(float64(mean) * a.wl.Burst.Duty)
 	}
-	return a.genState.rngs[d].Exp(mean)
+	return a.genState.rngs[k].Exp(mean)
 }
 
 // nextEvent returns the absolute application time of the next send
-// towards destination cluster d, given the previous one at from.
-func (a *NodeApp) nextEvent(d int, from sim.Duration) sim.Duration {
-	g := a.drawGap(d)
+// towards the destination in cursor slot k, given the previous one at
+// from.
+func (a *NodeApp) nextEvent(k int, from sim.Duration) sim.Duration {
+	g := a.drawGap(k)
 	if g >= sim.Forever {
 		return sim.Forever
 	}
@@ -176,28 +201,31 @@ func (a *NodeApp) nextEvent(d int, from sim.Duration) sim.Duration {
 // workload's end.
 func (a *NodeApp) extendTo(i int) {
 	for len(a.schedule) <= i {
-		// Pick the destination cluster with the earliest next event.
+		// Pick the cursor slot with the earliest next event; slots are
+		// in ascending cluster order, so the first-wins tie-break keeps
+		// the lowest destination cluster, as the full-width scan did.
 		best := -1
 		at := sim.Duration(math.MaxInt64)
-		for d, t := range a.genState.nextAt {
+		for k, t := range a.genState.nextAt {
 			if t < at {
-				best, at = d, t
+				best, at = k, t
 			}
 		}
 		if best == -1 || at > a.wl.TotalTime {
 			return // workload finished
 		}
-		dst := a.pickNode(topology.ClusterID(best))
+		dst := a.pickNode(best)
 		a.schedule = append(a.schedule, sendEvent{At: at, Dst: dst, Size: a.wl.MsgSize})
 		a.genState.nextAt[best] = a.nextEvent(best, at)
 	}
 }
 
-// pickNode selects a uniform destination node in cluster c (never the
-// sender itself).
-func (a *NodeApp) pickNode(c topology.ClusterID) topology.NodeID {
+// pickNode selects a uniform destination node in the cluster of cursor
+// slot k (never the sender itself).
+func (a *NodeApp) pickNode(k int) topology.NodeID {
+	c := topology.ClusterID(a.genState.active[k])
 	size := a.fed.Clusters[c].Nodes
-	r := a.genState.rngs[c]
+	r := a.genState.rngs[k]
 	if c == a.id.Cluster {
 		if size == 1 {
 			panic(fmt.Sprintf("app: node %v has intra-cluster traffic but no peer", a.id))

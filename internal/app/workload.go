@@ -7,6 +7,7 @@ package app
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -43,6 +44,32 @@ type Workload struct {
 	// still matches RatesPerHour. The scenario matrix uses it for its
 	// bursty workloads.
 	Burst *Burst
+
+	// sums caches the row and column totals of RatesPerHour. The
+	// per-node sizing hints each need one row sum (outbound rate) and
+	// one column sum (inbound rate); recomputing them per node is an
+	// O(width) scan that dominated wide-federation setup. Computed on
+	// first use — RatesPerHour must not change afterwards (every
+	// harness finishes building the workload before running it).
+	sums     struct{ row, col []float64 }
+	sumsOnce sync.Once
+}
+
+// rateSums returns the cached per-cluster outbound (row) and inbound
+// (column) rate totals, computing them on first call.
+func (w *Workload) rateSums() (row, col []float64) {
+	w.sumsOnce.Do(func() {
+		n := len(w.RatesPerHour)
+		w.sums.row = make([]float64, n)
+		w.sums.col = make([]float64, n)
+		for i, r := range w.RatesPerHour {
+			for j, v := range r {
+				w.sums.row[i] += v
+				w.sums.col[j] += v
+			}
+		}
+	})
+	return w.sums.row, w.sums.col
 }
 
 // Burst is an on-off traffic envelope (see Workload.Burst).

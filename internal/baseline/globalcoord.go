@@ -54,10 +54,6 @@ func NewGlobalCoordinated(cfg core.Config, env core.Env, app core.AppHooks) *Glo
 		common:  newCommon(cfg, env, app),
 		sendLog: make(map[uint64]wire),
 	}
-	for c := 0; c < cfg.Clusters; c++ {
-		g.keysCommitted = append(g.keysCommitted, statCluster("clc.committed", c))
-		g.keysUnforced = append(g.keysUnforced, statCluster("clc.committed", c)+".unforced")
-	}
 	state, size := app.Snapshot()
 	g.seq = 1
 	g.snaps = append(g.snaps, &snapshotRec{Seq: 1, State: state, Size: size, At: env.Now()})
@@ -252,6 +248,14 @@ func (g *GlobalCoordinated) maybeCommit() {
 	freeze := g.env.Now().Sub(g.reqAt)
 	g.env.Stat("gcoord.committed", 1)
 	g.env.Stat("gcoord.freeze_us_total", uint64(freeze/sim.Microsecond))
+	if g.keysCommitted == nil {
+		// Rendered lazily: only the initiator commits on behalf of every
+		// cluster, so the other nodes never pay for these nc key strings.
+		for c := 0; c < g.cfg.Clusters; c++ {
+			g.keysCommitted = append(g.keysCommitted, statCluster("clc.committed", c))
+			g.keysUnforced = append(g.keysUnforced, statCluster("clc.committed", c)+".unforced")
+		}
+	}
 	for c := 0; c < g.cfg.Clusters; c++ {
 		g.env.Stat(g.keysCommitted[c], 1)
 		g.env.Stat(g.keysUnforced[c], 1)

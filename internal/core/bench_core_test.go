@@ -110,7 +110,7 @@ func BenchmarkPiggybackMessage(b *testing.B) {
 		name  string
 		dense bool
 	}{{"delta", false}, {"dense", true}} {
-		for _, width := range []int{8, 64, 256} {
+		for _, width := range []int{8, 64, 256, 1024} {
 			b.Run(fmt.Sprintf("%s/%dclusters", enc.name, width), func(b *testing.B) {
 				bed := newWideTestbed(b, width, enc.dense)
 				sender, receiver := bed.node(1, 0), bed.node(0, 0)

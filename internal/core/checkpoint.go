@@ -116,12 +116,7 @@ func (n *Node) ensurePendingForce() {
 // starts a forced CLC if none is in flight.
 func (n *Node) absorbForce(target DDV, always bool) {
 	n.ensurePendingForce()
-	for i, v := range target {
-		if v > n.pendingForce[i] {
-			n.pendingForce[i] = v
-			n.pendingDirty.Add(i)
-		}
-	}
+	mergeMaxDirty(n.pendingForce, target, &n.pendingDirty)
 	if always {
 		n.pendingAlways = true
 	}
@@ -454,6 +449,13 @@ func (n *Node) applyCommit(seq SN, commitVec DDV, pairs []DDVPair, forced bool) 
 	if !n.denseWire && n.cfg.Mode == ModeIndependent {
 		// Entries still above the new base stay dirty for the next ack.
 		n.recvDirty.Refresh(func(i int) bool { return n.ddv[i] > n.commitBase[i] })
+	}
+	if n.cfg.Mode == ModeHC3I {
+		// ddv now equals the Meta stored below (HC3I holds the whole
+		// cluster at the committed vector between commits): restart the
+		// incremental GC-report scan from this clean anchor.
+		n.gcScanDirty.Reset()
+		n.gcScanValid = true
 	}
 	rec := n.provisional
 	// The record outlives the commit message, which is shared across

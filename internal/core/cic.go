@@ -248,6 +248,7 @@ func (n *Node) cicReceive(src topology.NodeID, m AppMsg) {
 			n.ddv[src.Cluster] = m.SendSN
 			n.ddvChanged()
 			n.recvDirty.Add(int(src.Cluster))
+			n.gcScanDirty.Add(int(src.Cluster))
 		}
 		n.deliverInter(src, m)
 		return
@@ -397,11 +398,7 @@ func (n *Node) examineDeltaPiggy(srcCluster topology.ClusterID) []DDVPair {
 			}
 		}
 	} else {
-		for i, v := range cur {
-			if int32(i) != own && v > n.ddv[i] {
-				pairs = append(pairs, DDVPair{Idx: int32(i), SN: v})
-			}
-		}
+		pairs = raisedPairs(pairs, cur, n.ddv, own)
 	}
 	n.pairScratch = pairs
 	if len(pairs) == 0 {

@@ -66,15 +66,11 @@ func (d DDV) mergePairs(pairs []DDVPair, dirty *DirtySet) {
 }
 
 // diffPairs appends to buf one pair per entry where cur differs from
-// base, and returns the extended buffer. O(width); callers that know
+// base, and returns the extended buffer. O(width) worst case, but the
+// chunked kernel skips unchanged blocks whole; callers that know
 // nothing changed (generation counters) skip the call entirely.
 func diffPairs(buf []DDVPair, cur, base DDV) []DDVPair {
-	for i, v := range cur {
-		if v != base[i] {
-			buf = append(buf, DDVPair{Idx: int32(i), SN: v})
-		}
-	}
-	return buf
+	return diffPairsKernel(buf, cur, base)
 }
 
 // DirtySet tracks which DDV indices changed since it was last reset,
@@ -245,6 +241,46 @@ func (c *DeltaCodec) Decode(pairs []DDVPair) {
 	c.dec.applyPairs(pairs)
 	c.journal[c.ver%codecJournal] = pairs
 	c.ver++
+}
+
+// EncodeBatch encodes count same-tick messages onto the pipe in one
+// codec pass and appends their pair sets to out (one entry per
+// message, nil for "unchanged"). The sender's vector cannot change
+// between same-tick messages, so only the first member can carry a
+// diff — the batch costs one diff and at most one arena claim, where
+// per-message encoding would re-run the (empty) diff for every member
+// whenever the sender has no generation counter. Byte-equivalent to
+// count sequential Encode calls with the same arguments; FuzzBatchCodec
+// pins the equivalence.
+func (c *DeltaCodec) EncodeBatch(out [][]DDVPair, cur DDV, gen uint64, count int, ar *PairArena) [][]DDVPair {
+	if count <= 0 {
+		return out
+	}
+	out = append(out, c.Encode(cur, gen, ar))
+	for i := 1; i < count; i++ {
+		out = append(out, nil)
+	}
+	// A successful Encode recorded gen; when the sender has no
+	// generation counter (gen 0), the members after the first would
+	// each re-diff against an already-synced enc and find nothing —
+	// the loop above skips those no-op passes outright.
+	return out
+}
+
+// DecodeBatch replays a batch of same-pipe messages in FIFO order —
+// one journal entry and version step per non-empty member, exactly as
+// per-message decoding would — and returns the decoder vector after
+// the last member. Callers that need the vector a *specific* member
+// carried (the per-message examination does) still call Decode
+// member-by-member at unpack time; this entry point serves consumers
+// that only need the batch's final vector.
+func (c *DeltaCodec) DecodeBatch(members [][]DDVPair) DDV {
+	for _, pairs := range members {
+		if len(pairs) > 0 {
+			c.Decode(pairs)
+		}
+	}
+	return c.dec
 }
 
 // Current returns the decoder vector: the exact dense vector the

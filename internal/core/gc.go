@@ -132,9 +132,28 @@ func (n *Node) makeGCReport(round uint64) GCReport {
 		}
 	}
 	newest := n.clcs[len(n.clcs)-1].meta.DDV
-	n.pairScratch = diffPairs(n.pairScratch[:0], n.ddv, newest)
+	n.pairScratch = n.curPairsVsNewest(n.pairScratch[:0], newest)
 	rep.CurPairs = n.pairArena.Clone(n.pairScratch)
 	return rep
+}
+
+// curPairsVsNewest appends the (index, SN) pairs where ddv differs from
+// the newest stored CLC's vector. While the incremental scan is valid
+// (HC3I steady state), only the indices raised since the last commit
+// are probed — O(dirty) instead of O(width); any path that broke the
+// invariant (rollback, recovery, restart) cleared gcScanValid and the
+// chunked full-width diff runs instead. gc_scan_test.go diffs the two
+// against each other across chaos runs.
+func (n *Node) curPairsVsNewest(buf []DDVPair, newest DDV) []DDVPair {
+	if !n.gcScanValid || n.cfg.Mode != ModeHC3I {
+		return diffPairs(buf, n.ddv, newest)
+	}
+	for _, i := range n.gcScanDirty.Indices() {
+		if v := n.ddv[i]; v != newest[i] {
+			buf = append(buf, DDVPair{Idx: i, SN: v})
+		}
+	}
+	return buf
 }
 
 // materializeGCReport expands a report into its dense stored-CLC list

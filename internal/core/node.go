@@ -316,6 +316,16 @@ type Node struct {
 	// commitScratch is the per-event dirty-set scratch for building
 	// commit pairs.
 	commitScratch DirtySet
+	// gcScanDirty tracks the entries where ddv may differ from the
+	// newest stored CLC's DDV, so GC reports diff O(dirty) instead of
+	// O(width). Valid only while gcScanValid: every HC3I commit
+	// re-establishes ddv == newest-stored-DDV and resets the set, every
+	// CIC receipt that raises ddv adds its index, and every path that
+	// lowers ddv or rewrites the stored chain (rollback, recovery,
+	// restart) invalidates — makeGCReport then falls back to the
+	// chunked full-width diff and the next commit revalidates.
+	gcScanDirty DirtySet
+	gcScanValid bool
 	// piggyCodecs is the env's per-pipe delta codec registry when it
 	// offers one (PiggyCodecs); nil means dense piggybacks. Each codec
 	// carries the cluster-shared clean-exam cursor (DeltaCodec.seen);
@@ -422,7 +432,10 @@ func NewNode(cfg Config, env Env, app AppHooks) *Node {
 		// checkpoints each) and mirrors the same neighbours' logs.
 		replicas:     make(map[replicaKey]Replica, 4*(cfg.Replicas+1)),
 		mirrorLogs:   make(map[topology.NodeID][]LogMirror, cfg.Replicas),
-		cascadeMemo:  make(map[topology.ClusterID]cascadeRecord, cfg.Clusters),
+		// cascadeMemo stays unsized: it only ever holds the few clusters
+		// that alerted a rollback, so a width-sized hint wastes ~50KB of
+		// empty buckets per node on wide federations.
+		cascadeMemo:  make(map[topology.ClusterID]cascadeRecord),
 		forceScratch: NewDDV(cfg.Clusters),
 		ackedNodes:   make([]bool, cfg.ClusterSizes[cfg.ID.Cluster]),
 		keys:         makeStatKeys(cfg.ID.Cluster),
@@ -440,6 +453,7 @@ func NewNode(cfg Config, env Env, app AppHooks) *Node {
 	n.pendingDirty.Init(cfg.Clusters)
 	n.recvDirty.Init(cfg.Clusters)
 	n.commitScratch.Init(cfg.Clusters)
+	n.gcScanDirty.Init(cfg.Clusters)
 	n.pairScratch = make([]DDVPair, 0, 8)
 	if !n.denseWire {
 		n.piggyCodecs, _ = env.(PiggyCodecs)
@@ -458,6 +472,9 @@ func NewNode(cfg Config, env Env, app AppHooks) *Node {
 		state:     state,
 		stateSize: size,
 	})
+	// ddv equals the initial CLC's Meta: the incremental GC-report scan
+	// starts valid (see gcScanDirty).
+	n.gcScanValid = true
 	return n
 }
 
@@ -566,14 +583,22 @@ func (n *Node) piggyVecID() uint64 {
 	return uint64(n.epoch)<<32 | uint64(n.sn)
 }
 
-// sharedPiggy returns a dense clone of the current DDV shared by every
-// log entry created while the vector is unchanged: one O(width) copy
-// per DDV generation instead of one per inter-cluster send. The
+// sharedPiggy returns a dense copy of the current DDV shared by every
+// log entry created while the vector is unchanged: at most one O(width)
+// copy per DDV generation instead of one per inter-cluster send. The
 // returned vector is immutable by convention (log entries and resends
-// only read it).
+// only read it). Between HC3I commits the working DDV equals the newest
+// stored CLC's vector exactly (the incremental-scan invariant:
+// gcScanValid with an empty dirty set), and that stored copy is already
+// immutable — share it instead of cloning, so steady-state sends
+// allocate nothing even across commit generations.
 func (n *Node) sharedPiggy() DDV {
 	if n.lastPiggyGen != n.ddvGen {
-		n.lastPiggy = n.arena.Clone(n.ddv)
+		if n.cfg.Mode == ModeHC3I && n.gcScanValid && n.gcScanDirty.Len() == 0 && len(n.clcs) > 0 {
+			n.lastPiggy = n.clcs[len(n.clcs)-1].meta.DDV
+		} else {
+			n.lastPiggy = n.arena.Clone(n.ddv)
+		}
 		n.lastPiggyGen = n.ddvGen
 	}
 	return n.lastPiggy
@@ -733,6 +758,7 @@ func (n *Node) resetDeltaState() {
 		n.commitBase[i] = 0
 	}
 	n.recvDirty.Reset()
+	n.gcScanValid = false
 	n.resetAckAccum()
 	n.lastPiggyGen = 0
 	n.lastPiggy = nil

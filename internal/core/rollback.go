@@ -178,6 +178,7 @@ func (n *Node) finishLocalRollback(rec *clcRecord, toSN SN, newEpoch Epoch) {
 func (n *Node) resyncDeltaState(ddv DDV) {
 	n.commitBase.CopyFrom(ddv)
 	n.recvDirty.Reset()
+	n.gcScanValid = false
 	n.resetAckAccum()
 	n.ddvChanged()
 	n.resetPiggyExam()

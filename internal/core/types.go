@@ -72,10 +72,20 @@ type DDVArena struct {
 	width int
 	chunk []SN
 	off   int
+	// vecs is the size (in vectors) of the next chunk. Chunks grow
+	// geometrically from arenaFirstVectors to arenaChunkVectors, so a
+	// node that only ever cuts its handful of setup vectors does not
+	// strand a full-size chunk — at 1024 clusters a 64-vector chunk is
+	// half a megabyte, per node.
+	vecs int
 }
 
-// arenaChunkVectors is how many DDVs one backing chunk holds.
-const arenaChunkVectors = 64
+// arenaChunkVectors is how many DDVs one steady-state backing chunk
+// holds; arenaFirstVectors is the size of an arena's first chunk.
+const (
+	arenaChunkVectors = 64
+	arenaFirstVectors = 8
+)
 
 // Init sizes the arena for vectors of the given width (the federation's
 // cluster count). Width never changes over a node's lifetime.
@@ -85,7 +95,13 @@ func (a *DDVArena) Init(width int) { a.width = width }
 // overwrite every entry before the vector is read.
 func (a *DDVArena) cut() DDV {
 	if a.off+a.width > len(a.chunk) {
-		a.chunk = make([]SN, a.width*arenaChunkVectors)
+		switch {
+		case a.vecs == 0:
+			a.vecs = arenaFirstVectors
+		case a.vecs < arenaChunkVectors:
+			a.vecs *= 2
+		}
+		a.chunk = make([]SN, a.width*a.vecs)
 		a.off = 0
 	}
 	d := a.chunk[a.off : a.off+a.width : a.off+a.width]
@@ -112,29 +128,15 @@ func (a *DDVArena) Clone(d DDV) DDV {
 // Merge raises each entry to the element-wise maximum with o and
 // reports whether any entry changed. Used by the transitive-dependency
 // extension (paper §7 future work).
-func (d DDV) Merge(o DDV) bool {
-	changed := false
-	for i, v := range o {
-		if v > d[i] {
-			d[i] = v
-			changed = true
-		}
-	}
-	return changed
-}
+func (d DDV) Merge(o DDV) bool { return mergeMax(d, o) }
 
 // Equal reports element-wise equality.
-func (d DDV) Equal(o DDV) bool {
-	if len(d) != len(o) {
-		return false
-	}
-	for i := range d {
-		if d[i] != o[i] {
-			return false
-		}
-	}
-	return true
-}
+func (d DDV) Equal(o DDV) bool { return equalSN(d, o) }
+
+// Dominates reports whether every entry of d is at least the
+// corresponding entry of o — "d already covers the dependencies o
+// demands". The vectors must have the same length.
+func (d DDV) Dominates(o DDV) bool { return dominatesSN(d, o) }
 
 // String renders the vector like "[1 0 3]".
 func (d DDV) String() string {

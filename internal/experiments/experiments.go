@@ -36,6 +36,12 @@ type Config struct {
 	// construction (the differential suite proves it); the switch
 	// exists for those tests and for width-scaling benchmarks.
 	DenseWire bool
+	// UnbatchedWire runs every federation with per-message delivery
+	// events instead of the default batched pipe deliveries
+	// (federation.Options.UnbatchedWire). Results are byte-identical by
+	// construction (the batching differential suite proves it); the
+	// switch exists for those tests.
+	UnbatchedWire bool
 	// Oracle attaches the online protocol invariant checker
 	// (internal/oracle) to every federation run, whatever tier or
 	// experiment launches it. Results stay byte-identical; a violated
@@ -97,6 +103,9 @@ func (c Config) runFed(opts federation.Options) (*federation.Result, error) {
 	}
 	if c.DenseWire {
 		opts.DenseWire = true
+	}
+	if c.UnbatchedWire {
+		opts.UnbatchedWire = true
 	}
 	if c.Oracle {
 		opts.Oracle = true

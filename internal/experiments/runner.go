@@ -27,6 +27,9 @@ type RunnerConfig struct {
 	// DenseWire selects the dense DDV wire encoding, exactly as
 	// Config.DenseWire.
 	DenseWire bool
+	// UnbatchedWire selects per-message delivery events, exactly as
+	// Config.UnbatchedWire.
+	UnbatchedWire bool
 	// Oracle attaches the protocol invariant checker to every run,
 	// exactly as Config.Oracle.
 	Oracle bool
@@ -63,8 +66,9 @@ func (rc RunnerConfig) workers() int {
 // per level.
 func (rc RunnerConfig) config() Config {
 	cfg := Config{Seed: rc.Seed, Quick: rc.Quick, Workers: rc.workers(), DenseWire: rc.DenseWire,
-		Oracle: rc.Oracle, ChaosSeed: rc.ChaosSeed, ChaosSeeds: rc.ChaosSeeds,
-		ChaosOps: rc.ChaosOps, RunTimeout: rc.RunTimeout, Shards: rc.Shards}
+		UnbatchedWire: rc.UnbatchedWire, Oracle: rc.Oracle, ChaosSeed: rc.ChaosSeed,
+		ChaosSeeds: rc.ChaosSeeds, ChaosOps: rc.ChaosOps, RunTimeout: rc.RunTimeout,
+		Shards: rc.Shards}
 	if cfg.Workers > 1 {
 		cfg.sem = make(chan struct{}, cfg.Workers)
 	}

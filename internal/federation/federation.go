@@ -70,6 +70,12 @@ type Options struct {
 	// identically and produce identical results; dense is the reference
 	// for differential tests and width-scaling benchmarks.
 	DenseWire bool
+	// UnbatchedWire schedules every network delivery as its own event
+	// instead of the default batched pipe deliveries (see
+	// netsim.DisableBatching). Purely a scheduling-mechanics switch —
+	// results are byte-identical either way; the unbatched form is the
+	// reference for the batching differential suites.
+	UnbatchedWire bool
 	// Replicas is the stable-storage replication degree (default 1,
 	// capped at cluster size - 1). -1 disables replication entirely
 	// (measurement runs only: crashes then lose state).
@@ -266,8 +272,11 @@ func newFed(opts Options, role *shardRole) (*Fed, error) {
 		engine: opts.Arena.engine(),
 		// The counter cardinality is dominated by the network's
 		// per-(event, kind, cluster-pair) counters plus a fixed
-		// protocol set: size the registry for it up front.
-		stats:     sim.NewStatsHint(64 + 16*nc*nc),
+		// protocol set. Pairs register lazily on first traffic, and
+		// every workload in the repertoire has bounded per-cluster
+		// fan-out, so size linearly in nc — a quadratic presize
+		// would memclr millions of map slots per federation at 1024c.
+		stats:     sim.NewStatsHint(64 + 96*nc),
 		ix:        ix,
 		nodes:     make([]ProtocolNode, nodeCount),
 		apps:      make([]*app.NodeApp, nodeCount),
@@ -282,6 +291,9 @@ func newFed(opts Options, role *shardRole) (*Fed, error) {
 		f.tracer = sim.NewTracer(f.engine, opts.TraceWriter, opts.TraceLevel)
 	}
 	f.net = netsim.New(f.engine, opts.Topology, f.stats, f.tracer)
+	if opts.UnbatchedWire {
+		f.net.DisableBatching()
+	}
 	if opts.Transitive && !opts.DenseWire {
 		if opts.Chaos != nil {
 			return nil, fmt.Errorf("federation: chaos scheduling cannot run on delta-encoded transitive piggybacks (duplicate deliveries would desync the pipe codecs); set DenseWire")

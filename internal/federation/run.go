@@ -3,6 +3,8 @@ package federation
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/app"
@@ -273,25 +275,47 @@ func (v *runView) collect(endTime sim.Time, events uint64) *Result {
 		Events:   events,
 		Failures: v.st.CounterValue("failures.injected"),
 	}
+	var kb []byte
+	key := func(base string, c int) string {
+		kb = append(append(kb[:0], base...), ".c"...)
+		kb = strconv.AppendInt(kb, int64(c), 10)
+		return string(kb)
+	}
 	for c := 0; c < n; c++ {
+		cc := key("clc.committed", c)
 		cr := ClusterResult{
 			Cluster:   topology.ClusterID(c),
-			Forced:    v.st.CounterValue(fmt.Sprintf("clc.committed.c%d.forced", c)),
-			Unforced:  v.st.CounterValue(fmt.Sprintf("clc.committed.c%d.unforced", c)),
-			Committed: v.st.CounterValue(fmt.Sprintf("clc.committed.c%d", c)),
-			Rollbacks: v.st.CounterValue(fmt.Sprintf("rollback.count.c%d", c)),
+			Forced:    v.st.CounterValue(cc + ".forced"),
+			Unforced:  v.st.CounterValue(cc + ".unforced"),
+			Committed: v.st.CounterValue(cc),
+			Rollbacks: v.st.CounterValue(key("rollback.count", c)),
 			Stored:    v.node(topology.NodeID{Cluster: topology.ClusterID(c)}).StoredCount(),
 		}
 		res.Clusters = append(res.Clusters, cr)
 	}
+	// The per-pair app matrix is sparse relative to n² (pairs register
+	// lazily on first traffic), so walk the registered counters once and
+	// parse the pair out of the name instead of probing all n² keys.
 	res.AppMsgs = make([][]uint64, n)
 	for i := 0; i < n; i++ {
 		res.AppMsgs[i] = make([]uint64, n)
-		for j := 0; j < n; j++ {
-			res.AppMsgs[i][j] = v.st.CounterValue(
-				fmt.Sprintf("net.sent.app.c%d.c%d", i, j))
-		}
 	}
+	v.st.ForEachCounter(func(name string, val uint64) {
+		rest, ok := strings.CutPrefix(name, "net.sent.app.c")
+		if !ok {
+			return
+		}
+		dot := strings.IndexByte(rest, '.')
+		if dot < 0 || dot+1 >= len(rest) || rest[dot+1] != 'c' {
+			return
+		}
+		i, err1 := strconv.Atoi(rest[:dot])
+		j, err2 := strconv.Atoi(rest[dot+2:])
+		if err1 != nil || err2 != nil || i < 0 || i >= n || j < 0 || j >= n {
+			return
+		}
+		res.AppMsgs[i][j] = val
+	})
 	res.GCRounds = v.gcRounds(n)
 	// Every protocol with a volatile message log reports its running
 	// high-water mark; core.Node and all three baselines track it at

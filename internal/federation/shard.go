@@ -444,7 +444,7 @@ func (r *shardRunner) applyRec(rec *obsRec) {
 //     ever runs for hypothetical future cross-shard summaries.
 func (r *shardRunner) mergeStats() *sim.Stats {
 	nc := r.topo.NumClusters()
-	st := sim.NewStatsHint(64 + 16*nc*nc)
+	st := sim.NewStatsHint(64 + 96*nc)
 	for _, f := range r.shards {
 		f.stats.ForEachCounter(func(name string, v uint64) {
 			st.Counter(name).Add(v)

@@ -3,6 +3,35 @@
 // assumption) with per-link latency, bandwidth serialization and FIFO
 // queueing. It corresponds to the "Network" thread of the paper's
 // C++SIM simulator.
+//
+// # The batched wire
+//
+// Inter-cluster deliveries are coalesced per directed cluster-pair
+// pipe: messages whose arrival lands on the same engine tick join one
+// pipeBatch instead of each scheduling its own event. The framing is
+// in-memory — a batch is the members' Message values in FIFO (append)
+// order plus one scheduled fire per member — so a batch costs one
+// event-payload box for the whole tick instead of one per message,
+// and the piggyback DeltaCodec decodes the members in one pass at
+// pipe exit.
+//
+// The FIFO-unpack contract: every member keeps its own
+// (arrival, pipe-sequence) position in the global event order, fires
+// exactly where its unbatched delivery would have, and unpacks in
+// append order — so batched and unbatched runs are byte-identical,
+// which the differential suites in internal/experiments pin against
+// the matrix goldens (DisableBatching / Config.UnbatchedWire is the
+// per-message reference wire).
+//
+// Buffer ownership: a pipeBatch owns its items slice. A fired
+// member's Message is copied out and its slot cleared before the
+// handler runs; when the cursor exhausts the batch it returns to the
+// Network's free list and the same backing storage may be handed to a
+// new batch — so neither handlers nor perturbation hooks may retain a
+// pointer into a batch. Chaos perturbation routes affected messages
+// off the batch path entirely (they deliver standalone); unperturbed
+// members stay batched, and the differential suites prove the split
+// leaves the observable run untouched.
 package netsim
 
 import (
@@ -116,6 +145,20 @@ type Network struct {
 	// engine: acquired in Send, released as soon as delivery fires.
 	msgFree []*Message
 
+	// Batched pipe deliveries: same-tick messages on one directed
+	// cluster-pair pipe coalesce into a pipeBatch — one engine slot and
+	// one slice of in-flight messages instead of one scheduled event and
+	// one pooled box each. openBatch[slot] is the batch still accepting
+	// members, valid only while openTick[slot] equals the engine clock
+	// (all batch members are appended within one tick; arrivals are
+	// strictly later, so a firing batch is never still open). batchFn is
+	// the member-delivery trampoline, bound once.
+	openBatch []*pipeBatch
+	openTick  []sim.Time
+	batchFree []*pipeBatch
+	batchFn   func(any)
+	noBatch   bool
+
 	// Cached counter pointers, resolved on first use so the set of
 	// registered counters stays exactly what a run actually touched
 	// (identical Stats output to building keys per call).
@@ -205,10 +248,96 @@ func New(e *sim.Engine, fed *topology.Federation, stats *sim.Stats, tracer *sim.
 		busyInter: make([]sim.Time, nc*nc),
 		lastInter: make([]sim.Time, nc*nc),
 		pipeSeq:   make([]uint64, nc*nc),
+		openBatch: make([]*pipeBatch, nc*nc),
+		openTick:  make([]sim.Time, nc*nc),
 		nClusters: nc,
 	}
 	n.deliverFn = n.deliverPooled
+	n.batchFn = n.deliverBatched
 	return n
+}
+
+// DisableBatching reverts inter-cluster scheduling to one engine event
+// and one pooled box per message (the pre-batching wire). Runs are
+// byte-identical either way — batch members keep their individual
+// (arrival, pipe key) positions — and the differential suites re-prove
+// it by diffing batched output against this reference.
+func (n *Network) DisableBatching() { n.noBatch = true }
+
+// pipeBatch is one batched group of deliveries on a directed
+// cluster-pair pipe: the members' Message values in FIFO (append)
+// order, consumed one per member fire through a cursor. Ownership: the
+// batch owns its items slice; a fired member's Message is copied out
+// and its slot cleared before the handler runs, and the batch returns
+// to the pool when the cursor exhausts it — after which the Network may
+// hand the same backing storage to a new batch, so nothing may retain a
+// pointer into items.
+type pipeBatch struct {
+	slot  int
+	items []Message
+	next  int
+	last  sim.Time // newest member's arrival: appends must not regress
+	pb    sim.PostBatch
+}
+
+func (n *Network) allocBatch() *pipeBatch {
+	if last := len(n.batchFree) - 1; last >= 0 {
+		pb := n.batchFree[last]
+		n.batchFree[last] = nil
+		n.batchFree = n.batchFree[:last]
+		pb.items = pb.items[:0]
+		pb.next = 0
+		return pb
+	}
+	return new(pipeBatch)
+}
+
+func (n *Network) releaseBatch(pb *pipeBatch) {
+	n.batchFree = append(n.batchFree, pb)
+}
+
+// enqueueBatched schedules one inter-cluster delivery through the pipe's
+// open batch, opening a fresh one when the previous batch is from an
+// older tick or the arrival would regress below an already-appended
+// member (possible only for barrier-injected cross-shard messages a
+// chaos perturber released from the FIFO clamp). Fire order within a
+// batch equals append order: arrivals are non-decreasing and same-tick
+// members carry strictly increasing pipe keys.
+func (n *Network) enqueueBatched(slot int, m Message, arrival sim.Time, key uint64) {
+	now := n.engine.Now()
+	if pb := n.openBatch[slot]; pb != nil && n.openTick[slot] == now && arrival >= pb.last {
+		pb.items = append(pb.items, m)
+		pb.last = arrival
+		pb.pb.Add(arrival, key)
+		return
+	}
+	pb := n.allocBatch()
+	pb.slot = slot
+	pb.items = append(pb.items, m)
+	pb.last = arrival
+	pb.pb = n.engine.NewPostBatch(n.batchFn, pb)
+	pb.pb.Add(arrival, key)
+	n.openBatch[slot] = pb
+	n.openTick[slot] = now
+}
+
+// deliverBatched fires one batch member: pop the next message in FIFO
+// order, recycle the batch once drained (clearing the open-batch pointer
+// if it still refers to it), then deliver. Delivery runs after the
+// release so sends it triggers can reuse the batch immediately — the
+// member was copied out first.
+func (n *Network) deliverBatched(arg any) {
+	pb := arg.(*pipeBatch)
+	m := pb.items[pb.next]
+	pb.items[pb.next] = Message{}
+	pb.next++
+	if pb.next == len(pb.items) {
+		if n.openBatch[pb.slot] == pb {
+			n.openBatch[pb.slot] = nil
+		}
+		n.releaseBatch(pb)
+	}
+	n.deliver(m)
 }
 
 // SetRNG installs the random stream used for per-message jitter on
@@ -412,16 +541,25 @@ func (n *Network) Send(src, dst topology.NodeID, kind Kind, size int, payload an
 			return id
 		}
 	}
-	m := n.allocMsg()
-	*m = msg
 	if inter {
 		// Inter-cluster deliveries dispatch in the post-tick class keyed
 		// by (pair, pipeSeq): at one timestamp they fire after every
 		// ordinary event, in an order determined by the wire content
 		// alone — so a barrier-injected cross-shard delivery lands in
-		// exactly the slot the sequential run gave it.
-		n.engine.SchedulePostCallAt(arrival, key, n.deliverFn, m)
+		// exactly the slot the sequential run gave it. Unperturbed
+		// messages coalesce into the pipe's open batch; perturbed ones
+		// stay standalone so the chaos layer's arrival rewrites can
+		// never violate a batch's monotone-arrival contract.
+		if n.noBatch || perturbed {
+			m := n.allocMsg()
+			*m = msg
+			n.engine.SchedulePostCallAt(arrival, key, n.deliverFn, m)
+		} else {
+			n.enqueueBatched(slot, msg, arrival, key)
+		}
 	} else {
+		m := n.allocMsg()
+		*m = msg
 		n.engine.ScheduleCallAt(arrival, n.deliverFn, m)
 	}
 	if perturbed && pert.Duplicate > 0 {
@@ -458,10 +596,21 @@ func (n *Network) nextPipeKey(slot int) uint64 {
 // arrival time and post-tick key the sending shard computed. Called
 // only at window barriers, with arrival at or beyond the window limit,
 // so the destination engine has not yet passed the timestamp.
+//
+// Cross injections batch like local sends: the barrier drains a shard's
+// outbox in order, so consecutive messages of one pipe land in one
+// batch. A pipe's slot is keyed by the *source* cluster, which another
+// shard owns — the destination network never locally sends on it — so
+// cross batches and local batches can never interleave on a slot.
 func (n *Network) DeliverCrossAt(m Message, arrival sim.Time, key uint64) {
-	box := n.allocMsg()
-	*box = m
-	n.engine.SchedulePostCallAt(arrival, key, n.deliverFn, box)
+	if n.noBatch {
+		box := n.allocMsg()
+		*box = m
+		n.engine.SchedulePostCallAt(arrival, key, n.deliverFn, box)
+		return
+	}
+	slot := int(m.Src.Cluster)*n.nClusters + int(m.Dst.Cluster)
+	n.enqueueBatched(slot, m, arrival, key)
 }
 
 // deliverPooled is the event-engine entry point: it copies the pooled

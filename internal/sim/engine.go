@@ -82,9 +82,14 @@ type event struct {
 	gen      uint32
 	heapPos  int32 // far-heap position, or posNear / posFree
 	nextFree int32 // free-list link, meaningful only for free slots
-	fn       Handler
-	call     func(arg any)
-	arg      any
+	// remaining counts the live near-tier entries sharing this slot.
+	// Ordinary events leave it at 0 (exactly one entry references the
+	// slot); a PostBatch slot carries one ladEntry per member, and the
+	// slot is released only when the last member fires.
+	remaining int32
+	fn        Handler
+	call      func(arg any)
+	arg       any
 }
 
 // EventRef identifies a scheduled event so it can be cancelled. The zero
@@ -226,6 +231,7 @@ func (e *Engine) Reset() {
 		ev := &e.slab[i]
 		ev.gen++
 		ev.heapPos = posFree
+		ev.remaining = 0
 		ev.fn = nil
 		ev.call = nil
 		ev.arg = nil
@@ -303,19 +309,104 @@ func (e *Engine) SchedulePostCallAt(t Time, key uint64, fn func(arg any), arg an
 	return e.push(t, postClass|key, nil, fn, arg)
 }
 
+// PostBatch schedules a group of post-class events that share one slab
+// slot and one handler invocation target: N members cost one slot claim
+// plus N O(1) bucket appends instead of N full schedule passes, and the
+// slab never grows with the batch. Each member still fires at exactly
+// its own (t, key) position in the global order — batching changes the
+// scheduling mechanics, never the schedule — so runs are byte-identical
+// to N SchedulePostCallAt calls with the same arguments.
+//
+// Contract: members must be added in non-decreasing (t, key) order
+// (per-batch), every t must be >= Now at Add time, and keys follow the
+// SchedulePostCallAt uniqueness rule. Because the keys are unique and
+// monotone within the batch, the members' global fire order equals
+// their Add order; the shared handler is invoked once per member, with
+// the batch's arg, and must consume members in that order. Members are
+// not individually cancellable.
+type PostBatch struct {
+	e    *Engine
+	call func(arg any)
+	arg  any
+	slot int32 // shared slab slot, -1 until the first near-tier member
+	gen  uint32
+}
+
+// NewPostBatch returns an empty batch firing fn(arg) once per member.
+func (e *Engine) NewPostBatch(fn func(arg any), arg any) PostBatch {
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	return PostBatch{e: e, call: fn, arg: arg, slot: -1}
+}
+
+// Add schedules one member at absolute time t with post-class key key.
+func (b *PostBatch) Add(t Time, key uint64) {
+	e := b.e
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	if key >= postClass {
+		panic(fmt.Sprintf("sim: post-class key %#x overflows", key))
+	}
+	ord := postClass | key
+	if t >= e.winStart && t < e.winEnd {
+		if idx := int((t - e.winStart) >> ladShift); idx >= e.cur {
+			slot := b.slot
+			if slot < 0 || e.slab[slot].gen != b.gen {
+				// First near-tier member (or the previous members all
+				// fired already and the slot was recycled): claim the
+				// shared slot. Its at/ord fields hold the first member's
+				// position, but the drain path reads positions from the
+				// ladder entries, so later members never see them stale.
+				slot = e.claimSlot()
+				ev := &e.slab[slot]
+				ev.at = t
+				ev.ord = ord
+				ev.fn = nil
+				ev.call = b.call
+				ev.arg = b.arg
+				ev.heapPos = posNear
+				ev.remaining = 0
+				b.slot = slot
+				b.gen = ev.gen
+			}
+			e.slab[slot].remaining++
+			e.count++
+			ent := ladEntry{at: t, ord: ord, slot: slot, gen: b.gen}
+			if idx == e.cur && e.curSorted {
+				e.insertSorted(ent)
+			} else {
+				e.buckets[idx] = append(e.buckets[idx], ent)
+			}
+			e.occupied[idx>>6] |= 1 << uint(idx&63)
+			return
+		}
+	}
+	// Outside the near window (or behind the drain cursor): fall back to
+	// a standalone far-tier slot sharing the batch's handler and arg.
+	// The far heap backrefs one position per slot, so far members cannot
+	// share; global (at, ord) ordering still fires them in Add order.
+	e.push(t, ord, nil, b.call, b.arg)
+}
+
+// claimSlot takes a slot off the free list (or grows the slab).
+func (e *Engine) claimSlot() int32 {
+	if e.freeHead >= 0 {
+		slot := e.freeHead
+		e.freeHead = e.slab[slot].nextFree
+		return slot
+	}
+	e.slab = append(e.slab, event{})
+	return int32(len(e.slab) - 1)
+}
+
 // push allocates a slab slot and routes the event to its tier.
 func (e *Engine) push(t Time, ord uint64, fn Handler, call func(any), arg any) EventRef {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
-	var slot int32
-	if e.freeHead >= 0 {
-		slot = e.freeHead
-		e.freeHead = e.slab[slot].nextFree
-	} else {
-		e.slab = append(e.slab, event{})
-		slot = int32(len(e.slab) - 1)
-	}
+	slot := e.claimSlot()
 	ev := &e.slab[slot]
 	ev.at = t
 	ev.ord = ord
@@ -381,6 +472,7 @@ func (e *Engine) freeSlot(slot int32) {
 	ev := &e.slab[slot]
 	ev.gen++
 	ev.heapPos = posFree
+	ev.remaining = 0
 	ev.fn = nil
 	ev.call = nil
 	ev.arg = nil
@@ -467,8 +559,10 @@ func (e *Engine) refill() {
 
 // next returns the slot of the earliest pending event, comparing the
 // heads of both tiers by (at, ord), without consuming it. fromNear
-// reports which tier holds it.
-func (e *Engine) next() (slot int32, fromNear, ok bool) {
+// reports which tier holds it. at is the event's timestamp taken from
+// the queue entry, not the slab: a PostBatch slot is shared by several
+// entries and its slab at reflects only the first member.
+func (e *Engine) next() (slot int32, at Time, fromNear, ok bool) {
 	ne, okN := e.nearPeek()
 	if !okN && len(e.heap) > 0 {
 		e.refill()
@@ -476,17 +570,19 @@ func (e *Engine) next() (slot int32, fromNear, ok bool) {
 	}
 	if !okN {
 		if len(e.heap) == 0 {
-			return 0, false, false
+			return 0, 0, false, false
 		}
-		return e.heap[0], false, true
+		s := e.heap[0]
+		return s, e.slab[s].at, false, true
 	}
 	if len(e.heap) > 0 {
-		f := &e.slab[e.heap[0]]
+		s := e.heap[0]
+		f := &e.slab[s]
 		if f.at < ne.at || (f.at == ne.at && f.ord < ne.ord) {
-			return e.heap[0], false, true
+			return s, f.at, false, true
 		}
 	}
-	return ne.slot, true, true
+	return ne.slot, ne.at, true, true
 }
 
 // popNext consumes the event returned by next.
@@ -510,16 +606,22 @@ func (e *Engine) popNext(slot int32, fromNear bool) {
 // slot can transitively retain between fire and reuse is one handler's
 // worth — bounded and short-lived; Cancel and Reset still clear, so
 // cancelled events and pooled engines drop their payloads eagerly.
-func (e *Engine) fire(slot int32) {
+func (e *Engine) fire(slot int32, at Time) {
 	ev := &e.slab[slot]
-	e.now = ev.at
+	e.now = at
 	e.Executed++
 	e.count--
 	fn, call, arg := ev.fn, ev.call, ev.arg
-	ev.gen++
-	ev.heapPos = posFree
-	ev.nextFree = e.freeHead
-	e.freeHead = slot
+	if ev.remaining > 1 {
+		// A PostBatch slot with members still queued: keep it live.
+		ev.remaining--
+	} else {
+		ev.remaining = 0
+		ev.gen++
+		ev.heapPos = posFree
+		ev.nextFree = e.freeHead
+		e.freeHead = slot
+	}
 	if fn != nil {
 		fn(e)
 	} else {
@@ -614,12 +716,12 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step fires the next pending event, if any, and reports whether one
 // fired.
 func (e *Engine) Step() bool {
-	slot, fromNear, ok := e.next()
+	slot, at, fromNear, ok := e.next()
 	if !ok {
 		return false
 	}
 	e.popNext(slot, fromNear)
-	e.fire(slot)
+	e.fire(slot, at)
 	return true
 }
 
@@ -633,11 +735,11 @@ func (e *Engine) HasPendingEvents() bool { return e.count > 0 }
 // conservative parallel coordinator calls it between windows to decide
 // how far each shard may safely advance.
 func (e *Engine) PeekNextEventTime() (Time, bool) {
-	slot, _, ok := e.next()
+	_, at, _, ok := e.next()
 	if !ok {
 		return 0, false
 	}
-	return e.slab[slot].at, true
+	return at, true
 }
 
 // ProcessNextEvent fires the earliest pending event and reports whether
@@ -662,12 +764,12 @@ func (e *Engine) RunUntil(limit Time) error {
 		if e.MaxEvents > 0 && e.Executed >= e.MaxEvents {
 			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now)
 		}
-		slot, fromNear, ok := e.next()
-		if !ok || e.slab[slot].at >= limit {
+		slot, at, fromNear, ok := e.next()
+		if !ok || at >= limit {
 			break
 		}
 		e.popNext(slot, fromNear)
-		e.fire(slot)
+		e.fire(slot, at)
 		if !fromNear {
 			continue
 		}
@@ -688,7 +790,7 @@ func (e *Engine) RunUntil(limit Time) error {
 				continue
 			}
 			e.curPos++
-			e.fire(s)
+			e.fire(s, e.now)
 		}
 	}
 	return nil
@@ -716,16 +818,16 @@ func (e *Engine) Run(horizon Time) (Time, error) {
 		if e.MaxEvents > 0 && e.Executed >= e.MaxEvents {
 			return e.now, fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now)
 		}
-		slot, fromNear, ok := e.next()
+		slot, at, fromNear, ok := e.next()
 		if !ok {
 			break
 		}
-		if horizon > 0 && e.slab[slot].at > horizon {
+		if horizon > 0 && at > horizon {
 			e.now = horizon
 			break
 		}
 		e.popNext(slot, fromNear)
-		e.fire(slot)
+		e.fire(slot, at)
 		if !fromNear {
 			continue
 		}
@@ -745,7 +847,7 @@ func (e *Engine) Run(horizon Time) (Time, error) {
 				continue
 			}
 			e.curPos++
-			e.fire(s)
+			e.fire(s, e.now)
 		}
 	}
 	return e.now, nil

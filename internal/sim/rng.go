@@ -1,8 +1,8 @@
 package sim
 
 import (
-	"fmt"
 	"math"
+	"strconv"
 )
 
 // RNG is a small, fast, deterministic pseudo-random generator
@@ -45,15 +45,34 @@ func (r *RNG) Stream(label string) *RNG {
 }
 
 // StreamN derives an independent child generator from a label and index,
-// e.g. one stream per node.
+// e.g. one stream per node. It hashes exactly the bytes of
+// label + "/" + decimal(n) without allocating, so the derived stream is
+// identical to Stream(fmt.Sprintf("%s/%d", label, n)).
 func (r *RNG) StreamN(label string, n int) *RNG {
-	return r.Stream(fmt.Sprintf("%s/%d", label, n))
+	var buf [24]byte
+	h := fnv64a(label)
+	h = fnv64aBytes(h, buf[:0], '/')
+	h = fnv64aBytes(h, strconv.AppendInt(buf[:0], int64(n), 10))
+	return NewRNG(r.Uint64() ^ h ^ 0xa5a5a5a5deadbeef)
 }
 
 func fnv64a(s string) uint64 {
 	var h uint64 = 0xcbf29ce484222325
 	for i := 0; i < len(s); i++ {
 		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// fnv64aBytes folds more bytes into a running fnv-1a hash h.
+func fnv64aBytes(h uint64, b []byte, extra ...byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	for _, c := range extra {
+		h ^= uint64(c)
 		h *= 0x100000001b3
 	}
 	return h

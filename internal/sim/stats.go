@@ -191,9 +191,10 @@ type Stats struct {
 func NewStats() *Stats { return NewStatsHint(0) }
 
 // NewStatsHint returns an empty registry whose counter map is presized
-// for roughly hint entries. Harnesses that know their metric cardinality
-// up front (it scales with the square of the cluster count for the
-// network's per-pair counters) use it to avoid rehashing during a run.
+// for roughly hint entries. Harnesses that can bound their metric
+// cardinality up front use it to avoid rehashing during a run; the
+// hint should track the counters actually registered (per-pair network
+// counters appear lazily, on first traffic), not the worst case.
 func NewStatsHint(hint int) *Stats {
 	return &Stats{
 		counters:  make(map[string]*Counter, hint),
