@@ -19,6 +19,8 @@
 //	hc3ibench -matrix -filter tier=chaos -chaos-seeds 50   # adversarial tier
 //	hc3ibench -matrix -filter tier=chaos -chaos-seed 1337  # replay one schedule
 //	hc3ibench -matrix -filter tier=chaos -chaos-seed 1337 -chaos-ops 12  # minimized prefix
+//	hc3ibench -matrix -filter tier=trace                   # open-loop arrivals on trace-driven links
+//	hc3ibench -matrix -filter tier=trace -trace-file my_link.jsonl
 //	hc3ibench -matrix -run-timeout 2m                      # watchdog wedged runs
 //
 // A failing chaos sweep names the violated check and the failing seed,
@@ -48,6 +50,7 @@ import (
 
 	"repro/hc3i"
 	"repro/internal/experiments"
+	"repro/internal/netsim"
 )
 
 func main() {
@@ -75,6 +78,8 @@ func main() {
 			"how many consecutive adversarial schedules each chaos-tier scenario runs")
 		chaosOps = flag.Int("chaos-ops", 0,
 			"cap every chaos schedule at its first N perturbation actions (0 = unlimited; minimized repro commands set it)")
+		traceFile = flag.String("trace-file", "",
+			"JSONL link schedule for the trace tier (one {\"t_ms\",\"latency_ms\",\"jitter_ms\",\"loss\"} object per line; default: the embedded mobile-broadband fixture)")
 		runTimeout = flag.Duration("run-timeout", 0,
 			"wall-clock watchdog per federation run: a wedged run is killed and reported instead of hanging (0 = none)")
 		shards = flag.Int("shards", 1,
@@ -113,6 +118,23 @@ func main() {
 	if *chaosOps != 0 && !*matrix {
 		fmt.Fprintln(os.Stderr, "hc3ibench: -chaos-ops only applies with -matrix (it truncates chaos-tier schedules)")
 		os.Exit(1)
+	}
+	if *traceFile != "" {
+		if !*matrix {
+			fmt.Fprintln(os.Stderr, "hc3ibench: -trace-file only applies with -matrix (filter the trace tier: -filter tier=trace)")
+			os.Exit(1)
+		}
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hc3ibench:", err)
+			os.Exit(1)
+		}
+		_, err = netsim.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hc3ibench:", err)
+			os.Exit(1)
+		}
 	}
 	if *runTimeout < 0 {
 		fmt.Fprintln(os.Stderr, "hc3ibench: -run-timeout must be >= 0 (0 = no watchdog)")
@@ -161,7 +183,7 @@ func main() {
 	}
 	opts := hc3i.RunnerOptions{Workers: *parallel, Seed: *seed, Quick: *quick, DenseDDVWire: *denseDDV,
 		UnbatchedWire: *unbatched, Oracle: *oracleOn, ChaosSeed: *chaosSeed, ChaosSeeds: *chaosSeeds,
-		ChaosOps: *chaosOps, RunTimeout: *runTimeout, Shards: *shards}
+		ChaosOps: *chaosOps, TraceFile: *traceFile, RunTimeout: *runTimeout, Shards: *shards}
 	fmt.Fprintf(w, "HC3I evaluation harness — %s, seed %d, %d worker(s)\n\n", mode, *seed, *parallel)
 
 	emit := func(res *hc3i.ExperimentResult) {

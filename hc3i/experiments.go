@@ -111,6 +111,10 @@ type RunnerOptions struct {
 	// unlimited schedule. 0 = unlimited; minimized repro commands set
 	// it.
 	ChaosOps int
+	// TraceFile points the trace matrix tier at a JSONL link schedule
+	// (one {"t_ms","latency_ms","jitter_ms","loss"} object per line)
+	// instead of the embedded mobile-broadband fixture.
+	TraceFile string
 	// RunTimeout, when > 0, arms a per-federation wall-clock watchdog:
 	// a wedged simulation is killed and reported as an error instead of
 	// stalling its worker forever.
@@ -129,8 +133,8 @@ func (o RunnerOptions) config() experiments.RunnerConfig {
 	return experiments.RunnerConfig{
 		Workers: o.Workers, Seed: o.Seed, Quick: o.Quick, DenseWire: o.DenseDDVWire,
 		UnbatchedWire: o.UnbatchedWire, Oracle: o.Oracle, ChaosSeed: o.ChaosSeed,
-		ChaosSeeds: o.ChaosSeeds, ChaosOps: o.ChaosOps, RunTimeout: o.RunTimeout,
-		Shards: o.Shards,
+		ChaosSeeds: o.ChaosSeeds, ChaosOps: o.ChaosOps, TraceFile: o.TraceFile,
+		RunTimeout: o.RunTimeout, Shards: o.Shards,
 	}
 }
 

@@ -60,6 +60,17 @@ type NodeApp struct {
 	journal []core.LogicalID
 	epoch   uint64
 
+	// Stable-delivery tracking (open-loop workloads only): stableAt is
+	// parallel to journal and holds, for every entry below stableMark,
+	// the simulation time at which the delivery became covered by a
+	// committed checkpoint. A rollback truncates both with the journal,
+	// so an entry that survives to the end of the run keeps the time of
+	// the first covering commit that was itself never rolled back behind
+	// — exactly when the delivery became permanent in this execution.
+	trackStable bool
+	stableAt    []sim.Time
+	stableMark  int
+
 	// Now supplies the current simulation time; the harness must set it
 	// before the first snapshot so application clocks survive restores.
 	Now func() sim.Time
@@ -94,12 +105,13 @@ type genCursor struct {
 // stream for this node.
 func NewNodeApp(id topology.NodeID, wl *Workload, fed *topology.Federation, rng *sim.RNG) *NodeApp {
 	a := &NodeApp{
-		id:        id,
-		wl:        wl,
-		fed:       fed,
-		rng:       rng,
-		delivered: make(map[core.LogicalID]int, deliveredHint(id, wl, fed)),
-		schedule:  make([]sendEvent, 0, scheduleHint(id, wl, fed)),
+		id:          id,
+		wl:          wl,
+		fed:         fed,
+		rng:         rng,
+		delivered:   make(map[core.LogicalID]int, deliveredHint(id, wl, fed)),
+		schedule:    make([]sendEvent, 0, scheduleHint(id, wl, fed)),
+		trackStable: wl.OpenLoop != nil,
 	}
 	a.initCursor(rng)
 	return a
@@ -339,6 +351,15 @@ func (a *NodeApp) Restore(state any) {
 		}
 	}
 	a.journal = a.journal[:s.Journal]
+	if a.trackStable {
+		// Stability marks past the restore point were premature — the
+		// covering commit is being rolled back behind; re-delivery will
+		// re-mark them at their next permanent coverage.
+		a.stableAt = a.stableAt[:s.Journal]
+		if a.stableMark > s.Journal {
+			a.stableMark = s.Journal
+		}
+	}
 	a.epoch++
 	if !a.wl.Deterministic {
 		// Forget the cached future: re-execution draws a fresh
@@ -366,7 +387,55 @@ func (a *NodeApp) Restore(state any) {
 func (a *NodeApp) Deliver(from topology.NodeID, p core.AppPayload) {
 	a.delivered[p.ID]++
 	a.journal = append(a.journal, p.ID)
+	if a.trackStable {
+		a.stableAt = append(a.stableAt, 0) // unstable until a commit covers it
+	}
 	a.TotalDeliveries++
+}
+
+// Stabilized implements core.Stabilizer: the protocol committed a
+// checkpoint whose snapshot is state, so every journal entry the
+// snapshot covers is now backed by stable storage. Entries between the
+// previous mark and the snapshot's journal position get the current
+// time as their (provisional — see Restore) stability time.
+func (a *NodeApp) Stabilized(state any) {
+	if !a.trackStable {
+		return
+	}
+	s := state.(State)
+	if s.Journal > len(a.stableAt) {
+		panic(fmt.Sprintf("app: commit covers %d journal entries, only %d delivered", s.Journal, len(a.stableAt)))
+	}
+	var now sim.Time
+	if a.Now != nil {
+		now = a.Now()
+	}
+	for j := a.stableMark; j < s.Journal; j++ {
+		a.stableAt[j] = now
+	}
+	if s.Journal > a.stableMark {
+		a.stableMark = s.Journal
+	}
+}
+
+// StableCount returns how many leading journal entries are covered by
+// a committed checkpoint (0 unless the workload is open-loop).
+func (a *NodeApp) StableCount() int { return a.stableMark }
+
+// JournalEntry returns the logical ID of the j-th delivery in the
+// node's current journal.
+func (a *NodeApp) JournalEntry(j int) core.LogicalID { return a.journal[j] }
+
+// StableTime returns when the j-th delivery became stable; valid for
+// j < StableCount().
+func (a *NodeApp) StableTime(j int) sim.Time { return a.stableAt[j] }
+
+// ArrivalTime returns when the i-th scheduled request (0-based) entered
+// the system: open-loop arrivals are fixed by the users' schedule on
+// the original time axis, so rollbacks delay service, never arrival.
+func (a *NodeApp) ArrivalTime(i int) sim.Time {
+	a.extendTo(i)
+	return sim.Time(0).Add(a.schedule[i].At)
 }
 
 // DeliveredCount returns how many distinct logical messages this node

@@ -7,6 +7,7 @@ package app
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/sim"
@@ -44,32 +45,131 @@ type Workload struct {
 	// still matches RatesPerHour. The scenario matrix uses it for its
 	// bursty workloads.
 	Burst *Burst
+	// OpenLoop, when non-nil, marks the rate matrix as the compiled
+	// form of an open-loop user population (see NewOpenLoop): arrivals
+	// are scheduled by the users, never by the system's progress, and
+	// the harness tracks per-request stable-delivery latency.
+	OpenLoop *OpenLoop
 
 	// sums caches the row and column totals of RatesPerHour. The
 	// per-node sizing hints each need one row sum (outbound rate) and
 	// one column sum (inbound rate); recomputing them per node is an
 	// O(width) scan that dominated wide-federation setup. Computed on
-	// first use — RatesPerHour must not change afterwards (every
-	// harness finishes building the workload before running it).
-	sums     struct{ row, col []float64 }
-	sumsOnce sync.Once
+	// first use and rebuilt by Freeze — a harness that edits
+	// RatesPerHour between runs must call Freeze (federation.Options
+	// does) or the cached sums go stale.
+	sums      struct{ row, col []float64 }
+	sumsMu    sync.Mutex
+	sumsValid bool
 }
 
 // rateSums returns the cached per-cluster outbound (row) and inbound
 // (column) rate totals, computing them on first call.
 func (w *Workload) rateSums() (row, col []float64) {
-	w.sumsOnce.Do(func() {
-		n := len(w.RatesPerHour)
-		w.sums.row = make([]float64, n)
-		w.sums.col = make([]float64, n)
-		for i, r := range w.RatesPerHour {
-			for j, v := range r {
-				w.sums.row[i] += v
-				w.sums.col[j] += v
-			}
-		}
-	})
+	w.sumsMu.Lock()
+	defer w.sumsMu.Unlock()
+	if !w.sumsValid {
+		w.rebuildSums()
+	}
 	return w.sums.row, w.sums.col
+}
+
+// rebuildSums recomputes the cached totals; callers hold sumsMu.
+func (w *Workload) rebuildSums() {
+	n := len(w.RatesPerHour)
+	w.sums.row = make([]float64, n)
+	w.sums.col = make([]float64, n)
+	for i, r := range w.RatesPerHour {
+		for j, v := range r {
+			w.sums.row[i] += v
+			w.sums.col[j] += v
+		}
+	}
+	w.sumsValid = true
+}
+
+// Freeze rebuilds the cached rate sums from the current RatesPerHour.
+// Sweep harnesses that reuse one Workload across points while editing
+// its rates call it before each run; without it the first run's sums
+// would silently survive the edit.
+func (w *Workload) Freeze() {
+	w.sumsMu.Lock()
+	defer w.sumsMu.Unlock()
+	w.rebuildSums()
+}
+
+// OpenLoop describes an open-loop arrival process: a large population
+// of independent users, each issuing requests at a fixed mean rate
+// regardless of how the system is keeping up (heavy-traffic semantics:
+// arrivals never wait for completions). NewOpenLoop compiles it into
+// the per-cluster-pair rate matrix by Poisson superposition — the sum
+// of the users' independent Poisson streams is itself Poisson at the
+// aggregate rate — so the existing deterministic-replay generator
+// reproduces the population's traffic exactly.
+type OpenLoop struct {
+	// Users is the modeled population size.
+	Users int64
+	// RequestsPerUserHour is each user's mean request rate.
+	RequestsPerUserHour float64
+	// ZipfS skews the per-destination-cluster popularity: cluster j is
+	// chosen with probability proportional to 1/(j+1)^ZipfS. 0 means
+	// uniform destinations.
+	ZipfS float64
+}
+
+// validate checks the open-loop parameters.
+func (o *OpenLoop) validate() error {
+	if o.Users <= 0 {
+		return fmt.Errorf("app: open-loop population must be positive")
+	}
+	if o.RequestsPerUserHour <= 0 {
+		return fmt.Errorf("app: open-loop per-user rate must be positive")
+	}
+	if o.ZipfS < 0 {
+		return fmt.Errorf("app: open-loop zipf exponent %v negative", o.ZipfS)
+	}
+	return nil
+}
+
+// NewOpenLoop builds the workload of an open-loop user population over
+// nClusters clusters: users are spread uniformly across the clusters
+// as request sources, and each request targets a destination cluster
+// drawn from the Zipf(s) popularity law (the skew of real user traffic
+// — a few hot services take most of the load). The aggregate stream
+// from cluster i to cluster j is Poisson at Users/n * perUserHour *
+// p(j), which the deterministic per-destination generator replays
+// identically after rollbacks, so millions of users cost no more
+// simulator state than the closed-loop rate matrix. Deterministic
+// replay is required: request identity (and therefore the arrival a
+// latency sample is measured from) must survive re-execution.
+func NewOpenLoop(nClusters int, users int64, perUserHour, zipfS float64, total sim.Duration) *Workload {
+	probs := make([]float64, nClusters)
+	var norm float64
+	for j := range probs {
+		probs[j] = 1 / math.Pow(float64(j+1), zipfS)
+		norm += probs[j]
+	}
+	perSource := float64(users) * perUserHour / float64(nClusters)
+	rates := make([][]float64, nClusters)
+	for i := range rates {
+		rates[i] = make([]float64, nClusters)
+		for j := range rates[i] {
+			rates[i][j] = perSource * probs[j] / norm
+		}
+	}
+	return &Workload{
+		TotalTime:     total,
+		RatesPerHour:  rates,
+		MsgSize:       4096,
+		StateSize:     4 << 20,
+		MeanCompute:   2 * sim.Second,
+		Deterministic: true,
+		OpenLoop: &OpenLoop{
+			Users:               users,
+			RequestsPerUserHour: perUserHour,
+			ZipfS:               zipfS,
+		},
+	}
 }
 
 // Burst is an on-off traffic envelope (see Workload.Burst).
@@ -148,6 +248,14 @@ func (w *Workload) Validate(fed *topology.Federation) error {
 	if w.Burst != nil {
 		if err := w.Burst.validate(); err != nil {
 			return err
+		}
+	}
+	if w.OpenLoop != nil {
+		if err := w.OpenLoop.validate(); err != nil {
+			return err
+		}
+		if !w.Deterministic {
+			return fmt.Errorf("app: open-loop workloads require deterministic replay (request identity must survive re-execution)")
 		}
 	}
 	return nil

@@ -476,6 +476,12 @@ func (n *Node) applyCommit(seq SN, commitVec DDV, pairs []DDVPair, forced bool) 
 	if n.obs != nil {
 		n.obs.ObserveCommit(n.id, seq, n.epoch, commitVec, pairs, forced)
 	}
+	if n.stab != nil {
+		// The committed record's snapshot is now on stable storage:
+		// everything it covers is permanent unless a later rollback
+		// restores an older checkpoint.
+		n.stab.Stabilized(rec.state)
+	}
 
 	if n.leader() {
 		n.inFlight = false

@@ -351,6 +351,9 @@ type Node struct {
 	// invariant oracle); nil means no observation — one nil check per
 	// hook site.
 	obs Observer
+	// stab is the application's stability hook when it offers one
+	// (Stabilizer); nil means commits don't notify the application.
+	stab Stabilizer
 	// keys holds the node's pre-rendered per-cluster stat names, so
 	// hot-path Stat/StatSeries calls build no strings.
 	keys statKeys
@@ -445,6 +448,7 @@ func NewNode(cfg Config, env Env, app AppHooks) *Node {
 	if n.obs, _ = env.(Observer); n.obs != nil {
 		n.obs.ObserveMode(cfg.ID, cfg.Mode)
 	}
+	n.stab, _ = app.(Stabilizer)
 	n.denseWire = cfg.DenseWire
 	n.ddvGen = 1
 	n.commitBase = NewDDV(cfg.Clusters)

@@ -253,3 +253,15 @@ type AppHooks interface {
 	// Deliver hands an application payload to the application.
 	Deliver(from topology.NodeID, p AppPayload)
 }
+
+// Stabilizer is an optional upgrade interface of AppHooks, resolved
+// once at node construction like BoxPool on Env: an application that
+// implements it is told whenever a checkpoint commits, with the
+// Snapshot value the committed record holds. Everything the snapshot
+// covers is then backed by stable storage — the basis of the
+// stable-delivery latency metric (a later rollback can still rescind
+// the coverage; the application rewinds its marks in Restore). Nil
+// for applications that don't implement it: the protocol is unchanged.
+type Stabilizer interface {
+	Stabilized(state any)
+}

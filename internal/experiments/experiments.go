@@ -60,6 +60,10 @@ type Config struct {
 	// replays exactly that prefix of the unlimited schedule. 0 =
 	// unlimited; set by minimized-repro replay commands.
 	ChaosOps int
+	// TraceFile points trace-tier scenarios at a JSONL link schedule
+	// (the netsim.ParseTrace format) instead of the embedded
+	// mobile-broadband fixture.
+	TraceFile string
 	// RunTimeout, when > 0, arms a per-federation wall-clock watchdog
 	// (federation.Options.Watchdog): a wedged run is killed and
 	// reported as an error wrapping sim.ErrInterrupted instead of

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 
@@ -10,6 +11,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/federation"
+	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -72,6 +74,12 @@ func (s Scenario) Validate() error {
 		dims[1].all = ChaosWorkloads
 		dims[2].all = ChaosFailures
 		dims[3].all = ChaosNetworks
+	}
+	if s.TraceTier() {
+		dims[0].all = TraceTopologies
+		dims[1].all = TraceWorkloads
+		dims[2].all = TraceFailures
+		dims[3].all = TraceNetworks
 	}
 	for _, d := range dims {
 		found := false
@@ -150,6 +158,45 @@ var (
 // the classic shapes).
 func (s Scenario) ChaosTier() bool { return s.Failure == "storm" }
 
+// The trace tier: open-loop heavy-traffic scenarios on trace-driven
+// links. The workload is a population of millions of users issuing
+// requests open-loop (arrivals never wait for the system), Zipf-skewed
+// across destination clusters; the network dimension value "trace"
+// marks the tier and replays a measured (latency, jitter, loss)
+// schedule over every inter-cluster link (hc3ibench -trace-file, or
+// the embedded mobile-broadband fixture). The tier's headline metric
+// is user-perceived stable-delivery latency — arrival to first
+// covering committed CLC — reported as p50/p99/p999 columns. Trace
+// scenarios run under HC3I only: stable delivery is defined by the
+// commit wave, which the baselines either don't have or trivialize.
+var (
+	TraceTopologies = []string{"2c", "4c"}
+	TraceWorkloads  = []string{"openloop"}
+	TraceFailures   = []string{"none", "crash"}
+	TraceNetworks   = []string{"trace"}
+	TraceProtocols  = []string{"hc3i"}
+)
+
+// TraceTier reports whether the scenario belongs to the trace tier
+// (its network dimension is the tier marker: trace topologies reuse
+// the classic shapes).
+func (s Scenario) TraceTier() bool { return s.Network == "trace" }
+
+// TraceMatrix returns the trace tier's cross product, in axis order.
+func TraceMatrix() []Scenario {
+	var out []Scenario
+	for _, topo := range TraceTopologies {
+		for _, wl := range TraceWorkloads {
+			for _, fl := range TraceFailures {
+				for _, net := range TraceNetworks {
+					out = append(out, Scenario{Topology: topo, Workload: wl, Failure: fl, Network: net})
+				}
+			}
+		}
+	}
+	return out
+}
+
 // ChaosMatrix returns the chaos tier's cross product, in axis order.
 func ChaosMatrix() []Scenario {
 	var out []Scenario
@@ -221,7 +268,7 @@ func MatrixScenarios(filter string) ([]Scenario, error) {
 				}
 				want[dim] = strings.TrimSpace(kv[1])
 			default:
-				return nil, fmt.Errorf("experiments: matrix filter: unknown key %q (valid keys: topology, workload, failure, network, tier; valid tiers: classic, wide, chaos)", kv[0])
+				return nil, fmt.Errorf("experiments: matrix filter: unknown key %q (valid keys: topology, workload, failure, network, tier; valid tiers: classic, wide, chaos, trace)", kv[0])
 			}
 		}
 	}
@@ -231,12 +278,15 @@ func MatrixScenarios(filter string) ([]Scenario, error) {
 	tier := want["tier"]
 	if tier == "" {
 		// Infer the tier from unambiguous axis values, so e.g.
-		// topology=64c or failure=storm select their tier directly.
+		// topology=64c, failure=storm or network=trace select their
+		// tier directly.
 		switch {
 		case wideTopology(want["topology"]):
 			tier = "wide"
 		case want["failure"] == ChaosFailures[0]:
 			tier = "chaos"
+		case want["network"] == TraceNetworks[0] || want["workload"] == TraceWorkloads[0]:
+			tier = "trace"
 		default:
 			tier = "classic"
 		}
@@ -251,8 +301,12 @@ func MatrixScenarios(filter string) ([]Scenario, error) {
 		universe = ChaosMatrix
 		probe = Scenario{Topology: ChaosTopologies[0], Workload: ChaosWorkloads[0],
 			Failure: ChaosFailures[0], Network: ChaosNetworks[0]}
+	case "trace":
+		universe = TraceMatrix
+		probe = Scenario{Topology: TraceTopologies[0], Workload: TraceWorkloads[0],
+			Failure: TraceFailures[0], Network: TraceNetworks[0]}
 	default:
-		return nil, fmt.Errorf("experiments: unknown tier %q (have classic, wide, chaos)", tier)
+		return nil, fmt.Errorf("experiments: unknown tier %q (have classic, wide, chaos, trace)", tier)
 	}
 	delete(want, "tier")
 	// Reject unknown axis values up front, so a typo like topology=3c
@@ -340,8 +394,12 @@ func matrixScale(cfg Config, topo string) (sizes []int, total sim.Duration, err 
 
 // matrixTopology assembles the federation for a scenario: cluster
 // shapes from the topology dimension, inter-cluster links from the
-// network profile.
-func matrixTopology(sizes []int, network string) (*topology.Federation, error) {
+// network profile. trace is the link schedule of trace-tier scenarios
+// (nil elsewhere): its minimum latency becomes the inter links' static
+// latency — so the perturber's surplus is never negative and the
+// sharded runner's conservative lookahead stays positive — with zero
+// static jitter, since all variation comes from the trace replay.
+func matrixTopology(sizes []int, network string, trace *netsim.LinkTrace) (*topology.Federation, error) {
 	clusters := make([]topology.Cluster, len(sizes))
 	for i, n := range sizes {
 		clusters[i] = topology.Cluster{
@@ -358,6 +416,14 @@ func matrixTopology(sizes []int, network string) (*topology.Federation, error) {
 		fed.SetAllInterLinks(topology.WANLike())
 	case "jitter":
 		fed.SetAllInterLinks(topology.HighJitterWAN())
+	case "trace":
+		if trace == nil {
+			return nil, fmt.Errorf("experiments: network %q needs a link trace", network)
+		}
+		fed.SetAllInterLinks(topology.Link{
+			Latency:   trace.MinLatency(),
+			Bandwidth: topology.Mbps(10),
+		})
 	default:
 		return nil, fmt.Errorf("experiments: unknown matrix network %q", network)
 	}
@@ -400,6 +466,14 @@ func matrixWorkload(kind string, n int, total sim.Duration) (*app.Workload, erro
 		// The paper's Figure 1 pipeline: simulation -> treatment ->
 		// display, heavy inside each stage, a directed flow along it.
 		wl = app.Pipeline(n, intra, inter, total)
+	case "openloop":
+		// Open-loop heavy traffic: two million users, each issuing
+		// requests at a tiny independent rate, destinations Zipf-skewed
+		// across the clusters. Poisson superposition compiles the
+		// population exactly into a per-cluster-pair rate matrix, so
+		// millions of users cost nothing at run time; arrivals never
+		// wait for the system (the open-loop property under test).
+		wl = app.NewOpenLoop(n, 2_000_000, 3e-4, 1.1, total)
 	case "ring":
 		// The wide tier's sparse pattern: local chatter, a ring
 		// neighbour and one long-haul partner per cluster — the
@@ -523,7 +597,13 @@ func ScenarioOptions(cfg Config, sc Scenario, protocol string) (federation.Optio
 			total = sim.Hour
 		}
 	}
-	fed, err := matrixTopology(sizes, sc.Network)
+	var trace *netsim.LinkTrace
+	if sc.TraceTier() {
+		if trace, err = cfg.linkTrace(); err != nil {
+			return federation.Options{}, err
+		}
+	}
+	fed, err := matrixTopology(sizes, sc.Network, trace)
 	if err != nil {
 		return federation.Options{}, err
 	}
@@ -553,6 +633,13 @@ func ScenarioOptions(cfg Config, sc Scenario, protocol string) (federation.Optio
 		// between crash waves (the one-fault-at-a-time model assumes
 		// recovery completes before the next fault).
 		clcEvery = 4 * sim.Minute
+	}
+	if sc.TraceTier() {
+		// Stable-delivery latency is dominated by the wait for the next
+		// committed CLC wave; a short commit period keeps the reported
+		// distribution about the protocol and the link schedule, not
+		// about an idle timer.
+		clcEvery = 5 * sim.Minute
 	}
 	for i := range periods {
 		periods[i] = clcEvery
@@ -585,7 +672,29 @@ func ScenarioOptions(cfg Config, sc Scenario, protocol string) (federation.Optio
 		}
 		opts.Chaos = &chaos.Config{Seed: seed, OpBudget: cfg.ChaosOps}
 	}
+	if sc.TraceTier() {
+		opts.LinkTrace = trace
+	}
 	return opts, nil
+}
+
+// linkTrace resolves the trace tier's link schedule: the configured
+// -trace-file when set, the embedded mobile-broadband fixture
+// otherwise.
+func (c Config) linkTrace() (*netsim.LinkTrace, error) {
+	if c.TraceFile == "" {
+		return netsim.DefaultTrace(), nil
+	}
+	f, err := os.Open(c.TraceFile)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: link trace: %w", err)
+	}
+	defer f.Close()
+	t, err := netsim.ParseTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: link trace %s: %w", c.TraceFile, err)
+	}
+	return t, nil
 }
 
 // RunScenario executes one scenario under one protocol and returns the
@@ -605,10 +714,14 @@ func RunScenario(cfg Config, sc Scenario, protocol string) (*federation.Result, 
 // ProtocolsFor lists the protocols a scenario runs under: HC3I plus
 // the three baselines on the classic and wide tiers, HC3I alone on the
 // chaos tier (the baselines make no inter-cluster consistency claims
-// for the oracle to check).
+// for the oracle to check) and on the trace tier (stable delivery is
+// defined by HC3I's commit wave).
 func ProtocolsFor(sc Scenario) []string {
 	if sc.ChaosTier() {
 		return ChaosProtocols
+	}
+	if sc.TraceTier() {
+		return TraceProtocols
 	}
 	return MatrixProtocols
 }
@@ -667,11 +780,22 @@ func RunMatrix(rc RunnerConfig, scenarios []Scenario) (*Table, error) {
 			runs = append(runs, runKey{sc: i, proto: p})
 		}
 	}
+	// Trace-tier tables carry the tier's headline metric — the
+	// stable-delivery latency percentiles — as extra columns. Tiers
+	// never mix inside one MatrixScenarios selection, so the classic,
+	// wide and chaos tables (and their goldens) keep their shape.
+	traceTier := len(scenarios) > 0
+	for _, sc := range scenarios {
+		traceTier = traceTier && sc.TraceTier()
+	}
 	t := &Table{
 		ID:    "MX",
 		Title: fmt.Sprintf("Scenario matrix (%d scenarios, %d runs)", len(scenarios), len(runs)),
 		Headers: []string{"scenario", "protocol", "forced", "unforced", "rollbacks",
 			"failures", "max_log", "events"},
+	}
+	if traceTier {
+		t.Headers = append(t.Headers, "p50_ms", "p99_ms", "p999_ms")
 	}
 	rows := make([]Row, len(runs))
 	err := forEach(rc.workers(), len(runs), func(i int) error {
@@ -702,8 +826,17 @@ func RunMatrix(rc RunnerConfig, scenarios []Scenario) (*Table, error) {
 				maxLog = res.MaxLoggedMessages
 			}
 		}
-		rows[i] = Row{sc.Name(), proto, forced, unforced, rollbacks,
+		row := Row{sc.Name(), proto, forced, unforced, rollbacks,
 			failures, maxLog, events}
+		if traceTier {
+			lat := &sim.Histogram{}
+			for _, res := range results {
+				lat.Merge(res.Stats.Histogram(federation.StableLatencyMetric))
+			}
+			row = append(row,
+				lat.Quantile(0.50)*1e3, lat.Quantile(0.99)*1e3, lat.Quantile(0.999)*1e3)
+		}
+		rows[i] = row
 		return nil
 	})
 	if err != nil {
@@ -738,7 +871,7 @@ func MatrixAxes() string {
 		sort.Strings(vals)
 		fmt.Fprintf(&b, "%-9s %s\n", d.name, strings.Join(vals, " "))
 	}
-	fmt.Fprintf(&b, "%-9s %s\n", "tier", "chaos classic wide")
+	fmt.Fprintf(&b, "%-9s %s\n", "tier", "chaos classic trace wide")
 	fmt.Fprintf(&b, "wide tier (tier=wide): %s x %s x %s x %s\n",
 		strings.Join(WideTopologies, "/"), strings.Join(WideWorkloads, "/"),
 		strings.Join(WideFailures, "/"), strings.Join(WideNetworks, "/"))
@@ -747,5 +880,10 @@ func MatrixAxes() string {
 		strings.Join(ChaosFailures, "/"), strings.Join(ChaosNetworks, "/"),
 		strings.Join(ChaosProtocols, "/"))
 	fmt.Fprintf(&b, "  adversarial schedules replayable via -chaos-seed (sweep width via -chaos-seeds)\n")
+	fmt.Fprintf(&b, "trace tier (tier=trace): %s x %s x %s x %s under %s,\n",
+		strings.Join(TraceTopologies, "/"), strings.Join(TraceWorkloads, "/"),
+		strings.Join(TraceFailures, "/"), strings.Join(TraceNetworks, "/"),
+		strings.Join(TraceProtocols, "/"))
+	fmt.Fprintf(&b, "  open-loop user arrivals over trace-driven links (-trace-file), p50/p99/p999 stable-delivery latency\n")
 	return b.String()
 }

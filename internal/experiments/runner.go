@@ -40,6 +40,9 @@ type RunnerConfig struct {
 	// ChaosOps caps every chaos schedule at its first N perturbation
 	// actions, exactly as Config.ChaosOps.
 	ChaosOps int
+	// TraceFile selects a custom trace-tier link schedule, exactly as
+	// Config.TraceFile.
+	TraceFile string
 	// RunTimeout arms the per-federation wall-clock watchdog, exactly
 	// as Config.RunTimeout.
 	RunTimeout time.Duration
@@ -67,8 +70,8 @@ func (rc RunnerConfig) workers() int {
 func (rc RunnerConfig) config() Config {
 	cfg := Config{Seed: rc.Seed, Quick: rc.Quick, Workers: rc.workers(), DenseWire: rc.DenseWire,
 		UnbatchedWire: rc.UnbatchedWire, Oracle: rc.Oracle, ChaosSeed: rc.ChaosSeed,
-		ChaosSeeds: rc.ChaosSeeds, ChaosOps: rc.ChaosOps, RunTimeout: rc.RunTimeout,
-		Shards: rc.Shards}
+		ChaosSeeds: rc.ChaosSeeds, ChaosOps: rc.ChaosOps, TraceFile: rc.TraceFile,
+		RunTimeout: rc.RunTimeout, Shards: rc.Shards}
 	if cfg.Workers > 1 {
 		cfg.sem = make(chan struct{}, cfg.Workers)
 	}

@@ -125,6 +125,16 @@ type Options struct {
 	// pipe codecs); combine with DenseWire for transitive chaos runs.
 	Chaos *chaos.Config
 
+	// LinkTrace replays a measured (latency, jitter, loss) schedule
+	// over every inter-cluster link (see netsim.TracePerturber). The
+	// topology's inter links must declare the trace's minimum latency
+	// as their static latency; the perturber adds the surplus. Draws
+	// come from per-pipe streams keyed by the run seed, so sequential,
+	// sharded, batched and unbatched runs are byte-identical. Mutually
+	// exclusive with Chaos (both claim the network's perturbation
+	// hook).
+	LinkTrace *netsim.LinkTrace
+
 	// Arena, when non-nil, supplies pooled per-run scratch (the event
 	// engine); sweep harnesses share one arena across their runs and
 	// call Fed.Release after collecting each Result. Nil means every
@@ -152,6 +162,18 @@ func (o *Options) fill() error {
 	}
 	if err := o.Workload.Validate(o.Topology); err != nil {
 		return err
+	}
+	// Rebuild the workload's cached rate sums: sweep harnesses reuse
+	// one Workload across points while editing RatesPerHour, and a
+	// stale cache would silently missize every node.
+	o.Workload.Freeze()
+	if o.LinkTrace != nil {
+		if o.Chaos != nil {
+			return fmt.Errorf("federation: LinkTrace and Chaos both claim the network perturbation hook; run them separately")
+		}
+		if o.Transitive && !o.DenseWire {
+			return fmt.Errorf("federation: trace-driven links cannot run on delta-encoded transitive piggybacks (reordered exits would desync the pipe codecs); set DenseWire")
+		}
 	}
 	n := o.Topology.NumClusters()
 	if o.CLCPeriods == nil {
@@ -463,6 +485,16 @@ func newFed(opts Options, role *shardRole) (*Fed, error) {
 			CrashAt: crashAt,
 		})
 		f.net.Perturb = f.chaosSched
+	}
+	if opts.LinkTrace != nil {
+		// The trace perturber draws from per-pipe streams keyed by the
+		// run seed alone — every shard passes the same seed, and a
+		// pipe's traffic originates wholly on the shard owning its
+		// source cluster, so sequential and sharded runs replay the
+		// same schedule. fill() already rejected the Chaos combination.
+		tp := netsim.NewTracePerturber(opts.LinkTrace, opts.Topology, opts.Seed, f.engine.Now)
+		tp.Retransmits = f.stats.Counter("net.trace.retransmits")
+		f.net.Perturb = tp
 	}
 	return f, nil
 }

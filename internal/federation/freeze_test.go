@@ -1,0 +1,49 @@
+package federation_test
+
+import (
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/federation"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// TestWorkloadReuseAcrossRuns pins the rate-sum staleness regression:
+// a sweep harness reuses one Workload value across points, editing
+// RatesPerHour between runs. Options.fill freezes the workload per
+// run, so the second run must see the edited rates — with the old
+// sync.Once cache it silently replayed the first run's totals.
+func TestWorkloadReuseAcrossRuns(t *testing.T) {
+	wl := app.Uniform(2, 60, 6, sim.Hour)
+	wl.StateSize = 64 << 10
+	opts := func() federation.Options {
+		return federation.Options{
+			Topology:   topology.Small(2, 2),
+			Workload:   wl,
+			CLCPeriods: []sim.Duration{15 * sim.Minute, 15 * sim.Minute},
+			Seed:       5,
+		}
+	}
+	total := func(res *federation.Result) (n uint64) {
+		for _, row := range res.AppMsgs {
+			for _, v := range row {
+				n += v
+			}
+		}
+		return n
+	}
+	base := total(mustRun(t, opts()))
+	if base == 0 {
+		t.Fatal("baseline run sent no messages")
+	}
+	for i := range wl.RatesPerHour {
+		for j := range wl.RatesPerHour[i] {
+			wl.RatesPerHour[i][j] *= 10
+		}
+	}
+	boosted := total(mustRun(t, opts()))
+	if boosted < 5*base {
+		t.Fatalf("rates x10 between runs produced %d messages vs baseline %d: stale rate sums", boosted, base)
+	}
+}

@@ -317,6 +317,7 @@ func (v *runView) collect(endTime sim.Time, events uint64) *Result {
 		res.AppMsgs[i][j] = val
 	})
 	res.GCRounds = v.gcRounds(n)
+	v.collectStableLatency()
 	// Every protocol with a volatile message log reports its running
 	// high-water mark; core.Node and all three baselines track it at
 	// their log-append sites, so log-truncating protocols (the
@@ -336,6 +337,47 @@ func (v *runView) collect(endTime sim.Time, events uint64) *Result {
 		}
 	}
 	return res
+}
+
+// StableLatencyMetric names the histogram of user-perceived
+// stable-delivery latencies (seconds) that open-loop runs record.
+const StableLatencyMetric = "app.stable_latency_seconds"
+
+// collectStableLatency fills the app.stable_latency_seconds histogram
+// for open-loop workloads: one sample per distinct request that
+// reached stable delivery — the span from the request's scheduled
+// arrival (fixed by the user, on the original time axis) to the first
+// checkpoint commit that covered its delivery and was never rolled
+// back behind. The journal truncation in NodeApp.Restore guarantees
+// the surviving marks are exactly those commits; requests still
+// uncovered at the end of the run are right-censored (not observed).
+// Collection runs on the final application states after any shard
+// merge, in topology order, so sequential, sharded, batched and
+// oracle-attached runs fill byte-identical histograms.
+func (v *runView) collectStableLatency() {
+	if v.wl.OpenLoop == nil {
+		return
+	}
+	h := v.st.Histogram(StableLatencyMetric)
+	for _, id := range v.topo.AllNodes() {
+		a := v.app(id)
+		stable := a.StableCount()
+		seen := make(map[core.LogicalID]struct{}, stable)
+		for j := 0; j < stable; j++ {
+			lid := a.JournalEntry(j)
+			if _, dup := seen[lid]; dup {
+				// Duplicate delivery (replayed send): the first journal
+				// occurrence stabilized no later, so it is the sample.
+				continue
+			}
+			seen[lid] = struct{}{}
+			src := v.app(lid.Src)
+			// Open-loop workloads are deterministic, so Seq is the
+			// 1-based schedule index with no epoch salt.
+			arrival := src.ArrivalTime(int(lid.Seq - 1))
+			h.Observe(a.StableTime(j).Sub(arrival).Seconds())
+		}
+	}
 }
 
 // gcRounds reassembles per-round before/after pairs from the

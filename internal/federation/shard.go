@@ -452,6 +452,15 @@ func (r *shardRunner) mergeStats() *sim.Stats {
 		f.stats.ForEachSummary(func(name string, sum *sim.Summary) {
 			st.Summary(name).Merge(sum)
 		})
+		// Histograms merge count-exactly (bucket sums), and the quantile
+		// mode depends only on the merged totals, so a merged histogram
+		// answers exactly like its sequential counterpart. The stable-
+		// latency histogram is in fact filled after this merge, on the
+		// final application states — this path covers any histogram a
+		// shard populates mid-run.
+		f.stats.ForEachHistogram(func(name string, h *sim.Histogram) {
+			st.Histogram(name).Merge(h)
+		})
 	}
 
 	type seriesSrc struct {

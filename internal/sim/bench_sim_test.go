@@ -132,3 +132,35 @@ func BenchmarkSummaryObserve(b *testing.B) {
 		s.Observe(float64(i % 1000))
 	}
 }
+
+// BenchmarkOpenLoopArrivals prices the open-loop latency pipeline at
+// heavy-traffic scale: one iteration draws 2^20 Poisson arrivals,
+// observes a latency per arrival into the log-bucketed histogram and
+// reads the p50/p99/p999 the matrix reports. The benchguard gate on
+// allocs/op is the fixed-memory contract: the histogram allocates
+// O(occupied buckets), so allocations stay flat in the arrival count —
+// an implementation that keeps per-sample state regresses by four
+// orders of magnitude here.
+func BenchmarkOpenLoopArrivals(b *testing.B) {
+	const arrivals = 1 << 20
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := NewRNG(uint64(i + 1))
+		var h Histogram
+		var at Duration
+		for k := 0; k < arrivals; k++ {
+			at += r.Exp(30 * Millisecond)
+			// A latency shaped like the stable-delivery wait: commit-
+			// period phase plus a link-scale tail.
+			lat := float64(at%(5*Minute))/float64(Second) + r.Float64()
+			h.Observe(lat)
+		}
+		if h.N() != arrivals {
+			b.Fatal("lost samples")
+		}
+		if h.Quantile(0.5) <= 0 || h.Quantile(0.999) <= 0 {
+			b.Fatal("bad quantiles")
+		}
+	}
+	b.ReportMetric(arrivals, "arrivals/op")
+}

@@ -76,6 +76,178 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+// TestHistogramBucketMode pushes the histogram past its exact-sample
+// capacity and checks the log-bucketed quantiles stay within one
+// sub-bucket's relative error (1/32 octave ~ 2.2%) of the true values.
+func TestHistogramBucketMode(t *testing.T) {
+	var h Histogram
+	const n = 100000
+	for i := 1; i <= n; i++ {
+		h.Observe(float64(i))
+	}
+	if h.N() != n {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.exact != nil {
+		t.Fatal("exact sample list must be dropped past the small-count cap")
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := q * n
+		got := h.Quantile(q)
+		if rel := math.Abs(got-want) / want; rel > 0.03 {
+			t.Errorf("q%v = %v, want ~%v (rel err %.3f)", q, got, want, rel)
+		}
+	}
+	if h.Quantile(0) != 1 || h.Quantile(1) != n {
+		t.Fatalf("extremes = %v, %v", h.Quantile(0), h.Quantile(1))
+	}
+	if m := h.Mean(); math.Abs(m-(n+1)/2.0) > 1e-6 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+// TestHistogramQuantileDoesNotMutate pins the regression the exact
+// path used to have: Quantile sorted the sample list in place, so
+// interleaving Quantile calls with Observe corrupted later merges and
+// made quantiles depend on query order.
+func TestHistogramQuantileDoesNotMutate(t *testing.T) {
+	var h Histogram
+	for _, x := range []float64{5, 1, 4, 2, 3} {
+		h.Observe(x)
+	}
+	if q := h.Quantile(0.5); q != 3 {
+		t.Fatalf("median = %v", q)
+	}
+	want := []float64{5, 1, 4, 2, 3}
+	for i, x := range h.exact {
+		if x != want[i] {
+			t.Fatalf("Quantile reordered the sample list: %v", h.exact)
+		}
+	}
+	// A second identical query must agree (no hidden state).
+	if q := h.Quantile(0.5); q != 3 {
+		t.Fatalf("repeated median = %v", q)
+	}
+}
+
+// TestHistogramNegativeAndZero covers the signed bucket walk: negative
+// samples rank below zeros, zeros below positives.
+func TestHistogramNegativeAndZero(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 200; i++ {
+		h.Observe(-100)
+	}
+	for i := 0; i < 200; i++ {
+		h.Observe(0)
+	}
+	for i := 0; i < 200; i++ {
+		h.Observe(100)
+	}
+	if q := h.Quantile(0.05); math.Abs(q-(-100))/100 > 0.03 {
+		t.Fatalf("low quantile = %v", q)
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := h.Quantile(0.95); math.Abs(q-100)/100 > 0.03 {
+		t.Fatalf("high quantile = %v", q)
+	}
+}
+
+// TestHistogramMergeMatchesPooled checks merge stability: merging
+// shard-local histograms yields the same quantiles as observing every
+// sample in one histogram, in both exact and bucketed regimes.
+func TestHistogramMergeMatchesPooled(t *testing.T) {
+	for _, n := range []int{40, 4000} { // exact regime, bucket regime
+		var a, b, pooled Histogram
+		for i := 1; i <= n; i++ {
+			x := float64(i)
+			pooled.Observe(x)
+			if i%2 == 0 {
+				a.Observe(x)
+			} else {
+				b.Observe(x)
+			}
+		}
+		a.Merge(&b)
+		if a.N() != pooled.N() {
+			t.Fatalf("n=%d: merged N = %d, want %d", n, a.N(), pooled.N())
+		}
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got, want := a.Quantile(q), pooled.Quantile(q); got != want {
+				t.Errorf("n=%d q%v: merged %v != pooled %v", n, q, got, want)
+			}
+		}
+		if math.Abs(a.Mean()-pooled.Mean()) > 1e-9 {
+			t.Errorf("n=%d: merged mean %v != pooled %v", n, a.Mean(), pooled.Mean())
+		}
+	}
+}
+
+// TestHistogramNonFinite: NaN samples are dropped, infinities clamp.
+func TestHistogramNonFinite(t *testing.T) {
+	var h Histogram
+	h.Observe(math.NaN())
+	if h.N() != 0 {
+		t.Fatal("NaN must be dropped")
+	}
+	h.Observe(math.Inf(1))
+	h.Observe(1)
+	if h.N() != 2 || h.Max() != math.MaxFloat64 {
+		t.Fatalf("N=%d max=%v", h.N(), h.Max())
+	}
+}
+
+// TestHistogramMemoryBounded asserts the fixed-memory contract: the
+// allocation count is a function of the value range (occupied
+// buckets), not of the sample count. The broken implementation grew a
+// []float64 per sample and allocated linearly in n.
+func TestHistogramMemoryBounded(t *testing.T) {
+	allocs := func(n int) float64 {
+		return testing.AllocsPerRun(1, func() {
+			var h Histogram
+			r := NewRNG(7)
+			for i := 0; i < n; i++ {
+				h.Observe(1 + r.Float64()*1000)
+			}
+			if h.Quantile(0.999) <= 0 {
+				t.Fatal("bad quantile")
+			}
+		})
+	}
+	small, large := allocs(1<<15), allocs(1<<18) // 8x the samples
+	if large > 1.5*small+64 {
+		t.Fatalf("allocations grow with sample count: %v at 32Ki vs %v at 256Ki", small, large)
+	}
+}
+
+func TestStatsHistogramRegistryAndDump(t *testing.T) {
+	st := NewStats()
+	h := st.Histogram("lat_s")
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if st.Histogram("lat_s") != h {
+		t.Fatal("histogram registry must return the same instance")
+	}
+	seen := 0
+	st.ForEachHistogram(func(name string, got *Histogram) {
+		if name != "lat_s" || got != h {
+			t.Fatalf("ForEachHistogram gave %q", name)
+		}
+		seen++
+	})
+	if seen != 1 {
+		t.Fatalf("ForEachHistogram visited %d", seen)
+	}
+	dump := st.Dump()
+	for _, want := range []string{"histo", "lat_s", "p50=", "p999="} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
 func TestSeriesAt(t *testing.T) {
 	var s Series
 	s.Record(Time(10), 1)
